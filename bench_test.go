@@ -1,0 +1,400 @@
+package coolopt_test
+
+// One benchmark per table/figure of the paper's evaluation section, plus
+// algorithmic benchmarks for the paper's contribution (closed-form solve,
+// Algorithm 1 pre-processing, Algorithm 2 / exact queries) and the
+// simulation substrate. Figure benchmarks regenerate their series from a
+// shared scenario sweep collected once; headline numbers are attached as
+// benchmark metrics.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"coolopt"
+	"coolopt/internal/ablation"
+	"coolopt/internal/controller"
+	"coolopt/internal/figures"
+	"coolopt/internal/trace"
+)
+
+var (
+	benchOnce sync.Once
+	benchSys  *coolopt.System
+	benchDS   *figures.Dataset
+	benchErr  error
+)
+
+func benchDataset(b *testing.B) *figures.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSys, benchErr = coolopt.NewSystem()
+		if benchErr != nil {
+			return
+		}
+		benchDS, benchErr = figures.Collect(benchSys, nil)
+	})
+	if benchErr != nil {
+		b.Fatalf("bench setup: %v", benchErr)
+	}
+	return benchDS
+}
+
+// syntheticProfile builds an n-machine profile without simulation, for
+// algorithm-scaling benchmarks.
+func syntheticProfile(n int) *coolopt.Profile {
+	machines := make([]coolopt.MachineProfile, n)
+	for i := range machines {
+		h := float64(i) / float64(n-1)
+		jitter := 0.05 * math.Sin(float64(i)*2.399963)
+		machines[i] = coolopt.MachineProfile{
+			Alpha: 1.0,
+			Beta:  0.46 * (1 + 0.1*h + jitter),
+			Gamma: 0.5 + 2.2*h - 10*jitter,
+		}
+	}
+	return &coolopt.Profile{
+		W1: 52, W2: 34, CoolFactor: 150, SetPointC: 31,
+		TMaxC: 65, TAcMinC: 10, TAcMaxC: 25,
+		Machines: machines,
+	}
+}
+
+// BenchmarkTable1 regenerates the physical-variables table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := figures.Table1().Render(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig2PowerModelFit regenerates the measured-vs-predicted power
+// comparison from the profiling run.
+func BenchmarkFig2PowerModelFit(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	var fig *figures.Figure
+	for i := 0; i < b.N; i++ {
+		fig = figures.Fig2(ds.System(), 40)
+	}
+	b.ReportMetric(ds.System().Profiling().PowerFit.R2, "fitR2")
+	_ = fig
+}
+
+// BenchmarkFig3ThermalModelFit regenerates the stable-temperature
+// comparison for one machine.
+func BenchmarkFig3ThermalModelFit(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.Fig3(ds.System(), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ds.System().Profiling().ThermalFits[10].R2, "fitR2")
+}
+
+// BenchmarkFig5Consolidation regenerates the with/without-consolidation
+// comparison.
+func BenchmarkFig5Consolidation(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fig := ds.Fig5(); len(fig.Series) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkFig6AllMethods regenerates the all-methods power-vs-load table.
+func BenchmarkFig6AllMethods(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fig := ds.Fig6(); len(fig.Series) != 8 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkFig7NoConsolidation regenerates the AC-control comparison of
+// Even / Bottom-up / Optimal.
+func BenchmarkFig7NoConsolidation(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fig := ds.Fig7(); len(fig.Series) != 3 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkFig8WithConsolidation regenerates the consolidated comparison.
+func BenchmarkFig8WithConsolidation(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fig := ds.Fig8(); len(fig.Series) != 2 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkFig9BottomUpVsOptimal regenerates the savings summary and
+// reports the paper's headline numbers as metrics.
+func BenchmarkFig9BottomUpVsOptimal(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	var fig *figures.Figure
+	for i := 0; i < b.N; i++ {
+		fig = ds.Fig9()
+	}
+	b.StopTimer()
+	sum, best := 0.0, 0.0
+	for _, v := range fig.Series[0].Y {
+		sum += v
+		if v > best {
+			best = v
+		}
+	}
+	b.ReportMetric(sum/float64(len(fig.Series[0].Y)), "avgSaving%")
+	b.ReportMetric(best, "bestSaving%")
+}
+
+// BenchmarkFig10AveragePower regenerates the per-method averages.
+func BenchmarkFig10AveragePower(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	var fig *figures.Figure
+	for i := 0; i < b.N; i++ {
+		fig = ds.Fig10()
+	}
+	b.StopTimer()
+	// Metric: average power of the paper's solution (#8).
+	b.ReportMetric(fig.Series[0].Y[len(fig.Series[0].Y)-1], "method8avgW")
+}
+
+// BenchmarkVerifyConstraints regenerates the §IV-B verification report.
+func BenchmarkVerifyConstraints(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.VerifyConstraints(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosedFormSolve measures Eqs. 21–22 at growing cluster sizes —
+// the paper notes linear complexity in the number of servers.
+func BenchmarkClosedFormSolve(b *testing.B) {
+	for _, n := range []int{20, 100, 500} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := syntheticProfile(n)
+			on := make([]int, n)
+			for i := range on {
+				on[i] = i
+			}
+			load := 0.6 * float64(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Solve(on, load); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizerPlan measures the full practical planner
+// (consolidation + bounded solve).
+func BenchmarkOptimizerPlan(b *testing.B) {
+	for _, n := range []int{20, 60} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			opt, err := coolopt.NewOptimizer(syntheticProfile(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			load := 0.55 * float64(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.Plan(load); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPreprocess measures Algorithm 1's O(n³ lg n) offline phase.
+func BenchmarkPreprocess(b *testing.B) {
+	for _, n := range []int{20, 40, 80} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			red := syntheticProfile(n).Reduce()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coolopt.Preprocess(red); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryExact measures the robust online query.
+func BenchmarkQueryExact(b *testing.B) {
+	pre, err := coolopt.Preprocess(syntheticProfile(80).Reduce())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pre.QueryExact(40, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryVerbatim measures the paper's O(lg n) Algorithm 2 lookup.
+func BenchmarkQueryVerbatim(b *testing.B) {
+	pre, err := coolopt.Preprocess(syntheticProfile(80).Reduce())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pre.Query(40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBruteForceConsolidation measures the O(n·2ⁿ) oracle the paper
+// dismisses as impractical — the baseline that motivates §III-B.
+func BenchmarkBruteForceConsolidation(b *testing.B) {
+	red := syntheticProfile(16).Reduce()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := red.BruteForce(8, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioEvaluate measures one full scenario execution on the
+// simulated room (plan, apply, settle, measure).
+func BenchmarkScenarioEvaluate(b *testing.B) {
+	ds := benchDataset(b)
+	sys := ds.System()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Evaluate(coolopt.OptimalACCons, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfilingRun measures the complete §IV-A profiling protocol on
+// a fresh room.
+func BenchmarkProfilingRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := coolopt.NewSystem(coolopt.WithSeed(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHeterogeneity runs the heterogeneity ablation study
+// (DESIGN.md design choice: the rack's supply-air gradient).
+func BenchmarkAblationHeterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := ablation.Heterogeneity(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			ys := fig.Series[0].Y
+			b.ReportMetric(ys[len(ys)-1]-ys[0], "diversityGain_pp")
+		}
+	}
+}
+
+// BenchmarkAblationScale runs the room-size ablation (the paper's
+// larger-rooms-save-more conjecture).
+func BenchmarkAblationScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := ablation.Scale(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			ys := fig.Series[0].Y
+			b.ReportMetric(ys[len(ys)-1], "saving40machines%")
+		}
+	}
+}
+
+// BenchmarkAblationCoolingShare runs the cooling-plant-efficiency
+// ablation (design choice: the aged COP curve).
+func BenchmarkAblationCoolingShare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ablation.CoolingShare(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMargin runs the guard-band ablation (design choice:
+// the 2.5 °C execution margin).
+func BenchmarkAblationMargin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ablation.Margin(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerDiurnalDay replays a compressed diurnal demand day
+// under the re-planning controller (the dynamic-workload extension).
+func BenchmarkControllerDiurnalDay(b *testing.B) {
+	ds := benchDataset(b)
+	tr, err := trace.Diurnal(2000, 100, 0.5, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := controller.Run(controller.Config{Sys: ds.System()}, tr, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.AvgPowerW, "avgW")
+		}
+	}
+}
+
+// BenchmarkHeteroSolve measures the mixed-hardware solver (greedy LP fill
+// + supply-temperature trisection).
+func BenchmarkHeteroSolve(b *testing.B) {
+	hp := syntheticProfile(40).Homogeneous()
+	// Make half the fleet a different generation so the heterogeneous
+	// path is actually exercised.
+	for i := 0; i < hp.Size(); i += 2 {
+		hp.Machines[i].W1 = 80
+		hp.Machines[i].W2 = 46
+	}
+	on := make([]int, hp.Size())
+	for i := range on {
+		on[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hp.Solve(on, 22); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Command ctrld is the central controller for a machine room served over
+// HTTP (see cmd/roomd for the virtual testbed). It runs the paper's
+// methodology remotely:
+//
+//	ctrld status  -room http://host:7077
+//	ctrld profile -room http://host:7077 -o profile.json
+//	ctrld apply   -room http://host:7077 -profile profile.json -load 0.5 [-no-consolidation] [-settle 1200] [-margin 2.5]
+//
+// `profile` replays the §IV-A protocol over the network and writes the
+// fitted profile document; `apply` computes the energy-optimal plan for a
+// load and pushes it (power states, per-machine loads, CRAC set point),
+// then waits for steady state and reports the metered outcome.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"coolopt"
+	"coolopt/internal/profiling"
+	"coolopt/internal/roomclient"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ctrld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ctrld <status|profile|apply> [flags]")
+	}
+	switch args[0] {
+	case "status":
+		return runStatus(args[1:], out)
+	case "profile":
+		return runProfile(args[1:], out)
+	case "apply":
+		return runApply(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want status, profile, or apply)", args[0])
+	}
+}
+
+func dial(roomURL string) (*roomclient.Room, error) {
+	if roomURL == "" {
+		return nil, fmt.Errorf("-room is required")
+	}
+	return roomclient.Dial(roomURL, nil)
+}
+
+func runStatus(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ctrld status", flag.ContinueOnError)
+	roomURL := fs.String("room", "", "room API base URL (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	room, err := dial(*roomURL)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "room: %d machines, t = %.0f s\n", room.Size(), room.Time())
+	fmt.Fprintf(out, "CRAC: set point %.2f °C, supply %.2f °C, return %.2f °C, %.0f W\n",
+		room.SetPoint(), room.Supply(), room.ReturnTemp(), room.MeasuredCRACPower())
+	var total float64
+	fmt.Fprintf(out, "%-4s%6s%12s%12s\n", "m", "on", "cpu °C", "power W")
+	for i := 0; i < room.Size(); i++ {
+		p := room.MeasuredServerPower(i)
+		total += p
+		fmt.Fprintf(out, "%-4d%6v%12.1f%12.1f\n", i, room.IsOn(i), room.MeasuredCPUTemp(i), p)
+	}
+	fmt.Fprintf(out, "total server power: %.0f W\n", total)
+	return room.Err()
+}
+
+func runProfile(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ctrld profile", flag.ContinueOnError)
+	roomURL := fs.String("room", "", "room API base URL (required)")
+	outPath := fs.String("o", "profile.json", "output profile document")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	room, err := dial(*roomURL)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "profiling %d machines over the network (this replays the full §IV-A protocol)…\n", room.Size())
+	res, err := profiling.Run(profiling.Config{Sim: room})
+	if err != nil {
+		return err
+	}
+	if err := room.Err(); err != nil {
+		return fmt.Errorf("transport errors during profiling: %w", err)
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := profiling.WriteDocument(f, res.Document()); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "power model: P = %.2f·L + %.2f W (R² %.4f); cooling %.1f W/°C\n",
+		res.Profile.W1, res.Profile.W2, res.PowerFit.R2, res.Profile.CoolFactor)
+	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}
+
+func runApply(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ctrld apply", flag.ContinueOnError)
+	roomURL := fs.String("room", "", "room API base URL (required)")
+	profilePath := fs.String("profile", "", "profile document from `ctrld profile` (required)")
+	loadFrac := fs.Float64("load", 0.5, "total load as a fraction of capacity (0–1]")
+	noCons := fs.Bool("no-consolidation", false, "keep every machine powered on")
+	settle := fs.Float64("settle", 1200, "seconds to wait for steady state")
+	margin := fs.Float64("margin", 2.5, "supply-temperature guard band in °C")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *profilePath == "" {
+		return fmt.Errorf("-profile is required")
+	}
+	if *loadFrac <= 0 || *loadFrac > 1 {
+		return fmt.Errorf("-load %v outside (0, 1]", *loadFrac)
+	}
+	if *margin < 0 {
+		return fmt.Errorf("-margin %v must be non-negative", *margin)
+	}
+
+	docFile, err := os.Open(*profilePath)
+	if err != nil {
+		return err
+	}
+	defer docFile.Close()
+	doc, err := profiling.ReadDocument(docFile)
+	if err != nil {
+		return err
+	}
+
+	room, err := dial(*roomURL)
+	if err != nil {
+		return err
+	}
+	if room.Size() != doc.Profile.Size() {
+		return fmt.Errorf("profile covers %d machines but the room has %d",
+			doc.Profile.Size(), room.Size())
+	}
+
+	opt, err := coolopt.NewOptimizer(doc.Profile)
+	if err != nil {
+		return err
+	}
+	load := *loadFrac * float64(room.Size())
+	var plan *coolopt.Plan
+	if *noCons {
+		plan, err = opt.PlanNoConsolidation(load)
+	} else {
+		plan, err = opt.Plan(load)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Push the plan: power on, load, power off, set point.
+	onSet := make(map[int]bool, len(plan.On))
+	for _, i := range plan.On {
+		onSet[i] = true
+	}
+	for i := 0; i < room.Size(); i++ {
+		if onSet[i] {
+			if err := room.SetPower(i, true); err != nil {
+				return err
+			}
+			if err := room.SetLoad(i, clamp01(plan.Loads[i])); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < room.Size(); i++ {
+		if !onSet[i] {
+			if err := room.SetPower(i, false); err != nil {
+				return err
+			}
+		}
+	}
+	var predictedW float64
+	for _, i := range plan.On {
+		predictedW += doc.Profile.ServerPower(plan.Loads[i])
+	}
+	desired := plan.TAcC - *margin
+	if desired < doc.Profile.TAcMinC {
+		desired = doc.Profile.TAcMinC
+	}
+	room.SetSetPoint(doc.Calibration.SetPointFor(desired, predictedW))
+
+	fmt.Fprintf(out, "applied plan: %d machines on, commanded supply %.2f °C; settling %.0f s…\n",
+		len(plan.On), desired, *settle)
+	room.Run(*settle)
+
+	var serverW float64
+	maxCPU := -1e9
+	for i := 0; i < room.Size(); i++ {
+		serverW += room.MeasuredServerPower(i)
+		if room.IsOn(i) {
+			if temp := room.MeasuredCPUTemp(i); temp > maxCPU {
+				maxCPU = temp
+			}
+		}
+	}
+	coolW := room.MeasuredCRACPower()
+	fmt.Fprintf(out, "steady state: %.0f W total (servers %.0f + cooling %.0f)\n",
+		serverW+coolW, serverW, coolW)
+	fmt.Fprintf(out, "supply %.2f °C, hottest CPU %.1f °C (T_max %.1f)\n",
+		room.Supply(), maxCPU, doc.Profile.TMaxC)
+	return room.Err()
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coolopt/internal/roomapi"
+	"coolopt/internal/sim"
+)
+
+func newRoomServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	room, err := sim.NewDefault(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := roomapi.NewServer(room)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSubcommandDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}, &buf); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"status"}, &buf); err == nil {
+		t.Fatal("status without -room accepted")
+	}
+}
+
+func TestStatus(t *testing.T) {
+	ts := newRoomServer(t)
+	var buf bytes.Buffer
+	if err := run([]string{"status", "-room", ts.URL}, &buf); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"20 machines", "CRAC:", "total server power"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("status output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileThenApply(t *testing.T) {
+	ts := newRoomServer(t)
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "profile.json")
+
+	var buf bytes.Buffer
+	if err := run([]string{"profile", "-room", ts.URL, "-o", docPath}, &buf); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if _, err := os.Stat(docPath); err != nil {
+		t.Fatalf("document not written: %v", err)
+	}
+	if !strings.Contains(buf.String(), "power model") {
+		t.Fatalf("profile output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{
+		"apply", "-room", ts.URL, "-profile", docPath, "-load", "0.5", "-settle", "1500",
+	}, &buf); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"applied plan", "steady state:", "hottest CPU"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("apply output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	ts := newRoomServer(t)
+	var buf bytes.Buffer
+	if err := run([]string{"apply", "-room", ts.URL}, &buf); err == nil {
+		t.Fatal("apply without -profile accepted")
+	}
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "profile.json")
+	if err := run([]string{"profile", "-room", ts.URL, "-o", docPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"apply", "-room", ts.URL, "-profile", docPath, "-load", "2"}, &buf); err == nil {
+		t.Fatal("overload accepted")
+	}
+	if err := run([]string{"apply", "-room", ts.URL, "-profile", docPath, "-margin", "-1"}, &buf); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Command jobsub compiles a batch job set into the minimum demand profile
+// that meets every deadline (internal/batch) and writes it as a trace CSV
+// ready for cmd/traceplay — the front half of the energy-minimal batch
+// pipeline.
+//
+// Usage:
+//
+//	jobsub -jobs jobs.json [-capacity 20] [-horizon 6000] [-step 50] [-o trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"coolopt/internal/batch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jobsub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jobsub", flag.ContinueOnError)
+	jobsPath := fs.String("jobs", "", "job set JSON (required)")
+	capacity := fs.Float64("capacity", 20, "cluster capacity in machine units")
+	horizon := fs.Float64("horizon", 6000, "scheduling horizon in seconds")
+	step := fs.Float64("step", 50, "scheduling step in seconds")
+	outPath := fs.String("o", "", "write the demand trace CSV here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobsPath == "" {
+		return fmt.Errorf("-jobs is required")
+	}
+
+	f, err := os.Open(*jobsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	jobs, err := batch.ReadJobs(f)
+	if err != nil {
+		return err
+	}
+
+	demand, completion, err := batch.Plan(jobs, *capacity, *horizon, *step)
+	if err != nil {
+		return err
+	}
+	if err := batch.DeadlinesMet(jobs, completion, *step); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%d jobs scheduled; completions:\n", len(jobs))
+	ids := make([]string, 0, len(completion))
+	for id := range completion {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(out, "  %-22s %8.0f s\n", id, completion[id])
+	}
+
+	sink := out
+	if *outPath != "" {
+		file, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		sink = file
+	}
+	if err := demand.WriteCSV(sink); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		fmt.Fprintf(out, "wrote demand trace to %s\n", *outPath)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const jobsJSON = `{"jobs": [
+  {"id": "nightly", "work": 2000, "submitS": 0, "deadlineS": 3000},
+  {"id": "hourly", "work": 300, "submitS": 500, "deadlineS": 1100}
+]}`
+
+func writeJobs(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	if err := os.WriteFile(path, []byte(jobsJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	path := writeJobs(t)
+	outPath := filepath.Join(t.TempDir(), "trace.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-jobs", path, "-capacity", "10", "-horizon", "3000", "-o", outPath}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "nightly") {
+		t.Fatalf("completions missing:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "time_s,load_frac") {
+		t.Fatalf("trace header missing:\n%s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing -jobs accepted")
+	}
+	if err := run([]string{"-jobs", "nope.json"}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeJobs(t)
+	// Infeasible: capacity far too small.
+	if err := run([]string{"-jobs", path, "-capacity", "0.1", "-horizon", "3000"}, &buf); err == nil {
+		t.Fatal("infeasible job set accepted")
+	}
+}

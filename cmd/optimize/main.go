@@ -1,0 +1,84 @@
+// Command optimize reads a profile document (from cmd/profiler) and
+// prints the energy-optimal plan for a given load: which machines to
+// power on, each machine's utilization, the CRAC supply temperature, and
+// the set point that commands it.
+//
+// Usage:
+//
+//	optimize -profile profile.json -load 0.5 [-no-consolidation]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"coolopt"
+	"coolopt/internal/profiling"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "optimize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("optimize", flag.ContinueOnError)
+	profilePath := fs.String("profile", "", "profile document written by cmd/profiler (required)")
+	loadFrac := fs.Float64("load", 0.5, "total load as a fraction of cluster capacity (0–1)")
+	noCons := fs.Bool("no-consolidation", false, "keep every machine powered on")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *profilePath == "" {
+		return fmt.Errorf("-profile is required")
+	}
+	if *loadFrac <= 0 || *loadFrac > 1 {
+		return fmt.Errorf("-load %v outside (0, 1]", *loadFrac)
+	}
+
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	doc, err := profiling.ReadDocument(f)
+	if err != nil {
+		return err
+	}
+
+	opt, err := coolopt.NewOptimizer(doc.Profile)
+	if err != nil {
+		return err
+	}
+	load := *loadFrac * float64(doc.Profile.Size())
+	var plan *coolopt.Plan
+	if *noCons {
+		plan, err = opt.PlanNoConsolidation(load)
+	} else {
+		plan, err = opt.Plan(load)
+	}
+	if err != nil {
+		return err
+	}
+
+	var predictedW float64
+	for _, i := range plan.On {
+		predictedW += doc.Profile.ServerPower(plan.Loads[i])
+	}
+	fmt.Fprintf(out, "load: %.2f units (%.0f%% of %d machines)\n", load, *loadFrac*100, doc.Profile.Size())
+	fmt.Fprintf(out, "machines on: %d %v\n", len(plan.On), plan.On)
+	fmt.Fprintf(out, "supply temperature T_ac: %.2f °C (clamped: %v)\n", plan.TAcC, plan.Clamped)
+	fmt.Fprintf(out, "CRAC set point to command it: %.2f °C\n",
+		doc.Calibration.SetPointFor(plan.TAcC, predictedW))
+	fmt.Fprintf(out, "predicted power: %.1f W\n", doc.Profile.PlanPower(plan))
+	fmt.Fprintf(out, "%-4s%10s%14s\n", "m", "load", "pred temp °C")
+	for _, i := range plan.On {
+		fmt.Fprintf(out, "%-4d%10.3f%14.2f\n", i, plan.Loads[i],
+			doc.Profile.CPUTemp(i, plan.Loads[i], plan.TAcC))
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDoc = `{
+  "profile": {
+    "w1": 50, "w2": 35, "coolFactor": 70, "setPointC": 30,
+    "tMaxC": 58, "tAcMinC": 8, "tAcMaxC": 25,
+    "machines": [
+      {"alpha": 0.96, "beta": 0.44, "gamma": 1.2},
+      {"alpha": 0.93, "beta": 0.45, "gamma": 2.1},
+      {"alpha": 0.90, "beta": 0.45, "gamma": 3.0},
+      {"alpha": 0.80, "beta": 0.48, "gamma": 6.0}
+    ]
+  },
+  "calibration": {"offsetPerWatt": 0.003, "offsetBase": 0.1}
+}`
+
+func writeDoc(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := os.WriteFile(path, []byte(testDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPrintsPlan(t *testing.T) {
+	path := writeDoc(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", path, "-load", "0.5"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"machines on:", "supply temperature", "predicted power", "set point"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNoConsolidationKeepsAllOn(t *testing.T) {
+	path := writeDoc(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", path, "-load", "0.5", "-no-consolidation"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "machines on: 4") {
+		t.Fatalf("expected all 4 machines on:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("missing -profile accepted")
+	}
+	if err := run([]string{"-profile", "nope.json"}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeDoc(t)
+	if err := run([]string{"-profile", path, "-load", "2"}, &buf); err == nil {
+		t.Fatal("load > 1 accepted")
+	}
+	if err := run([]string{"-profile", path, "-load", "0"}, &buf); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-profile", bad}, &buf); err == nil {
+		t.Fatal("corrupt document accepted")
+	}
+}

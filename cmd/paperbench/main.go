@@ -1,0 +1,166 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section (§IV) from the simulated machine room: the profiling
+// fits of Figs. 2–3, the scenario comparisons of Figs. 5–10, and the
+// constraint verification the text reports.
+//
+// Usage:
+//
+//	paperbench [-seed N] [-machines N] [-fig 2|3|5|6|7|8|9|10|table1|verify|all] [-ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"coolopt"
+	"coolopt/internal/ablation"
+	"coolopt/internal/dvfs"
+	"coolopt/internal/figures"
+	"coolopt/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "seed for rack jitter and sensor noise")
+	machines := fs.Int("machines", 20, "number of machines in the rack")
+	figSel := fs.String("fig", "all", "which figure to regenerate (2,3,5,6,7,8,9,10,table1,verify,validation,all)")
+	fig3Machine := fs.Int("fig3-machine", 10, "machine whose thermal fit Fig. 3 shows")
+	ablations := fs.Bool("ablations", false, "also run the ablation studies (heterogeneity, scale, cooling share, margin)")
+	csvDir := fs.String("csv", "", "also save each printed figure as CSV under this directory")
+	reportPath := fs.String("report", "", "write a full markdown reproduction report to this file (implies the sweep)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sel := strings.ToLower(*figSel)
+
+	sys, err := coolopt.NewSystem(coolopt.WithSeed(*seed), coolopt.WithMachines(*machines))
+	if err != nil {
+		return err
+	}
+
+	want := func(id string) bool { return sel == "all" || sel == id }
+	emit := func(fig *figures.Figure) error {
+		fmt.Fprintln(out, fig.Render())
+		if *csvDir == "" {
+			return nil
+		}
+		path, err := fig.SaveCSV(*csvDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved %s\n\n", path)
+		return nil
+	}
+
+	if want("table1") {
+		if err := emit(figures.Table1()); err != nil {
+			return err
+		}
+	}
+	if want("2") {
+		if err := emit(figures.Fig2(sys, 40)); err != nil {
+			return err
+		}
+	}
+	if want("3") {
+		f3, err := figures.Fig3(sys, *fig3Machine)
+		if err != nil {
+			return err
+		}
+		if err := emit(f3); err != nil {
+			return err
+		}
+	}
+
+	needsSweep := *reportPath != ""
+	for _, id := range []string{"5", "6", "7", "8", "9", "10", "verify", "validation"} {
+		if want(id) {
+			needsSweep = true
+		}
+	}
+	if !needsSweep && !*ablations {
+		return nil
+	}
+	if !needsSweep {
+		return runAblations(out, *seed, sys.Profile())
+	}
+
+	ds, err := figures.Collect(sys, nil)
+	if err != nil {
+		return err
+	}
+	sweepFigs := []struct {
+		id  string
+		fig func() *figures.Figure
+	}{
+		{id: "5", fig: ds.Fig5}, {id: "6", fig: ds.Fig6}, {id: "7", fig: ds.Fig7},
+		{id: "8", fig: ds.Fig8}, {id: "9", fig: ds.Fig9}, {id: "10", fig: ds.Fig10},
+		{id: "validation", fig: ds.ModelValidation},
+	}
+	for _, entry := range sweepFigs {
+		if !want(entry.id) {
+			continue
+		}
+		if err := emit(entry.fig()); err != nil {
+			return err
+		}
+	}
+	if want("verify") {
+		report, err := ds.VerifyConstraints()
+		fmt.Fprintln(out, report)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "all temperature and throughput constraints satisfied")
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			return err
+		}
+		if err := report.Generate(f, ds, report.Options{Fig3Machine: *fig3Machine}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote report to %s\n", *reportPath)
+	}
+	if *ablations {
+		return runAblations(out, *seed, sys.Profile())
+	}
+	return nil
+}
+
+// runAblations prints the four ablation studies and the §V DVFS design
+// argument.
+func runAblations(out io.Writer, seed int64, profile *coolopt.Profile) error {
+	for _, study := range []func(int64) (*figures.Figure, error){
+		ablation.Heterogeneity, ablation.Scale, ablation.CoolingShare,
+		ablation.Margin, ablation.SensorNoise,
+	} {
+		fig, err := study(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fig.Render())
+	}
+	fig, err := dvfs.Compare(profile, dvfs.DefaultSplit(),
+		[]float64{0.1, 0.3, 0.5, 0.7, 0.9})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, fig.Render())
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1Only(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "8", "-fig", "table1"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table I") {
+		t.Fatalf("missing Table I:\n%s", out)
+	}
+	if strings.Contains(out, "Fig. 6") {
+		t.Fatal("unrequested figure printed")
+	}
+}
+
+func TestRunFig2And3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "8", "-fig", "2"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 2") {
+		t.Fatal("missing Fig. 2")
+	}
+	buf.Reset()
+	if err := run([]string{"-machines", "8", "-fig", "3", "-fig3-machine", "2"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 3") {
+		t.Fatal("missing Fig. 3")
+	}
+}
+
+func TestRunFig3MachineOutOfRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "8", "-fig", "3", "-fig3-machine", "99"}, &buf); err == nil {
+		t.Fatal("out-of-range machine accepted")
+	}
+}
+
+func TestRunSweepFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "8", "-fig", "9"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 9") {
+		t.Fatal("missing Fig. 9")
+	}
+}
+
+func TestRunFlagError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "8", "-fig", "9", "-csv", dir}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig_9.csv")); err != nil {
+		t.Fatalf("csv not saved: %v", err)
+	}
+	if !strings.Contains(buf.String(), "saved") {
+		t.Fatal("save confirmation missing")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "8", "-fig", "verify", "-report", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !strings.Contains(string(data), "## Headline") {
+		t.Fatal("report missing headline section")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations build several full systems")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "table1", "-ablations"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C", "Ablation D", "Ablation F", "Extension E"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command profiler builds the simulated machine room and runs the paper's
+// full profiling protocol against it (§IV-A), printing fit quality and
+// writing a profile document other tools consume.
+//
+// Usage:
+//
+//	profiler [-seed N] [-machines N] [-o profile.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"coolopt"
+	"coolopt/internal/profiling"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "profiler:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("profiler", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "seed for rack jitter and sensor noise")
+	machines := fs.Int("machines", 20, "number of machines in the rack")
+	outPath := fs.String("o", "", "write the profile document (JSON) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := coolopt.NewSystem(coolopt.WithSeed(*seed), coolopt.WithMachines(*machines))
+	if err != nil {
+		return err
+	}
+	res := sys.Profiling()
+	p := res.Profile
+
+	fmt.Fprintf(out, "profiled %d machines (seed %d)\n", len(p.Machines), *seed)
+	fmt.Fprintf(out, "power model:   P = %.2f·L + %.2f W   (fit RMSE %.2f W, R² %.4f)\n",
+		p.W1, p.W2, res.PowerFit.RMSE, res.PowerFit.R2)
+	fmt.Fprintf(out, "cooling model: P_ac = %.1f·(%.2f − T_ac) W   (fit RMSE %.1f W, R² %.4f)\n",
+		p.CoolFactor, p.SetPointC, res.CoolingFit.RMSE, res.CoolingFit.R2)
+	fmt.Fprintf(out, "set point calibration: T_SP = T_ac + %.5f·Q + %.3f\n",
+		res.Calibration.OffsetPerWatt, res.Calibration.OffsetBase)
+	fmt.Fprintf(out, "%-4s%10s%10s%10s%12s%10s\n", "m", "alpha", "beta", "gamma", "K", "fit R²")
+	for i, m := range p.Machines {
+		fmt.Fprintf(out, "%-4d%10.3f%10.4f%10.2f%12.3f%10.4f\n",
+			i, m.Alpha, m.Beta, m.Gamma, p.K(i), res.ThermalFits[i].R2)
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := profiling.WriteDocument(f, res.Document()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *outPath)
+	}
+	return nil
+}

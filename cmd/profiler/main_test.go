@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesProfileDocument(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "profile.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "8", "-o", outPath}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"power model", "cooling model", "set point calibration"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"machines"`) {
+		t.Fatal("document missing machines")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "0"}, &buf); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,80 @@
+// Command roomd serves a simulated machine room over HTTP — the virtual
+// testbed. Room time is virtual: clients drive it with POST /v1/advance,
+// so experiments run as fast as the simulator integrates. Pair it with
+// cmd/ctrld to profile and control the room remotely.
+//
+// Usage:
+//
+//	roomd [-addr :7077] [-seed N] [-machines N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"coolopt/internal/room"
+	"coolopt/internal/roomapi"
+	"coolopt/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "roomd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("roomd", flag.ContinueOnError)
+	addr := fs.String("addr", ":7077", "listen address")
+	seed := fs.Int64("seed", 1, "seed for rack jitter and sensor noise")
+	machines := fs.Int("machines", 20, "number of machines in the rack")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	handler, err := newHandler(*seed, *machines)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "roomd: serving a %d-machine simulated room on http://%s\n",
+		*machines, ln.Addr())
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.Serve(ln)
+}
+
+// newHandler builds the simulated room and its API handler.
+func newHandler(seed int64, machines int) (http.Handler, error) {
+	spec := room.DefaultRackSpec()
+	spec.Seed = seed
+	spec.N = machines
+	rack, err := room.GenRack(spec)
+	if err != nil {
+		return nil, err
+	}
+	crac := sim.DefaultCRAC()
+	crac.Flow = 0.015 * float64(machines)
+	simRoom, err := sim.New(sim.Config{
+		Rack:      rack,
+		CRAC:      crac,
+		SetPointC: sim.DefaultSetPointC,
+		Seed:      seed + 1,
+		BaseHeatW: sim.DefaultBaseHeatW * float64(machines) / 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return roomapi.NewServer(simRoom)
+}

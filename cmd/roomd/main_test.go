@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"coolopt/internal/roomapi"
+)
+
+func TestNewHandlerServesRoom(t *testing.T) {
+	h, err := newHandler(1, 8)
+	if err != nil {
+		t.Fatalf("newHandler: %v", err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/room")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info roomapi.RoomInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Machines != 8 {
+		t.Fatalf("machines = %d, want 8", info.Machines)
+	}
+}
+
+func TestNewHandlerValidation(t *testing.T) {
+	if _, err := newHandler(1, 0); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+}
+
+func TestRunFlagError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-machines", "0"}, &buf); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, &buf); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Command roomsim runs one evaluation scenario on the simulated machine
+// room and prints the steady-state measurement — the single-cell version
+// of what cmd/paperbench sweeps.
+//
+// Usage:
+//
+//	roomsim [-seed N] [-machines N] -method 8 -load 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"coolopt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "roomsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("roomsim", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "seed for rack jitter and sensor noise")
+	machines := fs.Int("machines", 20, "number of machines in the rack")
+	method := fs.Int("method", 8, "scenario number 1–8 (paper Fig. 4)")
+	loadFrac := fs.Float64("load", 0.5, "total load as a fraction of capacity (0–1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *method < 1 || *method > 8 {
+		return fmt.Errorf("-method %d outside 1–8", *method)
+	}
+
+	sys, err := coolopt.NewSystem(coolopt.WithSeed(*seed), coolopt.WithMachines(*machines))
+	if err != nil {
+		return err
+	}
+	m := coolopt.Method(*method)
+	meas, err := sys.Evaluate(m, *loadFrac)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "scenario:        %v\n", m)
+	fmt.Fprintf(out, "load:            %.0f%% (carried %.2f units)\n", meas.LoadPct, meas.CarriedLoad)
+	fmt.Fprintf(out, "total power:     %.1f W (servers %.1f + cooling %.1f)\n",
+		meas.TotalW, meas.ServerW, meas.CoolW)
+	fmt.Fprintf(out, "machines on:     %d / %d\n", meas.MachinesOn, sys.Size())
+	fmt.Fprintf(out, "supply temp:     %.2f °C (plan asked %.2f)\n", meas.SupplyC, meas.PlanTAcC)
+	fmt.Fprintf(out, "hottest CPU:     %.2f °C (T_max %.1f, violated: %v)\n",
+		meas.MaxCPUC, sys.Profile().TMaxC, meas.Violated)
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsMeasurement(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "8", "-method", "8", "-load", "0.5"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"scenario:", "total power:", "hottest CPU:", "violated: false"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-method", "9"}, &buf); err == nil {
+		t.Fatal("method 9 accepted")
+	}
+	if err := run([]string{"-method", "0"}, &buf); err == nil {
+		t.Fatal("method 0 accepted")
+	}
+	if err := run([]string{"-machines", "8", "-load", "2"}, &buf); err == nil {
+		t.Fatal("load > 1 accepted")
+	}
+}

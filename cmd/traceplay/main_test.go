@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDiurnalDefault(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-duration", "600"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"re-planning optimal", "static peak provisioning", "saves"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(path, []byte("0,0.3\n200,0.7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-duration", "400", "-trace", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "replans") {
+		t.Fatalf("output missing replans:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", "missing.csv"}, &buf); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("x,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", bad}, &buf); err == nil {
+		t.Fatal("corrupt trace accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Package coolopt is a Go implementation of "Joint Optimization of
+// Computing and Cooling Energy: Analytic Model and A Machine Room Case
+// Study" (Li, Le, Pham, Heo, Abdelzaher — ICDCS 2012).
+//
+// The library has three layers:
+//
+//   - The paper's contribution: a closed-form energy-optimal load
+//     distribution across a machine rack jointly with the CRAC supply
+//     temperature (Profile.Solve, Eqs. 21–22), and a guaranteed-optimal
+//     consolidation algorithm built on a 1-D particle system
+//     (Preprocess/QueryExact, §III-B Algorithms 1–2). See Optimizer for
+//     the practical planner combining both.
+//
+//   - A machine-room simulator standing in for the paper's 20-machine
+//     testbed: per-server lumped-RC thermal models, a CRAC with an
+//     exhaust-set-point control loop, rack air paths with hot-aisle
+//     recirculation, and noisy sensors. See NewSystem.
+//
+//   - The paper's methodology around them: the profiling protocol that
+//     fits every model coefficient from (simulated) measurements, the
+//     baseline policies (even and cool-job/bottom-up allocation), the
+//     eight-scenario evaluation matrix of Fig. 4, and a scenario runner
+//     that reproduces every figure of the evaluation section.
+//
+// Quick start:
+//
+//	sys, err := coolopt.NewSystem()            // build + profile the room
+//	m, err := sys.Evaluate(coolopt.OptimalACCons, 0.5)  // run scenario #8 at 50 % load
+//	fmt.Println(m.TotalW)
+//
+// All temperatures are °C, powers are Watts, and load is expressed in
+// machine-utilization units (one unit = one fully busy machine) or, at
+// the System API boundary, as a fraction of total cluster capacity.
+package coolopt
+
+import (
+	"coolopt/internal/baseline"
+	"coolopt/internal/core"
+	"coolopt/internal/profiling"
+)
+
+// Re-exported model and planner types. The concrete implementations live
+// in internal packages; these aliases are the supported public surface.
+type (
+	// Profile holds the fitted model of a machine room (paper Eqs.
+	// 8–10) and implements the closed-form solver.
+	Profile = core.Profile
+	// MachineProfile holds one machine's thermal coefficients (Eq. 8).
+	MachineProfile = core.MachineProfile
+	// Plan is an executable control decision: on set, load split,
+	// supply temperature.
+	Plan = core.Plan
+	// Optimizer is the practical planner (consolidation + closed form).
+	Optimizer = core.Optimizer
+	// Pair and Reduced are the consolidation abstraction of §III-B.
+	Pair = core.Pair
+	// Reduced is the reduced consolidation instance (a_i, b_i, w2, ρ).
+	Reduced = core.Reduced
+	// Selection is a consolidation outcome.
+	Selection = core.Selection
+	// Preprocessed is Algorithm 1's output, answering queries in
+	// O(lg n).
+	Preprocessed = core.Preprocessed
+	// HeteroProfile and HeteroMachine extend the closed form to
+	// mixed-hardware rooms where every machine has its own power model
+	// (the extension the paper names as future work).
+	HeteroProfile = core.HeteroProfile
+	// HeteroMachine is one machine of a mixed-hardware room.
+	HeteroMachine = core.HeteroMachine
+	// Method identifies one of the eight evaluation scenarios (Fig. 4).
+	Method = baseline.Method
+	// Planner produces plans for all eight scenarios.
+	Planner = baseline.Planner
+	// ProfilingResult is a completed profiling run (fitted profile,
+	// set-point calibration, and fit reports for Figs. 2–3).
+	ProfilingResult = profiling.Result
+	// FitReport compares a fitted model against the measurements that
+	// produced it.
+	FitReport = profiling.FitReport
+	// SetPointCalibration maps desired supply temperatures to CRAC set
+	// points (§IV-B).
+	SetPointCalibration = profiling.SetPointCalibration
+)
+
+// The eight evaluation scenarios, numbered as in the paper's Fig. 4.
+const (
+	EvenNoACNoCons     = baseline.EvenNoACNoCons     // #1
+	BottomUpNoACNoCons = baseline.BottomUpNoACNoCons // #2
+	BottomUpNoACCons   = baseline.BottomUpNoACCons   // #3
+	EvenACNoCons       = baseline.EvenACNoCons       // #4
+	BottomUpACNoCons   = baseline.BottomUpACNoCons   // #5
+	OptimalACNoCons    = baseline.OptimalACNoCons    // #6
+	BottomUpACCons     = baseline.BottomUpACCons     // #7
+	OptimalACCons      = baseline.OptimalACCons      // #8
+)
+
+// AllMethods lists the scenarios in paper order.
+var AllMethods = baseline.AllMethods
+
+// ErrInfeasible is returned when no plan can satisfy the constraints.
+var ErrInfeasible = core.ErrInfeasible
+
+// NewOptimizer builds the practical planner for a profile; see
+// core.NewOptimizer.
+func NewOptimizer(p *Profile) (*Optimizer, error) { return core.NewOptimizer(p) }
+
+// NewPlanner builds the eight-scenario planner for a profile.
+func NewPlanner(p *Profile) (*Planner, error) { return baseline.NewPlanner(p) }
+
+// Preprocess runs consolidation Algorithm 1 on a reduced instance.
+func Preprocess(r Reduced) (*Preprocessed, error) { return core.Preprocess(r) }

@@ -1,0 +1,123 @@
+package coolopt_test
+
+import (
+	"fmt"
+
+	"coolopt"
+)
+
+// exampleProfile is a small, fixed machine-room model used by the
+// runnable documentation examples (coefficients as a profiling run would
+// fit them).
+func exampleProfile() *coolopt.Profile {
+	return &coolopt.Profile{
+		W1:         50,
+		W2:         35,
+		CoolFactor: 70,
+		SetPointC:  30,
+		TMaxC:      58,
+		TAcMinC:    8,
+		TAcMaxC:    25,
+		Machines: []coolopt.MachineProfile{
+			{Alpha: 0.96, Beta: 0.44, Gamma: 1.2},
+			{Alpha: 0.93, Beta: 0.45, Gamma: 2.1},
+			{Alpha: 0.90, Beta: 0.45, Gamma: 3.0},
+			{Alpha: 0.87, Beta: 0.46, Gamma: 3.9},
+			{Alpha: 0.83, Beta: 0.47, Gamma: 5.1},
+			{Alpha: 0.80, Beta: 0.48, Gamma: 6.0},
+		},
+	}
+}
+
+// ExampleProfile_Solve applies the paper's closed form (Eqs. 21–22) to a
+// fixed on set: every powered-on CPU lands exactly on T_max, with the
+// cooler machines carrying more load.
+func ExampleProfile_Solve() {
+	p := exampleProfile()
+	plan, err := p.Solve([]int{0, 1, 2, 3, 4, 5}, 5.0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("supply %.2f °C\n", plan.TAcC)
+	for _, i := range plan.On {
+		fmt.Printf("machine %d: load %.3f, cpu %.1f °C\n",
+			i, plan.Loads[i], p.CPUTemp(i, plan.Loads[i], plan.TAcC))
+	}
+	// Output:
+	// supply 21.95 °C
+	// machine 0: load 0.924, cpu 58.0 °C
+	// machine 1: load 0.877, cpu 58.0 °C
+	// machine 2: load 0.866, cpu 58.0 °C
+	// machine 3: load 0.822, cpu 58.0 °C
+	// machine 4: load 0.776, cpu 58.0 °C
+	// machine 5: load 0.735, cpu 58.0 °C
+}
+
+// ExampleNewOptimizer plans with consolidation: the optimizer decides how
+// many machines to power on as well as the split and the supply setting.
+func ExampleNewOptimizer() {
+	opt, err := coolopt.NewOptimizer(exampleProfile())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	plan, err := opt.Plan(2.0) // 2 machine-units of work
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("machines on: %v\n", plan.On)
+	fmt.Printf("total load carried: %.1f\n", plan.TotalLoad())
+	// Output:
+	// machines on: [0 1 2]
+	// total load carried: 2.0
+}
+
+// ExamplePreprocess runs consolidation Algorithm 1 once and answers a
+// budget query with the paper's dual formulation maxL(A, P_b): the
+// maximum load a power budget can serve.
+func ExamplePreprocess() {
+	p := exampleProfile()
+	pre, err := coolopt.Preprocess(p.Reduce())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := pre.MaxLoad(1200) // Watts
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("a 1200 W budget serves %.2f machine-units on %d machines\n",
+		res.Load, len(res.Subset))
+	// Output:
+	// a 1200 W budget serves 5.50 machine-units on 6 machines
+}
+
+// ExampleHeteroProfile_Solve shows the mixed-hardware extension: an
+// inefficient old machine is parked at zero load while the efficient
+// generation carries the work.
+func ExampleHeteroProfile_Solve() {
+	hp := &coolopt.HeteroProfile{
+		CoolFactor: 70, SetPointC: 30,
+		TMaxC: 58, TAcMinC: 8, TAcMaxC: 25,
+		Machines: []coolopt.HeteroMachine{
+			{W1: 50, W2: 35, Alpha: 0.96, Beta: 0.44, Gamma: 1.2},
+			{W1: 50, W2: 35, Alpha: 0.90, Beta: 0.45, Gamma: 3.0},
+			{W1: 300, W2: 55, Alpha: 0.93, Beta: 0.40, Gamma: 2.1}, // power hog
+		},
+	}
+	plan, err := hp.Solve([]int{0, 1, 2}, 1.2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, i := range plan.On {
+		fmt.Printf("machine %d: load %.2f\n", i, plan.Loads[i])
+	}
+	// Output:
+	// machine 0: load 0.79
+	// machine 1: load 0.41
+	// machine 2: load 0.00
+}

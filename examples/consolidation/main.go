@@ -1,0 +1,97 @@
+// Consolidation exercises the paper's §III-B machinery at a scale beyond
+// the testbed: a synthetic 120-machine room. It runs Algorithm 1's
+// offline pre-processing once, then answers online consolidation queries,
+// comparing the guaranteed-optimal answer against the two footnote-1
+// heuristics the paper shows can fail.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"coolopt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// syntheticProfile builds a 200-machine profile with a plausible thermal
+// gradient and per-machine variation, without simulating a room — the
+// consolidation algorithms only need the fitted coefficients.
+func syntheticProfile(n int) *coolopt.Profile {
+	machines := make([]coolopt.MachineProfile, n)
+	for i := range machines {
+		h := float64(i) / float64(n-1)
+		jitter := 0.05 * math.Sin(float64(i)*2.399963) // deterministic spread
+		machines[i] = coolopt.MachineProfile{
+			Alpha: 1.0,
+			Beta:  0.46 * (1 + 0.1*h + jitter),
+			Gamma: 0.5 + 2.2*h - 10*jitter,
+		}
+	}
+	return &coolopt.Profile{
+		W1: 52, W2: 34, CoolFactor: 150, SetPointC: 31,
+		TMaxC: 65, TAcMinC: 10, TAcMaxC: 25,
+		Machines: machines,
+	}
+}
+
+func run() error {
+	const n = 120
+	profile := syntheticProfile(n)
+	if err := profile.Validate(); err != nil {
+		return err
+	}
+	red := profile.Reduce()
+
+	start := time.Now()
+	pre, err := coolopt.Preprocess(red)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Algorithm 1 offline pre-processing for %d machines: %v\n", n, time.Since(start))
+	fmt.Printf("  %d passing events, %d allStatus rows\n\n", pre.Events(), pre.StatusCount())
+
+	fmt.Printf("%-8s%10s%14s%14s%14s%14s\n",
+		"load", "query", "optimal W", "ratio-heur W", "greedy W", "verbatim W")
+	for _, load := range []float64{15, 40, 60, 80, 100} {
+		minK := int(math.Ceil(load))
+		qStart := time.Now()
+		exact, err := pre.QueryExact(load, minK)
+		if err != nil {
+			return err
+		}
+		qTime := time.Since(qStart)
+
+		ratio, err := red.GreedyRatio(load, minK)
+		if err != nil {
+			return err
+		}
+		greedy, err := red.GreedyAdaptive(load, minK)
+		if err != nil {
+			return err
+		}
+		verbatim, err := pre.Query(load)
+		if err != nil {
+			return err
+		}
+		mark := " "
+		if len(verbatim.Subset) < minK {
+			// Algorithm 2 as published has no per-machine capacity
+			// floor, so it may pick fewer than ⌈load⌉ machines.
+			mark = "*"
+		}
+		fmt.Printf("%-8.0f%10s%14.1f%14.1f%14.1f%13.1f%s\n",
+			load, qTime.Round(time.Microsecond), exact.Power, ratio.Power, greedy.Power, verbatim.Power, mark)
+	}
+
+	fmt.Println("\nper-query cost stays microseconds after the one-time pre-processing;")
+	fmt.Println("heuristic columns ≥ the optimal column, with equality only when they happen to agree.")
+	fmt.Println("* = verbatim Algorithm 2 picked fewer than ⌈load⌉ machines (no capacity floor in the paper's abstraction).")
+	return nil
+}

@@ -1,0 +1,57 @@
+// Machineroom replays the paper's full machine-room case study end to
+// end: profile the simulated 20-machine rack, sweep all eight evaluation
+// scenarios of Fig. 4 across the load range, print the Fig. 6 comparison
+// table, verify the temperature and throughput constraints, and summarize
+// the holistic solution's savings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coolopt"
+	"coolopt/internal/figures"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("building and profiling the machine room…")
+	sys, err := coolopt.NewSystem()
+	if err != nil {
+		return err
+	}
+	res := sys.Profiling()
+	fmt.Printf("power model fit R² %.4f, worst thermal fit R² %.4f\n\n",
+		res.PowerFit.R2, worstR2(res.ThermalFits))
+
+	fmt.Println("sweeping the eight scenarios (10–100 % load)…")
+	ds, err := figures.Collect(sys, nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println(ds.Fig6().Render())
+	fmt.Println(ds.Fig9().Render())
+
+	if _, err := ds.VerifyConstraints(); err != nil {
+		return fmt.Errorf("constraint verification failed: %w", err)
+	}
+	fmt.Println("verified: no CPU exceeded T_max and every scenario carried its full load.")
+	return nil
+}
+
+func worstR2(fits []coolopt.FitReport) float64 {
+	worst := 1.0
+	for _, f := range fits {
+		if f.R2 < worst {
+			worst = f.R2
+		}
+	}
+	return worst
+}

@@ -1,0 +1,60 @@
+// Quickstart: build the simulated 20-machine room, profile it, compute
+// the energy-optimal plan for a 50 % load, and compare the paper's
+// holistic solution (#8) against the best prior art, cool job allocation
+// (#7), on the live room.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coolopt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// NewSystem builds the room and replays the paper's profiling
+	// protocol (§IV-A) to fit every model coefficient from noisy
+	// sensors.
+	sys, err := coolopt.NewSystem()
+	if err != nil {
+		return err
+	}
+	profile := sys.Profile()
+	fmt.Printf("profiled room: %d machines, P = %.1f·L + %.1f W, cooling %.0f W per °C of supply\n\n",
+		profile.Size(), profile.W1, profile.W2, profile.CoolFactor)
+
+	// Ask the optimizer for the minimum-energy plan at 50 % load.
+	opt, err := coolopt.NewOptimizer(profile)
+	if err != nil {
+		return err
+	}
+	load := 0.5 * float64(profile.Size())
+	plan, err := opt.Plan(load)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimal plan for 50%% load: %d machines on, supply %.1f °C\n",
+		len(plan.On), plan.TAcC)
+	for _, i := range plan.On {
+		fmt.Printf("  machine %2d → %.0f%% utilization\n", i, plan.Loads[i]*100)
+	}
+
+	// Execute both the optimal plan (#8) and the cool-job-allocation
+	// baseline (#7) on the simulated room and compare measured power.
+	fmt.Println()
+	for _, m := range []coolopt.Method{coolopt.BottomUpACCons, coolopt.OptimalACCons} {
+		meas, err := sys.Evaluate(m, 0.5)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-45s %.0f W total (hottest CPU %.1f °C, T_max %.0f)\n",
+			meas.Method, meas.TotalW, meas.MaxCPUC, profile.TMaxC)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Remoteroom demonstrates the deployment story end to end inside one
+// process: a simulated machine room is served over HTTP (what cmd/roomd
+// does), a controller dials it (what cmd/ctrld does), replays the paper's
+// profiling protocol across the network, computes the energy-optimal plan
+// for a 60 % load, pushes it through the API, and reports the metered
+// steady state.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"coolopt"
+	"coolopt/internal/profiling"
+	"coolopt/internal/roomapi"
+	"coolopt/internal/roomclient"
+	"coolopt/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- server side: host the virtual testbed ---------------------
+	simRoom, err := sim.NewDefault(1)
+	if err != nil {
+		return err
+	}
+	handler, err := roomapi.NewServer(simRoom)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln) // returns on Close
+	}()
+	defer func() {
+		_ = srv.Close()
+		<-done
+	}()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("room served at %s\n", baseURL)
+
+	// --- controller side: everything over HTTP ---------------------
+	room, err := roomclient.Dial(baseURL, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dialed room: %d machines\n", room.Size())
+
+	fmt.Println("replaying the §IV-A profiling protocol over the network…")
+	res, err := profiling.Run(profiling.Config{Sim: room})
+	if err != nil {
+		return err
+	}
+	if err := room.Err(); err != nil {
+		return fmt.Errorf("transport errors during profiling: %w", err)
+	}
+	fmt.Printf("fitted remotely: P = %.1f·L + %.1f W (R² %.4f), cooling %.0f W/°C\n",
+		res.Profile.W1, res.Profile.W2, res.PowerFit.R2, res.Profile.CoolFactor)
+
+	opt, err := coolopt.NewOptimizer(res.Profile)
+	if err != nil {
+		return err
+	}
+	load := 0.6 * float64(room.Size())
+	plan, err := opt.Plan(load)
+	if err != nil {
+		return err
+	}
+
+	// Push the plan through the API with a 2.5 °C guard band.
+	for _, i := range plan.On {
+		if err := room.SetPower(i, true); err != nil {
+			return err
+		}
+		if err := room.SetLoad(i, min(plan.Loads[i], 1)); err != nil {
+			return err
+		}
+	}
+	onSet := make(map[int]bool, len(plan.On))
+	for _, i := range plan.On {
+		onSet[i] = true
+	}
+	for i := 0; i < room.Size(); i++ {
+		if !onSet[i] {
+			if err := room.SetPower(i, false); err != nil {
+				return err
+			}
+		}
+	}
+	var predictedW float64
+	for _, i := range plan.On {
+		predictedW += res.Profile.ServerPower(plan.Loads[i])
+	}
+	room.SetSetPoint(res.Calibration.SetPointFor(plan.TAcC-2.5, predictedW))
+	fmt.Printf("applied optimal plan for 60%% load: %d machines on; settling…\n", len(plan.On))
+	room.Run(1500)
+
+	var serverW float64
+	maxCPU := -1e9
+	for i := 0; i < room.Size(); i++ {
+		serverW += room.MeasuredServerPower(i)
+		if room.IsOn(i) && room.MeasuredCPUTemp(i) > maxCPU {
+			maxCPU = room.MeasuredCPUTemp(i)
+		}
+	}
+	fmt.Printf("steady state: %.0f W total (servers %.0f + cooling %.0f), hottest CPU %.1f °C (T_max %.0f)\n",
+		serverW+room.MeasuredCRACPower(), serverW, room.MeasuredCRACPower(), maxCPU, res.Profile.TMaxC)
+	return room.Err()
+}

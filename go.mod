@@ -1,0 +1,3 @@
+module coolopt
+
+go 1.22

@@ -1,0 +1,224 @@
+// Package ablation quantifies how the paper's headline result — the
+// saving of the holistic optimal solution (#8) over cool job allocation
+// with consolidation (#7) — depends on the design choices DESIGN.md calls
+// out: thermal heterogeneity of the rack, room scale, the cooling plant's
+// efficiency (cooling share of total power), and the execution-layer
+// safety margin. Each study returns a figures.Figure so cmd/paperbench
+// can print it alongside the paper's own figures.
+package ablation
+
+import (
+	"fmt"
+
+	"coolopt"
+	"coolopt/internal/figures"
+)
+
+// savingLoads is the load grid over which savings are averaged; the
+// extremes are excluded because every method converges there.
+var savingLoads = []float64{0.3, 0.5, 0.7, 0.9}
+
+// averageSaving measures the mean #8-vs-#7 saving on a system.
+func averageSaving(sys *coolopt.System) (float64, error) {
+	var sum float64
+	for _, lf := range savingLoads {
+		m7, err := sys.Evaluate(coolopt.BottomUpACCons, lf)
+		if err != nil {
+			return 0, err
+		}
+		m8, err := sys.Evaluate(coolopt.OptimalACCons, lf)
+		if err != nil {
+			return 0, err
+		}
+		sum += (m7.TotalW - m8.TotalW) / m7.TotalW * 100
+	}
+	return sum / float64(len(savingLoads)), nil
+}
+
+// Heterogeneity sweeps the rack's supply-air gradient from uniform to
+// steep. The measured saving decomposes into two parts: a
+// consolidation-policy component that survives even on a uniform rack
+// (the optimizer trades extra idle machines for warmer supply air, which
+// coolest-first filling cannot do), plus a spatial-diversity component
+// that grows with the gradient — the part that is specifically the
+// paper's thermal-aware contribution.
+func Heterogeneity(seed int64) (*figures.Figure, error) {
+	type level struct {
+		name        string
+		bottom, top float64
+		jitter      float64
+	}
+	levels := []level{
+		{name: "uniform", bottom: 0.85, top: 0.85, jitter: 0},
+		{name: "mild", bottom: 0.95, top: 0.75, jitter: 0.03},
+		{name: "default", bottom: 0.98, top: 0.60, jitter: 0.07},
+		{name: "steep", bottom: 0.99, top: 0.50, jitter: 0.10},
+	}
+	s := figures.Series{Name: "avg saving #8 vs #7 (%)"}
+	notes := []string{"x = heterogeneity level index; legend below"}
+	for i, lv := range levels {
+		sys, err := coolopt.NewSystem(
+			coolopt.WithSeed(seed),
+			coolopt.WithGradient(lv.bottom, lv.top),
+			coolopt.WithJitter(lv.jitter),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("ablation: heterogeneity %q: %w", lv.name, err)
+		}
+		saving, err := averageSaving(sys)
+		if err != nil {
+			return nil, fmt.Errorf("ablation: heterogeneity %q: %w", lv.name, err)
+		}
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, saving)
+		notes = append(notes, fmt.Sprintf("%d = %s (supply fraction %.2f→%.2f, jitter %.0f%%)",
+			i, lv.name, lv.bottom, lv.top, lv.jitter*100))
+	}
+	return &figures.Figure{
+		ID:     "Ablation A",
+		Title:  "Saving of #8 over #7 vs rack thermal heterogeneity",
+		XLabel: "Level",
+		YLabel: "Saving (%)",
+		Series: []figures.Series{s},
+		Notes:  notes,
+	}, nil
+}
+
+// Scale grows the room. The paper conjectures that "savings in larger
+// systems will be more pronounced, as larger spatial diversity gives rise
+// to more opportunities for optimization."
+func Scale(seed int64) (*figures.Figure, error) {
+	s := figures.Series{Name: "avg saving #8 vs #7 (%)"}
+	for _, n := range []int{10, 20, 40} {
+		sys, err := coolopt.NewSystem(coolopt.WithSeed(seed), coolopt.WithMachines(n))
+		if err != nil {
+			return nil, fmt.Errorf("ablation: scale %d: %w", n, err)
+		}
+		saving, err := averageSaving(sys)
+		if err != nil {
+			return nil, fmt.Errorf("ablation: scale %d: %w", n, err)
+		}
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, saving)
+	}
+	return &figures.Figure{
+		ID:     "Ablation B",
+		Title:  "Saving of #8 over #7 vs room size",
+		XLabel: "Machines",
+		YLabel: "Saving (%)",
+		Series: []figures.Series{s},
+		Notes:  []string{"tests the paper's conjecture that larger rooms save more"},
+	}, nil
+}
+
+// CoolingShare scales the CRAC's COP curve. With a very efficient plant
+// the cooling side of the bill shrinks and so does the room for joint
+// optimization.
+func CoolingShare(seed int64) (*figures.Figure, error) {
+	saving := figures.Series{Name: "avg saving #8 vs #7 (%)"}
+	share := figures.Series{Name: "cooling share of total (%)"}
+	for _, scale := range []float64{0.75, 1.0, 1.5, 2.0} {
+		sys, err := coolopt.NewSystem(coolopt.WithSeed(seed), coolopt.WithCOPScale(scale))
+		if err != nil {
+			return nil, fmt.Errorf("ablation: COP scale %v: %w", scale, err)
+		}
+		sv, err := averageSaving(sys)
+		if err != nil {
+			return nil, fmt.Errorf("ablation: COP scale %v: %w", scale, err)
+		}
+		m8, err := sys.Evaluate(coolopt.OptimalACCons, 0.6)
+		if err != nil {
+			return nil, err
+		}
+		saving.X = append(saving.X, scale)
+		saving.Y = append(saving.Y, sv)
+		share.X = append(share.X, scale)
+		share.Y = append(share.Y, m8.CoolW/m8.TotalW*100)
+	}
+	return &figures.Figure{
+		ID:     "Ablation C",
+		Title:  "Saving of #8 over #7 vs cooling-plant efficiency",
+		XLabel: "COP scale",
+		YLabel: "%",
+		Series: []figures.Series{saving, share},
+		Notes:  []string{"COP scale > 1 = more efficient plant; cooling share and savings fall together"},
+	}, nil
+}
+
+// SensorNoise scales the measurement chain and re-runs the whole
+// methodology — profiling included — to test its robustness: the paper's
+// approach only works if noisy meters and quantized temperature probes
+// still identify a usable model.
+func SensorNoise(seed int64) (*figures.Figure, error) {
+	saving := figures.Series{Name: "avg saving #8 vs #7 (%)"}
+	violations := figures.Series{Name: "violations (count)"}
+	for _, scale := range []float64{0.25, 1, 3, 6} {
+		sys, err := coolopt.NewSystem(
+			coolopt.WithSeed(seed),
+			coolopt.WithSensorNoise(0.4*scale, 0.8*scale),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("ablation: noise ×%v: %w", scale, err)
+		}
+		sv, err := averageSaving(sys)
+		if err != nil {
+			return nil, fmt.Errorf("ablation: noise ×%v: %w", scale, err)
+		}
+		var bad float64
+		for _, lf := range savingLoads {
+			m, err := sys.Evaluate(coolopt.OptimalACCons, lf)
+			if err != nil {
+				return nil, err
+			}
+			if m.Violated {
+				bad++
+			}
+		}
+		saving.X = append(saving.X, scale)
+		saving.Y = append(saving.Y, sv)
+		violations.X = append(violations.X, scale)
+		violations.Y = append(violations.Y, bad)
+	}
+	return &figures.Figure{
+		ID:     "Ablation F",
+		Title:  "Methodology robustness vs sensor noise",
+		XLabel: "Noise ×",
+		YLabel: "% / count",
+		Series: []figures.Series{saving, violations},
+		Notes:  []string{"the whole pipeline — profiling, calibration, planning — re-runs at each noise level"},
+	}, nil
+}
+
+// Margin sweeps the execution guard band. Larger margins burn cooling
+// power on every method but protect against model error; this study shows
+// the cost of the default 2.5 °C choice and where violations begin.
+func Margin(seed int64) (*figures.Figure, error) {
+	power := figures.Series{Name: "#8 power at 70% load (W)"}
+	violations := figures.Series{Name: "violations (0/1)"}
+	for _, margin := range []float64{0, 1, 2.5, 4} {
+		sys, err := coolopt.NewSystem(coolopt.WithSeed(seed), coolopt.WithSafetyMargin(margin))
+		if err != nil {
+			return nil, fmt.Errorf("ablation: margin %v: %w", margin, err)
+		}
+		m, err := sys.Evaluate(coolopt.OptimalACCons, 0.7)
+		if err != nil {
+			return nil, err
+		}
+		power.X = append(power.X, margin)
+		power.Y = append(power.Y, m.TotalW)
+		v := 0.0
+		if m.Violated {
+			v = 1
+		}
+		violations.X = append(violations.X, margin)
+		violations.Y = append(violations.Y, v)
+	}
+	return &figures.Figure{
+		ID:     "Ablation D",
+		Title:  "Guard-band cost: #8 power and T_max violations vs safety margin",
+		XLabel: "Margin (°C)",
+		YLabel: "W / flag",
+		Series: []figures.Series{power, violations},
+		Notes:  []string{"the default margin (2.5 °C) is the smallest on this grid with zero violations across the full sweep"},
+	}, nil
+}

@@ -1,0 +1,105 @@
+package ablation
+
+import (
+	"testing"
+)
+
+func TestHeterogeneitySavingGrowsWithGradient(t *testing.T) {
+	fig, err := Heterogeneity(1)
+	if err != nil {
+		t.Fatalf("Heterogeneity: %v", err)
+	}
+	ys := fig.Series[0].Y
+	if len(ys) != 4 {
+		t.Fatalf("levels = %d, want 4", len(ys))
+	}
+	// The saving decomposes into a consolidation-policy component
+	// (present even on a uniform rack, where #8 still trades extra idle
+	// machines for warmer supply air) plus a spatial-diversity
+	// component that grows with the gradient.
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]-0.5 {
+			t.Fatalf("saving not monotone in heterogeneity: %v", ys)
+		}
+	}
+	if ys[3] < ys[0]+2 {
+		t.Fatalf("steep gradient adds only %.1f pp over uniform (%v)", ys[3]-ys[0], ys)
+	}
+	if ys[0] <= 0 {
+		t.Fatalf("uniform-rack saving %.1f%% should stay positive (k/T_ac trade)", ys[0])
+	}
+}
+
+func TestScaleSavingDoesNotCollapse(t *testing.T) {
+	fig, err := Scale(1)
+	if err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+	ys := fig.Series[0].Y
+	if len(ys) != 3 {
+		t.Fatalf("sizes = %d, want 3", len(ys))
+	}
+	for i, y := range ys {
+		if y < 1 {
+			t.Fatalf("size index %d: saving %.1f%% below 1%%", i, y)
+		}
+	}
+	// Paper's conjecture: the larger rooms save at least as much as the
+	// smallest one (allow a small tolerance for seed noise).
+	if ys[2] < ys[0]-2 {
+		t.Fatalf("40-machine saving %.1f%% collapsed versus 10-machine %.1f%%", ys[2], ys[0])
+	}
+}
+
+func TestCoolingShareMonotonicity(t *testing.T) {
+	fig, err := CoolingShare(1)
+	if err != nil {
+		t.Fatalf("CoolingShare: %v", err)
+	}
+	share := fig.Series[1].Y
+	// A more efficient plant must shrink the cooling share.
+	if share[len(share)-1] >= share[0] {
+		t.Fatalf("cooling share did not fall with COP scale: %v", share)
+	}
+	saving := fig.Series[0].Y
+	// And the joint-optimization saving should shrink with it.
+	if saving[len(saving)-1] >= saving[0] {
+		t.Fatalf("saving did not fall with COP scale: %v", saving)
+	}
+}
+
+func TestMarginCostsPower(t *testing.T) {
+	fig, err := Margin(1)
+	if err != nil {
+		t.Fatalf("Margin: %v", err)
+	}
+	power := fig.Series[0].Y
+	// A 4 °C margin must cost more than no margin.
+	if power[len(power)-1] <= power[0] {
+		t.Fatalf("larger margin did not cost power: %v", power)
+	}
+	violations := fig.Series[1].Y
+	// The default margin's grid point (2.5 °C) must be violation-free.
+	if violations[2] != 0 {
+		t.Fatalf("default margin shows violations: %v", violations)
+	}
+}
+
+func TestSensorNoiseRobustness(t *testing.T) {
+	fig, err := SensorNoise(1)
+	if err != nil {
+		t.Fatalf("SensorNoise: %v", err)
+	}
+	saving := fig.Series[0].Y
+	violations := fig.Series[1].Y
+	// Even at 6× nominal noise the methodology must keep a positive
+	// saving and avoid temperature violations.
+	for i := range saving {
+		if saving[i] <= 0 {
+			t.Fatalf("noise level %d: saving %.1f%% not positive", i, saving[i])
+		}
+		if violations[i] > 0 {
+			t.Fatalf("noise level %d: %v T_max violations", i, violations[i])
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package baseline implements the load-allocation policies the paper
+// compares against and the eight-scenario evaluation matrix of Fig. 4:
+//
+//	#1 Even,      no AC control, no consolidation
+//	#2 Bottom-up, no AC control, no consolidation
+//	#3 Bottom-up, no AC control, consolidation
+//	#4 Even,      AC control,    no consolidation
+//	#5 Bottom-up, AC control,    no consolidation
+//	#6 Optimal,   AC control,    no consolidation
+//	#7 Bottom-up, AC control,    consolidation   (best prior art)
+//	#8 Optimal,   AC control,    consolidation   (the paper's solution)
+//
+// "Even" is standard load balancing. "Bottom-up" is the cool job
+// allocation of Bash & Forman (USENIX ATC'07): fill machines up, coolest
+// spot first. "Optimal" is the paper's closed form (internal/core).
+// Without AC control the supply temperature is pinned at the highest value
+// that is safe when every machine runs at full load (paper §IV-B); with AC
+// control each method raises the supply as far as its own allocation
+// allows.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"coolopt/internal/core"
+)
+
+// Method identifies one evaluation scenario; the constant values match the
+// paper's numbering in Fig. 4.
+type Method int
+
+// The eight scenarios of Fig. 4.
+const (
+	EvenNoACNoCons Method = iota + 1
+	BottomUpNoACNoCons
+	BottomUpNoACCons
+	EvenACNoCons
+	BottomUpACNoCons
+	OptimalACNoCons
+	BottomUpACCons
+	OptimalACCons
+)
+
+// AllMethods lists the scenarios in paper order.
+var AllMethods = []Method{
+	EvenNoACNoCons, BottomUpNoACNoCons, BottomUpNoACCons, EvenACNoCons,
+	BottomUpACNoCons, OptimalACNoCons, BottomUpACCons, OptimalACCons,
+}
+
+// String returns the paper-style label, e.g. "#7 Bottom-up (AC, consolidation)".
+func (m Method) String() string {
+	switch m {
+	case EvenNoACNoCons:
+		return "#1 Even (no AC control)"
+	case BottomUpNoACNoCons:
+		return "#2 Bottom-up (no AC control)"
+	case BottomUpNoACCons:
+		return "#3 Bottom-up (no AC control, consolidation)"
+	case EvenACNoCons:
+		return "#4 Even (AC control)"
+	case BottomUpACNoCons:
+		return "#5 Bottom-up (AC control)"
+	case OptimalACNoCons:
+		return "#6 Optimal (AC control)"
+	case BottomUpACCons:
+		return "#7 Bottom-up (AC control, consolidation)"
+	case OptimalACCons:
+		return "#8 Optimal (AC control, consolidation)"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ACControl reports whether the scenario tunes the supply temperature.
+func (m Method) ACControl() bool {
+	switch m {
+	case EvenNoACNoCons, BottomUpNoACNoCons, BottomUpNoACCons:
+		return false
+	default:
+		return true
+	}
+}
+
+// Consolidates reports whether the scenario powers machines off.
+func (m Method) Consolidates() bool {
+	switch m {
+	case BottomUpNoACCons, BottomUpACCons, OptimalACCons:
+		return true
+	default:
+		return false
+	}
+}
+
+// Planner produces executable plans for every scenario against one
+// profiled machine room.
+type Planner struct {
+	profile   *core.Profile
+	optimizer *core.Optimizer
+	coolOrder []int   // machine IDs coolest-spot first
+	fixedTAc  float64 // supply temperature for the no-AC-control scenarios
+}
+
+// NewPlanner builds a planner. The cool order ranks machines by their
+// modeled idle CPU temperature at a reference supply temperature — the
+// measurable proxy for "coolest spot" that the cool-job-allocation
+// operators would use. The fixed supply temperature is the highest value
+// safe with every machine at full load.
+func NewPlanner(p *core.Profile) (*Planner, error) {
+	opt, err := core.NewOptimizer(p)
+	if err != nil {
+		return nil, err
+	}
+
+	order := make([]int, p.Size())
+	for i := range order {
+		order[i] = i
+	}
+	ref := (p.TAcMinC + p.TAcMaxC) / 2
+	idleTemp := func(i int) float64 { return p.CPUTemp(i, 0, ref) }
+	sort.SliceStable(order, func(a, b int) bool {
+		return idleTemp(order[a]) < idleTemp(order[b])
+	})
+
+	all := make([]int, p.Size())
+	copy(all, order)
+	sort.Ints(all)
+	full := make([]float64, p.Size())
+	for i := range full {
+		full[i] = 1
+	}
+	fixed, err := p.MaxSafeTAc(all, full)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: no safe fixed supply temperature: %w", err)
+	}
+
+	return &Planner{profile: p, optimizer: opt, coolOrder: order, fixedTAc: fixed}, nil
+}
+
+// Profile returns the profile the planner plans against.
+func (pl *Planner) Profile() *core.Profile { return pl.profile }
+
+// FixedTAc returns the supply temperature used when AC control is off.
+func (pl *Planner) FixedTAc() float64 { return pl.fixedTAc }
+
+// CoolOrder returns machine IDs coolest-spot first.
+func (pl *Planner) CoolOrder() []int {
+	return append([]int(nil), pl.coolOrder...)
+}
+
+// Plan returns the plan for a scenario at the given total load (in
+// machine-utilization units).
+func (pl *Planner) Plan(m Method, load float64) (*core.Plan, error) {
+	p := pl.profile
+	n := p.Size()
+	if load < 0 || load > float64(n) {
+		return nil, fmt.Errorf("baseline: load %v outside [0, %d]", load, n)
+	}
+
+	// Zero demand with consolidation: power the whole room off (the
+	// CRAC idles at its warmest supply).
+	if load == 0 && m.Consolidates() {
+		return &core.Plan{Loads: make([]float64, n), TAcC: pl.tAcForOff(m)}, nil
+	}
+
+	var plan *core.Plan
+	switch m {
+	case EvenNoACNoCons, EvenACNoCons:
+		plan = pl.evenPlan(load)
+	case BottomUpNoACNoCons, BottomUpACNoCons:
+		plan = pl.bottomUpPlan(load, false)
+	case BottomUpNoACCons, BottomUpACCons:
+		plan = pl.bottomUpPlan(load, true)
+	case OptimalACNoCons:
+		return pl.optimizer.PlanNoConsolidation(load)
+	case OptimalACCons:
+		return pl.optimizer.Plan(load)
+	default:
+		return nil, fmt.Errorf("baseline: unknown method %d", int(m))
+	}
+
+	if m.ACControl() {
+		tAc, err := p.MaxSafeTAc(plan.On, plan.Loads)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %v infeasible at load %v: %w", m, load, err)
+		}
+		plan.TAcC = tAc
+	} else {
+		plan.TAcC = pl.fixedTAc
+	}
+	return plan, nil
+}
+
+// tAcForOff returns the supply command for an empty room: the fixed
+// setting for no-AC methods, the warmest allowed otherwise.
+func (pl *Planner) tAcForOff(m Method) float64 {
+	if !m.ACControl() {
+		return pl.fixedTAc
+	}
+	return pl.profile.TAcMaxC
+}
+
+// evenPlan spreads the load uniformly over all machines.
+func (pl *Planner) evenPlan(load float64) *core.Plan {
+	n := pl.profile.Size()
+	loads := make([]float64, n)
+	on := make([]int, n)
+	for i := range on {
+		on[i] = i
+		loads[i] = load / float64(n)
+	}
+	return &core.Plan{On: on, Loads: loads}
+}
+
+// bottomUpPlan is cool job allocation: fill machines to capacity coolest
+// spot first. With consolidation, unused machines are powered off.
+func (pl *Planner) bottomUpPlan(load float64, consolidate bool) *core.Plan {
+	n := pl.profile.Size()
+	loads := make([]float64, n)
+	used := make([]bool, n)
+	remaining := load
+	for _, i := range pl.coolOrder {
+		if remaining <= 0 {
+			break
+		}
+		l := remaining
+		if l > 1 {
+			l = 1
+		}
+		loads[i] = l
+		used[i] = true
+		remaining -= l
+	}
+
+	var on []int
+	for i := 0; i < n; i++ {
+		if !consolidate || used[i] {
+			on = append(on, i)
+		}
+	}
+	return &core.Plan{On: on, Loads: loads}
+}

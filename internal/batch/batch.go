@@ -1,0 +1,196 @@
+// Package batch provides the job-level front end the paper's workload
+// motivates: long-running batch jobs (click-stream processing and the
+// like) submitted to a central scheduler, which must pick the cluster's
+// offered load over time. Because energy falls when the room runs slower
+// (fewer machines on, warmer supply air), the scheduler computes the
+// *minimum* aggregate demand that still meets every job's deadline — the
+// classic max-density argument of minimum-speed deadline scheduling — and
+// hands that demand curve to the thermal-aware optimizer as a trace.
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"coolopt/internal/trace"
+)
+
+// Job is one batch job.
+type Job struct {
+	// ID identifies the job.
+	ID string
+	// Work is the job's total compute demand in unit-seconds (one unit
+	// = one machine fully busy for one second).
+	Work float64
+	// SubmitS and DeadlineS bound the job's execution window, in
+	// seconds of cluster time.
+	SubmitS   float64
+	DeadlineS float64
+}
+
+// Validate checks one job.
+func (j Job) Validate() error {
+	if j.Work <= 0 {
+		return fmt.Errorf("batch: job %q work %v must be positive", j.ID, j.Work)
+	}
+	if j.SubmitS < 0 {
+		return fmt.Errorf("batch: job %q submitted at negative time %v", j.ID, j.SubmitS)
+	}
+	if j.DeadlineS <= j.SubmitS {
+		return fmt.Errorf("batch: job %q deadline %v not after submit %v", j.ID, j.DeadlineS, j.SubmitS)
+	}
+	return nil
+}
+
+// ValidateJobs checks a job set.
+func ValidateJobs(jobs []Job) error {
+	if len(jobs) == 0 {
+		return errors.New("batch: no jobs")
+	}
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("batch: duplicate job id %q", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	return nil
+}
+
+// ErrInfeasible is returned when no demand profile within the cluster's
+// capacity can meet every deadline.
+var ErrInfeasible = errors.New("batch: deadlines infeasible")
+
+// MinDemand returns the minimum constant cluster demand (units of work
+// per second) over [from, to) that keeps every job with a deadline in
+// that horizon on schedule, assuming work before `from` has been served.
+// It is the max-density computation: for every deadline d, all work that
+// must finish by d divided by the time available.
+func MinDemand(jobs []Job, now float64, remaining map[string]float64) (float64, error) {
+	maxDensity := 0.0
+	for _, j := range jobs {
+		if j.DeadlineS <= now {
+			if remaining[j.ID] > 1e-9 {
+				return 0, fmt.Errorf("%w: job %q already past deadline with %v work left",
+					ErrInfeasible, j.ID, remaining[j.ID])
+			}
+			continue
+		}
+		// Work due by this job's deadline: every not-yet-finished job
+		// with an earlier-or-equal deadline whose window has opened.
+		var due float64
+		for _, k := range jobs {
+			if k.DeadlineS <= j.DeadlineS && k.SubmitS <= now {
+				due += remaining[k.ID]
+			}
+		}
+		if density := due / (j.DeadlineS - now); density > maxDensity {
+			maxDensity = density
+		}
+	}
+	return maxDensity, nil
+}
+
+// Plan computes a piecewise-constant minimum-demand profile for the job
+// set on a cluster of capacityUnits (machines), re-evaluating the density
+// every stepS seconds and serving jobs earliest-deadline-first. It
+// returns the demand trace (as a fraction of capacity, ready for the
+// room controller) and the per-job completion times.
+func Plan(jobs []Job, capacityUnits, horizonS, stepS float64) (*trace.Trace, map[string]float64, error) {
+	if err := ValidateJobs(jobs); err != nil {
+		return nil, nil, err
+	}
+	if capacityUnits <= 0 || horizonS <= 0 || stepS <= 0 || stepS > horizonS {
+		return nil, nil, fmt.Errorf("batch: bad plan parameters (capacity %v, horizon %v, step %v)",
+			capacityUnits, horizonS, stepS)
+	}
+
+	remaining := make(map[string]float64, len(jobs))
+	for _, j := range jobs {
+		remaining[j.ID] = j.Work
+	}
+	completion := make(map[string]float64, len(jobs))
+
+	// EDF service order.
+	order := append([]Job(nil), jobs...)
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].DeadlineS != order[b].DeadlineS {
+			return order[a].DeadlineS < order[b].DeadlineS
+		}
+		return order[a].ID < order[b].ID
+	})
+
+	var points []trace.Point
+	lastFrac := -1.0
+	for now := 0.0; now < horizonS; now += stepS {
+		demand, err := MinDemand(jobs, now, remaining)
+		if err != nil {
+			return nil, nil, err
+		}
+		if demand > capacityUnits*(1+1e-9) {
+			return nil, nil, fmt.Errorf("%w: density %v exceeds capacity %v at t=%v",
+				ErrInfeasible, demand, capacityUnits, now)
+		}
+		frac := math.Min(demand/capacityUnits, 1)
+		if frac != lastFrac {
+			points = append(points, trace.Point{TimeS: now, LoadFrac: frac})
+			lastFrac = frac
+		}
+
+		// Serve this step's work earliest-deadline-first.
+		served := frac * capacityUnits * stepS
+		for i := range order {
+			j := order[i]
+			if j.SubmitS > now || remaining[j.ID] <= 0 {
+				continue
+			}
+			take := math.Min(served, remaining[j.ID])
+			remaining[j.ID] -= take
+			served -= take
+			if remaining[j.ID] <= 1e-9 {
+				remaining[j.ID] = 0
+				if _, done := completion[j.ID]; !done {
+					completion[j.ID] = now + stepS
+				}
+			}
+			if served <= 0 {
+				break
+			}
+		}
+	}
+
+	for _, j := range jobs {
+		if remaining[j.ID] > 1e-6 {
+			return nil, nil, fmt.Errorf("%w: job %q unfinished at horizon (%v left)",
+				ErrInfeasible, j.ID, remaining[j.ID])
+		}
+	}
+	if len(points) == 0 || points[0].TimeS != 0 {
+		points = append([]trace.Point{{TimeS: 0, LoadFrac: 0}}, points...)
+	}
+	tr, err := trace.New(points)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, completion, nil
+}
+
+// DeadlinesMet reports whether every job completed by its deadline
+// (allowing one scheduling step of quantization slack).
+func DeadlinesMet(jobs []Job, completion map[string]float64, stepS float64) error {
+	for _, j := range jobs {
+		done, ok := completion[j.ID]
+		if !ok {
+			return fmt.Errorf("batch: job %q never completed", j.ID)
+		}
+		if done > j.DeadlineS+stepS {
+			return fmt.Errorf("batch: job %q finished at %v, deadline %v", j.ID, done, j.DeadlineS)
+		}
+	}
+	return nil
+}

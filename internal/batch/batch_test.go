@@ -1,0 +1,251 @@
+package batch
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coolopt/internal/mathx"
+)
+
+func TestJobValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		give Job
+	}{
+		{name: "zero work", give: Job{ID: "a", Work: 0, DeadlineS: 10}},
+		{name: "negative submit", give: Job{ID: "a", Work: 1, SubmitS: -1, DeadlineS: 10}},
+		{name: "deadline before submit", give: Job{ID: "a", Work: 1, SubmitS: 10, DeadlineS: 5}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); err == nil {
+				t.Fatal("invalid job accepted")
+			}
+		})
+	}
+	ok := Job{ID: "a", Work: 100, SubmitS: 0, DeadlineS: 50}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+}
+
+func TestValidateJobs(t *testing.T) {
+	if err := ValidateJobs(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	dup := []Job{
+		{ID: "a", Work: 1, DeadlineS: 10},
+		{ID: "a", Work: 1, DeadlineS: 20},
+	}
+	if err := ValidateJobs(dup); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+}
+
+func TestMinDemandSingleJob(t *testing.T) {
+	jobs := []Job{{ID: "a", Work: 100, SubmitS: 0, DeadlineS: 50}}
+	remaining := map[string]float64{"a": 100}
+	demand, err := MinDemand(jobs, 0, remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(demand, 2, 1e-12) { // 100 units over 50 s
+		t.Fatalf("demand = %v, want 2", demand)
+	}
+	// Halfway through, with half the work done, demand holds steady.
+	remaining["a"] = 50
+	demand, err = MinDemand(jobs, 25, remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(demand, 2, 1e-12) {
+		t.Fatalf("mid-flight demand = %v, want 2", demand)
+	}
+}
+
+func TestMinDemandTightestDeadlineDominates(t *testing.T) {
+	jobs := []Job{
+		{ID: "urgent", Work: 30, SubmitS: 0, DeadlineS: 10},
+		{ID: "lazy", Work: 10, SubmitS: 0, DeadlineS: 1000},
+	}
+	remaining := map[string]float64{"urgent": 30, "lazy": 10}
+	demand, err := MinDemand(jobs, 0, remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(demand, 3, 1e-12) { // urgent: 30/10
+		t.Fatalf("demand = %v, want 3 (urgent job dominates)", demand)
+	}
+}
+
+func TestMinDemandPastDeadline(t *testing.T) {
+	jobs := []Job{{ID: "a", Work: 10, SubmitS: 0, DeadlineS: 5}}
+	if _, err := MinDemand(jobs, 6, map[string]float64{"a": 1}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	// Finished job past deadline is fine.
+	if _, err := MinDemand(jobs, 6, map[string]float64{"a": 0}); err != nil {
+		t.Fatalf("finished job flagged: %v", err)
+	}
+}
+
+func TestPlanMeetsDeadlines(t *testing.T) {
+	jobs := []Job{
+		{ID: "overnight", Work: 2000, SubmitS: 0, DeadlineS: 3000},
+		{ID: "hourly", Work: 300, SubmitS: 500, DeadlineS: 1100},
+		{ID: "rush", Work: 120, SubmitS: 1500, DeadlineS: 1700},
+	}
+	const (
+		capacity = 10.0
+		horizon  = 3000.0
+		step     = 50.0
+	)
+	tr, completion, err := Plan(jobs, capacity, horizon, step)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if err := DeadlinesMet(jobs, completion, step); err != nil {
+		t.Fatal(err)
+	}
+	// The demand trace stays within [0, 1].
+	for _, p := range tr.Points() {
+		if p.LoadFrac < 0 || p.LoadFrac > 1 {
+			t.Fatalf("trace point %v out of range", p)
+		}
+	}
+}
+
+func TestPlanServedWorkMatchesDemand(t *testing.T) {
+	jobs := []Job{{ID: "a", Work: 600, SubmitS: 0, DeadlineS: 1000}}
+	const (
+		capacity = 5.0
+		horizon  = 1000.0
+		step     = 10.0
+	)
+	tr, completion, err := Plan(jobs, capacity, horizon, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integrate the trace: total served work must equal the job's work
+	// by its completion time.
+	var served float64
+	for now := 0.0; now < completion["a"]; now += step {
+		served += tr.At(now) * capacity * step
+	}
+	if !mathx.ApproxEqual(served, 600, 1e-6) {
+		t.Fatalf("served %v unit·s, want 600", served)
+	}
+	// Minimum-demand property: the job runs at 0.6 units/s (600/1000),
+	// i.e. 12 % of a 5-unit cluster — not in a full-speed burst.
+	if frac := tr.At(100); !mathx.ApproxEqual(frac, 0.12, 1e-9) {
+		t.Fatalf("demand fraction %v, want 0.12 (minimum-speed schedule)", frac)
+	}
+}
+
+func TestPlanInfeasible(t *testing.T) {
+	jobs := []Job{{ID: "a", Work: 1000, SubmitS: 0, DeadlineS: 10}}
+	if _, _, err := Plan(jobs, 5, 100, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanParameterValidation(t *testing.T) {
+	jobs := []Job{{ID: "a", Work: 10, SubmitS: 0, DeadlineS: 100}}
+	if _, _, err := Plan(jobs, 0, 100, 1); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, _, err := Plan(jobs, 5, 0, 1); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, _, err := Plan(jobs, 5, 100, 200); err == nil {
+		t.Fatal("step beyond horizon accepted")
+	}
+}
+
+// Property: for random feasible job sets, Plan meets every deadline and
+// never exceeds the capacity.
+func TestPlanFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRand(seed)
+		const (
+			capacity = 8.0
+			horizon  = 2000.0
+			step     = 20.0
+		)
+		n := 1 + rng.Intn(5)
+		jobs := make([]Job, n)
+		for i := range jobs {
+			submit := rng.Uniform(0, horizon/2)
+			window := rng.Uniform(200, horizon-submit)
+			// Keep each job individually well under capacity; the
+			// aggregate may still be infeasible, which Plan must
+			// detect rather than mis-schedule.
+			work := rng.Uniform(1, window*capacity/4)
+			jobs[i] = Job{
+				ID:        string(rune('a' + i)),
+				Work:      work,
+				SubmitS:   submit,
+				DeadlineS: submit + window,
+			}
+		}
+		tr, completion, err := Plan(jobs, capacity, horizon, step)
+		if errors.Is(err, ErrInfeasible) {
+			return true // correctly detected
+		}
+		if err != nil {
+			return false
+		}
+		if err := DeadlinesMet(jobs, completion, step); err != nil {
+			return false
+		}
+		for _, p := range tr.Points() {
+			if p.LoadFrac < 0 || p.LoadFrac > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobsFileRoundTrip(t *testing.T) {
+	jobs := []Job{
+		{ID: "a", Work: 100, SubmitS: 0, DeadlineS: 500},
+		{ID: "b", Work: 50, SubmitS: 100, DeadlineS: 900},
+	}
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, jobs); err != nil {
+		t.Fatalf("WriteJobs: %v", err)
+	}
+	got, err := ReadJobs(&buf)
+	if err != nil {
+		t.Fatalf("ReadJobs: %v", err)
+	}
+	if len(got) != 2 || got[0] != jobs[0] || got[1] != jobs[1] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadJobsRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"not json",
+		`{"jobs":[{"id":"a","work":-1,"deadlineS":10}]}`,
+		`{"jobs":[],"extra":1}`,
+		`{"jobs":[]}`,
+	} {
+		if _, err := ReadJobs(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestWriteJobsRejectsInvalid(t *testing.T) {
+	if err := WriteJobs(&bytes.Buffer{}, []Job{{ID: "a"}}); err == nil {
+		t.Fatal("invalid job written")
+	}
+}

@@ -1,0 +1,21 @@
+package batch
+
+import "testing"
+
+// BenchmarkPlan measures compiling a day of jobs into a minimum-demand
+// trace.
+func BenchmarkPlan(b *testing.B) {
+	jobs := []Job{
+		{ID: "nightly", Work: 24000, SubmitS: 0, DeadlineS: 5800},
+		{ID: "rebuild", Work: 9000, SubmitS: 400, DeadlineS: 3000},
+		{ID: "hourly1", Work: 1500, SubmitS: 800, DeadlineS: 1600},
+		{ID: "hourly2", Work: 1500, SubmitS: 2600, DeadlineS: 3400},
+		{ID: "retrain", Work: 6000, SubmitS: 1200, DeadlineS: 5600},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Plan(jobs, 20, 6000, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package batch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jobsDocument is the on-disk job set format:
+//
+//	{"jobs": [
+//	  {"id": "nightly", "work": 24000, "submitS": 0, "deadlineS": 5800},
+//	  …
+//	]}
+type jobsDocument struct {
+	Jobs []jobEntry `json:"jobs"`
+}
+
+type jobEntry struct {
+	ID        string  `json:"id"`
+	Work      float64 `json:"work"`
+	SubmitS   float64 `json:"submitS"`
+	DeadlineS float64 `json:"deadlineS"`
+}
+
+// ReadJobs parses and validates a JSON job set.
+func ReadJobs(r io.Reader) ([]Job, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc jobsDocument
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("batch: decode jobs: %w", err)
+	}
+	jobs := make([]Job, len(doc.Jobs))
+	for i, e := range doc.Jobs {
+		jobs[i] = Job{ID: e.ID, Work: e.Work, SubmitS: e.SubmitS, DeadlineS: e.DeadlineS}
+	}
+	if err := ValidateJobs(jobs); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// WriteJobs writes a job set in the ReadJobs format.
+func WriteJobs(w io.Writer, jobs []Job) error {
+	if err := ValidateJobs(jobs); err != nil {
+		return err
+	}
+	doc := jobsDocument{Jobs: make([]jobEntry, len(jobs))}
+	for i, j := range jobs {
+		doc.Jobs[i] = jobEntry{ID: j.ID, Work: j.Work, SubmitS: j.SubmitS, DeadlineS: j.DeadlineS}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

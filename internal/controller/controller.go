@@ -1,0 +1,194 @@
+// Package controller extends the paper's steady-state solution to slowly
+// varying demand — the gap §I explicitly leaves open ("servers are never
+// at steady state" under dynamic workloads, so the closed form alone does
+// not apply). The controller re-plans with the paper's optimizer whenever
+// demand moves materially or a re-plan interval elapses, applies plans
+// through the calibrated set-point path, and adds a reactive thermal
+// guard: if any measured CPU approaches T_max before the room has
+// settled, the supply temperature is stepped down until the hotspot
+// clears.
+//
+// This is an extension beyond the paper, evaluated in cmd/traceplay; the
+// steady-state claims in EXPERIMENTS.md do not depend on it.
+package controller
+
+import (
+	"errors"
+	"fmt"
+
+	"coolopt"
+	"coolopt/internal/trace"
+)
+
+// Config drives a controller run.
+type Config struct {
+	// Sys is the profiled room under control.
+	Sys *coolopt.System
+	// Method selects the planning policy (default #8, the paper's).
+	Method coolopt.Method
+	// ReplanIntervalS forces a re-plan at least this often (default 300).
+	ReplanIntervalS float64
+	// Hysteresis is the minimum demand change (fraction of capacity)
+	// that triggers an immediate re-plan (default 0.02).
+	Hysteresis float64
+	// GuardBandC triggers the thermal guard when a measured CPU comes
+	// within this many °C of T_max (default 1.0).
+	GuardBandC float64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Sys == nil {
+		return errors.New("controller: nil system")
+	}
+	if c.Method == 0 {
+		c.Method = coolopt.OptimalACCons
+	}
+	if c.ReplanIntervalS == 0 {
+		c.ReplanIntervalS = 300
+	}
+	if c.ReplanIntervalS < 1 {
+		return fmt.Errorf("controller: replan interval %v s too small", c.ReplanIntervalS)
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 0.02
+	}
+	if c.Hysteresis < 0 || c.Hysteresis > 1 {
+		return fmt.Errorf("controller: hysteresis %v outside [0, 1]", c.Hysteresis)
+	}
+	if c.GuardBandC == 0 {
+		c.GuardBandC = 1.0
+	}
+	if c.GuardBandC < 0 {
+		return fmt.Errorf("controller: guard band %v must be non-negative", c.GuardBandC)
+	}
+	return nil
+}
+
+// Result summarizes one trace replay.
+type Result struct {
+	// EnergyJ is the integrated ground-truth total power.
+	EnergyJ float64
+	// AvgPowerW is EnergyJ divided by the run duration.
+	AvgPowerW float64
+	// DurationS is the simulated time covered.
+	DurationS float64
+	// Replans counts optimizer invocations.
+	Replans int
+	// GuardActivations counts thermal-guard interventions.
+	GuardActivations int
+	// ViolationS is the number of simulated seconds any ground-truth
+	// CPU spent above T_max.
+	ViolationS float64
+	// MaxCPUC is the hottest ground-truth CPU temperature seen.
+	MaxCPUC float64
+	// CarriedLoadS integrates the planned load over time (unit·s); the
+	// demand integral is DemandLoadS. Equal values mean no shed load.
+	CarriedLoadS float64
+	DemandLoadS  float64
+	// ServedLoadS integrates the load the machines actually ran
+	// (unit·s). It trails CarriedLoadS by the boot transients: a
+	// machine powered on by a re-plan queues its share until it is up.
+	ServedLoadS float64
+}
+
+// Run replays a demand trace for durationS simulated seconds under the
+// configured policy.
+func Run(cfg Config, tr *trace.Trace, durationS float64) (*Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		return nil, errors.New("controller: nil trace")
+	}
+	if durationS <= 0 {
+		return nil, fmt.Errorf("controller: duration %v must be positive", durationS)
+	}
+
+	sys := cfg.Sys
+	s := sys.Sim()
+	profile := sys.Profile()
+	n := float64(sys.Size())
+
+	res := &Result{DurationS: durationS}
+	start := s.Time()
+	var (
+		currentDemand = -1.0 // force an initial plan
+		sinceReplanS  = 0.0
+		currentPlan   *coolopt.Plan
+		guardActive   = false
+	)
+
+	replan := func(demand float64) error {
+		plan, err := sys.Planner().Plan(cfg.Method, demand*n)
+		if err != nil {
+			return fmt.Errorf("controller: replan at demand %.2f: %w", demand, err)
+		}
+		if err := sys.Apply(plan); err != nil {
+			return err
+		}
+		currentPlan = plan
+		currentDemand = demand
+		sinceReplanS = 0
+		guardActive = false
+		res.Replans++
+		return nil
+	}
+
+	for s.Time()-start < durationS {
+		demand := tr.At(s.Time() - start)
+		moved := demand > currentDemand+cfg.Hysteresis || demand < currentDemand-cfg.Hysteresis
+		if currentPlan == nil || moved || sinceReplanS >= cfg.ReplanIntervalS {
+			if err := replan(demand); err != nil {
+				return nil, err
+			}
+		}
+
+		s.Step()
+		sinceReplanS++
+		res.EnergyJ += s.TrueTotalPower() // dt = 1 s
+		res.CarriedLoadS += currentPlan.TotalLoad()
+		res.DemandLoadS += demand * n
+		for i := 0; i < sys.Size(); i++ {
+			res.ServedLoadS += s.Load(i)
+		}
+
+		maxCPU := measuredHottest(sys)
+		if trueMax := s.MaxTrueCPUTemp(); trueMax > res.MaxCPUC {
+			res.MaxCPUC = trueMax
+		}
+		if s.MaxTrueCPUTemp() > profile.TMaxC {
+			res.ViolationS++
+		}
+
+		// Thermal guard: step the commanded supply down while a
+		// measured hotspot sits inside the guard band.
+		if maxCPU > profile.TMaxC-cfg.GuardBandC {
+			if !guardActive {
+				res.GuardActivations++
+				guardActive = true
+			}
+			s.SetSetPoint(s.SetPoint() - 0.5)
+		} else if guardActive && maxCPU < profile.TMaxC-2*cfg.GuardBandC {
+			guardActive = false
+		}
+	}
+
+	res.AvgPowerW = res.EnergyJ / durationS
+	return res, nil
+}
+
+// measuredHottest returns the hottest measured CPU temperature across
+// powered-on machines.
+func measuredHottest(sys *coolopt.System) float64 {
+	s := sys.Sim()
+	maxT := -1e9
+	for i := 0; i < sys.Size(); i++ {
+		if !s.IsOn(i) {
+			continue
+		}
+		if t := s.MeasuredCPUTemp(i); t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}

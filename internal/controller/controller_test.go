@@ -1,0 +1,196 @@
+package controller
+
+import (
+	"sync"
+	"testing"
+
+	"coolopt"
+	"coolopt/internal/mathx"
+	"coolopt/internal/trace"
+)
+
+var (
+	sysOnce sync.Once
+	sysInst *coolopt.System
+	sysErr  error
+)
+
+func sharedSystem(t *testing.T) *coolopt.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		sysInst, sysErr = coolopt.NewSystem()
+	})
+	if sysErr != nil {
+		t.Fatalf("NewSystem: %v", sysErr)
+	}
+	return sysInst
+}
+
+func steadyTrace(t *testing.T, load float64) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Steps(1e6, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunValidation(t *testing.T) {
+	sys := sharedSystem(t)
+	tr := steadyTrace(t, 0.5)
+	if _, err := Run(Config{}, tr, 100); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	if _, err := Run(Config{Sys: sys}, nil, 100); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := Run(Config{Sys: sys}, tr, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := Run(Config{Sys: sys, Hysteresis: 2}, tr, 100); err == nil {
+		t.Fatal("bad hysteresis accepted")
+	}
+	if _, err := Run(Config{Sys: sys, ReplanIntervalS: 0.5}, tr, 100); err == nil {
+		t.Fatal("sub-second replan interval accepted")
+	}
+	if _, err := Run(Config{Sys: sys, GuardBandC: -1}, tr, 100); err == nil {
+		t.Fatal("negative guard band accepted")
+	}
+}
+
+func TestSteadyDemandPlansOnceAndCarriesLoad(t *testing.T) {
+	sys := sharedSystem(t)
+	tr := steadyTrace(t, 0.5)
+	res, err := Run(Config{Sys: sys, ReplanIntervalS: 1e9}, tr, 600)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Replans != 1 {
+		t.Fatalf("replans = %d, want 1 for steady demand", res.Replans)
+	}
+	if !mathx.ApproxEqual(res.CarriedLoadS, res.DemandLoadS, 1e-6) {
+		t.Fatalf("carried %.6f ≠ demanded %.6f unit·s", res.CarriedLoadS, res.DemandLoadS)
+	}
+	if res.EnergyJ <= 0 || res.AvgPowerW <= 0 {
+		t.Fatalf("no energy recorded: %+v", res)
+	}
+}
+
+func TestStepDemandTriggersReplan(t *testing.T) {
+	sys := sharedSystem(t)
+	tr, err := trace.Steps(300, 0.3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Sys: sys, ReplanIntervalS: 1e9}, tr, 600)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Replans != 2 {
+		t.Fatalf("replans = %d, want 2 (initial + step)", res.Replans)
+	}
+}
+
+func TestHysteresisSuppressesSmallMoves(t *testing.T) {
+	sys := sharedSystem(t)
+	tr, err := trace.Steps(100, 0.50, 0.51, 0.50, 0.515, 0.505)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Sys: sys, ReplanIntervalS: 1e9, Hysteresis: 0.05}, tr, 500)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Replans != 1 {
+		t.Fatalf("replans = %d, want 1 with wide hysteresis", res.Replans)
+	}
+}
+
+func TestPeriodicReplanInterval(t *testing.T) {
+	sys := sharedSystem(t)
+	tr := steadyTrace(t, 0.4)
+	res, err := Run(Config{Sys: sys, ReplanIntervalS: 100}, tr, 450)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Initial plan + re-plans at ~100, 200, 300, 400 s.
+	if res.Replans < 4 || res.Replans > 6 {
+		t.Fatalf("replans = %d, want ≈5", res.Replans)
+	}
+}
+
+func TestDiurnalTraceStaysWithinConstraints(t *testing.T) {
+	sys := sharedSystem(t)
+	tr, err := trace.Diurnal(4000, 200, 0.55, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Sys: sys}, tr, 4000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The transient regime allows brief excursions (the paper's steady
+	// analysis does not cover them); the guard must keep them rare.
+	if res.ViolationS > 0.02*res.DurationS {
+		t.Fatalf("CPU above T_max for %.0f s of %.0f s", res.ViolationS, res.DurationS)
+	}
+	if !mathx.ApproxEqual(res.CarriedLoadS, res.DemandLoadS, 1e-6) {
+		t.Fatalf("carried %.6f ≠ demanded %.6f unit·s", res.CarriedLoadS, res.DemandLoadS)
+	}
+	if res.Replans < 10 {
+		t.Fatalf("replans = %d, expected the diurnal swing to force many", res.Replans)
+	}
+}
+
+func TestOptimalPolicyBeatsStaticPeakProvisioning(t *testing.T) {
+	// Compare the re-planning optimizer against the naive operator that
+	// provisions once for the peak (even allocation, fixed cold supply)
+	// and never touches anything.
+	sys := sharedSystem(t)
+	tr, err := trace.Diurnal(3000, 150, 0.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := Run(Config{Sys: sys}, tr, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Run(Config{
+		Sys:             sys,
+		Method:          coolopt.EvenNoACNoCons,
+		ReplanIntervalS: 1e9,
+		Hysteresis:      1, // never re-plan on demand moves
+	}, steadyTrace(t, 0.8 /* provisioned for peak */), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimal.AvgPowerW >= static.AvgPowerW {
+		t.Fatalf("re-planning optimal %.0f W not below static peak provisioning %.0f W",
+			optimal.AvgPowerW, static.AvgPowerW)
+	}
+}
+
+func TestServedLoadTrailsByBootTransients(t *testing.T) {
+	// A demand step that powers extra machines on must show a served
+	// deficit bounded by the boot time, never a surplus.
+	sys := sharedSystem(t)
+	tr, err := trace.Steps(400, 0.2, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Sys: sys, ReplanIntervalS: 1e9}, tr, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedLoadS > res.CarriedLoadS+1e-6 {
+		t.Fatalf("served %.1f exceeds planned %.1f", res.ServedLoadS, res.CarriedLoadS)
+	}
+	deficit := res.CarriedLoadS - res.ServedLoadS
+	// At most ~16 machines booting for 60 s each.
+	if deficit > 16*60 {
+		t.Fatalf("served deficit %.0f unit·s implausibly large", deficit)
+	}
+	if deficit <= 0 {
+		t.Fatal("expected a boot-transient deficit after the demand step")
+	}
+}

@@ -1,0 +1,143 @@
+// Package cooling models the machine room's computer-room air conditioner
+// (CRAC) — the paper's Liebert Challenger 3000.
+//
+// Per paper §II-B the unit runs a fixed air flow f_ac and an internal
+// control loop that modulates chilled water so the *exhaust* (return) air
+// temperature tracks a set point T_SP; the supply temperature T_ac is the
+// resulting actuated quantity. The paper models the unit's electrical power
+// as P_ac = c·f_ac·(T_SP − T_ac) with c = c_air/η (Eq. 10).
+//
+// The simulator's ground truth is slightly richer so that the paper's
+// linear model is an approximation rather than an identity: electrical
+// power is the removed heat divided by a coefficient of performance that
+// improves with warmer supply air (the standard quadratic CRAC COP curve),
+// plus a constant fan draw. Around an operating point this reduces to the
+// paper's affine-in-T_ac cost, which the profiling pipeline calibrates.
+package cooling
+
+import (
+	"fmt"
+
+	"coolopt/internal/mathx"
+)
+
+// COP is a quadratic coefficient-of-performance curve in the supply air
+// temperature: COP(t) = A·t² + B·t + C with t in °C.
+type COP struct {
+	A float64
+	B float64
+	C float64
+}
+
+// DefaultCOP is the widely used chilled-water CRAC curve
+// COP(t) = 0.0068·t² + 0.0008·t + 0.458 (HP Labs, Moore et al.).
+var DefaultCOP = COP{A: 0.0068, B: 0.0008, C: 0.458}
+
+// At evaluates the curve at supply temperature t in °C.
+func (c COP) At(t float64) float64 {
+	return c.A*t*t + c.B*t + c.C
+}
+
+// Params configures a CRAC unit.
+type Params struct {
+	// Flow is the fixed air flow f_ac in m³/s.
+	Flow float64
+	// CAir is the volumetric heat capacity of air in J/(K·m³).
+	CAir float64
+	// COP is the ground-truth coefficient-of-performance curve.
+	COP COP
+	// FanW is the constant fan/blower electrical draw in Watts.
+	FanW float64
+	// SupplyMin and SupplyMax bound the achievable supply temperature
+	// in °C.
+	SupplyMin float64
+	SupplyMax float64
+	// Gain is the integral gain of the exhaust-tracking loop in
+	// (°C of supply) per (°C·s of exhaust error).
+	Gain float64
+}
+
+// Validate checks the configuration.
+func (p Params) Validate() error {
+	switch {
+	case p.Flow <= 0:
+		return fmt.Errorf("cooling: Flow = %v, must be positive", p.Flow)
+	case p.CAir <= 0:
+		return fmt.Errorf("cooling: CAir = %v, must be positive", p.CAir)
+	case p.FanW < 0:
+		return fmt.Errorf("cooling: FanW = %v, must be non-negative", p.FanW)
+	case p.SupplyMin >= p.SupplyMax:
+		return fmt.Errorf("cooling: supply bounds [%v, %v] invalid", p.SupplyMin, p.SupplyMax)
+	case p.Gain <= 0:
+		return fmt.Errorf("cooling: Gain = %v, must be positive", p.Gain)
+	}
+	if p.COP.At(p.SupplyMin) <= 0 {
+		return fmt.Errorf("cooling: COP non-positive at SupplyMin %v °C", p.SupplyMin)
+	}
+	return nil
+}
+
+// CRAC is the stateful cooling unit. Build with New.
+type CRAC struct {
+	params   Params
+	setPoint float64 // exhaust set point T_SP, °C
+	supply   float64 // current supply temperature T_ac, °C
+}
+
+// New builds a CRAC with the given exhaust set point; the supply
+// temperature starts mid-range.
+func New(p Params, setPointC float64) (*CRAC, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &CRAC{
+		params:   p,
+		setPoint: setPointC,
+		supply:   (p.SupplyMin + p.SupplyMax) / 2,
+	}, nil
+}
+
+// Params returns the unit's configuration.
+func (c *CRAC) Params() Params { return c.params }
+
+// SetPoint returns the current exhaust set point T_SP in °C.
+func (c *CRAC) SetPoint() float64 { return c.setPoint }
+
+// SetSetPoint changes the exhaust set point T_SP; the internal loop will
+// converge the exhaust temperature to it over the following steps.
+func (c *CRAC) SetSetPoint(tSPC float64) { c.setPoint = tSPC }
+
+// Supply returns the current supply air temperature T_ac in °C.
+func (c *CRAC) Supply() float64 { return c.supply }
+
+// Step advances the internal control loop by dt seconds given the measured
+// exhaust (return) air temperature. If the exhaust runs above the set point
+// the loop lowers the supply temperature, and vice versa, within the
+// actuation bounds.
+func (c *CRAC) Step(tExhaustC, dt float64) {
+	err := tExhaustC - c.setPoint
+	c.supply = mathx.Clamp(c.supply-c.params.Gain*err*dt, c.params.SupplyMin, c.params.SupplyMax)
+}
+
+// HeatRemoved returns the thermal power in Watts currently being extracted
+// from the air stream: c_air·f_ac·(T_exhaust − T_ac), floored at zero.
+func (c *CRAC) HeatRemoved(tExhaustC float64) float64 {
+	q := c.params.CAir * c.params.Flow * (tExhaustC - c.supply)
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// ElectricalPower returns the unit's ground-truth electrical draw in Watts
+// for the given exhaust temperature: fan power plus removed heat divided by
+// the COP at the current supply temperature.
+func (c *CRAC) ElectricalPower(tExhaustC float64) float64 {
+	cop := c.params.COP.At(c.supply)
+	if cop <= 0 {
+		// Out of the physical regime; treat as worst case COP of the
+		// coldest allowed supply.
+		cop = c.params.COP.At(c.params.SupplyMin)
+	}
+	return c.params.FanW + c.HeatRemoved(tExhaustC)/cop
+}

@@ -1,0 +1,195 @@
+package cooling
+
+import (
+	"testing"
+
+	"coolopt/internal/mathx"
+)
+
+func testParams() Params {
+	return Params{
+		Flow:      1.2,
+		CAir:      1200,
+		COP:       DefaultCOP,
+		FanW:      250,
+		SupplyMin: 10,
+		SupplyMax: 25,
+		Gain:      0.02,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{name: "flow", mutate: func(p *Params) { p.Flow = 0 }},
+		{name: "cair", mutate: func(p *Params) { p.CAir = 0 }},
+		{name: "fan", mutate: func(p *Params) { p.FanW = -1 }},
+		{name: "bounds", mutate: func(p *Params) { p.SupplyMin, p.SupplyMax = 20, 10 }},
+		{name: "gain", mutate: func(p *Params) { p.Gain = 0 }},
+		{name: "cop", mutate: func(p *Params) { p.COP = COP{A: 0, B: 0, C: -1} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := testParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestCOPIncreasesWithSupplyTemperature(t *testing.T) {
+	prev := DefaultCOP.At(8)
+	for temp := 10.0; temp <= 26; temp += 2 {
+		cop := DefaultCOP.At(temp)
+		if cop <= prev {
+			t.Fatalf("COP not increasing at %v °C: %v ≤ %v", temp, cop, prev)
+		}
+		prev = cop
+	}
+}
+
+func TestNewRejectsInvalidParams(t *testing.T) {
+	p := testParams()
+	p.Flow = 0
+	if _, err := New(p, 30); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestStepDrivesSupplyDownWhenExhaustHot(t *testing.T) {
+	c, err := New(testParams(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Supply()
+	c.Step(35 /* exhaust above set point */, 1)
+	if c.Supply() >= before {
+		t.Fatalf("supply did not drop: %v → %v", before, c.Supply())
+	}
+}
+
+func TestStepDrivesSupplyUpWhenExhaustCold(t *testing.T) {
+	c, err := New(testParams(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Supply()
+	c.Step(25 /* exhaust below set point */, 1)
+	if c.Supply() <= before {
+		t.Fatalf("supply did not rise: %v → %v", before, c.Supply())
+	}
+}
+
+func TestStepRespectsActuationBounds(t *testing.T) {
+	c, err := New(testParams(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		c.Step(80, 1) // persistently hot exhaust
+	}
+	if got := c.Supply(); got != testParams().SupplyMin {
+		t.Fatalf("supply = %v, want clamp at %v", got, testParams().SupplyMin)
+	}
+	for i := 0; i < 10000; i++ {
+		c.Step(-20, 1) // persistently cold exhaust
+	}
+	if got := c.Supply(); got != testParams().SupplyMax {
+		t.Fatalf("supply = %v, want clamp at %v", got, testParams().SupplyMax)
+	}
+}
+
+func TestHeatRemoved(t *testing.T) {
+	c, err := New(testParams(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supply := c.Supply()
+	exhaust := supply + 2
+	want := testParams().CAir * testParams().Flow * 2
+	if got := c.HeatRemoved(exhaust); !mathx.ApproxEqual(got, want, 1e-9) {
+		t.Fatalf("HeatRemoved = %v, want %v", got, want)
+	}
+	if got := c.HeatRemoved(supply - 5); got != 0 {
+		t.Fatalf("HeatRemoved below supply temp = %v, want 0", got)
+	}
+}
+
+func TestElectricalPowerIncludesFanFloor(t *testing.T) {
+	c, err := New(testParams(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No heat to remove → only the fan draws power.
+	if got := c.ElectricalPower(c.Supply()); !mathx.ApproxEqual(got, testParams().FanW, 1e-9) {
+		t.Fatalf("idle electrical power = %v, want fan %v", got, testParams().FanW)
+	}
+}
+
+func TestElectricalPowerCheaperAtWarmerSupply(t *testing.T) {
+	// Removing the same heat with warmer supply air must cost less —
+	// this is the physical effect the paper's optimization exploits.
+	p := testParams()
+	cold, err := New(p, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := New(p, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the two units to different supply temperatures.
+	for i := 0; i < 5000; i++ {
+		cold.Step(80, 1)
+		warm.Step(-20, 1)
+	}
+	const q = 1500.0 // Watts of heat in the air stream
+	dT := func(c *CRAC) float64 { return q / (p.CAir * p.Flow) }
+	pCold := cold.ElectricalPower(cold.Supply() + dT(cold))
+	pWarm := warm.ElectricalPower(warm.Supply() + dT(warm))
+	if pWarm >= pCold {
+		t.Fatalf("warm supply power %v ≥ cold supply power %v", pWarm, pCold)
+	}
+}
+
+func TestSetSetPoint(t *testing.T) {
+	c, err := New(testParams(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSetPoint(28)
+	if c.SetPoint() != 28 {
+		t.Fatalf("SetPoint = %v, want 28", c.SetPoint())
+	}
+}
+
+func TestControlLoopConvergesOnLinearPlant(t *testing.T) {
+	// Close the loop against a toy plant where exhaust = supply + Q/(c·f).
+	p := testParams()
+	c, err := New(p, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Choose a heat load whose required supply temperature,
+	// T_SP − Q/(c·f) = 30 − 8.33 ≈ 21.7 °C, is inside the actuation range.
+	const q = 12000.0
+	rise := q / (p.CAir * p.Flow)
+	var exhaust float64
+	for i := 0; i < 20000; i++ {
+		exhaust = c.Supply() + rise
+		c.Step(exhaust, 1)
+	}
+	if !mathx.ApproxEqual(exhaust, 30, 1e-3) {
+		t.Fatalf("exhaust settled at %v, want set point 30", exhaust)
+	}
+	if !mathx.ApproxEqual(c.Supply(), 30-rise, 1e-3) {
+		t.Fatalf("supply settled at %v, want %v", c.Supply(), 30-rise)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"coolopt/internal/mathx"
+)
+
+// paperExample is the counterexample from §III-B footnote 1 that defeats
+// both simple heuristics: A = {(10,7), (2,3), (1,2), (0.2,1.34)}.
+func paperExample() Reduced {
+	return Reduced{
+		Pairs: []Pair{{A: 10, B: 7}, {A: 2, B: 3}, {A: 1, B: 2}, {A: 0.2, B: 1.34}},
+		W2:    0.5,
+		Rho:   1,
+	}
+}
+
+func TestReduceMatchesProfile(t *testing.T) {
+	p := testProfile()
+	red := p.Reduce()
+	if len(red.Pairs) != p.Size() {
+		t.Fatalf("Reduce produced %d pairs for %d machines", len(red.Pairs), p.Size())
+	}
+	for i, pair := range red.Pairs {
+		if !mathx.ApproxEqual(pair.A, p.K(i), 1e-12) {
+			t.Fatalf("pair %d A = %v, want K = %v", i, pair.A, p.K(i))
+		}
+		if !mathx.ApproxEqual(pair.B, p.RatioAB(i), 1e-12) {
+			t.Fatalf("pair %d B = %v, want α/β = %v", i, pair.B, p.RatioAB(i))
+		}
+	}
+	if !mathx.ApproxEqual(red.Rho, p.CoolFactor*p.W1, 1e-12) {
+		t.Fatalf("Rho = %v, want %v", red.Rho, p.CoolFactor*p.W1)
+	}
+}
+
+func TestTValue(t *testing.T) {
+	red := paperExample()
+	got, err := red.TValue([]int{0, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (10 + 1 − 1)/(7 + 2) = 10/9.
+	if !mathx.ApproxEqual(got, 10.0/9.0, 1e-12) {
+		t.Fatalf("TValue = %v, want 10/9", got)
+	}
+	if _, err := red.TValue(nil, 1); err == nil {
+		t.Fatal("empty subset accepted")
+	}
+	if _, err := red.TValue([]int{9}, 1); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestSubsetPowerFormula(t *testing.T) {
+	red := paperExample()
+	red.CoolFactor = 2
+	red.SetPointC = 3
+	red.W1 = 4
+	const load = 1.0
+	subset := []int{0, 1}
+	tVal, err := red.TValue(subset, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*red.W2 - red.Rho*tVal + red.Theta(load)
+	got, err := red.SubsetPower(subset, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(got, want, 1e-12) {
+		t.Fatalf("SubsetPower = %v, want %v", got, want)
+	}
+	if !mathx.ApproxEqual(red.Theta(load), 2*3+4*1, 1e-12) {
+		t.Fatalf("Theta = %v, want 10", red.Theta(load))
+	}
+}
+
+func TestBruteForceTwoMachinesByHand(t *testing.T) {
+	// Pairs (4,1) and (2,2); w2=1, rho=1, load=1.
+	// {0}: t=3, P=1−3=−2. {1}: t=0.5, P=0.5. {0,1}: t=5/3, P≈0.33.
+	red := Reduced{Pairs: []Pair{{A: 4, B: 1}, {A: 2, B: 2}}, W2: 1, Rho: 1}
+	sel, err := red.BruteForce(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Subset) != 1 || sel.Subset[0] != 0 {
+		t.Fatalf("subset = %v, want [0]", sel.Subset)
+	}
+	if !mathx.ApproxEqual(sel.Power, -2, 1e-12) {
+		t.Fatalf("power = %v, want -2", sel.Power)
+	}
+}
+
+func TestBruteForceRespectsMinK(t *testing.T) {
+	red := Reduced{Pairs: []Pair{{A: 4, B: 1}, {A: 2, B: 2}}, W2: 1, Rho: 1}
+	sel, err := red.BruteForce(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Subset) != 2 {
+		t.Fatalf("subset = %v, want both machines", sel.Subset)
+	}
+	if _, err := red.BruteForce(1, 3); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("minK beyond n: err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBruteForceLimits(t *testing.T) {
+	if _, err := (Reduced{}).BruteForce(1, 1); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	big := Reduced{Pairs: make([]Pair, 25), W2: 1, Rho: 1}
+	if _, err := big.BruteForce(1, 1); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestGreedyRatioFailsOnPaperCounterexample(t *testing.T) {
+	// With k forced to 2 and load 0.5, sorting by a/b picks {0, 1}
+	// (t = 1.15) while the optimum is {0, 2} (t = 10.5/9 ≈ 1.1667).
+	red := paperExample()
+	red.W2 = 100 // make larger k prohibitively expensive → k = 2 chosen
+	const load = 0.5
+	greedy, err := red.GreedyRatio(load, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := red.BruteForce(load, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(greedy.Subset) != 2 || len(opt.Subset) != 2 {
+		t.Fatalf("expected k=2 solutions, got greedy %v opt %v", greedy.Subset, opt.Subset)
+	}
+	if greedy.Power <= opt.Power+1e-9 {
+		t.Fatalf("GreedyRatio power %v did not lose to optimal %v — counterexample broken",
+			greedy.Power, opt.Power)
+	}
+	if opt.Subset[0] != 0 || opt.Subset[1] != 2 {
+		t.Fatalf("optimal subset = %v, want [0 2]", opt.Subset)
+	}
+}
+
+func TestHeuristicsNeverBeatBruteForce(t *testing.T) {
+	rng := mathx.NewRand(7)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(7)
+		pairs := make([]Pair, n)
+		for i := range pairs {
+			pairs[i] = Pair{A: rng.Uniform(0.1, 10), B: rng.Uniform(0.1, 5)}
+		}
+		red := Reduced{Pairs: pairs, W2: rng.Uniform(0, 3), Rho: rng.Uniform(0.1, 3)}
+		load := rng.Uniform(0, 5)
+		minK := 1 + rng.Intn(n)
+		opt, err := red.BruteForce(load, minK)
+		if err != nil {
+			t.Fatalf("trial %d: brute force: %v", trial, err)
+		}
+		for name, sel := range map[string]func(float64, int) (Selection, error){
+			"ratio":    red.GreedyRatio,
+			"adaptive": red.GreedyAdaptive,
+		} {
+			got, err := sel(load, minK)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if got.Power < opt.Power-1e-9 {
+				t.Fatalf("trial %d: %s power %v beats brute force %v",
+					trial, name, got.Power, opt.Power)
+			}
+		}
+	}
+}
+
+func TestGreedyAdaptiveIsSometimesSuboptimal(t *testing.T) {
+	// The footnote claims no guarantee of global optimality for the
+	// adaptive heuristic either; confirm it actually loses on some
+	// random instance (otherwise it would secretly be exact).
+	rng := mathx.NewRand(11)
+	failures := 0
+	for trial := 0; trial < 400; trial++ {
+		n := 4 + rng.Intn(4)
+		pairs := make([]Pair, n)
+		for i := range pairs {
+			pairs[i] = Pair{A: rng.Uniform(0.1, 10), B: rng.Uniform(0.1, 5)}
+		}
+		red := Reduced{Pairs: pairs, W2: rng.Uniform(0.5, 3), Rho: 1}
+		load := rng.Uniform(0, 4)
+		minK := 2 + rng.Intn(n-1)
+		opt, err := red.BruteForce(load, minK)
+		if err != nil {
+			continue
+		}
+		got, err := red.GreedyAdaptive(load, minK)
+		if err != nil {
+			continue
+		}
+		if got.Power > opt.Power+1e-9 {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("GreedyAdaptive matched brute force on every instance — expected documented failures")
+	}
+}
+
+func TestGreedyInputValidation(t *testing.T) {
+	var empty Reduced
+	if _, err := empty.GreedyRatio(1, 1); err == nil {
+		t.Fatal("empty instance accepted by GreedyRatio")
+	}
+	if _, err := empty.GreedyAdaptive(1, 1); err == nil {
+		t.Fatal("empty instance accepted by GreedyAdaptive")
+	}
+}
+
+func TestSubsetPowerMatchesBruteForceReport(t *testing.T) {
+	red := paperExample()
+	sel, err := red.BruteForce(1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := red.SubsetPower(sel.Subset, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sel.Power-want) > 1e-12 {
+		t.Fatalf("reported power %v, recomputed %v", sel.Power, want)
+	}
+}

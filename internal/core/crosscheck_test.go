@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"coolopt/internal/mathx"
+)
+
+// modelPower evaluates the paper's objective for an arbitrary allocation
+// over the on set, with the supply temperature set to the best value that
+// allocation allows (the highest safe one, clamped to the actuation
+// range). Because the safe supply is a min of affine functions of the
+// loads, this objective is convex in the loads — so a projected
+// subgradient method converges to the global optimum and provides an
+// independent check of the closed form.
+func modelPower(p *Profile, on []int, loads []float64) float64 {
+	tAc := p.TAcMaxC
+	for _, i := range on {
+		m := p.Machines[i]
+		limit := (p.TMaxC - m.Beta*p.ServerPower(loads[i]) - m.Gamma) / m.Alpha
+		if limit < tAc {
+			tAc = limit
+		}
+	}
+	total := p.CoolingPower(tAc)
+	for _, i := range on {
+		total += p.ServerPower(loads[i])
+	}
+	return total
+}
+
+// numericOptimum minimizes the (convex, piecewise-linear) objective with
+// a derivative-free pairwise-exchange pattern search: repeatedly move δ
+// load between machine pairs whenever it lowers the true objective,
+// halving δ when no exchange helps. Load moves preserve ΣL exactly, and
+// convexity guarantees convergence to the global optimum.
+func numericOptimum(p *Profile, on []int, load float64) []float64 {
+	loads := make([]float64, p.Size())
+	for _, i := range on {
+		loads[i] = load / float64(len(on))
+	}
+	best := modelPower(p, on, loads)
+	for delta := load / 4; delta > 1e-9; {
+		improved := false
+		for _, i := range on {
+			for _, j := range on {
+				if i == j {
+					continue
+				}
+				loads[i] += delta
+				loads[j] -= delta
+				if cand := modelPower(p, on, loads); cand < best-1e-12 {
+					best = cand
+					improved = true
+				} else {
+					loads[i] -= delta
+					loads[j] += delta
+				}
+			}
+		}
+		if !improved {
+			delta /= 2
+		}
+	}
+	return loads
+}
+
+// TestClosedFormMatchesNumericOptimum is the independent global check of
+// Eqs. 21–22: a convex solver run on the same objective must land on the
+// same power (and essentially the same allocation).
+func TestClosedFormMatchesNumericOptimum(t *testing.T) {
+	p := testProfile()
+	tests := []struct {
+		name string
+		on   []int
+		load float64
+	}{
+		{name: "full set mid load", on: []int{0, 1, 2, 3, 4, 5}, load: 5.0},
+		{name: "full set high load", on: []int{0, 1, 2, 3, 4, 5}, load: 5.6},
+		{name: "subset", on: []int{0, 2, 3, 5}, load: 3.2},
+		{name: "pair", on: []int{1, 4}, load: 1.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			plan, err := p.Solve(tt.on, tt.load)
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			closedPower := modelPower(p, tt.on, plan.Loads)
+			numLoads := numericOptimum(p, tt.on, tt.load)
+			numPower := modelPower(p, tt.on, numLoads)
+
+			if closedPower > numPower+1e-4 {
+				t.Fatalf("closed form %.6f W worse than numeric optimum %.6f W", closedPower, numPower)
+			}
+			if numPower > closedPower+0.01*closedPower {
+				t.Fatalf("numeric solver stuck: %.3f W vs closed form %.3f W", numPower, closedPower)
+			}
+			// Where the supply is unclamped, the allocations themselves
+			// should agree closely.
+			if !plan.Clamped {
+				for _, i := range tt.on {
+					if !mathx.ApproxEqual(plan.Loads[i], numLoads[i], 0.02) {
+						t.Fatalf("machine %d: closed %.4f vs numeric %.4f", i, plan.Loads[i], numLoads[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestModelPowerConsistentWithPlanPower ties the cross-check objective to
+// the library's own accounting at the plan point.
+func TestModelPowerConsistentWithPlanPower(t *testing.T) {
+	p := testProfile()
+	on := []int{0, 1, 2, 3, 4, 5}
+	plan, err := p.Solve(on, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := modelPower(p, on, plan.Loads), p.PlanPower(plan); !mathx.ApproxEqual(got, want, 1e-6) {
+		t.Fatalf("modelPower %.6f vs PlanPower %.6f", got, want)
+	}
+}

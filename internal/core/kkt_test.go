@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coolopt/internal/mathx"
+)
+
+func TestKKTMultipliersMatchEquations(t *testing.T) {
+	p := testProfile()
+	on := []int{0, 2, 4}
+	m, err := p.KKT(on)
+	if err != nil {
+		t.Fatalf("KKT: %v", err)
+	}
+	var sumAB float64
+	for _, i := range on {
+		sumAB += p.RatioAB(i)
+	}
+	wantLambda := p.CoolFactor * p.W1 / sumAB
+	if !mathx.ApproxEqual(m.Lambda, wantLambda, 1e-12) {
+		t.Fatalf("λ = %v, want %v", m.Lambda, wantLambda)
+	}
+	for _, i := range on {
+		want := wantLambda / (p.Machines[i].Beta * p.W1)
+		if !mathx.ApproxEqual(m.Mu[i], want, 1e-12) {
+			t.Fatalf("µ[%d] = %v, want %v", i, m.Mu[i], want)
+		}
+	}
+	// Machines outside the on set carry no multiplier.
+	if m.Mu[1] != 0 || m.Mu[3] != 0 || m.Mu[5] != 0 {
+		t.Fatalf("off machines have multipliers: %v", m.Mu)
+	}
+}
+
+func TestKKTMultipliersStrictlyPositive(t *testing.T) {
+	// The paper's §III-A argument: λ and every µ_i are strictly
+	// positive, which is what forces every constraint to be active.
+	p := testProfile()
+	on := []int{0, 1, 2, 3, 4, 5}
+	m, err := p.KKT(on)
+	if err != nil {
+		t.Fatalf("KKT: %v", err)
+	}
+	if m.Lambda <= 0 {
+		t.Fatalf("λ = %v", m.Lambda)
+	}
+	for _, i := range on {
+		if m.Mu[i] <= 0 {
+			t.Fatalf("µ[%d] = %v", i, m.Mu[i])
+		}
+	}
+}
+
+func TestStationarityResidualIsZero(t *testing.T) {
+	p := testProfile()
+	for _, on := range [][]int{{0, 1, 2, 3, 4, 5}, {1, 3, 5}, {0}} {
+		res, err := p.StationarityResidual(on)
+		if err != nil {
+			t.Fatalf("StationarityResidual(%v): %v", on, err)
+		}
+		if res > 1e-9 {
+			t.Fatalf("on set %v: residual %v — KKT conditions not satisfied", on, res)
+		}
+	}
+}
+
+func TestKKTInputValidation(t *testing.T) {
+	p := testProfile()
+	if _, err := p.KKT(nil); err == nil {
+		t.Fatal("empty on set accepted")
+	}
+	if _, err := p.KKT([]int{99}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+// Property: the stationarity residual vanishes for random on sets — the
+// closed form always satisfies the first-order optimality system.
+func TestStationarityResidualProperty(t *testing.T) {
+	p := testProfile()
+	f := func(seed int64) bool {
+		rng := mathx.NewRand(seed)
+		perm := rng.Perm(p.Size())
+		k := 1 + rng.Intn(p.Size())
+		res, err := p.StationarityResidual(perm[:k])
+		return err == nil && res < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLambdaIsMarginalCost verifies λ's economic meaning: the model-power
+// difference for one extra unit of load equals λ plus the direct server
+// cost w1 (total marginal cost of demand).
+func TestLambdaIsMarginalCost(t *testing.T) {
+	p := testProfile()
+	on := []int{0, 1, 2, 3, 4, 5}
+	m, err := p.KKT(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		load = 4.8
+		dL   = 1e-6
+	)
+	p1, err := p.Solve(on, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p.Solve(on, load+dL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Clamped || p2.Clamped {
+		t.Fatal("test loads must be unclamped")
+	}
+	marginal := (p.PlanPower(p2) - p.PlanPower(p1)) / dL
+	if !mathx.ApproxEqual(marginal, m.Lambda+p.W1, 1e-3) {
+		t.Fatalf("marginal cost %v, want λ + w1 = %v", marginal, m.Lambda+p.W1)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolopt/internal/mathx"
+)
+
+// bruteMaxLoadK enumerates every k-subset and returns the maximum load
+// serviceable within the budget (t ≥ 0 regime), the oracle for MaxLoadK.
+func bruteMaxLoadK(r Reduced, budgetW float64, k int) (float64, bool) {
+	n := len(r.Pairs)
+	best := math.Inf(-1)
+	found := false
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var sumA, sumB float64
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sumA += r.Pairs[i].A
+				sumB += r.Pairs[i].B
+				cnt++
+			}
+		}
+		if cnt != k {
+			continue
+		}
+		// Budget boundary: P(S, L) = P_b with t_S = (ΣA − L)/ΣB.
+		// L·(w1 + ρ/ΣB) = P_b − k·w2 − cf·T_SP + ρ·ΣA/ΣB.
+		load := (budgetW - float64(k)*r.W2 - r.CoolFactor*r.SetPointC + r.Rho*sumA/sumB) /
+			(r.W1 + r.Rho/sumB)
+		// The t ≥ 0 regime caps the load at the subset's coordinate
+		// sum at t = 0.
+		if t := (sumA - load) / sumB; t < 0 {
+			load = sumA
+			// Confirm the capped point stays within budget.
+			if float64(k)*r.W2-r.Rho*0+r.CoolFactor*r.SetPointC+r.W1*load > budgetW+1e-9 {
+				continue
+			}
+		}
+		if load > best {
+			best = load
+			found = true
+		}
+	}
+	return best, found
+}
+
+func maxLoadInstance(seed int64) (Reduced, float64) {
+	rng := mathx.NewRand(seed)
+	n := 2 + rng.Intn(6)
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{A: rng.Uniform(0.5, 3), B: rng.Uniform(1.2, 3)}
+	}
+	red := Reduced{
+		Pairs:      pairs,
+		W2:         rng.Uniform(20, 40),
+		W1:         rng.Uniform(40, 60),
+		CoolFactor: rng.Uniform(50, 150),
+		SetPointC:  rng.Uniform(28, 34),
+	}
+	red.Rho = red.CoolFactor * red.W1
+	return red, rng.Uniform(500, 6000)
+}
+
+func TestMaxLoadKMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		red, budget := maxLoadInstance(seed)
+		pp, err := Preprocess(red)
+		if err != nil {
+			return false
+		}
+		for k := 1; k <= len(red.Pairs); k++ {
+			want, feasible := bruteMaxLoadK(red, budget, k)
+			got, err := pp.MaxLoadK(budget, k)
+			if err != nil {
+				if feasible && want > 1e-6 {
+					return false // algorithm missed a feasible answer
+				}
+				continue
+			}
+			if !feasible {
+				continue
+			}
+			if !mathx.ApproxEqual(got.Load, want, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLoadMonotoneInBudget(t *testing.T) {
+	red, _ := maxLoadInstance(5)
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for budget := 800.0; budget <= 6000; budget += 400 {
+		res, err := pp.MaxLoad(budget)
+		if err != nil {
+			continue
+		}
+		if res.Load < prev-1e-9 {
+			t.Fatalf("max load fell from %v to %v as budget rose to %v", prev, res.Load, budget)
+		}
+		prev = res.Load
+	}
+	if prev < 0 {
+		t.Fatal("no budget was feasible")
+	}
+}
+
+func TestMaxLoadCapacityCap(t *testing.T) {
+	red, _ := maxLoadInstance(9)
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pp.MaxLoad(1e9) // unbounded budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Load > float64(len(red.Pairs))+1e-9 {
+		t.Fatalf("max load %v exceeds physical capacity %d", res.Load, len(red.Pairs))
+	}
+}
+
+func TestMaxLoadKValidation(t *testing.T) {
+	red, _ := maxLoadInstance(3)
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.MaxLoadK(1000, 0); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+	if _, err := pp.MaxLoadK(1000, 99); err == nil {
+		t.Fatal("k beyond n accepted")
+	}
+	bare := Reduced{Pairs: red.Pairs} // no W1/Rho
+	ppBare, err := Preprocess(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ppBare.MaxLoadK(1000, 1); err == nil {
+		t.Fatal("instance without W1/Rho accepted")
+	}
+}
+
+// TestMaxLoadRoundTripWithQueryExact ties the primal and dual together:
+// the load MaxLoad reports for a budget must cost (about) that budget
+// when planned with the primal query.
+func TestMaxLoadRoundTripWithQueryExact(t *testing.T) {
+	p := testProfile()
+	red := p.Reduce()
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 2500.0
+	res, err := pp.MaxLoad(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Load <= 0 {
+		t.Fatalf("max load = %v", res.Load)
+	}
+	sel, err := pp.QueryExact(res.Load, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Power > budget*1.001 {
+		t.Fatalf("optimal plan for the reported max load costs %v W, budget %v W", sel.Power, budget)
+	}
+}

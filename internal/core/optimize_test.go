@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"coolopt/internal/mathx"
+)
+
+func newTestOptimizer(t *testing.T) *Optimizer {
+	t.Helper()
+	o, err := NewOptimizer(testProfile())
+	if err != nil {
+		t.Fatalf("NewOptimizer: %v", err)
+	}
+	return o
+}
+
+func TestNewOptimizerRejectsBadProfile(t *testing.T) {
+	p := testProfile()
+	p.W1 = 0
+	if _, err := NewOptimizer(p); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestOptimizerPlanIsValid(t *testing.T) {
+	o := newTestOptimizer(t)
+	p := o.Profile()
+	for _, load := range []float64{0.5, 1.5, 3, 4.5, 5.5} {
+		plan, err := o.Plan(load)
+		if err != nil {
+			t.Fatalf("Plan(%v): %v", load, err)
+		}
+		if err := p.ValidatePlan(plan, load, 1e-6); err != nil {
+			t.Fatalf("Plan(%v) invalid: %v", load, err)
+		}
+		if plan.TAcC < p.TAcMinC-1e-9 || plan.TAcC > p.TAcMaxC+1e-9 {
+			t.Fatalf("Plan(%v) T_ac %v outside bounds", load, plan.TAcC)
+		}
+		if len(plan.On) < int(math.Ceil(load-1e-9)) {
+			t.Fatalf("Plan(%v) powers only %d machines", load, len(plan.On))
+		}
+	}
+}
+
+func TestOptimizerPlanBeatsNaiveSubsets(t *testing.T) {
+	// Exhaustively score every subset with the same clamped objective;
+	// the optimizer must match the exhaustive minimum.
+	o := newTestOptimizer(t)
+	p := o.Profile()
+	const load = 2.5
+	plan, err := o.Plan(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planPower := p.PlanPower(plan)
+
+	n := p.Size()
+	bestPower := math.Inf(1)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var subset []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				subset = append(subset, i)
+			}
+		}
+		if float64(len(subset)) < load {
+			continue
+		}
+		alt, err := p.SolveBounded(subset, load)
+		if err != nil {
+			continue
+		}
+		if err := p.ValidatePlan(alt, load, 1e-6); err != nil {
+			continue
+		}
+		if pw := p.PlanPower(alt); pw < bestPower {
+			bestPower = pw
+		}
+	}
+	if planPower > bestPower+1e-6 {
+		t.Fatalf("optimizer power %v, exhaustive best %v", planPower, bestPower)
+	}
+}
+
+func TestOptimizerConsolidatesAtLowLoad(t *testing.T) {
+	o := newTestOptimizer(t)
+	plan, err := o.Plan(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.On) == o.Profile().Size() {
+		t.Fatalf("low-load plan keeps all %d machines on", len(plan.On))
+	}
+}
+
+func TestOptimizerPlanErrors(t *testing.T) {
+	o := newTestOptimizer(t)
+	if _, err := o.Plan(0); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	if _, err := o.Plan(100); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanNoConsolidationKeepsAllOn(t *testing.T) {
+	o := newTestOptimizer(t)
+	plan, err := o.PlanNoConsolidation(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.On) != o.Profile().Size() {
+		t.Fatalf("on set %v, want all machines", plan.On)
+	}
+	if err := o.Profile().ValidatePlan(plan, 2, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanNoConsolidationUsesLessOrEqualPowerThanEven(t *testing.T) {
+	o := newTestOptimizer(t)
+	p := o.Profile()
+	for _, load := range []float64{1.2, 3, 5} {
+		plan, err := o.PlanNoConsolidation(load)
+		if err != nil {
+			t.Fatalf("PlanNoConsolidation(%v): %v", load, err)
+		}
+		even := make([]float64, p.Size())
+		on := make([]int, p.Size())
+		for i := range on {
+			on[i] = i
+			even[i] = load / float64(p.Size())
+		}
+		tAc, err := p.MaxSafeTAc(on, even)
+		if err != nil {
+			t.Fatalf("MaxSafeTAc: %v", err)
+		}
+		evenPlan := &Plan{On: on, Loads: even, TAcC: tAc}
+		if p.PlanPower(plan) > p.PlanPower(evenPlan)+1e-6 {
+			t.Fatalf("load %v: optimal %v W beats… loses to even %v W",
+				load, p.PlanPower(plan), p.PlanPower(evenPlan))
+		}
+	}
+}
+
+func TestOptimizerDeterministic(t *testing.T) {
+	a := newTestOptimizer(t)
+	b := newTestOptimizer(t)
+	pa, err := a.Plan(2.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Plan(2.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(pa.TAcC, pb.TAcC, 1e-12) || len(pa.On) != len(pb.On) {
+		t.Fatalf("non-deterministic plans: %+v vs %+v", pa, pb)
+	}
+	for i := range pa.Loads {
+		if !mathx.ApproxEqual(pa.Loads[i], pb.Loads[i], 1e-12) {
+			t.Fatalf("non-deterministic loads at %d", i)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the paper's particle-system consolidation machinery
+// (§III-B, Algorithms 1–2).
+//
+// Machine i is a particle on a line with initial coordinate a_i = K_i and
+// speed −b_i = −α_i/β_i, so x_i(t) = a_i − b_i·t. A subset S of size k can
+// serve load L within the power budget corresponding to time t iff
+// Σ_S x_i(t) ≥ L (Eq. 26), and the best such subset is always the k
+// front-most particles. The total order of particles changes only at the
+// O(n²) pairwise passing events, so pre-computing the order after each
+// event (Algorithm 1, O(n³ lg n)) lets a query retrieve the optimal on-set
+// in O(lg n) (Algorithm 2).
+//
+// Faithfulness note: Algorithm 1 in the paper maintains the order
+// incrementally with curOrder.swap(p, q) per event. We recompute the order
+// at each event time with a full sort instead — same O(n³ lg n) budget,
+// but robust to simultaneous crossings and exact ties, which the swap
+// formulation mishandles. Algorithm 2's global binary search over
+// allStatus sorted by Lmax is implemented verbatim in Query; see
+// QueryExact for the robust variant (DESIGN.md §5.1).
+
+// Status is one row of Algorithm 1's allStatus table: at event time T,
+// powering the K front-most particles supports at most LMax load.
+type Status struct {
+	T    float64
+	K    int
+	LMax float64
+}
+
+// Preprocessed is the output of Algorithm 1, ready to answer consolidation
+// queries.
+type Preprocessed struct {
+	reduced Reduced
+	// events holds the sorted distinct event times, starting with 0.
+	events []float64
+	// orders[e] lists machine IDs by decreasing coordinate immediately
+	// after events[e].
+	orders [][]int
+	// prefixA[e][k] and prefixB[e][k] are Σ a and Σ b over the k
+	// front-most machines of orders[e] (index 0 holds 0).
+	prefixA [][]float64
+	prefixB [][]float64
+	// statuses is allStatus sorted by increasing LMax (Algorithm 1,
+	// line 27).
+	statuses []Status
+}
+
+// Preprocess runs Algorithm 1 on the reduced instance. Memory is O(n³);
+// n is capped at 512 to keep that in check.
+func Preprocess(r Reduced) (*Preprocessed, error) {
+	n := len(r.Pairs)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no pairs")
+	}
+	if n > 512 {
+		return nil, fmt.Errorf("core: preprocess capped at 512 machines, got %d (O(n³) table)", n)
+	}
+	for i, p := range r.Pairs {
+		if p.B <= 0 {
+			return nil, fmt.Errorf("core: pair %d has non-positive speed b = %v", i, p.B)
+		}
+	}
+
+	// Algorithm 1, lines 1–9: collect all positive pairwise passing
+	// times t_pq = (a_q − a_p)/(b_q − b_p).
+	events := []float64{0}
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			db := r.Pairs[q].B - r.Pairs[p].B
+			if db == 0 {
+				continue // parallel particles never pass
+			}
+			t := (r.Pairs[q].A - r.Pairs[p].A) / db
+			if t > 0 {
+				events = append(events, t)
+			}
+		}
+	}
+	sort.Float64s(events)
+	events = dedupeSorted(events)
+
+	pp := &Preprocessed{
+		reduced: r,
+		events:  events,
+		orders:  make([][]int, len(events)),
+		prefixA: make([][]float64, len(events)),
+		prefixB: make([][]float64, len(events)),
+	}
+	pp.statuses = make([]Status, 0, len(events)*n)
+
+	// Algorithm 1, lines 10–26: order after each event and the k-prefix
+	// coordinate sums at the event time. The order is constant on the
+	// open interval between consecutive events, so it is sampled at the
+	// interval midpoint — numerically robust where sampling exactly at
+	// the event time would tie the crossing particles' coordinates.
+	for e, t := range events {
+		sampleT := t + 0.5
+		if e+1 < len(events) {
+			sampleT = (t + events[e+1]) / 2
+		}
+		order := orderAt(r.Pairs, sampleT)
+		prefA := make([]float64, n+1)
+		prefB := make([]float64, n+1)
+		for k := 1; k <= n; k++ {
+			i := order[k-1]
+			prefA[k] = prefA[k-1] + r.Pairs[i].A
+			prefB[k] = prefB[k-1] + r.Pairs[i].B
+			pp.statuses = append(pp.statuses, Status{
+				T:    t,
+				K:    k,
+				LMax: prefA[k] - t*prefB[k],
+			})
+		}
+		pp.orders[e] = order
+		pp.prefixA[e] = prefA
+		pp.prefixB[e] = prefB
+	}
+
+	// Algorithm 1, line 27: sort allStatus by increasing Lmax.
+	sort.Slice(pp.statuses, func(i, j int) bool {
+		return pp.statuses[i].LMax < pp.statuses[j].LMax
+	})
+	return pp, nil
+}
+
+// orderAt returns machine IDs sorted by decreasing coordinate x_i(t),
+// breaking coordinate ties by increasing speed b (the particle that will
+// lead immediately after t) and then by ID for determinism.
+func orderAt(pairs []Pair, t float64) []int {
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		xi := pairs[i].A - pairs[i].B*t
+		xj := pairs[j].A - pairs[j].B*t
+		if xi != xj {
+			return xi > xj
+		}
+		if pairs[i].B != pairs[j].B {
+			return pairs[i].B < pairs[j].B
+		}
+		return i < j
+	})
+	return order
+}
+
+func dedupeSorted(xs []float64) []float64 {
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Events returns the number of distinct event times (including t = 0).
+func (pp *Preprocessed) Events() int { return len(pp.events) }
+
+// StatusCount returns the size of the allStatus table.
+func (pp *Preprocessed) StatusCount() int { return len(pp.statuses) }
+
+// Query is Algorithm 2 verbatim: binary-search allStatus for the first
+// entry whose LMax exceeds the load, and return the corresponding k
+// front-most machines of the order at that entry's event time.
+//
+// The paper argues this O(lg n) lookup returns the power-optimal on-set.
+// The monotonicity it relies on holds within a fixed k but not always
+// across k; QueryExact is the robust variant. Tests quantify the gap.
+func (pp *Preprocessed) Query(load float64) (Selection, error) {
+	idx := sort.Search(len(pp.statuses), func(i int) bool {
+		return pp.statuses[i].LMax > load
+	})
+	if idx == len(pp.statuses) {
+		return Selection{}, fmt.Errorf("%w: load %v exceeds every status", ErrInfeasible, load)
+	}
+	st := pp.statuses[idx]
+	e := pp.eventIndex(st.T)
+	subset := append([]int(nil), pp.orders[e][:st.K]...)
+	sort.Ints(subset)
+	t, err := pp.reduced.TValue(subset, load)
+	if err != nil {
+		return Selection{}, err
+	}
+	power := float64(st.K)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
+	return Selection{Subset: subset, T: t, Power: power}, nil
+}
+
+// QueryExact returns the provably power-optimal on-set of size ≥ minK for
+// the given load, restricted (like the paper) to the t ≥ 0 regime.
+//
+// For each k, the maximum k-subset coordinate sum S_k(t) is continuous,
+// strictly decreasing and piecewise linear in t with breakpoints only at
+// event times, so the optimal t for that k — the largest t with
+// S_k(t) ≥ load — is found by binary-searching the event grid and solving
+// one linear equation inside the bracketing interval. The subset is the k
+// front-most particles there. Runtime O(n·lg n) per query after
+// preprocessing.
+func (pp *Preprocessed) QueryExact(load float64, minK int) (Selection, error) {
+	if minK < 1 {
+		minK = 1
+	}
+	n := len(pp.reduced.Pairs)
+	best := Selection{Power: math.Inf(1)}
+	for k := minK; k <= n; k++ {
+		t, e, ok := pp.bestTimeFor(k, load)
+		if !ok {
+			continue
+		}
+		power := float64(k)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
+		if power < best.Power-1e-12 || (math.Abs(power-best.Power) <= 1e-12 && k < len(best.Subset)) {
+			subset := append([]int(nil), pp.orders[e][:k]...)
+			sort.Ints(subset)
+			best = Selection{Subset: subset, T: t, Power: power}
+		}
+	}
+	if math.IsInf(best.Power, 1) {
+		return Selection{}, fmt.Errorf("%w: no feasible subset of size ≥ %d at t ≥ 0", ErrInfeasible, minK)
+	}
+	return best, nil
+}
+
+// QueryExactK returns the power-optimal subset of exactly k machines for
+// the given load (t ≥ 0 regime), or ErrInfeasible when no k-subset can
+// carry the load at a non-negative t. Callers that need to re-score
+// candidate sizes under additional constraints (for example the supply-
+// temperature clamp) iterate k themselves with this method.
+func (pp *Preprocessed) QueryExactK(load float64, k int) (Selection, error) {
+	n := len(pp.reduced.Pairs)
+	if k < 1 || k > n {
+		return Selection{}, fmt.Errorf("core: k = %d outside [1, %d]", k, n)
+	}
+	t, e, ok := pp.bestTimeFor(k, load)
+	if !ok {
+		return Selection{}, fmt.Errorf("%w: no %d-subset carries load %v at t ≥ 0", ErrInfeasible, k, load)
+	}
+	subset := append([]int(nil), pp.orders[e][:k]...)
+	sort.Ints(subset)
+	power := float64(k)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
+	return Selection{Subset: subset, T: t, Power: power}, nil
+}
+
+// bestTimeFor returns the largest t ≥ 0 at which the k front-most
+// particles still carry load, together with the index of the event
+// interval containing t. ok is false when even t = 0 is infeasible for
+// this k.
+func (pp *Preprocessed) bestTimeFor(k int, load float64) (t float64, event int, ok bool) {
+	sumAt := func(e int) float64 {
+		return pp.prefixA[e][k] - pp.events[e]*pp.prefixB[e][k]
+	}
+	if sumAt(0) < load {
+		return 0, 0, false
+	}
+	// Find the last event whose k-prefix sum still covers the load;
+	// sums at event times are non-increasing in the event index.
+	lo, hi := 0, len(pp.events)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if sumAt(mid) >= load {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	e := lo
+	// Within [events[e], events[e+1]) the order is orders[e]; solve
+	// prefA − t·prefB = load.
+	tStar := (pp.prefixA[e][k] - load) / pp.prefixB[e][k]
+	if tStar < pp.events[e] {
+		tStar = pp.events[e]
+	}
+	if e+1 < len(pp.events) && tStar > pp.events[e+1] {
+		tStar = pp.events[e+1]
+	}
+	return tStar, e, true
+}
+
+// eventIndex locates an event time recorded during preprocessing.
+func (pp *Preprocessed) eventIndex(t float64) int {
+	idx := sort.SearchFloat64s(pp.events, t)
+	if idx == len(pp.events) || pp.events[idx] != t {
+		// Status times always come from the event list; fall back to
+		// the interval containing t if floating-point drift crept in.
+		if idx > 0 {
+			idx--
+		}
+	}
+	return idx
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"coolopt/internal/mathx"
+)
+
+func TestPreprocessEventBound(t *testing.T) {
+	red := paperExample()
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(red.Pairs)
+	if maxEvents := n*(n-1)/2 + 1; pp.Events() > maxEvents {
+		t.Fatalf("events = %d, bound %d", pp.Events(), maxEvents)
+	}
+	if want := pp.Events() * n; pp.StatusCount() != want {
+		t.Fatalf("statuses = %d, want events×n = %d", pp.StatusCount(), want)
+	}
+}
+
+func TestPreprocessPaperFigureOne(t *testing.T) {
+	// The paper's Figure 1 (n = 4, k = 2): initial coordinate order
+	// (3, 1, 4, 2); exactly two events — particle 1 meets 3 at t₁₃ = 1
+	// and particle 4 meets 3 at t₃₄ = 3 — giving orders (1, 3, 4, 2)
+	// and (1, 4, 3, 2). The construction below realizes exactly that
+	// event structure (particle ids are 1-based in the figure, 0-based
+	// here): a = (5, 1, 7, 4), b = (1, 4, 3, 2).
+	red := Reduced{
+		Pairs: []Pair{{A: 5, B: 1}, {A: 1, B: 4}, {A: 7, B: 3}, {A: 4, B: 2}},
+		W2:    1, Rho: 1,
+	}
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Events() != 3 { // t = 0 plus the two passings
+		t.Fatalf("events = %d, want 3", pp.Events())
+	}
+	if pp.events[1] != 1 || pp.events[2] != 3 {
+		t.Fatalf("event times = %v, want [0 1 3]", pp.events)
+	}
+	wantOrders := [][]int{
+		{2, 0, 3, 1}, // figure: (3, 1, 4, 2)
+		{0, 2, 3, 1}, // figure: (1, 3, 4, 2)
+		{0, 3, 2, 1}, // figure: (1, 4, 3, 2)
+	}
+	for e, want := range wantOrders {
+		got := pp.orders[e]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order after event %d = %v, want %v", e, got, want)
+			}
+		}
+	}
+	// The figure's point: for k = 2 only two distinct front pairs exist
+	// across all orders ({3,1}/{1,3} are the same set, then {1,4}),
+	// rather than C(4,2) = 6 — so the query needs to consider far fewer
+	// combinations than brute force.
+	front := make(map[[2]int]bool)
+	for _, ord := range pp.orders {
+		pair := [2]int{ord[0], ord[1]}
+		if pair[0] > pair[1] {
+			pair[0], pair[1] = pair[1], pair[0]
+		}
+		front[pair] = true
+	}
+	if len(front) != 2 {
+		t.Fatalf("distinct front pairs = %d, want 2 (paper Fig. 1)", len(front))
+	}
+}
+
+func TestPreprocessValidation(t *testing.T) {
+	if _, err := Preprocess(Reduced{}); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	bad := Reduced{Pairs: []Pair{{A: 1, B: 0}}}
+	if _, err := Preprocess(bad); err == nil {
+		t.Fatal("zero-speed pair accepted")
+	}
+	big := Reduced{Pairs: make([]Pair, 513)}
+	for i := range big.Pairs {
+		big.Pairs[i] = Pair{A: 1, B: 1}
+	}
+	if _, err := Preprocess(big); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+func TestQueryExactMatchesBruteForce(t *testing.T) {
+	// The headline guarantee of §III-B: the particle algorithm returns
+	// the same optimum as exhaustive search (within the t ≥ 0 regime).
+	f := func(seed int64) bool {
+		rng := mathx.NewRand(seed)
+		n := 2 + rng.Intn(8)
+		pairs := make([]Pair, n)
+		for i := range pairs {
+			pairs[i] = Pair{A: rng.Uniform(0.2, 10), B: rng.Uniform(0.2, 5)}
+		}
+		red := Reduced{Pairs: pairs, W2: rng.Uniform(0, 3), Rho: rng.Uniform(0.2, 3)}
+		load := rng.Uniform(0, 4)
+		minK := 1 + rng.Intn(n)
+
+		opt, err := red.BruteForce(load, minK)
+		if err != nil {
+			return true
+		}
+		if opt.T < 0 {
+			// Outside the algorithm's t ≥ 0 domain (paper assumption).
+			return true
+		}
+		pp, err := Preprocess(red)
+		if err != nil {
+			return false
+		}
+		got, err := pp.QueryExact(load, minK)
+		if err != nil {
+			return false
+		}
+		return mathx.ApproxEqual(got.Power, opt.Power, 1e-6)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryExactSubsetIsConsistent(t *testing.T) {
+	red := paperExample()
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := pp.QueryExact(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Subset) < 2 {
+		t.Fatalf("subset %v smaller than minK", sel.Subset)
+	}
+	// Reported power must be reproducible from the subset itself.
+	want, err := red.SubsetPower(sel.Subset, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sel.Power, want, 1e-9) {
+		t.Fatalf("power %v, recomputed %v", sel.Power, want)
+	}
+}
+
+func TestQueryExactBeatsGreedyOnCounterexample(t *testing.T) {
+	red := paperExample()
+	red.W2 = 100
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := pp.QueryExact(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := red.GreedyRatio(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Power >= greedy.Power {
+		t.Fatalf("exact %v not better than greedy %v", exact.Power, greedy.Power)
+	}
+}
+
+func TestQueryExactInfeasible(t *testing.T) {
+	red := paperExample()
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σa = 13.2; anything above is unreachable even at t = 0.
+	if _, err := pp.QueryExact(20, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestQueryVerbatimNeverBeatsExact(t *testing.T) {
+	// Algorithm 2's global Lmax binary search can be suboptimal across
+	// k (DESIGN.md §5.1) but must never return something cheaper than
+	// the true optimum — that would mean a bug in one of the two.
+	rng := mathx.NewRand(23)
+	mismatches := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(7)
+		pairs := make([]Pair, n)
+		for i := range pairs {
+			pairs[i] = Pair{A: rng.Uniform(0.2, 10), B: rng.Uniform(0.2, 5)}
+		}
+		red := Reduced{Pairs: pairs, W2: rng.Uniform(0, 2), Rho: rng.Uniform(0.2, 3)}
+		load := rng.Uniform(0, 4)
+		pp, err := Preprocess(red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, errExact := pp.QueryExact(load, 1)
+		verbatim, errVerb := pp.Query(load)
+		if errExact != nil || errVerb != nil {
+			continue
+		}
+		if verbatim.Power < exact.Power-1e-6 {
+			t.Fatalf("trial %d: verbatim power %v beats exact %v", trial, verbatim.Power, exact.Power)
+		}
+		if verbatim.Power > exact.Power+1e-6 {
+			mismatches++
+		}
+	}
+	t.Logf("verbatim Algorithm 2 suboptimal on %d/%d random instances", mismatches, trials)
+}
+
+func TestQueryInfeasible(t *testing.T) {
+	red := paperExample()
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.Query(1e9); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestQueryReturnsFeasibleSelection(t *testing.T) {
+	red := paperExample()
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []float64{0.1, 0.5, 1, 2, 5, 9} {
+		sel, err := pp.Query(load)
+		if err != nil {
+			t.Fatalf("Query(%v): %v", load, err)
+		}
+		if len(sel.Subset) == 0 {
+			t.Fatalf("Query(%v) returned empty subset", load)
+		}
+		want, err := red.SubsetPower(sel.Subset, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mathx.ApproxEqual(sel.Power, want, 1e-9) {
+			t.Fatalf("Query(%v) power %v, recomputed %v", load, sel.Power, want)
+		}
+	}
+}
+
+func TestPreprocessDeterministic(t *testing.T) {
+	red := paperExample()
+	a, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []float64{0.3, 1.7, 4.4} {
+		sa, errA := a.QueryExact(load, 1)
+		sb, errB := b.QueryExact(load, 1)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("non-deterministic error behaviour at load %v", load)
+		}
+		if errA != nil {
+			continue
+		}
+		if len(sa.Subset) != len(sb.Subset) {
+			t.Fatalf("non-deterministic subsets at load %v: %v vs %v", load, sa.Subset, sb.Subset)
+		}
+		for i := range sa.Subset {
+			if sa.Subset[i] != sb.Subset[i] {
+				t.Fatalf("non-deterministic subsets at load %v: %v vs %v", load, sa.Subset, sb.Subset)
+			}
+		}
+	}
+}
+
+func TestQueryExactOnProfileReduction(t *testing.T) {
+	// End-to-end on a real profile: consolidation plus closed-form
+	// solve must produce a valid plan that matches the selection's
+	// predicted power (unclamped regime).
+	p := testProfile()
+	red := p.Reduce()
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const load = 3.0
+	minK := 3 // ⌈load⌉ — capacity floor
+	sel, err := pp.QueryExact(load, minK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := red.BruteForce(load, minK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(sel.Power, opt.Power, 1e-6) {
+		t.Fatalf("QueryExact power %v, brute force %v", sel.Power, opt.Power)
+	}
+	plan, err := p.Solve(sel.Subset, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Clamped {
+		if got := p.PlanPower(plan); !mathx.ApproxEqual(got, sel.Power, 1e-6) {
+			t.Fatalf("plan power %v, selection predicted %v", got, sel.Power)
+		}
+	}
+}

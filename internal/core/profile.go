@@ -1,0 +1,172 @@
+// Package core implements the paper's contribution: the closed-form
+// energy-optimal load distribution across a set of powered-on machines
+// (paper §III-A, Eqs. 19/21/22) and the guaranteed-optimal consolidation
+// algorithms that pick which machines to power on (paper §III-B,
+// Algorithms 1–2).
+//
+// The package operates purely on the paper's profiled model:
+//
+//	P_i      = W1·L_i + W2                    server power    (Eq. 9)
+//	T_i^cpu  = α_i·T_ac + β_i·P_i + γ_i       CPU temperature (Eq. 8)
+//	P_ac     = c·f_ac·(T_SP − T_ac)           cooling power   (Eq. 10)
+//
+// with load L_i expressed as a utilization fraction in [0, 1] and
+// temperatures in °C. Where the coefficients come from (profiling a real
+// or simulated rack) is the business of internal/profiling.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MachineProfile holds the per-machine thermal coefficients of paper Eq. 8.
+type MachineProfile struct {
+	// Alpha is the dimensionless coefficient coupling the CRAC supply
+	// temperature to this machine's CPU temperature.
+	Alpha float64 `json:"alpha"`
+	// Beta is the coefficient of machine power in K/W.
+	Beta float64 `json:"beta"`
+	// Gamma is the affine offset in °C.
+	Gamma float64 `json:"gamma"`
+}
+
+// Validate checks physical plausibility of the coefficients.
+func (m MachineProfile) Validate() error {
+	if m.Alpha <= 0 {
+		return fmt.Errorf("core: alpha = %v, must be positive", m.Alpha)
+	}
+	if m.Beta <= 0 {
+		return fmt.Errorf("core: beta = %v, must be positive", m.Beta)
+	}
+	return nil
+}
+
+// Profile is everything the optimizer needs to know about a machine room:
+// the shared power model, the cooling cost model, the constraint, and one
+// thermal profile per machine.
+type Profile struct {
+	// W1 is the load-dependent power coefficient in Watts per unit
+	// utilization; W2 is the idle power in Watts (Eq. 9). The paper's
+	// machines are identical hardware, so these are cluster-wide.
+	W1 float64 `json:"w1"`
+	W2 float64 `json:"w2"`
+
+	// CoolFactor is c·f_ac = c_air·f_ac/η in W/K: the Watts of cooling
+	// power saved per °C the supply temperature is raised (Eq. 10).
+	CoolFactor float64 `json:"coolFactor"`
+	// SetPointC is the CRAC exhaust set point T_SP in °C, a constant of
+	// the room in the paper's formulation.
+	SetPointC float64 `json:"setPointC"`
+
+	// TMaxC is the maximum allowed CPU temperature in °C.
+	TMaxC float64 `json:"tMaxC"`
+	// TAcMinC and TAcMaxC bound the achievable supply temperature in
+	// °C. The paper leaves these implicit; Solve clamps into them.
+	TAcMinC float64 `json:"tAcMinC"`
+	TAcMaxC float64 `json:"tAcMaxC"`
+
+	// Machines lists the per-machine thermal profiles; index is machine
+	// ID.
+	Machines []MachineProfile `json:"machines"`
+}
+
+// Validate checks the profile.
+func (p *Profile) Validate() error {
+	if p.W1 <= 0 {
+		return fmt.Errorf("core: W1 = %v, must be positive", p.W1)
+	}
+	if p.W2 < 0 {
+		return fmt.Errorf("core: W2 = %v, must be non-negative", p.W2)
+	}
+	if p.CoolFactor <= 0 {
+		return fmt.Errorf("core: cool factor = %v, must be positive", p.CoolFactor)
+	}
+	if p.TAcMinC >= p.TAcMaxC {
+		return fmt.Errorf("core: supply bounds [%v, %v] invalid", p.TAcMinC, p.TAcMaxC)
+	}
+	if len(p.Machines) == 0 {
+		return errors.New("core: no machines in profile")
+	}
+	for i, m := range p.Machines {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("core: machine %d: %w", i, err)
+		}
+		if k := p.K(i); k <= 0 {
+			return fmt.Errorf("core: machine %d infeasible: K = %v ≤ 0 (cannot stay under T_max even idle)", i, k)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of machines.
+func (p *Profile) Size() int { return len(p.Machines) }
+
+// K returns K_i = (T_max − β_i·W2 − γ_i)/(β_i·W1) from paper Eq. 19: the
+// utilization machine i could sustain at T_ac = 0 °C while sitting exactly
+// at T_max.
+func (p *Profile) K(i int) float64 {
+	m := p.Machines[i]
+	return (p.TMaxC - m.Beta*p.W2 - m.Gamma) / (m.Beta * p.W1)
+}
+
+// RatioAB returns b_i = α_i/β_i in W/K, the per-machine cooling
+// sensitivity used throughout §III.
+func (p *Profile) RatioAB(i int) float64 {
+	m := p.Machines[i]
+	return m.Alpha / m.Beta
+}
+
+// ServerPower returns the modeled power of one machine at the given
+// utilization (Eq. 9).
+func (p *Profile) ServerPower(load float64) float64 {
+	return p.W1*load + p.W2
+}
+
+// CoolingPower returns the modeled CRAC power for a supply temperature
+// (Eq. 10); it is floored at zero for supply temperatures above the set
+// point.
+func (p *Profile) CoolingPower(tAcC float64) float64 {
+	pw := p.CoolFactor * (p.SetPointC - tAcC)
+	if pw < 0 {
+		return 0
+	}
+	return pw
+}
+
+// CPUTemp returns the modeled steady CPU temperature of machine i at the
+// given utilization and supply temperature (Eq. 8).
+func (p *Profile) CPUTemp(i int, load, tAcC float64) float64 {
+	m := p.Machines[i]
+	return m.Alpha*tAcC + m.Beta*p.ServerPower(load) + m.Gamma
+}
+
+// MaxSafeTAc returns the highest supply temperature (within the actuation
+// bounds) at which every listed machine stays at or below T_max when
+// running the given per-machine utilizations. This is how the baseline
+// scenarios without our optimizer choose T_ac (paper §IV-B). The indices
+// in on select machines; loads is indexed by machine ID.
+func (p *Profile) MaxSafeTAc(on []int, loads []float64) (float64, error) {
+	if len(loads) != p.Size() {
+		return 0, fmt.Errorf("core: %d loads for %d machines", len(loads), p.Size())
+	}
+	if len(on) == 0 {
+		return p.TAcMaxC, nil
+	}
+	best := p.TAcMaxC
+	for _, i := range on {
+		if i < 0 || i >= p.Size() {
+			return 0, fmt.Errorf("core: machine index %d out of range", i)
+		}
+		m := p.Machines[i]
+		// α_i·T_ac + β_i·P_i + γ_i ≤ T_max  ⇒  T_ac ≤ (T_max − β_i·P_i − γ_i)/α_i.
+		limit := (p.TMaxC - m.Beta*p.ServerPower(loads[i]) - m.Gamma) / m.Alpha
+		if limit < best {
+			best = limit
+		}
+	}
+	if best < p.TAcMinC {
+		return p.TAcMinC, fmt.Errorf("core: no safe supply temperature within bounds (needs %v °C)", best)
+	}
+	return best, nil
+}

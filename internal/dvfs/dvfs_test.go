@@ -1,0 +1,161 @@
+package dvfs
+
+import (
+	"testing"
+
+	"coolopt"
+	"coolopt/internal/mathx"
+)
+
+func testProfile() *coolopt.Profile {
+	machines := make([]coolopt.MachineProfile, 12)
+	for i := range machines {
+		h := float64(i) / 11
+		machines[i] = coolopt.MachineProfile{
+			Alpha: 1.0,
+			Beta:  0.46 + 0.03*h,
+			Gamma: 0.7 + 1.3*h,
+		}
+	}
+	return &coolopt.Profile{
+		W1: 52, W2: 34, CoolFactor: 150, SetPointC: 31,
+		TMaxC: 65, TAcMinC: 10, TAcMaxC: 25,
+		Machines: machines,
+	}
+}
+
+func TestSplitValidate(t *testing.T) {
+	if err := DefaultSplit().Validate(); err != nil {
+		t.Fatalf("default split invalid: %v", err)
+	}
+	if err := (Split{CPUDynamicShare: -0.1}).Validate(); err == nil {
+		t.Fatal("negative share accepted")
+	}
+	if err := (Split{ClockedIdleShare: 1.5}).Validate(); err == nil {
+		t.Fatal("share above 1 accepted")
+	}
+}
+
+func TestServerPowerCalibratedAtFullFrequency(t *testing.T) {
+	p := testProfile()
+	s := DefaultSplit()
+	for _, u := range []float64{0, 0.4, 1} {
+		want := p.ServerPower(u)
+		if got := ServerPower(p, s, 1, u); !mathx.ApproxEqual(got, want, 1e-9) {
+			t.Fatalf("f=1 u=%v: %v, want profiled %v", u, got, want)
+		}
+	}
+}
+
+func TestServerPowerFallsWithFrequency(t *testing.T) {
+	p := testProfile()
+	s := DefaultSplit()
+	full := ServerPower(p, s, 1.0, 0.8)
+	half := ServerPower(p, s, 0.5, 0.8)
+	if half >= full {
+		t.Fatalf("half frequency %v not below full %v", half, full)
+	}
+	// But the static floor means it cannot fall to zero at idle.
+	if idle := ServerPower(p, s, 0.5, 0); idle < p.W2*(1-s.ClockedIdleShare) {
+		t.Fatalf("idle at half frequency %v below the static floor", idle)
+	}
+}
+
+func TestEvalDVFSPicksLowestFeasibleLevel(t *testing.T) {
+	p := testProfile()
+	s := DefaultSplit()
+	// Work 6 on 12 machines: level 0.5 is exactly feasible.
+	_, level, err := EvalDVFS(p, s, DefaultLevels, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != 0.5 {
+		t.Fatalf("level = %v, want 0.5", level)
+	}
+	// Work 9: needs f ≥ 0.75 → level 0.8.
+	_, level, err = EvalDVFS(p, s, DefaultLevels, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != 0.8 {
+		t.Fatalf("level = %v, want 0.8", level)
+	}
+}
+
+func TestEvalDVFSErrors(t *testing.T) {
+	p := testProfile()
+	s := DefaultSplit()
+	if _, _, err := EvalDVFS(p, s, nil, 5); err == nil {
+		t.Fatal("no levels accepted")
+	}
+	if _, _, err := EvalDVFS(p, s, DefaultLevels, -1); err == nil {
+		t.Fatal("negative work accepted")
+	}
+	if _, _, err := EvalDVFS(p, s, DefaultLevels, 100); err == nil {
+		t.Fatal("impossible work accepted")
+	}
+	if _, _, err := EvalDVFS(p, Split{CPUDynamicShare: 2}, DefaultLevels, 5); err == nil {
+		t.Fatal("bad split accepted")
+	}
+	if _, _, err := EvalDVFS(p, s, []float64{0.3}, 6); err == nil {
+		t.Fatal("infeasible ladder accepted")
+	}
+}
+
+func TestConsolidationBeatsDVFSOnly(t *testing.T) {
+	// The paper's §V claim, quantified: at low and mid loads the
+	// consolidation optimum undercuts DVFS-only energy proportionality
+	// because the static power floor of 12 powered-on machines never
+	// goes away.
+	fig, err := Compare(testProfile(), DefaultSplit(), []float64{0.2, 0.4, 0.6, 0.8})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	dvfsY, consY := fig.Series[0].Y, fig.Series[1].Y
+	for i := range dvfsY {
+		if consY[i] > dvfsY[i]+1e-9 {
+			t.Fatalf("load point %d: consolidation %v W above DVFS-only %v W",
+				i, consY[i], dvfsY[i])
+		}
+	}
+	// And the gap must be material at low load.
+	if gap := (dvfsY[0] - consY[0]) / dvfsY[0]; gap < 0.10 {
+		t.Fatalf("low-load gap only %.1f%%, expected the static floor to dominate", gap*100)
+	}
+}
+
+func TestDVFSRaceToIdleEffect(t *testing.T) {
+	// With the realistic split, lowering the frequency barely helps:
+	// the machine stays active longer per unit of work, so the
+	// frequency-insensitive active power cancels the voltage-scaling
+	// gain (the race-to-idle effect — one reason the paper skips DVFS).
+	p := testProfile()
+	const work = 3.0
+	dvfsPower, _, err := EvalDVFS(p, DefaultSplit(), DefaultLevels, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullPower, _, err := EvalDVFS(p, DefaultSplit(), []float64{1.0}, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := (dvfsPower - fullPower) / fullPower; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("DVFS %v W vs full-frequency %v W: expected a near-wash (%.1f%%)",
+			dvfsPower, fullPower, diff*100)
+	}
+
+	// Only for a hypothetical workload whose active power is almost all
+	// CPU-dynamic does frequency scaling pay.
+	cpuBound := Split{CPUDynamicShare: 0.95, ClockedIdleShare: 0.3}
+	dvfsCPU, _, err := EvalDVFS(p, cpuBound, DefaultLevels, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCPU, _, err := EvalDVFS(p, cpuBound, []float64{1.0}, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dvfsCPU >= fullCPU {
+		t.Fatalf("CPU-bound split: DVFS %v W not below full frequency %v W", dvfsCPU, fullCPU)
+	}
+}

@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the figure as a CSV table: one x column followed by one
+// column per series, ready for any plotting tool.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].X {
+			row := []string{formatFloat(f.Series[0].X[i])}
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					row = append(row, formatFloat(s.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the figure under dir using a filename derived from its
+// ID ("Fig. 9" → fig_9.csv) and returns the path.
+func (f *Figure) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := strings.ToLower(f.ID)
+	name = strings.NewReplacer(". ", "_", " ", "_", ".", "_").Replace(name)
+	path := filepath.Join(dir, name+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer file.Close()
+	if err := f.WriteCSV(file); err != nil {
+		return "", fmt.Errorf("figures: write %s: %w", path, err)
+	}
+	return path, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -1,0 +1,61 @@
+package figures
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	fig := &Figure{
+		ID:     "Fig. X",
+		XLabel: "Load (%)",
+		Series: []Series{
+			{Name: "#7", X: []float64{10, 20}, Y: []float64{100.5, 200}},
+			{Name: "#8", X: []float64{10, 20}, Y: []float64{90}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "Load (%),#7,#8" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "10,100.5,90" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// Short series pad with empty cells.
+	if lines[2] != "20,200," {
+		t.Fatalf("padded row = %q", lines[2])
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	fig := &Figure{
+		ID:     "Fig. 9",
+		XLabel: "x",
+		Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}},
+	}
+	path, err := fig.SaveCSV(dir)
+	if err != nil {
+		t.Fatalf("SaveCSV: %v", err)
+	}
+	if filepath.Base(path) != "fig_9.csv" {
+		t.Fatalf("filename = %s", filepath.Base(path))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "x,s") {
+		t.Fatalf("file content %q", data)
+	}
+}

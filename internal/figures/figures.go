@@ -1,0 +1,383 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation section (§IV) from a profiled, simulated machine room. Each
+// FigN function returns the same series the paper plots; Render produces
+// an aligned text table suitable for terminals and EXPERIMENTS.md.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coolopt"
+)
+
+// DefaultLoads is the evaluation grid: 10 %–100 % of cluster capacity, as
+// in the paper's x-axes.
+var DefaultLoads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Series is one labeled curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a regenerated table/figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render formats the figure as an aligned text table.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%18s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) > 0 {
+		for i, x := range f.Series[0].X {
+			fmt.Fprintf(&b, "%-14.4g", x)
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					fmt.Fprintf(&b, "%18.1f", s.Y[i])
+				} else {
+					fmt.Fprintf(&b, "%18s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Dataset caches one full scenario sweep so the per-figure functions do
+// not re-run the room.
+type Dataset struct {
+	sys   *coolopt.System
+	loads []float64
+	byKey map[key]coolopt.Measurement
+}
+
+type key struct {
+	m    coolopt.Method
+	load float64
+}
+
+// Collect runs every scenario at every load once. With nil loads it uses
+// DefaultLoads.
+func Collect(sys *coolopt.System, loads []float64) (*Dataset, error) {
+	if len(loads) == 0 {
+		loads = DefaultLoads
+	}
+	ds := &Dataset{sys: sys, loads: loads, byKey: make(map[key]coolopt.Measurement)}
+	for _, m := range coolopt.AllMethods {
+		for _, lf := range loads {
+			meas, err := sys.Evaluate(m, lf)
+			if err != nil {
+				return nil, fmt.Errorf("figures: %v at %.0f%%: %w", m, lf*100, err)
+			}
+			ds.byKey[key{m, lf}] = *meas
+		}
+	}
+	return ds, nil
+}
+
+// System returns the underlying system.
+func (ds *Dataset) System() *coolopt.System { return ds.sys }
+
+// Loads returns the evaluation grid.
+func (ds *Dataset) Loads() []float64 { return append([]float64(nil), ds.loads...) }
+
+// Measurement returns the cached measurement for a scenario/load pair.
+func (ds *Dataset) Measurement(m coolopt.Method, load float64) (coolopt.Measurement, bool) {
+	meas, ok := ds.byKey[key{m, load}]
+	return meas, ok
+}
+
+// shortName is the column label for a method ("#7"); the full names go
+// into the figure legend note.
+func shortName(m coolopt.Method) string { return fmt.Sprintf("#%d", int(m)) }
+
+func (ds *Dataset) series(m coolopt.Method) Series {
+	s := Series{Name: shortName(m)}
+	for _, lf := range ds.loads {
+		meas := ds.byKey[key{m, lf}]
+		s.X = append(s.X, lf*100)
+		s.Y = append(s.Y, meas.TotalW)
+	}
+	return s
+}
+
+func (ds *Dataset) methodFigure(id, title string, methods []coolopt.Method, notes ...string) *Figure {
+	f := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Load (%)",
+		YLabel: "Power (W)",
+	}
+	var legend []string
+	for _, m := range methods {
+		f.Series = append(f.Series, ds.series(m))
+		legend = append(legend, m.String())
+	}
+	f.Notes = append(f.Notes, "legend: "+strings.Join(legend, "; "))
+	f.Notes = append(f.Notes, notes...)
+	return f
+}
+
+// Fig2 is the measured-vs-predicted power trace of the profiling power
+// experiment (paper Fig. 2). Samples are decimated to at most maxPoints.
+func Fig2(sys *coolopt.System, maxPoints int) *Figure {
+	fit := sys.Profiling().PowerFit
+	if maxPoints <= 0 {
+		maxPoints = 60
+	}
+	stride := len(fit.Measured) / maxPoints
+	if stride < 1 {
+		stride = 1
+	}
+	meas := Series{Name: "Measured"}
+	pred := Series{Name: "Predicted"}
+	for i := 0; i < len(fit.Measured); i += stride {
+		x := float64(i)
+		meas.X = append(meas.X, x)
+		meas.Y = append(meas.Y, fit.Measured[i])
+		pred.X = append(pred.X, x)
+		pred.Y = append(pred.Y, fit.Predicted[i])
+	}
+	return &Figure{
+		ID:     "Fig. 2",
+		Title:  "Measured vs predicted server power (w1/w2 regression)",
+		XLabel: "Sample",
+		YLabel: "Power (W)",
+		Series: []Series{meas, pred},
+		Notes: []string{
+			fmt.Sprintf("fit over all 1 Hz samples: RMSE %.2f W, R² %.4f (w1=%.1f W/load, w2=%.1f W)",
+				fit.RMSE, fit.R2, sys.Profile().W1, sys.Profile().W2),
+		},
+	}
+}
+
+// Fig3 is the measured-vs-predicted stable CPU temperature for one
+// machine over the thermal sweep (paper Fig. 3).
+func Fig3(sys *coolopt.System, machine int) (*Figure, error) {
+	fits := sys.Profiling().ThermalFits
+	if machine < 0 || machine >= len(fits) {
+		return nil, fmt.Errorf("figures: machine %d out of range [0, %d)", machine, len(fits))
+	}
+	fit := fits[machine]
+	meas := Series{Name: "Measured"}
+	pred := Series{Name: "Predicted"}
+	for i := range fit.Measured {
+		x := float64(i)
+		meas.X = append(meas.X, x)
+		meas.Y = append(meas.Y, fit.Measured[i])
+		pred.X = append(pred.X, x)
+		pred.Y = append(pred.Y, fit.Predicted[i])
+	}
+	mp := sys.Profile().Machines[machine]
+	return &Figure{
+		ID:     "Fig. 3",
+		Title:  fmt.Sprintf("Stable CPU temperature prediction vs measurement (machine %d)", machine),
+		XLabel: "Operating point",
+		YLabel: "CPU temp (°C)",
+		Series: []Series{meas, pred},
+		Notes: []string{
+			fmt.Sprintf("fit: RMSE %.2f °C, R² %.4f (α=%.3f, β=%.4f K/W, γ=%.2f °C)",
+				fit.RMSE, fit.R2, mp.Alpha, mp.Beta, mp.Gamma),
+		},
+	}, nil
+}
+
+// Fig5 compares similar methods with and without consolidation (paper
+// Fig. 5): #2 vs #3, #5/#6 vs #7/#8.
+func (ds *Dataset) Fig5() *Figure {
+	return ds.methodFigure("Fig. 5",
+		"Comparison of similar methods with and without consolidation",
+		[]coolopt.Method{
+			coolopt.BottomUpNoACNoCons, coolopt.BottomUpNoACCons,
+			coolopt.BottomUpACNoCons, coolopt.OptimalACNoCons,
+			coolopt.BottomUpACCons, coolopt.OptimalACCons,
+		})
+}
+
+// Fig6 is the power of all eight methods versus total load (paper Fig. 6).
+func (ds *Dataset) Fig6() *Figure {
+	return ds.methodFigure("Fig. 6", "Power consumption of all methods vs total load",
+		coolopt.AllMethods)
+}
+
+// Fig7 compares load-distribution strategies under AC control without
+// consolidation (paper Fig. 7): Even (#4), Bottom-up (#5), Optimal (#6).
+func (ds *Dataset) Fig7() *Figure {
+	return ds.methodFigure("Fig. 7",
+		"AC control, no consolidation: Even vs Bottom-up vs Optimal",
+		[]coolopt.Method{coolopt.EvenACNoCons, coolopt.BottomUpACNoCons, coolopt.OptimalACNoCons})
+}
+
+// Fig8 compares load-distribution strategies under AC control with
+// consolidation (paper Fig. 8): Bottom-up (#7) vs Optimal (#8).
+func (ds *Dataset) Fig8() *Figure {
+	return ds.methodFigure("Fig. 8",
+		"AC control, consolidation: Bottom-up vs Optimal",
+		[]coolopt.Method{coolopt.BottomUpACCons, coolopt.OptimalACCons},
+		"the paper's Fig. 4 scenario tree has no Even+consolidation variant, so the figure carries the two consolidated strategies")
+}
+
+// Fig9 summarizes the holistic win (paper Fig. 9): the percentage saving
+// of Optimal (#8) over the best prior art, cool job allocation (#7), per
+// load point.
+func (ds *Dataset) Fig9() *Figure {
+	s := Series{Name: "Saving of #8 vs #7 (%)"}
+	best, avg := 0.0, 0.0
+	for _, lf := range ds.loads {
+		b7 := ds.byKey[key{coolopt.BottomUpACCons, lf}].TotalW
+		b8 := ds.byKey[key{coolopt.OptimalACCons, lf}].TotalW
+		saving := (b7 - b8) / b7 * 100
+		s.X = append(s.X, lf*100)
+		s.Y = append(s.Y, saving)
+		if saving > best {
+			best = saving
+		}
+		avg += saving
+	}
+	avg /= float64(len(ds.loads))
+	return &Figure{
+		ID:     "Fig. 9",
+		Title:  "Bottom-up vs Optimal with consolidation: energy saving",
+		XLabel: "Load (%)",
+		YLabel: "Saving (%)",
+		Series: []Series{s},
+		Notes: []string{
+			fmt.Sprintf("average saving %.1f%%, best case %.1f%% (paper: 7%% average, up to 18%%)", avg, best),
+		},
+	}
+}
+
+// Fig10 is the average power of every method across the load sweep
+// (paper Fig. 10).
+func (ds *Dataset) Fig10() *Figure {
+	s := Series{Name: "Average power (W)"}
+	for _, m := range coolopt.AllMethods {
+		sum := 0.0
+		for _, lf := range ds.loads {
+			sum += ds.byKey[key{m, lf}].TotalW
+		}
+		s.X = append(s.X, float64(int(m)))
+		s.Y = append(s.Y, sum/float64(len(ds.loads)))
+	}
+	return &Figure{
+		ID:     "Fig. 10",
+		Title:  "Average power of all methods over the load sweep",
+		XLabel: "Method #",
+		YLabel: "Power (W)",
+		Series: []Series{s},
+	}
+}
+
+// VerifyConstraints reproduces the §IV-B verification: for every scenario
+// and load, the hottest CPU stays at or below T_max and the carried load
+// matches the demand. It returns a rendered report and an error listing
+// any violations.
+func (ds *Dataset) VerifyConstraints() (string, error) {
+	var b strings.Builder
+	var problems []string
+	fmt.Fprintf(&b, "Constraint verification (T_max = %.1f °C)\n", ds.sys.Profile().TMaxC)
+	fmt.Fprintf(&b, "%-46s%10s%12s%12s\n", "method", "load %", "max CPU °C", "carried")
+	keys := make([]key, 0, len(ds.byKey))
+	for k := range ds.byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].m != keys[j].m {
+			return keys[i].m < keys[j].m
+		}
+		return keys[i].load < keys[j].load
+	})
+	for _, k := range keys {
+		meas := ds.byKey[k]
+		fmt.Fprintf(&b, "%-46s%10.0f%12.2f%12.2f\n", k.m, k.load*100, meas.MaxCPUC, meas.CarriedLoad)
+		if meas.Violated {
+			problems = append(problems, fmt.Sprintf("%v at %.0f%%: %.2f °C", k.m, k.load*100, meas.MaxCPUC))
+		}
+		want := k.load * float64(ds.sys.Size())
+		if diff := meas.CarriedLoad - want; diff > 1e-6 || diff < -1e-6 {
+			problems = append(problems, fmt.Sprintf("%v at %.0f%%: carried %.3f ≠ %.3f", k.m, k.load*100, meas.CarriedLoad, want))
+		}
+	}
+	if len(problems) > 0 {
+		return b.String(), fmt.Errorf("figures: %d constraint violations: %s", len(problems), strings.Join(problems, "; "))
+	}
+	return b.String(), nil
+}
+
+// Table1 renders the paper's Table I: physical variables and units.
+func Table1() *Figure {
+	return &Figure{
+		ID:    "Table I",
+		Title: "Physical variables and their units",
+		Notes: []string{
+			"T, T_box, T_in — Temperature — K (°C in this implementation; the model is affine either way)",
+			"ν_cpu, ν_box — Heat capacity — J/K",
+			"ϑ_cpu,box — Heat exchange rate — J·K⁻¹·s⁻¹ (W/K)",
+			"F_in, F_out — Air flow — m³/s",
+			"c_air — Heat capacity density — J·K⁻¹·m⁻³",
+			"P_cpu — Heat producing rate — J/s (W)",
+		},
+	}
+}
+
+// ModelValidation compares the fitted model's power prediction against
+// the metered outcome for every scenario cell of the sweep — the
+// system-level version of the paper's "our simple model adequately
+// captures the thermal behavior and energy consumption" claim.
+func (ds *Dataset) ModelValidation() *Figure {
+	pred := Series{Name: "Predicted (model)"}
+	meas := Series{Name: "Measured (meters)"}
+	var worst, sum float64
+	idx := 0.0
+	for _, m := range coolopt.AllMethods {
+		for _, lf := range ds.loads {
+			cell := ds.byKey[key{m, lf}]
+			pred.X = append(pred.X, idx)
+			pred.Y = append(pred.Y, cell.PredictedW)
+			meas.X = append(meas.X, idx)
+			meas.Y = append(meas.Y, cell.TotalW)
+			if cell.PredictedW > 0 {
+				rel := (cell.TotalW - cell.PredictedW) / cell.PredictedW
+				if rel < 0 {
+					rel = -rel
+				}
+				sum += rel
+				if rel > worst {
+					worst = rel
+				}
+			}
+			idx++
+		}
+	}
+	return &Figure{
+		ID:     "Validation",
+		Title:  "Model-predicted vs metered total power over all scenario cells",
+		XLabel: "Cell",
+		YLabel: "Power (W)",
+		Series: []Series{pred, meas},
+		Notes: []string{
+			fmt.Sprintf("relative model error across %d cells: mean %.1f%%, worst %.1f%%",
+				int(idx), sum/idx*100, worst*100),
+			"cells are ordered method-major (#1 … #8) and load-minor",
+			"the worst cells are the fixed-cold-supply, low-heat corners (#1–#3 at low load) where the paper's affine cooling model (Eq. 10) extrapolates far from its calibration region",
+		},
+	}
+}

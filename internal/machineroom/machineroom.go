@@ -1,0 +1,46 @@
+// Package machineroom defines the operator-facing surface of a machine
+// room: everything the paper's methodology needs to profile and control
+// one — per-machine load and power switches, the CRAC set point, sensor
+// readouts, and a way to let (simulated) time pass.
+//
+// Two implementations exist: the in-process simulator (internal/sim) and
+// an HTTP client for a room served remotely (internal/roomclient, talking
+// to the internal/roomapi server). The profiling pipeline and controllers
+// work against this interface, so they run unchanged against either.
+package machineroom
+
+// Room is one controllable machine room.
+type Room interface {
+	// Size returns the number of machines.
+	Size() int
+	// Time returns the room clock in seconds.
+	Time() float64
+
+	// SetLoad assigns a utilization in [0, 1] to a powered-on machine.
+	SetLoad(i int, util float64) error
+	// SetPower turns machine i on or off; powering off drops its load.
+	SetPower(i int, on bool) error
+	// IsOn reports machine i's power state.
+	IsOn(i int) bool
+
+	// SetSetPoint moves the CRAC exhaust set point in °C.
+	SetSetPoint(tSPC float64)
+	// SetPoint returns the CRAC exhaust set point in °C.
+	SetPoint() float64
+	// Supply returns the CRAC supply temperature T_ac in °C.
+	Supply() float64
+	// ReturnTemp returns the exhaust (return) air temperature in °C.
+	ReturnTemp() float64
+
+	// MeasuredCPUTemp returns machine i's CPU temperature reading in °C.
+	MeasuredCPUTemp(i int) float64
+	// MeasuredServerPower returns machine i's power-meter reading in W.
+	MeasuredServerPower(i int) float64
+	// MeasuredCRACPower returns the cooling unit's metered power in W.
+	MeasuredCRACPower() float64
+
+	// Step advances the room by one second.
+	Step()
+	// Run advances the room by the given number of seconds.
+	Run(seconds float64)
+}

@@ -1,0 +1,26 @@
+package machineroom
+
+import (
+	"testing"
+
+	"coolopt/internal/sim"
+)
+
+// The in-process simulator must satisfy the Room interface — this is the
+// compile-time contract the profiling pipeline relies on.
+var _ Room = (*sim.Simulator)(nil)
+
+func TestSimulatorImplementsRoom(t *testing.T) {
+	s, err := sim.NewDefault(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var room Room = s
+	if room.Size() != 20 {
+		t.Fatalf("Size = %d", room.Size())
+	}
+	room.Run(10)
+	if room.Time() < 10 {
+		t.Fatalf("Time = %v", room.Time())
+	}
+}

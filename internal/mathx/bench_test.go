@@ -1,0 +1,23 @@
+package mathx
+
+import "testing"
+
+// BenchmarkLeastSquares measures the regression at the thermal-profiling
+// problem size (125 observations × 3 coefficients).
+func BenchmarkLeastSquares(b *testing.B) {
+	rng := NewRand(1)
+	const rows = 125
+	design := make([][]float64, rows)
+	ys := make([]float64, rows)
+	for i := range design {
+		x1, x2 := rng.Uniform(10, 25), rng.Uniform(30, 90)
+		design[i] = []float64{x1, x2, 1}
+		ys[i] = 0.9*x1 + 0.45*x2 + 3 + rng.Normal(0, 0.2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(design, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

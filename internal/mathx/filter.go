@@ -1,0 +1,106 @@
+package mathx
+
+import "errors"
+
+// LowPass is a single-pole exponential low-pass filter, the smoothing the
+// paper applies to the 1 Hz power-meter and lm-sensors traces before
+// plotting (Figs. 2–3). The zero value is unusable; build with NewLowPass.
+type LowPass struct {
+	alpha  float64
+	state  float64
+	primed bool
+}
+
+// NewLowPass builds a filter with smoothing factor alpha in (0, 1]; alpha=1
+// passes the signal through unchanged, smaller values smooth harder.
+func NewLowPass(alpha float64) (*LowPass, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, errors.New("mathx: low-pass alpha must be in (0, 1]")
+	}
+	return &LowPass{alpha: alpha}, nil
+}
+
+// Update feeds one sample and returns the filtered value.
+func (f *LowPass) Update(sample float64) float64 {
+	if !f.primed {
+		f.state = sample
+		f.primed = true
+		return f.state
+	}
+	f.state += f.alpha * (sample - f.state)
+	return f.state
+}
+
+// Value returns the current filter output (the last Update result).
+func (f *LowPass) Value() float64 { return f.state }
+
+// Reset clears the filter state so the next sample re-primes it.
+func (f *LowPass) Reset() {
+	f.state = 0
+	f.primed = false
+}
+
+// Smooth applies a low-pass filter with the given alpha over a whole series
+// and returns the filtered copy.
+func Smooth(xs []float64, alpha float64) ([]float64, error) {
+	f, err := NewLowPass(alpha)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = f.Update(v)
+	}
+	return out, nil
+}
+
+// SettleDetector reports steady state once a signal has stayed within a band
+// for a configured number of consecutive samples. The profiling experiments
+// use it to decide when a CPU temperature has stabilized (the paper waits
+// ~200 s per load level).
+type SettleDetector struct {
+	band    float64
+	needed  int
+	last    float64
+	stable  int
+	started bool
+}
+
+// NewSettleDetector builds a detector that declares steady state after
+// consecutive samples whose successive differences stay within band.
+func NewSettleDetector(band float64, consecutive int) (*SettleDetector, error) {
+	if band <= 0 {
+		return nil, errors.New("mathx: settle band must be positive")
+	}
+	if consecutive <= 0 {
+		return nil, errors.New("mathx: settle count must be positive")
+	}
+	return &SettleDetector{band: band, needed: consecutive}, nil
+}
+
+// Update feeds one sample and reports whether the signal is now settled.
+func (d *SettleDetector) Update(sample float64) bool {
+	if !d.started {
+		d.started = true
+		d.last = sample
+		return false
+	}
+	diff := sample - d.last
+	if diff < 0 {
+		diff = -diff
+	}
+	d.last = sample
+	if diff <= d.band {
+		d.stable++
+	} else {
+		d.stable = 0
+	}
+	return d.stable >= d.needed
+}
+
+// Reset clears the detector state.
+func (d *SettleDetector) Reset() {
+	d.started = false
+	d.stable = 0
+	d.last = 0
+}

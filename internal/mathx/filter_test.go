@@ -1,0 +1,163 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLowPassValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if _, err := NewLowPass(alpha); err == nil {
+			t.Fatalf("NewLowPass(%v) should error", alpha)
+		}
+	}
+	if _, err := NewLowPass(1); err != nil {
+		t.Fatalf("NewLowPass(1): %v", err)
+	}
+}
+
+func TestLowPassPrimesOnFirstSample(t *testing.T) {
+	f, err := NewLowPass(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Update(42); got != 42 {
+		t.Fatalf("first sample = %v, want 42", got)
+	}
+}
+
+func TestLowPassConvergesToConstant(t *testing.T) {
+	f, err := NewLowPass(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Update(0)
+	var got float64
+	for i := 0; i < 200; i++ {
+		got = f.Update(10)
+	}
+	if !ApproxEqual(got, 10, 1e-6) {
+		t.Fatalf("filter settled at %v, want 10", got)
+	}
+	if !ApproxEqual(f.Value(), got, 1e-12) {
+		t.Fatalf("Value() = %v, want %v", f.Value(), got)
+	}
+}
+
+func TestLowPassAlphaOneIsIdentity(t *testing.T) {
+	f, err := NewLowPass(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{3, -8, 12.5} {
+		if got := f.Update(v); got != v {
+			t.Fatalf("alpha=1 Update(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestLowPassReset(t *testing.T) {
+	f, err := NewLowPass(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Update(100)
+	f.Reset()
+	if got := f.Update(7); got != 7 {
+		t.Fatalf("after reset first sample = %v, want 7", got)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	out, err := Smooth([]float64{0, 10, 10, 10}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 5, 7.5, 8.75}
+	for i := range want {
+		if !ApproxEqual(out[i], want[i], 1e-12) {
+			t.Fatalf("Smooth[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	if _, err := Smooth(nil, 0); err == nil {
+		t.Fatal("invalid alpha should error")
+	}
+}
+
+func TestSettleDetector(t *testing.T) {
+	d, err := NewSettleDetector(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ramp: diffs of 1.0 exceed the band.
+	for _, v := range []float64{0, 1, 2, 3} {
+		if d.Update(v) {
+			t.Fatal("detector settled during ramp")
+		}
+	}
+	// Flat tail: settles after 3 consecutive in-band diffs.
+	settled := false
+	for i, v := range []float64{3.1, 3.15, 3.1, 3.12} {
+		settled = d.Update(v)
+		if settled && i < 2 {
+			t.Fatalf("settled too early at sample %d", i)
+		}
+	}
+	if !settled {
+		t.Fatal("detector never settled on flat signal")
+	}
+}
+
+func TestSettleDetectorReset(t *testing.T) {
+	d, err := NewSettleDetector(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Update(0)
+	d.Update(0)
+	d.Update(0)
+	d.Reset()
+	if d.Update(100) {
+		t.Fatal("first sample after reset should not settle")
+	}
+}
+
+func TestSettleDetectorValidation(t *testing.T) {
+	if _, err := NewSettleDetector(0, 3); err == nil {
+		t.Fatal("zero band should error")
+	}
+	if _, err := NewSettleDetector(1, 0); err == nil {
+		t.Fatal("zero count should error")
+	}
+}
+
+// Property: the low-pass output is always within the [min, max] envelope of
+// the samples seen so far (it is a convex combination of inputs).
+func TestLowPassEnvelopeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRand(seed)
+		lp, err := NewLowPass(0.3)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 64; i++ {
+			v := rng.Uniform(-1000, 1000)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			out := lp.Update(v)
+			if out < lo-1e-9 || out > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

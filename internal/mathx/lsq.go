@@ -1,0 +1,132 @@
+// Package mathx provides the small numerical substrate used across coolopt:
+// dense linear least squares, Gaussian elimination, low-pass filters,
+// summary statistics, and a deterministic RNG wrapper.
+//
+// Everything here is stdlib-only and sized for the problem dimensions that
+// appear in the paper (regressions with 2–3 coefficients, racks with tens to
+// hundreds of machines); no attempt is made to compete with a real BLAS.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mathx: singular system")
+
+// SolveLinear solves the square system a·x = b in place using Gaussian
+// elimination with partial pivoting. a is row-major with n rows of n columns.
+// a and b are clobbered; the solution is returned in a fresh slice.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("mathx: empty system")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mathx: dimension mismatch: %d rows, %d rhs", n, len(b))
+	}
+	for _, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("mathx: non-square matrix: row has %d columns, want %d", len(row), n)
+		}
+	}
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: move the row with the largest magnitude entry up.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// LeastSquares fits coefficients beta minimizing ||X·beta − y||² via the
+// normal equations XᵀX·beta = Xᵀy. X is row-major: one row per observation,
+// one column per regressor (include a column of ones for an intercept).
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	m := len(x)
+	if m == 0 {
+		return nil, errors.New("mathx: no observations")
+	}
+	if len(y) != m {
+		return nil, fmt.Errorf("mathx: %d rows but %d targets", m, len(y))
+	}
+	n := len(x[0])
+	if n == 0 {
+		return nil, errors.New("mathx: no regressors")
+	}
+	if m < n {
+		return nil, fmt.Errorf("mathx: underdetermined: %d observations for %d coefficients", m, n)
+	}
+
+	xtx := make([][]float64, n)
+	for i := range xtx {
+		xtx[i] = make([]float64, n)
+	}
+	xty := make([]float64, n)
+	for r, row := range x {
+		if len(row) != n {
+			return nil, fmt.Errorf("mathx: ragged design matrix at row %d", r)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * y[r]
+		}
+	}
+	// Mirror the upper triangle; the normal matrix is symmetric.
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	return SolveLinear(xtx, xty)
+}
+
+// FitLine fits y = slope·x + intercept by ordinary least squares.
+func FitLine(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("mathx: %d xs but %d ys", len(xs), len(ys))
+	}
+	design := make([][]float64, len(xs))
+	for i, v := range xs {
+		design[i] = []float64{v, 1}
+	}
+	beta, err := LeastSquares(design, ys)
+	if err != nil {
+		return 0, 0, err
+	}
+	return beta[0], beta[1], nil
+}

@@ -1,0 +1,208 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, -7}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !ApproxEqual(x[0], 3, 1e-12) || !ApproxEqual(x[1], -7, 1e-12) {
+		t.Fatalf("got %v, want [3 -7]", x)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1 → x=2, y=1.
+	a := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !ApproxEqual(x[0], 2, 1e-9) || !ApproxEqual(x[1], 1, 1e-9) {
+		t.Fatalf("got %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{4, 9}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !ApproxEqual(x[0], 9, 1e-12) || !ApproxEqual(x[1], 4, 1e-12) {
+		t.Fatalf("got %v, want [9 4]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); !errors.Is(err, ErrSingular) {
+		t.Fatalf("got err %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearDimensionErrors(t *testing.T) {
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Fatal("empty system should error")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("rhs length mismatch should error")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("non-square matrix should error")
+	}
+}
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	// y = 3x + 2 with no noise must be recovered exactly.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	design := make([][]float64, len(xs))
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		design[i] = []float64{x, 1}
+		ys[i] = 3*x + 2
+	}
+	beta, err := LeastSquares(design, ys)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	if !ApproxEqual(beta[0], 3, 1e-9) || !ApproxEqual(beta[1], 2, 1e-9) {
+		t.Fatalf("got %v, want [3 2]", beta)
+	}
+}
+
+func TestLeastSquaresTwoRegressors(t *testing.T) {
+	// z = 1.5x − 2y + 4 over a grid.
+	var design [][]float64
+	var ys []float64
+	for x := 0.0; x < 4; x++ {
+		for y := 0.0; y < 4; y++ {
+			design = append(design, []float64{x, y, 1})
+			ys = append(ys, 1.5*x-2*y+4)
+		}
+	}
+	beta, err := LeastSquares(design, ys)
+	if err != nil {
+		t.Fatalf("LeastSquares: %v", err)
+	}
+	want := []float64{1.5, -2, 4}
+	for i := range want {
+		if !ApproxEqual(beta[i], want[i], 1e-9) {
+			t.Fatalf("beta[%d] = %v, want %v", i, beta[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Fatal("no observations should error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("underdetermined system should error")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged design matrix should error")
+	}
+}
+
+func TestFitLineRecoversCoefficients(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = -0.5*x + 7
+	}
+	slope, intercept, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatalf("FitLine: %v", err)
+	}
+	if !ApproxEqual(slope, -0.5, 1e-9) || !ApproxEqual(intercept, 7, 1e-9) {
+		t.Fatalf("got slope %v intercept %v, want -0.5 and 7", slope, intercept)
+	}
+}
+
+func TestFitLineLengthMismatch(t *testing.T) {
+	if _, _, err := FitLine([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+// Property: a line fit through noiseless points on y = m·x + c recovers
+// (m, c) for arbitrary finite m and c.
+func TestFitLinePropertyExactRecovery(t *testing.T) {
+	f := func(m, c float64) bool {
+		if math.IsNaN(m) || math.IsInf(m, 0) || math.Abs(m) > 1e6 {
+			return true // constrain to a numerically sane domain
+		}
+		if math.IsNaN(c) || math.IsInf(c, 0) || math.Abs(c) > 1e6 {
+			return true
+		}
+		xs := []float64{-2, -1, 0, 1, 2, 3}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = m*x + c
+		}
+		slope, intercept, err := FitLine(xs, ys)
+		if err != nil {
+			return false
+		}
+		return ApproxEqual(slope, m, 1e-6) && ApproxEqual(intercept, c, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveLinear(a, a·x) recovers x for random diagonally dominant
+// 3×3 systems (diagonal dominance guarantees non-singularity).
+func TestSolveLinearPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRand(seed)
+		const n = 3
+		a := make([][]float64, n)
+		aCopy := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			aCopy[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Uniform(-1, 1)
+			}
+			a[i][i] += 5 // enforce diagonal dominance
+			copy(aCopy[i], a[i])
+		}
+		want := []float64{rng.Uniform(-10, 10), rng.Uniform(-10, 10), rng.Uniform(-10, 10)}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += aCopy[i][j] * want[j]
+			}
+		}
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !ApproxEqual(got[i], want[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

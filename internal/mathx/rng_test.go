@@ -1,0 +1,69 @@
+package mathx
+
+import "testing"
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+}
+
+func TestRandUniformRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestRandNormalMoments(t *testing.T) {
+	r := NewRand(123)
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(10, 2)
+	}
+	if m := Mean(xs); m < 9.9 || m > 10.1 {
+		t.Fatalf("sample mean = %v, want ≈10", m)
+	}
+	if s := StdDev(xs); s < 1.9 || s > 2.1 {
+		t.Fatalf("sample stddev = %v, want ≈2", s)
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	r := NewRand(99)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	same := true
+	for i := 0; i < 20; i++ {
+		if f1.Float64() != f2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("forked generators produced identical streams")
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(5)
+	p := r.Perm(10)
+	seen := make(map[int]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Perm missing elements: %v", p)
+	}
+}

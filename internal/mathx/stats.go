@@ -1,0 +1,143 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	sum := 0.0
+	for _, v := range xs {
+		d := v - mu
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// RMSE returns the root-mean-square error between two equally long series.
+func RMSE(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, errors.New("mathx: series length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("mathx: empty series")
+	}
+	sum := 0.0
+	for i := range pred {
+		d := pred[i] - obs[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred))), nil
+}
+
+// RSquared returns the coefficient of determination of pred against obs.
+// A perfect fit returns 1; a fit no better than the mean returns 0.
+func RSquared(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, errors.New("mathx: series length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("mathx: empty series")
+	}
+	mu := Mean(obs)
+	var ssRes, ssTot float64
+	for i := range obs {
+		r := obs[i] - pred[i]
+		t := obs[i] - mu
+		ssRes += r * r
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, errors.New("mathx: zero variance in observations")
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// MaxAbsError returns the largest absolute difference between two series.
+func MaxAbsError(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, errors.New("mathx: series length mismatch")
+	}
+	maxErr := 0.0
+	for i := range pred {
+		if d := math.Abs(pred[i] - obs[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	return maxErr, nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("mathx: empty series")
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("mathx: percentile out of range")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Clamp limits v to the inclusive range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ApproxEqual reports whether a and b are within tol of each other, where
+// tol is interpreted as an absolute tolerance for small magnitudes and a
+// relative tolerance otherwise.
+func ApproxEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

@@ -1,0 +1,186 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{5}, want: 5},
+		{name: "symmetric", give: []float64{-1, 1}, want: 0},
+		{name: "typical", give: []float64{1, 2, 3, 4}, want: 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); !ApproxEqual(got, tt.want, 1e-12) {
+				t.Fatalf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !ApproxEqual(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !ApproxEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Fatalf("Variance of single sample = %v, want 0", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("RMSE: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("RMSE of identical series = %v, want 0", got)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatalf("RMSE: %v", err)
+	}
+	if !ApproxEqual(got, math.Sqrt(12.5), 1e-12) {
+		t.Fatalf("RMSE = %v, want sqrt(12.5)", got)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Fatal("empty series should error")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4, 5}
+	perfect, err := RSquared(obs, obs)
+	if err != nil {
+		t.Fatalf("RSquared: %v", err)
+	}
+	if !ApproxEqual(perfect, 1, 1e-12) {
+		t.Fatalf("perfect fit R² = %v, want 1", perfect)
+	}
+	meanPred := []float64{3, 3, 3, 3, 3}
+	atMean, err := RSquared(meanPred, obs)
+	if err != nil {
+		t.Fatalf("RSquared: %v", err)
+	}
+	if !ApproxEqual(atMean, 0, 1e-12) {
+		t.Fatalf("mean predictor R² = %v, want 0", atMean)
+	}
+	if _, err := RSquared([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	got, err := MaxAbsError([]float64{1, 5, 2}, []float64{1, 2, 2})
+	if err != nil {
+		t.Fatalf("MaxAbsError: %v", err)
+	}
+	if got != 3 {
+		t.Fatalf("MaxAbsError = %v, want 3", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 15},
+		{p: 100, want: 50},
+		{p: 50, want: 35},
+		{p: 25, want: 20},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if !ApproxEqual(got, tt.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("empty series should error")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Fatal("negative percentile should error")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 10); got != 5 {
+		t.Fatalf("Clamp inside = %v", got)
+	}
+	if got := Clamp(-5, 0, 10); got != 0 {
+		t.Fatalf("Clamp below = %v", got)
+	}
+	if got := Clamp(15, 0, 10); got != 10 {
+		t.Fatalf("Clamp above = %v", got)
+	}
+}
+
+// Property: shifting every sample by a constant shifts the mean by that
+// constant and leaves the variance unchanged.
+func TestMeanVarianceShiftProperty(t *testing.T) {
+	f := func(seed int64, shiftRaw float64) bool {
+		if math.IsNaN(shiftRaw) || math.IsInf(shiftRaw, 0) {
+			return true
+		}
+		shift := math.Mod(shiftRaw, 1e6)
+		rng := NewRand(seed)
+		xs := make([]float64, 16)
+		shifted := make([]float64, 16)
+		for i := range xs {
+			xs[i] = rng.Uniform(-100, 100)
+			shifted[i] = xs[i] + shift
+		}
+		meanOK := ApproxEqual(Mean(shifted), Mean(xs)+shift, 1e-6)
+		varOK := ApproxEqual(Variance(shifted), Variance(xs), 1e-6)
+		return meanOK && varOK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile output is always within [min, max] of the data and
+// is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRand(seed)
+		xs := make([]float64, 10)
+		for i := range xs {
+			xs[i] = rng.Uniform(-50, 50)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v, err := Percentile(xs, p)
+			if err != nil {
+				return false
+			}
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package power models the electrical draw of a single computing unit.
+//
+// The paper's model (Eq. 9) is affine in load: P = w1·L + w2, with L the
+// CPU utilization in [0, 1]. The simulator's ground truth adds two effects
+// real servers exhibit and the paper's model deliberately ignores: a mild
+// curvature in the load term and a temperature-dependent leakage/fan term.
+// Those imperfections are what make the profiling regression in Fig. 2
+// "quite accurate" rather than exact, just as on the physical testbed.
+package power
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Model is the affine power model of paper Eq. 9 with load expressed as a
+// utilization fraction: Watts = W1·load + W2.
+type Model struct {
+	// W1 is the load-dependent power coefficient in Watts per unit
+	// utilization.
+	W1 float64
+	// W2 is the load-independent (idle) power in Watts.
+	W2 float64
+}
+
+// Validate checks that the model is physically plausible.
+func (m Model) Validate() error {
+	if m.W1 <= 0 {
+		return fmt.Errorf("power: W1 = %v, must be positive", m.W1)
+	}
+	if m.W2 < 0 {
+		return fmt.Errorf("power: W2 = %v, must be non-negative", m.W2)
+	}
+	return nil
+}
+
+// Draw returns the modeled power draw in Watts for a utilization in [0, 1].
+func (m Model) Draw(load float64) float64 {
+	return m.W1*load + m.W2
+}
+
+// LoadFor inverts the model: the utilization that draws the given Watts.
+func (m Model) LoadFor(watts float64) float64 {
+	return (watts - m.W2) / m.W1
+}
+
+// Truth is the simulator's ground-truth power behaviour for one server.
+// It reduces to Model when Curve and LeakPerK are zero.
+type Truth struct {
+	// Base is the dominant affine component.
+	Base Model
+	// Curve adds Curve·load² Watts, a small convexity from
+	// frequency/voltage behaviour under load.
+	Curve float64
+	// LeakPerK adds LeakPerK·(T_cpu − LeakRefC) Watts of
+	// temperature-dependent leakage and fan power.
+	LeakPerK float64
+	// LeakRefC is the CPU temperature in °C at which the leakage term is
+	// zero.
+	LeakRefC float64
+	// StandbyW is the residual draw in Watts when the machine is powered
+	// off (0 for a hard off).
+	StandbyW float64
+}
+
+// Validate checks the ground-truth parameters.
+func (t Truth) Validate() error {
+	if err := t.Base.Validate(); err != nil {
+		return err
+	}
+	if t.Curve < 0 {
+		return errors.New("power: Curve must be non-negative")
+	}
+	if t.LeakPerK < 0 {
+		return errors.New("power: LeakPerK must be non-negative")
+	}
+	if t.StandbyW < 0 {
+		return errors.New("power: StandbyW must be non-negative")
+	}
+	return nil
+}
+
+// Draw returns the true power draw in Watts for a server running at the
+// given utilization with the given CPU temperature in °C. A powered-off
+// server draws StandbyW regardless of temperature.
+func (t Truth) Draw(load, cpuTempC float64, on bool) float64 {
+	if !on {
+		return t.StandbyW
+	}
+	if load < 0 {
+		load = 0
+	}
+	if load > 1 {
+		load = 1
+	}
+	p := t.Base.Draw(load) + t.Curve*load*load
+	if t.LeakPerK > 0 {
+		p += t.LeakPerK * (cpuTempC - t.LeakRefC)
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}

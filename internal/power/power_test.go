@@ -1,0 +1,134 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coolopt/internal/mathx"
+)
+
+func TestModelDraw(t *testing.T) {
+	m := Model{W1: 50, W2: 35}
+	tests := []struct {
+		name string
+		load float64
+		want float64
+	}{
+		{name: "idle", load: 0, want: 35},
+		{name: "half", load: 0.5, want: 60},
+		{name: "full", load: 1, want: 85},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.Draw(tt.load); !mathx.ApproxEqual(got, tt.want, 1e-12) {
+				t.Fatalf("Draw(%v) = %v, want %v", tt.load, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestModelLoadForInvertsDraw(t *testing.T) {
+	m := Model{W1: 48.5, W2: 33.1}
+	for _, load := range []float64{0, 0.2, 0.77, 1} {
+		if got := m.LoadFor(m.Draw(load)); !mathx.ApproxEqual(got, load, 1e-9) {
+			t.Fatalf("LoadFor(Draw(%v)) = %v", load, got)
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := (Model{W1: 50, W2: 35}).Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	if err := (Model{W1: 0, W2: 35}).Validate(); err == nil {
+		t.Fatal("zero W1 should be rejected")
+	}
+	if err := (Model{W1: 50, W2: -1}).Validate(); err == nil {
+		t.Fatal("negative W2 should be rejected")
+	}
+}
+
+func TestTruthReducesToModel(t *testing.T) {
+	tr := Truth{Base: Model{W1: 50, W2: 35}}
+	for _, load := range []float64{0, 0.3, 1} {
+		want := tr.Base.Draw(load)
+		if got := tr.Draw(load, 60, true); !mathx.ApproxEqual(got, want, 1e-12) {
+			t.Fatalf("Draw(%v) = %v, want %v", load, got, want)
+		}
+	}
+}
+
+func TestTruthOffDrawsStandby(t *testing.T) {
+	tr := Truth{Base: Model{W1: 50, W2: 35}, StandbyW: 2}
+	if got := tr.Draw(1, 90, false); got != 2 {
+		t.Fatalf("off draw = %v, want 2", got)
+	}
+}
+
+func TestTruthLeakageIncreasesWithTemperature(t *testing.T) {
+	tr := Truth{Base: Model{W1: 50, W2: 35}, LeakPerK: 0.2, LeakRefC: 40}
+	cold := tr.Draw(0.5, 40, true)
+	hot := tr.Draw(0.5, 60, true)
+	if !mathx.ApproxEqual(hot-cold, 4, 1e-12) {
+		t.Fatalf("leakage delta = %v, want 4", hot-cold)
+	}
+}
+
+func TestTruthClampsLoad(t *testing.T) {
+	tr := Truth{Base: Model{W1: 50, W2: 35}}
+	if got := tr.Draw(-0.5, 50, true); !mathx.ApproxEqual(got, 35, 1e-12) {
+		t.Fatalf("negative load draw = %v, want idle", got)
+	}
+	if got := tr.Draw(1.5, 50, true); !mathx.ApproxEqual(got, 85, 1e-12) {
+		t.Fatalf("overload draw = %v, want full", got)
+	}
+}
+
+func TestTruthValidate(t *testing.T) {
+	valid := Truth{Base: Model{W1: 50, W2: 35}, Curve: 3, LeakPerK: 0.1, StandbyW: 2}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid truth rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		give Truth
+	}{
+		{name: "bad base", give: Truth{Base: Model{W1: -1, W2: 0}}},
+		{name: "negative curve", give: Truth{Base: Model{W1: 50, W2: 35}, Curve: -1}},
+		{name: "negative leak", give: Truth{Base: Model{W1: 50, W2: 35}, LeakPerK: -1}},
+		{name: "negative standby", give: Truth{Base: Model{W1: 50, W2: 35}, StandbyW: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.give.Validate(); err == nil {
+				t.Fatal("invalid truth accepted")
+			}
+		})
+	}
+}
+
+// Property: true power draw is monotone non-decreasing in load for any
+// physically valid parameterization.
+func TestTruthMonotoneInLoadProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRand(seed)
+		tr := Truth{
+			Base:     Model{W1: rng.Uniform(10, 100), W2: rng.Uniform(0, 60)},
+			Curve:    rng.Uniform(0, 10),
+			LeakPerK: rng.Uniform(0, 0.5),
+			LeakRefC: 40,
+		}
+		prev := -1.0
+		for load := 0.0; load <= 1.0; load += 0.05 {
+			p := tr.Draw(load, 55, true)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package profiling
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"coolopt/internal/core"
+)
+
+// Document is the serializable outcome of a profiling run: everything a
+// later process needs to plan against the room (the fitted profile and
+// the set-point calibration), without the bulky fit traces.
+type Document struct {
+	Profile     *core.Profile       `json:"profile"`
+	Calibration SetPointCalibration `json:"calibration"`
+}
+
+// Document extracts the serializable part of the result.
+func (r *Result) Document() Document {
+	return Document{Profile: r.Profile, Calibration: r.Calibration}
+}
+
+// WriteDocument writes the document as indented JSON.
+func WriteDocument(w io.Writer, doc Document) error {
+	if doc.Profile == nil {
+		return errors.New("profiling: document has no profile")
+	}
+	if err := doc.Profile.Validate(); err != nil {
+		return fmt.Errorf("profiling: refusing to write invalid profile: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadDocument parses and validates a document.
+func ReadDocument(r io.Reader) (Document, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return Document{}, fmt.Errorf("profiling: decode document: %w", err)
+	}
+	if doc.Profile == nil {
+		return Document{}, errors.New("profiling: document has no profile")
+	}
+	if err := doc.Profile.Validate(); err != nil {
+		return Document{}, fmt.Errorf("profiling: document profile invalid: %w", err)
+	}
+	return doc, nil
+}

@@ -1,0 +1,72 @@
+package profiling
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coolopt/internal/core"
+	"coolopt/internal/mathx"
+)
+
+func docProfile() *core.Profile {
+	return &core.Profile{
+		W1: 50, W2: 35, CoolFactor: 70, SetPointC: 30,
+		TMaxC: 58, TAcMinC: 8, TAcMaxC: 25,
+		Machines: []core.MachineProfile{
+			{Alpha: 0.96, Beta: 0.44, Gamma: 1.2},
+			{Alpha: 0.80, Beta: 0.48, Gamma: 6.0},
+		},
+	}
+}
+
+func TestDocumentRoundTrip(t *testing.T) {
+	doc := Document{
+		Profile:     docProfile(),
+		Calibration: SetPointCalibration{OffsetPerWatt: 0.003, OffsetBase: 0.05},
+	}
+	var buf bytes.Buffer
+	if err := WriteDocument(&buf, doc); err != nil {
+		t.Fatalf("WriteDocument: %v", err)
+	}
+	got, err := ReadDocument(&buf)
+	if err != nil {
+		t.Fatalf("ReadDocument: %v", err)
+	}
+	if !mathx.ApproxEqual(got.Profile.W1, 50, 1e-12) ||
+		len(got.Profile.Machines) != 2 ||
+		!mathx.ApproxEqual(got.Calibration.OffsetPerWatt, 0.003, 1e-12) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestWriteDocumentRejectsInvalid(t *testing.T) {
+	if err := WriteDocument(&bytes.Buffer{}, Document{}); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	bad := docProfile()
+	bad.W1 = -1
+	if err := WriteDocument(&bytes.Buffer{}, Document{Profile: bad}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestReadDocumentRejectsGarbage(t *testing.T) {
+	if _, err := ReadDocument(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadDocument(strings.NewReader(`{}`)); err == nil {
+		t.Fatal("empty document accepted")
+	}
+	if _, err := ReadDocument(strings.NewReader(`{"profile":{"w1":-1}}`)); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestResultDocument(t *testing.T) {
+	res := &Result{Profile: docProfile(), Calibration: SetPointCalibration{OffsetBase: 1}}
+	doc := res.Document()
+	if doc.Profile != res.Profile || doc.Calibration != res.Calibration {
+		t.Fatal("Document did not carry fields")
+	}
+}

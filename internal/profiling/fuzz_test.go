@@ -1,0 +1,29 @@
+package profiling
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDocument hardens the profile-document parser: arbitrary bytes
+// must either parse into a valid profile or be rejected, never panic.
+func FuzzReadDocument(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"profile":{"w1":-1}}`)
+	f.Add(`{"profile":{"w1":50,"w2":35,"coolFactor":70,"setPointC":30,` +
+		`"tMaxC":58,"tAcMinC":8,"tAcMaxC":25,` +
+		`"machines":[{"alpha":0.9,"beta":0.45,"gamma":3}]},` +
+		`"calibration":{"offsetPerWatt":0.003,"offsetBase":0.1}}`)
+	f.Add(`not json at all`)
+	f.Add(`{"profile":{"machines":[{"alpha":1e308,"beta":1e-308}]}}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := ReadDocument(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a usable profile.
+		if err := doc.Profile.Validate(); err != nil {
+			t.Fatalf("accepted invalid profile: %v", err)
+		}
+	})
+}

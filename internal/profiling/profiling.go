@@ -1,0 +1,437 @@
+// Package profiling reproduces the paper's system-profiling methodology
+// (§IV-A): estimate every coefficient the optimizer needs by running
+// controlled experiments against the (simulated) machine room and fitting
+// the measurements with least squares — never by peeking at ground truth.
+//
+// Four experiments build a core.Profile:
+//
+//  1. Power model: step the load through fixed levels, dwell at each while
+//     sampling the power meters at 1 Hz, then fit P = w1·L + w2 (Fig. 2).
+//  2. Thermal model: sweep load × CRAC set point, wait for steady state at
+//     each operating point, and fit T_cpu = α·T_ac + β·P + γ per machine
+//     (Fig. 3). Load levels are staggered across machines so each P_i
+//     varies while the room's total heat stays constant — without the
+//     stagger, per-machine power is perfectly collinear with total heat
+//     and the room-level recirculation effect corrupts β.
+//  3. Cooling cost: across the same sweep (total heat constant by the
+//     stagger), fit the CRAC's electrical power as an affine function of
+//     the supply temperature, giving the model's c·f_ac slope and
+//     effective set point (Eq. 10).
+//  4. Set-point calibration: step the total load at a fixed set point and
+//     fit the steady offset T_SP − T_ac against total server power, so
+//     policies can command a desired supply temperature by choosing the
+//     right set point (§IV-B).
+package profiling
+
+import (
+	"errors"
+	"fmt"
+
+	"coolopt/internal/core"
+	"coolopt/internal/machineroom"
+	"coolopt/internal/mathx"
+	"coolopt/internal/sim"
+	"coolopt/internal/telemetry"
+)
+
+// Config drives a profiling run. Zero values select the paper's protocol.
+type Config struct {
+	// Sim is the machine room under test — the in-process simulator or
+	// a remote room client.
+	Sim machineroom.Room
+	// TMaxC is the CPU temperature constraint to bake into the profile.
+	TMaxC float64
+	// TAcMinC and TAcMaxC are the CRAC's actuation bounds as known to
+	// the operator.
+	TAcMinC float64
+	TAcMaxC float64
+	// PowerLoadLevels are the utilization steps of the power experiment
+	// (default 0, 0.10, 0.25, 0.50, 0.75 — the paper's protocol).
+	PowerLoadLevels []float64
+	// PowerDwellS is the dwell per load level in seconds (default 900;
+	// the paper uses 15 minutes).
+	PowerDwellS float64
+	// ThermalLoadLevels and SetPoints define the thermal sweep grid.
+	ThermalLoadLevels []float64
+	SetPoints         []float64
+	// SettleS is the wait for thermal steady state in seconds (default
+	// 400; the paper observes stabilization in ≈200 s).
+	SettleS float64
+	// SmoothAlpha is the low-pass constant applied to meter traces
+	// before fitting and plotting (default 0.05).
+	SmoothAlpha float64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Sim == nil {
+		return errors.New("profiling: nil simulator")
+	}
+	if c.TMaxC == 0 {
+		c.TMaxC = sim.DefaultTMaxC
+	}
+	if c.TAcMinC == 0 && c.TAcMaxC == 0 {
+		c.TAcMinC, c.TAcMaxC = 10, 25
+	}
+	if len(c.PowerLoadLevels) == 0 {
+		c.PowerLoadLevels = []float64{0, 0.10, 0.25, 0.50, 0.75}
+	}
+	if c.PowerDwellS == 0 {
+		c.PowerDwellS = 900
+	}
+	if len(c.ThermalLoadLevels) == 0 {
+		c.ThermalLoadLevels = []float64{0, 0.25, 0.50, 0.75, 1}
+	}
+	if len(c.SetPoints) == 0 {
+		c.SetPoints = []float64{20, 22, 24, 26, 28}
+	}
+	if c.SettleS == 0 {
+		c.SettleS = 400
+	}
+	if c.SmoothAlpha == 0 {
+		c.SmoothAlpha = 0.05
+	}
+	return nil
+}
+
+// FitReport carries a fitted model's predictions against the measurements
+// that produced it, for the Fig. 2 / Fig. 3 style comparisons.
+type FitReport struct {
+	// Label names the experiment ("power", "thermal machine 7", …).
+	Label string
+	// Measured and Predicted are aligned series.
+	Measured  []float64
+	Predicted []float64
+	// RMSE and R2 summarize the fit quality.
+	RMSE float64
+	R2   float64
+}
+
+func newFitReport(label string, measured, predicted []float64) (FitReport, error) {
+	rmse, err := mathx.RMSE(predicted, measured)
+	if err != nil {
+		return FitReport{}, err
+	}
+	r2, err := mathx.RSquared(predicted, measured)
+	if err != nil {
+		return FitReport{}, err
+	}
+	return FitReport{Label: label, Measured: measured, Predicted: predicted, RMSE: rmse, R2: r2}, nil
+}
+
+// SetPointCalibration maps a desired supply temperature to the exhaust set
+// point that produces it: T_SP = T_ac + offset(Q), with the offset fitted
+// as an affine function of total server power Q.
+type SetPointCalibration struct {
+	// OffsetPerWatt and OffsetBase give offset = OffsetPerWatt·Q + OffsetBase.
+	OffsetPerWatt float64 `json:"offsetPerWatt"`
+	OffsetBase    float64 `json:"offsetBase"`
+}
+
+// SetPointFor returns the exhaust set point commanding the desired supply
+// temperature at the predicted total server power.
+func (c SetPointCalibration) SetPointFor(desiredTAcC, serverPowerW float64) float64 {
+	return desiredTAcC + c.OffsetPerWatt*serverPowerW + c.OffsetBase
+}
+
+// Result is a completed profiling run.
+type Result struct {
+	// Profile is the fitted model, ready for core.NewOptimizer.
+	Profile *core.Profile
+	// Calibration maps desired supply temperatures to set points.
+	Calibration SetPointCalibration
+	// PowerFit is the Fig. 2 comparison (1 Hz samples, smoothed).
+	PowerFit FitReport
+	// ThermalFits holds one Fig. 3 comparison per machine over the
+	// steady-state sweep grid.
+	ThermalFits []FitReport
+	// CoolingFit compares measured CRAC power against the fitted affine
+	// cooling model across the set-point sweep.
+	CoolingFit FitReport
+}
+
+// Run executes the full profiling protocol.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	w1, w2, powerFit, err := profilePower(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: power model: %w", err)
+	}
+	res.PowerFit = powerFit
+
+	machines, thermalFits, sweep, err := profileThermal(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: thermal model: %w", err)
+	}
+	res.ThermalFits = thermalFits
+
+	coolFactor, setPointEff, coolingFit, err := fitCooling(sweep)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: cooling model: %w", err)
+	}
+	res.CoolingFit = coolingFit
+
+	res.Calibration, err = calibrateSetPoint(&cfg)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: set-point calibration: %w", err)
+	}
+
+	res.Profile = &core.Profile{
+		W1:         w1,
+		W2:         w2,
+		CoolFactor: coolFactor,
+		SetPointC:  setPointEff,
+		TMaxC:      cfg.TMaxC,
+		TAcMinC:    cfg.TAcMinC,
+		TAcMaxC:    cfg.TAcMaxC,
+		Machines:   machines,
+	}
+	if err := res.Profile.Validate(); err != nil {
+		return nil, fmt.Errorf("profiling: fitted profile invalid: %w", err)
+	}
+	return res, nil
+}
+
+// profilePower runs the load-step experiment and fits Eq. 9. Samples are
+// pooled across every machine (identical hardware; pooling washes out the
+// per-meter calibration gains, as averaging multiple meters did for the
+// authors).
+func profilePower(cfg *Config) (w1, w2 float64, report FitReport, err error) {
+	s := cfg.Sim
+	var loads, watts []float64
+
+	for _, level := range cfg.PowerLoadLevels {
+		// The paper idles the machines briefly between levels.
+		if err := setAllLoads(s, 0); err != nil {
+			return 0, 0, FitReport{}, err
+		}
+		s.Run(60)
+		if err := setAllLoads(s, level); err != nil {
+			return 0, 0, FitReport{}, err
+		}
+		// Skip the thermal/electrical transient, then sample at 1 Hz.
+		s.Run(cfg.PowerDwellS * 0.2)
+		steps := int(cfg.PowerDwellS * 0.8)
+		for t := 0; t < steps; t++ {
+			s.Step()
+			for i := 0; i < s.Size(); i++ {
+				loads = append(loads, level)
+				watts = append(watts, s.MeasuredServerPower(i))
+			}
+		}
+	}
+
+	w1, w2, err = mathx.FitLine(loads, watts)
+	if err != nil {
+		return 0, 0, FitReport{}, err
+	}
+
+	// Fig. 2 series: smoothed measurements vs model prediction.
+	smoothed, err := mathx.Smooth(watts, cfg.SmoothAlpha)
+	if err != nil {
+		return 0, 0, FitReport{}, err
+	}
+	predicted := make([]float64, len(loads))
+	for i, l := range loads {
+		predicted[i] = w1*l + w2
+	}
+	report, err = newFitReport("power", smoothed, predicted)
+	if err != nil {
+		return 0, 0, FitReport{}, err
+	}
+	return w1, w2, report, nil
+}
+
+// operatingPoint is one steady state of the thermal sweep.
+type operatingPoint struct {
+	setPoint float64
+	supplyC  float64   // measured T_ac
+	returnC  float64   // measured exhaust temperature
+	serverW  float64   // measured total server power
+	cracW    float64   // measured CRAC power
+	powerW   []float64 // per-machine measured power
+	cpuC     []float64 // per-machine measured CPU temperature
+}
+
+// tracking reports whether the CRAC loop was actually holding the exhaust
+// at the set point for this operating point; points where the supply
+// clamped at an actuation bound are excluded from the set-point fits.
+func (op operatingPoint) tracking() bool {
+	diff := op.returnC - op.setPoint
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < 0.5
+}
+
+// profileThermal sweeps set point × staggered load patterns, records
+// steady states, and fits Eq. 8 per machine. In pattern r, machine i runs
+// at level (i + r) mod len(levels): every machine visits every level while
+// the total room heat stays constant, decorrelating per-machine power from
+// room-level recirculation. It returns the fitted machine profiles, the
+// Fig. 3 reports, and the raw sweep for the cooling fit.
+func profileThermal(cfg *Config) ([]core.MachineProfile, []FitReport, []operatingPoint, error) {
+	s := cfg.Sim
+	n := s.Size()
+	var sweep []operatingPoint
+
+	levels := cfg.ThermalLoadLevels
+	for _, sp := range cfg.SetPoints {
+		s.SetSetPoint(sp)
+		for r := range levels {
+			for i := 0; i < n; i++ {
+				if err := s.SetLoad(i, levels[(i+r)%len(levels)]); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+			s.Run(cfg.SettleS)
+			op := operatingPoint{
+				setPoint: sp,
+				supplyC:  s.Supply(),
+				returnC:  s.ReturnTemp(),
+				powerW:   make([]float64, n),
+				cpuC:     make([]float64, n),
+			}
+			// Average a short window of 1 Hz samples to tame noise.
+			const window = 30
+			cpuTr := make([]telemetry.Trace, n)
+			pwTr := make([]telemetry.Trace, n)
+			var cracTr, servTr telemetry.Trace
+			for w := 0; w < window; w++ {
+				s.Step()
+				var serv float64
+				for i := 0; i < n; i++ {
+					cpuTr[i].Append(s.Time(), s.MeasuredCPUTemp(i))
+					p := s.MeasuredServerPower(i)
+					pwTr[i].Append(s.Time(), p)
+					serv += p
+				}
+				cracTr.Append(s.Time(), s.MeasuredCRACPower())
+				servTr.Append(s.Time(), serv)
+			}
+			for i := 0; i < n; i++ {
+				op.cpuC[i] = cpuTr[i].Tail(window)
+				op.powerW[i] = pwTr[i].Tail(window)
+			}
+			op.cracW = cracTr.Tail(window)
+			op.serverW = servTr.Tail(window)
+			sweep = append(sweep, op)
+		}
+	}
+
+	machines := make([]core.MachineProfile, n)
+	reports := make([]FitReport, n)
+	for i := 0; i < n; i++ {
+		design := make([][]float64, len(sweep))
+		target := make([]float64, len(sweep))
+		for j, op := range sweep {
+			design[j] = []float64{op.supplyC, op.powerW[i], 1}
+			target[j] = op.cpuC[i]
+		}
+		beta, err := mathx.LeastSquares(design, target)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("machine %d: %w", i, err)
+		}
+		machines[i] = core.MachineProfile{Alpha: beta[0], Beta: beta[1], Gamma: beta[2]}
+
+		predicted := make([]float64, len(sweep))
+		for j, op := range sweep {
+			predicted[j] = beta[0]*op.supplyC + beta[1]*op.powerW[i] + beta[2]
+		}
+		reports[i], err = newFitReport(fmt.Sprintf("thermal machine %d", i), target, predicted)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return machines, reports, sweep, nil
+}
+
+// fitCooling fits the paper's affine cooling model: CRAC electrical power
+// against supply temperature. Thanks to the staggered sweep the heat being
+// removed is the same at every point, so the set point moves only the
+// supply temperature. The slope gives c·f_ac and the zero crossing the
+// effective set-point constant, so CoolFactor·(T_SP − T_ac) tracks the
+// measured CRAC draw around the operating region.
+func fitCooling(sweep []operatingPoint) (coolFactor, setPointEff float64, report FitReport, err error) {
+	var xs, ys []float64
+	for _, op := range sweep {
+		xs = append(xs, op.supplyC)
+		ys = append(ys, op.cracW)
+	}
+	if len(xs) < 2 {
+		return 0, 0, FitReport{}, errors.New("not enough operating points")
+	}
+	slope, intercept, err := mathx.FitLine(xs, ys)
+	if err != nil {
+		return 0, 0, FitReport{}, err
+	}
+	if slope >= 0 {
+		return 0, 0, FitReport{}, fmt.Errorf("cooling power rises with supply temperature (slope %v)", slope)
+	}
+	coolFactor = -slope
+	setPointEff = intercept / coolFactor
+
+	predicted := make([]float64, len(xs))
+	for i := range xs {
+		predicted[i] = coolFactor * (setPointEff - xs[i])
+	}
+	report, err = newFitReport("cooling", ys, predicted)
+	if err != nil {
+		return 0, 0, FitReport{}, err
+	}
+	return coolFactor, setPointEff, report, nil
+}
+
+// calibrateSetPoint steps the total load uniformly at the default set
+// point and fits T_SP − T_ac as an affine function of total server power.
+func calibrateSetPoint(cfg *Config) (SetPointCalibration, error) {
+	s := cfg.Sim
+	s.SetSetPoint(sim.DefaultSetPointC)
+	var xs, ys []float64
+	for _, level := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		if err := setAllLoads(s, level); err != nil {
+			return SetPointCalibration{}, err
+		}
+		s.Run(cfg.SettleS)
+		var servTr telemetry.Trace
+		const window = 30
+		for w := 0; w < window; w++ {
+			s.Step()
+			var serv float64
+			for i := 0; i < s.Size(); i++ {
+				serv += s.MeasuredServerPower(i)
+			}
+			servTr.Append(s.Time(), serv)
+		}
+		op := operatingPoint{
+			setPoint: s.SetPoint(),
+			supplyC:  s.Supply(),
+			returnC:  s.ReturnTemp(),
+		}
+		if !op.tracking() {
+			continue // supply clamped; not a usable calibration point
+		}
+		xs = append(xs, servTr.Tail(window))
+		ys = append(ys, op.setPoint-op.supplyC)
+	}
+	if len(xs) < 2 {
+		return SetPointCalibration{}, errors.New("no tracking operating points for calibration")
+	}
+	slope, intercept, err := mathx.FitLine(xs, ys)
+	if err != nil {
+		return SetPointCalibration{}, err
+	}
+	return SetPointCalibration{OffsetPerWatt: slope, OffsetBase: intercept}, nil
+}
+
+func setAllLoads(s machineroom.Room, level float64) error {
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, level); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package profiling
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"coolopt/internal/sim"
+)
+
+// sharedResult caches one full profiling run; the protocol simulates hours
+// of testbed time, so tests share it.
+var (
+	resultOnce sync.Once
+	sharedRes  *Result
+	sharedErr  error
+)
+
+func profiledResult(t *testing.T) *Result {
+	t.Helper()
+	resultOnce.Do(func() {
+		s, err := sim.NewDefault(1)
+		if err != nil {
+			sharedErr = err
+			return
+		}
+		sharedRes, sharedErr = Run(Config{Sim: s})
+	})
+	if sharedErr != nil {
+		t.Fatalf("profiling run: %v", sharedErr)
+	}
+	return sharedRes
+}
+
+func TestRunRejectsNilSim(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil simulator accepted")
+	}
+}
+
+func TestPowerModelRecoversTruth(t *testing.T) {
+	res := profiledResult(t)
+	p := res.Profile
+	// Ground truth is W1=50 plus a small curvature and leakage the
+	// affine fit absorbs; W2=35.
+	if p.W1 < 45 || p.W1 > 62 {
+		t.Fatalf("w1 = %v, outside plausible band around truth 50", p.W1)
+	}
+	if p.W2 < 30 || p.W2 > 40 {
+		t.Fatalf("w2 = %v, outside plausible band around truth 35", p.W2)
+	}
+	if res.PowerFit.R2 < 0.99 {
+		t.Fatalf("power fit R² = %v — the paper's Fig. 2 shows a near-perfect fit", res.PowerFit.R2)
+	}
+}
+
+func TestThermalModelFitsEveryMachine(t *testing.T) {
+	res := profiledResult(t)
+	if len(res.ThermalFits) != len(res.Profile.Machines) {
+		t.Fatalf("%d thermal fits for %d machines", len(res.ThermalFits), len(res.Profile.Machines))
+	}
+	for i, fit := range res.ThermalFits {
+		if fit.R2 < 0.99 {
+			t.Fatalf("machine %d thermal R² = %v, want ≥ 0.99 (paper: a few percent error)", i, fit.R2)
+		}
+		if fit.RMSE > 1.0 {
+			t.Fatalf("machine %d thermal RMSE = %v °C", i, fit.RMSE)
+		}
+	}
+}
+
+func TestThermalBetaTracksGroundTruth(t *testing.T) {
+	res := profiledResult(t)
+	s, err := sim.NewDefault(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range res.Profile.Machines {
+		truth := s.Rack().Machines[i].Thermal.Beta()
+		if rel := math.Abs(m.Beta-truth) / truth; rel > 0.10 {
+			t.Fatalf("machine %d β = %v vs truth %v (%.1f%% off)", i, m.Beta, truth, rel*100)
+		}
+	}
+}
+
+func TestThermalGammaReflectsRackPosition(t *testing.T) {
+	// Higher machines ingest more hot-aisle air; their fitted offset γ
+	// must trend upward with height.
+	res := profiledResult(t)
+	ms := res.Profile.Machines
+	n := len(ms)
+	bottom := (ms[0].Gamma + ms[1].Gamma + ms[2].Gamma) / 3
+	top := (ms[n-1].Gamma + ms[n-2].Gamma + ms[n-3].Gamma) / 3
+	if bottom >= top {
+		t.Fatalf("bottom γ avg %v ≥ top γ avg %v", bottom, top)
+	}
+}
+
+func TestCoolingModelFitsAndIsExploitable(t *testing.T) {
+	res := profiledResult(t)
+	p := res.Profile
+	if p.CoolFactor <= 0 {
+		t.Fatalf("cool factor = %v", p.CoolFactor)
+	}
+	if res.CoolingFit.R2 < 0.9 {
+		t.Fatalf("cooling fit R² = %v", res.CoolingFit.R2)
+	}
+	// Raising the supply by 1 °C must be worth a nontrivial number of
+	// Watts — otherwise the joint optimization has nothing to trade.
+	if p.CoolFactor < 10 || p.CoolFactor > 200 {
+		t.Fatalf("cool factor %v W/K outside plausible band", p.CoolFactor)
+	}
+}
+
+func TestCalibrationCommandsDesiredSupply(t *testing.T) {
+	// The §IV-B loop: pick a desired T_ac, compute the set point via the
+	// calibration, run the room, and verify the supply lands close.
+	res := profiledResult(t)
+	s, err := sim.NewDefault(99) // different noise seed than profiling
+	if err != nil {
+		t.Fatal(err)
+	}
+	const level = 0.6
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, level); err != nil {
+			t.Fatal(err)
+		}
+	}
+	predictedW := float64(s.Size()) * (res.Profile.W1*level + res.Profile.W2)
+	const desired = 19.0
+	s.SetSetPoint(res.Calibration.SetPointFor(desired, predictedW))
+	s.Run(4000)
+	if diff := math.Abs(s.Supply() - desired); diff > 0.4 {
+		t.Fatalf("commanded supply %v °C, got %v (off by %v)", desired, s.Supply(), diff)
+	}
+}
+
+func TestFitReportSeriesAligned(t *testing.T) {
+	res := profiledResult(t)
+	if len(res.PowerFit.Measured) != len(res.PowerFit.Predicted) {
+		t.Fatal("power fit series misaligned")
+	}
+	if len(res.PowerFit.Measured) == 0 {
+		t.Fatal("power fit series empty")
+	}
+	for _, fit := range res.ThermalFits {
+		if len(fit.Measured) != len(fit.Predicted) || len(fit.Measured) == 0 {
+			t.Fatalf("%s series invalid", fit.Label)
+		}
+	}
+}
+
+func TestProfileFeedsOptimizer(t *testing.T) {
+	res := profiledResult(t)
+	if err := res.Profile.Validate(); err != nil {
+		t.Fatalf("fitted profile invalid: %v", err)
+	}
+	// K_i must be ≥ 1: every machine can run at full load at a 0 °C
+	// supply without violating T_max under the fitted model.
+	for i := range res.Profile.Machines {
+		if k := res.Profile.K(i); k < 1 {
+			t.Fatalf("machine %d K = %v < 1", i, k)
+		}
+	}
+}
+
+func TestSetPointForIsAffine(t *testing.T) {
+	c := SetPointCalibration{OffsetPerWatt: 0.003, OffsetBase: 0.1}
+	got := c.SetPointFor(20, 1000)
+	if math.Abs(got-23.1) > 1e-12 {
+		t.Fatalf("SetPointFor = %v, want 23.1", got)
+	}
+}

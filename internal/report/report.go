@@ -1,0 +1,147 @@
+// Package report renders a complete reproduction report — profiling fit
+// quality, every evaluation figure, the constraint verification, and the
+// paper-vs-measured headline — as a single markdown document, so one
+// `paperbench -report` run produces an EXPERIMENTS-style record of the
+// exact numbers a given seed and room configuration yield.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"coolopt/internal/figures"
+)
+
+// Options configures Generate.
+type Options struct {
+	// Title heads the document (default "coolopt reproduction report").
+	Title string
+	// Fig3Machine selects the machine for the thermal-fit section
+	// (default 10, clamped into range).
+	Fig3Machine int
+}
+
+// Generate writes the full report for a collected dataset.
+func Generate(w io.Writer, ds *figures.Dataset, opts Options) error {
+	if ds == nil {
+		return fmt.Errorf("report: nil dataset")
+	}
+	if opts.Title == "" {
+		opts.Title = "coolopt reproduction report"
+	}
+	sys := ds.System()
+	profile := sys.Profile()
+	if opts.Fig3Machine < 0 || opts.Fig3Machine >= profile.Size() {
+		opts.Fig3Machine = profile.Size() / 2
+	}
+
+	bw := &errWriter{w: w}
+	bw.printf("# %s\n\n", opts.Title)
+	bw.printf("Room: %d machines, T_max %.1f °C, supply range [%.1f, %.1f] °C.\n\n",
+		profile.Size(), profile.TMaxC, profile.TAcMinC, profile.TAcMaxC)
+
+	// --- profiling ---------------------------------------------------
+	res := sys.Profiling()
+	bw.printf("## Profiling (paper §IV-A)\n\n")
+	bw.printf("- Power model: `P = %.2f·L + %.2f W` — fit RMSE %.2f W, R² %.4f (Fig. 2).\n",
+		profile.W1, profile.W2, res.PowerFit.RMSE, res.PowerFit.R2)
+	worstR2, worstIdx := 1.0, 0
+	for i, fit := range res.ThermalFits {
+		if fit.R2 < worstR2 {
+			worstR2, worstIdx = fit.R2, i
+		}
+	}
+	bw.printf("- Thermal model: per-machine fits all R² ≥ %.4f (worst: machine %d) (Fig. 3).\n",
+		worstR2, worstIdx)
+	bw.printf("- Cooling model: `P_ac = %.1f·(%.2f − T_ac) W` — fit R² %.4f.\n",
+		profile.CoolFactor, profile.SetPointC, res.CoolingFit.R2)
+	bw.printf("- Set-point calibration: `T_SP = T_ac + %.5f·Q + %.3f`.\n\n",
+		res.Calibration.OffsetPerWatt, res.Calibration.OffsetBase)
+
+	// --- figures ------------------------------------------------------
+	bw.printf("## Evaluation figures\n\n")
+	for _, fig := range []*figures.Figure{
+		ds.Fig5(), ds.Fig6(), ds.Fig7(), ds.Fig8(), ds.Fig9(), ds.Fig10(), ds.ModelValidation(),
+	} {
+		writeFigure(bw, fig)
+	}
+
+	// --- verification --------------------------------------------------
+	bw.printf("## Constraint verification (paper §IV-B)\n\n")
+	if _, err := ds.VerifyConstraints(); err != nil {
+		bw.printf("**VIOLATIONS DETECTED**: %v\n\n", err)
+	} else {
+		bw.printf("No CPU exceeded T_max and every scenario carried its full load across the sweep.\n\n")
+	}
+
+	// --- headline -------------------------------------------------------
+	fig9 := ds.Fig9()
+	var sum, best float64
+	for _, v := range fig9.Series[0].Y {
+		sum += v
+		if v > best {
+			best = v
+		}
+	}
+	avg := sum / float64(len(fig9.Series[0].Y))
+	bw.printf("## Headline\n\n")
+	bw.printf("Holistic optimal (#8) vs cool job allocation with consolidation (#7): ")
+	bw.printf("**average saving %.1f %%, best case %.1f %%** (paper: 7 %% average, up to 18 %%).\n", avg, best)
+	return bw.err
+}
+
+// writeFigure renders one figure as a markdown table.
+func writeFigure(bw *errWriter, fig *figures.Figure) {
+	bw.printf("### %s — %s\n\n", fig.ID, fig.Title)
+	if len(fig.Series) > 0 && len(fig.Series[0].X) > 0 {
+		header := []string{fig.XLabel}
+		for _, s := range fig.Series {
+			header = append(header, s.Name)
+		}
+		bw.printf("| %s |\n", strings.Join(header, " | "))
+		bw.printf("|%s\n", strings.Repeat("---|", len(header)))
+		for i, x := range fig.Series[0].X {
+			row := []string{fmt.Sprintf("%.4g", x)}
+			for _, s := range fig.Series {
+				if i < len(s.Y) {
+					row = append(row, fmt.Sprintf("%.1f", s.Y[i]))
+				} else {
+					row = append(row, "")
+				}
+			}
+			bw.printf("| %s |\n", strings.Join(row, " | "))
+		}
+	}
+	for _, n := range fig.Notes {
+		bw.printf("\n*%s*\n", n)
+	}
+	bw.printf("\n")
+}
+
+// Headline returns the (avg, best) #8-vs-#7 saving of a dataset, for
+// callers that only need the summary numbers.
+func Headline(ds *figures.Dataset) (avgPct, bestPct float64) {
+	fig9 := ds.Fig9()
+	var sum float64
+	for _, v := range fig9.Series[0].Y {
+		sum += v
+		if v > bestPct {
+			bestPct = v
+		}
+	}
+	return sum / float64(len(fig9.Series[0].Y)), bestPct
+}
+
+// errWriter latches the first write error so formatting code stays clean.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"coolopt"
+	"coolopt/internal/figures"
+)
+
+var (
+	dsOnce sync.Once
+	dsInst *figures.Dataset
+	dsErr  error
+)
+
+func sharedDataset(t *testing.T) *figures.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		sys, err := coolopt.NewSystem()
+		if err != nil {
+			dsErr = err
+			return
+		}
+		dsInst, dsErr = figures.Collect(sys, []float64{0.3, 0.6, 0.9})
+	})
+	if dsErr != nil {
+		t.Fatalf("collect: %v", dsErr)
+	}
+	return dsInst
+}
+
+func TestGenerateFullReport(t *testing.T) {
+	ds := sharedDataset(t)
+	var buf bytes.Buffer
+	if err := Generate(&buf, ds, Options{}); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# coolopt reproduction report",
+		"## Profiling (paper §IV-A)",
+		"Power model:",
+		"### Fig. 6",
+		"### Fig. 9",
+		"### Validation",
+		"## Constraint verification",
+		"No CPU exceeded T_max",
+		"## Headline",
+		"average saving",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Markdown tables must be present and aligned-ish.
+	if !strings.Contains(out, "|---|") {
+		t.Fatal("report has no markdown tables")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if err := Generate(&bytes.Buffer{}, nil, Options{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestGenerateCustomTitleAndMachineClamp(t *testing.T) {
+	ds := sharedDataset(t)
+	var buf bytes.Buffer
+	if err := Generate(&buf, ds, Options{Title: "my run", Fig3Machine: 999}); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), "# my run") {
+		t.Fatal("custom title not used")
+	}
+}
+
+func TestGeneratePropagatesWriteErrors(t *testing.T) {
+	ds := sharedDataset(t)
+	if err := Generate(failWriter{}, ds, Options{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	ds := sharedDataset(t)
+	avg, best := Headline(ds)
+	if avg <= 0 || best < avg {
+		t.Fatalf("headline avg %.2f best %.2f implausible", avg, best)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink closed" }

@@ -1,0 +1,225 @@
+// Package room models the machine-room air paths around a rack: how cool
+// supply air from the CRAC reaches each machine's inlet, and how the
+// machines' hot outlets mix into the single return stream the CRAC sees.
+//
+// The paper (Eq. 7) captures a machine's position with an affine inlet map
+// T_i^in = α_i·T_ac + γ_i. Our ground truth realizes that map physically:
+// each inlet draws a position-dependent blend of supply air and
+// recirculated room air, T_i^in = a_i·T_ac + (1−a_i)·T_return. While the
+// CRAC holds the return stream near its set point, the blend is affine in
+// T_ac with α_i = a_i and γ_i ≈ (1−a_i)·T_SP — which is exactly what the
+// profiling pipeline estimates. When operating conditions drift, γ_i drifts
+// too; that residual is the modeling error the paper accepts.
+//
+// The testbed's rack is supplied from the ceiling, yet the paper observes
+// the *bottom* of the rack is the cooler spot (§IV-B); the cold stream
+// falls and pools low while the upper slots entrain more recirculated hot
+// air. GenRack reproduces that profile: supply fraction a_i decreases with
+// height.
+package room
+
+import (
+	"fmt"
+
+	"coolopt/internal/mathx"
+	"coolopt/internal/power"
+	"coolopt/internal/thermal"
+)
+
+// Machine is one computing unit in the rack with its ground-truth physics.
+type Machine struct {
+	// ID is the machine's index in the rack, 0 at the bottom.
+	ID int
+	// Height is the normalized slot height in [0, 1], 0 at the bottom.
+	Height float64
+	// SupplyFraction a_i is the fraction of this machine's intake drawn
+	// directly from the CRAC supply stream; the rest is recirculated
+	// room air.
+	SupplyFraction float64
+	// Thermal holds the unit's lumped-RC constants.
+	Thermal thermal.Params
+	// Power holds the unit's ground-truth electrical behaviour.
+	Power power.Truth
+	// CapacityTPS is the unit's application capacity in tasks per
+	// second at 100 % utilization (paper §IV-A measures this for the
+	// html word-histogram workload).
+	CapacityTPS float64
+}
+
+// InletTemp returns the machine's intake air temperature in °C given the
+// CRAC supply temperature and the current recirculated (return) air
+// temperature.
+func (m Machine) InletTemp(supplyC, returnC float64) float64 {
+	return m.SupplyFraction*supplyC + (1-m.SupplyFraction)*returnC
+}
+
+// TrueAlphaGamma returns the effective affine inlet coefficients (α_i, γ_i)
+// of paper Eq. 7 when the return stream sits at returnC — the values a
+// perfect profiler would recover.
+func (m Machine) TrueAlphaGamma(returnC float64) (alpha, gamma float64) {
+	return m.SupplyFraction, (1 - m.SupplyFraction) * returnC
+}
+
+// Rack is an ordered set of machines, index 0 at the bottom.
+type Rack struct {
+	Machines []Machine
+}
+
+// Size returns the number of machines in the rack.
+func (r *Rack) Size() int { return len(r.Machines) }
+
+// Validate checks every machine's physical parameters.
+func (r *Rack) Validate() error {
+	if len(r.Machines) == 0 {
+		return fmt.Errorf("room: empty rack")
+	}
+	for i, m := range r.Machines {
+		if m.ID != i {
+			return fmt.Errorf("room: machine %d has ID %d", i, m.ID)
+		}
+		if m.SupplyFraction <= 0 || m.SupplyFraction > 1 {
+			return fmt.Errorf("room: machine %d supply fraction %v out of (0, 1]", i, m.SupplyFraction)
+		}
+		if m.CapacityTPS <= 0 {
+			return fmt.Errorf("room: machine %d capacity %v must be positive", i, m.CapacityTPS)
+		}
+		if err := m.Thermal.Validate(); err != nil {
+			return fmt.Errorf("room: machine %d: %w", i, err)
+		}
+		if err := m.Power.Validate(); err != nil {
+			return fmt.Errorf("room: machine %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MixReturn returns the temperature in °C of the CRAC's return stream: the
+// flow-weighted mix of all running machines' outlet air plus the bypass
+// flow that short-circuits from supply to return. flows and outletC list
+// the per-machine outtake flows (m³/s; zero for machines that are off) and
+// outlet temperatures; cracFlow is the CRAC's total fixed flow.
+func MixReturn(flows, outletC []float64, cracFlow, supplyC float64) (float64, error) {
+	if len(flows) != len(outletC) {
+		return 0, fmt.Errorf("room: %d flows but %d outlet temps", len(flows), len(outletC))
+	}
+	var sumFlow, sumHeat float64
+	for i, f := range flows {
+		if f < 0 {
+			return 0, fmt.Errorf("room: negative flow %v at machine %d", f, i)
+		}
+		sumFlow += f
+		sumHeat += f * outletC[i]
+	}
+	if sumFlow > cracFlow {
+		// More air moves through the machines than the CRAC supplies;
+		// the surplus recirculates, so the return sees only the
+		// machine outlets.
+		return sumHeat / sumFlow, nil
+	}
+	bypass := cracFlow - sumFlow
+	return (sumHeat + bypass*supplyC) / cracFlow, nil
+}
+
+// RackSpec parameterizes GenRack. Zero values select the defaults used for
+// the paper's 20-machine testbed reproduction (see DefaultRackSpec).
+type RackSpec struct {
+	// N is the number of machines.
+	N int
+	// Seed drives the per-machine parameter jitter.
+	Seed int64
+	// SupplyFracBottom and SupplyFracTop set the supply-fraction
+	// gradient from the bottom slot to the top slot.
+	SupplyFracBottom float64
+	SupplyFracTop    float64
+	// Jitter is the relative standard deviation applied to per-machine
+	// physical parameters (manufacturing and placement variation).
+	Jitter float64
+	// PowerBase is the nominal affine power model shared by all
+	// machines (they are identical hardware in the paper).
+	PowerBase power.Model
+	// CapacityTPS is the nominal application capacity per machine.
+	CapacityTPS float64
+}
+
+// DefaultRackSpec returns the 20-machine configuration matching the
+// paper's testbed scale: Dell R210-class machines (~35 W idle, ~85 W at
+// full load) with a pronounced bottom-cool / top-warm inlet gradient.
+func DefaultRackSpec() RackSpec {
+	return RackSpec{
+		N:                20,
+		Seed:             1,
+		SupplyFracBottom: 0.98,
+		SupplyFracTop:    0.60,
+		Jitter:           0.07,
+		PowerBase:        power.Model{W1: 50, W2: 35},
+		CapacityTPS:      120,
+	}
+}
+
+// GenRack builds a rack of n machines with a height-dependent inlet
+// gradient and seeded per-machine jitter.
+func GenRack(spec RackSpec) (*Rack, error) {
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("room: rack size %d must be positive", spec.N)
+	}
+	if spec.SupplyFracBottom <= 0 || spec.SupplyFracBottom > 1 ||
+		spec.SupplyFracTop <= 0 || spec.SupplyFracTop > 1 {
+		return nil, fmt.Errorf("room: supply fractions (%v, %v) out of (0, 1]",
+			spec.SupplyFracBottom, spec.SupplyFracTop)
+	}
+	if spec.Jitter < 0 || spec.Jitter > 0.5 {
+		return nil, fmt.Errorf("room: jitter %v out of [0, 0.5]", spec.Jitter)
+	}
+	if err := spec.PowerBase.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.CapacityTPS <= 0 {
+		return nil, fmt.Errorf("room: capacity %v must be positive", spec.CapacityTPS)
+	}
+
+	rng := mathx.NewRand(spec.Seed)
+	jit := func(nominal float64) float64 {
+		if spec.Jitter == 0 {
+			return nominal
+		}
+		return nominal * (1 + rng.Normal(0, spec.Jitter))
+	}
+
+	machines := make([]Machine, spec.N)
+	for i := range machines {
+		height := 0.0
+		if spec.N > 1 {
+			height = float64(i) / float64(spec.N-1)
+		}
+		frac := spec.SupplyFracBottom + (spec.SupplyFracTop-spec.SupplyFracBottom)*height
+		frac = mathx.Clamp(jit(frac), 0.5, 1)
+		// Upper machines sit in slightly warmer, thinner streams and
+		// pull marginally less air.
+		flow := jit(0.010 * (1 - 0.1*height))
+		machines[i] = Machine{
+			ID:             i,
+			Height:         height,
+			SupplyFraction: frac,
+			Thermal: thermal.Params{
+				NuCPU: jit(120),
+				NuBox: jit(60),
+				Theta: jit(2.5),
+				Flow:  flow,
+				CAir:  thermal.CAirDefault,
+			},
+			Power: power.Truth{
+				Base:     spec.PowerBase,
+				Curve:    2,
+				LeakPerK: 0.05,
+				LeakRefC: 45,
+				StandbyW: 2,
+			},
+			CapacityTPS: jit(spec.CapacityTPS),
+		}
+	}
+	r := &Rack{Machines: machines}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,220 @@
+package room
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coolopt/internal/mathx"
+	"coolopt/internal/power"
+	"coolopt/internal/thermal"
+)
+
+func TestGenRackDefaults(t *testing.T) {
+	r, err := GenRack(DefaultRackSpec())
+	if err != nil {
+		t.Fatalf("GenRack: %v", err)
+	}
+	if r.Size() != 20 {
+		t.Fatalf("Size = %d, want 20", r.Size())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGenRackDeterministic(t *testing.T) {
+	a, err := GenRack(DefaultRackSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenRack(DefaultRackSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Machines {
+		if a.Machines[i] != b.Machines[i] {
+			t.Fatalf("machine %d differs across identical specs", i)
+		}
+	}
+}
+
+func TestGenRackBottomCoolerThanTop(t *testing.T) {
+	// The paper's testbed has its coolest spots at the bottom of the
+	// rack; with equal supply temperature, lower machines must get a
+	// larger share of supply air (on average across jitter).
+	r, err := GenRack(DefaultRackSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.Size()
+	bottom := mathx.Mean([]float64{
+		r.Machines[0].SupplyFraction,
+		r.Machines[1].SupplyFraction,
+		r.Machines[2].SupplyFraction,
+	})
+	top := mathx.Mean([]float64{
+		r.Machines[n-1].SupplyFraction,
+		r.Machines[n-2].SupplyFraction,
+		r.Machines[n-3].SupplyFraction,
+	})
+	if bottom <= top {
+		t.Fatalf("bottom supply fraction %v ≤ top %v", bottom, top)
+	}
+}
+
+func TestGenRackValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*RackSpec)
+	}{
+		{name: "zero size", mutate: func(s *RackSpec) { s.N = 0 }},
+		{name: "bad bottom frac", mutate: func(s *RackSpec) { s.SupplyFracBottom = 0 }},
+		{name: "bad top frac", mutate: func(s *RackSpec) { s.SupplyFracTop = 1.5 }},
+		{name: "bad jitter", mutate: func(s *RackSpec) { s.Jitter = 0.9 }},
+		{name: "bad power", mutate: func(s *RackSpec) { s.PowerBase = power.Model{} }},
+		{name: "bad capacity", mutate: func(s *RackSpec) { s.CapacityTPS = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := DefaultRackSpec()
+			tt.mutate(&spec)
+			if _, err := GenRack(spec); err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+		})
+	}
+}
+
+func TestInletTempBlends(t *testing.T) {
+	m := Machine{SupplyFraction: 0.8}
+	got := m.InletTemp(15, 30)
+	if !mathx.ApproxEqual(got, 0.8*15+0.2*30, 1e-12) {
+		t.Fatalf("InletTemp = %v", got)
+	}
+}
+
+func TestTrueAlphaGammaConsistentWithInlet(t *testing.T) {
+	m := Machine{SupplyFraction: 0.85}
+	const returnC = 32.0
+	alpha, gamma := m.TrueAlphaGamma(returnC)
+	for _, supply := range []float64{12, 16, 20} {
+		want := m.InletTemp(supply, returnC)
+		if got := alpha*supply + gamma; !mathx.ApproxEqual(got, want, 1e-12) {
+			t.Fatalf("affine map gives %v, inlet gives %v", got, want)
+		}
+	}
+}
+
+func TestMixReturnAllBypass(t *testing.T) {
+	got, err := MixReturn([]float64{0, 0}, []float64{50, 60}, 1.0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(got, 15, 1e-12) {
+		t.Fatalf("all-bypass return = %v, want supply 15", got)
+	}
+}
+
+func TestMixReturnWeightsByFlow(t *testing.T) {
+	// One machine at 0.3 m³/s and 40 °C, bypass 0.7 m³/s at 10 °C.
+	got, err := MixReturn([]float64{0.3}, []float64{40}, 1.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.3*40 + 0.7*10) / 1.0
+	if !mathx.ApproxEqual(got, want, 1e-12) {
+		t.Fatalf("MixReturn = %v, want %v", got, want)
+	}
+}
+
+func TestMixReturnOversubscribedFlow(t *testing.T) {
+	// Machines pull more air than the CRAC moves: return sees outlets only.
+	got, err := MixReturn([]float64{1, 1}, []float64{30, 50}, 1.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(got, 40, 1e-12) {
+		t.Fatalf("MixReturn = %v, want 40", got)
+	}
+}
+
+func TestMixReturnErrors(t *testing.T) {
+	if _, err := MixReturn([]float64{1}, []float64{1, 2}, 1, 10); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := MixReturn([]float64{-1}, []float64{1}, 1, 10); err == nil {
+		t.Fatal("negative flow should error")
+	}
+}
+
+func TestRackValidateCatchesCorruption(t *testing.T) {
+	r, err := GenRack(DefaultRackSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Machines[3].SupplyFraction = 2
+	if err := r.Validate(); err == nil {
+		t.Fatal("corrupted rack accepted")
+	}
+	var empty Rack
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty rack accepted")
+	}
+	r2, err := GenRack(DefaultRackSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Machines[0].ID = 7
+	if err := r2.Validate(); err == nil {
+		t.Fatal("mis-indexed rack accepted")
+	}
+	r3, err := GenRack(DefaultRackSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Machines[0].Thermal = thermal.Params{}
+	if err := r3.Validate(); err == nil {
+		t.Fatal("invalid thermal params accepted")
+	}
+}
+
+// Property: MixReturn always lies within the envelope of its inputs
+// (outlet temperatures and supply temperature) — mixing cannot create
+// temperatures outside the blend.
+func TestMixReturnEnvelopeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRand(seed)
+		n := 1 + rng.Intn(8)
+		flows := make([]float64, n)
+		temps := make([]float64, n)
+		lo, hi := 1e9, -1e9
+		supply := rng.Uniform(10, 20)
+		if supply < lo {
+			lo = supply
+		}
+		if supply > hi {
+			hi = supply
+		}
+		var total float64
+		for i := range flows {
+			flows[i] = rng.Uniform(0, 0.05)
+			temps[i] = rng.Uniform(20, 60)
+			total += flows[i]
+			if temps[i] < lo {
+				lo = temps[i]
+			}
+			if temps[i] > hi {
+				hi = temps[i]
+			}
+		}
+		cracFlow := total + rng.Uniform(0, 0.5)
+		got, err := MixReturn(flows, temps, cracFlow, supply)
+		if err != nil {
+			return false
+		}
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package room
+
+import "fmt"
+
+// RowSpec describes a row of racks at increasing distance from the CRAC.
+// The paper's solution "addressed load distribution at the machine level
+// (as well as selection of those machines to power on) within or across
+// racks"; GenRow builds the across-racks case: every rack carries the
+// usual bottom-to-top gradient, and racks farther from the cooling unit
+// receive a weaker share of supply air overall.
+type RowSpec struct {
+	// Racks is the number of racks in the row.
+	Racks int
+	// Base is the per-rack template (its N is machines per rack).
+	Base RackSpec
+	// SupplyDecayPerRack is subtracted from every machine's supply
+	// fraction for each rack of distance from the CRAC (default 0.06).
+	SupplyDecayPerRack float64
+}
+
+// DefaultRowSpec returns a 3-rack row of the default racks.
+func DefaultRowSpec() RowSpec {
+	base := DefaultRackSpec()
+	return RowSpec{
+		Racks:              3,
+		Base:               base,
+		SupplyDecayPerRack: 0.06,
+	}
+}
+
+// GenRow builds the combined machine population of a rack row. Machines
+// are numbered rack-major: rack r occupies IDs [r·N, (r+1)·N). RackOf
+// recovers the rack index.
+func GenRow(spec RowSpec) (*Rack, error) {
+	if spec.Racks <= 0 {
+		return nil, fmt.Errorf("room: row needs at least one rack, got %d", spec.Racks)
+	}
+	if spec.SupplyDecayPerRack < 0 {
+		return nil, fmt.Errorf("room: supply decay %v must be non-negative", spec.SupplyDecayPerRack)
+	}
+	perRack := spec.Base.N
+	if perRack <= 0 {
+		return nil, fmt.Errorf("room: rack size %d must be positive", perRack)
+	}
+	decayTotal := spec.SupplyDecayPerRack * float64(spec.Racks-1)
+	if spec.Base.SupplyFracTop-decayTotal <= 0.05 {
+		return nil, fmt.Errorf("room: decay %v starves the far rack of supply air", spec.SupplyDecayPerRack)
+	}
+
+	var all []Machine
+	for r := 0; r < spec.Racks; r++ {
+		rackSpec := spec.Base
+		rackSpec.Seed = spec.Base.Seed + int64(r)*1009
+		rackSpec.SupplyFracBottom -= spec.SupplyDecayPerRack * float64(r)
+		rackSpec.SupplyFracTop -= spec.SupplyDecayPerRack * float64(r)
+		rack, err := GenRack(rackSpec)
+		if err != nil {
+			return nil, fmt.Errorf("room: rack %d: %w", r, err)
+		}
+		for _, m := range rack.Machines {
+			m.ID = len(all)
+			all = append(all, m)
+		}
+	}
+	row := &Rack{Machines: all}
+	if err := row.Validate(); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// RackOf returns the rack index of machine id in a row built with
+// machinesPerRack machines per rack.
+func RackOf(id, machinesPerRack int) int {
+	if machinesPerRack <= 0 {
+		return 0
+	}
+	return id / machinesPerRack
+}

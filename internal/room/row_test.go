@@ -1,0 +1,97 @@
+package room
+
+import (
+	"testing"
+
+	"coolopt/internal/mathx"
+)
+
+func TestGenRowDefaults(t *testing.T) {
+	row, err := GenRow(DefaultRowSpec())
+	if err != nil {
+		t.Fatalf("GenRow: %v", err)
+	}
+	spec := DefaultRowSpec()
+	if row.Size() != spec.Racks*spec.Base.N {
+		t.Fatalf("Size = %d, want %d", row.Size(), spec.Racks*spec.Base.N)
+	}
+	if err := row.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGenRowFarRacksGetLessSupply(t *testing.T) {
+	row, err := GenRow(DefaultRowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultRowSpec()
+	n := spec.Base.N
+	avg := func(rack int) float64 {
+		sum := 0.0
+		for i := rack * n; i < (rack+1)*n; i++ {
+			sum += row.Machines[i].SupplyFraction
+		}
+		return sum / float64(n)
+	}
+	if !(avg(0) > avg(1) && avg(1) > avg(2)) {
+		t.Fatalf("supply fractions not decaying with rack distance: %v %v %v",
+			avg(0), avg(1), avg(2))
+	}
+	if diff := avg(0) - avg(1); !mathx.ApproxEqual(diff, spec.SupplyDecayPerRack, 0.25) {
+		t.Fatalf("per-rack decay %v, want ≈%v", diff, spec.SupplyDecayPerRack)
+	}
+}
+
+func TestGenRowRacksDifferByJitterSeed(t *testing.T) {
+	row, err := GenRow(DefaultRowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := DefaultRowSpec().Base.N
+	// Same slot in different racks must not be identical (different
+	// jitter streams), beyond the deterministic decay.
+	a := row.Machines[3].Thermal.Flow
+	b := row.Machines[n+3].Thermal.Flow
+	if a == b {
+		t.Fatal("racks share jitter streams")
+	}
+}
+
+func TestGenRowValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*RowSpec)
+	}{
+		{name: "no racks", mutate: func(s *RowSpec) { s.Racks = 0 }},
+		{name: "negative decay", mutate: func(s *RowSpec) { s.SupplyDecayPerRack = -1 }},
+		{name: "zero rack size", mutate: func(s *RowSpec) { s.Base.N = 0 }},
+		{name: "starving decay", mutate: func(s *RowSpec) { s.Racks = 10; s.SupplyDecayPerRack = 0.2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := DefaultRowSpec()
+			tt.mutate(&spec)
+			if _, err := GenRow(spec); err == nil {
+				t.Fatal("invalid row spec accepted")
+			}
+		})
+	}
+}
+
+func TestRackOf(t *testing.T) {
+	tests := []struct {
+		id, per, want int
+	}{
+		{id: 0, per: 20, want: 0},
+		{id: 19, per: 20, want: 0},
+		{id: 20, per: 20, want: 1},
+		{id: 59, per: 20, want: 2},
+		{id: 5, per: 0, want: 0},
+	}
+	for _, tt := range tests {
+		if got := RackOf(tt.id, tt.per); got != tt.want {
+			t.Fatalf("RackOf(%d, %d) = %d, want %d", tt.id, tt.per, got, tt.want)
+		}
+	}
+}

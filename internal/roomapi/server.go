@@ -1,0 +1,204 @@
+package roomapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"coolopt/internal/machineroom"
+)
+
+// maxAdvanceSeconds caps one /v1/advance call so a stray client cannot
+// wedge the server in a near-endless integration loop.
+const maxAdvanceSeconds = 24 * 3600
+
+// Server serves one machine room over HTTP. All room access is
+// serialized by an internal mutex, so a single simulator instance can
+// back it safely. Build with NewServer; it implements http.Handler.
+type Server struct {
+	mu   sync.Mutex
+	room machineroom.Room
+	mux  *http.ServeMux
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer wraps a room.
+func NewServer(room machineroom.Room) (*Server, error) {
+	if room == nil {
+		return nil, fmt.Errorf("roomapi: nil room")
+	}
+	s := &Server{room: room, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/room", s.handleRoom)
+	s.mux.HandleFunc("GET /v1/sensors", s.handleSensors)
+	s.mux.HandleFunc("POST /v1/machines/{id}/load", s.handleSetLoad)
+	s.mux.HandleFunc("POST /v1/machines/{id}/power", s.handleSetPower)
+	s.mux.HandleFunc("GET /v1/crac", s.handleCRAC)
+	s.mux.HandleFunc("POST /v1/crac/setpoint", s.handleSetPoint)
+	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleRoom(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	info := RoomInfo{Machines: s.room.Size(), TimeS: s.room.Time()}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSensors(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	snap := Sensors{
+		TimeS:    s.room.Time(),
+		Machines: make([]MachineSensors, s.room.Size()),
+		CRAC: CRACState{
+			SetPointC: s.room.SetPoint(),
+			SupplyC:   s.room.Supply(),
+			ReturnC:   s.room.ReturnTemp(),
+			PowerW:    s.room.MeasuredCRACPower(),
+		},
+	}
+	for i := range snap.Machines {
+		snap.Machines[i] = MachineSensors{
+			ID:       i,
+			On:       s.room.IsOn(i),
+			CPUTempC: s.room.MeasuredCPUTemp(i),
+			PowerW:   s.room.MeasuredServerPower(i),
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleSetLoad(w http.ResponseWriter, r *http.Request) {
+	id, ok := machineID(w, r, s.roomSize())
+	if !ok {
+		return
+	}
+	var req SetLoadRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	err := s.room.SetLoad(id, req.Utilization)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSetPower(w http.ResponseWriter, r *http.Request) {
+	id, ok := machineID(w, r, s.roomSize())
+	if !ok {
+		return
+	}
+	var req SetPowerRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	err := s.room.SetPower(id, req.On)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleCRAC(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	state := CRACState{
+		SetPointC: s.room.SetPoint(),
+		SupplyC:   s.room.Supply(),
+		ReturnC:   s.room.ReturnTemp(),
+		PowerW:    s.room.MeasuredCRACPower(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, state)
+}
+
+func (s *Server) handleSetPoint(w http.ResponseWriter, r *http.Request) {
+	var req SetPointRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.SetPointC < -20 || req.SetPointC > 60 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("set point %v °C outside sanity range", req.SetPointC))
+		return
+	}
+	s.mu.Lock()
+	s.room.SetSetPoint(req.SetPointC)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req AdvanceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Seconds <= 0 || req.Seconds > maxAdvanceSeconds {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("advance of %v s outside (0, %d]", req.Seconds, maxAdvanceSeconds))
+		return
+	}
+	s.mu.Lock()
+	s.room.Run(req.Seconds)
+	info := RoomInfo{Machines: s.room.Size(), TimeS: s.room.Time()}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) roomSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.room.Size()
+}
+
+func machineID(w http.ResponseWriter, r *http.Request, size int) (int, bool) {
+	raw := r.PathValue("id")
+	id, err := strconv.Atoi(strings.TrimSpace(raw))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad machine id %q", raw))
+		return 0, false
+	}
+	if id < 0 || id >= size {
+		writeError(w, http.StatusNotFound, fmt.Errorf("machine %d out of range [0, %d)", id, size))
+		return 0, false
+	}
+	return id, true
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding static wire types cannot fail; a broken connection is
+	// the client's problem.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,180 @@
+package roomapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"coolopt/internal/sim"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	room, err := sim.NewDefault(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(room)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, dst any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if dst != nil && resp.StatusCode < 400 {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body any) int {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Fatal("nil room accepted")
+	}
+}
+
+func TestRoomEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var info RoomInfo
+	if code := getJSON(t, ts.URL+"/v1/room", &info); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if info.Machines != 20 {
+		t.Fatalf("machines = %d", info.Machines)
+	}
+}
+
+func TestSensorsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var snap Sensors
+	if code := getJSON(t, ts.URL+"/v1/sensors", &snap); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(snap.Machines) != 20 {
+		t.Fatalf("machines = %d", len(snap.Machines))
+	}
+	for _, m := range snap.Machines {
+		if !m.On {
+			t.Fatalf("machine %d reported off at boot", m.ID)
+		}
+	}
+	if snap.CRAC.SetPointC != sim.DefaultSetPointC {
+		t.Fatalf("set point = %v", snap.CRAC.SetPointC)
+	}
+}
+
+func TestSetLoadAndPower(t *testing.T) {
+	ts := newTestServer(t)
+	if code := postJSON(t, ts.URL+"/v1/machines/3/load", SetLoadRequest{Utilization: 0.5}); code != http.StatusNoContent {
+		t.Fatalf("set load status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/machines/3/power", SetPowerRequest{On: false}); code != http.StatusNoContent {
+		t.Fatalf("set power status %d", code)
+	}
+	// Loading a powered-off machine is a client error.
+	if code := postJSON(t, ts.URL+"/v1/machines/3/load", SetLoadRequest{Utilization: 0.5}); code != http.StatusBadRequest {
+		t.Fatalf("load on off machine: status %d", code)
+	}
+	var snap Sensors
+	getJSON(t, ts.URL+"/v1/sensors", &snap)
+	if snap.Machines[3].On {
+		t.Fatal("machine 3 still on")
+	}
+}
+
+func TestSetLoadValidation(t *testing.T) {
+	ts := newTestServer(t)
+	if code := postJSON(t, ts.URL+"/v1/machines/3/load", SetLoadRequest{Utilization: 2}); code != http.StatusBadRequest {
+		t.Fatalf("overload status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/machines/99/load", SetLoadRequest{Utilization: 0.5}); code != http.StatusNotFound {
+		t.Fatalf("bad id status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/machines/x/load", SetLoadRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("non-numeric id status %d", code)
+	}
+}
+
+func TestSetPointEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	if code := postJSON(t, ts.URL+"/v1/crac/setpoint", SetPointRequest{SetPointC: 26}); code != http.StatusNoContent {
+		t.Fatalf("status %d", code)
+	}
+	var state CRACState
+	if code := getJSON(t, ts.URL+"/v1/crac", &state); code != http.StatusOK {
+		t.Fatalf("get crac status %d", code)
+	}
+	if state.SetPointC != 26 {
+		t.Fatalf("set point = %v", state.SetPointC)
+	}
+	if code := postJSON(t, ts.URL+"/v1/crac/setpoint", SetPointRequest{SetPointC: 200}); code != http.StatusBadRequest {
+		t.Fatalf("insane set point status %d", code)
+	}
+}
+
+func TestAdvanceEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var before, after RoomInfo
+	getJSON(t, ts.URL+"/v1/room", &before)
+	resp, err := http.Post(ts.URL+"/v1/advance", "application/json",
+		bytes.NewReader([]byte(`{"seconds": 60}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if after.TimeS < before.TimeS+60 {
+		t.Fatalf("time %v → %v, want +60", before.TimeS, after.TimeS)
+	}
+	if code := postJSON(t, ts.URL+"/v1/advance", AdvanceRequest{Seconds: -1}); code != http.StatusBadRequest {
+		t.Fatalf("negative advance status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/advance", AdvanceRequest{Seconds: 1e9}); code != http.StatusBadRequest {
+		t.Fatalf("huge advance status %d", code)
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/crac/setpoint", "application/json",
+		bytes.NewReader([]byte(`{"nope": true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field status %d", resp.StatusCode)
+	}
+}

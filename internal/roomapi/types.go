@@ -1,0 +1,71 @@
+// Package roomapi serves a machine room over HTTP/JSON — the control
+// plane a deployed installation exposes to the central optimizer. The
+// API mirrors machineroom.Room one-to-one so internal/roomclient can
+// implement that interface remotely:
+//
+//	GET  /v1/room                      room metadata and clock
+//	GET  /v1/sensors                   bulk sensor snapshot
+//	POST /v1/machines/{id}/load        {"utilization": 0.5}
+//	POST /v1/machines/{id}/power       {"on": true}
+//	GET  /v1/crac                      CRAC state
+//	POST /v1/crac/setpoint             {"setPointC": 24}
+//	POST /v1/advance                   {"seconds": 100}
+//
+// The /v1/advance verb exists because the reference server hosts a
+// simulated room (a virtual testbed) whose time is virtual; against real
+// hardware an implementation would accept it as a plain wall-clock wait.
+package roomapi
+
+// RoomInfo describes the room (GET /v1/room).
+type RoomInfo struct {
+	Machines int     `json:"machines"`
+	TimeS    float64 `json:"timeS"`
+}
+
+// MachineSensors is one machine's readout within a sensor snapshot.
+type MachineSensors struct {
+	ID       int     `json:"id"`
+	On       bool    `json:"on"`
+	CPUTempC float64 `json:"cpuTempC"`
+	PowerW   float64 `json:"powerW"`
+}
+
+// Sensors is the bulk snapshot (GET /v1/sensors).
+type Sensors struct {
+	TimeS    float64          `json:"timeS"`
+	Machines []MachineSensors `json:"machines"`
+	CRAC     CRACState        `json:"crac"`
+}
+
+// CRACState is the cooling unit's state (GET /v1/crac).
+type CRACState struct {
+	SetPointC float64 `json:"setPointC"`
+	SupplyC   float64 `json:"supplyC"`
+	ReturnC   float64 `json:"returnC"`
+	PowerW    float64 `json:"powerW"`
+}
+
+// SetLoadRequest is the body of POST /v1/machines/{id}/load.
+type SetLoadRequest struct {
+	Utilization float64 `json:"utilization"`
+}
+
+// SetPowerRequest is the body of POST /v1/machines/{id}/power.
+type SetPowerRequest struct {
+	On bool `json:"on"`
+}
+
+// SetPointRequest is the body of POST /v1/crac/setpoint.
+type SetPointRequest struct {
+	SetPointC float64 `json:"setPointC"`
+}
+
+// AdvanceRequest is the body of POST /v1/advance.
+type AdvanceRequest struct {
+	Seconds float64 `json:"seconds"`
+}
+
+// ErrorResponse carries an API error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

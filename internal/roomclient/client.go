@@ -1,0 +1,211 @@
+// Package roomclient is the HTTP client for a machine room served by
+// internal/roomapi. It implements machineroom.Room, so the profiling
+// pipeline and controllers run against a remote room exactly as against
+// the in-process simulator.
+//
+// The machineroom.Room interface is deliberately error-free on its read
+// path (it mirrors how operators poll sensors), so transport failures are
+// latched instead of returned: the first error since the last Err call is
+// retained, reads return zero values after a failure, and callers must
+// check Err after a control sequence. Sensor reads are served from a
+// bulk snapshot fetched once per room timestamp — one GET per simulated
+// second rather than one per machine — which matches the 1 Hz sampling
+// the paper's meters provide anyway.
+package roomclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"coolopt/internal/machineroom"
+	"coolopt/internal/roomapi"
+)
+
+// Room is a remote machine room. Build with Dial.
+type Room struct {
+	base string
+	hc   *http.Client
+
+	size    int
+	lastErr error
+
+	snap      roomapi.Sensors
+	snapValid bool
+}
+
+var _ machineroom.Room = (*Room)(nil)
+
+// Dial connects to a roomapi server and fetches the room metadata.
+func Dial(baseURL string, client *http.Client) (*Room, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	parsed, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("roomclient: parse %q: %w", baseURL, err)
+	}
+	if parsed.Scheme == "" || parsed.Host == "" {
+		return nil, fmt.Errorf("roomclient: base URL %q needs scheme and host", baseURL)
+	}
+	r := &Room{base: strings.TrimRight(baseURL, "/"), hc: client}
+	var info roomapi.RoomInfo
+	if err := r.get("/v1/room", &info); err != nil {
+		return nil, err
+	}
+	if info.Machines <= 0 {
+		return nil, fmt.Errorf("roomclient: server reports %d machines", info.Machines)
+	}
+	r.size = info.Machines
+	return r, nil
+}
+
+// Err returns the first transport or API error since the previous Err
+// call, and clears it.
+func (r *Room) Err() error {
+	err := r.lastErr
+	r.lastErr = nil
+	return err
+}
+
+// Size returns the number of machines.
+func (r *Room) Size() int { return r.size }
+
+// Time returns the room clock in seconds.
+func (r *Room) Time() float64 {
+	return r.sensors().TimeS
+}
+
+// SetLoad assigns a utilization to a machine.
+func (r *Room) SetLoad(i int, util float64) error {
+	r.invalidate()
+	return r.post(fmt.Sprintf("/v1/machines/%d/load", i), roomapi.SetLoadRequest{Utilization: util}, nil)
+}
+
+// SetPower switches a machine on or off.
+func (r *Room) SetPower(i int, on bool) error {
+	r.invalidate()
+	return r.post(fmt.Sprintf("/v1/machines/%d/power", i), roomapi.SetPowerRequest{On: on}, nil)
+}
+
+// IsOn reports a machine's power state.
+func (r *Room) IsOn(i int) bool {
+	snap := r.sensors()
+	if i < 0 || i >= len(snap.Machines) {
+		return false
+	}
+	return snap.Machines[i].On
+}
+
+// SetSetPoint moves the CRAC exhaust set point.
+func (r *Room) SetSetPoint(tSPC float64) {
+	r.invalidate()
+	r.latch(r.post("/v1/crac/setpoint", roomapi.SetPointRequest{SetPointC: tSPC}, nil))
+}
+
+// SetPoint returns the CRAC exhaust set point.
+func (r *Room) SetPoint() float64 { return r.sensors().CRAC.SetPointC }
+
+// Supply returns the CRAC supply temperature.
+func (r *Room) Supply() float64 { return r.sensors().CRAC.SupplyC }
+
+// ReturnTemp returns the exhaust air temperature.
+func (r *Room) ReturnTemp() float64 { return r.sensors().CRAC.ReturnC }
+
+// MeasuredCPUTemp returns machine i's CPU temperature reading.
+func (r *Room) MeasuredCPUTemp(i int) float64 {
+	snap := r.sensors()
+	if i < 0 || i >= len(snap.Machines) {
+		return 0
+	}
+	return snap.Machines[i].CPUTempC
+}
+
+// MeasuredServerPower returns machine i's power-meter reading.
+func (r *Room) MeasuredServerPower(i int) float64 {
+	snap := r.sensors()
+	if i < 0 || i >= len(snap.Machines) {
+		return 0
+	}
+	return snap.Machines[i].PowerW
+}
+
+// MeasuredCRACPower returns the cooling unit's metered power.
+func (r *Room) MeasuredCRACPower() float64 { return r.sensors().CRAC.PowerW }
+
+// Step advances the room by one second.
+func (r *Room) Step() { r.Run(1) }
+
+// Run advances the room by the given number of seconds.
+func (r *Room) Run(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	r.invalidate()
+	r.latch(r.post("/v1/advance", roomapi.AdvanceRequest{Seconds: seconds}, nil))
+}
+
+// sensors returns the current snapshot, fetching it if invalidated.
+func (r *Room) sensors() roomapi.Sensors {
+	if r.snapValid {
+		return r.snap
+	}
+	var snap roomapi.Sensors
+	if err := r.get("/v1/sensors", &snap); err != nil {
+		r.latch(err)
+		return roomapi.Sensors{Machines: make([]roomapi.MachineSensors, r.size)}
+	}
+	r.snap = snap
+	r.snapValid = true
+	return snap
+}
+
+func (r *Room) invalidate() { r.snapValid = false }
+
+func (r *Room) latch(err error) {
+	if err != nil && r.lastErr == nil {
+		r.lastErr = err
+	}
+}
+
+func (r *Room) get(path string, dst any) error {
+	resp, err := r.hc.Get(r.base + path)
+	if err != nil {
+		return fmt.Errorf("roomclient: GET %s: %w", path, err)
+	}
+	return decodeResponse(path, resp, dst)
+}
+
+func (r *Room) post(path string, body, dst any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("roomclient: encode %s: %w", path, err)
+	}
+	resp, err := r.hc.Post(r.base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("roomclient: POST %s: %w", path, err)
+	}
+	return decodeResponse(path, resp, dst)
+}
+
+func decodeResponse(path string, resp *http.Response, dst any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr roomapi.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+			return fmt.Errorf("roomclient: %s: %s", path, apiErr.Error)
+		}
+		return fmt.Errorf("roomclient: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if dst == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		return fmt.Errorf("roomclient: decode %s: %w", path, err)
+	}
+	return nil
+}

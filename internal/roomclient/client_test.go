@@ -1,0 +1,154 @@
+package roomclient
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"coolopt/internal/profiling"
+	"coolopt/internal/roomapi"
+	"coolopt/internal/sim"
+)
+
+func newRemoteRoom(t *testing.T, seed int64) *Room {
+	t.Helper()
+	simRoom, err := sim.NewDefault(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := roomapi.NewServer(simRoom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	room, err := Dial(ts.URL, nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	return room
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial("://bad", nil); err == nil {
+		t.Fatal("bad URL accepted")
+	}
+	if _, err := Dial("relative/path", nil); err == nil {
+		t.Fatal("relative URL accepted")
+	}
+	if _, err := Dial("http://127.0.0.1:1", nil); err == nil {
+		t.Fatal("dead endpoint accepted")
+	}
+}
+
+func TestRemoteRoomBasics(t *testing.T) {
+	room := newRemoteRoom(t, 1)
+	if room.Size() != 20 {
+		t.Fatalf("Size = %d", room.Size())
+	}
+	if !room.IsOn(0) {
+		t.Fatal("machine 0 off at boot")
+	}
+	start := room.Time()
+	room.Run(30)
+	if room.Time() < start+30 {
+		t.Fatalf("Time = %v after Run(30) from %v", room.Time(), start)
+	}
+	if err := room.Err(); err != nil {
+		t.Fatalf("latched error: %v", err)
+	}
+}
+
+func TestRemoteControlAndSense(t *testing.T) {
+	room := newRemoteRoom(t, 1)
+	for i := 0; i < room.Size(); i++ {
+		if err := room.SetLoad(i, 0.7); err != nil {
+			t.Fatalf("SetLoad(%d): %v", i, err)
+		}
+	}
+	room.SetSetPoint(25)
+	room.Run(2500)
+	if got := room.SetPoint(); got != 25 {
+		t.Fatalf("SetPoint = %v", got)
+	}
+	if math.Abs(room.ReturnTemp()-25) > 0.5 {
+		t.Fatalf("return %v far from set point", room.ReturnTemp())
+	}
+	// Loaded machines must read warm and draw realistic power.
+	if temp := room.MeasuredCPUTemp(5); temp < 35 {
+		t.Fatalf("CPU temp %v suspiciously cold", temp)
+	}
+	if p := room.MeasuredServerPower(5); p < 50 || p > 110 {
+		t.Fatalf("server power %v outside sanity band", p)
+	}
+	if p := room.MeasuredCRACPower(); p <= 0 {
+		t.Fatalf("CRAC power %v", p)
+	}
+	if err := room.Err(); err != nil {
+		t.Fatalf("latched error: %v", err)
+	}
+}
+
+func TestRemoteErrorsSurface(t *testing.T) {
+	room := newRemoteRoom(t, 1)
+	if err := room.SetLoad(99, 0.5); err == nil {
+		t.Fatal("out-of-range machine accepted")
+	}
+	if err := room.SetLoad(0, 7); err == nil {
+		t.Fatal("overload accepted")
+	}
+	room.SetSetPoint(500) // rejected by the API → latched
+	if err := room.Err(); err == nil {
+		t.Fatal("insane set point did not latch an error")
+	}
+	if err := room.Err(); err != nil {
+		t.Fatalf("Err did not clear: %v", err)
+	}
+}
+
+// TestRemoteProfilingParity is the headline integration test: the full
+// §IV-A profiling protocol executed over HTTP must produce essentially
+// the same fitted model as the same protocol against the same room run
+// locally.
+func TestRemoteProfilingParity(t *testing.T) {
+	remote := newRemoteRoom(t, 7)
+	remoteRes, err := profiling.Run(profiling.Config{Sim: remote})
+	if err != nil {
+		t.Fatalf("remote profiling: %v", err)
+	}
+	if err := remote.Err(); err != nil {
+		t.Fatalf("transport errors during profiling: %v", err)
+	}
+
+	local, err := sim.NewDefault(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRes, err := profiling.Run(profiling.Config{Sim: local})
+	if err != nil {
+		t.Fatalf("local profiling: %v", err)
+	}
+
+	rp, lp := remoteRes.Profile, localRes.Profile
+	if relDiff(rp.W1, lp.W1) > 0.02 || relDiff(rp.W2, lp.W2) > 0.02 {
+		t.Fatalf("power model diverged: remote (%v, %v) vs local (%v, %v)", rp.W1, rp.W2, lp.W1, lp.W2)
+	}
+	if relDiff(rp.CoolFactor, lp.CoolFactor) > 0.10 {
+		t.Fatalf("cool factor diverged: %v vs %v", rp.CoolFactor, lp.CoolFactor)
+	}
+	for i := range rp.Machines {
+		if relDiff(rp.Machines[i].Beta, lp.Machines[i].Beta) > 0.05 {
+			t.Fatalf("machine %d β diverged: %v vs %v", i, rp.Machines[i].Beta, lp.Machines[i].Beta)
+		}
+	}
+	if remoteRes.PowerFit.R2 < 0.99 {
+		t.Fatalf("remote power fit R² = %v", remoteRes.PowerFit.R2)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// BenchmarkStep measures one integration step of the full 20-machine room
+// — the unit cost of every simulated second.
+func BenchmarkStep(b *testing.B) {
+	s, err := NewDefault(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, 0.6); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkRunHour measures an hour of simulated room time.
+func BenchmarkRunHour(b *testing.B) {
+	s, err := NewDefault(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(3600)
+	}
+}

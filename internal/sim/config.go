@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"coolopt/internal/cooling"
+	"coolopt/internal/room"
+)
+
+// DefaultCRAC returns the cooling-unit parameters used for the paper's
+// testbed reproduction: an aging room-scale chilled-water CRAC serving
+// one rack (0.3 m³/s air — the 20 machines pull ≈0.2 m³/s, the rest
+// bypasses) with a 250 W blower. Its COP curve is half the modern
+// reference curve, reflecting the machine-room-class Liebert units of the
+// paper's era, where cooling rivals compute in the total bill.
+func DefaultCRAC() cooling.Params {
+	return cooling.Params{
+		Flow:      0.3,
+		CAir:      1200,
+		COP:       cooling.COP{A: cooling.DefaultCOP.A / 2, B: cooling.DefaultCOP.B / 2, C: cooling.DefaultCOP.C / 2},
+		FanW:      250,
+		SupplyMin: 10,
+		SupplyMax: 25,
+		Gain:      0.02,
+	}
+}
+
+// DefaultBaseHeatW is the non-server heat load in the default room:
+// lights, network gear, UPS losses.
+const DefaultBaseHeatW = 600.0
+
+// DefaultSetPointC is the initial CRAC exhaust set point in °C.
+const DefaultSetPointC = 24.0
+
+// DefaultTMaxC is the CPU temperature constraint used across the
+// reproduction, matching a conservative vendor limit for 1U machines.
+const DefaultTMaxC = 65.0
+
+// NewDefault builds the 20-machine testbed simulator with the given seed.
+func NewDefault(seed int64) (*Simulator, error) {
+	spec := room.DefaultRackSpec()
+	spec.Seed = seed
+	rack, err := room.GenRack(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{
+		Rack:      rack,
+		CRAC:      DefaultCRAC(),
+		SetPointC: DefaultSetPointC,
+		Seed:      seed + 1,
+		BaseHeatW: DefaultBaseHeatW,
+	})
+}

@@ -1,0 +1,395 @@
+// Package sim is the closed-loop machine-room simulator that stands in for
+// the paper's physical testbed: a rack of servers (internal/thermal +
+// internal/power), the room's air paths (internal/room), and a CRAC with
+// an exhaust-set-point control loop (internal/cooling), advanced together
+// in discrete time. Policies interact with it exactly as the authors
+// interacted with their rack: set per-machine loads, power machines on or
+// off, move the CRAC set point, and read noisy sensors (internal/telemetry).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"coolopt/internal/cooling"
+	"coolopt/internal/mathx"
+	"coolopt/internal/room"
+	"coolopt/internal/telemetry"
+	"coolopt/internal/thermal"
+)
+
+// passiveFlowFraction is the share of nominal air flow that still moves
+// through a powered-off machine (natural convection and neighbour fans),
+// keeping its thermal state coupled to the room.
+const passiveFlowFraction = 0.1
+
+// Config assembles a simulator.
+type Config struct {
+	// Rack is the ground-truth machine population.
+	Rack *room.Rack
+	// CRAC configures the cooling unit.
+	CRAC cooling.Params
+	// SetPointC is the initial exhaust set point in °C.
+	SetPointC float64
+	// DT is the integration step in seconds (default 1).
+	DT float64
+	// Seed drives all sensor noise.
+	Seed int64
+	// AmbientC is the initial air temperature everywhere (default 22).
+	AmbientC float64
+	// TempNoiseC, PowerNoiseW configure sensor quality (defaults 0.4 °C
+	// and 0.8 W; zero keeps the defaults, negative disables noise).
+	TempNoiseC  float64
+	PowerNoiseW float64
+	// BaseHeatW is non-server heat the CRAC must also remove — lights,
+	// switches, UPS losses, people. It warms the return stream by
+	// BaseHeatW/(c_air·f_ac).
+	BaseHeatW float64
+	// BootS is the time a machine needs after power-on before it can
+	// serve load (default 60 s; negative disables boot transients).
+	// While booting a machine draws its idle power and any load
+	// assigned to it is queued until the boot completes.
+	BootS float64
+}
+
+// Simulator is the stateful machine room. Build with New. All methods are
+// single-goroutine; wrap externally if concurrent access is needed.
+type Simulator struct {
+	rack     *room.Rack
+	crac     *cooling.CRAC
+	dt       float64
+	now      float64
+	baseHeat float64
+
+	states   []thermal.State
+	on       []bool
+	loads    []float64
+	pending  []float64 // load queued while a machine boots
+	booting  []float64 // seconds of boot remaining (0 when up)
+	bootS    float64
+	serverW  []float64 // true electrical draw last step
+	returnC  float64
+	hotAisle float64 // flow-weighted machine outlet temperature
+	cracW    float64 // true CRAC electrical draw last step
+
+	tempSensors []*telemetry.TempSensor
+	powerMeters []*telemetry.PowerMeter
+	cracMeter   *telemetry.PowerMeter
+}
+
+// New builds a simulator with every machine powered on at zero load.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Rack == nil {
+		return nil, errors.New("sim: nil rack")
+	}
+	if err := cfg.Rack.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DT == 0 {
+		cfg.DT = 1
+	}
+	if cfg.DT < 0 || cfg.DT > 5 {
+		return nil, fmt.Errorf("sim: dt = %v s outside (0, 5]", cfg.DT)
+	}
+	if cfg.AmbientC == 0 {
+		cfg.AmbientC = 22
+	}
+	tempNoise, tempRes := cfg.TempNoiseC, 1.0
+	if tempNoise == 0 {
+		tempNoise = 0.4
+	}
+	if tempNoise < 0 {
+		tempNoise, tempRes = 0, 0
+	}
+	powerNoise, powerRes := cfg.PowerNoiseW, 0.1
+	if powerNoise == 0 {
+		powerNoise = 0.8
+	}
+	if powerNoise < 0 {
+		powerNoise, powerRes = 0, 0
+	}
+
+	crac, err := cooling.New(cfg.CRAC, cfg.SetPointC)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.BaseHeatW < 0 {
+		return nil, fmt.Errorf("sim: base heat %v W must be non-negative", cfg.BaseHeatW)
+	}
+	if cfg.BootS == 0 {
+		cfg.BootS = 60
+	}
+	if cfg.BootS < 0 {
+		cfg.BootS = 0
+	}
+
+	n := cfg.Rack.Size()
+	s := &Simulator{
+		rack:        cfg.Rack,
+		crac:        crac,
+		dt:          cfg.DT,
+		baseHeat:    cfg.BaseHeatW,
+		states:      make([]thermal.State, n),
+		on:          make([]bool, n),
+		loads:       make([]float64, n),
+		pending:     make([]float64, n),
+		booting:     make([]float64, n),
+		bootS:       cfg.BootS,
+		serverW:     make([]float64, n),
+		returnC:     cfg.AmbientC,
+		hotAisle:    cfg.AmbientC,
+		tempSensors: make([]*telemetry.TempSensor, n),
+		powerMeters: make([]*telemetry.PowerMeter, n),
+	}
+	rng := mathx.NewRand(cfg.Seed)
+	for i := range s.states {
+		s.states[i] = thermal.State{TCPU: cfg.AmbientC, TBox: cfg.AmbientC}
+		s.on[i] = true
+		s.tempSensors[i], err = telemetry.NewTempSensor(rng.Fork(), tempNoise, tempRes)
+		if err != nil {
+			return nil, err
+		}
+		gain := 0.0
+		if powerNoise > 0 {
+			gain = rng.Normal(0, 0.01)
+		}
+		s.powerMeters[i], err = telemetry.NewPowerMeter(rng.Fork(), gain, powerNoise, powerRes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.cracMeter, err = telemetry.NewPowerMeter(rng.Fork(), 0, powerNoise*5, powerRes*10)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Size returns the number of machines.
+func (s *Simulator) Size() int { return s.rack.Size() }
+
+// Time returns the simulation clock in seconds.
+func (s *Simulator) Time() float64 { return s.now }
+
+// SetLoad assigns a utilization in [0, 1] to machine i. Assigning load to
+// a powered-off machine is an error (the balancer must not route there);
+// load assigned to a machine that is still booting is queued and applied
+// when the boot completes.
+func (s *Simulator) SetLoad(i int, util float64) error {
+	if i < 0 || i >= s.Size() {
+		return fmt.Errorf("sim: machine %d out of range", i)
+	}
+	if util < 0 || util > 1 {
+		return fmt.Errorf("sim: utilization %v outside [0, 1]", util)
+	}
+	if !s.on[i] && util > 0 {
+		return fmt.Errorf("sim: machine %d is powered off", i)
+	}
+	if s.booting[i] > 0 {
+		s.pending[i] = util
+		return nil
+	}
+	s.loads[i] = util
+	return nil
+}
+
+// SetLoads assigns all utilizations at once; the slice is indexed by
+// machine ID.
+func (s *Simulator) SetLoads(utils []float64) error {
+	if len(utils) != s.Size() {
+		return fmt.Errorf("sim: %d loads for %d machines", len(utils), s.Size())
+	}
+	for i, u := range utils {
+		if err := s.SetLoad(i, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetPower turns machine i on or off. Powering off drops the machine's
+// load immediately; powering a machine on starts its boot, during which
+// it draws idle power and cannot serve load.
+func (s *Simulator) SetPower(i int, on bool) error {
+	if i < 0 || i >= s.Size() {
+		return fmt.Errorf("sim: machine %d out of range", i)
+	}
+	if on && !s.on[i] {
+		s.booting[i] = s.bootS
+	}
+	s.on[i] = on
+	if !on {
+		s.loads[i] = 0
+		s.pending[i] = 0
+		s.booting[i] = 0
+	}
+	return nil
+}
+
+// IsBooting reports whether machine i is powered on but still booting.
+func (s *Simulator) IsBooting(i int) bool { return s.booting[i] > 0 }
+
+// SetSetPoint moves the CRAC exhaust set point.
+func (s *Simulator) SetSetPoint(tSPC float64) { s.crac.SetSetPoint(tSPC) }
+
+// SetPoint returns the CRAC exhaust set point in °C.
+func (s *Simulator) SetPoint() float64 { return s.crac.SetPoint() }
+
+// Step advances the room by one integration step.
+func (s *Simulator) Step() {
+	n := s.Size()
+	supply := s.crac.Supply()
+	flows := make([]float64, n)
+	outlets := make([]float64, n)
+	var pickupW float64 // net enthalpy the machines add to the air stream
+
+	for i := 0; i < n; i++ {
+		m := s.rack.Machines[i]
+		// The recirculated fraction of a machine's intake comes from
+		// the hot aisle — its neighbours' exhaust — not from the
+		// cooler, bypass-diluted stream the CRAC sees.
+		inlet := m.InletTemp(supply, s.hotAisle)
+		if s.booting[i] > 0 {
+			s.booting[i] -= s.dt
+			if s.booting[i] <= 0 {
+				s.booting[i] = 0
+				s.loads[i] = s.pending[i]
+				s.pending[i] = 0
+			}
+		}
+		s.serverW[i] = m.Power.Draw(s.loads[i], s.states[i].TCPU, s.on[i])
+
+		params := m.Thermal
+		if !s.on[i] {
+			params.Flow *= passiveFlowFraction
+		}
+		s.states[i] = params.Step(s.states[i], s.serverW[i], inlet, s.dt)
+		flows[i] = params.Flow
+		outlets[i] = s.states[i].TBox
+		pickupW += params.Flow * params.CAir * (s.states[i].TBox - inlet)
+	}
+
+	// Return stream: energy balance over the room control volume. Only
+	// the net enthalpy the machines add to the air (their actual pickup,
+	// not their recirculating internal loop) plus the room's base heat
+	// reaches the CRAC, so heat removed equals heat generated exactly at
+	// steady state. The hot aisle — what recirculating inlets ingest —
+	// is the flow-weighted mix of machine outlets.
+	cracParams := s.crac.Params()
+	s.returnC = supply + (pickupW+s.baseHeat)/(cracParams.CAir*cracParams.Flow)
+	var sumFlow, sumHeat float64
+	for i := range flows {
+		sumFlow += flows[i]
+		sumHeat += flows[i] * outlets[i]
+	}
+	if sumFlow > 0 {
+		s.hotAisle = sumHeat / sumFlow
+	} else {
+		s.hotAisle = s.returnC
+	}
+	s.cracW = s.crac.ElectricalPower(s.returnC)
+	s.crac.Step(s.returnC, s.dt)
+	s.now += s.dt
+}
+
+// Run advances the room by the given number of simulated seconds.
+func (s *Simulator) Run(seconds float64) {
+	steps := int(seconds / s.dt)
+	for i := 0; i < steps; i++ {
+		s.Step()
+	}
+}
+
+// RunUntilSettled steps until the total true power stays within band Watts
+// between consecutive seconds for 30 consecutive steps, or until
+// maxSeconds elapses; it reports whether the room settled.
+func (s *Simulator) RunUntilSettled(maxSeconds, bandW float64) (bool, error) {
+	det, err := mathx.NewSettleDetector(bandW, 30)
+	if err != nil {
+		return false, err
+	}
+	deadline := s.now + maxSeconds
+	for s.now < deadline {
+		s.Step()
+		if det.Update(s.TrueTotalPower()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// TrueCPUTemp returns the ground-truth CPU temperature of machine i in °C.
+func (s *Simulator) TrueCPUTemp(i int) float64 { return s.states[i].TCPU }
+
+// MeasuredCPUTemp returns the lm-sensors-style reading for machine i.
+func (s *Simulator) MeasuredCPUTemp(i int) float64 {
+	return s.tempSensors[i].Read(s.states[i].TCPU)
+}
+
+// TrueServerPower returns machine i's ground-truth draw in Watts as of the
+// last step.
+func (s *Simulator) TrueServerPower(i int) float64 { return s.serverW[i] }
+
+// MeasuredServerPower returns the power-meter reading for machine i.
+func (s *Simulator) MeasuredServerPower(i int) float64 {
+	return s.powerMeters[i].Read(s.serverW[i])
+}
+
+// TrueCRACPower returns the cooling unit's ground-truth draw in Watts as
+// of the last step.
+func (s *Simulator) TrueCRACPower() float64 { return s.cracW }
+
+// MeasuredCRACPower returns the metered cooling power.
+func (s *Simulator) MeasuredCRACPower() float64 { return s.cracMeter.Read(s.cracW) }
+
+// TrueTotalPower returns the room's ground-truth total draw in Watts.
+func (s *Simulator) TrueTotalPower() float64 {
+	total := s.cracW
+	for _, w := range s.serverW {
+		total += w
+	}
+	return total
+}
+
+// TrueServerPowerSum returns the summed ground-truth server draw in Watts.
+func (s *Simulator) TrueServerPowerSum() float64 {
+	total := 0.0
+	for _, w := range s.serverW {
+		total += w
+	}
+	return total
+}
+
+// Supply returns the CRAC supply temperature T_ac in °C.
+func (s *Simulator) Supply() float64 { return s.crac.Supply() }
+
+// ReturnTemp returns the return (exhaust) air temperature in °C.
+func (s *Simulator) ReturnTemp() float64 { return s.returnC }
+
+// IsOn reports whether machine i is powered on.
+func (s *Simulator) IsOn(i int) bool { return s.on[i] }
+
+// Load returns machine i's current utilization.
+func (s *Simulator) Load(i int) float64 { return s.loads[i] }
+
+// MaxTrueCPUTemp returns the hottest ground-truth CPU temperature across
+// powered-on machines, or the ambient floor when everything is off.
+func (s *Simulator) MaxTrueCPUTemp() float64 {
+	maxT := -1e9
+	any := false
+	for i, st := range s.states {
+		if s.on[i] && st.TCPU > maxT {
+			maxT = st.TCPU
+			any = true
+		}
+	}
+	if !any {
+		return s.returnC
+	}
+	return maxT
+}
+
+// Rack exposes the ground-truth rack (used by profiling drivers to know
+// machine count and capacities, never by policies to peek at physics).
+func (s *Simulator) Rack() *room.Rack { return s.rack }

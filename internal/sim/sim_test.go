@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"coolopt/internal/room"
+)
+
+func newTestSim(t *testing.T) *Simulator {
+	t.Helper()
+	s, err := NewDefault(1)
+	if err != nil {
+		t.Fatalf("NewDefault: %v", err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil rack accepted")
+	}
+	rack, err := room.GenRack(room.DefaultRackSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Rack: rack, CRAC: DefaultCRAC(), DT: 100}); err == nil {
+		t.Fatal("huge dt accepted")
+	}
+	bad := DefaultCRAC()
+	bad.Flow = 0
+	if _, err := New(Config{Rack: rack, CRAC: bad}); err == nil {
+		t.Fatal("bad CRAC accepted")
+	}
+}
+
+func TestSetLoadValidation(t *testing.T) {
+	s := newTestSim(t)
+	if err := s.SetLoad(0, 0.5); err != nil {
+		t.Fatalf("SetLoad: %v", err)
+	}
+	if err := s.SetLoad(-1, 0.5); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := s.SetLoad(0, 1.5); err == nil {
+		t.Fatal("overload accepted")
+	}
+	if err := s.SetPower(3, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetLoad(3, 0.5); err == nil {
+		t.Fatal("load on powered-off machine accepted")
+	}
+	if err := s.SetLoads(make([]float64, 3)); err == nil {
+		t.Fatal("short load vector accepted")
+	}
+}
+
+func TestPowerOffDropsLoad(t *testing.T) {
+	s := newTestSim(t)
+	if err := s.SetLoad(2, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPower(2, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Load(2); got != 0 {
+		t.Fatalf("load after power-off = %v, want 0", got)
+	}
+	if s.IsOn(2) {
+		t.Fatal("machine still reported on")
+	}
+}
+
+func TestIdleRoomSettles(t *testing.T) {
+	s := newTestSim(t)
+	settled, err := s.RunUntilSettled(4000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !settled {
+		t.Fatal("idle room never settled")
+	}
+	// Idle draw: 20 machines near their idle power plus CRAC fan and a
+	// modest heat-removal term.
+	total := s.TrueTotalPower()
+	if total < 600 || total > 2500 {
+		t.Fatalf("idle total power = %v W, outside sanity band", total)
+	}
+}
+
+func TestLoadRaisesPowerAndTemperature(t *testing.T) {
+	s := newTestSim(t)
+	s.Run(1500)
+	idlePower := s.TrueTotalPower()
+	idleTemp := s.TrueCPUTemp(0)
+
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(1500)
+	if s.TrueTotalPower() <= idlePower {
+		t.Fatalf("full-load power %v ≤ idle %v", s.TrueTotalPower(), idlePower)
+	}
+	if s.TrueCPUTemp(0) <= idleTemp {
+		t.Fatalf("full-load CPU temp %v ≤ idle %v", s.TrueCPUTemp(0), idleTemp)
+	}
+}
+
+func TestExhaustTracksSetPoint(t *testing.T) {
+	s := newTestSim(t)
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(4000)
+	if math.Abs(s.ReturnTemp()-s.SetPoint()) > 0.3 {
+		t.Fatalf("return temp %v far from set point %v", s.ReturnTemp(), s.SetPoint())
+	}
+}
+
+func TestRaisingSetPointRaisesSupplyAndCutsCoolingPower(t *testing.T) {
+	s := newTestSim(t)
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(4000)
+	lowSupply := s.Supply()
+	lowCool := s.TrueCRACPower()
+
+	s.SetSetPoint(s.SetPoint() + 2)
+	s.Run(4000)
+	if s.Supply() <= lowSupply {
+		t.Fatalf("supply %v did not rise after set point increase (was %v)", s.Supply(), lowSupply)
+	}
+	if s.TrueCRACPower() >= lowCool {
+		t.Fatalf("cooling power %v did not fall after set point increase (was %v)", s.TrueCRACPower(), lowCool)
+	}
+}
+
+func TestBottomMachinesRunCooler(t *testing.T) {
+	s := newTestSim(t)
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, 0.7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(3000)
+	bottom := (s.TrueCPUTemp(0) + s.TrueCPUTemp(1) + s.TrueCPUTemp(2)) / 3
+	top := (s.TrueCPUTemp(17) + s.TrueCPUTemp(18) + s.TrueCPUTemp(19)) / 3
+	if bottom >= top {
+		t.Fatalf("bottom avg %v °C not cooler than top avg %v °C", bottom, top)
+	}
+}
+
+func TestPoweredOffMachineDrawsStandby(t *testing.T) {
+	s := newTestSim(t)
+	if err := s.SetPower(5, false); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(600)
+	if w := s.TrueServerPower(5); w > 5 {
+		t.Fatalf("off machine draws %v W", w)
+	}
+	// And it must cool toward the room rather than stay hot.
+	if s.TrueCPUTemp(5) > s.ReturnTemp()+5 {
+		t.Fatalf("off machine stuck hot at %v °C (return %v)", s.TrueCPUTemp(5), s.ReturnTemp())
+	}
+}
+
+func TestMeasurementsTrackTruth(t *testing.T) {
+	s := newTestSim(t)
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(2000)
+	// Average many noisy samples; they must agree with truth closely.
+	var tempSum, powerSum float64
+	const samples = 200
+	for k := 0; k < samples; k++ {
+		tempSum += s.MeasuredCPUTemp(4)
+		powerSum += s.MeasuredServerPower(4)
+	}
+	if diff := math.Abs(tempSum/samples - s.TrueCPUTemp(4)); diff > 1.0 {
+		t.Fatalf("mean measured temp off by %v °C", diff)
+	}
+	truth := s.TrueServerPower(4)
+	if diff := math.Abs(powerSum/samples - truth); diff > 0.03*truth+1 {
+		t.Fatalf("mean measured power off by %v W (truth %v)", diff, truth)
+	}
+}
+
+func TestTotalPowerDecomposition(t *testing.T) {
+	s := newTestSim(t)
+	s.Run(100)
+	want := s.TrueCRACPower() + s.TrueServerPowerSum()
+	if got := s.TrueTotalPower(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TrueTotalPower = %v, want %v", got, want)
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	a := newTestSim(t)
+	b := newTestSim(t)
+	for _, s := range []*Simulator{a, b} {
+		for i := 0; i < s.Size(); i++ {
+			if err := s.SetLoad(i, 0.42); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Run(500)
+	}
+	if a.TrueTotalPower() != b.TrueTotalPower() {
+		t.Fatalf("same seed diverged: %v vs %v", a.TrueTotalPower(), b.TrueTotalPower())
+	}
+	if a.MeasuredCPUTemp(7) != b.MeasuredCPUTemp(7) {
+		t.Fatal("sensor streams diverged across identical seeds")
+	}
+}
+
+func TestMaxTrueCPUTempIgnoresOffMachines(t *testing.T) {
+	s := newTestSim(t)
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, 0.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(2000)
+	before := s.MaxTrueCPUTemp()
+	// Find the hottest machine and switch it off; the max must not rise.
+	hottest, hotT := 0, -1e9
+	for i := 0; i < s.Size(); i++ {
+		if temp := s.TrueCPUTemp(i); temp > hotT {
+			hottest, hotT = i, temp
+		}
+	}
+	if err := s.SetPower(hottest, false); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(500)
+	if s.MaxTrueCPUTemp() > before+0.5 {
+		t.Fatalf("max temp rose from %v to %v after removing hottest", before, s.MaxTrueCPUTemp())
+	}
+}
+
+func TestBootTransient(t *testing.T) {
+	s := newTestSim(t)
+	if err := s.SetPower(4, false); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(120)
+	if err := s.SetPower(4, true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsBooting(4) {
+		t.Fatal("machine not booting after power-on")
+	}
+	// Load assigned during boot queues rather than erroring.
+	if err := s.SetLoad(4, 0.8); err != nil {
+		t.Fatalf("SetLoad during boot: %v", err)
+	}
+	s.Run(10)
+	if got := s.Load(4); got != 0 {
+		t.Fatalf("load served during boot: %v", got)
+	}
+	s.Run(120) // past the 60 s boot
+	if s.IsBooting(4) {
+		t.Fatal("machine still booting after 130 s")
+	}
+	if got := s.Load(4); got != 0.8 {
+		t.Fatalf("queued load not applied: %v", got)
+	}
+}
+
+func TestRepeatedPowerOnDoesNotReboot(t *testing.T) {
+	s := newTestSim(t)
+	if err := s.SetPower(2, true); err != nil { // already on
+		t.Fatal(err)
+	}
+	if s.IsBooting(2) {
+		t.Fatal("already-on machine rebooted")
+	}
+}
+
+func TestPowerOffDuringBootClearsState(t *testing.T) {
+	s := newTestSim(t)
+	if err := s.SetPower(6, false); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10)
+	if err := s.SetPower(6, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetLoad(6, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPower(6, false); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(120)
+	if s.IsBooting(6) || s.Load(6) != 0 {
+		t.Fatal("power-off during boot left residue")
+	}
+	// Powering back on boots again and serves nothing until done.
+	if err := s.SetPower(6, true); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(30)
+	if got := s.Load(6); got != 0 {
+		t.Fatalf("stale queued load reappeared: %v", got)
+	}
+}
+
+func TestEnergyConservationAtSteadyState(t *testing.T) {
+	// Physics check: once settled, the heat the CRAC removes must match
+	// the heat entering the air — server draw plus the room's base heat
+	// — to within the lumped model's recirculation approximation.
+	s := newTestSim(t)
+	for i := 0; i < s.Size(); i++ {
+		if err := s.SetLoad(i, 0.6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(5000)
+	crac := DefaultCRAC()
+	removed := crac.CAir * crac.Flow * (s.ReturnTemp() - s.Supply())
+	generated := s.TrueServerPowerSum() + DefaultBaseHeatW
+	if rel := math.Abs(removed-generated) / generated; rel > 0.05 {
+		t.Fatalf("energy imbalance: removed %.0f W vs generated %.0f W (%.1f%%)",
+			removed, generated, rel*100)
+	}
+}

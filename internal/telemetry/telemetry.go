@@ -1,0 +1,153 @@
+// Package telemetry models the measurement chain of the paper's testbed:
+// Watts up Pro power meters sampled at 1 Hz and lm-sensors CPU temperature
+// readings. Both add noise and quantization to the simulator's ground
+// truth, so the profiling pipeline has to work from realistic data — the
+// paper smooths both signals with a low-pass filter before fitting and
+// plotting (Figs. 2–3).
+package telemetry
+
+import (
+	"fmt"
+
+	"coolopt/internal/mathx"
+)
+
+// TempSensor models an lm-sensors CPU temperature readout: additive
+// Gaussian noise followed by quantization to the sensor's resolution.
+type TempSensor struct {
+	rng *mathx.Rand
+	// NoiseStdDev is the Gaussian noise standard deviation in °C.
+	noise float64
+	// resolution is the quantization step in °C (lm-sensors typically
+	// reports whole degrees).
+	resolution float64
+}
+
+// NewTempSensor builds a sensor; resolution 0 disables quantization.
+func NewTempSensor(rng *mathx.Rand, noiseStdDev, resolution float64) (*TempSensor, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("telemetry: nil rng")
+	}
+	if noiseStdDev < 0 {
+		return nil, fmt.Errorf("telemetry: noise stddev %v must be non-negative", noiseStdDev)
+	}
+	if resolution < 0 {
+		return nil, fmt.Errorf("telemetry: resolution %v must be non-negative", resolution)
+	}
+	return &TempSensor{rng: rng, noise: noiseStdDev, resolution: resolution}, nil
+}
+
+// Read returns a noisy, quantized measurement of the true temperature.
+func (s *TempSensor) Read(trueC float64) float64 {
+	v := trueC
+	if s.noise > 0 {
+		v += s.rng.Normal(0, s.noise)
+	}
+	return quantize(v, s.resolution)
+}
+
+// PowerMeter models a Watts up Pro: a small proportional error plus
+// additive noise, sampled once per second by the experiment drivers.
+type PowerMeter struct {
+	rng *mathx.Rand
+	// gainErr is the fixed per-meter calibration gain (for example
+	// 1.01 for a meter reading 1 % high).
+	gainErr float64
+	// noise is the additive Gaussian noise standard deviation in Watts.
+	noise float64
+	// resolution is the quantization step in Watts (the Watts up Pro
+	// reports tenths of a Watt).
+	resolution float64
+}
+
+// NewPowerMeter builds a meter with the given calibration gain error (0.01
+// means reads 1 % high on average; each meter should get its own small
+// draw), additive noise, and resolution.
+func NewPowerMeter(rng *mathx.Rand, gainErr, noiseStdDev, resolution float64) (*PowerMeter, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("telemetry: nil rng")
+	}
+	if gainErr <= -1 {
+		return nil, fmt.Errorf("telemetry: gain error %v must exceed -1", gainErr)
+	}
+	if noiseStdDev < 0 {
+		return nil, fmt.Errorf("telemetry: noise stddev %v must be non-negative", noiseStdDev)
+	}
+	if resolution < 0 {
+		return nil, fmt.Errorf("telemetry: resolution %v must be non-negative", resolution)
+	}
+	return &PowerMeter{rng: rng, gainErr: gainErr, noise: noiseStdDev, resolution: resolution}, nil
+}
+
+// Read returns a noisy measurement of the true power in Watts.
+func (m *PowerMeter) Read(trueW float64) float64 {
+	v := trueW * (1 + m.gainErr)
+	if m.noise > 0 {
+		v += m.rng.Normal(0, m.noise)
+	}
+	if v < 0 {
+		v = 0
+	}
+	return quantize(v, m.resolution)
+}
+
+func quantize(v, step float64) float64 {
+	if step <= 0 {
+		return v
+	}
+	n := v / step
+	if n >= 0 {
+		return step * float64(int64(n+0.5))
+	}
+	return step * float64(int64(n-0.5))
+}
+
+// Sample is one timestamped measurement.
+type Sample struct {
+	// TimeS is the simulation time in seconds.
+	TimeS float64
+	// Value is the measured quantity.
+	Value float64
+}
+
+// Trace records a time series of samples.
+type Trace struct {
+	Name    string
+	Samples []Sample
+}
+
+// Append records one sample.
+func (t *Trace) Append(timeS, value float64) {
+	t.Samples = append(t.Samples, Sample{TimeS: timeS, Value: value})
+}
+
+// Values returns the sample values in order.
+func (t *Trace) Values() []float64 {
+	out := make([]float64, len(t.Samples))
+	for i, s := range t.Samples {
+		out[i] = s.Value
+	}
+	return out
+}
+
+// Tail returns the mean of the last n samples (or of all samples when
+// fewer exist); experiment drivers use it as the steady-state estimate.
+func (t *Trace) Tail(n int) float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	if n > len(t.Samples) {
+		n = len(t.Samples)
+	}
+	vals := make([]float64, 0, n)
+	for _, s := range t.Samples[len(t.Samples)-n:] {
+		vals = append(vals, s.Value)
+	}
+	return mathx.Mean(vals)
+}
+
+// Smoothed returns a low-pass filtered copy of the trace values (the
+// paper's plotting pipeline).
+func (t *Trace) Smoothed(alpha float64) ([]float64, error) {
+	return mathx.Smooth(t.Values(), alpha)
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"coolopt/internal/mathx"
+)
+
+func TestTempSensorValidation(t *testing.T) {
+	rng := mathx.NewRand(1)
+	if _, err := NewTempSensor(nil, 0.1, 1); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := NewTempSensor(rng, -1, 1); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+	if _, err := NewTempSensor(rng, 0.1, -1); err == nil {
+		t.Fatal("negative resolution accepted")
+	}
+}
+
+func TestTempSensorNoiseless(t *testing.T) {
+	s, err := NewTempSensor(mathx.NewRand(1), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read(55.37); got != 55.37 {
+		t.Fatalf("noiseless read = %v, want 55.37", got)
+	}
+}
+
+func TestTempSensorQuantizes(t *testing.T) {
+	s, err := NewTempSensor(mathx.NewRand(1), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Read(55.4); got != 55 {
+		t.Fatalf("quantized read = %v, want 55", got)
+	}
+	if got := s.Read(55.6); got != 56 {
+		t.Fatalf("quantized read = %v, want 56", got)
+	}
+	if got := s.Read(-2.7); got != -3 {
+		t.Fatalf("quantized negative read = %v, want -3", got)
+	}
+}
+
+func TestTempSensorNoiseIsUnbiased(t *testing.T) {
+	s, err := NewTempSensor(mathx.NewRand(3), 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trueC = 60.0
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += s.Read(trueC)
+	}
+	if mean := sum / n; math.Abs(mean-trueC) > 0.05 {
+		t.Fatalf("mean reading %v deviates from %v", mean, trueC)
+	}
+}
+
+func TestPowerMeterValidation(t *testing.T) {
+	rng := mathx.NewRand(1)
+	if _, err := NewPowerMeter(nil, 0, 0.1, 0.1); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := NewPowerMeter(rng, -1.5, 0.1, 0.1); err == nil {
+		t.Fatal("gain ≤ -1 accepted")
+	}
+	if _, err := NewPowerMeter(rng, 0, -0.1, 0.1); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+	if _, err := NewPowerMeter(rng, 0, 0.1, -0.1); err == nil {
+		t.Fatal("negative resolution accepted")
+	}
+}
+
+func TestPowerMeterGain(t *testing.T) {
+	m, err := NewPowerMeter(mathx.NewRand(1), 0.02, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Read(100); !mathx.ApproxEqual(got, 102, 1e-9) {
+		t.Fatalf("read = %v, want 102", got)
+	}
+}
+
+func TestPowerMeterNeverNegative(t *testing.T) {
+	m, err := NewPowerMeter(mathx.NewRand(1), 0, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if got := m.Read(0.1); got < 0 {
+			t.Fatalf("negative power reading %v", got)
+		}
+	}
+}
+
+func TestTraceAppendAndValues(t *testing.T) {
+	var tr Trace
+	tr.Append(0, 1)
+	tr.Append(1, 2)
+	tr.Append(2, 3)
+	got := tr.Values()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTraceTail(t *testing.T) {
+	var tr Trace
+	if got := tr.Tail(5); got != 0 {
+		t.Fatalf("empty Tail = %v, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Append(float64(i), float64(i))
+	}
+	if got := tr.Tail(2); !mathx.ApproxEqual(got, 8.5, 1e-12) {
+		t.Fatalf("Tail(2) = %v, want 8.5", got)
+	}
+	if got := tr.Tail(100); !mathx.ApproxEqual(got, 4.5, 1e-12) {
+		t.Fatalf("Tail(100) = %v, want 4.5", got)
+	}
+}
+
+func TestTraceSmoothed(t *testing.T) {
+	var tr Trace
+	tr.Append(0, 0)
+	tr.Append(1, 10)
+	out, err := tr.Smoothed(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || !mathx.ApproxEqual(out[1], 5, 1e-12) {
+		t.Fatalf("Smoothed = %v, want [0 5]", out)
+	}
+	if _, err := tr.Smoothed(0); err == nil {
+		t.Fatal("invalid alpha accepted")
+	}
+}

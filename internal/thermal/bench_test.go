@@ -1,0 +1,14 @@
+package thermal
+
+import "testing"
+
+// BenchmarkStepRK4 measures one RK4 step of the per-server thermal ODEs.
+func BenchmarkStepRK4(b *testing.B) {
+	p := Params{NuCPU: 120, NuBox: 60, Theta: 2.5, Flow: 0.01, CAir: CAirDefault}
+	s := p.SteadyState(50, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s = p.Step(s, 70, 19, 1)
+	}
+	_ = s
+}

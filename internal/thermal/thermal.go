@@ -1,0 +1,114 @@
+// Package thermal implements the lumped-RC thermal model of a single
+// computing unit from paper §II-A.
+//
+// A unit is a heat source (the CPU) inside an air volume with an intake and
+// an outtake flow. With perfect, immediate mixing the outlet temperature
+// equals the box air temperature, giving the paper's two coupled ODEs:
+//
+//	ν_cpu · dT_cpu/dt = P − (T_cpu − T_box)·ϑ            (Eq. 1)
+//	ν_box · dT_box/dt = (T_cpu − T_box)·ϑ + F·c_air·(T_in − T_box)   (Eq. 2)
+//
+// Physical variables and units (paper Table I):
+//
+//	T, T_box, T_in   temperature            °C (the paper uses K; the model
+//	                                        is affine so either works — we
+//	                                        use °C throughout the repo)
+//	ν_cpu, ν_box     heat capacity          J/K
+//	ϑ                heat exchange rate     W/K (J·K⁻¹·s⁻¹)
+//	F                air flow               m³/s
+//	c_air            volumetric heat cap.   J/(K·m³)
+//	P                heat producing rate    W (J/s)
+//
+// At steady state the model collapses to the affine relations the paper
+// optimizes over: T_box = T_in + P/(F·c_air) and T_cpu = T_box + P/ϑ, i.e.
+// T_cpu = T_in + β·P with β = 1/(F·c_air) + 1/ϑ (Eq. 5–6).
+package thermal
+
+import "fmt"
+
+// CAirDefault is the volumetric heat capacity of air in J/(K·m³) at
+// machine-room conditions (≈1.2 kg/m³ × 1005 J/(kg·K)).
+const CAirDefault = 1200.0
+
+// Params holds the physical constants of one computing unit.
+type Params struct {
+	// NuCPU is the heat capacity of the CPU package in J/K.
+	NuCPU float64
+	// NuBox is the heat capacity of the air volume inside the unit in J/K.
+	NuBox float64
+	// Theta is the CPU↔box heat exchange rate ϑ in W/K.
+	Theta float64
+	// Flow is the air flow through the unit in m³/s (intake = outtake).
+	Flow float64
+	// CAir is the volumetric heat capacity of air in J/(K·m³).
+	CAir float64
+}
+
+// Validate checks that the parameters are physically plausible.
+func (p Params) Validate() error {
+	switch {
+	case p.NuCPU <= 0:
+		return fmt.Errorf("thermal: NuCPU = %v, must be positive", p.NuCPU)
+	case p.NuBox <= 0:
+		return fmt.Errorf("thermal: NuBox = %v, must be positive", p.NuBox)
+	case p.Theta <= 0:
+		return fmt.Errorf("thermal: Theta = %v, must be positive", p.Theta)
+	case p.Flow <= 0:
+		return fmt.Errorf("thermal: Flow = %v, must be positive", p.Flow)
+	case p.CAir <= 0:
+		return fmt.Errorf("thermal: CAir = %v, must be positive", p.CAir)
+	}
+	return nil
+}
+
+// Beta returns the steady-state coefficient of power in the CPU temperature
+// relation, β = 1/(F·c_air) + 1/ϑ (paper Eq. 6), in K/W.
+func (p Params) Beta() float64 {
+	return 1/(p.Flow*p.CAir) + 1/p.Theta
+}
+
+// State is the thermal state of one unit.
+type State struct {
+	// TCPU is the CPU temperature in °C.
+	TCPU float64
+	// TBox is the box (outlet) air temperature in °C.
+	TBox float64
+}
+
+// SteadyState returns the equilibrium state for a constant heat input
+// powerW (Watts) and inlet temperature tInC (°C), from paper Eqs. 3–5.
+func (p Params) SteadyState(powerW, tInC float64) State {
+	tBox := tInC + powerW/(p.Flow*p.CAir)
+	return State{
+		TCPU: tBox + powerW/p.Theta,
+		TBox: tBox,
+	}
+}
+
+// Step advances the state by dt seconds under heat input powerW and inlet
+// temperature tInC using RK4 integration of Eqs. 1–2. dt must be positive;
+// the per-unit time constants are tens of seconds, so dt ≤ 1 s is accurate.
+func (p Params) Step(s State, powerW, tInC, dt float64) State {
+	k1 := p.deriv(s, powerW, tInC)
+	k2 := p.deriv(s.add(k1, dt/2), powerW, tInC)
+	k3 := p.deriv(s.add(k2, dt/2), powerW, tInC)
+	k4 := p.deriv(s.add(k3, dt), powerW, tInC)
+	return State{
+		TCPU: s.TCPU + dt/6*(k1.TCPU+2*k2.TCPU+2*k3.TCPU+k4.TCPU),
+		TBox: s.TBox + dt/6*(k1.TBox+2*k2.TBox+2*k3.TBox+k4.TBox),
+	}
+}
+
+// deriv evaluates the right-hand side of Eqs. 1–2; the returned State holds
+// temperature derivatives in K/s.
+func (p Params) deriv(s State, powerW, tInC float64) State {
+	exchange := (s.TCPU - s.TBox) * p.Theta
+	return State{
+		TCPU: (powerW - exchange) / p.NuCPU,
+		TBox: (exchange + p.Flow*p.CAir*(tInC-s.TBox)) / p.NuBox,
+	}
+}
+
+func (s State) add(d State, scale float64) State {
+	return State{TCPU: s.TCPU + d.TCPU*scale, TBox: s.TBox + d.TBox*scale}
+}

@@ -1,0 +1,192 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolopt/internal/mathx"
+)
+
+// testParams is a plausible rack server: ~12 W/K of air-side conductance,
+// ~2.5 W/K sink conductance, small thermal masses.
+func testParams() Params {
+	return Params{
+		NuCPU: 120,
+		NuBox: 60,
+		Theta: 2.5,
+		Flow:  0.01,
+		CAir:  CAirDefault,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := testParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{name: "NuCPU", mutate: func(p *Params) { p.NuCPU = 0 }},
+		{name: "NuBox", mutate: func(p *Params) { p.NuBox = -1 }},
+		{name: "Theta", mutate: func(p *Params) { p.Theta = 0 }},
+		{name: "Flow", mutate: func(p *Params) { p.Flow = 0 }},
+		{name: "CAir", mutate: func(p *Params) { p.CAir = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := testParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestBeta(t *testing.T) {
+	p := testParams()
+	want := 1/(p.Flow*p.CAir) + 1/p.Theta
+	if got := p.Beta(); !mathx.ApproxEqual(got, want, 1e-12) {
+		t.Fatalf("Beta = %v, want %v", got, want)
+	}
+}
+
+func TestSteadyStateZeroPower(t *testing.T) {
+	s := testParams().SteadyState(0, 21)
+	if !mathx.ApproxEqual(s.TCPU, 21, 1e-12) || !mathx.ApproxEqual(s.TBox, 21, 1e-12) {
+		t.Fatalf("zero-power steady state = %+v, want inlet temperature", s)
+	}
+}
+
+func TestSteadyStateMatchesBetaRelation(t *testing.T) {
+	p := testParams()
+	const (
+		powerW = 80.0
+		tIn    = 18.0
+	)
+	s := p.SteadyState(powerW, tIn)
+	// Paper Eq. 5: T_cpu = T_in + β·P.
+	want := tIn + p.Beta()*powerW
+	if !mathx.ApproxEqual(s.TCPU, want, 1e-9) {
+		t.Fatalf("TCPU = %v, want %v", s.TCPU, want)
+	}
+	if s.TBox <= tIn || s.TBox >= s.TCPU {
+		t.Fatalf("TBox = %v not between inlet %v and CPU %v", s.TBox, tIn, s.TCPU)
+	}
+}
+
+func TestStepConvergesToSteadyState(t *testing.T) {
+	p := testParams()
+	const (
+		powerW = 70.0
+		tIn    = 19.0
+		dt     = 0.5
+	)
+	want := p.SteadyState(powerW, tIn)
+	s := State{TCPU: tIn, TBox: tIn}
+	for i := 0; i < 4000; i++ { // 2000 simulated seconds
+		s = p.Step(s, powerW, tIn, dt)
+	}
+	if !mathx.ApproxEqual(s.TCPU, want.TCPU, 1e-6) {
+		t.Fatalf("TCPU settled at %v, want %v", s.TCPU, want.TCPU)
+	}
+	if !mathx.ApproxEqual(s.TBox, want.TBox, 1e-6) {
+		t.Fatalf("TBox settled at %v, want %v", s.TBox, want.TBox)
+	}
+}
+
+func TestStepSteadyStateIsFixedPoint(t *testing.T) {
+	p := testParams()
+	s := p.SteadyState(50, 20)
+	next := p.Step(s, 50, 20, 1)
+	if !mathx.ApproxEqual(next.TCPU, s.TCPU, 1e-9) || !mathx.ApproxEqual(next.TBox, s.TBox, 1e-9) {
+		t.Fatalf("steady state drifted: %+v → %+v", s, next)
+	}
+}
+
+func TestStepSettlesWithinPaperTimescale(t *testing.T) {
+	// Paper §IV-A: a stable CPU temperature is reached in about 200 s.
+	p := testParams()
+	const (
+		powerW = 85.0
+		tIn    = 18.0
+	)
+	want := p.SteadyState(powerW, tIn)
+	s := p.SteadyState(35, tIn) // start from idle equilibrium
+	for i := 0; i < 300; i++ {
+		s = p.Step(s, powerW, tIn, 1)
+	}
+	if math.Abs(s.TCPU-want.TCPU) > 0.5 {
+		t.Fatalf("after 300 s TCPU = %v, steady %v: settles too slowly for the paper's 200 s protocol", s.TCPU, want.TCPU)
+	}
+}
+
+func TestStepRespondsToInletChange(t *testing.T) {
+	p := testParams()
+	s := p.SteadyState(60, 18)
+	for i := 0; i < 2000; i++ {
+		s = p.Step(s, 60, 22, 1)
+	}
+	want := p.SteadyState(60, 22)
+	if !mathx.ApproxEqual(s.TCPU, want.TCPU, 1e-3) {
+		t.Fatalf("TCPU after inlet step = %v, want %v", s.TCPU, want.TCPU)
+	}
+	// A 4 K inlet rise shifts steady CPU temperature by exactly 4 K.
+	if !mathx.ApproxEqual(want.TCPU-p.SteadyState(60, 18).TCPU, 4, 1e-9) {
+		t.Fatal("inlet shift must translate one-for-one at steady state")
+	}
+}
+
+// Property: for random valid parameters, integrating long enough converges
+// to the closed-form steady state.
+func TestStepConvergenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRand(seed)
+		p := Params{
+			NuCPU: rng.Uniform(50, 300),
+			NuBox: rng.Uniform(20, 150),
+			Theta: rng.Uniform(1, 5),
+			Flow:  rng.Uniform(0.005, 0.03),
+			CAir:  CAirDefault,
+		}
+		powerW := rng.Uniform(20, 120)
+		tIn := rng.Uniform(15, 30)
+		want := p.SteadyState(powerW, tIn)
+		s := State{TCPU: tIn, TBox: tIn}
+		for i := 0; i < 30000; i++ {
+			s = p.Step(s, powerW, tIn, 0.25)
+		}
+		return mathx.ApproxEqual(s.TCPU, want.TCPU, 1e-4) &&
+			mathx.ApproxEqual(s.TBox, want.TBox, 1e-4)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: steady CPU temperature is increasing in power and in inlet
+// temperature (the physical monotonicity the optimizer relies on).
+func TestSteadyStateMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRand(seed)
+		p := Params{
+			NuCPU: rng.Uniform(50, 300),
+			NuBox: rng.Uniform(20, 150),
+			Theta: rng.Uniform(1, 5),
+			Flow:  rng.Uniform(0.005, 0.03),
+			CAir:  CAirDefault,
+		}
+		p1, p2 := rng.Uniform(10, 60), rng.Uniform(61, 120)
+		t1, t2 := rng.Uniform(10, 20), rng.Uniform(21, 35)
+		if p.SteadyState(p2, t1).TCPU <= p.SteadyState(p1, t1).TCPU {
+			return false
+		}
+		return p.SteadyState(p1, t2).TCPU > p.SteadyState(p1, t1).TCPU
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

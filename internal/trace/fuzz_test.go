@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV hardens the trace parser against arbitrary files.
+func FuzzParseCSV(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"# comment\n0,0.5\n",
+		"0,0.2\n100,0.8\n",
+		"x,y\n",
+		"1,2,3\n",
+		"0,-1\n",
+		"nan,0.5\n",
+		"0,0.5\r\n10,0.6\r\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is always fine
+		}
+		// Accepted traces must satisfy the invariants New enforces.
+		points := tr.Points()
+		if len(points) == 0 {
+			t.Fatal("accepted trace has no points")
+		}
+		for i, p := range points {
+			if p.LoadFrac < 0 || p.LoadFrac > 1 || p.TimeS < 0 {
+				t.Fatalf("accepted invalid point %+v", p)
+			}
+			if i > 0 && p.TimeS <= points[i-1].TimeS {
+				t.Fatalf("accepted non-increasing times: %v", points)
+			}
+		}
+		// At must work across the whole domain without panicking.
+		for _, q := range []float64{-1, 0, points[len(points)-1].TimeS + 100} {
+			v := tr.At(q)
+			if v < 0 || v > 1 {
+				t.Fatalf("At(%v) = %v out of range", q, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,155 @@
+// Package trace provides demand traces for the machine room: time series
+// of total offered load (as a fraction of cluster capacity). The paper's
+// analysis is steady-state and assumes long-lived batch load; traces feed
+// the re-planning controller (internal/controller) that extends the
+// paper's solution to slowly varying demand.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one demand sample.
+type Point struct {
+	// TimeS is seconds since trace start.
+	TimeS float64
+	// LoadFrac is offered load as a fraction of cluster capacity.
+	LoadFrac float64
+}
+
+// Trace is a piecewise-constant demand series: the load at time t is the
+// value of the latest point at or before t.
+type Trace struct {
+	points []Point
+}
+
+// New builds a trace from points, which must start at or after time 0,
+// be strictly increasing in time, and carry loads in [0, 1].
+func New(points []Point) (*Trace, error) {
+	if len(points) == 0 {
+		return nil, errors.New("trace: empty trace")
+	}
+	for i, p := range points {
+		if p.TimeS < 0 {
+			return nil, fmt.Errorf("trace: point %d at negative time %v", i, p.TimeS)
+		}
+		if i > 0 && p.TimeS <= points[i-1].TimeS {
+			return nil, fmt.Errorf("trace: point %d time %v not increasing", i, p.TimeS)
+		}
+		if p.LoadFrac < 0 || p.LoadFrac > 1 {
+			return nil, fmt.Errorf("trace: point %d load %v outside [0, 1]", i, p.LoadFrac)
+		}
+	}
+	return &Trace{points: append([]Point(nil), points...)}, nil
+}
+
+// At returns the offered load at time t; before the first point it
+// returns the first point's load.
+func (tr *Trace) At(t float64) float64 {
+	idx := sort.Search(len(tr.points), func(i int) bool {
+		return tr.points[i].TimeS > t
+	})
+	if idx == 0 {
+		return tr.points[0].LoadFrac
+	}
+	return tr.points[idx-1].LoadFrac
+}
+
+// Duration returns the time of the last point.
+func (tr *Trace) Duration() float64 {
+	return tr.points[len(tr.points)-1].TimeS
+}
+
+// Points returns a copy of the trace points.
+func (tr *Trace) Points() []Point {
+	return append([]Point(nil), tr.points...)
+}
+
+// Diurnal synthesizes a day-like demand curve: base + swing·sin over the
+// period, sampled every stepS seconds and clamped to [0.02, 1]. A typical
+// batch cluster runs base 0.5 with swing 0.35.
+func Diurnal(periodS, stepS, base, swing float64) (*Trace, error) {
+	if periodS <= 0 || stepS <= 0 || stepS > periodS {
+		return nil, fmt.Errorf("trace: invalid period %v / step %v", periodS, stepS)
+	}
+	var points []Point
+	for t := 0.0; t <= periodS; t += stepS {
+		load := base + swing*math.Sin(2*math.Pi*t/periodS)
+		if load < 0.02 {
+			load = 0.02
+		}
+		if load > 1 {
+			load = 1
+		}
+		points = append(points, Point{TimeS: t, LoadFrac: load})
+	}
+	return New(points)
+}
+
+// Steps builds a trace from (duration, load) pairs laid end to end.
+func Steps(stepDurS float64, loads ...float64) (*Trace, error) {
+	if stepDurS <= 0 {
+		return nil, fmt.Errorf("trace: step duration %v must be positive", stepDurS)
+	}
+	if len(loads) == 0 {
+		return nil, errors.New("trace: no steps")
+	}
+	points := make([]Point, len(loads))
+	for i, l := range loads {
+		points[i] = Point{TimeS: float64(i) * stepDurS, LoadFrac: l}
+	}
+	return New(points)
+}
+
+// ParseCSV reads "time_s,load_frac" lines (comments with #, blank lines
+// ignored) into a trace.
+func ParseCSV(r io.Reader) (*Trace, error) {
+	var points []Point
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want time,load", line)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		l, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		points = append(points, Point{TimeS: t, LoadFrac: l})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(points)
+}
+
+// WriteCSV writes the trace in the ParseCSV format.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# time_s,load_frac"); err != nil {
+		return err
+	}
+	for _, p := range tr.points {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", p.TimeS, p.LoadFrac); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coolopt/internal/mathx"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		give []Point
+	}{
+		{name: "empty", give: nil},
+		{name: "negative time", give: []Point{{TimeS: -1, LoadFrac: 0.5}}},
+		{name: "non-increasing", give: []Point{{TimeS: 0, LoadFrac: 0.5}, {TimeS: 0, LoadFrac: 0.6}}},
+		{name: "load above 1", give: []Point{{TimeS: 0, LoadFrac: 1.5}}},
+		{name: "negative load", give: []Point{{TimeS: 0, LoadFrac: -0.1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.give); err == nil {
+				t.Fatal("invalid trace accepted")
+			}
+		})
+	}
+}
+
+func TestAtPiecewiseConstant(t *testing.T) {
+	tr, err := New([]Point{{TimeS: 0, LoadFrac: 0.2}, {TimeS: 100, LoadFrac: 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		at   float64
+		want float64
+	}{
+		{at: -5, want: 0.2}, // before start: first value
+		{at: 0, want: 0.2},
+		{at: 99.9, want: 0.2},
+		{at: 100, want: 0.8},
+		{at: 1e6, want: 0.8},
+	}
+	for _, tt := range tests {
+		if got := tr.At(tt.at); got != tt.want {
+			t.Fatalf("At(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+	if tr.Duration() != 100 {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestDiurnalBounds(t *testing.T) {
+	tr, err := Diurnal(86400, 600, 0.5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range tr.Points() {
+		if p.LoadFrac < 0.02 || p.LoadFrac > 1 {
+			t.Fatalf("diurnal load %v at %v out of bounds", p.LoadFrac, p.TimeS)
+		}
+	}
+	// Peak above base, trough below.
+	if tr.At(86400/4) <= 0.5 {
+		t.Fatal("no peak at quarter period")
+	}
+	if tr.At(3*86400/4) >= 0.5 {
+		t.Fatal("no trough at three-quarter period")
+	}
+	if _, err := Diurnal(0, 1, 0.5, 0.1); err == nil {
+		t.Fatal("invalid period accepted")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	tr, err := Steps(60, 0.2, 0.9, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.At(30); got != 0.2 {
+		t.Fatalf("At(30) = %v", got)
+	}
+	if got := tr.At(61); got != 0.9 {
+		t.Fatalf("At(61) = %v", got)
+	}
+	if got := tr.At(121); got != 0.4 {
+		t.Fatalf("At(121) = %v", got)
+	}
+	if _, err := Steps(0, 0.5); err == nil {
+		t.Fatal("zero step duration accepted")
+	}
+	if _, err := Steps(60); err == nil {
+		t.Fatal("no steps accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := Steps(120, 0.1, 0.6, 0.3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, pp := orig.Points(), parsed.Points()
+	if len(op) != len(pp) {
+		t.Fatalf("round trip length %d → %d", len(op), len(pp))
+	}
+	for i := range op {
+		if op[i] != pp[i] {
+			t.Fatalf("point %d: %v → %v", i, op[i], pp[i])
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: "# only a comment\n"},
+		{name: "bad fields", give: "1,2,3\n"},
+		{name: "bad time", give: "x,0.5\n"},
+		{name: "bad load", give: "1,x\n"},
+		{name: "out of range", give: "0,7\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseCSV(strings.NewReader(tt.give)); err == nil {
+				t.Fatal("invalid csv accepted")
+			}
+		})
+	}
+}
+
+// Property: At always returns a value present in the trace.
+func TestAtReturnsTraceValueProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRand(seed)
+		n := 1 + rng.Intn(10)
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = Point{TimeS: float64(i) * 10, LoadFrac: rng.Float64()}
+		}
+		tr, err := New(points)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 20; k++ {
+			v := tr.At(rng.Uniform(-10, float64(n)*10+20))
+			found := false
+			for _, p := range points {
+				if p.LoadFrac == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Balancer dispatches a stream of tasks across machines in proportion to
+// configured rates, using smooth weighted round-robin so short windows
+// already track the target ratios. It realizes the load vector produced by
+// an allocation policy as actual task placement — the paper's central load
+// balancer for long-lived batch work.
+type Balancer struct {
+	rates   []float64
+	credits []float64
+	total   float64
+	counts  []int
+}
+
+// NewBalancer builds a balancer for the given per-machine task rates
+// (tasks/s). Machines with rate 0 never receive tasks; at least one rate
+// must be positive.
+func NewBalancer(rates []float64) (*Balancer, error) {
+	if len(rates) == 0 {
+		return nil, errors.New("workload: no machines")
+	}
+	total := 0.0
+	for i, r := range rates {
+		if r < 0 {
+			return nil, fmt.Errorf("workload: negative rate %v for machine %d", r, i)
+		}
+		total += r
+	}
+	if total == 0 {
+		return nil, errors.New("workload: all rates are zero")
+	}
+	b := &Balancer{
+		rates:   append([]float64(nil), rates...),
+		credits: make([]float64, len(rates)),
+		total:   total,
+		counts:  make([]int, len(rates)),
+	}
+	return b, nil
+}
+
+// Dispatch assigns the next task and returns the chosen machine index.
+func (b *Balancer) Dispatch() int {
+	best := -1
+	for i, r := range b.rates {
+		if r == 0 {
+			continue
+		}
+		b.credits[i] += r
+		if best == -1 || b.credits[i] > b.credits[best] {
+			best = i
+		}
+	}
+	b.credits[best] -= b.total
+	b.counts[best]++
+	return best
+}
+
+// Counts returns a copy of the per-machine dispatch counts.
+func (b *Balancer) Counts() []int {
+	return append([]int(nil), b.counts...)
+}
+
+// TotalDispatched returns the number of tasks dispatched so far.
+func (b *Balancer) TotalDispatched() int {
+	sum := 0
+	for _, c := range b.counts {
+		sum += c
+	}
+	return sum
+}
+
+// RatesFromAllocation converts per-machine utilizations (0–1) and
+// capacities (tasks/s) into balancer rates. Machines absent from the on
+// set (utilization 0) get rate 0.
+func RatesFromAllocation(utilizations, capacities []float64) ([]float64, error) {
+	if len(utilizations) != len(capacities) {
+		return nil, fmt.Errorf("workload: %d utilizations but %d capacities",
+			len(utilizations), len(capacities))
+	}
+	rates := make([]float64, len(utilizations))
+	for i, u := range utilizations {
+		if u < 0 {
+			return nil, fmt.Errorf("workload: negative utilization %v for machine %d", u, i)
+		}
+		if capacities[i] <= 0 {
+			return nil, fmt.Errorf("workload: non-positive capacity %v for machine %d", capacities[i], i)
+		}
+		rates[i] = u * capacities[i]
+	}
+	return rates, nil
+}

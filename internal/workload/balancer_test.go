@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coolopt/internal/mathx"
+)
+
+func TestNewBalancerValidation(t *testing.T) {
+	if _, err := NewBalancer(nil); err == nil {
+		t.Fatal("empty rates accepted")
+	}
+	if _, err := NewBalancer([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero rates accepted")
+	}
+	if _, err := NewBalancer([]float64{1, -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestBalancerProportions(t *testing.T) {
+	b, err := NewBalancer([]float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		b.Dispatch()
+	}
+	counts := b.Counts()
+	if counts[0] != 3000 || counts[1] != 1000 {
+		t.Fatalf("counts = %v, want [3000 1000]", counts)
+	}
+}
+
+func TestBalancerSkipsZeroRate(t *testing.T) {
+	b, err := NewBalancer([]float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := b.Dispatch(); got != 1 {
+			t.Fatalf("Dispatch = %d, want 1", got)
+		}
+	}
+}
+
+func TestBalancerSmoothness(t *testing.T) {
+	// Smooth WRR with rates 1:1 must alternate rather than batch.
+	b, err := NewBalancer([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := b.Dispatch()
+	for i := 0; i < 20; i++ {
+		cur := b.Dispatch()
+		if cur == prev {
+			t.Fatalf("dispatch batched machine %d twice in a row", cur)
+		}
+		prev = cur
+	}
+}
+
+func TestTotalDispatched(t *testing.T) {
+	b, err := NewBalancer([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 33; i++ {
+		b.Dispatch()
+	}
+	if got := b.TotalDispatched(); got != 33 {
+		t.Fatalf("TotalDispatched = %d, want 33", got)
+	}
+}
+
+func TestRatesFromAllocation(t *testing.T) {
+	rates, err := RatesFromAllocation([]float64{0.5, 0, 1}, []float64{100, 100, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{50, 0, 120}
+	for i := range want {
+		if !mathx.ApproxEqual(rates[i], want[i], 1e-12) {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+}
+
+func TestRatesFromAllocationErrors(t *testing.T) {
+	if _, err := RatesFromAllocation([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := RatesFromAllocation([]float64{-0.1}, []float64{100}); err == nil {
+		t.Fatal("negative utilization accepted")
+	}
+	if _, err := RatesFromAllocation([]float64{0.5}, []float64{0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+// Property: after many dispatches, per-machine shares track the rate
+// shares to within one task per machine (the smooth-WRR guarantee).
+func TestBalancerTracksSharesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRand(seed)
+		n := 2 + rng.Intn(6)
+		rates := make([]float64, n)
+		total := 0.0
+		for i := range rates {
+			rates[i] = rng.Uniform(0.1, 10)
+			total += rates[i]
+		}
+		b, err := NewBalancer(rates)
+		if err != nil {
+			return false
+		}
+		const tasks = 5000
+		for i := 0; i < tasks; i++ {
+			b.Dispatch()
+		}
+		for i, c := range b.Counts() {
+			want := rates[i] / total * tasks
+			if math.Abs(float64(c)-want) > float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package workload
+
+import "testing"
+
+// BenchmarkProcess measures the paper's per-task work: strip one html
+// document and histogram its words.
+func BenchmarkProcess(b *testing.B) {
+	gen := NewGenerator(1)
+	docs := make([]Document, 64)
+	for i := range docs {
+		docs[i] = gen.Next()
+	}
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += len(Process(docs[i%len(docs)]))
+	}
+	_ = sink
+}
+
+// BenchmarkDispatch measures the balancer's per-task routing cost.
+func BenchmarkDispatch(b *testing.B) {
+	rates := make([]float64, 20)
+	for i := range rates {
+		rates[i] = float64(i + 1)
+	}
+	bal, err := NewBalancer(rates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bal.Dispatch()
+	}
+}

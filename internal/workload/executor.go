@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Executor actually runs the word-histogram pipeline concurrently: one
+// worker goroutine per machine pulls documents from a shared queue
+// through the balancer's placement decisions and processes them for
+// real. It exists so the repository's workload layer is not just an
+// accounting fiction — throughput claims can be demonstrated with live
+// goroutines — and it follows the lifecycle rules this codebase holds
+// goroutines to: every worker is owned, signalled, and awaited.
+type Executor struct {
+	balancer *Balancer
+	workers  int
+
+	queues  []chan Document
+	results chan Result
+
+	stop chan struct{}
+	done sync.WaitGroup
+
+	mu        sync.Mutex
+	processed []int
+	started   bool
+	stopped   bool
+}
+
+// Result is one processed document.
+type Result struct {
+	// Machine is the machine that processed the document.
+	Machine int
+	// DocID identifies the document.
+	DocID int
+	// Words is the number of distinct words found.
+	Words int
+}
+
+// NewExecutor builds an executor over per-machine rates (tasks/s). The
+// rates drive placement exactly as in NewBalancer.
+func NewExecutor(rates []float64) (*Executor, error) {
+	balancer, err := NewBalancer(rates)
+	if err != nil {
+		return nil, err
+	}
+	n := len(rates)
+	e := &Executor{
+		balancer:  balancer,
+		workers:   n,
+		queues:    make([]chan Document, n),
+		results:   make(chan Result, 1),
+		stop:      make(chan struct{}),
+		processed: make([]int, n),
+	}
+	for i := range e.queues {
+		e.queues[i] = make(chan Document, 1)
+	}
+	return e, nil
+}
+
+// Start launches one worker per machine. It may be called once.
+func (e *Executor) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return errors.New("workload: executor already started")
+	}
+	e.started = true
+	for i := 0; i < e.workers; i++ {
+		e.done.Add(1)
+		go e.worker(i)
+	}
+	return nil
+}
+
+// worker processes one machine's queue until the stop signal.
+func (e *Executor) worker(machine int) {
+	defer e.done.Done()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case doc := <-e.queues[machine]:
+			hist := Process(doc)
+			e.mu.Lock()
+			e.processed[machine]++
+			e.mu.Unlock()
+			select {
+			case e.results <- Result{Machine: machine, DocID: doc.ID, Words: len(hist)}:
+			case <-e.stop:
+				return
+			}
+		}
+	}
+}
+
+// Submit places one document according to the balancer and blocks until
+// the chosen machine's queue accepts it (or the context ends).
+func (e *Executor) Submit(ctx context.Context, doc Document) (int, error) {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return 0, errors.New("workload: executor not running")
+	}
+	machine := e.balancer.Dispatch()
+	e.mu.Unlock()
+	select {
+	case e.queues[machine] <- doc:
+		return machine, nil
+	case <-ctx.Done():
+		return 0, fmt.Errorf("workload: submit: %w", ctx.Err())
+	case <-e.stop:
+		return 0, errors.New("workload: executor stopped")
+	}
+}
+
+// Results exposes the stream of processed documents.
+func (e *Executor) Results() <-chan Result { return e.results }
+
+// Processed returns a copy of the per-machine completion counts.
+func (e *Executor) Processed() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.processed...)
+}
+
+// Stop signals every worker and waits for them to exit. It is
+// idempotent.
+func (e *Executor) Stop() {
+	e.mu.Lock()
+	if e.stopped || !e.started {
+		e.stopped = true
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	close(e.stop)
+	e.done.Wait()
+}
+
+// RunCorpus is a convenience: start, pump count generated documents
+// through the executor while draining results, and stop. It returns the
+// per-machine completion counts.
+func RunCorpus(rates []float64, seed int64, count int, timeout time.Duration) ([]int, error) {
+	if count <= 0 {
+		return nil, errors.New("workload: corpus count must be positive")
+	}
+	e, err := NewExecutor(rates)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Start(); err != nil {
+		return nil, err
+	}
+	defer e.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	// Drain results concurrently so workers never block on the result
+	// channel.
+	drained := make(chan int, 1)
+	go func() {
+		got := 0
+		for range e.Results() {
+			got++
+			if got == count {
+				break
+			}
+		}
+		drained <- got
+	}()
+
+	gen := NewGenerator(seed)
+	for i := 0; i < count; i++ {
+		if _, err := e.Submit(ctx, gen.Next()); err != nil {
+			return nil, err
+		}
+	}
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("workload: corpus drain: %w", ctx.Err())
+	}
+	return e.Processed(), nil
+}

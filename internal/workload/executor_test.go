@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestExecutorLifecycle(t *testing.T) {
+	e, err := NewExecutor([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	e.Stop()
+	e.Stop() // idempotent
+	if _, err := e.Submit(context.Background(), Document{}); err == nil {
+		t.Fatal("submit after stop accepted")
+	}
+}
+
+func TestExecutorSubmitBeforeStart(t *testing.T) {
+	e, err := NewExecutor([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(context.Background(), Document{}); err == nil {
+		t.Fatal("submit before start accepted")
+	}
+	e.Stop()
+}
+
+func TestExecutorProcessesDocuments(t *testing.T) {
+	e, err := NewExecutor([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const docs = 30
+	gen := NewGenerator(1)
+	go func() {
+		for i := 0; i < docs; i++ {
+			if _, err := e.Submit(ctx, gen.Next()); err != nil {
+				return
+			}
+		}
+	}()
+	seen := 0
+	for seen < docs {
+		select {
+		case r := <-e.Results():
+			if r.Words <= 0 {
+				t.Fatalf("result with no words: %+v", r)
+			}
+			seen++
+		case <-ctx.Done():
+			t.Fatalf("timed out after %d results", seen)
+		}
+	}
+	counts := e.Processed()
+	if counts[0]+counts[1] != docs {
+		t.Fatalf("processed %v, want total %d", counts, docs)
+	}
+	// Rate 2:1 placement: machine 0 gets twice the share.
+	if counts[0] != 20 || counts[1] != 10 {
+		t.Fatalf("counts %v, want [20 10]", counts)
+	}
+}
+
+func TestExecutorSubmitContextCancel(t *testing.T) {
+	// One machine whose queue fills while the worker is busy with a
+	// blocked result channel: Submit must respect context cancellation.
+	e, err := NewExecutor([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	// Never drain results: the worker blocks after the first document,
+	// the queue (capacity 1) fills with the second, and the third
+	// Submit must hang until the context ends.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	gen := NewGenerator(2)
+	sawCancel := false
+	for i := 0; i < 4; i++ {
+		if _, err := e.Submit(ctx, gen.Next()); err != nil {
+			sawCancel = true
+			break
+		}
+	}
+	if !sawCancel {
+		t.Fatal("submit never observed the cancelled context")
+	}
+}
+
+func TestRunCorpus(t *testing.T) {
+	counts, err := RunCorpus([]float64{3, 1}, 7, 40, 20*time.Second)
+	if err != nil {
+		t.Fatalf("RunCorpus: %v", err)
+	}
+	if counts[0]+counts[1] != 40 {
+		t.Fatalf("counts %v, want total 40", counts)
+	}
+	if counts[0] != 30 || counts[1] != 10 {
+		t.Fatalf("counts %v, want [30 10]", counts)
+	}
+	if _, err := RunCorpus([]float64{1}, 1, 0, time.Second); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := RunCorpus(nil, 1, 5, time.Second); err == nil {
+		t.Fatal("empty rates accepted")
+	}
+}

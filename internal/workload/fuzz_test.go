@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzExtractText hardens the html stripper against arbitrary input —
+// scraped corpora are full of malformed markup.
+func FuzzExtractText(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"<p>hello</p>",
+		"<script>var x=1;</script>visible",
+		"<SCRIPT a=b>x</SCRIPT>y",
+		"&amp;&lt;&gt;&quot;&nbsp;&#39;",
+		"<p", "a<b>c", "<<>>", "</script>",
+		"<style>.x{}</style>",
+		"日本語<b>テスト</b>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		text := ExtractText(input) // must not panic
+		hist := Histogram(text)    // nor here
+		// Tokens never contain separators.
+		for w := range hist {
+			if strings.ContainsAny(w, " \t\n<>") {
+				t.Fatalf("token %q contains separators", w)
+			}
+			if w != strings.ToLower(w) {
+				t.Fatalf("token %q not lowercased", w)
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Malformed and adversarial html must never panic and should degrade
+// gracefully — the paper's corpus is scraped pages, which are rarely
+// well-formed.
+func TestExtractTextMalformedInputs(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "unterminated tag", give: "<p>hello <b"},
+		{name: "bare angle", give: "3 < 4 and 5 > 2"},
+		{name: "unterminated script", give: "<script>var x = 1;"},
+		{name: "only tags", give: "<div><span></span></div>"},
+		{name: "nested brackets", give: "<<p>>text<</p>>"},
+		{name: "stray close", give: "text</script>more"},
+		{name: "unicode", give: "<p>données ☃ 日本語</p>"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := ExtractText(tt.give) // must not panic
+			_ = Histogram(got)          // nor here
+		})
+	}
+}
+
+func TestExtractTextUppercaseScript(t *testing.T) {
+	got := ExtractText(`<SCRIPT>hidden()</SCRIPT>visible`)
+	if strings.Contains(got, "hidden") {
+		t.Fatalf("uppercase script leaked: %q", got)
+	}
+	if !strings.Contains(got, "visible") {
+		t.Fatalf("visible text lost: %q", got)
+	}
+}
+
+func TestExtractTextStyleWithNewlines(t *testing.T) {
+	got := ExtractText("<style>\n.body {\n color: red;\n}\n</style>after")
+	if strings.Contains(got, "color") {
+		t.Fatalf("style content leaked: %q", got)
+	}
+	if !strings.Contains(got, "after") {
+		t.Fatalf("text after style lost: %q", got)
+	}
+}
+
+func TestExtractTextTagsActAsWordBoundaries(t *testing.T) {
+	h := Histogram(ExtractText("<p>alpha</p><p>beta</p>"))
+	if h["alpha"] != 1 || h["beta"] != 1 {
+		t.Fatalf("adjacent block elements merged words: %v", h)
+	}
+	if h["alphabeta"] != 0 {
+		t.Fatalf("words ran together: %v", h)
+	}
+}
+
+// Property: ExtractText never panics and never emits raw tag characters
+// outside of decoded entities, for arbitrary byte soup.
+func TestExtractTextNoPanicProperty(t *testing.T) {
+	f := func(input string) bool {
+		got := ExtractText(input)
+		// The only way < or > may appear is via an entity we decoded.
+		stripped := strings.ReplaceAll(strings.ReplaceAll(got, "<", ""), ">", "")
+		hasEntity := strings.Contains(input, "&lt;") || strings.Contains(input, "&gt;")
+		if !hasEntity && len(stripped) != len(got) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram totals equal the number of tokens, and re-counting
+// a doubled text doubles every count.
+func TestHistogramDoublingProperty(t *testing.T) {
+	f := func(words []string) bool {
+		text := strings.Join(words, " ")
+		h1 := Histogram(text)
+		h2 := Histogram(text + " " + text)
+		for w, c := range h1 {
+			if h2[w] != 2*c {
+				return false
+			}
+		}
+		return len(h2) == len(h1) || text == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package workload implements the paper's driver application (§IV-A): a
+// text-processing job that takes html files as input, extracts meaningful
+// text, and produces a word histogram — the batch, compute-bound load the
+// central balancer spreads across the rack. It also provides a synthetic
+// html corpus generator and a weighted balancer that realizes a load
+// allocation as per-machine task streams.
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"time"
+	"unicode"
+
+	"coolopt/internal/mathx"
+)
+
+// Document is one html input task.
+type Document struct {
+	// ID identifies the task within its stream.
+	ID int
+	// HTML is the raw document body.
+	HTML string
+}
+
+// ExtractText strips tags from html and returns the visible text. Content
+// inside <script> and <style> elements is dropped entirely; the common
+// entities &amp; &lt; &gt; &quot; &nbsp; are decoded.
+func ExtractText(html string) string {
+	var (
+		b       strings.Builder
+		inTag   bool
+		skipTag string // non-empty while inside <script>/<style>
+		tag     strings.Builder
+	)
+	b.Grow(len(html))
+	flushTag := func() {
+		name := tagName(tag.String())
+		tag.Reset()
+		switch name {
+		case "script", "style":
+			skipTag = name
+		case "/script", "/style":
+			if skipTag != "" && name[1:] == skipTag {
+				skipTag = ""
+			}
+		default:
+			// Block-level boundaries separate words.
+			b.WriteByte(' ')
+		}
+	}
+	for _, r := range html {
+		switch {
+		case inTag:
+			if r == '>' {
+				inTag = false
+				flushTag()
+			} else {
+				tag.WriteRune(r)
+			}
+		case r == '<':
+			inTag = true
+		case skipTag == "":
+			b.WriteRune(r)
+		}
+	}
+	return decodeEntities(b.String())
+}
+
+func tagName(raw string) string {
+	raw = strings.TrimSpace(strings.ToLower(raw))
+	for i, r := range raw {
+		if r != '/' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			return raw[:i]
+		}
+	}
+	return raw
+}
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&nbsp;", " ",
+	"&#39;", "'",
+)
+
+func decodeEntities(s string) string { return entityReplacer.Replace(s) }
+
+// Histogram tokenizes text into lowercase words (letter/digit runs) and
+// counts occurrences.
+func Histogram(text string) map[string]int {
+	counts := make(map[string]int)
+	var word strings.Builder
+	flush := func() {
+		if word.Len() > 0 {
+			counts[strings.ToLower(word.String())]++
+			word.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			word.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return counts
+}
+
+// Process runs the full pipeline on one document: extract text, histogram.
+func Process(doc Document) map[string]int {
+	return Histogram(ExtractText(doc.HTML))
+}
+
+// Generator produces a deterministic synthetic html corpus resembling the
+// click-stream batch inputs the paper motivates.
+type Generator struct {
+	rng  *mathx.Rand
+	next int
+}
+
+// NewGenerator builds a corpus generator for the given seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: mathx.NewRand(seed)}
+}
+
+var _vocabulary = []string{
+	"data", "center", "energy", "cooling", "load", "server", "rack",
+	"thermal", "optimal", "allocation", "cloud", "batch", "stream",
+	"click", "histogram", "model", "power", "temperature", "machine",
+	"room", "holistic", "consolidation", "steady", "state", "analysis",
+}
+
+// Next returns the next synthetic document. Documents vary in length and
+// contain nested tags, attributes, a script block, and entities so that
+// ExtractText is exercised end to end.
+func (g *Generator) Next() Document {
+	id := g.next
+	g.next++
+	var b strings.Builder
+	b.WriteString("<html><head><title>doc ")
+	b.WriteString(fmt.Sprint(id))
+	b.WriteString("</title><script>var x = 1; // not visible text\n</script></head><body>")
+	paragraphs := 3 + g.rng.Intn(6)
+	for p := 0; p < paragraphs; p++ {
+		b.WriteString(`<p class="body">`)
+		words := 20 + g.rng.Intn(60)
+		for w := 0; w < words; w++ {
+			b.WriteString(_vocabulary[g.rng.Intn(len(_vocabulary))])
+			if g.rng.Intn(12) == 0 {
+				b.WriteString(" &amp; ")
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("</p>")
+	}
+	b.WriteString("</body></html>")
+	return Document{ID: id, HTML: b.String()}
+}
+
+// MeasureCapacity runs the pipeline against generated documents for the
+// given wall-clock duration and returns the measured throughput in tasks
+// per second — the calibration step the paper performs before profiling
+// ("the capacity of a machine was measured before the experiment").
+func MeasureCapacity(seed int64, duration time.Duration) (float64, error) {
+	if duration <= 0 {
+		return 0, fmt.Errorf("workload: duration %v must be positive", duration)
+	}
+	gen := NewGenerator(seed)
+	start := time.Now()
+	var done int
+	sink := 0
+	for time.Since(start) < duration {
+		h := Process(gen.Next())
+		sink += len(h)
+		done++
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 || done == 0 {
+		return 0, fmt.Errorf("workload: no tasks completed")
+	}
+	_ = sink
+	return float64(done) / elapsed, nil
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExtractTextStripsTags(t *testing.T) {
+	got := ExtractText("<p>hello <b>world</b></p>")
+	if !strings.Contains(got, "hello") || !strings.Contains(got, "world") {
+		t.Fatalf("ExtractText = %q", got)
+	}
+	if strings.ContainsAny(got, "<>") {
+		t.Fatalf("tags leaked into %q", got)
+	}
+}
+
+func TestExtractTextDropsScriptAndStyle(t *testing.T) {
+	html := `<html><script>var hidden = "secret";</script><style>.x{color:red}</style><body>visible</body></html>`
+	got := ExtractText(html)
+	if strings.Contains(got, "secret") || strings.Contains(got, "color") {
+		t.Fatalf("script/style content leaked: %q", got)
+	}
+	if !strings.Contains(got, "visible") {
+		t.Fatalf("visible text missing: %q", got)
+	}
+}
+
+func TestExtractTextDecodesEntities(t *testing.T) {
+	got := ExtractText("<p>fish &amp; chips &lt;now&gt;</p>")
+	if !strings.Contains(got, "fish & chips <now>") {
+		t.Fatalf("entities not decoded: %q", got)
+	}
+}
+
+func TestExtractTextScriptWithAttributes(t *testing.T) {
+	html := `<script type="text/javascript">skip me</script>after`
+	got := ExtractText(html)
+	if strings.Contains(got, "skip me") {
+		t.Fatalf("attributed script leaked: %q", got)
+	}
+	if !strings.Contains(got, "after") {
+		t.Fatalf("text after script missing: %q", got)
+	}
+}
+
+func TestHistogramCountsAndLowercases(t *testing.T) {
+	h := Histogram("Data data DATA center")
+	if h["data"] != 3 {
+		t.Fatalf(`h["data"] = %d, want 3`, h["data"])
+	}
+	if h["center"] != 1 {
+		t.Fatalf(`h["center"] = %d, want 1`, h["center"])
+	}
+	if len(h) != 2 {
+		t.Fatalf("histogram has %d entries, want 2: %v", len(h), h)
+	}
+}
+
+func TestHistogramSplitsOnPunctuation(t *testing.T) {
+	h := Histogram("load,load;load. balancing-now")
+	if h["load"] != 3 {
+		t.Fatalf(`h["load"] = %d, want 3`, h["load"])
+	}
+	if h["balancing"] != 1 || h["now"] != 1 {
+		t.Fatalf("hyphen split failed: %v", h)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	if h := Histogram(""); len(h) != 0 {
+		t.Fatalf("empty text histogram = %v", h)
+	}
+}
+
+func TestProcessEndToEnd(t *testing.T) {
+	doc := Document{ID: 1, HTML: "<html><body><p>energy energy model</p></body></html>"}
+	h := Process(doc)
+	if h["energy"] != 2 || h["model"] != 1 {
+		t.Fatalf("Process histogram = %v", h)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := NewGenerator(7), NewGenerator(7)
+	for i := 0; i < 5; i++ {
+		da, db := a.Next(), b.Next()
+		if da.HTML != db.HTML || da.ID != db.ID {
+			t.Fatalf("generators diverged at doc %d", i)
+		}
+	}
+}
+
+func TestGeneratorDocumentsAreProcessable(t *testing.T) {
+	g := NewGenerator(3)
+	for i := 0; i < 10; i++ {
+		doc := g.Next()
+		if doc.ID != i {
+			t.Fatalf("doc ID = %d, want %d", doc.ID, i)
+		}
+		h := Process(doc)
+		if len(h) == 0 {
+			t.Fatalf("doc %d produced empty histogram", i)
+		}
+		// The script block's identifier must never reach the histogram.
+		if _, ok := h["var"]; ok {
+			t.Fatalf("script content leaked into histogram of doc %d", i)
+		}
+	}
+}
+
+func TestMeasureCapacity(t *testing.T) {
+	tps, err := MeasureCapacity(1, 30*time.Millisecond)
+	if err != nil {
+		t.Fatalf("MeasureCapacity: %v", err)
+	}
+	if tps <= 0 {
+		t.Fatalf("capacity = %v, want positive", tps)
+	}
+	if _, err := MeasureCapacity(1, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}

@@ -1,0 +1,307 @@
+package coolopt_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"coolopt"
+)
+
+// sharedSystem caches one profiled room for the whole test file; building
+// it replays the full profiling protocol.
+var (
+	sysOnce sync.Once
+	sysInst *coolopt.System
+	sysErr  error
+)
+
+func sharedSystem(t *testing.T) *coolopt.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		sysInst, sysErr = coolopt.NewSystem()
+	})
+	if sysErr != nil {
+		t.Fatalf("NewSystem: %v", sysErr)
+	}
+	return sysInst
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	s := sharedSystem(t)
+	if s.Size() != 20 {
+		t.Fatalf("Size = %d, want the paper's 20-machine testbed", s.Size())
+	}
+	if err := s.Profile().Validate(); err != nil {
+		t.Fatalf("fitted profile invalid: %v", err)
+	}
+	if len(s.Profile().Machines) != 20 {
+		t.Fatalf("profile covers %d machines", len(s.Profile().Machines))
+	}
+}
+
+func TestNewSystemOptionValidation(t *testing.T) {
+	if _, err := coolopt.NewSystem(coolopt.WithMachines(0)); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if _, err := coolopt.NewSystem(coolopt.WithSafetyMargin(-1)); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+}
+
+func TestEvaluateInputValidation(t *testing.T) {
+	s := sharedSystem(t)
+	if _, err := s.Evaluate(coolopt.OptimalACCons, -0.1); err == nil {
+		t.Fatal("negative load fraction accepted")
+	}
+	if _, err := s.Evaluate(coolopt.OptimalACCons, 1.5); err == nil {
+		t.Fatal("load fraction above 1 accepted")
+	}
+}
+
+func TestEvaluateMeasurementFields(t *testing.T) {
+	s := sharedSystem(t)
+	m, err := s.Evaluate(coolopt.OptimalACCons, 0.5)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if m.Method != coolopt.OptimalACCons || m.LoadPct != 50 {
+		t.Fatalf("identity fields wrong: %+v", m)
+	}
+	if m.TotalW <= 0 || m.ServerW <= 0 || m.CoolW <= 0 {
+		t.Fatalf("non-positive powers: %+v", m)
+	}
+	if math.Abs(m.TotalW-(m.ServerW+m.CoolW)) > 1 {
+		t.Fatalf("total %v ≠ servers %v + cooling %v", m.TotalW, m.ServerW, m.CoolW)
+	}
+	if want := 0.5 * float64(s.Size()); math.Abs(m.CarriedLoad-want) > 1e-6 {
+		t.Fatalf("carried load %v, want %v — throughput constraint broken", m.CarriedLoad, want)
+	}
+	if m.MachinesOn <= 0 || m.MachinesOn > s.Size() {
+		t.Fatalf("machines on = %d", m.MachinesOn)
+	}
+}
+
+// TestNoTemperatureViolations is the paper's §IV-B verification: across
+// every scenario and load, no CPU may exceed T_max at steady state.
+func TestNoTemperatureViolations(t *testing.T) {
+	s := sharedSystem(t)
+	for _, m := range coolopt.AllMethods {
+		for _, lf := range []float64{0.2, 0.5, 0.8, 1.0} {
+			meas, err := s.Evaluate(m, lf)
+			if err != nil {
+				t.Fatalf("%v at %.0f%%: %v", m, lf*100, err)
+			}
+			if meas.Violated {
+				t.Errorf("%v at %.0f%%: max CPU %.2f °C exceeds T_max %.1f",
+					m, lf*100, meas.MaxCPUC, s.Profile().TMaxC)
+			}
+		}
+	}
+}
+
+// TestPaperHeadlineOrdering checks the qualitative results of §IV-B on
+// the measured (not modeled) power.
+func TestPaperHeadlineOrdering(t *testing.T) {
+	s := sharedSystem(t)
+	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	sum := make(map[coolopt.Method]float64)
+	for _, lf := range loads {
+		row := make(map[coolopt.Method]float64)
+		for _, m := range coolopt.AllMethods {
+			meas, err := s.Evaluate(m, lf)
+			if err != nil {
+				t.Fatalf("%v at %.0f%%: %v", m, lf*100, err)
+			}
+			row[m] = meas.TotalW
+			sum[m] += meas.TotalW
+		}
+		// Consolidation helps (Fig. 5): #3 ≤ #2 and #7 ≤ #5, with a
+		// measurement-noise tolerance.
+		if row[coolopt.BottomUpNoACCons] > row[coolopt.BottomUpNoACNoCons]*1.02 {
+			t.Errorf("load %.0f%%: consolidation #3 (%v W) worse than #2 (%v W)",
+				lf*100, row[coolopt.BottomUpNoACCons], row[coolopt.BottomUpNoACNoCons])
+		}
+		// AC control helps (#4 ≤ #1).
+		if row[coolopt.EvenACNoCons] > row[coolopt.EvenNoACNoCons]*1.02 {
+			t.Errorf("load %.0f%%: AC control #4 (%v W) worse than #1 (%v W)",
+				lf*100, row[coolopt.EvenACNoCons], row[coolopt.EvenNoACNoCons])
+		}
+		// Optimal never loses to the bottom-up baseline by more than
+		// noise (Figs. 7–8).
+		if row[coolopt.OptimalACNoCons] > row[coolopt.BottomUpACNoCons]*1.02 {
+			t.Errorf("load %.0f%%: #6 (%v W) worse than #5 (%v W)",
+				lf*100, row[coolopt.OptimalACNoCons], row[coolopt.BottomUpACNoCons])
+		}
+		if row[coolopt.OptimalACCons] > row[coolopt.BottomUpACCons]*1.03 {
+			t.Errorf("load %.0f%%: #8 (%v W) worse than #7 (%v W)",
+				lf*100, row[coolopt.OptimalACCons], row[coolopt.BottomUpACCons])
+		}
+	}
+	// The holistic solution (#8) is the overall winner, saving a
+	// meaningful fraction versus the best baseline (#7) on average —
+	// the paper reports 7 %; require at least 3 %.
+	saving := (sum[coolopt.BottomUpACCons] - sum[coolopt.OptimalACCons]) / sum[coolopt.BottomUpACCons]
+	if saving < 0.03 {
+		t.Fatalf("average #8-vs-#7 saving = %.1f%%, want ≥ 3%%", saving*100)
+	}
+	for _, m := range coolopt.AllMethods {
+		if m == coolopt.OptimalACCons {
+			continue
+		}
+		if sum[coolopt.OptimalACCons] > sum[m]*1.001 {
+			t.Errorf("#8 average (%v) worse than %v (%v)", sum[coolopt.OptimalACCons], m, sum[m])
+		}
+	}
+}
+
+func TestConsolidationBenefitShrinksWithLoad(t *testing.T) {
+	// Fig. 6: consolidation gives the most benefit at low load.
+	s := sharedSystem(t)
+	gap := func(lf float64) float64 {
+		t.Helper()
+		with, err := s.Evaluate(coolopt.BottomUpACCons, lf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := s.Evaluate(coolopt.BottomUpACNoCons, lf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return without.TotalW - with.TotalW
+	}
+	low := gap(0.1)
+	high := gap(0.9)
+	if low <= high {
+		t.Fatalf("consolidation benefit at 10%% (%v W) not larger than at 90%% (%v W)", low, high)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	s := sharedSystem(t)
+	ms, err := s.Sweep([]coolopt.Method{coolopt.EvenACNoCons, coolopt.OptimalACCons}, []float64{0.2, 0.6})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("Sweep returned %d measurements, want 4", len(ms))
+	}
+	if ms[0].Method != coolopt.EvenACNoCons || ms[3].Method != coolopt.OptimalACCons {
+		t.Fatal("Sweep order not method-major")
+	}
+	if ms[0].LoadPct != 20 || ms[1].LoadPct != 60 {
+		t.Fatal("Sweep load order wrong")
+	}
+}
+
+func TestSmallRoomWorks(t *testing.T) {
+	s, err := coolopt.NewSystem(coolopt.WithMachines(8), coolopt.WithSeed(7))
+	if err != nil {
+		t.Fatalf("NewSystem(8): %v", err)
+	}
+	m, err := s.Evaluate(coolopt.OptimalACCons, 0.5)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if m.Violated {
+		t.Fatalf("small room violates T_max: %+v", m)
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	a, err := coolopt.NewSystem(coolopt.WithMachines(8), coolopt.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := coolopt.NewSystem(coolopt.WithMachines(8), coolopt.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := a.Evaluate(coolopt.BottomUpACCons, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Evaluate(coolopt.BottomUpACCons, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.TotalW != mb.TotalW || ma.SupplyC != mb.SupplyC {
+		t.Fatalf("same seed diverged: %+v vs %+v", ma, mb)
+	}
+}
+
+func TestWithRowBuildsMultiRackSystem(t *testing.T) {
+	s, err := coolopt.NewSystem(coolopt.WithRow(2, 6), coolopt.WithSeed(5))
+	if err != nil {
+		t.Fatalf("NewSystem(WithRow): %v", err)
+	}
+	if s.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", s.Size())
+	}
+	m, err := s.Evaluate(coolopt.OptimalACCons, 0.5)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if m.Violated {
+		t.Fatalf("row system violates T_max: %+v", m)
+	}
+}
+
+func TestWithCOPScaleValidation(t *testing.T) {
+	if _, err := coolopt.NewSystem(coolopt.WithCOPScale(-1)); err == nil {
+		t.Fatal("negative COP scale accepted")
+	}
+}
+
+func TestWithGradientUniformRoomProfiles(t *testing.T) {
+	s, err := coolopt.NewSystem(
+		coolopt.WithMachines(6),
+		coolopt.WithGradient(0.9, 0.9),
+		coolopt.WithJitter(0),
+		coolopt.WithSeed(2),
+	)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	// With no gradient and no jitter the fitted K values must be close
+	// across machines; the residual spread comes from the rack's
+	// height-dependent air flow, which WithGradient does not flatten.
+	p := s.Profile()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < p.Size(); i++ {
+		k := p.K(i)
+		if k < lo {
+			lo = k
+		}
+		if k > hi {
+			hi = k
+		}
+	}
+	if (hi-lo)/lo > 0.05 {
+		t.Fatalf("uniform room K spread %.3f–%.3f too wide", lo, hi)
+	}
+}
+
+func TestMeasurementPredictionTracksMeters(t *testing.T) {
+	s := sharedSystem(t)
+	m, err := s.Evaluate(coolopt.OptimalACNoCons, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PredictedW <= 0 {
+		t.Fatalf("PredictedW = %v", m.PredictedW)
+	}
+	if rel := math.Abs(m.TotalW-m.PredictedW) / m.PredictedW; rel > 0.25 {
+		t.Fatalf("model prediction %.0f W vs metered %.0f W (%.0f%%)", m.PredictedW, m.TotalW, rel*100)
+	}
+}
+
+func TestApplyRejectsCorruptPlan(t *testing.T) {
+	s := sharedSystem(t)
+	loads := make([]float64, s.Size())
+	loads[0] = 3 // far outside [0, 1]
+	plan := &coolopt.Plan{On: []int{0}, Loads: loads, TAcC: 20}
+	if err := s.Apply(plan); err == nil {
+		t.Fatal("corrupt plan accepted")
+	}
+}
