@@ -1,0 +1,32 @@
+GO ?= go
+
+# ci is the tier-1 gate: vet, race-enabled tests, and a full build.
+# The race step exists to guard the concurrent paths (the parallel
+# kinetic preprocessing sweep and the figures.Collect worker pool).
+.PHONY: ci
+ci: vet race build
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: bench
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the consolidation scaling trajectory committed at the repo root.
+.PHONY: consolidation-bench
+consolidation-bench:
+	$(GO) run ./cmd/paperbench -consolidation-bench BENCH_consolidation.json

@@ -229,32 +229,75 @@ func BenchmarkOptimizerPlan(b *testing.B) {
 	}
 }
 
-// BenchmarkPreprocess measures Algorithm 1's O(n³ lg n) offline phase.
+// BenchmarkPreprocess measures the kinetic Algorithm 1 offline phase
+// (~O(n² lg n) time, O(n²) tables) at datacenter scales the seed's dense
+// form could not reach. "table-bytes" is the resident size of the
+// retained structure; "pieces" the compressed segment count.
 func BenchmarkPreprocess(b *testing.B) {
-	for _, n := range []int{20, 40, 80} {
+	for _, n := range []int{64, 256, 1024, 4096} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			red := syntheticProfile(n).Reduce()
+			b.ReportAllocs()
 			b.ResetTimer()
+			var pre *coolopt.Preprocessed
+			var err error
 			for i := 0; i < b.N; i++ {
-				if _, err := coolopt.Preprocess(red); err != nil {
+				pre, err = coolopt.Preprocess(red)
+				if err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			b.ReportMetric(float64(pre.TableBytes()), "table-bytes")
+			b.ReportMetric(float64(pre.Pieces()), "pieces")
 		})
 	}
 }
 
-// BenchmarkQueryExact measures the robust online query.
-func BenchmarkQueryExact(b *testing.B) {
-	pre, err := coolopt.Preprocess(syntheticProfile(80).Reduce())
-	if err != nil {
-		b.Fatal(err)
+// BenchmarkPreprocessDense measures the seed's dense implementation for
+// comparison. Its tables are O(n³): n = 1024 needs ~26 GB of RAM and
+// minutes of build time, so run that size deliberately (for example with
+// -benchtime=1x).
+func BenchmarkPreprocessDense(b *testing.B) {
+	for _, n := range []int{64, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			red := syntheticProfile(n).Reduce()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var pre *coolopt.DensePreprocessed
+			var err error
+			for i := 0; i < b.N; i++ {
+				pre, err = coolopt.PreprocessDense(red, coolopt.WithMaxMachines(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pre.TableBytes()), "table-bytes")
+		})
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := pre.QueryExact(40, 40); err != nil {
-			b.Fatal(err)
-		}
+}
+
+// BenchmarkQueryExact measures the robust online query against the
+// compressed structure across scales.
+func BenchmarkQueryExact(b *testing.B) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pre, err := coolopt.Preprocess(syntheticProfile(n).Reduce())
+			if err != nil {
+				b.Fatal(err)
+			}
+			load := float64(n) / 2
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pre.QueryExact(load, n/2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(pre.TableBytes()), "table-bytes")
+		})
 	}
 }
 

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"coolopt"
+)
+
+// This file implements -consolidation-bench: a self-contained scaling
+// measurement of the consolidation preprocessing pipeline, written as a
+// JSON trajectory file (BENCH_consolidation.json) so successive PRs can
+// diff preprocessing time and table memory instead of re-deriving them
+// from ad-hoc benchmark runs.
+
+// consolidationPoint is one rack size of the trajectory.
+type consolidationPoint struct {
+	N int `json:"n"`
+	// Kinetic (compressed) implementation.
+	KineticNS         int64 `json:"kinetic_ns"`
+	KineticTableBytes int   `json:"kinetic_table_bytes"`
+	Pieces            int   `json:"pieces"`
+	Events            int   `json:"events"`
+	QueryExactNS      int64 `json:"query_exact_ns"`
+	// Dense reference (seed implementation); zero when its O(n³) tables
+	// were too large to build at this size.
+	DenseNS         int64 `json:"dense_ns,omitempty"`
+	DenseTableBytes int   `json:"dense_table_bytes,omitempty"`
+	// Ratios dense/kinetic, present when both ran.
+	Speedup     float64 `json:"speedup,omitempty"`
+	MemoryRatio float64 `json:"memory_ratio,omitempty"`
+}
+
+// consolidationBench is the file schema.
+type consolidationBench struct {
+	GeneratedUnix int64                `json:"generated_unix"`
+	DenseMaxN     int                  `json:"dense_max_n"`
+	Points        []consolidationPoint `json:"points"`
+}
+
+// syntheticReduced mirrors the scaling-benchmark instance of
+// bench_test.go: deterministic per-machine jitter, no simulation.
+func syntheticReduced(n int) coolopt.Reduced {
+	machines := make([]coolopt.MachineProfile, n)
+	for i := range machines {
+		h := float64(i) / float64(n-1)
+		jitter := 0.05 * math.Sin(float64(i)*2.399963)
+		machines[i] = coolopt.MachineProfile{
+			Alpha: 1.0,
+			Beta:  0.46 * (1 + 0.1*h + jitter),
+			Gamma: 0.5 + 2.2*h - 10*jitter,
+		}
+	}
+	p := &coolopt.Profile{
+		W1: 52, W2: 34, CoolFactor: 150, SetPointC: 31,
+		TMaxC: 65, TAcMinC: 10, TAcMaxC: 25,
+		Machines: machines,
+	}
+	return p.Reduce()
+}
+
+// bestOf times fn over reps runs and returns the fastest.
+func bestOf(reps int, fn func() error) (time.Duration, error) {
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// runConsolidationBench measures sizes {64, 256, 1024} (kinetic) with the
+// dense reference alongside up to denseMaxN, and writes the trajectory to
+// path.
+func runConsolidationBench(out io.Writer, path string, denseMaxN int) error {
+	sizes := []int{64, 256, 1024}
+	res := consolidationBench{GeneratedUnix: time.Now().Unix(), DenseMaxN: denseMaxN}
+	for _, n := range sizes {
+		red := syntheticReduced(n)
+		reps := 3
+		if n >= 1024 {
+			reps = 1
+		}
+
+		var pre *coolopt.Preprocessed
+		kinD, err := bestOf(reps, func() error {
+			var err error
+			pre, err = coolopt.Preprocess(red)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("kinetic n=%d: %w", n, err)
+		}
+		queryReps := 50
+		qD, err := bestOf(3, func() error {
+			for i := 0; i < queryReps; i++ {
+				if _, err := pre.QueryExact(float64(n)/2, n/2); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("query n=%d: %w", n, err)
+		}
+		pt := consolidationPoint{
+			N:                 n,
+			KineticNS:         kinD.Nanoseconds(),
+			KineticTableBytes: pre.TableBytes(),
+			Pieces:            pre.Pieces(),
+			Events:            pre.Events(),
+			QueryExactNS:      qD.Nanoseconds() / int64(queryReps),
+		}
+
+		if n <= denseMaxN {
+			var den *coolopt.DensePreprocessed
+			denD, err := bestOf(reps, func() error {
+				var err error
+				den, err = coolopt.PreprocessDense(red, coolopt.WithMaxMachines(n))
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("dense n=%d: %w", n, err)
+			}
+			pt.DenseNS = denD.Nanoseconds()
+			pt.DenseTableBytes = den.TableBytes()
+			pt.Speedup = float64(pt.DenseNS) / float64(pt.KineticNS)
+			pt.MemoryRatio = float64(pt.DenseTableBytes) / float64(pt.KineticTableBytes)
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(out, "consolidation n=%d: kinetic %v (%d B tables, %d pieces)", n, kinD, pt.KineticTableBytes, pt.Pieces)
+		if pt.DenseNS > 0 {
+			fmt.Fprintf(out, ", dense %v (%d B tables) — %.1f× faster, %.1f× smaller",
+				time.Duration(pt.DenseNS), pt.DenseTableBytes, pt.Speedup, pt.MemoryRatio)
+		}
+		fmt.Fprintln(out)
+	}
+
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote consolidation trajectory to %s\n", path)
+	return nil
+}

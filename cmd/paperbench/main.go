@@ -6,6 +6,7 @@
 // Usage:
 //
 //	paperbench [-seed N] [-machines N] [-fig 2|3|5|6|7|8|9|10|table1|verify|all] [-ablations]
+//	paperbench -consolidation-bench BENCH_consolidation.json
 package main
 
 import (
@@ -38,8 +39,13 @@ func run(args []string, out io.Writer) error {
 	ablations := fs.Bool("ablations", false, "also run the ablation studies (heterogeneity, scale, cooling share, margin)")
 	csvDir := fs.String("csv", "", "also save each printed figure as CSV under this directory")
 	reportPath := fs.String("report", "", "write a full markdown reproduction report to this file (implies the sweep)")
+	consBench := fs.String("consolidation-bench", "", "measure consolidation preprocessing scaling and write the JSON trajectory to this file (e.g. BENCH_consolidation.json), then exit")
+	consDenseMax := fs.Int("consolidation-dense-max", 256, "largest size at which the O(n³) dense reference also runs during -consolidation-bench")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *consBench != "" {
+		return runConsolidationBench(out, *consBench, *consDenseMax)
 	}
 	sel := strings.ToLower(*figSel)
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,6 +54,39 @@ func TestRunSweepFigure(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "Fig. 9") {
 		t.Fatal("missing Fig. 9")
+	}
+}
+
+func TestRunConsolidationBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_consolidation.json")
+	var buf bytes.Buffer
+	// Cap the dense reference at 64 machines to keep the test fast; the
+	// kinetic sizes always run in full.
+	if err := run([]string{"-consolidation-bench", path, "-consolidation-dense-max", "64"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trajectory not written: %v", err)
+	}
+	var res consolidationBench
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.KineticNS <= 0 || pt.KineticTableBytes <= 0 || pt.Pieces <= 0 {
+			t.Fatalf("incomplete point %+v", pt)
+		}
+	}
+	first := res.Points[0]
+	if first.N != 64 || first.DenseNS <= 0 || first.MemoryRatio <= 1 {
+		t.Fatalf("dense reference missing or not larger than kinetic at n=64: %+v", first)
+	}
+	if !strings.Contains(buf.String(), "wrote consolidation trajectory") {
+		t.Fatal("confirmation missing")
 	}
 }
 

@@ -58,9 +58,15 @@ type (
 	Reduced = core.Reduced
 	// Selection is a consolidation outcome.
 	Selection = core.Selection
-	// Preprocessed is Algorithm 1's output, answering queries in
-	// O(lg n).
+	// Preprocessed is Algorithm 1's output in its compressed kinetic
+	// form: O(n²) memory, queries in O(n·lg² n).
 	Preprocessed = core.Preprocessed
+	// DensePreprocessed is the paper-literal dense form of Algorithm 1
+	// (O(n³) tables), kept as the reference implementation.
+	DensePreprocessed = core.DensePreprocessed
+	// PreprocessOption configures Preprocess / PreprocessDense /
+	// NewOptimizer (machine cap, worker pool).
+	PreprocessOption = core.PreprocessOption
 	// HeteroProfile and HeteroMachine extend the closed form to
 	// mixed-hardware rooms where every machine has its own power model
 	// (the extension the paper names as future work).
@@ -102,10 +108,29 @@ var ErrInfeasible = core.ErrInfeasible
 
 // NewOptimizer builds the practical planner for a profile; see
 // core.NewOptimizer.
-func NewOptimizer(p *Profile) (*Optimizer, error) { return core.NewOptimizer(p) }
+func NewOptimizer(p *Profile, opts ...PreprocessOption) (*Optimizer, error) {
+	return core.NewOptimizer(p, opts...)
+}
 
 // NewPlanner builds the eight-scenario planner for a profile.
 func NewPlanner(p *Profile) (*Planner, error) { return baseline.NewPlanner(p) }
 
-// Preprocess runs consolidation Algorithm 1 on a reduced instance.
-func Preprocess(r Reduced) (*Preprocessed, error) { return core.Preprocess(r) }
+// Preprocess runs consolidation Algorithm 1 on a reduced instance in its
+// compressed kinetic form (O(n² lg n) time, O(n²) memory, default cap
+// core.DefaultMaxMachines machines).
+func Preprocess(r Reduced, opts ...PreprocessOption) (*Preprocessed, error) {
+	return core.Preprocess(r, opts...)
+}
+
+// PreprocessDense runs the dense paper-literal form of Algorithm 1
+// (O(n³) tables, default cap core.DenseMaxMachines machines); kept as a
+// reference for cross-checking and benchmarking.
+func PreprocessDense(r Reduced, opts ...PreprocessOption) (*DensePreprocessed, error) {
+	return core.PreprocessDense(r, opts...)
+}
+
+// WithMaxMachines overrides the Preprocess machine-count cap.
+func WithMaxMachines(n int) PreprocessOption { return core.WithMaxMachines(n) }
+
+// WithPreprocessWorkers bounds the preprocessing worker pool.
+func WithPreprocessWorkers(w int) PreprocessOption { return core.WithPreprocessWorkers(w) }

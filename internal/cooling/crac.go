@@ -97,6 +97,13 @@ func New(p Params, setPointC float64) (*CRAC, error) {
 	}, nil
 }
 
+// Clone returns an independent copy of the unit, including its current
+// control-loop state.
+func (c *CRAC) Clone() *CRAC {
+	cp := *c
+	return &cp
+}
+
 // Params returns the unit's configuration.
 func (c *CRAC) Params() Params { return c.params }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"coolopt/internal/mathx"
@@ -106,6 +107,195 @@ func TestClosedFormMatchesNumericOptimum(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Kinetic vs dense Algorithm 1.
+//
+// The compressed kinetic Preprocess must be indistinguishable from the
+// dense full-sort reference at the Selection level — byte for byte. The
+// generators below draw every coefficient from a coarse dyadic grid
+// (exact binary fractions), so all prefix sums are exact in float64 and
+// the two implementations' different accumulation orders cannot drift
+// even by an ulp; the coarse grid also makes duplicated speeds, duplicated
+// whole pairs, and simultaneous multi-way crossings common, which is
+// exactly the regime where naive kinetic swapping breaks.
+// ---------------------------------------------------------------------------
+
+// gridReduced draws a consolidation instance on a dyadic grid.
+func gridReduced(rng *mathx.Rand, n int) Reduced {
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{
+			A: float64(1+rng.Intn(256)) / 16.0, // (0, 16], step 1/16
+			B: float64(1+rng.Intn(24)) / 8.0,   // (0, 3], step 1/8 — few choices → ties
+		}
+	}
+	// Duplicate whole pairs to force exactly simultaneous crossings.
+	for d := 0; d < n/4; d++ {
+		pairs[rng.Intn(n)] = pairs[rng.Intn(n)]
+	}
+	return Reduced{
+		Pairs:      pairs,
+		W2:         float64(rng.Intn(9)) / 4.0,
+		Rho:        float64(1+rng.Intn(8)) / 4.0,
+		CoolFactor: 1,
+		SetPointC:  float64(rng.Intn(8)) / 2.0,
+		W1:         float64(1+rng.Intn(8)) / 4.0,
+	}
+}
+
+func identicalSelection(t *testing.T, label string, a, b Selection, errA, errB error) {
+	t.Helper()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("%s: error mismatch: kinetic %v, dense %v", label, errA, errB)
+	}
+	if errA != nil {
+		return
+	}
+	if len(a.Subset) != len(b.Subset) {
+		t.Fatalf("%s: subsets %v vs %v", label, a.Subset, b.Subset)
+	}
+	for i := range a.Subset {
+		if a.Subset[i] != b.Subset[i] {
+			t.Fatalf("%s: subsets %v vs %v", label, a.Subset, b.Subset)
+		}
+	}
+	if a.T != b.T || a.Power != b.Power {
+		t.Fatalf("%s: (T, Power) = (%v, %v) vs (%v, %v)", label, a.T, a.Power, b.T, b.Power)
+	}
+}
+
+// TestKineticMatchesDenseByteForByte is the headline equivalence check:
+// on exact-grid instances up to n = 64 (duplicated speeds, duplicated
+// pairs, simultaneous crossings included), every query of the compressed
+// kinetic structure returns byte-identical Selections to the dense
+// full-sort reference.
+func TestKineticMatchesDenseByteForByte(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := mathx.NewRand(int64(1000 + trial))
+		n := 2 + rng.Intn(63)
+		red := gridReduced(rng, n)
+		kin, err := Preprocess(red)
+		if err != nil {
+			t.Fatalf("trial %d: kinetic: %v", trial, err)
+		}
+		den, err := PreprocessDense(red)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		if kin.Events() != den.Events() {
+			t.Fatalf("trial %d: %d events vs dense %d", trial, kin.Events(), den.Events())
+		}
+		if kin.Pieces() > kin.StatusCount() {
+			t.Fatalf("trial %d: %d pieces exceed the dense status count %d", trial, kin.Pieces(), kin.StatusCount())
+		}
+		for e := 0; e < kin.Events(); e += 1 + kin.Events()/8 {
+			ko, _ := kin.OrderAtEvent(e)
+			do, _ := den.OrderAtEvent(e)
+			for i := range ko {
+				if ko[i] != do[i] {
+					t.Fatalf("trial %d: order at event %d: %v vs %v", trial, e, ko, do)
+				}
+			}
+		}
+		loads := []float64{0.0625, 0.5, 1, float64(n) / 4, float64(n) / 2, float64(n), 4 * float64(n)}
+		for _, load := range loads {
+			kq, kerr := kin.Query(load)
+			dq, derr := den.Query(load)
+			identicalSelection(t, fmt.Sprintf("trial %d Query(%v)", trial, load), kq, dq, kerr, derr)
+
+			for _, minK := range []int{1, 1 + n/3, n} {
+				ke, kerr := kin.QueryExact(load, minK)
+				de, derr := den.QueryExact(load, minK)
+				identicalSelection(t, fmt.Sprintf("trial %d QueryExact(%v, %d)", trial, load, minK), ke, de, kerr, derr)
+			}
+			k := 1 + rng.Intn(n)
+			kk, kerr := kin.QueryExactK(load, k)
+			dk, derr := den.QueryExactK(load, k)
+			identicalSelection(t, fmt.Sprintf("trial %d QueryExactK(%v, %d)", trial, load, k), kk, dk, kerr, derr)
+		}
+	}
+}
+
+// TestKineticMatchesBruteForce pits the kinetic structure against the
+// exhaustive oracle on small exact-grid instances (n ≤ 12). Powers agree
+// to 1e-9; subsets are revalidated by recomputing their power from
+// scratch (distinct optimal subsets can tie under duplicated pairs).
+func TestKineticMatchesBruteForce(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := mathx.NewRand(int64(5000 + trial))
+		n := 2 + rng.Intn(11)
+		red := gridReduced(rng, n)
+		kin, err := Preprocess(red)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		load := float64(rng.Intn(4*n)+1) / 8.0
+		minK := 1 + rng.Intn(n)
+		opt, oerr := red.BruteForce(load, minK)
+		got, gerr := kin.QueryExact(load, minK)
+		if oerr != nil && got.T >= 0 {
+			if gerr == nil {
+				t.Fatalf("trial %d: kinetic feasible where brute force is not", trial)
+			}
+			continue
+		}
+		if oerr != nil || opt.T < 0 {
+			continue // outside the t ≥ 0 regime the structure covers
+		}
+		if gerr != nil {
+			t.Fatalf("trial %d: kinetic infeasible, brute force found %v", trial, opt.Subset)
+		}
+		if !mathx.ApproxEqual(got.Power, opt.Power, 1e-9) {
+			t.Fatalf("trial %d: power %v vs brute force %v", trial, got.Power, opt.Power)
+		}
+		recomputed, err := red.SubsetPower(got.Subset, load)
+		if err != nil {
+			t.Fatalf("trial %d: invalid subset %v: %v", trial, got.Subset, err)
+		}
+		if recomputed != got.Power {
+			t.Fatalf("trial %d: reported power %v, subset recomputes to %v", trial, got.Power, recomputed)
+		}
+	}
+}
+
+// TestKineticWorkerCountInvariance: the parallel event sweep must produce
+// the same structure regardless of how many workers carve up the event
+// blocks (on exact-grid instances the guarantee is bitwise).
+func TestKineticWorkerCountInvariance(t *testing.T) {
+	rng := mathx.NewRand(77)
+	for trial := 0; trial < 8; trial++ {
+		n := 8 + rng.Intn(57)
+		red := gridReduced(rng, n)
+		ref, err := Preprocess(red, WithPreprocessWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 7} {
+			alt, err := Preprocess(red, WithPreprocessWorkers(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Pieces() != alt.Pieces() || ref.Events() != alt.Events() {
+				t.Fatalf("trial %d: workers=%d changed shape: %d/%d pieces, %d/%d events",
+					trial, w, ref.Pieces(), alt.Pieces(), ref.Events(), alt.Events())
+			}
+			for _, load := range []float64{0.25, float64(n) / 4, float64(n) / 2} {
+				a, errA := ref.QueryExact(load, 1)
+				b, errB := alt.QueryExact(load, 1)
+				identicalSelection(t, fmt.Sprintf("trial %d workers=%d load=%v", trial, w, load), a, b, errA, errB)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file retains the seed's dense materialization of Algorithm 1 — a
+// full re-sort at every event and O(n³) order/prefix/status tables — as
+// the correctness oracle and performance baseline for the compressed
+// kinetic implementation in particle.go/kinetic.go. Cross-check tests
+// assert that both produce byte-identical selections; benchmarks compare
+// their time and resident table memory.
+
+// DensePreprocessed is the dense output of Algorithm 1 (the paper's
+// literal tables). Prefer Preprocessed for anything beyond a few hundred
+// machines.
+type DensePreprocessed struct {
+	reduced Reduced
+	// events holds the sorted distinct event times, starting with 0.
+	events []float64
+	// orders[e] lists machine IDs by decreasing coordinate immediately
+	// after events[e].
+	orders [][]int
+	// prefixA[e][k] and prefixB[e][k] are Σ a and Σ b over the k
+	// front-most machines of orders[e] (index 0 holds 0).
+	prefixA [][]float64
+	prefixB [][]float64
+	// statuses is allStatus sorted by increasing LMax (Algorithm 1,
+	// line 27), with deterministic (LMax, K, T) tie-breaking.
+	statuses []Status
+}
+
+// PreprocessDense runs the dense form of Algorithm 1 on the reduced
+// instance: O(n³ lg n) time and O(n³) memory, capped at DenseMaxMachines
+// by default (see WithMaxMachines).
+func PreprocessDense(r Reduced, opts ...PreprocessOption) (*DensePreprocessed, error) {
+	cfg := preprocessConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.maxMachines <= 0 {
+		cfg.maxMachines = DenseMaxMachines
+	}
+	n := len(r.Pairs)
+	if n == 0 {
+		return nil, fmt.Errorf("core: no pairs")
+	}
+	if n > cfg.maxMachines {
+		return nil, fmt.Errorf("core: dense preprocess capped at %d machines, got %d (the dense tables are O(n³) in machines; use Preprocess, or raise the cap with WithMaxMachines if the memory budget allows)",
+			cfg.maxMachines, n)
+	}
+	for i, p := range r.Pairs {
+		if p.B <= 0 {
+			return nil, fmt.Errorf("core: pair %d has non-positive speed b = %v", i, p.B)
+		}
+	}
+
+	// Algorithm 1, lines 1–9: collect all positive pairwise passing
+	// times t_pq = (a_q − a_p)/(b_q − b_p).
+	events := []float64{0}
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			db := r.Pairs[q].B - r.Pairs[p].B
+			if db == 0 {
+				continue // parallel particles never pass
+			}
+			t := (r.Pairs[q].A - r.Pairs[p].A) / db
+			if t > 0 {
+				events = append(events, t)
+			}
+		}
+	}
+	sort.Float64s(events)
+	events = dedupeSorted(events)
+
+	pp := &DensePreprocessed{
+		reduced: r,
+		events:  events,
+		orders:  make([][]int, len(events)),
+		prefixA: make([][]float64, len(events)),
+		prefixB: make([][]float64, len(events)),
+	}
+	pp.statuses = make([]Status, 0, len(events)*n)
+
+	// Algorithm 1, lines 10–26: order after each event and the k-prefix
+	// coordinate sums at the event time. The order is constant on the
+	// open interval between consecutive events, so it is sampled at the
+	// interval midpoint — numerically robust where sampling exactly at
+	// the event time would tie the crossing particles' coordinates.
+	for e, t := range events {
+		order := orderAt(r.Pairs, sampleTimeOf(events, e))
+		prefA := make([]float64, n+1)
+		prefB := make([]float64, n+1)
+		for k := 1; k <= n; k++ {
+			i := order[k-1]
+			prefA[k] = prefA[k-1] + r.Pairs[i].A
+			prefB[k] = prefB[k-1] + r.Pairs[i].B
+			pp.statuses = append(pp.statuses, Status{
+				T:    t,
+				K:    k,
+				LMax: prefA[k] - t*prefB[k],
+			})
+		}
+		pp.orders[e] = order
+		pp.prefixA[e] = prefA
+		pp.prefixB[e] = prefB
+	}
+
+	// Algorithm 1, line 27: sort allStatus by increasing Lmax, with
+	// deterministic tie-breaking so the compressed implementation can be
+	// cross-checked byte for byte.
+	sort.Slice(pp.statuses, func(i, j int) bool {
+		si, sj := pp.statuses[i], pp.statuses[j]
+		if si.LMax != sj.LMax {
+			return si.LMax < sj.LMax
+		}
+		if si.K != sj.K {
+			return si.K < sj.K
+		}
+		return si.T < sj.T
+	})
+	return pp, nil
+}
+
+func dedupeSorted(xs []float64) []float64 {
+	out := xs[:0]
+	for i, v := range xs {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Events returns the number of distinct event times (including t = 0).
+func (pp *DensePreprocessed) Events() int { return len(pp.events) }
+
+// StatusCount returns the size of the allStatus table.
+func (pp *DensePreprocessed) StatusCount() int { return len(pp.statuses) }
+
+// TableBytes returns the resident size of the retained tables (events,
+// orders, prefix sums, statuses) in bytes, excluding slice-header
+// overhead.
+func (pp *DensePreprocessed) TableBytes() int {
+	total := len(pp.events) * 8
+	for e := range pp.orders {
+		total += len(pp.orders[e])*8 + len(pp.prefixA[e])*8 + len(pp.prefixB[e])*8
+	}
+	total += len(pp.statuses) * 24
+	return total
+}
+
+// OrderAtEvent returns the stored machine order on event interval e.
+func (pp *DensePreprocessed) OrderAtEvent(e int) ([]int, error) {
+	if e < 0 || e >= len(pp.events) {
+		return nil, fmt.Errorf("core: event %d outside [0, %d)", e, len(pp.events))
+	}
+	return append([]int(nil), pp.orders[e]...), nil
+}
+
+// Query is Algorithm 2 verbatim: binary-search allStatus for the first
+// entry whose LMax exceeds the load, and return the corresponding k
+// front-most machines of the order at that entry's event time.
+func (pp *DensePreprocessed) Query(load float64) (Selection, error) {
+	idx := sort.Search(len(pp.statuses), func(i int) bool {
+		return pp.statuses[i].LMax > load
+	})
+	if idx == len(pp.statuses) {
+		return Selection{}, fmt.Errorf("%w: load %v exceeds every status", ErrInfeasible, load)
+	}
+	st := pp.statuses[idx]
+	e := pp.eventIndex(st.T)
+	subset := append([]int(nil), pp.orders[e][:st.K]...)
+	sort.Ints(subset)
+	t, err := pp.reduced.TValue(subset, load)
+	if err != nil {
+		return Selection{}, err
+	}
+	power := float64(st.K)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
+	return Selection{Subset: subset, T: t, Power: power}, nil
+}
+
+// QueryExact returns the provably power-optimal on-set of size ≥ minK for
+// the given load, restricted (like the paper) to the t ≥ 0 regime. See
+// Preprocessed.QueryExact.
+func (pp *DensePreprocessed) QueryExact(load float64, minK int) (Selection, error) {
+	if minK < 1 {
+		minK = 1
+	}
+	n := len(pp.reduced.Pairs)
+	best := Selection{Power: math.Inf(1)}
+	for k := minK; k <= n; k++ {
+		t, e, ok := pp.bestTimeFor(k, load)
+		if !ok {
+			continue
+		}
+		power := float64(k)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
+		if power < best.Power-1e-12 || (math.Abs(power-best.Power) <= 1e-12 && k < len(best.Subset)) {
+			subset := append([]int(nil), pp.orders[e][:k]...)
+			sort.Ints(subset)
+			best = Selection{Subset: subset, T: t, Power: power}
+		}
+	}
+	if math.IsInf(best.Power, 1) {
+		return Selection{}, fmt.Errorf("%w: no feasible subset of size ≥ %d at t ≥ 0", ErrInfeasible, minK)
+	}
+	return best, nil
+}
+
+// QueryExactK returns the power-optimal subset of exactly k machines for
+// the given load (t ≥ 0 regime). See Preprocessed.QueryExactK.
+func (pp *DensePreprocessed) QueryExactK(load float64, k int) (Selection, error) {
+	n := len(pp.reduced.Pairs)
+	if k < 1 || k > n {
+		return Selection{}, fmt.Errorf("core: k = %d outside [1, %d]", k, n)
+	}
+	t, e, ok := pp.bestTimeFor(k, load)
+	if !ok {
+		return Selection{}, fmt.Errorf("%w: no %d-subset carries load %v at t ≥ 0", ErrInfeasible, k, load)
+	}
+	subset := append([]int(nil), pp.orders[e][:k]...)
+	sort.Ints(subset)
+	power := float64(k)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
+	return Selection{Subset: subset, T: t, Power: power}, nil
+}
+
+// bestTimeFor returns the largest t ≥ 0 at which the k front-most
+// particles still carry load, together with the index of the event
+// interval containing t. ok is false when even t = 0 is infeasible for
+// this k.
+func (pp *DensePreprocessed) bestTimeFor(k int, load float64) (t float64, event int, ok bool) {
+	sumAt := func(e int) float64 {
+		return pp.prefixA[e][k] - pp.events[e]*pp.prefixB[e][k]
+	}
+	if sumAt(0) < load {
+		return 0, 0, false
+	}
+	// Find the last event whose k-prefix sum still covers the load;
+	// sums at event times are non-increasing in the event index.
+	lo, hi := 0, len(pp.events)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if sumAt(mid) >= load {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	e := lo
+	// Within [events[e], events[e+1]) the order is orders[e]; solve
+	// prefA − t·prefB = load.
+	tStar := (pp.prefixA[e][k] - load) / pp.prefixB[e][k]
+	if tStar < pp.events[e] {
+		tStar = pp.events[e]
+	}
+	if e+1 < len(pp.events) && tStar > pp.events[e+1] {
+		tStar = pp.events[e+1]
+	}
+	return tStar, e, true
+}
+
+// eventIndex locates an event time recorded during preprocessing.
+func (pp *DensePreprocessed) eventIndex(t float64) int {
+	idx := sort.SearchFloat64s(pp.events, t)
+	if idx == len(pp.events) || pp.events[idx] != t {
+		// Status times always come from the event list; fall back to
+		// the interval containing t if floating-point drift crept in.
+		if idx > 0 {
+			idx--
+		}
+	}
+	return idx
+}

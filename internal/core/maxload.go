@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // This file implements the paper's dual consolidation question,
@@ -51,7 +50,8 @@ func (pp *Preprocessed) MaxLoadK(budgetW float64, k int) (MaxLoadResult, error) 
 		return (budgetW - float64(k)*r.W2 - r.CoolFactor*r.SetPointC + r.Rho*t) / r.W1
 	}
 	frontAt := func(e int, t float64) float64 {
-		return pp.prefixA[e][k] - t*pp.prefixB[e][k]
+		j := pp.pieceFor(k, e)
+		return pp.segA[j] - t*pp.segB[j]
 	}
 
 	// The crossing g(t) = front(t) − L(t) is strictly decreasing; find
@@ -67,9 +67,7 @@ func (pp *Preprocessed) MaxLoadK(budgetW float64, k int) (MaxLoadResult, error) 
 		// budget; serving less than loadAt(0) stays under budget.
 		e := 0
 		load := frontAt(e, 0)
-		subset := append([]int(nil), pp.orders[e][:k]...)
-		sort.Ints(subset)
-		return MaxLoadResult{Load: load, Subset: subset, T: 0}, nil
+		return MaxLoadResult{Load: load, Subset: pp.frontSet(e, k), T: 0}, nil
 	}
 	lo, hi := 0, len(pp.events)-1
 	for lo < hi {
@@ -81,9 +79,10 @@ func (pp *Preprocessed) MaxLoadK(budgetW float64, k int) (MaxLoadResult, error) 
 		}
 	}
 	e := lo
-	// Solve prefA − t·prefB = loadAt(t) inside interval e.
-	num := pp.prefixA[e][k] - (budgetW-float64(k)*r.W2-r.CoolFactor*r.SetPointC)/r.W1
-	den := pp.prefixB[e][k] + r.Rho/r.W1
+	// Solve segA − t·segB = loadAt(t) inside interval e.
+	j := pp.pieceFor(k, e)
+	num := pp.segA[j] - (budgetW-float64(k)*r.W2-r.CoolFactor*r.SetPointC)/r.W1
+	den := pp.segB[j] + r.Rho/r.W1
 	tStar := num / den
 	if tStar < pp.events[e] {
 		tStar = pp.events[e]
@@ -91,9 +90,7 @@ func (pp *Preprocessed) MaxLoadK(budgetW float64, k int) (MaxLoadResult, error) 
 	if e+1 < len(pp.events) && tStar > pp.events[e+1] {
 		tStar = pp.events[e+1]
 	}
-	subset := append([]int(nil), pp.orders[e][:k]...)
-	sort.Ints(subset)
-	return MaxLoadResult{Load: loadAt(tStar), Subset: subset, T: tStar}, nil
+	return MaxLoadResult{Load: loadAt(tStar), Subset: pp.frontSet(e, k), T: tStar}, nil
 }
 
 // MaxLoad answers the budget question over every machine count with a

@@ -17,12 +17,13 @@ type Optimizer struct {
 }
 
 // NewOptimizer validates the profile and runs Algorithm 1 once; the
-// returned optimizer answers Plan queries in O(n·lg n).
-func NewOptimizer(p *Profile) (*Optimizer, error) {
+// returned optimizer answers Plan queries in O(n·lg n). Options are
+// forwarded to Preprocess (cap and worker-pool overrides).
+func NewOptimizer(p *Profile, opts ...PreprocessOption) (*Optimizer, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	pre, err := Preprocess(p.Reduce())
+	pre, err := Preprocess(p.Reduce(), opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -7,24 +7,78 @@ import (
 )
 
 // This file implements the paper's particle-system consolidation machinery
-// (§III-B, Algorithms 1–2).
+// (§III-B, Algorithms 1–2) in its datacenter-scale form.
 //
 // Machine i is a particle on a line with initial coordinate a_i = K_i and
 // speed −b_i = −α_i/β_i, so x_i(t) = a_i − b_i·t. A subset S of size k can
 // serve load L within the power budget corresponding to time t iff
 // Σ_S x_i(t) ≥ L (Eq. 26), and the best such subset is always the k
 // front-most particles. The total order of particles changes only at the
-// O(n²) pairwise passing events, so pre-computing the order after each
-// event (Algorithm 1, O(n³ lg n)) lets a query retrieve the optimal on-set
-// in O(lg n) (Algorithm 2).
+// O(n²) pairwise passing events.
 //
-// Faithfulness note: Algorithm 1 in the paper maintains the order
-// incrementally with curOrder.swap(p, q) per event. We recompute the order
-// at each event time with a full sort instead — same O(n³ lg n) budget,
-// but robust to simultaneous crossings and exact ties, which the swap
-// formulation mishandles. Algorithm 2's global binary search over
-// allStatus sorted by Lmax is implemented verbatim in Query; see
-// QueryExact for the robust variant (DESIGN.md §5.1).
+// The paper's Algorithm 1 materializes the order and its prefix sums after
+// every event — an O(n³) table built in O(n³ lg n) time, which caps rooms
+// at a few hundred machines. This implementation keeps the same query
+// semantics on two ideas (see kinetic.go for the construction):
+//
+//  1. Kinetic order maintenance. Between events only the particles that
+//     actually pass each other change relative order, so the sweep repairs
+//     the order locally at each event (an O(1)-sized sort per ordinary
+//     event, widened into a block sort for ties and simultaneous
+//     crossings) instead of re-sorting all n particles — ~O(n² lg n)
+//     total, dominated by sorting the event list itself.
+//
+//  2. Compressed tables. For each subset size k, the maximum k-subset
+//     coordinate sum S_k(t) is piecewise linear in t and only changes
+//     piece when a crossing straddles rank k, which happens O(n²) times
+//     in total across ALL k. Storing those pieces — instead of per-event
+//     orders and prefix sums — shrinks the structure from O(n³) to O(n²)
+//     while still answering every query of the dense form.
+//
+// Faithfulness note: the paper maintains the order incrementally with
+// curOrder.swap(p, q) per event, which mishandles exact ties and
+// simultaneous crossings. Like the dense reference (dense.go), the sweep
+// samples each inter-event interval at its midpoint and repairs the order
+// with a local sort there, which is robust to both. Algorithm 2's global
+// binary search over allStatus sorted by Lmax is implemented in Query
+// without materializing allStatus; see QueryExact for the robust variant
+// (DESIGN.md §5.1).
+
+// DefaultMaxMachines is the default Preprocess size cap. The event grid
+// and the segment tables are O(n²): at the cap they occupy a few hundred
+// megabytes. Raise it explicitly with WithMaxMachines when the memory
+// budget allows.
+const DefaultMaxMachines = 4096
+
+// DenseMaxMachines is the default size cap of the dense reference
+// implementation (PreprocessDense), whose tables are O(n³).
+const DenseMaxMachines = 512
+
+// preprocessConfig collects the tunables of both Preprocess variants.
+type preprocessConfig struct {
+	maxMachines int // 0 = entry point's default
+	workers     int // 0 = runtime.GOMAXPROCS(0)
+}
+
+// PreprocessOption configures Preprocess and PreprocessDense.
+type PreprocessOption func(*preprocessConfig)
+
+// WithMaxMachines overrides the machine-count cap. Values ≤ 0 keep the
+// entry point's default (DefaultMaxMachines for Preprocess,
+// DenseMaxMachines for PreprocessDense).
+func WithMaxMachines(n int) PreprocessOption {
+	return func(cfg *preprocessConfig) { cfg.maxMachines = n }
+}
+
+// WithPreprocessWorkers bounds the worker pool used for event generation
+// and the event-block sweep. Values ≤ 0 use runtime.GOMAXPROCS(0). The
+// result is independent of the worker count for instances whose
+// coordinate sums are exact in float64; in general, worker-count changes
+// can shift results by ulps (the chunk boundaries re-accumulate prefix
+// sums in a different order).
+func WithPreprocessWorkers(w int) PreprocessOption {
+	return func(cfg *preprocessConfig) { cfg.workers = w }
+}
 
 // Status is one row of Algorithm 1's allStatus table: at event time T,
 // powering the K front-most particles supports at most LMax load.
@@ -34,33 +88,41 @@ type Status struct {
 	LMax float64
 }
 
-// Preprocessed is the output of Algorithm 1, ready to answer consolidation
-// queries.
+// Preprocessed is the compressed output of Algorithm 1, ready to answer
+// consolidation queries. For each subset size k it stores the pieces of
+// the piecewise-linear function S_k(t) = segA − segB·t (the maximum
+// k-subset coordinate sum), keyed by the first event interval each piece
+// covers. Orders are reconstructed on demand.
 type Preprocessed struct {
 	reduced Reduced
 	// events holds the sorted distinct event times, starting with 0.
 	events []float64
-	// orders[e] lists machine IDs by decreasing coordinate immediately
-	// after events[e].
-	orders [][]int
-	// prefixA[e][k] and prefixB[e][k] are Σ a and Σ b over the k
-	// front-most machines of orders[e] (index 0 holds 0).
-	prefixA [][]float64
-	prefixB [][]float64
-	// statuses is allStatus sorted by increasing LMax (Algorithm 1,
-	// line 27).
-	statuses []Status
+	// Piece arena, grouped by k: pieces of S_k occupy
+	// segEvent/segA/segB[segOff[k-1]:segOff[k]], ordered by start event.
+	segOff   []int
+	segEvent []int32
+	segA     []float64
+	segB     []float64
 }
 
-// Preprocess runs Algorithm 1 on the reduced instance. Memory is O(n³);
-// n is capped at 512 to keep that in check.
-func Preprocess(r Reduced) (*Preprocessed, error) {
+// Preprocess runs the kinetic form of Algorithm 1 on the reduced
+// instance. Time is ~O(n² lg n) and the retained tables are O(n²); n is
+// capped at DefaultMaxMachines by default (see WithMaxMachines).
+func Preprocess(r Reduced, opts ...PreprocessOption) (*Preprocessed, error) {
+	cfg := preprocessConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.maxMachines <= 0 {
+		cfg.maxMachines = DefaultMaxMachines
+	}
 	n := len(r.Pairs)
 	if n == 0 {
 		return nil, fmt.Errorf("core: no pairs")
 	}
-	if n > 512 {
-		return nil, fmt.Errorf("core: preprocess capped at 512 machines, got %d (O(n³) table)", n)
+	if n > cfg.maxMachines {
+		return nil, fmt.Errorf("core: preprocess capped at %d machines, got %d (the event grid and segment tables are O(n²) in machines; raise the cap with WithMaxMachines if the memory budget allows)",
+			cfg.maxMachines, n)
 	}
 	for i, p := range r.Pairs {
 		if p.B <= 0 {
@@ -68,65 +130,9 @@ func Preprocess(r Reduced) (*Preprocessed, error) {
 		}
 	}
 
-	// Algorithm 1, lines 1–9: collect all positive pairwise passing
-	// times t_pq = (a_q − a_p)/(b_q − b_p).
-	events := []float64{0}
-	for p := 0; p < n; p++ {
-		for q := p + 1; q < n; q++ {
-			db := r.Pairs[q].B - r.Pairs[p].B
-			if db == 0 {
-				continue // parallel particles never pass
-			}
-			t := (r.Pairs[q].A - r.Pairs[p].A) / db
-			if t > 0 {
-				events = append(events, t)
-			}
-		}
-	}
-	sort.Float64s(events)
-	events = dedupeSorted(events)
-
-	pp := &Preprocessed{
-		reduced: r,
-		events:  events,
-		orders:  make([][]int, len(events)),
-		prefixA: make([][]float64, len(events)),
-		prefixB: make([][]float64, len(events)),
-	}
-	pp.statuses = make([]Status, 0, len(events)*n)
-
-	// Algorithm 1, lines 10–26: order after each event and the k-prefix
-	// coordinate sums at the event time. The order is constant on the
-	// open interval between consecutive events, so it is sampled at the
-	// interval midpoint — numerically robust where sampling exactly at
-	// the event time would tie the crossing particles' coordinates.
-	for e, t := range events {
-		sampleT := t + 0.5
-		if e+1 < len(events) {
-			sampleT = (t + events[e+1]) / 2
-		}
-		order := orderAt(r.Pairs, sampleT)
-		prefA := make([]float64, n+1)
-		prefB := make([]float64, n+1)
-		for k := 1; k <= n; k++ {
-			i := order[k-1]
-			prefA[k] = prefA[k-1] + r.Pairs[i].A
-			prefB[k] = prefB[k-1] + r.Pairs[i].B
-			pp.statuses = append(pp.statuses, Status{
-				T:    t,
-				K:    k,
-				LMax: prefA[k] - t*prefB[k],
-			})
-		}
-		pp.orders[e] = order
-		pp.prefixA[e] = prefA
-		pp.prefixB[e] = prefB
-	}
-
-	// Algorithm 1, line 27: sort allStatus by increasing Lmax.
-	sort.Slice(pp.statuses, func(i, j int) bool {
-		return pp.statuses[i].LMax < pp.statuses[j].LMax
-	})
+	events, crossings, bucketEnd := collectEvents(r.Pairs, cfg.workers)
+	pp := &Preprocessed{reduced: r, events: events}
+	pp.buildSegments(crossings, bucketEnd, cfg.workers)
 	return pp, nil
 }
 
@@ -139,59 +145,143 @@ func orderAt(pairs []Pair, t float64) []int {
 		order[i] = i
 	}
 	sort.Slice(order, func(x, y int) bool {
-		i, j := order[x], order[y]
-		xi := pairs[i].A - pairs[i].B*t
-		xj := pairs[j].A - pairs[j].B*t
-		if xi != xj {
-			return xi > xj
-		}
-		if pairs[i].B != pairs[j].B {
-			return pairs[i].B < pairs[j].B
-		}
-		return i < j
+		return particleLess(pairs, order[x], order[y], t)
 	})
 	return order
 }
 
-func dedupeSorted(xs []float64) []float64 {
-	out := xs[:0]
-	for i, v := range xs {
-		if i == 0 || v != out[len(out)-1] {
-			out = append(out, v)
-		}
+// particleLess is the strict weak order of particles at time t: by
+// decreasing coordinate, ties by increasing speed b, then by ID.
+func particleLess(pairs []Pair, i, j int, t float64) bool {
+	xi := pairs[i].A - pairs[i].B*t
+	xj := pairs[j].A - pairs[j].B*t
+	if xi != xj {
+		return xi > xj
 	}
-	return out
+	if pairs[i].B != pairs[j].B {
+		return pairs[i].B < pairs[j].B
+	}
+	return i < j
 }
+
+// sampleTimeOf returns the numerically robust sample point of the order
+// on the interval [events[e], events[e+1]): its midpoint (or +0.5 past
+// the last event). Sampling exactly at an event time would tie the
+// crossing particles' coordinates.
+func sampleTimeOf(events []float64, e int) float64 {
+	t := events[e]
+	if e+1 < len(events) {
+		return (t + events[e+1]) / 2
+	}
+	return t + 0.5
+}
+
+func (pp *Preprocessed) sampleTime(e int) float64 { return sampleTimeOf(pp.events, e) }
 
 // Events returns the number of distinct event times (including t = 0).
 func (pp *Preprocessed) Events() int { return len(pp.events) }
 
-// StatusCount returns the size of the allStatus table.
-func (pp *Preprocessed) StatusCount() int { return len(pp.statuses) }
+// StatusCount returns the size of Algorithm 1's allStatus table — the
+// number of (event, k) combinations the queries range over. The
+// compressed representation answers the same queries without
+// materializing the table.
+func (pp *Preprocessed) StatusCount() int { return len(pp.events) * len(pp.reduced.Pairs) }
 
-// Query is Algorithm 2 verbatim: binary-search allStatus for the first
-// entry whose LMax exceeds the load, and return the corresponding k
-// front-most machines of the order at that entry's event time.
+// Pieces returns the number of stored linear pieces across all subset
+// sizes — the O(n²) quantity that replaces the dense O(n³) tables.
+func (pp *Preprocessed) Pieces() int { return len(pp.segEvent) }
+
+// TableBytes returns the resident size of the retained tables (events and
+// segment arena) in bytes — the memory the structure keeps alive after
+// preprocessing, excluding fixed struct overhead.
+func (pp *Preprocessed) TableBytes() int {
+	return len(pp.events)*8 + len(pp.segOff)*8 + len(pp.segEvent)*4 +
+		len(pp.segA)*8 + len(pp.segB)*8
+}
+
+// OrderAtEvent reconstructs the machine IDs by decreasing coordinate on
+// the event interval [events[e], events[e+1]) — row e of the dense
+// Algorithm 1 table, computed on demand in O(n lg n).
+func (pp *Preprocessed) OrderAtEvent(e int) ([]int, error) {
+	if e < 0 || e >= len(pp.events) {
+		return nil, fmt.Errorf("core: event %d outside [0, %d)", e, len(pp.events))
+	}
+	return orderAt(pp.reduced.Pairs, pp.sampleTime(e)), nil
+}
+
+// pieceFor returns the arena index of the S_k piece covering event
+// interval e.
+func (pp *Preprocessed) pieceFor(k, e int) int {
+	lo, hi := pp.segOff[k-1], pp.segOff[k]-1
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if int(pp.segEvent[mid]) <= e {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// sumAt evaluates S_k at event time events[e] — the k-prefix coordinate
+// sum the dense table stores as prefixA[e][k] − t·prefixB[e][k].
+func (pp *Preprocessed) sumAt(k, e int) float64 {
+	j := pp.pieceFor(k, e)
+	return pp.segA[j] - pp.events[e]*pp.segB[j]
+}
+
+// frontSet returns the k front-most machine IDs on event interval e in
+// ascending ID order.
+func (pp *Preprocessed) frontSet(e, k int) []int {
+	order := orderAt(pp.reduced.Pairs, pp.sampleTime(e))
+	subset := order[:k:k]
+	sort.Ints(subset)
+	return subset
+}
+
+// Query is Algorithm 2: find the status row with the smallest LMax
+// exceeding the load and return the corresponding k front-most machines
+// of the order at that row's event time. Without the materialized
+// allStatus table the search runs per subset size: S_k over event times
+// is non-increasing, so the smallest exceeding value for each k sits at
+// the last event time where S_k still exceeds the load; the global answer
+// is the minimum across k (ties to the smaller k, matching the dense
+// reference's deterministic sort). O(n lg² n) per query.
 //
-// The paper argues this O(lg n) lookup returns the power-optimal on-set.
-// The monotonicity it relies on holds within a fixed k but not always
-// across k; QueryExact is the robust variant. Tests quantify the gap.
+// The paper argues this lookup returns the power-optimal on-set. The
+// monotonicity it relies on holds within a fixed k but not always across
+// k; QueryExact is the robust variant. Tests quantify the gap.
 func (pp *Preprocessed) Query(load float64) (Selection, error) {
-	idx := sort.Search(len(pp.statuses), func(i int) bool {
-		return pp.statuses[i].LMax > load
-	})
-	if idx == len(pp.statuses) {
+	n := len(pp.reduced.Pairs)
+	bestVal := math.Inf(1)
+	bestK, bestE := 0, 0
+	for k := 1; k <= n; k++ {
+		if pp.sumAt(k, 0) <= load {
+			continue // S_k never exceeds the load (non-increasing over events)
+		}
+		lo, hi := 0, len(pp.events)-1
+		for lo < hi {
+			mid := int(uint(lo+hi+1) >> 1)
+			if pp.sumAt(k, mid) > load {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		if v := pp.sumAt(k, lo); v < bestVal {
+			bestVal, bestK, bestE = v, k, lo
+		}
+	}
+	if math.IsInf(bestVal, 1) {
 		return Selection{}, fmt.Errorf("%w: load %v exceeds every status", ErrInfeasible, load)
 	}
-	st := pp.statuses[idx]
-	e := pp.eventIndex(st.T)
-	subset := append([]int(nil), pp.orders[e][:st.K]...)
-	sort.Ints(subset)
+	subset := pp.frontSet(bestE, bestK)
 	t, err := pp.reduced.TValue(subset, load)
 	if err != nil {
 		return Selection{}, err
 	}
-	power := float64(st.K)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
+	power := float64(bestK)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
 	return Selection{Subset: subset, T: t, Power: power}, nil
 }
 
@@ -203,7 +293,7 @@ func (pp *Preprocessed) Query(load float64) (Selection, error) {
 // event times, so the optimal t for that k — the largest t with
 // S_k(t) ≥ load — is found by binary-searching the event grid and solving
 // one linear equation inside the bracketing interval. The subset is the k
-// front-most particles there. Runtime O(n·lg n) per query after
+// front-most particles there. Runtime O(n·lg² n) per query after
 // preprocessing.
 func (pp *Preprocessed) QueryExact(load float64, minK int) (Selection, error) {
 	if minK < 1 {
@@ -211,21 +301,22 @@ func (pp *Preprocessed) QueryExact(load float64, minK int) (Selection, error) {
 	}
 	n := len(pp.reduced.Pairs)
 	best := Selection{Power: math.Inf(1)}
+	bestK, bestE := 0, 0
 	for k := minK; k <= n; k++ {
 		t, e, ok := pp.bestTimeFor(k, load)
 		if !ok {
 			continue
 		}
 		power := float64(k)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
-		if power < best.Power-1e-12 || (math.Abs(power-best.Power) <= 1e-12 && k < len(best.Subset)) {
-			subset := append([]int(nil), pp.orders[e][:k]...)
-			sort.Ints(subset)
-			best = Selection{Subset: subset, T: t, Power: power}
+		if power < best.Power-1e-12 || (math.Abs(power-best.Power) <= 1e-12 && k < bestK) {
+			best = Selection{T: t, Power: power}
+			bestK, bestE = k, e
 		}
 	}
 	if math.IsInf(best.Power, 1) {
 		return Selection{}, fmt.Errorf("%w: no feasible subset of size ≥ %d at t ≥ 0", ErrInfeasible, minK)
 	}
+	best.Subset = pp.frontSet(bestE, bestK)
 	return best, nil
 }
 
@@ -243,8 +334,7 @@ func (pp *Preprocessed) QueryExactK(load float64, k int) (Selection, error) {
 	if !ok {
 		return Selection{}, fmt.Errorf("%w: no %d-subset carries load %v at t ≥ 0", ErrInfeasible, k, load)
 	}
-	subset := append([]int(nil), pp.orders[e][:k]...)
-	sort.Ints(subset)
+	subset := pp.frontSet(e, k)
 	power := float64(k)*pp.reduced.W2 - pp.reduced.Rho*t + pp.reduced.Theta(load)
 	return Selection{Subset: subset, T: t, Power: power}, nil
 }
@@ -254,27 +344,25 @@ func (pp *Preprocessed) QueryExactK(load float64, k int) (Selection, error) {
 // interval containing t. ok is false when even t = 0 is infeasible for
 // this k.
 func (pp *Preprocessed) bestTimeFor(k int, load float64) (t float64, event int, ok bool) {
-	sumAt := func(e int) float64 {
-		return pp.prefixA[e][k] - pp.events[e]*pp.prefixB[e][k]
-	}
-	if sumAt(0) < load {
+	if pp.sumAt(k, 0) < load {
 		return 0, 0, false
 	}
 	// Find the last event whose k-prefix sum still covers the load;
 	// sums at event times are non-increasing in the event index.
 	lo, hi := 0, len(pp.events)-1
 	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if sumAt(mid) >= load {
+		mid := int(uint(lo+hi+1) >> 1)
+		if pp.sumAt(k, mid) >= load {
 			lo = mid
 		} else {
 			hi = mid - 1
 		}
 	}
 	e := lo
-	// Within [events[e], events[e+1]) the order is orders[e]; solve
-	// prefA − t·prefB = load.
-	tStar := (pp.prefixA[e][k] - load) / pp.prefixB[e][k]
+	// Within [events[e], events[e+1]) the k-set is fixed; solve
+	// segA − t·segB = load on that piece.
+	j := pp.pieceFor(k, e)
+	tStar := (pp.segA[j] - load) / pp.segB[j]
 	if tStar < pp.events[e] {
 		tStar = pp.events[e]
 	}
@@ -282,17 +370,4 @@ func (pp *Preprocessed) bestTimeFor(k int, load float64) (t float64, event int, 
 		tStar = pp.events[e+1]
 	}
 	return tStar, e, true
-}
-
-// eventIndex locates an event time recorded during preprocessing.
-func (pp *Preprocessed) eventIndex(t float64) int {
-	idx := sort.SearchFloat64s(pp.events, t)
-	if idx == len(pp.events) || pp.events[idx] != t {
-		// Status times always come from the event list; fall back to
-		// the interval containing t if floating-point drift crept in.
-		if idx > 0 {
-			idx--
-		}
-	}
-	return idx
 }

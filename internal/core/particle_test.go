@@ -49,26 +49,27 @@ func TestPreprocessPaperFigureOne(t *testing.T) {
 		{0, 2, 3, 1}, // figure: (1, 3, 4, 2)
 		{0, 3, 2, 1}, // figure: (1, 4, 3, 2)
 	}
+	front := make(map[[2]int]bool)
 	for e, want := range wantOrders {
-		got := pp.orders[e]
+		got, err := pp.OrderAtEvent(e)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("order after event %d = %v, want %v", e, got, want)
 			}
 		}
-	}
-	// The figure's point: for k = 2 only two distinct front pairs exist
-	// across all orders ({3,1}/{1,3} are the same set, then {1,4}),
-	// rather than C(4,2) = 6 — so the query needs to consider far fewer
-	// combinations than brute force.
-	front := make(map[[2]int]bool)
-	for _, ord := range pp.orders {
-		pair := [2]int{ord[0], ord[1]}
+		pair := [2]int{got[0], got[1]}
 		if pair[0] > pair[1] {
 			pair[0], pair[1] = pair[1], pair[0]
 		}
 		front[pair] = true
 	}
+	// The figure's point: for k = 2 only two distinct front pairs exist
+	// across all orders ({3,1}/{1,3} are the same set, then {1,4}),
+	// rather than C(4,2) = 6 — so the query needs to consider far fewer
+	// combinations than brute force.
 	if len(front) != 2 {
 		t.Fatalf("distinct front pairs = %d, want 2 (paper Fig. 1)", len(front))
 	}
@@ -82,12 +83,30 @@ func TestPreprocessValidation(t *testing.T) {
 	if _, err := Preprocess(bad); err == nil {
 		t.Fatal("zero-speed pair accepted")
 	}
-	big := Reduced{Pairs: make([]Pair, 513)}
+	big := Reduced{Pairs: make([]Pair, DefaultMaxMachines+1)}
 	for i := range big.Pairs {
 		big.Pairs[i] = Pair{A: 1, B: 1}
 	}
 	if _, err := Preprocess(big); err == nil {
 		t.Fatal("oversized instance accepted")
+	}
+	// The cap is an option, not a hard constant.
+	small := Reduced{Pairs: make([]Pair, 8)}
+	for i := range small.Pairs {
+		small.Pairs[i] = Pair{A: float64(i + 1), B: 1}
+	}
+	if _, err := Preprocess(small, WithMaxMachines(4)); err == nil {
+		t.Fatal("lowered cap not enforced")
+	}
+	if _, err := Preprocess(small, WithMaxMachines(8)); err != nil {
+		t.Fatalf("cap raise rejected: %v", err)
+	}
+	denseBig := Reduced{Pairs: make([]Pair, DenseMaxMachines+1)}
+	for i := range denseBig.Pairs {
+		denseBig.Pairs[i] = Pair{A: 1, B: 1}
+	}
+	if _, err := PreprocessDense(denseBig); err == nil {
+		t.Fatal("oversized dense instance accepted")
 	}
 }
 

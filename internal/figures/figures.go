@@ -6,8 +6,10 @@ package figures
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"coolopt"
 )
@@ -76,19 +78,61 @@ type key struct {
 
 // Collect runs every scenario at every load once. With nil loads it uses
 // DefaultLoads.
+//
+// The sweep runs on a bounded worker pool (one worker per available CPU).
+// Every cell evaluates on its own clone of the system, with the clone's
+// sensor-noise streams seeded by the cell index — so each cell starts
+// from the same room state and reads the same noise regardless of worker
+// count or scheduling, and the collected dataset is deterministic. The
+// passed system itself is never stepped.
 func Collect(sys *coolopt.System, loads []float64) (*Dataset, error) {
 	if len(loads) == 0 {
 		loads = DefaultLoads
 	}
-	ds := &Dataset{sys: sys, loads: loads, byKey: make(map[key]coolopt.Measurement)}
+	cells := make([]key, 0, len(coolopt.AllMethods)*len(loads))
 	for _, m := range coolopt.AllMethods {
 		for _, lf := range loads {
-			meas, err := sys.Evaluate(m, lf)
-			if err != nil {
-				return nil, fmt.Errorf("figures: %v at %.0f%%: %w", m, lf*100, err)
-			}
-			ds.byKey[key{m, lf}] = *meas
+			cells = append(cells, key{m, lf})
 		}
+	}
+
+	results := make([]coolopt.Measurement, len(cells))
+	errs := make([]error, len(cells))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				c := cells[i]
+				meas, err := sys.Clone(int64(i) + 1).Evaluate(c.m, c.load)
+				if err != nil {
+					errs[i] = fmt.Errorf("figures: %v at %.0f%%: %w", c.m, c.load*100, err)
+					continue
+				}
+				results[i] = *meas
+			}
+		}()
+	}
+	for i := range cells {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	ds := &Dataset{sys: sys, loads: loads, byKey: make(map[key]coolopt.Measurement, len(cells))}
+	for i, c := range cells {
+		ds.byKey[c] = results[i]
 	}
 	return ds, nil
 }

@@ -71,6 +71,34 @@ func TestFigureSeriesShapes(t *testing.T) {
 	}
 }
 
+func TestCollectDeterministic(t *testing.T) {
+	// The parallel sweep seeds every cell's clone from the cell index, so
+	// two sweeps over the same system must agree bit for bit no matter
+	// how the workers interleave.
+	sys, err := coolopt.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := []float64{0.3, 0.7}
+	a, err := Collect(sys, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(sys, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range coolopt.AllMethods {
+		for _, lf := range loads {
+			ma, _ := a.Measurement(m, lf)
+			mb, _ := b.Measurement(m, lf)
+			if ma != mb {
+				t.Fatalf("%v at %v: %+v vs %+v", m, lf, ma, mb)
+			}
+		}
+	}
+}
+
 func TestFig6PowerRisesWithLoad(t *testing.T) {
 	ds := sharedDataset(t)
 	for _, s := range ds.Fig6().Series {

@@ -166,6 +166,33 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
+// Clone returns an independent simulator starting from this one's exact
+// physical state: the read-only rack is shared, all mutable state (thermal
+// states, loads, power flags, CRAC control loop) is deep-copied, and the
+// sensors keep their calibration (per-meter gain, noise level, resolution)
+// while drawing future noise from fresh streams derived from seed. Two
+// clones with the same seed evolve identically; concurrent evaluation
+// sweeps give each worker its own clone.
+func (s *Simulator) Clone(seed int64) *Simulator {
+	c := *s
+	c.crac = s.crac.Clone()
+	c.states = append([]thermal.State(nil), s.states...)
+	c.on = append([]bool(nil), s.on...)
+	c.loads = append([]float64(nil), s.loads...)
+	c.pending = append([]float64(nil), s.pending...)
+	c.booting = append([]float64(nil), s.booting...)
+	c.serverW = append([]float64(nil), s.serverW...)
+	rng := mathx.NewRand(seed)
+	c.tempSensors = make([]*telemetry.TempSensor, len(s.tempSensors))
+	c.powerMeters = make([]*telemetry.PowerMeter, len(s.powerMeters))
+	for i := range s.tempSensors {
+		c.tempSensors[i] = s.tempSensors[i].Clone(rng.Fork())
+		c.powerMeters[i] = s.powerMeters[i].Clone(rng.Fork())
+	}
+	c.cracMeter = s.cracMeter.Clone(rng.Fork())
+	return &c
+}
+
 // Size returns the number of machines.
 func (s *Simulator) Size() int { return s.rack.Size() }
 

@@ -225,6 +225,38 @@ func TestSimulatorDeterminism(t *testing.T) {
 	}
 }
 
+func TestCloneIndependentAndDeterministic(t *testing.T) {
+	parent := newTestSim(t)
+	for i := 0; i < parent.Size(); i++ {
+		if err := parent.SetLoad(i, 0.3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parent.Run(200)
+	snapshot := parent.TrueTotalPower()
+
+	a := parent.Clone(99)
+	b := parent.Clone(99)
+	if a.TrueTotalPower() != snapshot {
+		t.Fatalf("clone power %v, parent %v", a.TrueTotalPower(), snapshot)
+	}
+	a.Run(300)
+	b.Run(300)
+	if a.TrueTotalPower() != b.TrueTotalPower() {
+		t.Fatalf("same-seed clones diverged: %v vs %v", a.TrueTotalPower(), b.TrueTotalPower())
+	}
+	if a.MeasuredServerPower(3) != b.MeasuredServerPower(3) {
+		t.Fatal("clone sensor streams diverged across identical seeds")
+	}
+	// Stepping the clones must not have touched the parent.
+	if parent.TrueTotalPower() != snapshot {
+		t.Fatalf("cloning/stepping mutated the parent: %v vs %v", parent.TrueTotalPower(), snapshot)
+	}
+	if parent.Time() == a.Time() {
+		t.Fatal("clone did not advance independently")
+	}
+}
+
 func TestMaxTrueCPUTempIgnoresOffMachines(t *testing.T) {
 	s := newTestSim(t)
 	for i := 0; i < s.Size(); i++ {

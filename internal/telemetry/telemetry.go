@@ -37,6 +37,12 @@ func NewTempSensor(rng *mathx.Rand, noiseStdDev, resolution float64) (*TempSenso
 	return &TempSensor{rng: rng, noise: noiseStdDev, resolution: resolution}, nil
 }
 
+// Clone returns a sensor with identical calibration (noise level and
+// resolution) driven by its own random stream.
+func (s *TempSensor) Clone(rng *mathx.Rand) *TempSensor {
+	return &TempSensor{rng: rng, noise: s.noise, resolution: s.resolution}
+}
+
 // Read returns a noisy, quantized measurement of the true temperature.
 func (s *TempSensor) Read(trueC float64) float64 {
 	v := trueC
@@ -77,6 +83,12 @@ func NewPowerMeter(rng *mathx.Rand, gainErr, noiseStdDev, resolution float64) (*
 		return nil, fmt.Errorf("telemetry: resolution %v must be non-negative", resolution)
 	}
 	return &PowerMeter{rng: rng, gainErr: gainErr, noise: noiseStdDev, resolution: resolution}, nil
+}
+
+// Clone returns a meter with identical calibration (gain error, noise
+// level, resolution) driven by its own random stream.
+func (m *PowerMeter) Clone(rng *mathx.Rand) *PowerMeter {
+	return &PowerMeter{rng: rng, gainErr: m.gainErr, noise: m.noise, resolution: m.resolution}
 }
 
 // Read returns a noisy measurement of the true power in Watts.

@@ -228,6 +228,22 @@ func NewSystem(opts ...Option) (*System, error) {
 	return &System{sim: s, profiling: res, planner: planner, opts: o}, nil
 }
 
+// Clone returns a System running its own copy of the simulated room while
+// sharing the profiled model and planner (both read-only after
+// construction). The clone starts from this system's current physical
+// state; its sensor-noise streams are derived from seed, so clones with
+// equal seeds produce identical measurements. Use clones to evaluate
+// scenarios concurrently — a System itself is not safe for concurrent
+// Evaluate/Execute calls.
+func (s *System) Clone(seed int64) *System {
+	return &System{
+		sim:       s.sim.Clone(seed),
+		profiling: s.profiling,
+		planner:   s.planner,
+		opts:      s.opts,
+	}
+}
+
 // Sim exposes the underlying simulator.
 func (s *System) Sim() *sim.Simulator { return s.sim }
 
