@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"coolopt"
+	"coolopt/internal/chaos"
+)
+
+// runChaos runs the fault-injection scenario suite on the profiled room
+// and prints the three-arm comparison report.
+func runChaos(out io.Writer, sys *coolopt.System, seed int64, durationS float64) error {
+	fmt.Fprintf(out, "chaos suite — %d machines, %.0f s per scenario, seed %d\n",
+		sys.Size(), durationS, seed)
+	for _, sc := range chaos.Suite() {
+		fmt.Fprintf(out, "  %-14s %s\n", sc.Name, sc.Detail)
+	}
+	fmt.Fprintln(out)
+	outs, err := chaos.RunSuite(sys, chaos.Options{Seed: seed, DurationS: durationS})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, chaos.Render(outs))
+	return nil
+}

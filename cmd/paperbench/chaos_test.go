@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunChaosSuite drives `paperbench -chaos` end to end — the
+// acceptance report: the hardened controller survives every scenario
+// with zero steady-state violations while the unhardened controller
+// demonstrably fails the combined crash + stuck sensor + blackout run.
+func TestRunChaosSuite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "10", "-chaos", "-chaos-duration", "600"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"chaos suite",
+		"machine-crash", "stuck-sensor", "crac-refusal", "net-blackout", "combined",
+		"zero steady-state T_max violations",
+		"unhardened controller failed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "HARDENED CONTROLLER FAILED") {
+		t.Fatalf("hardened controller failed the suite:\n%s", out)
+	}
+}
+
+func TestRunChaosRejectsShortDuration(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "10", "-chaos", "-chaos-duration", "60"}, &buf); err == nil {
+		t.Fatal("duration shorter than the fault windows accepted")
+	}
+}

@@ -7,6 +7,13 @@
 //
 //	paperbench [-seed N] [-machines N] [-fig 2|3|5|6|7|8|9|10|table1|verify|all] [-ablations]
 //	paperbench -consolidation-bench BENCH_consolidation.json
+//	paperbench -chaos [-chaos-duration 900]
+//
+// -chaos runs the fault-injection scenario suite (internal/chaos): every
+// scenario replays the same demand against a fault-free control run, the
+// hardened controller under faults, and the pre-hardening controller under
+// the same faults, and the report compares time above T_max, steady-state
+// violations, recovery time, and energy cost.
 package main
 
 import (
@@ -41,6 +48,8 @@ func run(args []string, out io.Writer) error {
 	reportPath := fs.String("report", "", "write a full markdown reproduction report to this file (implies the sweep)")
 	consBench := fs.String("consolidation-bench", "", "measure consolidation preprocessing scaling and write the JSON trajectory to this file (e.g. BENCH_consolidation.json), then exit")
 	consDenseMax := fs.Int("consolidation-dense-max", 256, "largest size at which the O(n³) dense reference also runs during -consolidation-bench")
+	chaosRun := fs.Bool("chaos", false, "run the fault-injection scenario suite (hardened vs unhardened controller), then exit")
+	chaosDur := fs.Float64("chaos-duration", 900, "simulated seconds per chaos scenario")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +61,9 @@ func run(args []string, out io.Writer) error {
 	sys, err := coolopt.NewSystem(coolopt.WithSeed(*seed), coolopt.WithMachines(*machines))
 	if err != nil {
 		return err
+	}
+	if *chaosRun {
+		return runChaos(out, sys, *seed, *chaosDur)
 	}
 
 	want := func(id string) bool { return sel == "all" || sel == id }

@@ -3,42 +3,67 @@
 // so experiments run as fast as the simulator integrates. Pair it with
 // cmd/ctrld to profile and control the room remotely.
 //
+// A fault schedule (see internal/faults) turns the testbed into a chaos
+// room: physical faults corrupt the simulated hardware, and transport
+// faults corrupt the HTTP surface itself. Onsets in the schedule are
+// room-clock seconds; a fresh roomd starts its clock at zero.
+//
+// On SIGINT or SIGTERM the server stops accepting connections, drains
+// in-flight requests for -drain, and exits cleanly.
+//
 // Usage:
 //
-//	roomd [-addr :7077] [-seed N] [-machines N]
+//	roomd [-addr :7077] [-seed N] [-machines N] [-faults schedule.json] [-drain 5s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"coolopt/internal/faults"
 	"coolopt/internal/room"
 	"coolopt/internal/roomapi"
 	"coolopt/internal/sim"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "roomd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("roomd", flag.ContinueOnError)
 	addr := fs.String("addr", ":7077", "listen address")
 	seed := fs.Int64("seed", 1, "seed for rack jitter and sensor noise")
 	machines := fs.Int("machines", 20, "number of machines in the rack")
+	faultsPath := fs.String("faults", "", "fault schedule JSON (see internal/faults); onsets are room-clock seconds")
+	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain budget on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	handler, err := newHandler(*seed, *machines)
+	var sched *faults.Schedule
+	if *faultsPath != "" {
+		var err error
+		sched, err = loadSchedule(*faultsPath, *machines)
+		if err != nil {
+			return err
+		}
+	}
+	handler, err := newHandler(*seed, *machines, sched)
 	if err != nil {
 		return err
 	}
@@ -48,15 +73,58 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "roomd: serving a %d-machine simulated room on http://%s\n",
 		*machines, ln.Addr())
+	if sched != nil {
+		fmt.Fprintf(out, "roomd: injecting %d scheduled faults\n", len(sched.Events))
+	}
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.Serve(ln)
+
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	select {
+	case err := <-served:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "roomd: signal received, draining for up to %s…\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		_ = srv.Close() // drain budget exhausted: cut remaining connections
+		<-served
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "roomd: drained, bye")
+	return nil
 }
 
-// newHandler builds the simulated room and its API handler.
-func newHandler(seed int64, machines int) (http.Handler, error) {
+// loadSchedule reads and validates a fault schedule against the rack size.
+func loadSchedule(path string, machines int) (*faults.Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sched, err := faults.ParseJSON(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(machines); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+// newHandler builds the simulated room and its API handler; a non-nil
+// schedule wraps the room in the fault injector and the handler in the
+// transport-fault middleware.
+func newHandler(seed int64, machines int, sched *faults.Schedule) (http.Handler, error) {
 	spec := room.DefaultRackSpec()
 	spec.Seed = seed
 	spec.N = machines
@@ -76,5 +144,16 @@ func newHandler(seed int64, machines int) (http.Handler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return roomapi.NewServer(simRoom)
+	if sched == nil {
+		return roomapi.NewServer(simRoom)
+	}
+	froom, err := faults.NewRoom(simRoom, sched)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := roomapi.NewServer(froom)
+	if err != nil {
+		return nil, err
+	}
+	return faults.Middleware(srv, sched, time.Sleep), nil
 }

@@ -2,15 +2,22 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"coolopt/internal/roomapi"
 )
 
 func TestNewHandlerServesRoom(t *testing.T) {
-	h, err := newHandler(1, 8)
+	h, err := newHandler(1, 8, nil)
 	if err != nil {
 		t.Fatalf("newHandler: %v", err)
 	}
@@ -32,20 +39,127 @@ func TestNewHandlerServesRoom(t *testing.T) {
 }
 
 func TestNewHandlerValidation(t *testing.T) {
-	if _, err := newHandler(1, 0); err == nil {
+	if _, err := newHandler(1, 0, nil); err == nil {
 		t.Fatal("zero machines accepted")
 	}
 }
 
+func TestNewHandlerWithFaults(t *testing.T) {
+	sched, err := loadSchedule(writeSchedule(t,
+		`{"events": [{"kind": "net_500", "fromRequest": 1, "requests": 2}]}`), 8)
+	if err != nil {
+		t.Fatalf("loadSchedule: %v", err)
+	}
+	h, err := newHandler(1, 8, sched)
+	if err != nil {
+		t.Fatalf("newHandler: %v", err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// The first two requests hit the injected blackout, the third works.
+	for i, want := range []int{http.StatusInternalServerError, http.StatusInternalServerError, http.StatusOK} {
+		resp, err := ts.Client().Get(ts.URL + "/v1/room")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("request %d: status %d, want %d", i+1, resp.StatusCode, want)
+		}
+	}
+}
+
+func TestLoadScheduleRejectsOutOfRangeMachine(t *testing.T) {
+	path := writeSchedule(t,
+		`{"events": [{"kind": "machine_crash", "atS": 10, "machine": 99}]}`)
+	if _, err := loadSchedule(path, 8); err == nil {
+		t.Fatal("machine index beyond the rack accepted")
+	}
+}
+
 func TestRunFlagError(t *testing.T) {
+	ctx := context.Background()
 	var buf bytes.Buffer
-	if err := run([]string{"-bogus"}, &buf); err == nil {
+	if err := run(ctx, []string{"-bogus"}, &buf); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
-	if err := run([]string{"-machines", "0"}, &buf); err == nil {
+	if err := run(ctx, []string{"-machines", "0"}, &buf); err == nil {
 		t.Fatal("zero machines accepted")
 	}
-	if err := run([]string{"-addr", "256.0.0.1:bad"}, &buf); err == nil {
+	if err := run(ctx, []string{"-addr", "256.0.0.1:bad"}, &buf); err == nil {
 		t.Fatal("bad address accepted")
 	}
+	if err := run(ctx, []string{"-faults", "missing.json"}, &buf); err == nil {
+		t.Fatal("missing fault schedule accepted")
+	}
+}
+
+func TestRunShutsDownGracefully(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-machines", "4"}, out)
+	}()
+
+	// Wait for the server to come up, then hit it once to prove it serves.
+	var url string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if s := out.String(); strings.Contains(s, "http://") {
+			line := s[strings.Index(s, "http://"):]
+			url = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if url == "" {
+		t.Fatalf("server never announced its address:\n%s", out.String())
+	}
+	resp, err := http.Get(url + "/v1/room")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+
+	cancel() // stands in for SIGINT/SIGTERM via signal.NotifyContext
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+	if s := out.String(); !strings.Contains(s, "drained") {
+		t.Fatalf("output missing drain confirmation:\n%s", s)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for watching run's output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func writeSchedule(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
 }

@@ -3,9 +3,16 @@
 // extension of the paper's steady-state solution) and compares it against
 // a static operator that provisions once for the peak.
 //
+// With -faults the replay instead runs under an injected fault schedule
+// (see internal/faults; onsets are seconds into the replay) and is
+// compared against a fault-free run of the same trace: the report shows
+// what surviving the faults cost in energy and how the controller
+// degraded. Schedules with transport faults are automatically served over
+// a loopback HTTP room so the network failures are real.
+//
 // Usage:
 //
-//	traceplay [-seed N] [-duration 4000] [-trace file.csv | -diurnal]
+//	traceplay [-seed N] [-duration 4000] [-trace file.csv | -diurnal] [-faults schedule.json]
 package main
 
 import (
@@ -15,7 +22,9 @@ import (
 	"os"
 
 	"coolopt"
+	"coolopt/internal/chaos"
 	"coolopt/internal/controller"
+	"coolopt/internal/faults"
 	"coolopt/internal/trace"
 )
 
@@ -32,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	duration := fs.Float64("duration", 4000, "simulated seconds to replay")
 	tracePath := fs.String("trace", "", "demand trace CSV (time_s,load_frac); default: synthetic diurnal")
 	peak := fs.Float64("peak", 0.85, "static baseline provisions for this load fraction")
+	faultsPath := fs.String("faults", "", "fault schedule JSON (see internal/faults); onsets are seconds into the replay")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +68,10 @@ func run(args []string, out io.Writer) error {
 	sys, err := coolopt.NewSystem(coolopt.WithSeed(*seed))
 	if err != nil {
 		return err
+	}
+
+	if *faultsPath != "" {
+		return runFaulted(out, sys, tr, *duration, *faultsPath, *seed)
 	}
 
 	fmt.Fprintf(out, "replaying %.0f s of demand on the profiled room…\n\n", *duration)
@@ -87,5 +101,71 @@ func run(args []string, out io.Writer) error {
 	print("static peak provisioning:", static)
 	saving := (static.AvgPowerW - optimal.AvgPowerW) / static.AvgPowerW * 100
 	fmt.Fprintf(out, "\nre-planning saves %.1f%% versus static peak provisioning on this trace\n", saving)
+	return nil
+}
+
+// runFaulted replays the trace twice — fault-free and under the schedule —
+// and reports how the hardened controller degraded and what it cost.
+func runFaulted(out io.Writer, sys *coolopt.System, tr *trace.Trace,
+	durationS float64, path string, seed int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	sched, err := faults.ParseJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if err := sched.Validate(sys.Size()); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "replaying %.0f s of demand under %d scheduled faults…\n\n",
+		durationS, len(sched.Events))
+	clean, err := controller.Run(controller.Config{Sys: sys.Clone(seed)}, tr, durationS)
+	if err != nil {
+		return fmt.Errorf("fault-free run: %w", err)
+	}
+
+	faulted := sys.Clone(seed)
+	startClock := faulted.Sim().Time()
+	room, truth, cleanup, err := chaos.Wire(faulted, sched.Rebase(startClock), -1)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	res, err := controller.Run(controller.Config{Sys: faulted, Room: room, Truth: truth}, tr, durationS)
+	if err != nil {
+		return fmt.Errorf("faulted run: %w", err)
+	}
+
+	print := func(name string, r *controller.Result) {
+		fmt.Fprintf(out, "%-22s avg %7.1f W   energy %8.0f kJ   replans %3d   T_max exceeded %4.0f s   steady-state %4.0f s   hottest %.1f °C\n",
+			name, r.AvgPowerW, r.EnergyJ/1000, r.Replans,
+			r.ViolationS, r.ViolationOutsideRecoveryS, r.MaxCPUC)
+	}
+	print("fault-free baseline:", clean)
+	print("hardened under faults:", res)
+	fmt.Fprintf(out, "\nsurviving the faults cost %+.1f%% energy; degradations: "+
+		"%d machine failures, %d sensor rejects, %d quarantines, %d safe-mode entries (%.0f s), %d transport errors\n",
+		(res.EnergyJ-clean.EnergyJ)/clean.EnergyJ*100,
+		res.MachineFailures, res.SensorRejects, res.SensorsQuarantined,
+		res.SafeModeActivations, res.SafeModeS, res.TransportErrors)
+	if len(res.Events) > 0 {
+		fmt.Fprintln(out, "\ndegradation log:")
+		for _, e := range res.Events {
+			target := "-"
+			if e.Machine >= 0 {
+				target = fmt.Sprintf("%d", e.Machine)
+			}
+			rel := e.TimeS - startClock
+			if rel < 0 {
+				rel = 0 // a blackout can stamp an event while the clock reads zero
+			}
+			fmt.Fprintf(out, "  t=%6.0f s  %-18s machine %-3s %s\n",
+				rel, e.Kind, target, e.Detail)
+		}
+	}
 	return nil
 }

@@ -35,10 +35,41 @@ func TestRunWithTraceFile(t *testing.T) {
 	}
 }
 
+func TestRunWithFaults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.json")
+	sched := `{"events": [
+		{"kind": "machine_crash", "atS": 100, "durationS": 300, "machine": 0},
+		{"kind": "net_500", "fromRequest": 40, "requests": 5}
+	]}`
+	if err := os.WriteFile(path, []byte(sched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-duration", "600", "-faults", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fault-free baseline", "hardened under faults", "steady-state", "degradations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-trace", "missing.csv"}, &buf); err == nil {
 		t.Fatal("missing trace file accepted")
+	}
+	if err := run([]string{"-faults", "missing.json"}, &buf); err == nil {
+		t.Fatal("missing fault schedule accepted")
+	}
+	badSched := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badSched, []byte(`{"events": [{"kind": "machine_crash", "atS": 5, "machine": 99}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-faults", badSched}, &buf); err == nil {
+		t.Fatal("out-of-range machine accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.csv")
 	if err := os.WriteFile(bad, []byte("x,y\n"), 0o644); err != nil {

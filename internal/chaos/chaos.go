@@ -1,0 +1,375 @@
+// Package chaos drives the fault-injection scenario suite behind
+// `paperbench -chaos` and `traceplay -faults`. Each scenario replays a
+// demand trace against the same profiled room three ways — a fault-free
+// control run, the hardened controller under the scheduled faults, and
+// the same controller with every hardening feature disabled (the
+// pre-hardening baseline) — and reports time above T_max, steady-state
+// violations, recovery time, and the energy cost of surviving.
+//
+// Everything is deterministic: scenarios carry fixed onsets, the three
+// arms of a scenario clone the system from the same seed, and transport
+// faults count requests rather than wall-clock time.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"coolopt"
+	"coolopt/internal/controller"
+	"coolopt/internal/faults"
+	"coolopt/internal/machineroom"
+	"coolopt/internal/roomapi"
+	"coolopt/internal/roomclient"
+	"coolopt/internal/trace"
+)
+
+// MinDurationS is the shortest per-scenario replay that still covers
+// every scheduled fault window plus its recovery.
+const MinDurationS = 600
+
+// Scenario is one reproducible fault story.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Detail is the one-line description.
+	Detail string
+	// Levels are the demand steps of the scenario trace, StepS apart.
+	Levels []float64
+	// StepS is the dwell time of each demand step.
+	StepS float64
+	// OnsetS is the earliest fault onset — the zero point for
+	// recovery-time accounting.
+	OnsetS float64
+	// Build produces the fault schedule given the machines the initial
+	// plan powers on; faults must target planned-on machines or they
+	// degrade nothing.
+	Build func(on []int) *faults.Schedule
+}
+
+// Suite returns the standard scenarios. The combined scenario is the
+// acceptance case: one machine crash, one stuck sensor, and a network
+// blackout in the same run.
+func Suite() []Scenario {
+	steady := []float64{0.5}
+	return []Scenario{
+		{
+			Name:   "machine-crash",
+			Detail: "a loaded machine crashes at t=120 s and refuses to power back on",
+			Levels: steady, StepS: 1e9, OnsetS: 120,
+			Build: func(on []int) *faults.Schedule {
+				return &faults.Schedule{Events: []faults.Event{
+					{Kind: faults.MachineCrash, AtS: 120, Machine: on[0]},
+				}}
+			},
+		},
+		{
+			Name:   "stuck-sensor",
+			Detail: "a CPU sensor freezes at a phantom-hot 85 °C for 400 s",
+			Levels: steady, StepS: 1e9, OnsetS: 60,
+			Build: func(on []int) *faults.Schedule {
+				return &faults.Schedule{Events: []faults.Event{
+					{Kind: faults.SensorStuck, AtS: 60, DurationS: 400,
+						Machine: on[1%len(on)], StuckAtC: 85},
+				}}
+			},
+		},
+		{
+			Name:   "crac-refusal",
+			Detail: "the CRAC silently drops set-point commands for 250 s across a demand step",
+			// The refusal window opens before the demand step at t=100 s,
+			// so the step's new set-point command is silently dropped.
+			Levels: []float64{0.4, 0.65}, StepS: 100, OnsetS: 80,
+			Build: func([]int) *faults.Schedule {
+				return &faults.Schedule{Events: []faults.Event{
+					{Kind: faults.CRACRefuse, AtS: 80, DurationS: 250},
+				}}
+			},
+		},
+		{
+			Name:   "net-blackout",
+			Detail: "10 consecutive HTTP requests fail with status 500",
+			Levels: steady, StepS: 1e9, OnsetS: 0,
+			Build: func([]int) *faults.Schedule {
+				return &faults.Schedule{Events: []faults.Event{
+					{Kind: faults.NetError, FromRequest: 60, Requests: 10},
+				}}
+			},
+		},
+		{
+			Name:   "combined",
+			Detail: "machine crash + stuck-cold sensor + network blackout together",
+			Levels: steady, StepS: 1e9, OnsetS: 60,
+			Build: func(on []int) *faults.Schedule {
+				return &faults.Schedule{Events: []faults.Event{
+					{Kind: faults.MachineCrash, AtS: 120, Machine: on[0]},
+					{Kind: faults.SensorStuck, AtS: 60, DurationS: 400,
+						Machine: on[1%len(on)], StuckAtC: 25},
+					{Kind: faults.NetError, FromRequest: 60, Requests: 10},
+				}}
+			},
+		},
+	}
+}
+
+// Options tunes a suite run.
+type Options struct {
+	// Seed derives each scenario's clone seed; the three arms of one
+	// scenario share it, so they differ only in faults and hardening.
+	Seed int64
+	// DurationS is the per-scenario replay length (default 900,
+	// minimum MinDurationS).
+	DurationS float64
+}
+
+// Outcome is one scenario's three-arm comparison.
+type Outcome struct {
+	Scenario Scenario
+	// Clean is the fault-free control run.
+	Clean *controller.Result
+	// Hardened ran under faults with full hardening; HardenedErr is
+	// non-nil if it aborted (a suite failure).
+	Hardened    *controller.Result
+	HardenedErr error
+	// Unhardened ran under the same faults with hardening disabled and
+	// strict error handling — the pre-hardening controller.
+	Unhardened    *controller.Result
+	UnhardenedErr error
+}
+
+// RunSuite runs every scenario.
+func RunSuite(sys *coolopt.System, opt Options) ([]Outcome, error) {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.DurationS == 0 {
+		opt.DurationS = 900
+	}
+	if opt.DurationS < MinDurationS {
+		return nil, fmt.Errorf("chaos: duration %.0f s shorter than the fault windows; need ≥ %d s",
+			opt.DurationS, MinDurationS)
+	}
+	var outs []Outcome
+	for idx, sc := range Suite() {
+		out, err := runScenario(sys, sc, opt.Seed+int64(idx)*101, opt.DurationS)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: scenario %s: %w", sc.Name, err)
+		}
+		outs = append(outs, *out)
+	}
+	return outs, nil
+}
+
+func runScenario(sys *coolopt.System, sc Scenario, seed int64, durationS float64) (*Outcome, error) {
+	tr, err := trace.Steps(sc.StepS, sc.Levels...)
+	if err != nil {
+		return nil, err
+	}
+	// Aim the faults at machines the initial plan actually powers on.
+	plan, err := sys.Planner().Plan(coolopt.OptimalACCons, sc.Levels[0]*float64(sys.Size()))
+	if err != nil {
+		return nil, err
+	}
+	if len(plan.On) == 0 {
+		return nil, fmt.Errorf("initial plan powers no machines on")
+	}
+	sched := sc.Build(plan.On)
+	if err := sched.Validate(sys.Size()); err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Scenario: sc}
+	out.Clean, err = controller.Run(controller.Config{Sys: sys.Clone(seed)}, tr, durationS)
+	if err != nil {
+		return nil, fmt.Errorf("fault-free control run: %w", err)
+	}
+	out.Hardened, out.HardenedErr = runArm(sys, sched, tr, seed, durationS, false)
+	out.Unhardened, out.UnhardenedErr = runArm(sys, sched, tr, seed, durationS, true)
+	return out, nil
+}
+
+// runArm replays one faulted arm on its own clone.
+func runArm(sys *coolopt.System, sched *faults.Schedule, tr *trace.Trace,
+	seed int64, durationS float64, unhardened bool) (*controller.Result, error) {
+	clone := sys.Clone(seed)
+	retries := -1
+	if unhardened {
+		retries = 0 // the pre-hardening client never retried
+	}
+	// Scenario onsets are run-relative; the cloned room's clock carries
+	// the whole profiling history.
+	room, truth, cleanup, err := Wire(clone, sched.Rebase(clone.Sim().Time()), retries)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	cfg := controller.Config{Sys: clone, Room: room, Truth: truth}
+	if unhardened {
+		cfg.DisableSensorFilter = true
+		cfg.DisableFailover = true
+		cfg.DisableSafeMode = true
+		cfg.StrictErrors = true
+	}
+	return controller.Run(cfg, tr, durationS)
+}
+
+// Wire builds the control-plane stack for a faulted run. Physical faults
+// wrap the system's simulator in a faults.Room; when the schedule also
+// carries transport faults, the stack is served over a loopback HTTP
+// listener with faults.Middleware injecting the network failures, and the
+// returned room is a roomclient talking to it. The truth source always
+// reads ground truth from the faults.Room. retries < 0 keeps roomclient's
+// default retry budget; retries == 0 disables retrying. cleanup releases
+// the listener and is safe to call unconditionally.
+func Wire(sys *coolopt.System, sched *faults.Schedule, retries int) (
+	machineroom.Room, controller.TruthSource, func(), error) {
+	froom, err := faults.NewRoom(sys.Sim(), sched)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !sched.HasNetwork() {
+		return froom, froom, func() {}, nil
+	}
+	api, err := roomapi.NewServer(froom)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	srv := &http.Server{
+		Handler:           faults.Middleware(api, sched, time.Sleep),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }() // returns once cleanup closes the server
+	opts := []roomclient.Option{
+		roomclient.WithTimeout(5 * time.Second),
+		roomclient.WithBackoff(5*time.Millisecond, 50*time.Millisecond),
+		roomclient.WithRetrySeed(1),
+	}
+	if retries >= 0 {
+		opts = append(opts, roomclient.WithRetries(retries))
+	}
+	client, err := roomclient.Dial("http://"+ln.Addr().String(), nil, opts...)
+	if err != nil {
+		_ = srv.Close()
+		return nil, nil, nil, err
+	}
+	return client, froom, func() { _ = srv.Close() }, nil
+}
+
+// Render formats the suite outcomes as an aligned text report with a
+// verdict block.
+func Render(outs []Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %11s %8s %8s %9s  %-28s %s\n",
+		"scenario", "ΔE vs clean", "T>Tmax", "steady", "recovery",
+		"degradations", "unhardened controller")
+
+	var steadyTotal float64
+	hardenedAborted := 0
+	unhardenedFailed := 0
+	for i := range outs {
+		o := &outs[i]
+		if o.UnhardenedErr != nil ||
+			(o.Unhardened != nil && o.Unhardened.ViolationOutsideRecoveryS > 0) {
+			unhardenedFailed++
+		}
+		if o.HardenedErr != nil {
+			hardenedAborted++
+			fmt.Fprintf(&b, "%-14s hardened run ABORTED: %s\n",
+				o.Scenario.Name, firstLine(o.HardenedErr.Error()))
+			continue
+		}
+		h := o.Hardened
+		steadyTotal += h.ViolationOutsideRecoveryS
+		recovery := "-"
+		if h.ViolationS > 0 {
+			r := h.LastViolationTimeS - o.Scenario.OnsetS
+			if r < 0 {
+				r = h.LastViolationTimeS
+			}
+			recovery = fmt.Sprintf("%.0f s", r)
+		}
+		deg := fmt.Sprintf("fail=%d quar=%d safe=%d net=%d",
+			h.MachineFailures, h.SensorsQuarantined,
+			h.SafeModeActivations, h.TransportErrors)
+		fmt.Fprintf(&b, "%-14s %10.1f%% %7.0fs %7.0fs %9s  %-28s %s\n",
+			o.Scenario.Name,
+			100*(h.EnergyJ-o.Clean.EnergyJ)/o.Clean.EnergyJ,
+			h.ViolationS, h.ViolationOutsideRecoveryS, recovery,
+			deg, unhardenedVerdict(o))
+	}
+
+	b.WriteString("\nnote: steady = violation seconds outside every recovery window; " +
+		"recovery = last violation − fault onset;\n" +
+		"note: degradations = machine failures / sensors quarantined / safe-mode entries / transport errors absorbed\n")
+	if hardenedAborted == 0 && steadyTotal == 0 {
+		b.WriteString("verdict: hardened controller finished every scenario with zero steady-state T_max violations\n")
+	} else {
+		fmt.Fprintf(&b, "verdict: HARDENED CONTROLLER FAILED — %d aborts, %.0f s steady-state violation\n",
+			hardenedAborted, steadyTotal)
+	}
+	fmt.Fprintf(&b, "verdict: unhardened controller failed %d of %d scenarios outright "+
+		"(aborted, violated T_max, burned energy, or dropped work)\n",
+		unhardenedFailed+countSoftFailures(outs), len(outs))
+	return b.String()
+}
+
+// countSoftFailures counts scenarios the unhardened controller finished
+// without aborting or violating but still failed operationally — wasted
+// energy chasing phantom readings or silently dropped committed work.
+func countSoftFailures(outs []Outcome) int {
+	n := 0
+	for i := range outs {
+		o := &outs[i]
+		if o.UnhardenedErr != nil || o.Unhardened == nil ||
+			o.Unhardened.ViolationOutsideRecoveryS > 0 {
+			continue // already a hard failure (or aborted)
+		}
+		if v := unhardenedVerdict(o); v != "survived" {
+			n++
+		}
+	}
+	return n
+}
+
+// unhardenedVerdict summarizes how the pre-hardening controller fared,
+// worst failure mode first.
+func unhardenedVerdict(o *Outcome) string {
+	if o.UnhardenedErr != nil {
+		return "aborted: " + truncate(firstLine(o.UnhardenedErr.Error()), 52)
+	}
+	u := o.Unhardened
+	if u.ViolationOutsideRecoveryS > 0 {
+		return fmt.Sprintf("violated T_max for %.0f s", u.ViolationOutsideRecoveryS)
+	}
+	if o.Clean != nil && u.EnergyJ > 1.10*o.Clean.EnergyJ {
+		return fmt.Sprintf("burned +%.0f%% energy",
+			100*(u.EnergyJ-o.Clean.EnergyJ)/o.Clean.EnergyJ)
+	}
+	if o.Hardened != nil {
+		if lost := o.Hardened.ServedLoadS - u.ServedLoadS; lost > 0.05*o.Hardened.ServedLoadS {
+			return fmt.Sprintf("silently dropped %.0f unit·s of work", lost)
+		}
+	}
+	return "survived"
+}
+
+func firstLine(s string) string {
+	if k := strings.IndexByte(s, '\n'); k >= 0 {
+		return s[:k]
+	}
+	return s
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

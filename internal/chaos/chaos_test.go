@@ -1,0 +1,157 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"coolopt"
+	"coolopt/internal/controller"
+	"coolopt/internal/faults"
+	"coolopt/internal/trace"
+)
+
+var (
+	sysOnce sync.Once
+	sysVal  *coolopt.System
+	sysErr  error
+)
+
+// testSystem profiles one small room for the whole package; every run
+// clones it, so sharing is safe.
+func testSystem(t *testing.T) *coolopt.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		sysVal, sysErr = coolopt.NewSystem(coolopt.WithSeed(3), coolopt.WithMachines(10))
+	})
+	if sysErr != nil {
+		t.Fatalf("NewSystem: %v", sysErr)
+	}
+	return sysVal
+}
+
+func TestSuiteSchedulesValidate(t *testing.T) {
+	on := []int{4, 7, 1}
+	for _, sc := range Suite() {
+		if sc.Name == "" || sc.Detail == "" || len(sc.Levels) == 0 || sc.StepS <= 0 {
+			t.Errorf("scenario %+v missing fields", sc)
+		}
+		sched := sc.Build(on)
+		if err := sched.Validate(8); err != nil {
+			t.Errorf("scenario %s: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestRunSuiteRejectsShortDuration(t *testing.T) {
+	if _, err := RunSuite(testSystem(t), Options{DurationS: 120}); err == nil {
+		t.Fatal("duration shorter than the fault windows accepted")
+	}
+}
+
+// TestRunSuiteSmoke is the chaos smoke test of the tier-1 gate: the full
+// scenario suite on a small room, asserting the acceptance criteria — the
+// hardened controller finishes every scenario without steady-state
+// violations while the unhardened controller demonstrably fails the
+// combined scenario.
+func TestRunSuiteSmoke(t *testing.T) {
+	outs, err := RunSuite(testSystem(t), Options{Seed: 11, DurationS: MinDurationS})
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	if len(outs) != len(Suite()) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(Suite()))
+	}
+	var combined *Outcome
+	for i := range outs {
+		o := &outs[i]
+		if o.HardenedErr != nil {
+			t.Errorf("%s: hardened run aborted: %v", o.Scenario.Name, o.HardenedErr)
+			continue
+		}
+		if v := o.Hardened.ViolationOutsideRecoveryS; v > 0 {
+			t.Errorf("%s: hardened run violated T_max for %.0f s outside recovery windows",
+				o.Scenario.Name, v)
+		}
+		if o.Scenario.Name == "combined" {
+			combined = o
+		}
+	}
+	if combined == nil {
+		t.Fatal("combined scenario missing from the suite")
+	}
+	if combined.Hardened.MachineFailures == 0 {
+		t.Error("combined: hardened run detected no machine failure")
+	}
+	if combined.Hardened.SensorRejects == 0 {
+		t.Error("combined: hardened run rejected no sensor readings")
+	}
+	if combined.UnhardenedErr == nil &&
+		(combined.Unhardened == nil || combined.Unhardened.ViolationOutsideRecoveryS == 0) {
+		t.Error("combined: unhardened controller neither aborted nor violated T_max")
+	}
+
+	report := Render(outs)
+	for _, want := range []string{
+		"machine-crash", "stuck-sensor", "crac-refusal", "net-blackout", "combined",
+		"zero steady-state T_max violations", "unhardened controller failed",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestScenarioIsDeterministic(t *testing.T) {
+	sys := testSystem(t)
+	sc := Suite()[0] // machine-crash: in-process, no HTTP timing in play
+	a, err := runScenario(sys, sc, 21, MinDurationS)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := runScenario(sys, sc, 21, MinDurationS)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Hardened.EnergyJ != b.Hardened.EnergyJ ||
+		a.Hardened.ViolationS != b.Hardened.ViolationS ||
+		a.Hardened.Replans != b.Hardened.Replans {
+		t.Fatalf("hardened arm diverged: %+v vs %+v", a.Hardened, b.Hardened)
+	}
+	if a.Clean.EnergyJ != b.Clean.EnergyJ {
+		t.Fatalf("clean arm diverged: %v vs %v", a.Clean.EnergyJ, b.Clean.EnergyJ)
+	}
+}
+
+func TestWirePhysicalOnly(t *testing.T) {
+	sys := testSystem(t).Clone(31)
+	plan, err := sys.Planner().Plan(coolopt.OptimalACCons, 0.4*float64(sys.Size()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &faults.Schedule{Events: []faults.Event{
+		{Kind: faults.SensorDropout, AtS: 50, DurationS: 100, Machine: plan.On[0]},
+	}}
+	room, truth, cleanup, err := Wire(sys, sched.Rebase(sys.Sim().Time()), -1)
+	defer cleanup()
+	if err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	if room == nil || truth == nil {
+		t.Fatal("Wire returned nil room or truth")
+	}
+	if _, ok := room.(*faults.Room); !ok {
+		t.Fatalf("physical-only schedule should wire an in-process faults.Room, got %T", room)
+	}
+	tr, err := trace.Steps(1e9, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := controller.Run(controller.Config{Sys: sys, Room: room, Truth: truth}, tr, 200)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.SensorRejects == 0 {
+		t.Error("dropout produced no sensor rejects")
+	}
+}

@@ -8,8 +8,21 @@
 // settled, the supply temperature is stepped down until the hotspot
 // clears.
 //
-// This is an extension beyond the paper, evaluated in cmd/traceplay; the
-// steady-state claims in EXPERIMENTS.md do not depend on it.
+// Because the paper's optimum pins every machine exactly at T_max, the
+// controller also has to survive operation on the constraint boundary
+// when the room misbehaves. It degrades gracefully instead of falling
+// over: implausible sensor readings (stuck, spiked, dropped out) are
+// rejected in favor of the fitted model's estimate, machines that crash
+// are detected and planned around with the paper's closed form over the
+// surviving set, a CRAC that stops answering set-point commands trips a
+// safe mode that floors the supply command and sheds load to what the
+// achieved supply can carry, and transport errors from a remote room are
+// absorbed rather than poisoning the run. Every degradation is recorded
+// in Result.Events.
+//
+// This is an extension beyond the paper, evaluated in cmd/traceplay and
+// the chaos suite of cmd/paperbench; the steady-state claims in
+// EXPERIMENTS.md do not depend on it.
 package controller
 
 import (
@@ -17,13 +30,42 @@ import (
 	"fmt"
 
 	"coolopt"
+	"coolopt/internal/machineroom"
 	"coolopt/internal/trace"
 )
 
+// TruthSource supplies ground-truth metrics for Result accounting. The
+// in-process simulator and faults.Room implement it; a purely remote room
+// does not, in which case the controller accounts with measured values.
+type TruthSource interface {
+	// MaxTrueCPUTemp returns the hottest ground-truth CPU temperature.
+	MaxTrueCPUTemp() float64
+	// TrueTotalPower returns the room's ground-truth total draw in Watts.
+	TrueTotalPower() float64
+	// Load returns machine i's true current utilization.
+	Load(i int) float64
+}
+
+// ErrStalled reports a room whose clock stopped advancing — a remote room
+// that stayed unreachable past the stall budget.
+var ErrStalled = errors.New("controller: room clock stalled")
+
 // Config drives a controller run.
 type Config struct {
-	// Sys is the profiled room under control.
+	// Sys is the profiled room under control: it provides the planner,
+	// the fitted profile, and the set-point calibration.
 	Sys *coolopt.System
+	// Room is the control-plane view of the room (default: the system's
+	// own simulator). Point it at a faults.Room to inject physical
+	// faults, or at a roomclient.Room to control a room served over
+	// HTTP; the controller only ever touches the machineroom.Room
+	// surface.
+	Room machineroom.Room
+	// Truth overrides the ground-truth source for Result accounting
+	// (default: Room when it implements TruthSource, else the system's
+	// simulator when Room is nil, else measured values).
+	Truth TruthSource
+
 	// Method selects the planning policy (default #8, the paper's).
 	Method coolopt.Method
 	// ReplanIntervalS forces a re-plan at least this often (default 300).
@@ -34,11 +76,70 @@ type Config struct {
 	// GuardBandC triggers the thermal guard when a measured CPU comes
 	// within this many °C of T_max (default 1.0).
 	GuardBandC float64
+
+	// CandidateMethods, when it lists two or more methods, makes every
+	// re-plan a tournament: each candidate's plan is replayed for
+	// LookaheadS simulated seconds on its own System.Clone worker, in
+	// parallel, and the lowest-energy violation-free candidate wins.
+	// Selection is deterministic: clone seeds derive from CandidateSeed
+	// and the re-plan index, and ties break toward the earlier entry.
+	CandidateMethods []coolopt.Method
+	// LookaheadS is the candidate-replay horizon (default 240).
+	LookaheadS float64
+	// CandidateSeed seeds the clones' sensor-noise streams (default 1).
+	CandidateSeed int64
+
+	// PlausibilityBandC is how far a reading may sit from the model's
+	// prediction before a frozen sensor is declared stuck (default 8).
+	PlausibilityBandC float64
+	// SpikeStepC is the largest per-second upward jump a reading may
+	// make before it is rejected as a spike (default 12 — real thermal
+	// mass cannot move that fast).
+	SpikeStepC float64
+	// StuckTicks is how many identical consecutive readings, combined
+	// with implausibility, mark a sensor stuck (default 45).
+	StuckTicks int
+	// QuarantineAfter is how many consecutive rejected readings
+	// quarantine a sensor (default 20).
+	QuarantineAfter int
+	// FailAfter is how many consecutive off-readings of a planned-on
+	// machine declare it failed (default 3).
+	FailAfter int
+	// CRACFailAfter is how many consecutive seconds of set-point
+	// command/read-back mismatch trip safe mode (default 20 — longer
+	// than any plausible actuation lag).
+	CRACFailAfter int
+	// RecoveryWindowS is the grace period after a degradation event
+	// within which thermal violations count as recovery, not failure
+	// (default 300).
+	RecoveryWindowS float64
+	// MaxStallS is how many consecutive seconds the room clock may
+	// refuse to advance before the run aborts with ErrStalled
+	// (default 120).
+	MaxStallS int
+
+	// DisableSensorFilter, DisableFailover, and DisableSafeMode switch
+	// off the corresponding degradation machinery — the pre-hardening
+	// controller, kept for A/B robustness experiments.
+	DisableSensorFilter bool
+	DisableFailover     bool
+	DisableSafeMode     bool
+	// StrictErrors aborts the run on the first actuation or transport
+	// error instead of riding it out (the pre-hardening behavior).
+	StrictErrors bool
 }
 
 func (c *Config) applyDefaults() error {
 	if c.Sys == nil {
 		return errors.New("controller: nil system")
+	}
+	if c.Room == nil {
+		c.Room = c.Sys.Sim()
+	}
+	if c.Truth == nil {
+		if t, ok := c.Room.(TruthSource); ok {
+			c.Truth = t
+		}
 	}
 	if c.Method == 0 {
 		c.Method = coolopt.OptimalACCons
@@ -61,7 +162,59 @@ func (c *Config) applyDefaults() error {
 	if c.GuardBandC < 0 {
 		return fmt.Errorf("controller: guard band %v must be non-negative", c.GuardBandC)
 	}
+	if c.LookaheadS == 0 {
+		c.LookaheadS = 240
+	}
+	if c.LookaheadS < 1 {
+		return fmt.Errorf("controller: lookahead %v s too small", c.LookaheadS)
+	}
+	if c.CandidateSeed == 0 {
+		c.CandidateSeed = 1
+	}
+	if c.PlausibilityBandC == 0 {
+		c.PlausibilityBandC = 8
+	}
+	if c.SpikeStepC == 0 {
+		c.SpikeStepC = 12
+	}
+	if c.StuckTicks == 0 {
+		c.StuckTicks = 45
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 20
+	}
+	if c.FailAfter == 0 {
+		c.FailAfter = 3
+	}
+	if c.CRACFailAfter == 0 {
+		c.CRACFailAfter = 20
+	}
+	if c.RecoveryWindowS == 0 {
+		c.RecoveryWindowS = 300
+	}
+	if c.MaxStallS == 0 {
+		c.MaxStallS = 120
+	}
+	if c.PlausibilityBandC < 0 || c.SpikeStepC < 0 || c.StuckTicks < 0 ||
+		c.QuarantineAfter < 0 || c.FailAfter < 0 || c.CRACFailAfter < 0 ||
+		c.RecoveryWindowS < 0 || c.MaxStallS < 0 {
+		return errors.New("controller: negative hardening threshold")
+	}
 	return nil
+}
+
+// Event is one recorded degradation.
+type Event struct {
+	// TimeS is the room clock at the event.
+	TimeS float64
+	// Kind classifies the event: machine_failed, sensor_quarantined,
+	// sensor_recovered, safe_mode_enter, safe_mode_exit,
+	// transport_error, load_shed, replan_degraded.
+	Kind string
+	// Machine is the affected machine, or -1.
+	Machine int
+	// Detail is a human-readable elaboration.
+	Detail string
 }
 
 // Result summarizes one trace replay.
@@ -79,8 +232,16 @@ type Result struct {
 	// ViolationS is the number of simulated seconds any ground-truth
 	// CPU spent above T_max.
 	ViolationS float64
+	// ViolationOutsideRecoveryS is the subset of ViolationS that falls
+	// outside every recovery window — steady-state violations the
+	// hardened controller should never allow.
+	ViolationOutsideRecoveryS float64
 	// MaxCPUC is the hottest ground-truth CPU temperature seen.
 	MaxCPUC float64
+	// LastViolationTimeS is the run-relative time of the last observed
+	// violation second, or -1 when the run stayed under T_max. Paired
+	// with a fault's onset it bounds the recovery time.
+	LastViolationTimeS float64
 	// CarriedLoadS integrates the planned load over time (unit·s); the
 	// demand integral is DemandLoadS. Equal values mean no shed load.
 	CarriedLoadS float64
@@ -89,6 +250,21 @@ type Result struct {
 	// (unit·s). It trails CarriedLoadS by the boot transients: a
 	// machine powered on by a re-plan queues its share until it is up.
 	ServedLoadS float64
+
+	// MachineFailures counts machines declared failed.
+	MachineFailures int
+	// SensorRejects counts readings the plausibility filter discarded.
+	SensorRejects int
+	// SensorsQuarantined counts sensors taken out of service.
+	SensorsQuarantined int
+	// SafeModeActivations counts safe-mode entries; SafeModeS is the
+	// time spent in safe mode.
+	SafeModeActivations int
+	SafeModeS           float64
+	// TransportErrors counts absorbed transport failures.
+	TransportErrors int
+	// Events is the degradation log, in room-clock order.
+	Events []Event
 }
 
 // Run replays a demand trace for durationS simulated seconds under the
@@ -103,92 +279,6 @@ func Run(cfg Config, tr *trace.Trace, durationS float64) (*Result, error) {
 	if durationS <= 0 {
 		return nil, fmt.Errorf("controller: duration %v must be positive", durationS)
 	}
-
-	sys := cfg.Sys
-	s := sys.Sim()
-	profile := sys.Profile()
-	n := float64(sys.Size())
-
-	res := &Result{DurationS: durationS}
-	start := s.Time()
-	var (
-		currentDemand = -1.0 // force an initial plan
-		sinceReplanS  = 0.0
-		currentPlan   *coolopt.Plan
-		guardActive   = false
-	)
-
-	replan := func(demand float64) error {
-		plan, err := sys.Planner().Plan(cfg.Method, demand*n)
-		if err != nil {
-			return fmt.Errorf("controller: replan at demand %.2f: %w", demand, err)
-		}
-		if err := sys.Apply(plan); err != nil {
-			return err
-		}
-		currentPlan = plan
-		currentDemand = demand
-		sinceReplanS = 0
-		guardActive = false
-		res.Replans++
-		return nil
-	}
-
-	for s.Time()-start < durationS {
-		demand := tr.At(s.Time() - start)
-		moved := demand > currentDemand+cfg.Hysteresis || demand < currentDemand-cfg.Hysteresis
-		if currentPlan == nil || moved || sinceReplanS >= cfg.ReplanIntervalS {
-			if err := replan(demand); err != nil {
-				return nil, err
-			}
-		}
-
-		s.Step()
-		sinceReplanS++
-		res.EnergyJ += s.TrueTotalPower() // dt = 1 s
-		res.CarriedLoadS += currentPlan.TotalLoad()
-		res.DemandLoadS += demand * n
-		for i := 0; i < sys.Size(); i++ {
-			res.ServedLoadS += s.Load(i)
-		}
-
-		maxCPU := measuredHottest(sys)
-		if trueMax := s.MaxTrueCPUTemp(); trueMax > res.MaxCPUC {
-			res.MaxCPUC = trueMax
-		}
-		if s.MaxTrueCPUTemp() > profile.TMaxC {
-			res.ViolationS++
-		}
-
-		// Thermal guard: step the commanded supply down while a
-		// measured hotspot sits inside the guard band.
-		if maxCPU > profile.TMaxC-cfg.GuardBandC {
-			if !guardActive {
-				res.GuardActivations++
-				guardActive = true
-			}
-			s.SetSetPoint(s.SetPoint() - 0.5)
-		} else if guardActive && maxCPU < profile.TMaxC-2*cfg.GuardBandC {
-			guardActive = false
-		}
-	}
-
-	res.AvgPowerW = res.EnergyJ / durationS
-	return res, nil
-}
-
-// measuredHottest returns the hottest measured CPU temperature across
-// powered-on machines.
-func measuredHottest(sys *coolopt.System) float64 {
-	s := sys.Sim()
-	maxT := -1e9
-	for i := 0; i < sys.Size(); i++ {
-		if !s.IsOn(i) {
-			continue
-		}
-		if t := s.MeasuredCPUTemp(i); t > maxT {
-			maxT = t
-		}
-	}
-	return maxT
+	h := newHarness(cfg)
+	return h.run(tr, durationS)
 }

@@ -1,0 +1,741 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"coolopt"
+	"coolopt/internal/machineroom"
+	"coolopt/internal/mathx"
+	"coolopt/internal/trace"
+)
+
+// errTracker is the optional transport-health surface of a room client:
+// internal/roomclient implements it. The controller polls Err after each
+// command batch and, unless StrictErrors is set, absorbs the failure and
+// clears the latch so the next tick gets a fresh try.
+type errTracker interface {
+	Err() error
+	ResetErr()
+}
+
+// transient reports whether an actuation error is a transport outage
+// (structurally: it carries Temporary() bool, as roomclient's
+// TransportError does) rather than the room refusing the command.
+func transient(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// dropoutFloorC is the reading below which a CPU sensor on a powered-on
+// machine is physically implausible (machine-room air never gets close).
+const dropoutFloorC = 5.0
+
+// setPointToleranceC is the command/read-back mismatch beyond which the
+// CRAC is considered to not have taken a set-point command.
+const setPointToleranceC = 0.3
+
+// harness carries one controller run's mutable state.
+type harness struct {
+	cfg     Config
+	sys     *coolopt.System
+	room    machineroom.Room
+	truth   TruthSource
+	profile *coolopt.Profile
+	res     *Result
+
+	start        float64 // room clock at run start
+	currentPlan  *coolopt.Plan
+	plannedLoad  []float64 // per-machine load of the current plan
+	demand       float64   // demand level the current plan was built for
+	sinceReplanS float64
+	replanIndex  int
+	guardActive  bool
+	stallS       int
+
+	// Sensor plausibility state, indexed by machine.
+	lastRaw     []float64
+	lastGood    []float64
+	haveGood    []bool
+	repeats     []int
+	rejects     []int
+	quarantined []bool
+
+	// Machine-failure state.
+	failed    []bool
+	offStreak []int
+
+	// CRAC watchdog state.
+	cmdSetPoint    float64
+	cmdValid       bool
+	mismatchStreak int
+	matchStreak    int
+	safeMode       bool
+	safeFloorSP    float64
+	cracSuspect    bool
+
+	// reapply asks the next loop iteration to push the current plan
+	// again: the last apply was cut short by a transport outage.
+	reapply bool
+
+	// recoveryUntil is the absolute room-clock time until which thermal
+	// violations are attributed to fault recovery.
+	recoveryUntil float64
+
+	// hotspot caches this tick's filtered hottest reading so the filter
+	// state machines advance exactly once per tick.
+	hotspot float64
+}
+
+func newHarness(cfg Config) *harness {
+	n := cfg.Sys.Size()
+	return &harness{
+		cfg:     cfg,
+		sys:     cfg.Sys,
+		room:    cfg.Room,
+		truth:   cfg.Truth,
+		profile: cfg.Sys.Profile(),
+		res:     &Result{LastViolationTimeS: -1},
+		demand:  -1, // force an initial plan
+
+		plannedLoad: make([]float64, n),
+		lastRaw:     make([]float64, n),
+		lastGood:    make([]float64, n),
+		haveGood:    make([]bool, n),
+		repeats:     make([]int, n),
+		rejects:     make([]int, n),
+		quarantined: make([]bool, n),
+		failed:      make([]bool, n),
+		offStreak:   make([]int, n),
+	}
+}
+
+func (h *harness) event(kind string, machine int, detail string) {
+	h.res.Events = append(h.res.Events, Event{
+		TimeS:   h.room.Time(),
+		Kind:    kind,
+		Machine: machine,
+		Detail:  detail,
+	})
+}
+
+// degrade records a degradation event and opens the recovery window.
+func (h *harness) degrade(kind string, machine int, detail string) {
+	h.event(kind, machine, detail)
+	if until := h.room.Time() + h.cfg.RecoveryWindowS; until > h.recoveryUntil {
+		h.recoveryUntil = until
+	}
+}
+
+func (h *harness) run(tr *trace.Trace, durationS float64) (*Result, error) {
+	h.start = h.room.Time()
+	h.res.DurationS = durationS
+	n := float64(h.sys.Size())
+
+	for h.room.Time()-h.start < durationS {
+		now := h.room.Time() - h.start
+		demand := tr.At(now)
+		moved := demand > h.demand+h.cfg.Hysteresis || demand < h.demand-h.cfg.Hysteresis
+		if h.currentPlan == nil || moved || h.reapply || h.sinceReplanS >= h.cfg.ReplanIntervalS {
+			periodic := h.currentPlan != nil && !moved && !h.reapply
+			if err := h.replan(demand, periodic); err != nil {
+				return nil, err
+			}
+		}
+
+		before := h.room.Time()
+		h.room.Step()
+		if err := h.pollTransport(); err != nil {
+			return nil, err
+		}
+		dt := h.room.Time() - before
+		if dt <= 0 {
+			// The clock refused to advance — a remote room that stayed
+			// unreachable through all retries. Burn a stall tick and try
+			// again rather than spinning forever.
+			h.stallS++
+			if h.stallS > h.cfg.MaxStallS {
+				return nil, fmt.Errorf("%w after %d attempts at t=%.0f s",
+					ErrStalled, h.stallS, h.room.Time())
+			}
+			continue
+		}
+		h.stallS = 0
+		if dt > 10 {
+			// A transport outage can make a remote room briefly report a
+			// zero clock; when it heals the delta looks enormous. A 1 s
+			// Step cannot legitimately advance the room that far, so
+			// integrate the tick as one second instead of trusting the
+			// glitched delta.
+			dt = 1
+		}
+		h.sinceReplanS += dt
+
+		h.account(demand, n, dt)
+		h.hotspot = h.filteredHottest()
+		h.observe(dt)
+
+		if err := h.detectFailures(demand); err != nil {
+			return nil, err
+		}
+		if err := h.watchCRAC(demand); err != nil {
+			return nil, err
+		}
+		h.thermalGuard()
+	}
+
+	h.res.AvgPowerW = h.res.EnergyJ / durationS
+	return h.res, nil
+}
+
+// account integrates energy and load bookkeeping over one tick.
+func (h *harness) account(demand, n, dt float64) {
+	if h.truth != nil {
+		h.res.EnergyJ += h.truth.TrueTotalPower() * dt
+	} else {
+		var total float64
+		for i := 0; i < h.sys.Size(); i++ {
+			total += h.room.MeasuredServerPower(i)
+		}
+		h.res.EnergyJ += (total + h.room.MeasuredCRACPower()) * dt
+	}
+	h.res.CarriedLoadS += h.currentPlan.TotalLoad() * dt
+	h.res.DemandLoadS += demand * n * dt
+	if h.truth != nil {
+		for i := 0; i < h.sys.Size(); i++ {
+			h.res.ServedLoadS += h.truth.Load(i) * dt
+		}
+	} else {
+		// No ground truth: credit the planned share of machines that
+		// report powered on.
+		for _, i := range h.currentPlan.On {
+			if h.room.IsOn(i) {
+				h.res.ServedLoadS += h.plannedLoad[i] * dt
+			}
+		}
+	}
+	if h.safeMode {
+		h.res.SafeModeS += dt
+	}
+}
+
+// observe updates thermal maxima and violation clocks from ground truth
+// when available, else from the filtered measurements.
+func (h *harness) observe(dt float64) {
+	hottest := h.hotspot
+	if h.truth != nil {
+		hottest = h.truth.MaxTrueCPUTemp()
+	}
+	if hottest > h.res.MaxCPUC {
+		h.res.MaxCPUC = hottest
+	}
+	if hottest > h.profile.TMaxC {
+		h.res.ViolationS += dt
+		h.res.LastViolationTimeS = h.room.Time() - h.start
+		if h.room.Time() > h.recoveryUntil {
+			h.res.ViolationOutsideRecoveryS += dt
+		}
+	}
+}
+
+// filteredHottest returns the hottest plausible CPU reading across
+// powered-on machines, substituting the model's prediction for readings
+// the plausibility filter rejects.
+func (h *harness) filteredHottest() float64 {
+	supply := h.room.Supply()
+	maxT := -1e9
+	for i := 0; i < h.sys.Size(); i++ {
+		if h.failed[i] || !h.room.IsOn(i) {
+			continue
+		}
+		pred := h.profile.CPUTemp(i, h.plannedLoad[i], supply)
+		raw := h.room.MeasuredCPUTemp(i)
+		value := raw
+		if !h.cfg.DisableSensorFilter {
+			value = h.filterReading(i, raw, pred)
+		}
+		if value > maxT {
+			maxT = value
+		}
+	}
+	return maxT
+}
+
+// filterReading applies the plausibility filter to one sensor sample and
+// returns the value the controller should act on.
+func (h *harness) filterReading(i int, raw, pred float64) float64 {
+	// Track exact repeats. The sensors quantize, so repeats alone are
+	// normal at steady state; a stuck verdict additionally requires the
+	// frozen value to disagree with the model.
+	if raw == h.lastRaw[i] {
+		h.repeats[i]++
+	} else {
+		h.repeats[i] = 0
+		h.lastRaw[i] = raw
+	}
+
+	if h.quarantined[i] {
+		// A quarantined sensor earns its way back by agreeing with the
+		// model — not with its own last good reading, which may predate
+		// the fault by minutes.
+		if raw >= dropoutFloorC && math.Abs(raw-pred) <= h.cfg.PlausibilityBandC {
+			h.quarantined[i] = false
+			h.rejects[i] = 0
+			h.lastGood[i] = raw
+			h.haveGood[i] = true
+			h.event("sensor_recovered", i, fmt.Sprintf("reading %.1f °C plausible again", raw))
+			return raw
+		}
+		h.res.SensorRejects++
+		return pred
+	}
+
+	reject := ""
+	switch {
+	case raw < dropoutFloorC:
+		reject = "dropout"
+	case h.haveGood[i] && raw-h.lastGood[i] > h.cfg.SpikeStepC:
+		// Upward only: thermal mass bounds how fast a CPU can heat in
+		// one second, but a crash or power-off can cool a reading fast.
+		reject = "spike"
+	case h.repeats[i] >= h.cfg.StuckTicks && math.Abs(raw-pred) > h.cfg.PlausibilityBandC:
+		reject = "stuck"
+	}
+
+	if reject == "" {
+		h.rejects[i] = 0
+		h.lastGood[i] = raw
+		h.haveGood[i] = true
+		return raw
+	}
+
+	h.res.SensorRejects++
+	h.rejects[i]++
+	if h.rejects[i] >= h.cfg.QuarantineAfter && !h.quarantined[i] {
+		h.quarantined[i] = true
+		h.res.SensorsQuarantined++
+		h.degrade("sensor_quarantined", i,
+			fmt.Sprintf("%s: reading %.1f °C vs model %.1f °C", reject, raw, pred))
+	}
+	return pred
+}
+
+// detectFailures watches planned-on machines for power-state loss and
+// re-plans around machines that stay down.
+func (h *harness) detectFailures(demand float64) error {
+	if h.cfg.DisableFailover {
+		return nil
+	}
+	newlyFailed := false
+	for _, i := range h.currentPlan.On {
+		if h.failed[i] {
+			continue
+		}
+		if h.room.IsOn(i) {
+			h.offStreak[i] = 0
+			continue
+		}
+		h.offStreak[i]++
+		if h.offStreak[i] >= h.cfg.FailAfter {
+			h.markFailed(i, fmt.Sprintf("off for %d consecutive reads", h.offStreak[i]))
+			newlyFailed = true
+		}
+	}
+	if !newlyFailed {
+		return nil
+	}
+	return h.replan(demand, false)
+}
+
+// probeFailed quietly offers failed machines a power-on. A machine whose
+// fault cleared accepts and rejoins the planning pool; one still dead
+// refuses without generating a fresh failure event or recovery window.
+func (h *harness) probeFailed() {
+	for i := range h.failed {
+		if !h.failed[i] {
+			continue
+		}
+		if err := h.room.SetPower(i, true); err == nil {
+			h.failed[i] = false
+			h.event("machine_recovered", i, "accepted power-on probe")
+		}
+	}
+}
+
+func (h *harness) markFailed(i int, detail string) {
+	h.failed[i] = true
+	h.offStreak[i] = 0
+	h.res.MachineFailures++
+	h.degrade("machine_failed", i, detail)
+}
+
+// watchCRAC compares the commanded set point against the read-back and
+// trips safe mode when the CRAC stops answering.
+func (h *harness) watchCRAC(demand float64) error {
+	if h.cfg.DisableSafeMode || !h.cmdValid {
+		return nil
+	}
+	if math.Abs(h.room.SetPoint()-h.cmdSetPoint) > setPointToleranceC {
+		h.mismatchStreak++
+		h.matchStreak = 0
+	} else {
+		h.mismatchStreak = 0
+		h.matchStreak++
+		h.cracSuspect = false
+	}
+
+	// A few seconds of mismatch already makes the CRAC suspect. Open the
+	// recovery window now, before the full trip: thermal drift between
+	// the first ignored command and the safe-mode entry is part of the
+	// fault's recovery story, not a steady-state violation.
+	if !h.cracSuspect && h.mismatchStreak >= 3 {
+		h.cracSuspect = true
+		h.degrade("crac_suspect", -1, fmt.Sprintf(
+			"set point read-back %.1f °C vs command %.1f °C", h.room.SetPoint(), h.cmdSetPoint))
+	}
+
+	if !h.safeMode && h.mismatchStreak >= h.cfg.CRACFailAfter {
+		h.safeMode = true
+		h.res.SafeModeActivations++
+		h.degrade("safe_mode_enter", -1, fmt.Sprintf(
+			"set point read-back %.1f °C ignored command %.1f °C for %d s",
+			h.room.SetPoint(), h.cmdSetPoint, h.mismatchStreak))
+		return h.replan(demand, false)
+	}
+	if h.safeMode {
+		if h.matchStreak >= h.cfg.CRACFailAfter {
+			h.safeMode = false
+			h.event("safe_mode_exit", -1, "set point commands answered again")
+			return h.replan(demand, false)
+		}
+		// Keep asking for the floor in case the CRAC comes back.
+		h.room.SetSetPoint(h.safeFloorSP)
+		h.cmdSetPoint = h.safeFloorSP
+	}
+	return nil
+}
+
+// thermalGuard steps the commanded supply down while a hotspot sits
+// inside the guard band. In safe mode the watchdog already commands the
+// floor, so the guard stands down.
+func (h *harness) thermalGuard() {
+	if h.safeMode {
+		return
+	}
+	hotspot := h.hotspot
+	if hotspot > h.profile.TMaxC-h.cfg.GuardBandC {
+		if !h.guardActive {
+			h.res.GuardActivations++
+			h.guardActive = true
+		}
+		h.command(h.cmdSetPoint - 0.5)
+	} else if h.guardActive && hotspot < h.profile.TMaxC-2*h.cfg.GuardBandC {
+		h.guardActive = false
+	}
+}
+
+// command pushes a set point through the room and remembers it for the
+// CRAC watchdog. Commands are tracked against read-back, not assumed.
+func (h *harness) command(sp float64) {
+	h.room.SetSetPoint(sp)
+	h.cmdSetPoint = sp
+	h.cmdValid = true
+}
+
+// pollTransport drains a latched transport error from a remote room.
+func (h *harness) pollTransport() error {
+	et, ok := h.room.(errTracker)
+	if !ok {
+		return nil
+	}
+	err := et.Err()
+	if err == nil {
+		return nil
+	}
+	return h.absorbOutage(err)
+}
+
+// absorbOutage accounts one observed transport failure — latched or
+// returned directly by a command — clears any latch so the next attempt
+// starts fresh, and under StrictErrors turns it fatal.
+func (h *harness) absorbOutage(err error) error {
+	if et, ok := h.room.(errTracker); ok {
+		et.ResetErr()
+	}
+	if h.cfg.StrictErrors {
+		return fmt.Errorf("controller: transport: %w", err)
+	}
+	h.res.TransportErrors++
+	// One event per outage, not per failed request: errors arriving
+	// back-to-back extend the existing event.
+	if k := len(h.res.Events); k == 0 || h.res.Events[k-1].Kind != "transport_error" ||
+		h.room.Time()-h.res.Events[k-1].TimeS > 30 {
+		h.degrade("transport_error", -1, err.Error())
+	}
+	return nil
+}
+
+// replan builds and applies a plan for the given demand level. periodic
+// re-plans additionally probe machines previously marked failed, giving
+// crashed machines that came back a way home.
+func (h *harness) replan(demand float64, periodic bool) error {
+	if periodic && !h.cfg.DisableFailover {
+		h.probeFailed()
+	}
+
+	// Re-planning around failures may uncover more dead machines when the
+	// plan is pushed (power-on refused); re-solve over the shrunken set.
+	for attempt := 0; attempt <= h.sys.Size(); attempt++ {
+		plan, err := h.makePlan(demand)
+		if err != nil {
+			return err
+		}
+		outcome, err := h.apply(plan)
+		if err != nil {
+			return err
+		}
+		if outcome == applyRefused {
+			continue
+		}
+		// Commit the plan even when an outage cut the push short: it is
+		// the controller's intent, and reapply pushes it again as soon
+		// as the room answers.
+		h.currentPlan = plan
+		copy(h.plannedLoad, plan.Loads)
+		h.demand = demand
+		h.sinceReplanS = 0
+		h.guardActive = false
+		h.res.Replans++
+		h.replanIndex++
+		h.reapply = outcome == applyOutage
+		return nil
+	}
+	return fmt.Errorf("controller: replan at demand %.2f could not settle on a live machine set", demand)
+}
+
+// makePlan produces the plan for one re-plan: the configured planner in
+// the healthy case, the paper's closed form over the surviving set when
+// machines are down, and a capacity-derated plan in safe mode.
+func (h *harness) makePlan(demand float64) (*coolopt.Plan, error) {
+	totalLoad := demand * float64(h.sys.Size())
+
+	if h.safeMode && !h.cfg.DisableSafeMode {
+		return h.safePlan(totalLoad)
+	}
+	if h.anyFailed() && !h.cfg.DisableFailover {
+		return h.degradedPlan(totalLoad)
+	}
+	if len(h.cfg.CandidateMethods) >= 2 {
+		return h.tournamentPlan(totalLoad)
+	}
+	plan, err := h.sys.Planner().Plan(h.cfg.Method, totalLoad)
+	if err != nil {
+		return nil, fmt.Errorf("controller: replan at demand %.2f: %w", demand, err)
+	}
+	return plan, nil
+}
+
+func (h *harness) anyFailed() bool {
+	for _, f := range h.failed {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *harness) surviving() []int {
+	surv := make([]int, 0, h.sys.Size())
+	for i := 0; i < h.sys.Size(); i++ {
+		if !h.failed[i] {
+			surv = append(surv, i)
+		}
+	}
+	return surv
+}
+
+// degradedPlan re-runs the paper's closed form (Eqs. 21–22, box-bounded)
+// over the surviving machines, consolidating as in method #8: every
+// on-count is solved and the cheapest feasible plan under the fitted
+// model wins. If even the full surviving set cannot carry the demand,
+// the excess is shed.
+func (h *harness) degradedPlan(totalLoad float64) (*coolopt.Plan, error) {
+	surv := h.surviving()
+	if len(surv) == 0 {
+		return nil, fmt.Errorf("controller: no surviving machines")
+	}
+	if best := h.cheapestOver(surv, totalLoad); best != nil {
+		return best, nil
+	}
+	// Infeasible even with everything on: shed to the surviving
+	// capacity at the coldest supply, with a thermal cushion.
+	capacity := h.capacityAt(surv, h.profile.TAcMinC+h.sys.SafetyMargin())
+	shed := totalLoad - capacity
+	h.degrade("load_shed", -1, fmt.Sprintf(
+		"demand %.2f exceeds surviving capacity %.2f; shedding %.2f machine-units",
+		totalLoad, capacity, shed))
+	plan := h.cheapestOver(surv, capacity)
+	if plan == nil {
+		return nil, fmt.Errorf("controller: no feasible plan even after shedding to %.2f units", capacity)
+	}
+	return plan, nil
+}
+
+// cheapestOver consolidates over subsets of the given machine pool:
+// solves the closed form for every on-count (machines are profiled
+// homogeneous, so which k survivors run does not matter) and returns the
+// lowest-power feasible plan, or nil if none is.
+func (h *harness) cheapestOver(pool []int, totalLoad float64) *coolopt.Plan {
+	var (
+		best  *coolopt.Plan
+		bestW float64
+		minOn = int(math.Ceil(totalLoad - 1e-9))
+	)
+	if minOn < 1 {
+		minOn = 1
+	}
+	for k := minOn; k <= len(pool); k++ {
+		plan, err := h.profile.SolveBounded(pool[:k], totalLoad)
+		if err != nil {
+			continue
+		}
+		w := h.planPower(plan)
+		if best == nil || w < bestW {
+			best, bestW = plan, w
+		}
+	}
+	return best
+}
+
+// planPower is the fitted model's power for a plan (Eq. 23 accounting).
+func (h *harness) planPower(plan *coolopt.Plan) float64 {
+	total := h.profile.CoolingPower(plan.TAcC)
+	for _, i := range plan.On {
+		total += h.profile.ServerPower(plan.Loads[i])
+	}
+	return total
+}
+
+// capacityAt sums the per-machine thermal load caps at the given supply
+// temperature: cap_i = clamp(K_i − (α_i/β_i)/w1 · T, 0, 1) per Eq. 20.
+func (h *harness) capacityAt(pool []int, tAcC float64) float64 {
+	var capacity float64
+	for _, i := range pool {
+		capacity += mathx.Clamp(h.profile.K(i)-h.profile.RatioAB(i)*tAcC/h.profile.W1, 0, 1)
+	}
+	return capacity
+}
+
+// safePlan plans for a CRAC that no longer answers commands: spread load
+// across every surviving machine (no consolidation — concentration is
+// what needs cold air) and size it to what the supply temperature
+// actually achieved can carry, with a cushion.
+func (h *harness) safePlan(totalLoad float64) (*coolopt.Plan, error) {
+	surv := h.surviving()
+	if len(surv) == 0 {
+		return nil, fmt.Errorf("controller: no surviving machines")
+	}
+	achieved := h.room.Supply()
+	capacity := h.capacityAt(surv, achieved+h.sys.SafetyMargin())
+	carried := totalLoad
+	if carried > capacity {
+		h.degrade("load_shed", -1, fmt.Sprintf(
+			"safe mode: demand %.2f exceeds capacity %.2f at achieved supply %.1f °C",
+			totalLoad, capacity, achieved))
+		carried = capacity
+	}
+	loads := make([]float64, h.sys.Size())
+	per := carried / float64(len(surv))
+	for _, i := range surv {
+		loads[i] = per
+	}
+	return &coolopt.Plan{On: surv, Loads: loads, TAcC: h.profile.TAcMinC}, nil
+}
+
+// applyOutcome reports how pushing a plan onto the room went.
+type applyOutcome int
+
+const (
+	// applyOK: every command landed.
+	applyOK applyOutcome = iota
+	// applyRefused: the room rejected a command (a machine would not
+	// power on or take load); the offender is marked failed and the
+	// caller should re-plan over the shrunken set.
+	applyRefused
+	// applyOutage: a transport failure cut the push short; the plan is
+	// partially applied and should be pushed again once the room answers.
+	applyOutage
+)
+
+// apply pushes a plan through the room interface, mirroring System.Apply
+// but per-command so actuation failures are survivable rather than fatal.
+func (h *harness) apply(plan *coolopt.Plan) (applyOutcome, error) {
+	refused := false
+	for _, i := range plan.On {
+		if err := h.room.SetPower(i, true); err != nil {
+			if transient(err) {
+				return applyOutage, h.absorbOutage(err)
+			}
+			if h.cfg.StrictErrors || h.cfg.DisableFailover {
+				return applyOK, fmt.Errorf("controller: power on machine %d: %w", i, err)
+			}
+			h.markFailed(i, fmt.Sprintf("refused power-on: %v", err))
+			refused = true
+		}
+	}
+	if refused {
+		return applyRefused, nil
+	}
+	for _, i := range plan.On {
+		load := mathx.Clamp(plan.Loads[i], 0, 1)
+		if err := h.room.SetLoad(i, load); err != nil {
+			if transient(err) {
+				return applyOutage, h.absorbOutage(err)
+			}
+			if h.cfg.StrictErrors || h.cfg.DisableFailover {
+				return applyOK, fmt.Errorf("controller: load machine %d: %w", i, err)
+			}
+			h.markFailed(i, fmt.Sprintf("refused load: %v", err))
+			refused = true
+		}
+	}
+	if refused {
+		return applyRefused, nil
+	}
+	onSet := make(map[int]bool, len(plan.On))
+	for _, i := range plan.On {
+		onSet[i] = true
+	}
+	for i := 0; i < h.sys.Size(); i++ {
+		if onSet[i] {
+			continue
+		}
+		if err := h.room.SetPower(i, false); err != nil {
+			if transient(err) {
+				return applyOutage, h.absorbOutage(err)
+			}
+			if h.cfg.StrictErrors || h.cfg.DisableFailover {
+				return applyOK, fmt.Errorf("controller: power off machine %d: %w", i, err)
+			}
+		}
+	}
+
+	var predictedW float64
+	for _, i := range plan.On {
+		predictedW += h.profile.ServerPower(plan.Loads[i])
+	}
+	desired := plan.TAcC - h.sys.SafetyMargin()
+	if desired < h.profile.TAcMinC {
+		desired = h.profile.TAcMinC
+	}
+	sp := h.sys.Profiling().Calibration.SetPointFor(desired, predictedW)
+	if h.safeMode {
+		h.safeFloorSP = sp
+	}
+	h.command(sp)
+	if perr := h.pollTransport(); perr != nil {
+		return applyOK, perr
+	}
+	return applyOK, nil
+}

@@ -1,0 +1,97 @@
+package controller
+
+import (
+	"fmt"
+	"sync"
+
+	"coolopt"
+)
+
+// candidateOutcome is one candidate plan's lookahead replay result.
+type candidateOutcome struct {
+	plan       *coolopt.Plan
+	energyJ    float64
+	violationS float64
+	ok         bool
+}
+
+// tournamentPlan evaluates every CandidateMethods plan by replaying it
+// for LookaheadS simulated seconds on its own System.Clone, in parallel,
+// and returns the lowest-cost violation-free candidate. The outcome is
+// deterministic: plans are solved serially before any goroutine starts,
+// each clone's sensor-noise stream is seeded from CandidateSeed, the
+// re-plan index, and the candidate index, and the winner is chosen by an
+// index-ordered scan with ties breaking toward the earlier entry.
+func (h *harness) tournamentPlan(totalLoad float64) (*coolopt.Plan, error) {
+	methods := h.cfg.CandidateMethods
+	outcomes := make([]candidateOutcome, len(methods))
+
+	// Solve all candidate plans up front: the planner is not claimed
+	// safe for concurrent use, and the replay stage only needs the
+	// finished plans.
+	for c, m := range methods {
+		plan, err := h.sys.Planner().Plan(m, totalLoad)
+		if err != nil {
+			continue // infeasible for this method; the others still race
+		}
+		outcomes[c] = candidateOutcome{plan: plan, ok: true}
+	}
+
+	var wg sync.WaitGroup
+	for c := range outcomes {
+		if !outcomes[c].ok {
+			continue
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			seed := h.cfg.CandidateSeed + int64(h.replanIndex)*997 + int64(c)
+			energyJ, violationS, err := h.replayCandidate(outcomes[c].plan, seed)
+			if err != nil {
+				outcomes[c].ok = false
+				return
+			}
+			outcomes[c].energyJ = energyJ
+			outcomes[c].violationS = violationS
+		}(c)
+	}
+	wg.Wait()
+
+	best := -1
+	var bestScore float64
+	for c, out := range outcomes {
+		if !out.ok {
+			continue
+		}
+		// A second of constraint violation outweighs any plausible
+		// energy difference; among clean plans, cheapest wins.
+		score := out.energyJ + 1e9*out.violationS
+		if best < 0 || score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("controller: no candidate method produced a feasible plan for load %.2f", totalLoad)
+	}
+	return outcomes[best].plan, nil
+}
+
+// replayCandidate applies a plan to a fresh clone of the system's room
+// and integrates ground-truth energy and violation time over the
+// lookahead horizon.
+func (h *harness) replayCandidate(plan *coolopt.Plan, seed int64) (energyJ, violationS float64, err error) {
+	clone := h.sys.Clone(seed)
+	if err := clone.Apply(plan); err != nil {
+		return 0, 0, err
+	}
+	s := clone.Sim()
+	steps := int(h.cfg.LookaheadS)
+	for k := 0; k < steps; k++ {
+		s.Step()
+		energyJ += s.TrueTotalPower() // dt = 1 s
+		if s.MaxTrueCPUTemp() > h.profile.TMaxC {
+			violationS++
+		}
+	}
+	return energyJ, violationS, nil
+}

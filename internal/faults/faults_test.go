@@ -1,0 +1,254 @@
+package faults
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"coolopt/internal/sim"
+)
+
+func newSim(t *testing.T) *sim.Simulator {
+	t.Helper()
+	s, err := sim.NewDefault(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseJSON(t *testing.T) {
+	spec := `{"events": [
+		{"kind": "machine_crash", "atS": 600, "durationS": 900, "machine": 3},
+		{"kind": "sensor_stuck", "atS": 300, "machine": 7},
+		{"kind": "net_500", "fromRequest": 40, "requests": 10}
+	]}`
+	s, err := ParseJSON(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 3 || len(s.Physical()) != 2 || len(s.Network()) != 1 {
+		t.Fatalf("split = %d physical / %d network", len(s.Physical()), len(s.Network()))
+	}
+	if !s.HasNetwork() {
+		t.Fatal("HasNetwork = false")
+	}
+
+	bad := []string{
+		`{}`,
+		`{"events": [{"kind": "warp_core_breach", "atS": 1}]}`,
+		`{"events": [{"kind": "machine_crash", "atS": -5}]}`,
+		`{"events": [{"kind": "sensor_spike", "atS": 1, "machine": 0}]}`,
+		`{"events": [{"kind": "crac_lag", "atS": 1}]}`,
+		`{"events": [{"kind": "net_timeout", "fromRequest": 1, "requests": 2}]}`,
+		`{"events": [{"kind": "net_500", "fromRequest": 0, "requests": 2}]}`,
+		`{"events": [{"kind": "machine_crash", "atS": 1, "unknownField": true}]}`,
+	}
+	for _, spec := range bad {
+		if _, err := ParseJSON(strings.NewReader(spec)); err == nil {
+			t.Errorf("accepted %s", spec)
+		}
+	}
+}
+
+func TestValidateMachineBound(t *testing.T) {
+	s := &Schedule{Events: []Event{{Kind: MachineCrash, AtS: 1, Machine: 25}}}
+	if err := s.Validate(20); err == nil {
+		t.Fatal("machine 25 accepted for a 20-machine room")
+	}
+	if err := s.Validate(0); err != nil {
+		t.Fatalf("unbounded validation rejected: %v", err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := Random(7, 20, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(7, 20, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c, err := Random(8, 20, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	var crash, stuck *Event
+	for i := range a.Events {
+		switch a.Events[i].Kind {
+		case MachineCrash:
+			crash = &a.Events[i]
+		case SensorStuck:
+			stuck = &a.Events[i]
+		}
+	}
+	if crash == nil || stuck == nil {
+		t.Fatal("random schedule missing crash or stuck event")
+	}
+	if crash.Machine == stuck.Machine {
+		t.Fatal("crash and stuck sensor hit the same machine")
+	}
+}
+
+func TestMachineCrashAndFailToPowerOn(t *testing.T) {
+	room, err := NewRoom(newSim(t), &Schedule{Events: []Event{
+		{Kind: MachineCrash, AtS: 10, DurationS: 50, Machine: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	room.Run(5)
+	if !room.IsOn(4) {
+		t.Fatal("machine 4 off before crash onset")
+	}
+	room.Run(10)
+	if room.IsOn(4) {
+		t.Fatal("machine 4 still on after crash onset")
+	}
+	if err := room.SetPower(4, true); err == nil {
+		t.Fatal("crashed machine accepted power-on")
+	}
+	if err := room.SetPower(3, true); err != nil {
+		t.Fatalf("healthy machine refused power-on: %v", err)
+	}
+	room.Run(60) // past the crash window
+	if err := room.SetPower(4, true); err != nil {
+		t.Fatalf("recovered machine refused power-on: %v", err)
+	}
+}
+
+func TestSensorFaults(t *testing.T) {
+	room, err := NewRoom(newSim(t), &Schedule{Events: []Event{
+		{Kind: SensorStuck, AtS: 5, DurationS: 20, Machine: 1},
+		{Kind: SensorSpike, AtS: 5, DurationS: 20, Machine: 2, SpikeC: 30},
+		{Kind: SensorDropout, AtS: 5, DurationS: 20, Machine: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < room.Size(); i++ {
+		if err := room.SetLoad(i, 0.8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	room.Run(10)
+
+	frozen := room.MeasuredCPUTemp(1)
+	healthy0 := room.MeasuredCPUTemp(0)
+	if spiked := room.MeasuredCPUTemp(2); spiked < healthy0+20 {
+		t.Fatalf("spiked sensor reads %v, healthy neighbour %v", spiked, healthy0)
+	}
+	if got := room.MeasuredCPUTemp(3); got != 0 {
+		t.Fatalf("dropped-out sensor reads %v", got)
+	}
+	room.Run(10)
+	if got := room.MeasuredCPUTemp(1); got != frozen {
+		t.Fatalf("stuck sensor moved: %v then %v", frozen, got)
+	}
+	room.Run(10) // windows over: readings live again
+	if got := room.MeasuredCPUTemp(3); got == 0 {
+		t.Fatal("sensor 3 still dropped out after its window")
+	}
+}
+
+func TestCRACRefuseAndLag(t *testing.T) {
+	room, err := NewRoom(newSim(t), &Schedule{Events: []Event{
+		{Kind: CRACRefuse, AtS: 0, DurationS: 30},
+		{Kind: CRACLag, AtS: 40, DurationS: 30, LagS: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := room.SetPoint()
+	room.Run(5)
+	room.SetSetPoint(before - 4)
+	if got := room.SetPoint(); got != before {
+		t.Fatalf("refused command changed set point to %v", got)
+	}
+	if room.DroppedSetPoints() != 1 {
+		t.Fatalf("DroppedSetPoints = %d", room.DroppedSetPoints())
+	}
+
+	room.Run(40) // into the lag window (t = 45)
+	room.SetSetPoint(before - 6)
+	if got := room.SetPoint(); got != before {
+		t.Fatalf("lagged command applied immediately: %v", got)
+	}
+	room.Run(15) // past the 10 s lag
+	if got := room.SetPoint(); got != before-6 {
+		t.Fatalf("lagged command not applied: %v", got)
+	}
+}
+
+func TestMiddlewareRequestWindows(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, `"ok"`)
+	})
+	var slept time.Duration
+	h := Middleware(inner, &Schedule{Events: []Event{
+		{Kind: NetError, FromRequest: 2, Requests: 2},
+		{Kind: NetTimeout, FromRequest: 5, Requests: 1, HoldS: 3},
+	}}, func(d time.Duration) { slept += d })
+
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	wantStatus := []int{200, 500, 500, 200, 503, 200}
+	for i, want := range wantStatus {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i+1, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("request %d: status %d, want %d", i+1, resp.StatusCode, want)
+		}
+	}
+	if slept != 3*time.Second {
+		t.Fatalf("net_timeout held for %v", slept)
+	}
+
+	var body map[string]string
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body["error"] != "" {
+		t.Fatalf("request past all windows still faulted: %v", body)
+	}
+}
+
+func TestMiddlewareReset(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h := Middleware(inner, &Schedule{Events: []Event{
+		{Kind: NetReset, FromRequest: 1, Requests: 1},
+	}}, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("reset request succeeded")
+	}
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("second request: %v", err)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Middleware wraps an http.Handler (typically a roomapi.Server) with the
+// schedule's network faults. Requests are counted from 1 in arrival
+// order; an event affects the half-open range
+// [FromRequest, FromRequest+Requests). Counting requests rather than
+// wall-clock time keeps HTTP-level injection deterministic: the Nth
+// request always sees the same fate, however fast the client runs.
+//
+// The sleep function exists so tests can compress net_timeout holds; pass
+// nil for time.Sleep.
+func Middleware(next http.Handler, sched *Schedule, sleep func(time.Duration)) http.Handler {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	events := sched.Network()
+	var (
+		mu    sync.Mutex
+		count int
+	)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		count++
+		n := count
+		var hit *Event
+		for i := range events {
+			e := &events[i]
+			if n >= e.FromRequest && n < e.FromRequest+e.Requests {
+				hit = e
+				break
+			}
+		}
+		mu.Unlock()
+
+		if hit == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch hit.Kind {
+		case NetError:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "faults: injected 500"})
+		case NetTimeout:
+			sleep(time.Duration(hit.HoldS * float64(time.Second)))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "faults: injected slow response"})
+		case NetReset:
+			// net/http aborts the connection when a handler panics with
+			// ErrAbortHandler: the client sees a mid-flight reset.
+			panic(http.ErrAbortHandler)
+		}
+	})
+}

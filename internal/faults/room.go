@@ -1,0 +1,270 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"coolopt/internal/machineroom"
+	"coolopt/internal/sim"
+)
+
+// Room wraps a simulator and applies a schedule's physical faults on the
+// room clock: crashed machines drop off and refuse to power back on,
+// faulty sensors lie, and the CRAC actuator lags or ignores commands.
+//
+// All methods are serialized by an internal mutex, so a Room may back a
+// roomapi.Server while a chaos harness reads ground truth concurrently —
+// every access to the underlying simulator goes through the same lock.
+type Room struct {
+	mu    sync.Mutex
+	inner *sim.Simulator
+
+	events  []Event // physical events, onset-ordered
+	crashed []bool  // fired machine_crash onsets (one-shot power-off)
+
+	stuckVal   map[int]float64 // frozen reading per stuck sensor
+	pendingSet []lagged        // set-point commands delayed by crac_lag
+	droppedSet int             // set-point commands lost to crac_refuse
+}
+
+type lagged struct {
+	applyAtS float64
+	value    float64
+}
+
+var _ machineroom.Room = (*Room)(nil)
+
+// NewRoom wraps a simulator with the schedule's physical faults.
+func NewRoom(inner *sim.Simulator, sched *Schedule) (*Room, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("faults: nil simulator")
+	}
+	if sched == nil {
+		sched = &Schedule{}
+	}
+	if err := sched.Validate(inner.Size()); err != nil {
+		return nil, err
+	}
+	events := sched.Physical()
+	return &Room{
+		inner:    inner,
+		events:   events,
+		crashed:  make([]bool, len(events)),
+		stuckVal: make(map[int]float64),
+	}, nil
+}
+
+// Size returns the number of machines.
+func (r *Room) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.Size()
+}
+
+// Time returns the room clock in seconds.
+func (r *Room) Time() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.Time()
+}
+
+// SetLoad assigns a utilization to a machine.
+func (r *Room) SetLoad(i int, util float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.SetLoad(i, util)
+}
+
+// SetPower switches a machine on or off. Powering on a crashed machine
+// fails until its crash window ends — the fail-to-power-on fault.
+func (r *Room) SetPower(i int, on bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if on {
+		now := r.inner.Time()
+		for _, e := range r.events {
+			if e.Kind == MachineCrash && e.Machine == i && e.activeAt(now) {
+				return fmt.Errorf("faults: machine %d does not respond to power-on", i)
+			}
+		}
+	}
+	return r.inner.SetPower(i, on)
+}
+
+// IsOn reports a machine's power state.
+func (r *Room) IsOn(i int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.IsOn(i)
+}
+
+// SetSetPoint moves the CRAC exhaust set point — unless a crac_refuse
+// window is active (the command is lost) or a crac_lag window is active
+// (the command applies LagS later).
+func (r *Room) SetSetPoint(tSPC float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.inner.Time()
+	for _, e := range r.events {
+		switch e.Kind {
+		case CRACRefuse:
+			if e.activeAt(now) {
+				r.droppedSet++
+				return
+			}
+		case CRACLag:
+			if e.activeAt(now) {
+				r.pendingSet = append(r.pendingSet, lagged{applyAtS: now + e.LagS, value: tSPC})
+				return
+			}
+		}
+	}
+	r.inner.SetSetPoint(tSPC)
+}
+
+// SetPoint returns the last set point the CRAC actually accepted, so a
+// controller can detect refused commands from the read-back mismatch.
+func (r *Room) SetPoint() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.SetPoint()
+}
+
+// Supply returns the CRAC supply temperature.
+func (r *Room) Supply() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.Supply()
+}
+
+// ReturnTemp returns the exhaust air temperature.
+func (r *Room) ReturnTemp() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.ReturnTemp()
+}
+
+// MeasuredCPUTemp returns machine i's CPU reading with sensor faults
+// applied: stuck sensors freeze, spiked sensors read high, dropped-out
+// sensors read zero. Overlapping events apply in onset order, first match
+// wins.
+func (r *Room) MeasuredCPUTemp(i int) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.inner.Time()
+	for _, e := range r.events {
+		if e.Machine != i || !e.activeAt(now) {
+			continue
+		}
+		switch e.Kind {
+		case SensorStuck:
+			v, ok := r.stuckVal[i]
+			if !ok {
+				if e.StuckAtC != 0 {
+					v = e.StuckAtC
+				} else {
+					v = r.inner.MeasuredCPUTemp(i)
+				}
+				r.stuckVal[i] = v
+			}
+			return v
+		case SensorSpike:
+			return r.inner.MeasuredCPUTemp(i) + e.SpikeC
+		case SensorDropout:
+			return 0
+		}
+	}
+	return r.inner.MeasuredCPUTemp(i)
+}
+
+// MeasuredServerPower returns machine i's power-meter reading.
+func (r *Room) MeasuredServerPower(i int) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.MeasuredServerPower(i)
+}
+
+// MeasuredCRACPower returns the cooling unit's metered power.
+func (r *Room) MeasuredCRACPower() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.MeasuredCRACPower()
+}
+
+// Step advances the room by one step, firing any faults whose onset has
+// arrived: crash onsets force the machine off, and lagged set-point
+// commands whose delay expired are applied.
+func (r *Room) Step() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.inner.Time()
+
+	for idx, e := range r.events {
+		if e.Kind == MachineCrash && !r.crashed[idx] && now >= e.AtS {
+			r.crashed[idx] = true
+			// A crash is an uncommanded power loss; the simulator's
+			// SetPower(off) models exactly that (load drops instantly).
+			_ = r.inner.SetPower(e.Machine, false)
+		}
+	}
+
+	kept := r.pendingSet[:0]
+	for _, p := range r.pendingSet {
+		if now >= p.applyAtS {
+			r.inner.SetSetPoint(p.value)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	r.pendingSet = kept
+
+	r.inner.Step()
+}
+
+// Run advances the room by the given number of seconds, one step at a
+// time so fault onsets land on the right tick.
+func (r *Room) Run(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	target := r.Time() + seconds
+	for {
+		before := r.Time()
+		if before >= target-1e-9 {
+			return
+		}
+		r.Step()
+		if r.Time() <= before {
+			return // zero-dt safety net
+		}
+	}
+}
+
+// DroppedSetPoints counts set-point commands lost to crac_refuse windows.
+func (r *Room) DroppedSetPoints() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.droppedSet
+}
+
+// MaxTrueCPUTemp returns the hottest ground-truth CPU temperature —
+// chaos-harness instrumentation, never visible to policies.
+func (r *Room) MaxTrueCPUTemp() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.MaxTrueCPUTemp()
+}
+
+// TrueTotalPower returns the room's ground-truth total draw in Watts.
+func (r *Room) TrueTotalPower() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.TrueTotalPower()
+}
+
+// Load returns machine i's current true utilization.
+func (r *Room) Load(i int) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inner.Load(i)
+}

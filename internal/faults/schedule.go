@@ -1,0 +1,279 @@
+// Package faults is the deterministic fault-injection subsystem. A
+// Schedule declares, up front, every way the room will misbehave during a
+// run — machines crashing and refusing to power back on, sensors sticking
+// or spiking, the CRAC actuator lagging or dropping commands, and the
+// network between controller and room failing — so a chaos experiment is
+// exactly reproducible: the same schedule against the same seeds produces
+// the same run, byte for byte.
+//
+// Physical faults are applied by wrapping the simulator in a faults.Room
+// (see room.go); transport faults are applied by wrapping the roomapi
+// handler in faults.Middleware (see middleware.go). The split mirrors
+// reality: a stuck sensor corrupts what every reader sees, while a flaky
+// switch only corrupts one controller's view of the room.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"coolopt/internal/mathx"
+)
+
+// Kind names one failure mode.
+type Kind string
+
+// The supported failure modes. Physical kinds key off the room clock
+// (AtS/DurationS); network kinds key off the request counter
+// (FromRequest/Requests) so HTTP-level injection is deterministic
+// regardless of timing.
+const (
+	// MachineCrash powers machine Machine off at AtS; power-on requests
+	// fail until the window ends (fail-to-power-on).
+	MachineCrash Kind = "machine_crash"
+	// SensorStuck freezes machine Machine's CPU-temperature reading at
+	// the value observed at AtS (or StuckAtC if non-zero).
+	SensorStuck Kind = "sensor_stuck"
+	// SensorSpike adds SpikeC to machine Machine's CPU-temperature
+	// reading during the window.
+	SensorSpike Kind = "sensor_spike"
+	// SensorDropout makes machine Machine's CPU-temperature reading
+	// return 0 during the window.
+	SensorDropout Kind = "sensor_dropout"
+	// CRACLag delays set-point commands by LagS during the window.
+	CRACLag Kind = "crac_lag"
+	// CRACRefuse silently drops set-point commands during the window;
+	// reads still report the last accepted set point, so a controller
+	// can detect the refusal from the command/read-back mismatch.
+	CRACRefuse Kind = "crac_refuse"
+	// NetError answers Requests consecutive HTTP requests starting at
+	// FromRequest with status 500.
+	NetError Kind = "net_500"
+	// NetTimeout holds Requests consecutive responses for HoldS seconds
+	// (long enough to trip a client timeout) before answering 503.
+	NetTimeout Kind = "net_timeout"
+	// NetReset aborts the connection mid-response for Requests
+	// consecutive requests.
+	NetReset Kind = "net_reset"
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	Kind Kind `json:"kind"`
+
+	// AtS is the room-clock onset in seconds (physical kinds).
+	AtS float64 `json:"atS,omitempty"`
+	// DurationS is the window length in seconds; 0 means "until the end
+	// of the run" (physical kinds).
+	DurationS float64 `json:"durationS,omitempty"`
+	// Machine is the target machine (machine and sensor kinds).
+	Machine int `json:"machine,omitempty"`
+	// StuckAtC overrides the frozen reading for sensor_stuck; zero
+	// freezes at the value observed at onset.
+	StuckAtC float64 `json:"stuckAtC,omitempty"`
+	// SpikeC is the additive reading error for sensor_spike.
+	SpikeC float64 `json:"spikeC,omitempty"`
+	// LagS is the actuation delay for crac_lag.
+	LagS float64 `json:"lagS,omitempty"`
+
+	// FromRequest is the 1-based index of the first affected HTTP
+	// request (network kinds).
+	FromRequest int `json:"fromRequest,omitempty"`
+	// Requests is how many consecutive requests the fault affects
+	// (network kinds).
+	Requests int `json:"requests,omitempty"`
+	// HoldS is how long net_timeout holds the response, in seconds.
+	HoldS float64 `json:"holdS,omitempty"`
+}
+
+// Physical reports whether the event manipulates the room itself rather
+// than the transport.
+func (e Event) Physical() bool {
+	switch e.Kind {
+	case NetError, NetTimeout, NetReset:
+		return false
+	default:
+		return true
+	}
+}
+
+// activeAt reports whether a physical event's window covers room time t.
+func (e Event) activeAt(t float64) bool {
+	if t < e.AtS {
+		return false
+	}
+	return e.DurationS <= 0 || t < e.AtS+e.DurationS
+}
+
+// validate checks one event's fields.
+func (e Event) validate(idx int) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("faults: event %d (%s): %s", idx, e.Kind, fmt.Sprintf(format, args...))
+	}
+	switch e.Kind {
+	case MachineCrash, SensorStuck, SensorSpike, SensorDropout:
+		if e.AtS < 0 {
+			return fail("negative onset %v s", e.AtS)
+		}
+		if e.Machine < 0 {
+			return fail("negative machine %d", e.Machine)
+		}
+		if e.Kind == SensorSpike && e.SpikeC == 0 {
+			return fail("zero spike")
+		}
+	case CRACLag:
+		if e.AtS < 0 {
+			return fail("negative onset %v s", e.AtS)
+		}
+		if e.LagS <= 0 {
+			return fail("lag %v s must be positive", e.LagS)
+		}
+	case CRACRefuse:
+		if e.AtS < 0 {
+			return fail("negative onset %v s", e.AtS)
+		}
+	case NetError, NetTimeout, NetReset:
+		if e.FromRequest < 1 {
+			return fail("fromRequest %d must be ≥ 1", e.FromRequest)
+		}
+		if e.Requests < 1 {
+			return fail("requests %d must be ≥ 1", e.Requests)
+		}
+		if e.Kind == NetTimeout && e.HoldS <= 0 {
+			return fail("holdS %v must be positive", e.HoldS)
+		}
+	default:
+		return fmt.Errorf("faults: event %d: unknown kind %q", idx, e.Kind)
+	}
+	return nil
+}
+
+// Schedule is an ordered set of fault events.
+type Schedule struct {
+	Events []Event `json:"events"`
+}
+
+// Validate checks every event. maxMachines bounds machine indices; pass 0
+// to skip the bound (e.g. before the room size is known).
+func (s *Schedule) Validate(maxMachines int) error {
+	for i, e := range s.Events {
+		if err := e.validate(i); err != nil {
+			return err
+		}
+		if maxMachines > 0 && e.Physical() {
+			switch e.Kind {
+			case MachineCrash, SensorStuck, SensorSpike, SensorDropout:
+				if e.Machine >= maxMachines {
+					return fmt.Errorf("faults: event %d (%s): machine %d out of range [0, %d)",
+						i, e.Kind, e.Machine, maxMachines)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Physical returns the events applied by a faults.Room, onset-ordered.
+func (s *Schedule) Physical() []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Physical() {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].AtS < out[b].AtS })
+	return out
+}
+
+// Network returns the events applied by faults.Middleware, ordered by
+// first affected request.
+func (s *Schedule) Network() []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if !e.Physical() {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].FromRequest < out[b].FromRequest })
+	return out
+}
+
+// HasNetwork reports whether the schedule contains transport faults.
+func (s *Schedule) HasNetwork() bool { return len(s.Network()) > 0 }
+
+// Rebase returns a copy of the schedule with every physical onset shifted
+// by startS, turning run-relative onsets ("the crash happens 120 s into
+// the replay") into room-clock onsets. A room that has already lived
+// through profiling carries a large clock, so replay tooling rebases
+// schedules against the clock at run start. Network events count requests,
+// not seconds, and are copied unchanged.
+func (s *Schedule) Rebase(startS float64) *Schedule {
+	out := &Schedule{Events: append([]Event(nil), s.Events...)}
+	for i := range out.Events {
+		if out.Events[i].Physical() {
+			out.Events[i].AtS += startS
+		}
+	}
+	return out
+}
+
+// ParseJSON reads a schedule like
+//
+//	{"events": [
+//	  {"kind": "machine_crash", "atS": 600, "durationS": 900, "machine": 3},
+//	  {"kind": "sensor_stuck",  "atS": 300, "machine": 7},
+//	  {"kind": "net_500",       "fromRequest": 40, "requests": 10}
+//	]}
+//
+// and validates it (machine bounds are checked later, against the room).
+func ParseJSON(r io.Reader) (*Schedule, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("faults: parse schedule: %w", err)
+	}
+	if len(s.Events) == 0 {
+		return nil, fmt.Errorf("faults: schedule has no events")
+	}
+	if err := s.Validate(0); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Random synthesizes a seeded chaos schedule for an n-machine room over
+// durationS seconds: one machine crash, one stuck sensor, one spike, one
+// CRAC refusal window, and one short network blackout, with onsets and
+// targets drawn deterministically from the seed. Two calls with equal
+// arguments return identical schedules.
+func Random(seed int64, n int, durationS float64) (*Schedule, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("faults: need ≥ 2 machines, got %d", n)
+	}
+	if durationS < 600 {
+		return nil, fmt.Errorf("faults: duration %v s too short for a chaos schedule", durationS)
+	}
+	rng := mathx.NewRand(seed)
+	at := func(loFrac, hiFrac float64) float64 {
+		return float64(int(rng.Uniform(loFrac*durationS, hiFrac*durationS)))
+	}
+	crashed := rng.Intn(n)
+	stuck := rng.Intn(n - 1)
+	if stuck >= crashed {
+		stuck++ // distinct from the crashed machine
+	}
+	s := &Schedule{Events: []Event{
+		{Kind: MachineCrash, AtS: at(0.15, 0.3), DurationS: durationS * 0.3, Machine: crashed},
+		{Kind: SensorStuck, AtS: at(0.1, 0.2), DurationS: durationS * 0.4, Machine: stuck},
+		{Kind: SensorSpike, AtS: at(0.5, 0.6), DurationS: 120, Machine: rng.Intn(n), SpikeC: 25},
+		{Kind: CRACRefuse, AtS: at(0.65, 0.75), DurationS: durationS * 0.15},
+		{Kind: NetError, FromRequest: 30 + rng.Intn(40), Requests: 10},
+	}}
+	if err := s.Validate(n); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

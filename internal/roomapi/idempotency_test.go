@@ -1,0 +1,97 @@
+package roomapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// postSeq issues a POST carrying a sequence token and returns the status
+// and raw body.
+func postSeq(t *testing.T, url, seq string, body any) (int, []byte) {
+	t.Helper()
+	payload, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if seq != "" {
+		req.Header.Set(SeqHeader, seq)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func TestDuplicateAdvanceExecutesOnce(t *testing.T) {
+	ts := newTestServer(t)
+
+	s1, b1 := postSeq(t, ts.URL+"/v1/advance", "7", AdvanceRequest{Seconds: 30})
+	if s1 != http.StatusOK {
+		t.Fatalf("first advance: HTTP %d", s1)
+	}
+	s2, b2 := postSeq(t, ts.URL+"/v1/advance", "7", AdvanceRequest{Seconds: 30})
+	if s2 != http.StatusOK {
+		t.Fatalf("duplicate advance: HTTP %d", s2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("duplicate advance replayed a different body: %s vs %s", b1, b2)
+	}
+	var info RoomInfo
+	if getJSON(t, ts.URL+"/v1/room", &info); info.TimeS != 30 {
+		t.Fatalf("room at %v s after a duplicated 30 s advance, want 30", info.TimeS)
+	}
+}
+
+func TestStaleTokenRejected(t *testing.T) {
+	ts := newTestServer(t)
+	if s, _ := postSeq(t, ts.URL+"/v1/advance", "9", AdvanceRequest{Seconds: 1}); s != http.StatusOK {
+		t.Fatalf("advance: HTTP %d", s)
+	}
+	if s, _ := postSeq(t, ts.URL+"/v1/advance", "4", AdvanceRequest{Seconds: 1}); s != http.StatusConflict {
+		t.Fatalf("stale token: HTTP %d, want 409", s)
+	}
+	if s, _ := postSeq(t, ts.URL+"/v1/advance", "banana", AdvanceRequest{Seconds: 1}); s != http.StatusBadRequest {
+		t.Fatalf("garbage token: HTTP %d, want 400", s)
+	}
+}
+
+func TestUntokenedRequestsStillExecute(t *testing.T) {
+	ts := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		if s, _ := postSeq(t, ts.URL+"/v1/advance", "", AdvanceRequest{Seconds: 10}); s != http.StatusOK {
+			t.Fatalf("untokened advance %d: HTTP %d", i, s)
+		}
+	}
+	var info RoomInfo
+	if getJSON(t, ts.URL+"/v1/room", &info); info.TimeS != 20 {
+		t.Fatalf("room at %v s after two untokened 10 s advances, want 20", info.TimeS)
+	}
+}
+
+func TestDuplicateFailedCommandReplaysFailure(t *testing.T) {
+	ts := newTestServer(t)
+	// Powering off machine 0 then loading it fails; the duplicate must
+	// replay the recorded 400, not re-evaluate.
+	if s, _ := postSeq(t, ts.URL+"/v1/machines/0/power", "1", SetPowerRequest{On: false}); s != http.StatusNoContent {
+		t.Fatal("power off failed")
+	}
+	s1, _ := postSeq(t, ts.URL+"/v1/machines/0/load", "2", SetLoadRequest{Utilization: 0.5})
+	s2, _ := postSeq(t, ts.URL+"/v1/machines/0/load", "2", SetLoadRequest{Utilization: 0.5})
+	if s1 != http.StatusBadRequest || s2 != http.StatusBadRequest {
+		t.Fatalf("statuses %d, %d; want 400, 400", s1, s2)
+	}
+}

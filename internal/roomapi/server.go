@@ -18,10 +18,26 @@ const maxAdvanceSeconds = 24 * 3600
 // Server serves one machine room over HTTP. All room access is
 // serialized by an internal mutex, so a single simulator instance can
 // back it safely. Build with NewServer; it implements http.Handler.
+//
+// Mutating endpoints honor the SeqHeader idempotency token: the server
+// remembers the most recent token and its recorded response, and a
+// request re-presenting that token gets the recording back without
+// re-executing. One slot suffices for the intended topology — a single
+// controller that never pipelines commands — and a token older than the
+// remembered one is answered 409, since its command has been superseded.
+// Tokens are scoped per client ("<client>:<seq>"), so a newly connected
+// controller starting its counter over is a fresh command stream, not a
+// stale replay.
 type Server struct {
 	mu   sync.Mutex
 	room machineroom.Room
 	mux  *http.ServeMux
+
+	seqValid  bool
+	seqClient string
+	seq       uint64
+	seqStatus int
+	seqBody   []byte // recorded JSON response; nil for 204
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -87,14 +103,12 @@ func (s *Server) handleSetLoad(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	err := s.room.SetLoad(id, req.Utilization)
-	s.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
+	s.mutate(w, r, func() (int, any) {
+		if err := s.room.SetLoad(id, req.Utilization); err != nil {
+			return http.StatusBadRequest, ErrorResponse{Error: err.Error()}
+		}
+		return http.StatusNoContent, nil
+	})
 }
 
 func (s *Server) handleSetPower(w http.ResponseWriter, r *http.Request) {
@@ -106,14 +120,12 @@ func (s *Server) handleSetPower(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	err := s.room.SetPower(id, req.On)
-	s.mu.Unlock()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
+	s.mutate(w, r, func() (int, any) {
+		if err := s.room.SetPower(id, req.On); err != nil {
+			return http.StatusBadRequest, ErrorResponse{Error: err.Error()}
+		}
+		return http.StatusNoContent, nil
+	})
 }
 
 func (s *Server) handleCRAC(w http.ResponseWriter, _ *http.Request) {
@@ -138,10 +150,10 @@ func (s *Server) handleSetPoint(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("set point %v °C outside sanity range", req.SetPointC))
 		return
 	}
-	s.mu.Lock()
-	s.room.SetSetPoint(req.SetPointC)
-	s.mu.Unlock()
-	w.WriteHeader(http.StatusNoContent)
+	s.mutate(w, r, func() (int, any) {
+		s.room.SetSetPoint(req.SetPointC)
+		return http.StatusNoContent, nil
+	})
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
@@ -154,11 +166,79 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("advance of %v s outside (0, %d]", req.Seconds, maxAdvanceSeconds))
 		return
 	}
+	s.mutate(w, r, func() (int, any) {
+		s.room.Run(req.Seconds)
+		return http.StatusOK, RoomInfo{Machines: s.room.Size(), TimeS: s.room.Time()}
+	})
+}
+
+// mutate executes a state-changing command under the room lock with
+// idempotent-replay support: a request re-presenting the last executed
+// SeqHeader token gets the recorded response back without executing, a
+// token older than the last is rejected 409, and requests without a
+// token (or with a fresh one) execute normally. The executed response —
+// success or failure — is recorded, so a duplicate of a failed command
+// fails identically instead of executing.
+func (s *Server) mutate(w http.ResponseWriter, r *http.Request, exec func() (int, any)) {
+	raw := r.Header.Get(SeqHeader)
+	var (
+		client string
+		seq    uint64
+		hasSeq bool
+	)
+	if raw != "" {
+		// Tokens are "<client>:<seq>" (or a bare number, an empty
+		// client). The client scope keeps a freshly connected
+		// controller's counter from colliding with its predecessor's.
+		seqStr := raw
+		if k := strings.LastIndexByte(raw, ':'); k >= 0 {
+			client, seqStr = raw[:k], raw[k+1:]
+		}
+		parsed, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s token %q", SeqHeader, raw))
+			return
+		}
+		seq, hasSeq = parsed, true
+	}
+
 	s.mu.Lock()
-	s.room.Run(req.Seconds)
-	info := RoomInfo{Machines: s.room.Size(), TimeS: s.room.Time()}
+	if hasSeq && s.seqValid && client == s.seqClient {
+		if seq == s.seq {
+			status, body := s.seqStatus, s.seqBody
+			s.mu.Unlock()
+			writeRecorded(w, status, body)
+			return
+		}
+		if seq < s.seq {
+			last := s.seq
+			s.mu.Unlock()
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("stale %s token %d (last executed %d)", SeqHeader, seq, last))
+			return
+		}
+	}
+	status, v := exec()
+	var body []byte
+	if v != nil {
+		body, _ = json.Marshal(v)
+	}
+	if hasSeq {
+		s.seqValid, s.seqClient, s.seq, s.seqStatus, s.seqBody = true, client, seq, status, body
+	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, info)
+	writeRecorded(w, status, body)
+}
+
+// writeRecorded writes a response from its recorded form.
+func writeRecorded(w http.ResponseWriter, status int, body []byte) {
+	if body == nil {
+		w.WriteHeader(status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) roomSize() int {

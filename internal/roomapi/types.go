@@ -69,3 +69,11 @@ type AdvanceRequest struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// SeqHeader is the idempotency-token header mutating requests may carry.
+// A client stamps each POST with a token it never reuses for a different
+// command; if the server has already executed that token it replays the
+// recorded response instead of executing again, so a retried POST (the
+// client saw a timeout or reset but the server had applied the command)
+// cannot advance the room twice. See Server for the replay window.
+const SeqHeader = "Coolopt-Seq"

@@ -3,28 +3,109 @@
 // pipeline and controllers run against a remote room exactly as against
 // the in-process simulator.
 //
+// The client is built for rooms that misbehave. Every request carries a
+// per-attempt timeout and is retried a bounded number of times with
+// exponential backoff and deterministic jitter (seeded, so a run is
+// reproducible). GETs are always safe to retry; mutating POSTs carry a
+// sequence token (roomapi.SeqHeader) that the server uses to deduplicate,
+// so a retried advance or power command cannot execute twice.
+//
 // The machineroom.Room interface is deliberately error-free on its read
 // path (it mirrors how operators poll sensors), so transport failures are
 // latched instead of returned: the first error since the last Err call is
-// retained, reads return zero values after a failure, and callers must
-// check Err after a control sequence. Sensor reads are served from a
-// bulk snapshot fetched once per room timestamp — one GET per simulated
-// second rather than one per machine — which matches the 1 Hz sampling
-// the paper's meters provide anyway.
+// retained as a *TransportError, reads return zero values while the room
+// is unreachable, and callers check Err after a control sequence — or
+// call ResetErr to acknowledge a failure and keep controlling. Sensor
+// reads are served from a bulk snapshot fetched once per room timestamp —
+// one GET per simulated second rather than one per machine — which
+// matches the 1 Hz sampling the paper's meters provide anyway.
 package roomclient
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/url"
+	"os"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"coolopt/internal/machineroom"
+	"coolopt/internal/mathx"
 	"coolopt/internal/roomapi"
 )
+
+// Default retry policy: 3 retries (4 attempts), 100 ms → 2 s backoff,
+// 30 s per attempt.
+const (
+	defaultRetries     = 3
+	defaultBackoffBase = 100 * time.Millisecond
+	defaultBackoffMax  = 2 * time.Second
+	defaultTimeout     = 30 * time.Second
+)
+
+// TransportError is a request that failed at the transport level — the
+// network broke, the server answered 5xx, or every retry was exhausted.
+// It unwraps to the last underlying error. API-level rejections (4xx)
+// are returned as plain errors, not TransportErrors: retrying them is
+// pointless and they indicate a caller bug, not a flaky room.
+type TransportError struct {
+	// Op and Path identify the request ("POST", "/v1/advance").
+	Op   string
+	Path string
+	// Status is the last HTTP status seen, or 0 if no response arrived.
+	Status int
+	// Attempts is how many tries were made before giving up.
+	Attempts int
+	// Err is the last underlying error.
+	Err error
+}
+
+// Error formats the failure.
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("roomclient: %s %s failed after %d attempt(s): %v", e.Op, e.Path, e.Attempts, e.Err)
+}
+
+// Unwrap returns the last underlying error.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Temporary marks the failure as an outage rather than a rejection:
+// retrying the same command later may succeed. Callers can test for it
+// structurally (errors.As against an interface with Temporary() bool)
+// without depending on this package.
+func (e *TransportError) Temporary() bool { return true }
+
+// Option configures Dial.
+type Option func(*Room)
+
+// WithTimeout sets the per-attempt request timeout (default 30 s).
+func WithTimeout(d time.Duration) Option {
+	return func(r *Room) { r.timeout = d }
+}
+
+// WithRetries sets how many times a failed request is retried after the
+// first attempt (default 3). Zero disables retrying — the pre-hardening
+// behavior, kept for A/B robustness experiments.
+func WithRetries(n int) Option {
+	return func(r *Room) { r.retries = n }
+}
+
+// WithBackoff sets the exponential-backoff base and cap (defaults 100 ms
+// and 2 s). The k-th retry waits base·2^k, capped, times a jitter factor.
+func WithBackoff(base, max time.Duration) Option {
+	return func(r *Room) { r.backoffBase, r.backoffMax = base, max }
+}
+
+// WithRetrySeed seeds the deterministic backoff jitter (default 1). Two
+// clients with equal seeds issuing equal request sequences sleep for
+// identical durations.
+func WithRetrySeed(seed int64) Option {
+	return func(r *Room) { r.rng = mathx.NewRand(seed) }
+}
 
 // Room is a remote machine room. Build with Dial.
 type Room struct {
@@ -36,14 +117,28 @@ type Room struct {
 
 	snap      roomapi.Sensors
 	snapValid bool
+
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	timeout     time.Duration
+	rng         *mathx.Rand
+	sleep       func(time.Duration) // swapped out by tests
+	clientID    string              // scopes idempotency tokens to this client
+	seq         uint64              // idempotency-token counter
 }
+
+// clientCounter disambiguates clients dialed from the same process; the
+// PID separates processes. Together they scope idempotency tokens so a
+// freshly dialed client never collides with a predecessor's counter.
+var clientCounter atomic.Uint64
 
 var _ machineroom.Room = (*Room)(nil)
 
 // Dial connects to a roomapi server and fetches the room metadata.
-func Dial(baseURL string, client *http.Client) (*Room, error) {
+func Dial(baseURL string, client *http.Client, opts ...Option) (*Room, error) {
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		client = &http.Client{}
 	}
 	parsed, err := url.Parse(baseURL)
 	if err != nil {
@@ -52,7 +147,26 @@ func Dial(baseURL string, client *http.Client) (*Room, error) {
 	if parsed.Scheme == "" || parsed.Host == "" {
 		return nil, fmt.Errorf("roomclient: base URL %q needs scheme and host", baseURL)
 	}
-	r := &Room{base: strings.TrimRight(baseURL, "/"), hc: client}
+	r := &Room{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          client,
+		retries:     defaultRetries,
+		backoffBase: defaultBackoffBase,
+		backoffMax:  defaultBackoffMax,
+		timeout:     defaultTimeout,
+		sleep:       time.Sleep,
+		clientID:    fmt.Sprintf("%d-%d", os.Getpid(), clientCounter.Add(1)),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.rng == nil {
+		r.rng = mathx.NewRand(1)
+	}
+	if r.retries < 0 || r.timeout <= 0 || r.backoffBase <= 0 || r.backoffMax < r.backoffBase {
+		return nil, fmt.Errorf("roomclient: invalid retry policy (retries %d, timeout %v, backoff %v–%v)",
+			r.retries, r.timeout, r.backoffBase, r.backoffMax)
+	}
 	var info roomapi.RoomInfo
 	if err := r.get("/v1/room", &info); err != nil {
 		return nil, err
@@ -65,11 +179,20 @@ func Dial(baseURL string, client *http.Client) (*Room, error) {
 }
 
 // Err returns the first transport or API error since the previous Err
-// call, and clears it.
+// call, and clears it. Transport failures satisfy
+// errors.As(err, *(*TransportError)).
 func (r *Room) Err() error {
 	err := r.lastErr
 	r.lastErr = nil
 	return err
+}
+
+// ResetErr discards any latched error and forgets the cached sensor
+// snapshot, so a controller that has decided to ride out a transport
+// failure resumes with a clean slate instead of a poisoned run.
+func (r *Room) ResetErr() {
+	r.lastErr = nil
+	r.invalidate()
 }
 
 // Size returns the number of machines.
@@ -173,11 +296,7 @@ func (r *Room) latch(err error) {
 }
 
 func (r *Room) get(path string, dst any) error {
-	resp, err := r.hc.Get(r.base + path)
-	if err != nil {
-		return fmt.Errorf("roomclient: GET %s: %w", path, err)
-	}
-	return decodeResponse(path, resp, dst)
+	return r.do(http.MethodGet, path, nil, dst, 0)
 }
 
 func (r *Room) post(path string, body, dst any) error {
@@ -185,27 +304,88 @@ func (r *Room) post(path string, body, dst any) error {
 	if err != nil {
 		return fmt.Errorf("roomclient: encode %s: %w", path, err)
 	}
-	resp, err := r.hc.Post(r.base+path, "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return fmt.Errorf("roomclient: POST %s: %w", path, err)
-	}
-	return decodeResponse(path, resp, dst)
+	// One idempotency token per logical command, shared by its retries,
+	// so a duplicate delivery replays instead of re-executing.
+	r.seq++
+	return r.do(http.MethodPost, path, payload, dst, r.seq)
 }
 
-func decodeResponse(path string, resp *http.Response, dst any) error {
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		var apiErr roomapi.ErrorResponse
-		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
-			return fmt.Errorf("roomclient: %s: %s", path, apiErr.Error)
+// do issues one request with the retry policy: transport errors and 5xx
+// responses retry with capped exponential backoff and deterministic
+// jitter; 4xx responses fail immediately.
+func (r *Room) do(method, path string, payload []byte, dst any, seq uint64) error {
+	attempts := r.retries + 1
+	var (
+		lastErr    error
+		lastStatus int
+	)
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			r.sleep(r.backoffDelay(attempt))
 		}
-		return fmt.Errorf("roomclient: %s: HTTP %d", path, resp.StatusCode)
+		status, retryable, err := r.attempt(method, path, payload, dst, seq)
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return fmt.Errorf("roomclient: %s: %w", path, err)
+		}
+		lastErr, lastStatus = err, status
+	}
+	return &TransportError{Op: method, Path: path, Status: lastStatus, Attempts: attempts, Err: lastErr}
+}
+
+// backoffDelay returns the pause before retry k (k ≥ 1): base·2^(k−1),
+// capped, scaled by a jitter factor in [0.5, 1.5) drawn from the seeded
+// stream.
+func (r *Room) backoffDelay(k int) time.Duration {
+	d := r.backoffBase << (k - 1)
+	if d > r.backoffMax || d <= 0 {
+		d = r.backoffMax
+	}
+	return time.Duration(float64(d) * r.rng.Uniform(0.5, 1.5))
+}
+
+// attempt performs a single HTTP exchange. Transport failures and 5xx
+// responses are retryable; API rejections (4xx) are not.
+func (r *Room) attempt(method, path string, payload []byte, dst any, seq uint64) (status int, retryable bool, _ error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, r.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, false, err
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(roomapi.SeqHeader, r.clientID+":"+strconv.FormatUint(seq, 10))
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return 0, true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return resp.StatusCode, true, fmt.Errorf("HTTP %d: %s", resp.StatusCode, apiErrorText(resp))
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, false, fmt.Errorf("HTTP %d: %s", resp.StatusCode, apiErrorText(resp))
 	}
 	if dst == nil {
-		return nil
+		return resp.StatusCode, false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
-		return fmt.Errorf("roomclient: decode %s: %w", path, err)
+		// A truncated success body usually means the connection broke
+		// mid-response; the request is safe to replay.
+		return resp.StatusCode, true, fmt.Errorf("decode: %w", err)
 	}
-	return nil
+	return resp.StatusCode, false, nil
+}
+
+// apiErrorText extracts the server's error message, if any.
+func apiErrorText(resp *http.Response) string {
+	var apiErr roomapi.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err == nil && apiErr.Error != "" {
+		return apiErr.Error
+	}
+	return "no error body"
 }

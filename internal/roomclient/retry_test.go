@@ -1,0 +1,231 @@
+package roomclient
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"coolopt/internal/roomapi"
+	"coolopt/internal/sim"
+)
+
+// flakyHandler wraps a roomapi server and misbehaves according to a
+// per-request script: "500" answers an injected error, "drop" executes
+// the request but aborts the connection before the response lands
+// (modeling a response lost in flight), "slow" stalls past the client
+// timeout, and "" passes through. Requests beyond the script pass
+// through.
+type flakyHandler struct {
+	mu     sync.Mutex
+	inner  http.Handler
+	script []string
+	hits   int
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	mode := ""
+	if f.hits < len(f.script) {
+		mode = f.script[f.hits]
+	}
+	f.hits++
+	f.mu.Unlock()
+
+	switch mode {
+	case "500":
+		http.Error(w, `{"error":"injected"}`, http.StatusInternalServerError)
+	case "slow":
+		time.Sleep(200 * time.Millisecond)
+		http.Error(w, `{"error":"slow"}`, http.StatusServiceUnavailable)
+	case "drop":
+		rec := httptest.NewRecorder()
+		f.inner.ServeHTTP(rec, r) // the room DID execute the command
+		panic(http.ErrAbortHandler)
+	default:
+		f.inner.ServeHTTP(w, r)
+	}
+}
+
+func (f *flakyHandler) hitCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits
+}
+
+// dialFlaky serves a simulated room behind the given fault script and
+// dials it with fast test-friendly retries, recording backoff sleeps.
+func dialFlaky(t *testing.T, script []string, opts ...Option) (*Room, *flakyHandler, *[]time.Duration) {
+	t.Helper()
+	simRoom, err := sim.NewDefault(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := roomapi.NewServer(simRoom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyHandler{inner: srv, script: script}
+	ts := httptest.NewServer(flaky)
+	t.Cleanup(ts.Close)
+
+	all := append([]Option{
+		WithTimeout(100 * time.Millisecond),
+		WithBackoff(time.Millisecond, 8*time.Millisecond),
+	}, opts...)
+	room, err := Dial(ts.URL, nil, all...)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	var sleeps []time.Duration
+	room.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	return room, flaky, &sleeps
+}
+
+func TestRetriesRecoverFrom500s(t *testing.T) {
+	// Dial's GET /v1/room is request 1; the next read hits two 500s.
+	room, flaky, sleeps := dialFlaky(t, []string{"", "500", "500"})
+	if got := room.Time(); got != 0 {
+		t.Fatalf("Time = %v", got)
+	}
+	if err := room.Err(); err != nil {
+		t.Fatalf("latched error after recovered retries: %v", err)
+	}
+	if got := flaky.hitCount(); got != 4 { // dial + 2 failures + success
+		t.Fatalf("server saw %d requests, want 4", got)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("recorded %d backoff sleeps, want 2", len(*sleeps))
+	}
+}
+
+func TestRetriesRecoverFromTimeout(t *testing.T) {
+	room, _, _ := dialFlaky(t, []string{"", "slow"})
+	room.Run(30)
+	if err := room.Err(); err != nil {
+		t.Fatalf("latched error after timeout+retry: %v", err)
+	}
+	if got := room.Time(); got < 30 {
+		t.Fatalf("Time = %v after Run(30)", got)
+	}
+}
+
+func TestBoundedRetriesAndTypedError(t *testing.T) {
+	room, flaky, _ := dialFlaky(t, []string{"", "500", "500", "500", "500", "500", "500"},
+		WithRetries(2))
+	before := flaky.hitCount()
+	room.Run(10)
+	err := room.Err()
+	if err == nil {
+		t.Fatal("no error after exhausted retries")
+	}
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not a TransportError: %v", err, err)
+	}
+	if te.Attempts != 3 || te.Status != 500 || te.Op != "POST" || te.Path != "/v1/advance" {
+		t.Fatalf("TransportError = %+v", te)
+	}
+	if got := flaky.hitCount() - before; got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestNoRetriesOptionKeepsLegacyBehavior(t *testing.T) {
+	room, flaky, _ := dialFlaky(t, []string{"", "500"}, WithRetries(0))
+	before := flaky.hitCount()
+	room.Run(10)
+	if err := room.Err(); err == nil {
+		t.Fatal("single 500 did not surface with retries disabled")
+	}
+	if got := flaky.hitCount() - before; got != 1 {
+		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}
+
+func TestAPIErrorsAreNotRetried(t *testing.T) {
+	room, flaky, _ := dialFlaky(t, nil)
+	before := flaky.hitCount()
+	err := room.SetLoad(99, 0.5) // out of range: a 4xx, caller bug
+	if err == nil {
+		t.Fatal("bad machine id accepted")
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		t.Fatalf("API rejection surfaced as TransportError: %v", err)
+	}
+	if got := flaky.hitCount() - before; got != 1 {
+		t.Fatalf("server saw %d attempts for a 4xx, want 1", got)
+	}
+}
+
+func TestResetErrRecoversMidRun(t *testing.T) {
+	room, _, _ := dialFlaky(t, []string{"", "500"}, WithRetries(0))
+	room.Run(10) // fails and latches; the latch would poison the run
+	room.ResetErr()
+	room.Run(10) // server healthy again
+	if err := room.Err(); err != nil {
+		t.Fatalf("error after ResetErr and healthy traffic: %v", err)
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	script := []string{"", "500", "500", "500", "500", "500", "500"}
+	var runs [2][]time.Duration
+	for i := range runs {
+		room, _, sleeps := dialFlaky(t, script, WithRetrySeed(42))
+		room.Run(10)
+		if err := room.Err(); err == nil {
+			t.Fatal("expected exhausted retries")
+		}
+		runs[i] = *sleeps
+	}
+	if len(runs[0]) != 3 {
+		t.Fatalf("recorded %d sleeps, want 3", len(runs[0]))
+	}
+	for k := range runs[0] {
+		if runs[0][k] != runs[1][k] {
+			t.Fatalf("sleep %d differs across identical runs: %v vs %v", k, runs[0][k], runs[1][k])
+		}
+	}
+	// Exponential envelope with jitter in [0.5, 1.5): delay k sits in
+	// [0.5, 1.5)·min(base·2^k, cap).
+	base := time.Millisecond
+	for k, d := range runs[0] {
+		lo := time.Duration(float64(base<<k) * 0.5)
+		hi := time.Duration(float64(base<<k) * 1.5)
+		if d < lo || d >= hi {
+			t.Fatalf("sleep %d = %v outside [%v, %v)", k, d, lo, hi)
+		}
+	}
+}
+
+func TestRetriedAdvanceIsIdempotent(t *testing.T) {
+	// The response to the first advance is lost in flight AFTER the
+	// room executed it; the retried POST re-presents the same sequence
+	// token and must not advance the room again.
+	room, _, _ := dialFlaky(t, []string{"", "drop"})
+	room.Run(30)
+	if err := room.Err(); err != nil {
+		t.Fatalf("latched error: %v", err)
+	}
+	got := room.Time()
+	if got != 30 {
+		t.Fatalf("room advanced to %v s after a retried 30 s advance, want exactly 30", got)
+	}
+}
+
+func TestRetriedPowerCommandIsIdempotent(t *testing.T) {
+	room, _, _ := dialFlaky(t, []string{"", "drop"})
+	if err := room.SetPower(3, false); err != nil {
+		t.Fatalf("SetPower through a dropped response: %v", err)
+	}
+	if room.IsOn(3) {
+		t.Fatal("machine 3 still on")
+	}
+	if err := room.Err(); err != nil {
+		t.Fatalf("latched error: %v", err)
+	}
+}
