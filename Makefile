@@ -1,10 +1,12 @@
 GO ?= go
 
-# ci is the tier-1 gate: vet, race-enabled tests, and a full build.
-# The race step exists to guard the concurrent paths (the parallel
-# kinetic preprocessing sweep and the figures.Collect worker pool).
+# ci is the tier-1 gate: formatting, vet, the repo's own static-analysis
+# suite, race-enabled tests, and a full build. The race step guards the
+# concurrent paths (the parallel kinetic preprocessing sweep and the
+# figures.Collect worker pool); lint enforces the determinism, unit-safety,
+# and clone-discipline invariants the experiments depend on.
 .PHONY: ci
-ci: vet race build
+ci: fmt-check vet lint race build
 
 .PHONY: build
 build:
@@ -21,6 +23,17 @@ race:
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+# lint runs cooloptlint (see cmd/cooloptlint) over every package.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/cooloptlint ./...
+
+# fmt-check fails if any tracked Go file (fixtures included) is not gofmt'd.
+.PHONY: fmt-check
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 .PHONY: bench
 bench:

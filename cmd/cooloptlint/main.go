@@ -1,0 +1,62 @@
+// Command cooloptlint runs the repo's static-analysis suite over the
+// given package patterns (default ./...) and exits non-zero if any
+// analyzer reports a finding.
+//
+// The suite enforces the invariants the paper reproduction depends on:
+//
+//	determinism  — no wall clock, no global math/rand, no map-order leaks
+//	               in //coolopt:deterministic packages
+//	units        — no silent cross-unit conversions or raw literals where
+//	               units.Celsius/Watts/... are declared
+//	clonesafety  — goroutines must not capture live System/Simulator/Room
+//	               values without cloning
+//	floatcmp     — no exact ==/!= between computed floats outside mathx
+//	ctxhttp      — HTTP clients must propagate context and set timeouts
+//
+// Suppress an individual finding with `//coolopt:ignore <analyzer> reason`
+// on the flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coolopt/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(suite, prog.Packages)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cooloptlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

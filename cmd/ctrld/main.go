@@ -21,6 +21,7 @@ import (
 	"coolopt"
 	"coolopt/internal/profiling"
 	"coolopt/internal/roomclient"
+	"coolopt/internal/units"
 )
 
 func main() {
@@ -187,15 +188,15 @@ func runApply(args []string, out io.Writer) error {
 			}
 		}
 	}
-	var predictedW float64
+	var predictedW units.Watts
 	for _, i := range plan.On {
 		predictedW += doc.Profile.ServerPower(plan.Loads[i])
 	}
-	desired := plan.TAcC - *margin
-	if desired < doc.Profile.TAcMinC {
-		desired = doc.Profile.TAcMinC
+	desired := plan.TAcC - units.Celsius(*margin)
+	if desired < units.Celsius(doc.Profile.TAcMinC) {
+		desired = units.Celsius(doc.Profile.TAcMinC)
 	}
-	room.SetSetPoint(doc.Calibration.SetPointFor(desired, predictedW))
+	room.SetSetPoint(float64(doc.Calibration.SetPointFor(desired, predictedW)))
 
 	fmt.Fprintf(out, "applied plan: %d machines on, commanded supply %.2f °C; settling %.0f s…\n",
 		len(plan.On), desired, *settle)

@@ -16,6 +16,7 @@ import (
 
 	"coolopt"
 	"coolopt/internal/profiling"
+	"coolopt/internal/units"
 )
 
 func main() {
@@ -65,7 +66,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var predictedW float64
+	var predictedW units.Watts
 	for _, i := range plan.On {
 		predictedW += doc.Profile.ServerPower(plan.Loads[i])
 	}

@@ -9,15 +9,24 @@ import (
 )
 
 // runChaos runs the fault-injection scenario suite on the profiled room
-// and prints the three-arm comparison report.
-func runChaos(out io.Writer, sys *coolopt.System, seed int64, durationS float64) error {
+// and prints the three-arm comparison report. A non-zero soakSeed appends
+// a randomized fault schedule drawn from that seed to the suite.
+func runChaos(out io.Writer, sys *coolopt.System, seed int64, durationS float64, soakSeed int64) error {
 	fmt.Fprintf(out, "chaos suite — %d machines, %.0f s per scenario, seed %d\n",
 		sys.Size(), durationS, seed)
-	for _, sc := range chaos.Suite() {
+	suite := chaos.Suite()
+	if soakSeed != 0 {
+		soak, err := chaos.RandomScenario(soakSeed, sys.Size(), durationS)
+		if err != nil {
+			return err
+		}
+		suite = append(suite, soak)
+	}
+	for _, sc := range suite {
 		fmt.Fprintf(out, "  %-14s %s\n", sc.Name, sc.Detail)
 	}
 	fmt.Fprintln(out)
-	outs, err := chaos.RunSuite(sys, chaos.Options{Seed: seed, DurationS: durationS})
+	outs, err := chaos.RunSuite(sys, chaos.Options{Seed: seed, DurationS: durationS, SoakSeed: soakSeed})
 	if err != nil {
 		return err
 	}

@@ -31,6 +31,20 @@ func TestRunChaosSuite(t *testing.T) {
 	}
 }
 
+func TestRunChaosSoakSeed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-machines", "10", "-chaos", "-chaos-duration", "600", "-soak-seed", "5"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "soak-5") {
+		t.Fatalf("report missing the soak scenario:\n%s", out)
+	}
+	if !strings.Contains(out, "randomized fault schedule") {
+		t.Fatalf("report missing the soak description:\n%s", out)
+	}
+}
+
 func TestRunChaosRejectsShortDuration(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-machines", "10", "-chaos", "-chaos-duration", "60"}, &buf); err == nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"coolopt/internal/clock"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -63,15 +64,19 @@ func syntheticReduced(n int) coolopt.Reduced {
 	return p.Reduce()
 }
 
+// benchClock is the time source for benchmark measurements; tests swap in
+// a clock.Fake to pin the trajectory file's timings and timestamp.
+var benchClock = clock.Wall
+
 // bestOf times fn over reps runs and returns the fastest.
 func bestOf(reps int, fn func() error) (time.Duration, error) {
 	best := time.Duration(math.MaxInt64)
 	for r := 0; r < reps; r++ {
-		start := time.Now()
+		start := benchClock.Now()
 		if err := fn(); err != nil {
 			return 0, err
 		}
-		if d := time.Since(start); d < best {
+		if d := clock.Since(benchClock, start); d < best {
 			best = d
 		}
 	}
@@ -83,7 +88,7 @@ func bestOf(reps int, fn func() error) (time.Duration, error) {
 // path.
 func runConsolidationBench(out io.Writer, path string, denseMaxN int) error {
 	sizes := []int{64, 256, 1024}
-	res := consolidationBench{GeneratedUnix: time.Now().Unix(), DenseMaxN: denseMaxN}
+	res := consolidationBench{GeneratedUnix: benchClock.Now().Unix(), DenseMaxN: denseMaxN}
 	for _, n := range sizes {
 		red := syntheticReduced(n)
 		reps := 3

@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	consDenseMax := fs.Int("consolidation-dense-max", 256, "largest size at which the O(n³) dense reference also runs during -consolidation-bench")
 	chaosRun := fs.Bool("chaos", false, "run the fault-injection scenario suite (hardened vs unhardened controller), then exit")
 	chaosDur := fs.Float64("chaos-duration", 900, "simulated seconds per chaos scenario")
+	soakSeed := fs.Int64("soak-seed", 0, "with -chaos: also run a randomized fault schedule drawn from this seed (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +64,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *chaosRun {
-		return runChaos(out, sys, *seed, *chaosDur)
+		return runChaos(out, sys, *seed, *chaosDur, *soakSeed)
 	}
 
 	want := func(id string) bool { return sel == "all" || sel == id }

@@ -18,6 +18,7 @@ import (
 	"coolopt/internal/roomapi"
 	"coolopt/internal/roomclient"
 	"coolopt/internal/sim"
+	"coolopt/internal/units"
 )
 
 func main() {
@@ -101,11 +102,11 @@ func run() error {
 			}
 		}
 	}
-	var predictedW float64
+	var predictedW units.Watts
 	for _, i := range plan.On {
 		predictedW += res.Profile.ServerPower(plan.Loads[i])
 	}
-	room.SetSetPoint(res.Calibration.SetPointFor(plan.TAcC-2.5, predictedW))
+	room.SetSetPoint(float64(res.Calibration.SetPointFor(plan.TAcC-2.5, predictedW)))
 	fmt.Printf("applied optimal plan for 60%% load: %d machines on; settling…\n", len(plan.On))
 	room.Run(1500)
 

@@ -30,7 +30,7 @@ func averageSaving(sys *coolopt.System) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		sum += (m7.TotalW - m8.TotalW) / m7.TotalW * 100
+		sum += float64(m7.TotalW-m8.TotalW) / float64(m7.TotalW) * 100
 	}
 	return sum / float64(len(savingLoads)), nil
 }
@@ -133,7 +133,7 @@ func CoolingShare(seed int64) (*figures.Figure, error) {
 		saving.X = append(saving.X, scale)
 		saving.Y = append(saving.Y, sv)
 		share.X = append(share.X, scale)
-		share.Y = append(share.Y, m8.CoolW/m8.TotalW*100)
+		share.Y = append(share.Y, float64(m8.CoolW)/float64(m8.TotalW)*100)
 	}
 	return &figures.Figure{
 		ID:     "Ablation C",
@@ -205,7 +205,7 @@ func Margin(seed int64) (*figures.Figure, error) {
 			return nil, err
 		}
 		power.X = append(power.X, margin)
-		power.Y = append(power.Y, m.TotalW)
+		power.Y = append(power.Y, float64(m.TotalW))
 		v := 0.0
 		if m.Violated {
 			v = 1

@@ -1,0 +1,197 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that cooloptlint needs. The repo
+// builds offline with a zero-dependency go.mod, so rather than pinning
+// x/tools we load packages with `go list -deps -export` and type-check
+// them against the gc export data the build cache already holds. The
+// analyzers themselves are written against the same Analyzer/Pass shape as
+// upstream, so porting them onto x/tools later is mechanical.
+//
+// Two comment directives drive the suite:
+//
+//	//coolopt:deterministic
+//	    Package marker. Analyzers that only make sense for reproducible
+//	    code (the determinism checker) run solely on marked packages.
+//
+//	//coolopt:ignore <analyzer> [reason]
+//	    Suppresses diagnostics from the named analyzer on the same line
+//	    or the line directly below the directive.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects a single package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the import path ("coolopt/internal/core").
+	PkgPath string
+	// markers holds the //coolopt: package markers ("deterministic").
+	markers map[string]bool
+
+	diags []Diagnostic
+}
+
+// Diagnostic is a single finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// HasMarker reports whether the package carries //coolopt:<name>.
+func (p *Pass) HasMarker(name string) bool { return p.markers[name] }
+
+// Finding is a resolved diagnostic with its position and analyzer.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// markerDirectives extracts //coolopt:<word> markers from a package's
+// files. Only bare markers (no arguments) count; ignore directives are
+// handled separately.
+func markerDirectives(files []*ast.File) map[string]bool {
+	markers := make(map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, "//coolopt:")
+				if !ok {
+					continue
+				}
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					continue // has arguments: not a package marker
+				}
+				if rest != "" && rest != "ignore" {
+					markers[rest] = true
+				}
+			}
+		}
+	}
+	return markers
+}
+
+// ignoreIndex maps file → line → analyzer names suppressed on that line.
+type ignoreIndex map[string]map[int]map[string]bool
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				rest, ok := strings.CutPrefix(text, "//coolopt:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[pos.Line] = names
+				}
+				names[fields[0]] = true
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a finding from analyzer name at position pos
+// is covered by an ignore directive on the same or the preceding line.
+func (idx ignoreIndex) suppressed(name string, pos token.Position) bool {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := byLine[line]; names != nil && names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		markers := markerDirectives(pkg.Files)
+		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.Path,
+				markers:  markers,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.suppressed(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cloneGuarded lists the types whose instances must not be shared with a
+// goroutine directly: their methods mutate internal state that is not
+// synchronized for concurrent writers. Each of them exposes Clone()
+// precisely so call sites can hand a private copy to the goroutine.
+var cloneGuarded = map[string]bool{
+	"coolopt.System":                    true,
+	"coolopt/internal/sim.Simulator":    true,
+	"coolopt/internal/machineroom.Room": true,
+}
+
+// CloneSafety flags goroutines that capture a *coolopt.System,
+// *sim.Simulator, or machineroom.Room from the enclosing scope without the
+// variable having come from a Clone() call. Sharing a live system with a
+// goroutine races the control loop's Step/Apply cycle; the soak and chaos
+// drivers clone before fanning out and everything else should too.
+var CloneSafety = &Analyzer{
+	Name: "clonesafety",
+	Doc: "forbid goroutines capturing shared System/Simulator/Room values " +
+		"unless the value was cloned first",
+	Run: runCloneSafety,
+}
+
+func runCloneSafety(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			goStmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, file, goStmt)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, file *ast.File, goStmt *ast.GoStmt) {
+	// The goroutine's code: a func literal launched directly, func
+	// literals passed as arguments, or — for `go f(x)` — the argument
+	// expressions themselves, which are evaluated per call but hand the
+	// pointed-to value across the goroutine boundary.
+	var bodies []ast.Node
+	call := goStmt.Call
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		bodies = append(bodies, lit)
+	}
+	for _, arg := range call.Args {
+		bodies = append(bodies, arg)
+	}
+
+	reported := map[types.Object]bool{}
+	for _, body := range bodies {
+		lo, hi := body.Pos(), body.End()
+		ast.Inspect(body, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[ident].(*types.Var)
+			if !ok || reported[obj] {
+				return true
+			}
+			// Only free variables: declared outside the goroutine body.
+			if obj.Pos() >= lo && obj.Pos() < hi {
+				return true
+			}
+			if !guardedType(obj.Type()) {
+				return true
+			}
+			if assignedFromClone(pass, file, obj, goStmt.Pos()) {
+				return true
+			}
+			if onlyClonedInside(pass, bodies, obj) {
+				return true
+			}
+			reported[obj] = true
+			pass.Reportf(ident.Pos(), "goroutine captures %s (%s) without cloning; call Clone() and hand the copy to the goroutine", obj.Name(), obj.Type())
+			return true
+		})
+	}
+}
+
+// guardedType reports whether t (possibly behind a pointer) is one of the
+// clone-guarded types.
+func guardedType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	return cloneGuarded[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// assignedFromClone reports whether obj was assigned from a .Clone(...)
+// call somewhere before the goroutine launch.
+func assignedFromClone(pass *Pass, file *ast.File, obj types.Object, before token.Pos) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Pos() >= before {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				ident, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				lhsObj := pass.Info.Defs[ident]
+				if lhsObj == nil {
+					lhsObj = pass.Info.Uses[ident]
+				}
+				if lhsObj == obj && isCloneCall(n.Rhs[i]) {
+					found = true
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Pos() >= before {
+				return true
+			}
+			for i, name := range n.Names {
+				if pass.Info.Defs[name] == obj && i < len(n.Values) && isCloneCall(n.Values[i]) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isCloneCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Clone"
+}
+
+// onlyClonedInside reports whether every use of obj within the goroutine
+// is as the receiver of a .Clone(...) call — the goroutine takes its own
+// copy first thing, which is safe.
+func onlyClonedInside(pass *Pass, bodies []ast.Node, obj types.Object) bool {
+	sawUse := false
+	allCloned := true
+	for _, body := range bodies {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && isCloneCall(call) {
+				if sel := call.Fun.(*ast.SelectorExpr); usesObject(pass, sel.X, obj) {
+					sawUse = true
+					return false // receiver use is sanctioned; skip subtree
+				}
+			}
+			if ident, ok := n.(*ast.Ident); ok && pass.Info.Uses[ident] == obj {
+				sawUse = true
+				allCloned = false
+			}
+			return true
+		})
+	}
+	return sawUse && allCloned
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxHTTP enforces context propagation and bounded timeouts on HTTP
+// client code. The room control loop talks to remote rooms over HTTP; a
+// request without a context cannot be cancelled when the controller falls
+// back to the safe plan, and a client without a timeout can wedge the
+// loop behind a dead CRAC endpoint indefinitely. Flagged: the package
+// convenience helpers (http.Get and friends), http.NewRequest (use
+// NewRequestWithContext), http.DefaultClient, and http.Client composite
+// literals that do not set Timeout.
+var CtxHTTP = &Analyzer{
+	Name: "ctxhttp",
+	Doc: "require context propagation (NewRequestWithContext) and explicit " +
+		"timeouts on HTTP clients",
+	Run: runCtxHTTP,
+}
+
+func runCtxHTTP(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkHTTPSelector(pass, n)
+			case *ast.CompositeLit:
+				checkClientLiteral(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// httpPkgObject resolves sel to an object in net/http accessed through the
+// package name, returning "" otherwise.
+func httpPkgObject(pass *Pass, sel *ast.SelectorExpr) string {
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "net/http" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+func checkHTTPSelector(pass *Pass, sel *ast.SelectorExpr) {
+	switch httpPkgObject(pass, sel) {
+	case "Get", "Post", "PostForm", "Head":
+		pass.Reportf(sel.Pos(), "http.%s ignores context and uses the timeout-less DefaultClient; build the request with http.NewRequestWithContext and send it through a client with a Timeout", sel.Sel.Name)
+	case "NewRequest":
+		pass.Reportf(sel.Pos(), "http.NewRequest drops the caller's context; use http.NewRequestWithContext")
+	case "DefaultClient":
+		pass.Reportf(sel.Pos(), "http.DefaultClient has no timeout; use a client with an explicit Timeout")
+	}
+}
+
+// checkClientLiteral flags http.Client{...} literals without a Timeout
+// field.
+func checkClientLiteral(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.Info.Types[lit].Type
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net/http" || obj.Name() != "Client" {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Timeout" {
+			return
+		}
+	}
+	pass.Reportf(lit.Pos(), "http.Client literal without Timeout; a hung room endpoint would block forever")
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags nondeterminism in packages marked
+// //coolopt:deterministic: wall-clock reads (time.Now, time.Since), the
+// global math/rand generator, and map iteration whose order leaks into
+// appends or formatted output. The repo's experiments must replay
+// bit-identically from a seed — the paper's eight-scenario comparison is
+// only meaningful if reruns produce the same plans — so randomness must
+// flow through mathx.Rand and time through an injected clock.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand, and order-dependent " +
+		"map iteration in //coolopt:deterministic packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !pass.HasMarker("deterministic") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkDeterministicSelector(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, file)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDeterministicSelector flags pkg.Func selections on time and
+// math/rand. Only package-level function references count: methods on an
+// explicit *rand.Rand (the mathx.NewRand path) and type names are fine.
+func checkDeterministicSelector(pass *Pass, sel *ast.SelectorExpr) {
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		switch sel.Sel.Name {
+		case "Now", "Since", "Until":
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a deterministic package; inject a clock instead", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		switch sel.Sel.Name {
+		case "New", "NewSource", "NewPCG", "NewChaCha8":
+			// Constructing an explicitly-seeded generator is the sanctioned path.
+		default:
+			pass.Reportf(sel.Pos(), "rand.%s uses the global generator in a deterministic package; use mathx.Rand (seeded) instead", sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRange flags `for k := range m` loops whose body appends to a
+// slice or emits formatted output: both observe Go's randomized map order.
+// The common collect-then-sort idiom is exempt — if every slice appended
+// to inside the loop is passed to a sort function later in the enclosing
+// block, iteration order no longer matters.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, file *ast.File) {
+	t := pass.Info.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	var appendTargets []types.Object
+	var orderSinks []ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+			if obj := appendTarget(pass, call); obj != nil {
+				appendTargets = append(appendTargets, obj)
+			}
+			return true
+		}
+		if isOutputCall(pass, call) {
+			orderSinks = append(orderSinks, call)
+		}
+		return true
+	})
+
+	for _, obj := range appendTargets {
+		if !sortedAfter(pass, file, rng, obj) {
+			pass.Reportf(rng.Pos(), "map iteration order leaks into %s; sort after collecting or iterate sorted keys", obj.Name())
+			break
+		}
+	}
+	if len(orderSinks) > 0 {
+		pass.Reportf(rng.Pos(), "map iteration order leaks into output; iterate sorted keys instead")
+	}
+}
+
+// appendTarget returns the variable receiving `x = append(x, ...)`, if the
+// append's first argument is a plain identifier.
+func appendTarget(pass *Pass, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	ident, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.Uses[ident]
+}
+
+// isOutputCall reports whether the call formats or encodes data (fmt
+// printing, or an Encode/Write/Fprint-style method).
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := pass.Info.Uses[ident].(*types.PkgName); ok {
+			if pkgName.Imported().Path() == "fmt" {
+				switch sel.Sel.Name {
+				case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Method sinks: encoder.Encode(v), w.Write(b), buf.WriteString(s).
+	switch sel.Sel.Name {
+	case "Encode", "Write", "WriteString":
+		return pass.Info.Selections[sel] != nil
+	}
+	return false
+}
+
+// sortedAfter reports whether obj appears as an argument to a sort call
+// (sort.* or slices.Sort*) in a statement after the range loop inside the
+// same enclosing block.
+func sortedAfter(pass *Pass, file *ast.File, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(pass, arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func usesObject(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && pass.Info.Uses[ident] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

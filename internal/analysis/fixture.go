@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture runner mirrors x/tools' analysistest: fixture packages live
+// under testdata/src/<name>, and every line expected to be flagged carries
+// a trailing `// want "regex"` comment. Fixtures are real, compiling Go —
+// they are type-checked against the module's own export data, so they may
+// import coolopt packages as well as the standard library.
+
+var (
+	progOnce sync.Once
+	prog     *Program
+	progErr  error
+)
+
+// fixtureProgram loads the module's packages once per test binary so every
+// fixture shares the export data (go list is the slow part).
+func fixtureProgram() (*Program, error) {
+	progOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			progErr = err
+			return
+		}
+		prog, progErr = Load(root, "./...")
+	})
+	return prog, progErr
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// RunFixture checks analyzer a against testdata/src/<name> (relative to the
+// calling test's directory) and fails t on any mismatch between produced
+// diagnostics and `// want` expectations.
+func RunFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	program, err := fixtureProgram()
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := program.CheckDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	findings, err := Run([]*Analyzer{a}, []*Package{pkg})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		key := posKey{file: f.Position.Filename, line: f.Position.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if !w.used && w.re.MatchString(f.Message) {
+				wants[key][i].used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Position, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile("// want (\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+func collectWants(t *testing.T, pkg *Package) map[posKey][]want {
+	t.Helper()
+	wants := make(map[posKey][]want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pattern := m[1]
+					if strings.HasPrefix(pattern, "`") {
+						pattern = strings.Trim(pattern, "`")
+					} else {
+						unquoted, err := strconv.Unquote(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pkg.Fset.Position(c.Pos()), pattern, err)
+						}
+						pattern = unquoted
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pattern, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := posKey{file: pos.Filename, line: pos.Line}
+					wants[key] = append(wants[key], want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between two non-constant floating-point
+// operands. Exact float equality is almost always a latent tolerance bug
+// in this codebase — plan powers and temperatures come out of iterative
+// solvers — so comparisons must go through mathx.ApproxEqual, or
+// mathx.Same for the rare deliberate bit-exact check (deterministic
+// tie-breaking). Comparisons against constants (`cfg.DT == 0` sentinels,
+// `load != 1`) are exempt: they test for exact sentinel values that were
+// assigned, not computed. Package mathx itself is exempt — it is where the
+// sanctioned comparisons live.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "forbid ==/!= between computed floats outside mathx; use " +
+		"mathx.ApproxEqual or mathx.Same",
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	if pass.PkgPath == "coolopt/internal/mathx" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			x, y := pass.Info.Types[bin.X], pass.Info.Types[bin.Y]
+			if !isFloat(x.Type) || !isFloat(y.Type) {
+				return true
+			}
+			if x.Value != nil || y.Value != nil {
+				return true // sentinel comparison against a constant
+			}
+			pass.Reportf(bin.Pos(), "exact %s between computed floats; use mathx.ApproxEqual, or mathx.Same if bit-exact comparison is intended", bin.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package analysis
+
+// Suite returns the full cooloptlint analyzer suite in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		CloneSafety,
+		CtxHTTP,
+		Determinism,
+		FloatCmp,
+		Units,
+	}
+}

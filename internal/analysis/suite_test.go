@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestDeterminismFixture(t *testing.T) { RunFixture(t, Determinism, "determinism") }
+func TestUnitsFixture(t *testing.T)       { RunFixture(t, Units, "units") }
+func TestCloneSafetyFixture(t *testing.T) { RunFixture(t, CloneSafety, "clonesafety") }
+func TestFloatCmpFixture(t *testing.T)    { RunFixture(t, FloatCmp, "floatcmp") }
+func TestCtxHTTPFixture(t *testing.T)     { RunFixture(t, CtxHTTP, "ctxhttp") }
+
+// TestSuiteNamesAreUnique guards the ignore-directive namespace: two
+// analyzers sharing a name would make //coolopt:ignore ambiguous.
+func TestSuiteNamesAreUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range Suite() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incompletely declared", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestRepoIsLintClean runs the full suite over every package in the
+// module — the same invocation as `make lint` — and requires zero
+// findings. A regression here means a change introduced a violation
+// without either fixing it or adding a justified ignore directive.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	program, err := fixtureProgram()
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	findings, err := Run(Suite(), program.Packages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,40 @@
+// Package clonefix exercises the clonesafety analyzer.
+package clonefix
+
+import (
+	"coolopt"
+	"coolopt/internal/sim"
+)
+
+func shared(sys *coolopt.System) {
+	go func() {
+		_ = sys // want `goroutine captures sys`
+	}()
+}
+
+func sharedAsArg(s *sim.Simulator) {
+	go stepLoop(s) // want `goroutine captures s`
+}
+
+func stepLoop(s *sim.Simulator) { _ = s }
+
+func clonedBeforeLaunch(sys *coolopt.System) {
+	dup := sys.Clone(42)
+	go func() {
+		_ = dup // cloned before launch: allowed
+	}()
+}
+
+func clonesFirstThing(sys *coolopt.System) {
+	go func() {
+		own := sys.Clone(7) // a goroutine taking its own copy: allowed
+		_ = own
+	}()
+}
+
+func suppressed(sys *coolopt.System) {
+	go func() {
+		//coolopt:ignore clonesafety read-only telemetry snapshot
+		_ = sys
+	}()
+}

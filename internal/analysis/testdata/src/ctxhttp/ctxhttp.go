@@ -1,0 +1,28 @@
+// Package httpfix exercises the ctxhttp analyzer.
+package httpfix
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func convenience() {
+	_, _ = http.Get("http://room.local/state")  // want `http.Get ignores context`
+	_, _ = http.Head("http://room.local/state") // want `http.Head ignores context`
+}
+
+func requests(ctx context.Context) {
+	_, _ = http.NewRequest("GET", "http://room.local", nil) // want `http.NewRequest drops the caller's context`
+	_, _ = http.NewRequestWithContext(ctx, "GET", "http://room.local", nil)
+}
+
+func clients() {
+	_ = http.DefaultClient // want `http.DefaultClient has no timeout`
+	_ = &http.Client{}     // want `http.Client literal without Timeout`
+	_ = &http.Client{Timeout: 5 * time.Second}
+}
+
+func suppressed() *http.Client {
+	return &http.Client{} //coolopt:ignore ctxhttp timeout injected by the caller
+}

@@ -1,0 +1,49 @@
+// Package determfix exercises the determinism analyzer.
+//
+//coolopt:deterministic
+package determfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clocks() {
+	t0 := time.Now()    // want `time.Now reads the wall clock`
+	_ = time.Since(t0)  // want `time.Since reads the wall clock`
+	_ = time.Unix(0, 0) // constructing times from data is fine
+}
+
+func globalRand() float64 {
+	rng := rand.New(rand.NewSource(7)) // explicitly seeded generator: allowed
+	_ = rng.Float64()
+	return rand.Float64() // want `rand.Float64 uses the global generator`
+}
+
+func mapCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // collect-then-sort: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var vals []int
+	for _, v := range m { // want `map iteration order leaks into vals`
+		vals = append(vals, v)
+	}
+	_ = vals
+	return keys
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order leaks into output`
+		fmt.Println(k, v)
+	}
+}
+
+func suppressed() {
+	//coolopt:ignore determinism startup banner timestamp is display-only
+	_ = time.Now()
+}

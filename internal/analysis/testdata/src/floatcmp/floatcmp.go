@@ -1,0 +1,31 @@
+// Package floatfix exercises the floatcmp analyzer.
+package floatfix
+
+import "coolopt/internal/mathx"
+
+func computed(a, b float64) bool {
+	if a/2 == b/2 { // want `exact == between computed floats`
+		return true
+	}
+	return a != b // want `exact != between computed floats`
+}
+
+func sentinels(dt float64) bool {
+	if dt == 0 { // comparison against a constant: allowed
+		return true
+	}
+	const eps = 1e-9
+	return dt != eps // named constant: allowed
+}
+
+func integers(i, j int) bool {
+	return i == j // integer comparison: allowed
+}
+
+func sanctioned(a, b float64) bool {
+	return mathx.ApproxEqual(a, b, 1e-9) || mathx.Same(a, b)
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //coolopt:ignore floatcmp exact repeat detection
+}

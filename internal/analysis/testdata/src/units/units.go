@@ -1,0 +1,27 @@
+// Package unitsfix exercises the units analyzer.
+package unitsfix
+
+import "coolopt/internal/units"
+
+func consume(t units.Celsius) units.Celsius { return t }
+
+func consumeWatts(w units.Watts) units.Watts { return w }
+
+func conversions(c units.Celsius, q units.JoulesPerSec) {
+	_ = units.Watts(c)          // want `direct conversion from units.Celsius to units.Watts`
+	_ = units.Watts(float64(c)) // explicit float64 escape hatch: allowed
+	_ = q.Watts()               // named bridge method: allowed
+	_ = units.Celsius(22)       // conversion from an untyped constant: allowed
+}
+
+func literals() {
+	_ = consume(21.5) // want `raw literal passed as units.Celsius`
+	_ = consume(units.Celsius(21.5))
+	const ambient = 22.0
+	_ = consume(ambient) // named constant: allowed
+	_ = consumeWatts(-5) // want `raw literal passed as units.Watts`
+}
+
+func suppressedConversion(c units.Celsius) units.Watts {
+	return units.Watts(c) //coolopt:ignore units calibration table treats the column as dimensionless
+}

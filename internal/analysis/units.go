@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// unitsPkgPath is the package declaring the physical quantity types the
+// analyzer protects.
+const unitsPkgPath = "coolopt/internal/units"
+
+// Units flags silent cross-unit conversions (units.Watts(x) where x is
+// already a units.Celsius) and raw numeric literals passed where a unit
+// type is declared. Both compile fine — every unit type is a float64 under
+// the hood — which is exactly why a mix-up survives until a figure looks
+// wrong. Conversions through float64 (`units.Watts(float64(c))`) remain
+// available as the explicit, greppable escape hatch, and package units
+// itself is exempt so it can define the sanctioned bridges (JoulesPerSec →
+// Watts, α·T products).
+var Units = &Analyzer{
+	Name: "units",
+	Doc: "forbid direct conversions between distinct unit types and raw " +
+		"literals where a unit type is declared",
+	Run: runUnits,
+}
+
+func runUnits(pass *Pass) error {
+	if pass.PkgPath == unitsPkgPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+				checkUnitConversion(pass, call, tv.Type)
+				return true
+			}
+			checkUnitArgs(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// unitType returns the named unit type behind t, or nil.
+func unitType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPkgPath {
+		return nil
+	}
+	return named
+}
+
+// checkUnitConversion flags T1(x) where T1 and x's type are two different
+// unit types. Converting via float64 is the explicit escape hatch.
+func checkUnitConversion(pass *Pass, call *ast.CallExpr, to types.Type) {
+	toUnit := unitType(to)
+	if toUnit == nil || len(call.Args) != 1 {
+		return
+	}
+	argType := pass.Info.Types[call.Args[0]].Type
+	if argType == nil {
+		return
+	}
+	fromUnit := unitType(argType)
+	if fromUnit == nil || types.Identical(fromUnit, toUnit) {
+		return
+	}
+	pass.Reportf(call.Pos(), "direct conversion from units.%s to units.%s; convert through float64 or a named bridge method to make the unit change explicit",
+		fromUnit.Obj().Name(), toUnit.Obj().Name())
+}
+
+// checkUnitArgs flags untyped numeric literals passed to parameters whose
+// declared type is a unit type: the caller should write the unit out
+// (units.Celsius(22)) so the quantity's meaning is visible at the call
+// site.
+func checkUnitArgs(pass *Pass, call *ast.CallExpr) {
+	sig, ok := pass.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() && !sig.Variadic() {
+			break
+		}
+		var paramType types.Type
+		if i < params.Len() {
+			paramType = params.At(i).Type()
+		} else {
+			paramType = params.At(params.Len() - 1).Type()
+			if slice, ok := paramType.(*types.Slice); ok {
+				paramType = slice.Elem()
+			}
+		}
+		named := unitType(paramType)
+		if named == nil {
+			continue
+		}
+		if lit := numericLiteral(arg); lit != nil {
+			pass.Reportf(arg.Pos(), "raw literal passed as units.%s; write units.%s(%s) at the call site",
+				named.Obj().Name(), named.Obj().Name(), lit.Value)
+		}
+	}
+}
+
+// numericLiteral unwraps `42`, `-42`, `4.2` literals (possibly behind a
+// unary sign); anything already carrying a conversion or a named constant
+// is fine.
+func numericLiteral(expr ast.Expr) *ast.BasicLit {
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		return e
+	case *ast.UnaryExpr:
+		if lit, ok := e.X.(*ast.BasicLit); ok {
+			return lit
+		}
+	}
+	return nil
+}

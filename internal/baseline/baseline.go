@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"coolopt/internal/core"
+	"coolopt/internal/units"
 )
 
 // Method identifies one evaluation scenario; the constant values match the
@@ -97,8 +98,8 @@ func (m Method) Consolidates() bool {
 type Planner struct {
 	profile   *core.Profile
 	optimizer *core.Optimizer
-	coolOrder []int   // machine IDs coolest-spot first
-	fixedTAc  float64 // supply temperature for the no-AC-control scenarios
+	coolOrder []int         // machine IDs coolest-spot first
+	fixedTAc  units.Celsius // supply temperature for the no-AC-control scenarios
 }
 
 // NewPlanner builds a planner. The cool order ranks machines by their
@@ -116,8 +117,8 @@ func NewPlanner(p *core.Profile) (*Planner, error) {
 	for i := range order {
 		order[i] = i
 	}
-	ref := (p.TAcMinC + p.TAcMaxC) / 2
-	idleTemp := func(i int) float64 { return p.CPUTemp(i, 0, ref) }
+	ref := units.Celsius((p.TAcMinC + p.TAcMaxC) / 2)
+	idleTemp := func(i int) float64 { return float64(p.CPUTemp(i, 0, ref)) }
 	sort.SliceStable(order, func(a, b int) bool {
 		return idleTemp(order[a]) < idleTemp(order[b])
 	})
@@ -141,7 +142,7 @@ func NewPlanner(p *core.Profile) (*Planner, error) {
 func (pl *Planner) Profile() *core.Profile { return pl.profile }
 
 // FixedTAc returns the supply temperature used when AC control is off.
-func (pl *Planner) FixedTAc() float64 { return pl.fixedTAc }
+func (pl *Planner) FixedTAc() units.Celsius { return pl.fixedTAc }
 
 // CoolOrder returns machine IDs coolest-spot first.
 func (pl *Planner) CoolOrder() []int {
@@ -193,11 +194,11 @@ func (pl *Planner) Plan(m Method, load float64) (*core.Plan, error) {
 
 // tAcForOff returns the supply command for an empty room: the fixed
 // setting for no-AC methods, the warmest allowed otherwise.
-func (pl *Planner) tAcForOff(m Method) float64 {
+func (pl *Planner) tAcForOff(m Method) units.Celsius {
 	if !m.ACControl() {
 		return pl.fixedTAc
 	}
-	return pl.profile.TAcMaxC
+	return units.Celsius(pl.profile.TAcMaxC)
 }
 
 // evenPlan spreads the load uniformly over all machines.

@@ -88,7 +88,7 @@ func TestFixedTAcSafeAtFullLoad(t *testing.T) {
 	pl := newTestPlanner(t)
 	p := pl.Profile()
 	for i := 0; i < p.Size(); i++ {
-		if temp := p.CPUTemp(i, 1, pl.FixedTAc()); temp > p.TMaxC+1e-9 {
+		if temp := float64(p.CPUTemp(i, 1, pl.FixedTAc())); temp > p.TMaxC+1e-9 {
 			t.Fatalf("machine %d at %v °C under fixed supply", i, temp)
 		}
 	}
@@ -155,7 +155,7 @@ func TestConsolidatedZeroLoadPowersEverythingOff(t *testing.T) {
 		if len(plan.On) != 0 {
 			t.Fatalf("%v zero-load plan powers %d machines, want 0", m, len(plan.On))
 		}
-		if m.ACControl() && plan.TAcC != pl.Profile().TAcMaxC {
+		if m.ACControl() && float64(plan.TAcC) != pl.Profile().TAcMaxC {
 			t.Fatalf("%v empty-room supply %v, want warmest %v", m, plan.TAcC, pl.Profile().TAcMaxC)
 		}
 		if !m.ACControl() && plan.TAcC != pl.FixedTAc() {
@@ -216,7 +216,7 @@ func TestOptimalNeverWorseUnderModel(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v: %v", m, err)
 			}
-			power[m] = p.PlanPower(plan)
+			power[m] = float64(p.PlanPower(plan))
 		}
 		if power[OptimalACNoCons] > power[EvenACNoCons]+1e-6 ||
 			power[OptimalACNoCons] > power[BottomUpACNoCons]+1e-6 {

@@ -9,6 +9,7 @@
 package batch
 
 import (
+	"coolopt/internal/mathx"
 	"errors"
 	"fmt"
 	"math"
@@ -119,7 +120,7 @@ func Plan(jobs []Job, capacityUnits, horizonS, stepS float64) (*trace.Trace, map
 	// EDF service order.
 	order := append([]Job(nil), jobs...)
 	sort.Slice(order, func(a, b int) bool {
-		if order[a].DeadlineS != order[b].DeadlineS {
+		if !mathx.Same(order[a].DeadlineS, order[b].DeadlineS) {
 			return order[a].DeadlineS < order[b].DeadlineS
 		}
 		return order[a].ID < order[b].ID
@@ -137,7 +138,7 @@ func Plan(jobs []Job, capacityUnits, horizonS, stepS float64) (*trace.Trace, map
 				ErrInfeasible, demand, capacityUnits, now)
 		}
 		frac := math.Min(demand/capacityUnits, 1)
-		if frac != lastFrac {
+		if !mathx.Same(frac, lastFrac) {
 			points = append(points, trace.Point{TimeS: now, LoadFrac: frac})
 			lastFrac = frac
 		}

@@ -9,6 +9,8 @@
 // Everything is deterministic: scenarios carry fixed onsets, the three
 // arms of a scenario clone the system from the same seed, and transport
 // faults count requests rather than wall-clock time.
+//
+//coolopt:deterministic
 package chaos
 
 import (
@@ -115,6 +117,39 @@ func Suite() []Scenario {
 	}
 }
 
+// RandomScenario wraps a faults.Random schedule — one crash, one stuck
+// sensor, one spike, a CRAC refusal window, and a network blackout at
+// seed-derived onsets — into a soak scenario. The schedule's machine
+// targets are remapped onto the machines the initial plan powers on, so
+// every fault lands on a machine that is actually doing work. Two calls
+// with the same arguments build identical scenarios.
+func RandomScenario(soakSeed int64, n int, durationS float64) (Scenario, error) {
+	sched, err := faults.Random(soakSeed, n, durationS)
+	if err != nil {
+		return Scenario{}, err
+	}
+	onset := durationS
+	for _, e := range sched.Physical() {
+		if e.AtS < onset {
+			onset = e.AtS
+		}
+	}
+	return Scenario{
+		Name:   fmt.Sprintf("soak-%d", soakSeed),
+		Detail: fmt.Sprintf("randomized fault schedule drawn from seed %d", soakSeed),
+		Levels: []float64{0.5}, StepS: 1e9, OnsetS: onset,
+		Build: func(on []int) *faults.Schedule {
+			events := append([]faults.Event(nil), sched.Events...)
+			for i := range events {
+				if events[i].Physical() {
+					events[i].Machine = on[events[i].Machine%len(on)]
+				}
+			}
+			return &faults.Schedule{Events: events}
+		},
+	}, nil
+}
+
 // Options tunes a suite run.
 type Options struct {
 	// Seed derives each scenario's clone seed; the three arms of one
@@ -123,6 +158,9 @@ type Options struct {
 	// DurationS is the per-scenario replay length (default 900,
 	// minimum MinDurationS).
 	DurationS float64
+	// SoakSeed, when non-zero, appends a RandomScenario drawn from it to
+	// the suite.
+	SoakSeed int64
 }
 
 // Outcome is one scenario's three-arm comparison.
@@ -152,8 +190,16 @@ func RunSuite(sys *coolopt.System, opt Options) ([]Outcome, error) {
 		return nil, fmt.Errorf("chaos: duration %.0f s shorter than the fault windows; need ≥ %d s",
 			opt.DurationS, MinDurationS)
 	}
+	suite := Suite()
+	if opt.SoakSeed != 0 {
+		soak, err := RandomScenario(opt.SoakSeed, sys.Size(), opt.DurationS)
+		if err != nil {
+			return nil, err
+		}
+		suite = append(suite, soak)
+	}
 	var outs []Outcome
-	for idx, sc := range Suite() {
+	for idx, sc := range suite {
 		out, err := runScenario(sys, sc, opt.Seed+int64(idx)*101, opt.DurationS)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: scenario %s: %w", sc.Name, err)

@@ -43,6 +43,57 @@ func TestSuiteSchedulesValidate(t *testing.T) {
 	}
 }
 
+func TestRandomScenarioIsDeterministic(t *testing.T) {
+	a, err := RandomScenario(99, 10, 900)
+	if err != nil {
+		t.Fatalf("RandomScenario: %v", err)
+	}
+	b, err := RandomScenario(99, 10, 900)
+	if err != nil {
+		t.Fatalf("RandomScenario: %v", err)
+	}
+	on := []int{2, 5, 8}
+	sa, sb := a.Build(on), b.Build(on)
+	if len(sa.Events) != len(sb.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(sa.Events), len(sb.Events))
+	}
+	for i := range sa.Events {
+		if sa.Events[i] != sb.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, sa.Events[i], sb.Events[i])
+		}
+	}
+	if a.Name != b.Name || a.OnsetS != b.OnsetS {
+		t.Fatalf("scenario metadata differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestRandomScenarioTargetsPlannedMachines(t *testing.T) {
+	sc, err := RandomScenario(7, 20, 900)
+	if err != nil {
+		t.Fatalf("RandomScenario: %v", err)
+	}
+	on := []int{3, 9, 14}
+	sched := sc.Build(on)
+	if err := sched.Validate(20); err != nil {
+		t.Fatalf("soak schedule invalid: %v", err)
+	}
+	allowed := map[int]bool{3: true, 9: true, 14: true}
+	for _, e := range sched.Physical() {
+		if !allowed[e.Machine] {
+			t.Fatalf("event %+v targets machine %d outside the on set %v", e, e.Machine, on)
+		}
+	}
+	if !sched.HasNetwork() {
+		t.Fatal("soak schedule lost its network fault")
+	}
+}
+
+func TestRandomScenarioRejectsShortDuration(t *testing.T) {
+	if _, err := RandomScenario(1, 10, 120); err == nil {
+		t.Fatal("short soak duration accepted")
+	}
+}
+
 func TestRunSuiteRejectsShortDuration(t *testing.T) {
 	if _, err := RunSuite(testSystem(t), Options{DurationS: 120}); err == nil {
 		t.Fatal("duration shorter than the fault windows accepted")

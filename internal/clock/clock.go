@@ -1,0 +1,59 @@
+// Package clock is the injectable time source behind every wall-clock
+// read in the experiment pipeline. The determinism analyzer bans bare
+// time.Now/time.Since in //coolopt:deterministic packages; code that
+// genuinely needs elapsed time (capacity calibration, benchmark
+// trajectories) takes a Clock instead, so tests and replays can substitute
+// a Fake and get identical output on every run.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a minimal time source.
+type Clock interface {
+	Now() time.Time
+}
+
+// Since returns the time elapsed on c since t.
+func Since(c Clock, t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+type wall struct{}
+
+func (wall) Now() time.Time { return time.Now() }
+
+// Wall reads the system clock.
+var Wall Clock = wall{}
+
+// Fake is a manually controlled clock. Each Now call first advances the
+// clock by Tick (which may be zero), so a busy-wait loop measured against
+// a Fake terminates deterministically.
+type Fake struct {
+	mu   sync.Mutex
+	now  time.Time
+	tick time.Duration
+}
+
+// NewFake returns a Fake starting at start that advances by tick on every
+// Now call.
+func NewFake(start time.Time, tick time.Duration) *Fake {
+	return &Fake{now: start, tick: tick}
+}
+
+// Now advances the fake clock by its tick and returns the new time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(f.tick)
+	return f.now
+}
+
+// Advance moves the clock forward by d without a Now call.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}

@@ -9,6 +9,7 @@ import (
 	"coolopt/internal/machineroom"
 	"coolopt/internal/mathx"
 	"coolopt/internal/trace"
+	"coolopt/internal/units"
 )
 
 // errTracker is the optional transport-health surface of a room client:
@@ -249,7 +250,7 @@ func (h *harness) filteredHottest() float64 {
 		if h.failed[i] || !h.room.IsOn(i) {
 			continue
 		}
-		pred := h.profile.CPUTemp(i, h.plannedLoad[i], supply)
+		pred := float64(h.profile.CPUTemp(i, h.plannedLoad[i], units.Celsius(supply)))
 		raw := h.room.MeasuredCPUTemp(i)
 		value := raw
 		if !h.cfg.DisableSensorFilter {
@@ -268,7 +269,7 @@ func (h *harness) filterReading(i int, raw, pred float64) float64 {
 	// Track exact repeats. The sensors quantize, so repeats alone are
 	// normal at steady state; a stuck verdict additionally requires the
 	// frozen value to disagree with the model.
-	if raw == h.lastRaw[i] {
+	if mathx.Same(raw, h.lastRaw[i]) {
 		h.repeats[i]++
 	} else {
 		h.repeats[i] = 0
@@ -570,7 +571,7 @@ func (h *harness) degradedPlan(totalLoad float64) (*coolopt.Plan, error) {
 	}
 	// Infeasible even with everything on: shed to the surviving
 	// capacity at the coldest supply, with a thermal cushion.
-	capacity := h.capacityAt(surv, h.profile.TAcMinC+h.sys.SafetyMargin())
+	capacity := h.capacityAt(surv, h.profile.TAcMinC+float64(h.sys.SafetyMargin()))
 	shed := totalLoad - capacity
 	h.degrade("load_shed", -1, fmt.Sprintf(
 		"demand %.2f exceeds surviving capacity %.2f; shedding %.2f machine-units",
@@ -614,7 +615,7 @@ func (h *harness) planPower(plan *coolopt.Plan) float64 {
 	for _, i := range plan.On {
 		total += h.profile.ServerPower(plan.Loads[i])
 	}
-	return total
+	return float64(total)
 }
 
 // capacityAt sums the per-machine thermal load caps at the given supply
@@ -637,7 +638,7 @@ func (h *harness) safePlan(totalLoad float64) (*coolopt.Plan, error) {
 		return nil, fmt.Errorf("controller: no surviving machines")
 	}
 	achieved := h.room.Supply()
-	capacity := h.capacityAt(surv, achieved+h.sys.SafetyMargin())
+	capacity := h.capacityAt(surv, achieved+float64(h.sys.SafetyMargin()))
 	carried := totalLoad
 	if carried > capacity {
 		h.degrade("load_shed", -1, fmt.Sprintf(
@@ -650,7 +651,7 @@ func (h *harness) safePlan(totalLoad float64) (*coolopt.Plan, error) {
 	for _, i := range surv {
 		loads[i] = per
 	}
-	return &coolopt.Plan{On: surv, Loads: loads, TAcC: h.profile.TAcMinC}, nil
+	return &coolopt.Plan{On: surv, Loads: loads, TAcC: units.Celsius(h.profile.TAcMinC)}, nil
 }
 
 // applyOutcome reports how pushing a plan onto the room went.
@@ -721,19 +722,19 @@ func (h *harness) apply(plan *coolopt.Plan) (applyOutcome, error) {
 		}
 	}
 
-	var predictedW float64
+	var predictedW units.Watts
 	for _, i := range plan.On {
 		predictedW += h.profile.ServerPower(plan.Loads[i])
 	}
 	desired := plan.TAcC - h.sys.SafetyMargin()
-	if desired < h.profile.TAcMinC {
-		desired = h.profile.TAcMinC
+	if desired < units.Celsius(h.profile.TAcMinC) {
+		desired = units.Celsius(h.profile.TAcMinC)
 	}
 	sp := h.sys.Profiling().Calibration.SetPointFor(desired, predictedW)
 	if h.safeMode {
-		h.safeFloorSP = sp
+		h.safeFloorSP = float64(sp)
 	}
-	h.command(sp)
+	h.command(float64(sp))
 	if perr := h.pollTransport(); perr != nil {
 		return applyOK, perr
 	}

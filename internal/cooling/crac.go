@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"coolopt/internal/mathx"
+	"coolopt/internal/units"
 )
 
 // COP is a quadratic coefficient-of-performance curve in the supply air
@@ -126,25 +127,27 @@ func (c *CRAC) Step(tExhaustC, dt float64) {
 	c.supply = mathx.Clamp(c.supply-c.params.Gain*err*dt, c.params.SupplyMin, c.params.SupplyMax)
 }
 
-// HeatRemoved returns the thermal power in Watts currently being extracted
-// from the air stream: c_air·f_ac·(T_exhaust − T_ac), floored at zero.
-func (c *CRAC) HeatRemoved(tExhaustC float64) float64 {
-	q := c.params.CAir * c.params.Flow * (tExhaustC - c.supply)
+// HeatRemoved returns the heat flow currently being extracted from the
+// air stream (Eq. 7's control-volume balance): c_air·f_ac·(T_exhaust −
+// T_ac), floored at zero.
+func (c *CRAC) HeatRemoved(tExhaust units.Celsius) units.JoulesPerSec {
+	q := c.params.CAir * c.params.Flow * tExhaust.DeltaTo(units.Celsius(c.supply))
 	if q < 0 {
 		return 0
 	}
-	return q
+	return units.JoulesPerSec(q)
 }
 
-// ElectricalPower returns the unit's ground-truth electrical draw in Watts
-// for the given exhaust temperature: fan power plus removed heat divided by
-// the COP at the current supply temperature.
-func (c *CRAC) ElectricalPower(tExhaustC float64) float64 {
+// ElectricalPower returns the unit's ground-truth electrical draw for the
+// given exhaust temperature: fan power plus removed heat divided by the
+// COP at the current supply temperature (the richer truth that Eq. 10
+// linearizes).
+func (c *CRAC) ElectricalPower(tExhaust units.Celsius) units.Watts {
 	cop := c.params.COP.At(c.supply)
 	if cop <= 0 {
 		// Out of the physical regime; treat as worst case COP of the
 		// coldest allowed supply.
 		cop = c.params.COP.At(c.params.SupplyMin)
 	}
-	return c.params.FanW + c.HeatRemoved(tExhaustC)/cop
+	return units.Watts(c.params.FanW) + units.Watts(float64(c.HeatRemoved(tExhaust))/cop)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"coolopt/internal/mathx"
+	"coolopt/internal/units"
 )
 
 func testParams() Params {
@@ -112,12 +113,12 @@ func TestHeatRemoved(t *testing.T) {
 		t.Fatal(err)
 	}
 	supply := c.Supply()
-	exhaust := supply + 2
+	exhaust := units.Celsius(supply + 2)
 	want := testParams().CAir * testParams().Flow * 2
-	if got := c.HeatRemoved(exhaust); !mathx.ApproxEqual(got, want, 1e-9) {
+	if got := c.HeatRemoved(exhaust); !mathx.ApproxEqual(float64(got), want, 1e-9) {
 		t.Fatalf("HeatRemoved = %v, want %v", got, want)
 	}
-	if got := c.HeatRemoved(supply - 5); got != 0 {
+	if got := c.HeatRemoved(units.Celsius(supply - 5)); got != 0 {
 		t.Fatalf("HeatRemoved below supply temp = %v, want 0", got)
 	}
 }
@@ -128,7 +129,7 @@ func TestElectricalPowerIncludesFanFloor(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No heat to remove → only the fan draws power.
-	if got := c.ElectricalPower(c.Supply()); !mathx.ApproxEqual(got, testParams().FanW, 1e-9) {
+	if got := c.ElectricalPower(units.Celsius(c.Supply())); !mathx.ApproxEqual(float64(got), testParams().FanW, 1e-9) {
 		t.Fatalf("idle electrical power = %v, want fan %v", got, testParams().FanW)
 	}
 }
@@ -152,8 +153,8 @@ func TestElectricalPowerCheaperAtWarmerSupply(t *testing.T) {
 	}
 	const q = 1500.0 // Watts of heat in the air stream
 	dT := func(c *CRAC) float64 { return q / (p.CAir * p.Flow) }
-	pCold := cold.ElectricalPower(cold.Supply() + dT(cold))
-	pWarm := warm.ElectricalPower(warm.Supply() + dT(warm))
+	pCold := cold.ElectricalPower(units.Celsius(cold.Supply() + dT(cold)))
+	pWarm := warm.ElectricalPower(units.Celsius(warm.Supply() + dT(warm)))
 	if pWarm >= pCold {
 		t.Fatalf("warm supply power %v ≥ cold supply power %v", pWarm, pCold)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"coolopt/internal/mathx"
 	"fmt"
 	"math"
 	"sort"
@@ -160,7 +161,7 @@ func (r Reduced) GreedyRatio(load float64, minK int) (Selection, error) {
 	sort.Slice(order, func(x, y int) bool {
 		rx := r.Pairs[order[x]].A / r.Pairs[order[x]].B
 		ry := r.Pairs[order[y]].A / r.Pairs[order[y]].B
-		if rx != ry {
+		if !mathx.Same(rx, ry) {
 			return rx > ry
 		}
 		return order[x] < order[y]

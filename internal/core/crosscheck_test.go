@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"coolopt/internal/mathx"
+	"coolopt/internal/units"
 )
 
 // modelPower evaluates the paper's objective for an arbitrary allocation
@@ -18,16 +19,16 @@ func modelPower(p *Profile, on []int, loads []float64) float64 {
 	tAc := p.TAcMaxC
 	for _, i := range on {
 		m := p.Machines[i]
-		limit := (p.TMaxC - m.Beta*p.ServerPower(loads[i]) - m.Gamma) / m.Alpha
+		limit := (p.TMaxC - m.Beta*float64(p.ServerPower(loads[i])) - m.Gamma) / m.Alpha
 		if limit < tAc {
 			tAc = limit
 		}
 	}
-	total := p.CoolingPower(tAc)
+	total := p.CoolingPower(units.Celsius(tAc))
 	for _, i := range on {
 		total += p.ServerPower(loads[i])
 	}
-	return total
+	return float64(total)
 }
 
 // numericOptimum minimizes the (convex, piecewise-linear) objective with
@@ -308,7 +309,7 @@ func TestModelPowerConsistentWithPlanPower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := modelPower(p, on, plan.Loads), p.PlanPower(plan); !mathx.ApproxEqual(got, want, 1e-6) {
+	if got, want := modelPower(p, on, plan.Loads), float64(p.PlanPower(plan)); !mathx.ApproxEqual(got, want, 1e-6) {
 		t.Fatalf("modelPower %.6f vs PlanPower %.6f", got, want)
 	}
 }

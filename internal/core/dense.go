@@ -1,6 +1,7 @@
 package core
 
 import (
+	"coolopt/internal/mathx"
 	"fmt"
 	"math"
 	"sort"
@@ -113,7 +114,7 @@ func PreprocessDense(r Reduced, opts ...PreprocessOption) (*DensePreprocessed, e
 	// cross-checked byte for byte.
 	sort.Slice(pp.statuses, func(i, j int) bool {
 		si, sj := pp.statuses[i], pp.statuses[j]
-		if si.LMax != sj.LMax {
+		if !mathx.Same(si.LMax, sj.LMax) {
 			return si.LMax < sj.LMax
 		}
 		if si.K != sj.K {
@@ -127,7 +128,7 @@ func PreprocessDense(r Reduced, opts ...PreprocessOption) (*DensePreprocessed, e
 func dedupeSorted(xs []float64) []float64 {
 	out := xs[:0]
 	for i, v := range xs {
-		if i == 0 || v != out[len(out)-1] {
+		if i == 0 || !mathx.Same(v, out[len(out)-1]) {
 			out = append(out, v)
 		}
 	}
@@ -264,7 +265,7 @@ func (pp *DensePreprocessed) bestTimeFor(k int, load float64) (t float64, event 
 // eventIndex locates an event time recorded during preprocessing.
 func (pp *DensePreprocessed) eventIndex(t float64) int {
 	idx := sort.SearchFloat64s(pp.events, t)
-	if idx == len(pp.events) || pp.events[idx] != t {
+	if idx == len(pp.events) || !mathx.Same(pp.events[idx], t) {
 		// Status times always come from the event list; fall back to
 		// the interval containing t if floating-point drift crept in.
 		if idx > 0 {

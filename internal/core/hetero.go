@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"coolopt/internal/units"
 )
 
 // This file generalizes the closed form to heterogeneous hardware — the
@@ -93,28 +95,30 @@ func (hp *HeteroProfile) ratio(i int) float64 {
 }
 
 // ServerPower returns machine i's modeled power at a utilization.
-func (hp *HeteroProfile) ServerPower(i int, load float64) float64 {
+func (hp *HeteroProfile) ServerPower(i int, load float64) units.Watts {
 	m := hp.Machines[i]
-	return m.W1*load + m.W2
+	return units.Watts(m.W1*load + m.W2)
 }
 
 // CPUTemp returns machine i's modeled steady temperature.
-func (hp *HeteroProfile) CPUTemp(i int, load, tAcC float64) float64 {
+func (hp *HeteroProfile) CPUTemp(i int, load float64, tAc units.Celsius) units.Celsius {
 	m := hp.Machines[i]
-	return m.Alpha*tAcC + m.Beta*hp.ServerPower(i, load) + m.Gamma
+	return units.Alpha(m.Alpha).Times(tAc) +
+		units.BetaCPerW(m.Beta).Times(hp.ServerPower(i, load)) +
+		units.Celsius(m.Gamma)
 }
 
 // CoolingPower is Eq. 10.
-func (hp *HeteroProfile) CoolingPower(tAcC float64) float64 {
-	pw := hp.CoolFactor * (hp.SetPointC - tAcC)
+func (hp *HeteroProfile) CoolingPower(tAc units.Celsius) units.Watts {
+	pw := hp.CoolFactor * (hp.SetPointC - float64(tAc))
 	if pw < 0 {
 		return 0
 	}
-	return pw
+	return units.Watts(pw)
 }
 
 // PlanPower evaluates a plan under the heterogeneous model.
-func (hp *HeteroProfile) PlanPower(pl *Plan) float64 {
+func (hp *HeteroProfile) PlanPower(pl *Plan) units.Watts {
 	total := hp.CoolingPower(pl.TAcC)
 	for _, i := range pl.On {
 		total += hp.ServerPower(i, pl.Loads[i])
@@ -189,7 +193,7 @@ func (hp *HeteroProfile) Solve(on []int, totalLoad float64) (*Plan, error) {
 	fill := func(t float64) ([]float64, float64) {
 		loads := make([]float64, hp.Size())
 		remaining := totalLoad
-		cost := hp.CoolingPower(t)
+		cost := float64(hp.CoolingPower(units.Celsius(t)))
 		for _, i := range order {
 			c := cap(i, t)
 			l := remaining
@@ -198,7 +202,7 @@ func (hp *HeteroProfile) Solve(on []int, totalLoad float64) (*Plan, error) {
 			}
 			loads[i] = l
 			remaining -= l
-			cost += hp.ServerPower(i, l)
+			cost += float64(hp.ServerPower(i, l))
 		}
 		return loads, cost
 	}
@@ -224,7 +228,7 @@ func (hp *HeteroProfile) Solve(on []int, totalLoad float64) (*Plan, error) {
 	// Clamped means the temperature constraints are not all tight: the
 	// room has spare thermal capacity at the chosen supply.
 	clamped := capacityAt(tAc) > totalLoad+1e-9
-	return &Plan{On: onCopy, Loads: loads, TAcC: tAc, Clamped: clamped}, nil
+	return &Plan{On: onCopy, Loads: loads, TAcC: units.Celsius(tAc), Clamped: clamped}, nil
 }
 
 func (hp *HeteroProfile) checkOnSet(on []int) error {

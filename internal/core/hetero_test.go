@@ -5,6 +5,8 @@ import (
 	"testing/quick"
 
 	"coolopt/internal/mathx"
+
+	"coolopt/internal/units"
 )
 
 // testHeteroProfile mixes two hardware generations: efficient new
@@ -69,7 +71,7 @@ func TestHeteroMatchesHomogeneousSolver(t *testing.T) {
 	if err != nil {
 		t.Fatalf("hetero Solve: %v", err)
 	}
-	if !mathx.ApproxEqual(got.TAcC, want.TAcC, 1e-9) {
+	if !mathx.ApproxEqual(float64(got.TAcC), float64(want.TAcC), 1e-9) {
 		t.Fatalf("T_ac: hetero %v vs homogeneous %v", got.TAcC, want.TAcC)
 	}
 	for i := range want.Loads {
@@ -94,7 +96,7 @@ func TestHeteroSolveBasicInvariants(t *testing.T) {
 			if plan.Loads[i] < -1e-9 || plan.Loads[i] > 1+1e-9 {
 				t.Fatalf("load %v: L[%d] = %v out of box", load, i, plan.Loads[i])
 			}
-			if temp := hp.CPUTemp(i, plan.Loads[i], plan.TAcC); temp > hp.TMaxC+1e-6 {
+			if temp := float64(hp.CPUTemp(i, plan.Loads[i], plan.TAcC)); temp > hp.TMaxC+1e-6 {
 				t.Fatalf("load %v: machine %d at %v °C", load, i, temp)
 			}
 		}
@@ -141,7 +143,7 @@ func heteroModelPower(hp *HeteroProfile, on []int, loads []float64) float64 {
 	tAc := hp.TAcMaxC
 	for _, i := range on {
 		m := hp.Machines[i]
-		limit := (hp.TMaxC - m.Beta*hp.ServerPower(i, loads[i]) - m.Gamma) / m.Alpha
+		limit := (hp.TMaxC - m.Beta*float64(hp.ServerPower(i, loads[i])) - m.Gamma) / m.Alpha
 		if limit < tAc {
 			tAc = limit
 		}
@@ -149,11 +151,11 @@ func heteroModelPower(hp *HeteroProfile, on []int, loads []float64) float64 {
 	if tAc < hp.TAcMinC {
 		tAc = hp.TAcMinC
 	}
-	total := hp.CoolingPower(tAc)
+	total := hp.CoolingPower(units.Celsius(tAc))
 	for _, i := range on {
 		total += hp.ServerPower(i, loads[i])
 	}
-	return total
+	return float64(total)
 }
 
 // heteroNumericOptimum runs box-constrained pairwise-exchange pattern

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"coolopt/internal/mathx"
 	"runtime"
 	"sort"
 	"sync"
@@ -113,7 +114,7 @@ func collectEvents(pairs []Pair, workers int) (events []float64, crossings []cro
 	for i := 0; i < len(crossings); {
 		t := crossings[i].t
 		j := i + 1
-		for j < len(crossings) && crossings[j].t == t {
+		for j < len(crossings) && mathx.Same(crossings[j].t, t) {
 			j++
 		}
 		events = append(events, t)
@@ -202,7 +203,7 @@ func (pp *Preprocessed) buildSegments(crossings []crossing, bucketEnd []int, wor
 			}
 			for _, piece := range out[k] {
 				last := len(pp.segA) - 1
-				if piece.a == pp.segA[last] && piece.b == pp.segB[last] {
+				if mathx.Same(piece.a, pp.segA[last]) && mathx.Same(piece.b, pp.segB[last]) {
 					continue
 				}
 				pp.segEvent = append(pp.segEvent, piece.event)
@@ -299,7 +300,7 @@ func sweepBlock(pairs []Pair, events []float64, crossings []crossing, bucketEnd 
 				id := order[k-1]
 				newA := prefA[k-1] + pairs[id].A
 				newB := prefB[k-1] + pairs[id].B
-				if newA == prefA[k] && newB == prefB[k] {
+				if mathx.Same(newA, prefA[k]) && mathx.Same(newB, prefB[k]) {
 					continue
 				}
 				prefA[k], prefB[k] = newA, newB

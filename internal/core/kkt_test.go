@@ -117,7 +117,7 @@ func TestLambdaIsMarginalCost(t *testing.T) {
 	if p1.Clamped || p2.Clamped {
 		t.Fatal("test loads must be unclamped")
 	}
-	marginal := (p.PlanPower(p2) - p.PlanPower(p1)) / dL
+	marginal := float64(p.PlanPower(p2)-p.PlanPower(p1)) / dL
 	if !mathx.ApproxEqual(marginal, m.Lambda+p.W1, 1e-3) {
 		t.Fatalf("marginal cost %v, want λ + w1 = %v", marginal, m.Lambda+p.W1)
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"coolopt/internal/units"
 )
 
 // Optimizer combines the consolidation machinery with the closed-form
@@ -75,7 +77,7 @@ func (o *Optimizer) Plan(load float64) (*Plan, error) {
 		if tAc < p.TAcMinC {
 			continue // even the best k-subset needs colder air than available
 		}
-		power := p.CoolingPower(tAc) + p.W1*load + float64(k)*p.W2
+		power := float64(p.CoolingPower(units.Celsius(tAc))) + p.W1*load + float64(k)*p.W2
 		if power < best.power-1e-9 {
 			best = candidate{subset: sel.Subset, power: power}
 		}

@@ -36,7 +36,7 @@ func TestOptimizerPlanIsValid(t *testing.T) {
 		if err := p.ValidatePlan(plan, load, 1e-6); err != nil {
 			t.Fatalf("Plan(%v) invalid: %v", load, err)
 		}
-		if plan.TAcC < p.TAcMinC-1e-9 || plan.TAcC > p.TAcMaxC+1e-9 {
+		if float64(plan.TAcC) < p.TAcMinC-1e-9 || float64(plan.TAcC) > p.TAcMaxC+1e-9 {
 			t.Fatalf("Plan(%v) T_ac %v outside bounds", load, plan.TAcC)
 		}
 		if len(plan.On) < int(math.Ceil(load-1e-9)) {
@@ -55,7 +55,7 @@ func TestOptimizerPlanBeatsNaiveSubsets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	planPower := p.PlanPower(plan)
+	planPower := float64(p.PlanPower(plan))
 
 	n := p.Size()
 	bestPower := math.Inf(1)
@@ -76,7 +76,7 @@ func TestOptimizerPlanBeatsNaiveSubsets(t *testing.T) {
 		if err := p.ValidatePlan(alt, load, 1e-6); err != nil {
 			continue
 		}
-		if pw := p.PlanPower(alt); pw < bestPower {
+		if pw := float64(p.PlanPower(alt)); pw < bestPower {
 			bestPower = pw
 		}
 	}
@@ -157,7 +157,7 @@ func TestOptimizerDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !mathx.ApproxEqual(pa.TAcC, pb.TAcC, 1e-12) || len(pa.On) != len(pb.On) {
+	if !mathx.ApproxEqual(float64(pa.TAcC), float64(pb.TAcC), 1e-12) || len(pa.On) != len(pb.On) {
 		t.Fatalf("non-deterministic plans: %+v vs %+v", pa, pb)
 	}
 	for i := range pa.Loads {

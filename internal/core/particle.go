@@ -1,6 +1,7 @@
 package core
 
 import (
+	"coolopt/internal/mathx"
 	"fmt"
 	"math"
 	"sort"
@@ -155,10 +156,10 @@ func orderAt(pairs []Pair, t float64) []int {
 func particleLess(pairs []Pair, i, j int, t float64) bool {
 	xi := pairs[i].A - pairs[i].B*t
 	xj := pairs[j].A - pairs[j].B*t
-	if xi != xj {
+	if !mathx.Same(xi, xj) {
 		return xi > xj
 	}
-	if pairs[i].B != pairs[j].B {
+	if !mathx.Same(pairs[i].B, pairs[j].B) {
 		return pairs[i].B < pairs[j].B
 	}
 	return i < j

@@ -330,7 +330,7 @@ func TestQueryExactOnProfileReduction(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !plan.Clamped {
-		if got := p.PlanPower(plan); !mathx.ApproxEqual(got, sel.Power, 1e-6) {
+		if got := float64(p.PlanPower(plan)); !mathx.ApproxEqual(got, sel.Power, 1e-6) {
 			t.Fatalf("plan power %v, selection predicted %v", got, sel.Power)
 		}
 	}

@@ -13,11 +13,15 @@
 // with load L_i expressed as a utilization fraction in [0, 1] and
 // temperatures in °C. Where the coefficients come from (profiling a real
 // or simulated rack) is the business of internal/profiling.
+//
+//coolopt:deterministic
 package core
 
 import (
 	"errors"
 	"fmt"
+
+	"coolopt/internal/units"
 )
 
 // MachineProfile holds the per-machine thermal coefficients of paper Eq. 8.
@@ -119,26 +123,28 @@ func (p *Profile) RatioAB(i int) float64 {
 
 // ServerPower returns the modeled power of one machine at the given
 // utilization (Eq. 9).
-func (p *Profile) ServerPower(load float64) float64 {
-	return p.W1*load + p.W2
+func (p *Profile) ServerPower(load float64) units.Watts {
+	return units.Watts(p.W1*load + p.W2)
 }
 
 // CoolingPower returns the modeled CRAC power for a supply temperature
 // (Eq. 10); it is floored at zero for supply temperatures above the set
 // point.
-func (p *Profile) CoolingPower(tAcC float64) float64 {
-	pw := p.CoolFactor * (p.SetPointC - tAcC)
+func (p *Profile) CoolingPower(tAc units.Celsius) units.Watts {
+	pw := p.CoolFactor * (p.SetPointC - float64(tAc))
 	if pw < 0 {
 		return 0
 	}
-	return pw
+	return units.Watts(pw)
 }
 
 // CPUTemp returns the modeled steady CPU temperature of machine i at the
 // given utilization and supply temperature (Eq. 8).
-func (p *Profile) CPUTemp(i int, load, tAcC float64) float64 {
+func (p *Profile) CPUTemp(i int, load float64, tAc units.Celsius) units.Celsius {
 	m := p.Machines[i]
-	return m.Alpha*tAcC + m.Beta*p.ServerPower(load) + m.Gamma
+	return units.Alpha(m.Alpha).Times(tAc) +
+		units.BetaCPerW(m.Beta).Times(p.ServerPower(load)) +
+		units.Celsius(m.Gamma)
 }
 
 // MaxSafeTAc returns the highest supply temperature (within the actuation
@@ -146,12 +152,12 @@ func (p *Profile) CPUTemp(i int, load, tAcC float64) float64 {
 // running the given per-machine utilizations. This is how the baseline
 // scenarios without our optimizer choose T_ac (paper §IV-B). The indices
 // in on select machines; loads is indexed by machine ID.
-func (p *Profile) MaxSafeTAc(on []int, loads []float64) (float64, error) {
+func (p *Profile) MaxSafeTAc(on []int, loads []float64) (units.Celsius, error) {
 	if len(loads) != p.Size() {
 		return 0, fmt.Errorf("core: %d loads for %d machines", len(loads), p.Size())
 	}
 	if len(on) == 0 {
-		return p.TAcMaxC, nil
+		return units.Celsius(p.TAcMaxC), nil
 	}
 	best := p.TAcMaxC
 	for _, i := range on {
@@ -160,13 +166,13 @@ func (p *Profile) MaxSafeTAc(on []int, loads []float64) (float64, error) {
 		}
 		m := p.Machines[i]
 		// α_i·T_ac + β_i·P_i + γ_i ≤ T_max  ⇒  T_ac ≤ (T_max − β_i·P_i − γ_i)/α_i.
-		limit := (p.TMaxC - m.Beta*p.ServerPower(loads[i]) - m.Gamma) / m.Alpha
+		limit := (p.TMaxC - m.Beta*float64(p.ServerPower(loads[i])) - m.Gamma) / m.Alpha
 		if limit < best {
 			best = limit
 		}
 	}
 	if best < p.TAcMinC {
-		return p.TAcMinC, fmt.Errorf("core: no safe supply temperature within bounds (needs %v °C)", best)
+		return units.Celsius(p.TAcMinC), fmt.Errorf("core: no safe supply temperature within bounds (needs %v °C)", best)
 	}
-	return best, nil
+	return units.Celsius(best), nil
 }

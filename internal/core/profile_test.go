@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"coolopt/internal/mathx"
+	"coolopt/internal/units"
 )
 
 // testProfile returns a 6-machine heterogeneous profile with a realistic
@@ -66,7 +67,7 @@ func TestKMatchesDefinition(t *testing.T) {
 			t.Fatalf("K(%d) = %v, want %v", i, got, want)
 		}
 		// K_i is the load at which T_cpu = T_max when T_ac = 0 °C.
-		if temp := p.CPUTemp(i, p.K(i), 0); !mathx.ApproxEqual(temp, p.TMaxC, 1e-9) {
+		if temp := float64(p.CPUTemp(i, p.K(i), 0)); !mathx.ApproxEqual(temp, p.TMaxC, 1e-9) {
 			t.Fatalf("CPUTemp(%d, K, 0) = %v, want T_max %v", i, temp, p.TMaxC)
 		}
 	}
@@ -93,7 +94,7 @@ func TestServerPower(t *testing.T) {
 
 func TestCoolingPower(t *testing.T) {
 	p := testProfile()
-	if got := p.CoolingPower(20); !mathx.ApproxEqual(got, 70*10, 1e-12) {
+	if got := float64(p.CoolingPower(20)); !mathx.ApproxEqual(got, 70*10, 1e-12) {
 		t.Fatalf("CoolingPower(20) = %v, want 700", got)
 	}
 	if got := p.CoolingPower(35); got != 0 {
@@ -106,7 +107,7 @@ func TestCPUTempAffine(t *testing.T) {
 	m := p.Machines[1]
 	load, tAc := 0.6, 18.0
 	want := m.Alpha*tAc + m.Beta*(p.W1*load+p.W2) + m.Gamma
-	if got := p.CPUTemp(1, load, tAc); !mathx.ApproxEqual(got, want, 1e-12) {
+	if got := float64(p.CPUTemp(1, load, units.Celsius(tAc))); !mathx.ApproxEqual(got, want, 1e-12) {
 		t.Fatalf("CPUTemp = %v, want %v", got, want)
 	}
 }
@@ -123,7 +124,7 @@ func TestMaxSafeTAc(t *testing.T) {
 	// at least one machine is exactly at T_max (otherwise it wasn't max).
 	atLimit := false
 	for _, i := range on {
-		temp := p.CPUTemp(i, loads[i], got)
+		temp := float64(p.CPUTemp(i, loads[i], got))
 		if temp > p.TMaxC+1e-9 {
 			t.Fatalf("machine %d at %v exceeds T_max", i, temp)
 		}
@@ -131,7 +132,7 @@ func TestMaxSafeTAc(t *testing.T) {
 			atLimit = true
 		}
 	}
-	if !atLimit && got < p.TAcMaxC {
+	if !atLimit && float64(got) < p.TAcMaxC {
 		t.Fatal("MaxSafeTAc left headroom without hitting the actuation bound")
 	}
 }
@@ -142,7 +143,7 @@ func TestMaxSafeTAcEmptyOnSet(t *testing.T) {
 	if err != nil {
 		t.Fatalf("MaxSafeTAc: %v", err)
 	}
-	if got != p.TAcMaxC {
+	if float64(got) != p.TAcMaxC {
 		t.Fatalf("empty on set safe T_ac = %v, want max %v", got, p.TAcMaxC)
 	}
 }

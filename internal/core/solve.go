@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"coolopt/internal/units"
 )
 
 // Plan is an executable control decision: which machines run, at what
@@ -15,7 +17,7 @@ type Plan struct {
 	// Loads is indexed by machine ID; machines that are off have load 0.
 	Loads []float64
 	// TAcC is the commanded CRAC supply temperature in °C.
-	TAcC float64
+	TAcC units.Celsius
 	// Clamped reports that the unconstrained optimum asked for a supply
 	// temperature outside the actuation bounds and TAcC was clamped.
 	Clamped bool
@@ -81,7 +83,7 @@ func (p *Profile) Solve(on []int, totalLoad float64) (*Plan, error) {
 
 	onCopy := append([]int(nil), on...)
 	sort.Ints(onCopy)
-	return &Plan{On: onCopy, Loads: loads, TAcC: tAc, Clamped: clamped}, nil
+	return &Plan{On: onCopy, Loads: loads, TAcC: units.Celsius(tAc), Clamped: clamped}, nil
 }
 
 // SolveBounded runs Solve and then repairs any allocation that violates
@@ -176,7 +178,7 @@ func (p *Profile) SolveBounded(on []int, totalLoad float64) (*Plan, error) {
 // PlanPower returns the plan's total power under the paper's model
 // (Eq. 23): CRAC power at the plan's supply temperature plus Σ(W1·L_i+W2)
 // over the powered-on machines.
-func (p *Profile) PlanPower(pl *Plan) float64 {
+func (p *Profile) PlanPower(pl *Plan) units.Watts {
 	total := p.CoolingPower(pl.TAcC)
 	for _, i := range pl.On {
 		total += p.ServerPower(pl.Loads[i])
@@ -207,7 +209,7 @@ func (p *Profile) ValidatePlan(pl *Plan, totalLoad, slack float64) error {
 		if l < -1e-9 || l > 1+1e-9 {
 			return fmt.Errorf("core: machine %d load %v outside [0, 1]", i, l)
 		}
-		if temp := p.CPUTemp(i, l, pl.TAcC); temp > p.TMaxC+slack {
+		if temp := float64(p.CPUTemp(i, l, pl.TAcC)); temp > p.TMaxC+slack {
 			return fmt.Errorf("core: machine %d at %.2f °C exceeds T_max %.2f °C", i, temp, p.TMaxC)
 		}
 		sum += l

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"coolopt/internal/mathx"
+	"coolopt/internal/units"
 )
 
 // unclampedLoad returns a total load for which the closed form lands
@@ -44,7 +45,7 @@ func TestSolvePutsEveryMachineAtTMax(t *testing.T) {
 		t.Fatalf("test load should be unclamped, got T_ac = %v", plan.TAcC)
 	}
 	for _, i := range plan.On {
-		temp := p.CPUTemp(i, plan.Loads[i], plan.TAcC)
+		temp := float64(p.CPUTemp(i, plan.Loads[i], plan.TAcC))
 		if !mathx.ApproxEqual(temp, p.TMaxC, 1e-9) {
 			t.Fatalf("machine %d at %v °C, want exactly T_max %v", i, temp, p.TMaxC)
 		}
@@ -65,7 +66,7 @@ func TestSolveMatchesClosedFormEquations(t *testing.T) {
 		sumAB += p.RatioAB(i)
 	}
 	wantTAc := p.W1 * (sumK - load) / sumAB // Eq. 21
-	if !mathx.ApproxEqual(plan.TAcC, wantTAc, 1e-9) {
+	if !mathx.ApproxEqual(float64(plan.TAcC), wantTAc, 1e-9) {
 		t.Fatalf("T_ac = %v, want %v", plan.TAcC, wantTAc)
 	}
 	for _, i := range on {
@@ -112,7 +113,7 @@ func TestSolveClampsAtLowLoad(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
-	if !plan.Clamped || plan.TAcC != p.TAcMaxC {
+	if !plan.Clamped || float64(plan.TAcC) != p.TAcMaxC {
 		t.Fatalf("low-load plan = %+v, want clamp at T_ac max %v", plan, p.TAcMaxC)
 	}
 }
@@ -152,7 +153,7 @@ func TestSolveOptimality(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
-	optPower := p.PlanPower(plan)
+	optPower := float64(p.PlanPower(plan))
 
 	rng := mathx.NewRand(42)
 	for trial := 0; trial < 500; trial++ {
@@ -172,7 +173,7 @@ func TestSolveOptimality(t *testing.T) {
 			continue // alternative infeasible
 		}
 		alt := &Plan{On: on, Loads: loads, TAcC: tAc}
-		if altPower := p.PlanPower(alt); altPower < optPower-1e-6 {
+		if altPower := float64(p.PlanPower(alt)); altPower < optPower-1e-6 {
 			t.Fatalf("trial %d: alternative power %v beats optimal %v (loads %v)",
 				trial, altPower, optPower, loads)
 		}
@@ -212,7 +213,7 @@ func TestSolveInvariantsProperty(t *testing.T) {
 			return false
 		}
 		for _, i := range plan.On {
-			if !mathx.ApproxEqual(p.CPUTemp(i, plan.Loads[i], plan.TAcC), p.TMaxC, 1e-6) {
+			if !mathx.ApproxEqual(float64(p.CPUTemp(i, plan.Loads[i], plan.TAcC)), p.TMaxC, 1e-6) {
 				return false
 			}
 		}
@@ -260,7 +261,7 @@ func TestSolveBoundedAgreesWithSolveWhenInterior(t *testing.T) {
 			t.Fatalf("load[%d]: Solve %v vs SolveBounded %v", i, a.Loads[i], b.Loads[i])
 		}
 	}
-	if !mathx.ApproxEqual(a.TAcC, b.TAcC, 1e-9) {
+	if !mathx.ApproxEqual(float64(a.TAcC), float64(b.TAcC), 1e-9) {
 		t.Fatalf("T_ac: Solve %v vs SolveBounded %v", a.TAcC, b.TAcC)
 	}
 }
@@ -278,11 +279,11 @@ func TestPlanPowerDecomposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := p.CoolingPower(plan.TAcC)
+	want := float64(p.CoolingPower(plan.TAcC))
 	for _, i := range plan.On {
-		want += p.ServerPower(plan.Loads[i])
+		want += float64(p.ServerPower(plan.Loads[i]))
 	}
-	if got := p.PlanPower(plan); !mathx.ApproxEqual(got, want, 1e-9) {
+	if got := float64(p.PlanPower(plan)); !mathx.ApproxEqual(got, want, 1e-9) {
 		t.Fatalf("PlanPower = %v, want %v", got, want)
 	}
 }
@@ -305,7 +306,7 @@ func TestPlanPowerMatchesReducedSubsetPower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := p.PlanPower(plan); !mathx.ApproxEqual(got, want, 1e-6) {
+	if got := float64(p.PlanPower(plan)); !mathx.ApproxEqual(got, want, 1e-6) {
 		t.Fatalf("PlanPower = %v, SubsetPower = %v", got, want)
 	}
 }
@@ -348,7 +349,7 @@ func TestValidatePlanRejectsOverUnitLoad(t *testing.T) {
 	p := testProfile()
 	loads := make([]float64, p.Size())
 	loads[0] = 1.5
-	plan := &Plan{On: []int{0}, Loads: loads, TAcC: p.TAcMinC}
+	plan := &Plan{On: []int{0}, Loads: loads, TAcC: units.Celsius(p.TAcMinC)}
 	if err := p.ValidatePlan(plan, 1.5, math.Inf(1)); err == nil {
 		t.Fatal("over-unit load accepted")
 	}

@@ -30,6 +30,7 @@ import (
 
 	"coolopt"
 	"coolopt/internal/figures"
+	"coolopt/internal/units"
 )
 
 // Split describes how the profiled coefficients divide into
@@ -119,7 +120,7 @@ func EvalDVFS(p *coolopt.Profile, s Split, levels []float64, work float64) (powe
 	if tAc < p.TAcMinC {
 		return 0, 0, fmt.Errorf("dvfs: configuration needs supply below %v °C", p.TAcMinC)
 	}
-	return p.CoolingPower(tAc) + n*perServer, level, nil
+	return float64(p.CoolingPower(units.Celsius(tAc))) + n*perServer, level, nil
 }
 
 // Compare evaluates DVFS-only energy proportionality against the paper's
@@ -148,7 +149,7 @@ func Compare(p *coolopt.Profile, s Split, loads []float64) (*figures.Figure, err
 		dvfsSeries.X = append(dvfsSeries.X, x)
 		dvfsSeries.Y = append(dvfsSeries.Y, dp)
 		consSeries.X = append(consSeries.X, x)
-		consSeries.Y = append(consSeries.Y, p.PlanPower(plan))
+		consSeries.Y = append(consSeries.Y, float64(p.PlanPower(plan)))
 		levelSeries.X = append(levelSeries.X, x)
 		levelSeries.Y = append(levelSeries.Y, level*1000)
 	}

@@ -40,7 +40,7 @@ func TestServerPowerCalibratedAtFullFrequency(t *testing.T) {
 	p := testProfile()
 	s := DefaultSplit()
 	for _, u := range []float64{0, 0.4, 1} {
-		want := p.ServerPower(u)
+		want := float64(p.ServerPower(u))
 		if got := ServerPower(p, s, 1, u); !mathx.ApproxEqual(got, want, 1e-9) {
 			t.Fatalf("f=1 u=%v: %v, want profiled %v", u, got, want)
 		}

@@ -11,6 +11,8 @@
 // handler in faults.Middleware (see middleware.go). The split mirrors
 // reality: a stuck sensor corrupts what every reader sees, while a flaky
 // switch only corrupts one controller's view of the room.
+//
+//coolopt:deterministic
 package faults
 
 import (

@@ -2,6 +2,8 @@
 // evaluation section (§IV) from a profiled, simulated machine room. Each
 // FigN function returns the same series the paper plots; Render produces
 // an aligned text table suitable for terminals and EXPERIMENTS.md.
+//
+//coolopt:deterministic
 package figures
 
 import (
@@ -110,7 +112,7 @@ func Collect(sys *coolopt.System, loads []float64) (*Dataset, error) {
 			defer wg.Done()
 			for i := range idxCh {
 				c := cells[i]
-				meas, err := sys.Clone(int64(i) + 1).Evaluate(c.m, c.load)
+				meas, err := sys.Clone(int64(i)+1).Evaluate(c.m, c.load)
 				if err != nil {
 					errs[i] = fmt.Errorf("figures: %v at %.0f%%: %w", c.m, c.load*100, err)
 					continue
@@ -158,7 +160,7 @@ func (ds *Dataset) series(m coolopt.Method) Series {
 	for _, lf := range ds.loads {
 		meas := ds.byKey[key{m, lf}]
 		s.X = append(s.X, lf*100)
-		s.Y = append(s.Y, meas.TotalW)
+		s.Y = append(s.Y, float64(meas.TotalW))
 	}
 	return s
 }
@@ -286,8 +288,8 @@ func (ds *Dataset) Fig9() *Figure {
 	s := Series{Name: "Saving of #8 vs #7 (%)"}
 	best, avg := 0.0, 0.0
 	for _, lf := range ds.loads {
-		b7 := ds.byKey[key{coolopt.BottomUpACCons, lf}].TotalW
-		b8 := ds.byKey[key{coolopt.OptimalACCons, lf}].TotalW
+		b7 := float64(ds.byKey[key{coolopt.BottomUpACCons, lf}].TotalW)
+		b8 := float64(ds.byKey[key{coolopt.OptimalACCons, lf}].TotalW)
 		saving := (b7 - b8) / b7 * 100
 		s.X = append(s.X, lf*100)
 		s.Y = append(s.Y, saving)
@@ -316,7 +318,7 @@ func (ds *Dataset) Fig10() *Figure {
 	for _, m := range coolopt.AllMethods {
 		sum := 0.0
 		for _, lf := range ds.loads {
-			sum += ds.byKey[key{m, lf}].TotalW
+			sum += float64(ds.byKey[key{m, lf}].TotalW)
 		}
 		s.X = append(s.X, float64(int(m)))
 		s.Y = append(s.Y, sum/float64(len(ds.loads)))
@@ -395,11 +397,11 @@ func (ds *Dataset) ModelValidation() *Figure {
 		for _, lf := range ds.loads {
 			cell := ds.byKey[key{m, lf}]
 			pred.X = append(pred.X, idx)
-			pred.Y = append(pred.Y, cell.PredictedW)
+			pred.Y = append(pred.Y, float64(cell.PredictedW))
 			meas.X = append(meas.X, idx)
-			meas.Y = append(meas.Y, cell.TotalW)
+			meas.Y = append(meas.Y, float64(cell.TotalW))
 			if cell.PredictedW > 0 {
-				rel := (cell.TotalW - cell.PredictedW) / cell.PredictedW
+				rel := float64(cell.TotalW-cell.PredictedW) / float64(cell.PredictedW)
 				if rel < 0 {
 					rel = -rel
 				}

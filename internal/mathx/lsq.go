@@ -5,6 +5,8 @@
 // Everything here is stdlib-only and sized for the problem dimensions that
 // appear in the paper (regressions with 2–3 coefficients, racks with tens to
 // hundreds of machines); no attempt is made to compete with a real BLAS.
+//
+//coolopt:deterministic
 package mathx
 
 import (

@@ -130,6 +130,15 @@ func Clamp(v, lo, hi float64) float64 {
 	return v
 }
 
+// Same reports whether a and b are bit-for-bit the same float value
+// (with 0 == -0 and NaN != NaN, i.e. plain ==). It exists so deliberate
+// exact comparisons — deterministic tie-breaking in sort predicates,
+// dedup of event times, detecting a frozen sensor repeating the exact
+// same reading — are greppable and visibly intentional. For comparing
+// computed quantities use ApproxEqual; cooloptlint's floatcmp analyzer
+// flags raw ==/!= on floats precisely to force that choice.
+func Same(a, b float64) bool { return a == b }
+
 // ApproxEqual reports whether a and b are within tol of each other, where
 // tol is interpreted as an absolute tolerance for small magnitudes and a
 // relative tolerance otherwise.

@@ -32,6 +32,7 @@ import (
 	"coolopt/internal/mathx"
 	"coolopt/internal/sim"
 	"coolopt/internal/telemetry"
+	"coolopt/internal/units"
 )
 
 // Config drives a profiling run. Zero values select the paper's protocol.
@@ -129,8 +130,8 @@ type SetPointCalibration struct {
 
 // SetPointFor returns the exhaust set point commanding the desired supply
 // temperature at the predicted total server power.
-func (c SetPointCalibration) SetPointFor(desiredTAcC, serverPowerW float64) float64 {
-	return desiredTAcC + c.OffsetPerWatt*serverPowerW + c.OffsetBase
+func (c SetPointCalibration) SetPointFor(desired units.Celsius, serverPower units.Watts) units.Celsius {
+	return desired + units.Celsius(c.OffsetPerWatt*float64(serverPower)+c.OffsetBase)
 }
 
 // Result is a completed profiling run.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"coolopt/internal/sim"
+	"coolopt/internal/units"
 )
 
 // sharedResult caches one full profiling run; the protocol simulates hours
@@ -126,9 +127,9 @@ func TestCalibrationCommandsDesiredSupply(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	predictedW := float64(s.Size()) * (res.Profile.W1*level + res.Profile.W2)
+	predictedW := units.Watts(float64(s.Size()) * (res.Profile.W1*level + res.Profile.W2))
 	const desired = 19.0
-	s.SetSetPoint(res.Calibration.SetPointFor(desired, predictedW))
+	s.SetSetPoint(float64(res.Calibration.SetPointFor(desired, predictedW)))
 	s.Run(4000)
 	if diff := math.Abs(s.Supply() - desired); diff > 0.4 {
 		t.Fatalf("commanded supply %v °C, got %v (off by %v)", desired, s.Supply(), diff)
@@ -166,7 +167,7 @@ func TestProfileFeedsOptimizer(t *testing.T) {
 
 func TestSetPointForIsAffine(t *testing.T) {
 	c := SetPointCalibration{OffsetPerWatt: 0.003, OffsetBase: 0.1}
-	got := c.SetPointFor(20, 1000)
+	got := float64(c.SetPointFor(20, 1000))
 	if math.Abs(got-23.1) > 1e-12 {
 		t.Fatalf("SetPointFor = %v, want 23.1", got)
 	}

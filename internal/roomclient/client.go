@@ -138,7 +138,10 @@ var _ machineroom.Room = (*Room)(nil)
 // Dial connects to a roomapi server and fetches the room metadata.
 func Dial(baseURL string, client *http.Client, opts ...Option) (*Room, error) {
 	if client == nil {
-		client = &http.Client{}
+		// The per-attempt context deadline is the effective limit; the
+		// client-level timeout is a backstop against body reads that
+		// outlive the request context.
+		client = &http.Client{Timeout: defaultTimeout}
 	}
 	parsed, err := url.Parse(baseURL)
 	if err != nil {

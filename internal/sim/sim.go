@@ -5,6 +5,8 @@
 // in discrete time. Policies interact with it exactly as the authors
 // interacted with their rack: set per-machine loads, power machines on or
 // off, move the CRAC set point, and read noisy sensors (internal/telemetry).
+//
+//coolopt:deterministic
 package sim
 
 import (
@@ -16,6 +18,7 @@ import (
 	"coolopt/internal/room"
 	"coolopt/internal/telemetry"
 	"coolopt/internal/thermal"
+	"coolopt/internal/units"
 )
 
 // passiveFlowFraction is the share of nominal air flow that still moves
@@ -315,7 +318,7 @@ func (s *Simulator) Step() {
 	} else {
 		s.hotAisle = s.returnC
 	}
-	s.cracW = s.crac.ElectricalPower(s.returnC)
+	s.cracW = float64(s.crac.ElectricalPower(units.Celsius(s.returnC)))
 	s.crac.Step(s.returnC, s.dt)
 	s.now += s.dt
 }

@@ -1,0 +1,57 @@
+// Package units defines the physical dimensions of the paper's model
+// (§II, Eqs. 6–10) as distinct Go types, so that the type checker — and
+// the cooloptlint units analyzer on top of it — rejects arithmetic that
+// mixes a temperature with a power or silently casts one dimension into
+// another.
+//
+// The mapping to the paper's symbols:
+//
+//	Celsius      T_ac, T_SP, T_i^cpu, γ_i   (Eqs. 7, 8, 10)
+//	Watts        P_i, P_ac, W1·L_i, W2      (Eqs. 9, 10, 23)
+//	JoulesPerSec Q, the heat flow removed by the CRAC (Eq. 7)
+//	Alpha        α_i, the dimensionless supply-coupling (Eq. 8)
+//	BetaCPerW    β_i in °C/W, power-to-temperature coupling (Eq. 8)
+//
+// All types are defined on float64: storage, JSON encodings, and the raw
+// numeric machinery (internal/mathx, the kinetic tables) keep plain
+// floats, while signatures that realize a paper equation carry the typed
+// dimension. Converting to or from float64 is the sanctioned escape hatch
+// at those boundaries; converting one unit type *directly into another*
+// (e.g. units.Watts(someCelsius)) erases a dimension and is flagged by
+// the units analyzer.
+package units
+
+// Celsius is a temperature in °C.
+type Celsius float64
+
+// Watts is an electrical power in W.
+type Watts float64
+
+// JoulesPerSec is a heat flow in J/s. It is numerically the same
+// dimension as Watts; keeping the two distinct separates the model's
+// electrical draw (what the meter bills) from the thermal load the CRAC
+// must move (Eq. 7). Use the Watts method for the sanctioned crossing.
+type JoulesPerSec float64
+
+// Alpha is the dimensionless α_i of Eq. 8 coupling the supply
+// temperature into a machine's CPU temperature.
+type Alpha float64
+
+// BetaCPerW is β_i of Eq. 8 in °C/W: how much one Watt of machine power
+// raises its CPU temperature.
+type BetaCPerW float64
+
+// Watts converts a heat flow into the electrical power an ideal (COP = 1)
+// mover would draw to remove it — the explicit, analyzable crossing
+// between the thermal and electrical dimensions.
+func (q JoulesPerSec) Watts() Watts { return Watts(q) }
+
+// DeltaTo returns the temperature difference c − other in °C as a plain
+// float64, the natural dimension of a differential.
+func (c Celsius) DeltaTo(other Celsius) float64 { return float64(c - other) }
+
+// Times applies α to a temperature: α·T in °C (the first term of Eq. 8).
+func (a Alpha) Times(t Celsius) Celsius { return Celsius(float64(a) * float64(t)) }
+
+// Times applies β to a power: β·P in °C (the second term of Eq. 8).
+func (b BetaCPerW) Times(p Watts) Celsius { return Celsius(float64(b) * float64(p)) }

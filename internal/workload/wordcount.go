@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"coolopt/internal/clock"
 	"fmt"
 	"strings"
 	"time"
@@ -167,19 +168,26 @@ func (g *Generator) Next() Document {
 // per second — the calibration step the paper performs before profiling
 // ("the capacity of a machine was measured before the experiment").
 func MeasureCapacity(seed int64, duration time.Duration) (float64, error) {
+	return MeasureCapacityClock(seed, duration, clock.Wall)
+}
+
+// MeasureCapacityClock is MeasureCapacity against an injected clock, so
+// tests can calibrate with a clock.Fake and get reproducible throughput
+// numbers instead of hardware-dependent ones.
+func MeasureCapacityClock(seed int64, duration time.Duration, clk clock.Clock) (float64, error) {
 	if duration <= 0 {
 		return 0, fmt.Errorf("workload: duration %v must be positive", duration)
 	}
 	gen := NewGenerator(seed)
-	start := time.Now()
+	start := clk.Now()
 	var done int
 	sink := 0
-	for time.Since(start) < duration {
+	for clock.Since(clk, start) < duration {
 		h := Process(gen.Next())
 		sink += len(h)
 		done++
 	}
-	elapsed := time.Since(start).Seconds()
+	elapsed := clock.Since(clk, start).Seconds()
 	if elapsed <= 0 || done == 0 {
 		return 0, fmt.Errorf("workload: no tasks completed")
 	}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"coolopt/internal/clock"
+	"coolopt/internal/mathx"
 	"strings"
 	"testing"
 	"time"
@@ -120,5 +122,25 @@ func TestMeasureCapacity(t *testing.T) {
 	}
 	if _, err := MeasureCapacity(1, 0); err == nil {
 		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestMeasureCapacityClockIsDeterministic(t *testing.T) {
+	// Against a fake clock the measured throughput is a pure function of
+	// the seed and tick, so two runs must agree exactly.
+	run := func() float64 {
+		clk := clock.NewFake(time.Unix(0, 0), time.Millisecond)
+		tps, err := MeasureCapacityClock(3, 100*time.Millisecond, clk)
+		if err != nil {
+			t.Fatalf("MeasureCapacityClock: %v", err)
+		}
+		return tps
+	}
+	a, b := run(), run()
+	if !mathx.Same(a, b) {
+		t.Fatalf("fake-clock capacity not reproducible: %v vs %v", a, b)
+	}
+	if a <= 0 {
+		t.Fatalf("capacity = %v, want positive", a)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"coolopt/internal/room"
 	"coolopt/internal/sim"
 	"coolopt/internal/telemetry"
+	"coolopt/internal/units"
 )
 
 // System bundles a simulated machine room with its profiled model and the
@@ -266,22 +267,22 @@ type Measurement struct {
 	Method  Method
 	LoadPct float64
 	// TotalW is the room's metered total power (servers + CRAC).
-	TotalW float64
+	TotalW units.Watts
 	// ServerW and CoolW decompose it.
-	ServerW float64
-	CoolW   float64
+	ServerW units.Watts
+	CoolW   units.Watts
 	// SupplyC is the achieved CRAC supply temperature; PlanTAcC is what
 	// the plan asked for (before the safety margin).
-	SupplyC  float64
-	PlanTAcC float64
+	SupplyC  units.Celsius
+	PlanTAcC units.Celsius
 	// MaxCPUC is the hottest ground-truth CPU temperature observed
 	// during the measurement window; Violated reports whether it
 	// exceeded T_max.
-	MaxCPUC  float64
+	MaxCPUC  units.Celsius
 	Violated bool
 	// PredictedW is what the fitted model expected the plan to draw
 	// (Eq. 23 accounting) — compare with TotalW to judge model error.
-	PredictedW float64
+	PredictedW units.Watts
 	// MachinesOn counts powered-on machines.
 	MachinesOn int
 	// CarriedLoad is the total utilization actually applied — the
@@ -341,21 +342,21 @@ func (s *System) Apply(plan *Plan) error {
 	}
 
 	profile := s.Profile()
-	var predictedW float64
+	var predictedW units.Watts
 	for _, i := range plan.On {
 		predictedW += profile.ServerPower(plan.Loads[i])
 	}
-	desired := plan.TAcC - s.opts.marginC
-	if desired < profile.TAcMinC {
-		desired = profile.TAcMinC
+	desired := plan.TAcC - s.SafetyMargin()
+	if desired < units.Celsius(profile.TAcMinC) {
+		desired = units.Celsius(profile.TAcMinC)
 	}
-	s.sim.SetSetPoint(s.profiling.Calibration.SetPointFor(desired, predictedW))
+	s.sim.SetSetPoint(float64(s.profiling.Calibration.SetPointFor(desired, predictedW)))
 	return nil
 }
 
 // SafetyMargin returns the guard band in °C applied to commanded supply
 // temperatures.
-func (s *System) SafetyMargin() float64 { return s.opts.marginC }
+func (s *System) SafetyMargin() units.Celsius { return units.Celsius(s.opts.marginC) }
 
 // Execute applies an explicit plan to the room, waits for steady state,
 // and measures.
@@ -387,13 +388,13 @@ func (s *System) Execute(m Method, plan *Plan, loadFrac float64) (*Measurement, 
 	return &Measurement{
 		Method:      m,
 		LoadPct:     loadFrac * 100,
-		TotalW:      totalTr.Tail(n),
-		ServerW:     servTr.Tail(n),
-		CoolW:       coolTr.Tail(n),
-		SupplyC:     s.sim.Supply(),
+		TotalW:      units.Watts(totalTr.Tail(n)),
+		ServerW:     units.Watts(servTr.Tail(n)),
+		CoolW:       units.Watts(coolTr.Tail(n)),
+		SupplyC:     units.Celsius(s.sim.Supply()),
 		PlanTAcC:    plan.TAcC,
 		PredictedW:  s.predictedPower(plan),
-		MaxCPUC:     maxCPU,
+		MaxCPUC:     units.Celsius(maxCPU),
 		Violated:    maxCPU > s.Profile().TMaxC,
 		MachinesOn:  len(plan.On),
 		CarriedLoad: plan.TotalLoad(),
@@ -403,11 +404,11 @@ func (s *System) Execute(m Method, plan *Plan, loadFrac float64) (*Measurement, 
 // predictedPower is the model's expectation for an executed plan: server
 // power per Eq. 9 over the on set plus cooling per Eq. 10 at the supply
 // temperature actually commanded (plan target minus the guard band).
-func (s *System) predictedPower(plan *Plan) float64 {
+func (s *System) predictedPower(plan *Plan) units.Watts {
 	profile := s.Profile()
-	desired := plan.TAcC - s.opts.marginC
-	if desired < profile.TAcMinC {
-		desired = profile.TAcMinC
+	desired := plan.TAcC - s.SafetyMargin()
+	if desired < units.Celsius(profile.TAcMinC) {
+		desired = units.Celsius(profile.TAcMinC)
 	}
 	total := profile.CoolingPower(desired)
 	for _, i := range plan.On {

@@ -71,7 +71,7 @@ func TestEvaluateMeasurementFields(t *testing.T) {
 	if m.TotalW <= 0 || m.ServerW <= 0 || m.CoolW <= 0 {
 		t.Fatalf("non-positive powers: %+v", m)
 	}
-	if math.Abs(m.TotalW-(m.ServerW+m.CoolW)) > 1 {
+	if math.Abs(float64(m.TotalW-(m.ServerW+m.CoolW))) > 1 {
 		t.Fatalf("total %v ≠ servers %v + cooling %v", m.TotalW, m.ServerW, m.CoolW)
 	}
 	if want := 0.5 * float64(s.Size()); math.Abs(m.CarriedLoad-want) > 1e-6 {
@@ -113,8 +113,8 @@ func TestPaperHeadlineOrdering(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v at %.0f%%: %v", m, lf*100, err)
 			}
-			row[m] = meas.TotalW
-			sum[m] += meas.TotalW
+			row[m] = float64(meas.TotalW)
+			sum[m] += float64(meas.TotalW)
 		}
 		// Consolidation helps (Fig. 5): #3 ≤ #2 and #7 ≤ #5, with a
 		// measurement-noise tolerance.
@@ -168,7 +168,7 @@ func TestConsolidationBenefitShrinksWithLoad(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return without.TotalW - with.TotalW
+		return float64(without.TotalW - with.TotalW)
 	}
 	low := gap(0.1)
 	high := gap(0.9)
@@ -291,7 +291,7 @@ func TestMeasurementPredictionTracksMeters(t *testing.T) {
 	if m.PredictedW <= 0 {
 		t.Fatalf("PredictedW = %v", m.PredictedW)
 	}
-	if rel := math.Abs(m.TotalW-m.PredictedW) / m.PredictedW; rel > 0.25 {
+	if rel := math.Abs(float64(m.TotalW-m.PredictedW)) / float64(m.PredictedW); rel > 0.25 {
 		t.Fatalf("model prediction %.0f W vs metered %.0f W (%.0f%%)", m.PredictedW, m.TotalW, rel*100)
 	}
 }
