@@ -1,12 +1,13 @@
 GO ?= go
 
 # ci is the tier-1 gate: formatting, vet, the repo's own static-analysis
-# suite, race-enabled tests, and a full build. The race step guards the
-# concurrent paths (the parallel kinetic preprocessing sweep and the
-# figures.Collect worker pool); lint enforces the determinism, unit-safety,
-# and clone-discipline invariants the experiments depend on.
+# suite, race-enabled tests, a full build, and a small serving-bench
+# smoke run. The race step guards the concurrent paths (the plan engine,
+# the parallel kinetic preprocessing sweep, and the figures.Collect
+# worker pool); lint enforces the determinism, unit-safety, and
+# clone-discipline invariants the experiments depend on.
 .PHONY: ci
-ci: fmt-check vet lint race build
+ci: fmt-check vet lint race build serving-smoke
 
 .PHONY: build
 build:
@@ -43,3 +44,14 @@ bench:
 .PHONY: consolidation-bench
 consolidation-bench:
 	$(GO) run ./cmd/paperbench -consolidation-bench BENCH_consolidation.json
+
+# Refresh the concurrent plan-serving trajectory committed at the repo root.
+.PHONY: serving-bench
+serving-bench:
+	$(GO) run ./cmd/paperbench -serving-bench BENCH_serving.json
+
+# serving-smoke exercises the serving benchmark end-to-end at a small
+# size so ci catches regressions without paying for the 4096 run.
+.PHONY: serving-smoke
+serving-smoke:
+	$(GO) run ./cmd/paperbench -serving-bench /tmp/BENCH_serving_smoke.json -serving-max-n 64 -serving-queries 64

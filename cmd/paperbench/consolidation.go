@@ -43,9 +43,9 @@ type consolidationBench struct {
 	Points        []consolidationPoint `json:"points"`
 }
 
-// syntheticReduced mirrors the scaling-benchmark instance of
+// syntheticProfile mirrors the scaling-benchmark instance of
 // bench_test.go: deterministic per-machine jitter, no simulation.
-func syntheticReduced(n int) coolopt.Reduced {
+func syntheticProfile(n int) *coolopt.Profile {
 	machines := make([]coolopt.MachineProfile, n)
 	for i := range machines {
 		h := float64(i) / float64(n-1)
@@ -56,12 +56,15 @@ func syntheticReduced(n int) coolopt.Reduced {
 			Gamma: 0.5 + 2.2*h - 10*jitter,
 		}
 	}
-	p := &coolopt.Profile{
+	return &coolopt.Profile{
 		W1: 52, W2: 34, CoolFactor: 150, SetPointC: 31,
 		TMaxC: 65, TAcMinC: 10, TAcMaxC: 25,
 		Machines: machines,
 	}
-	return p.Reduce()
+}
+
+func syntheticReduced(n int) coolopt.Reduced {
+	return syntheticProfile(n).Reduce()
 }
 
 // benchClock is the time source for benchmark measurements; tests swap in

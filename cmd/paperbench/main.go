@@ -7,6 +7,7 @@
 //
 //	paperbench [-seed N] [-machines N] [-fig 2|3|5|6|7|8|9|10|table1|verify|all] [-ablations]
 //	paperbench -consolidation-bench BENCH_consolidation.json
+//	paperbench -serving-bench BENCH_serving.json [-serving-goroutines 8]
 //	paperbench -chaos [-chaos-duration 900]
 //
 // -chaos runs the fault-injection scenario suite (internal/chaos): every
@@ -48,6 +49,10 @@ func run(args []string, out io.Writer) error {
 	reportPath := fs.String("report", "", "write a full markdown reproduction report to this file (implies the sweep)")
 	consBench := fs.String("consolidation-bench", "", "measure consolidation preprocessing scaling and write the JSON trajectory to this file (e.g. BENCH_consolidation.json), then exit")
 	consDenseMax := fs.Int("consolidation-dense-max", 256, "largest size at which the O(n³) dense reference also runs during -consolidation-bench")
+	servBench := fs.String("serving-bench", "", "measure concurrent plan-serving throughput and write the JSON trajectory to this file (e.g. BENCH_serving.json), then exit")
+	servGoroutines := fs.Int("serving-goroutines", 8, "concurrent clients hammering the engine during -serving-bench")
+	servQueries := fs.Int("serving-queries", 512, "queries per operation kind during -serving-bench")
+	servMaxN := fs.Int("serving-max-n", 4096, "largest room size measured during -serving-bench")
 	chaosRun := fs.Bool("chaos", false, "run the fault-injection scenario suite (hardened vs unhardened controller), then exit")
 	chaosDur := fs.Float64("chaos-duration", 900, "simulated seconds per chaos scenario")
 	soakSeed := fs.Int64("soak-seed", 0, "with -chaos: also run a randomized fault schedule drawn from this seed (0 disables)")
@@ -56,6 +61,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *consBench != "" {
 		return runConsolidationBench(out, *consBench, *consDenseMax)
+	}
+	if *servBench != "" {
+		return runServingBench(out, *servBench, *servGoroutines, *servQueries, *servMaxN)
 	}
 	sel := strings.ToLower(*figSel)
 

@@ -90,6 +90,37 @@ func TestRunConsolidationBench(t *testing.T) {
 	}
 }
 
+func TestRunServingBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	var buf bytes.Buffer
+	// Cap the room size at 64 machines and shrink the query count to
+	// keep the test fast; the full trajectory runs up to 4096.
+	if err := run([]string{"-serving-bench", path, "-serving-max-n", "64", "-serving-queries", "48"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trajectory not written: %v", err)
+	}
+	var res servingBench
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(res.Points))
+	}
+	pt := res.Points[0]
+	if pt.N != 64 || pt.Goroutines != 8 || pt.SnapshotBuildNS <= 0 {
+		t.Fatalf("incomplete point %+v", pt)
+	}
+	if pt.PlanColdQPS <= 0 || pt.PlanHotQPS <= 0 || pt.MaxLoadQPS <= 0 || pt.ConsolidateQPS <= 0 {
+		t.Fatalf("non-positive throughput %+v", pt)
+	}
+	if !strings.Contains(buf.String(), "wrote serving trajectory") {
+		t.Fatal("confirmation missing")
+	}
+}
+
 func TestRunFlagError(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-nope"}, &buf); err == nil {

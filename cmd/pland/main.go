@@ -1,0 +1,117 @@
+// Command pland serves plans over HTTP: it builds and profiles a
+// simulated machine room, freezes the fitted model into an immutable
+// snapshot, and serves the planning surface off the plan engine —
+//
+//	GET /v1/plan?load=12.5[&method=8][&avoid=3,7][&safe=true][&supply=22][&margin=2.5]
+//	GET /v1/consolidate?load=12.5[&mink=13]
+//	GET /v1/maxload?budget=5000
+//
+// alongside the full room control plane of cmd/roomd (the /v1/sensors,
+// /v1/advance, … endpoints operate the simulated room the model was
+// profiled from). Planning queries read only the frozen snapshot, so
+// they are served concurrently and never queue behind room mutations.
+//
+// On SIGINT or SIGTERM the server stops accepting connections, drains
+// in-flight requests for -drain, and exits cleanly.
+//
+// Usage:
+//
+//	pland [-addr :7078] [-seed N] [-machines N] [-racks R -perrack M] [-drain 5s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"coolopt"
+	"coolopt/internal/roomapi"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pland:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pland", flag.ContinueOnError)
+	addr := fs.String("addr", ":7078", "listen address")
+	seed := fs.Int64("seed", 1, "seed for rack jitter and sensor noise")
+	machines := fs.Int("machines", 20, "number of machines (single rack)")
+	racks := fs.Int("racks", 0, "number of racks in a row (0 = single rack of -machines)")
+	perRack := fs.Int("perrack", 20, "machines per rack when -racks is set")
+	workers := fs.Int("workers", 0, "preprocessing worker pool (0 = all cores)")
+	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain budget on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := []coolopt.Option{coolopt.WithSeed(*seed)}
+	n := *machines
+	if *racks > 0 {
+		opts = append(opts, coolopt.WithRow(*racks, *perRack))
+		n = *racks * *perRack
+	} else {
+		opts = append(opts, coolopt.WithMachines(n))
+	}
+	pre := []coolopt.PreprocessOption{coolopt.WithMaxMachines(n)}
+	if *workers > 0 {
+		pre = append(pre, coolopt.WithPreprocessWorkers(*workers))
+	}
+	opts = append(opts, coolopt.WithPreprocess(pre...))
+
+	fmt.Fprintf(out, "pland: profiling a %d-machine simulated room…\n", n)
+	sys, err := coolopt.NewSystem(opts...)
+	if err != nil {
+		return err
+	}
+	handler, err := roomapi.NewServer(sys.Sim(), roomapi.WithEngine(sys.Engine()))
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "pland: serving plans for the %d-machine room on http://%s (snapshot epoch %d)\n",
+		n, ln.Addr(), sys.Engine().Epoch())
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	select {
+	case err := <-served:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(out, "pland: signal received, draining for up to %s…\n", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		_ = srv.Close() // drain budget exhausted: cut remaining connections
+		<-served
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "pland: drained, bye")
+	return nil
+}

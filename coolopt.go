@@ -36,6 +36,7 @@ package coolopt
 import (
 	"coolopt/internal/baseline"
 	"coolopt/internal/core"
+	"coolopt/internal/engine"
 	"coolopt/internal/profiling"
 )
 
@@ -73,10 +74,23 @@ type (
 	HeteroProfile = core.HeteroProfile
 	// HeteroMachine is one machine of a mixed-hardware room.
 	HeteroMachine = core.HeteroMachine
+	// Snapshot is an immutable planning model: per-machine thermal
+	// constants (Eq. 19) plus the consolidation tables, safe to share
+	// across goroutines without Clone.
+	Snapshot = core.Snapshot
+	// MaxLoadResult answers the dual budget question maxL(A, P_b).
+	MaxLoadResult = core.MaxLoadResult
 	// Method identifies one of the eight evaluation scenarios (Fig. 4).
 	Method = baseline.Method
 	// Planner produces plans for all eight scenarios.
 	Planner = baseline.Planner
+	// Engine is the concurrent plan-serving layer: an RCU-style
+	// snapshot holder with a single-flight plan cache.
+	Engine = engine.Engine
+	// PlanRequest and PlanResponse are Engine.Plan's wire types.
+	PlanRequest = engine.Request
+	// PlanResponse is a served plan plus shed/degradation accounting.
+	PlanResponse = engine.Response
 	// ProfilingResult is a completed profiling run (fitted profile,
 	// set-point calibration, and fit reports for Figs. 2–3).
 	ProfilingResult = profiling.Result
@@ -114,6 +128,21 @@ func NewOptimizer(p *Profile, opts ...PreprocessOption) (*Optimizer, error) {
 
 // NewPlanner builds the eight-scenario planner for a profile.
 func NewPlanner(p *Profile) (*Planner, error) { return baseline.NewPlanner(p) }
+
+// NewSnapshot freezes a profile into an immutable planning model; see
+// core.NewSnapshot.
+func NewSnapshot(p *Profile, epoch uint64, opts ...PreprocessOption) (*Snapshot, error) {
+	return core.NewSnapshot(p, epoch, opts...)
+}
+
+// NewEngine builds a plan-serving engine over a planner's snapshot.
+func NewEngine(pl *Planner) *Engine { return engine.New(pl) }
+
+// NewEngineFromSnapshot builds a plan-serving engine directly on a
+// frozen snapshot.
+func NewEngineFromSnapshot(snap *Snapshot) (*Engine, error) {
+	return engine.FromSnapshot(snap)
+}
 
 // Preprocess runs consolidation Algorithm 1 on a reduced instance in its
 // compressed kinetic form (O(n² lg n) time, O(n²) memory, default cap

@@ -1,0 +1,127 @@
+// Datacenter exercises the serving story at row scale: a 4-rack row is
+// profiled once, frozen into an immutable snapshot, and then a fleet of
+// concurrent clients — schedulers asking for plans, a capacity service
+// asking maxL budget questions, a dashboard asking consolidation
+// questions — all query the plan engine at the same time, with no locks
+// and no cloning. Midway through, the room is re-profiled and the new
+// snapshot is swapped in RCU-style while the clients keep querying.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"coolopt"
+)
+
+const (
+	racks   = 4
+	perRack = 16
+	clients = 8
+	queries = 40
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	n := racks * perRack
+	// Profile the row once. WithPreprocess freezes the fitted model into
+	// the snapshot the engine serves from: WithMaxMachines sizes the
+	// consolidation tables to the room, WithPreprocessWorkers parallelizes
+	// the kinetic sweep that builds them.
+	sys, err := coolopt.NewSystem(
+		coolopt.WithRow(racks, perRack),
+		coolopt.WithPreprocess(
+			coolopt.WithMaxMachines(n),
+			coolopt.WithPreprocessWorkers(runtime.NumCPU()),
+		),
+	)
+	if err != nil {
+		return err
+	}
+	eng := sys.Engine()
+	fmt.Printf("row of %d racks × %d machines profiled; snapshot epoch %d\n",
+		racks, perRack, eng.Epoch())
+
+	// The fleet: every client hammers the engine concurrently. Plans are
+	// answered off the immutable snapshot — no client ever waits on the
+	// simulator, and identical queries coalesce onto one solve.
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	var nPlans, nCached, nShared atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < queries; q++ {
+				switch q % 3 {
+				case 0: // scheduler: an energy-optimal plan for this demand
+					load := float64(n) * (0.2 + 0.05*float64((c+q)%8))
+					resp, err := eng.Plan(ctx, coolopt.PlanRequest{Load: load})
+					if err != nil {
+						errs <- fmt.Errorf("client %d plan: %w", c, err)
+						return
+					}
+					nPlans.Add(1)
+					if resp.Cached {
+						nCached.Add(1)
+					}
+					if resp.Shared {
+						nShared.Add(1)
+					}
+				case 1: // capacity service: maxL under a power budget
+					budget := float64(n) * 70 * (1 + 0.1*float64(q%4))
+					if _, err := eng.MaxLoad(budget); err != nil {
+						errs <- fmt.Errorf("client %d maxload: %w", c, err)
+						return
+					}
+				case 2: // dashboard: which machines would we consolidate to?
+					load := float64(n) * 0.3
+					if _, err := eng.Consolidate(load, 1); err != nil {
+						errs <- fmt.Errorf("client %d consolidate: %w", c, err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	// While the fleet runs: re-profile and swap the snapshot in. Clients
+	// mid-query finish against the snapshot they started on; the epoch
+	// stamp on every response says which model answered.
+	snap2, err := coolopt.NewSnapshot(sys.Profile(), eng.Epoch()+1, coolopt.WithMaxMachines(n))
+	if err != nil {
+		return err
+	}
+	if err := eng.Install(snap2); err != nil {
+		return err
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+
+	fmt.Printf("%d clients × %d queries served; snapshot swapped to epoch %d mid-flight\n",
+		clients, queries, eng.Epoch())
+	fmt.Printf("plan queries: %d total, %d cache hits, %d coalesced onto concurrent solves\n",
+		nPlans.Load(), nCached.Load(), nShared.Load())
+
+	// One last look at what the current snapshot says for a 30 % day.
+	resp, err := eng.Plan(ctx, coolopt.PlanRequest{Load: 0.3 * float64(n)})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("30%% load plan: %d/%d machines on, supply %.1f °C (epoch %d)\n",
+		len(resp.Plan.On), n, float64(resp.Plan.TAcC), resp.Epoch)
+	return nil
+}

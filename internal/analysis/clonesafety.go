@@ -16,15 +16,33 @@ var cloneGuarded = map[string]bool{
 	"coolopt/internal/machineroom.Room": true,
 }
 
+// sanctionedCalls lists the guarded-type methods a goroutine may call on
+// a captured value without cloning first: each hands back a value that is
+// safe to share. Clone returns a private copy; Snapshot returns the
+// immutable frozen model (internal/core.Snapshot) and Engine the
+// RCU-style plan server (internal/engine.Engine), both of which are
+// goroutine-safe by construction and exist precisely so concurrent
+// readers never need a clone.
+var sanctionedCalls = map[string]bool{
+	"Clone":    true,
+	"Snapshot": true,
+	"Engine":   true,
+}
+
 // CloneSafety flags goroutines that capture a *coolopt.System,
 // *sim.Simulator, or machineroom.Room from the enclosing scope without the
 // variable having come from a Clone() call. Sharing a live system with a
 // goroutine races the control loop's Step/Apply cycle; the soak and chaos
 // drivers clone before fanning out and everything else should too.
+// Goroutines whose only uses of the captured value are Clone, Snapshot,
+// or Engine calls are allowed: those methods return values that are safe
+// to share (a private copy, the immutable model snapshot, the concurrent
+// plan engine).
 var CloneSafety = &Analyzer{
 	Name: "clonesafety",
 	Doc: "forbid goroutines capturing shared System/Simulator/Room values " +
-		"unless the value was cloned first",
+		"unless the value was cloned first or only its immutable " +
+		"snapshot/engine is used",
 	Run: runCloneSafety,
 }
 
@@ -78,7 +96,7 @@ func checkGoStmt(pass *Pass, file *ast.File, goStmt *ast.GoStmt) {
 			if assignedFromClone(pass, file, obj, goStmt.Pos()) {
 				return true
 			}
-			if onlyClonedInside(pass, bodies, obj) {
+			if onlySanctionedInside(pass, bodies, obj) {
 				return true
 			}
 			reported[obj] = true
@@ -157,16 +175,29 @@ func isCloneCall(expr ast.Expr) bool {
 	return ok && sel.Sel.Name == "Clone"
 }
 
-// onlyClonedInside reports whether every use of obj within the goroutine
-// is as the receiver of a .Clone(...) call — the goroutine takes its own
-// copy first thing, which is safe.
-func onlyClonedInside(pass *Pass, bodies []ast.Node, obj types.Object) bool {
+// isSanctionedCall reports whether expr is a method call whose result is
+// safe to share with the goroutine: Clone (private copy), Snapshot
+// (immutable model), or Engine (concurrent plan server).
+func isSanctionedCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sanctionedCalls[sel.Sel.Name]
+}
+
+// onlySanctionedInside reports whether every use of obj within the
+// goroutine is as the receiver of a sanctioned call — the goroutine takes
+// its own copy (Clone) or reads only through the immutable snapshot or
+// the concurrent engine, which is safe.
+func onlySanctionedInside(pass *Pass, bodies []ast.Node, obj types.Object) bool {
 	sawUse := false
-	allCloned := true
+	allSanctioned := true
 	for _, body := range bodies {
 		ast.Inspect(body, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if ok && isCloneCall(call) {
+			if ok && isSanctionedCall(call) {
 				if sel := call.Fun.(*ast.SelectorExpr); usesObject(pass, sel.X, obj) {
 					sawUse = true
 					return false // receiver use is sanctioned; skip subtree
@@ -174,10 +205,10 @@ func onlyClonedInside(pass *Pass, bodies []ast.Node, obj types.Object) bool {
 			}
 			if ident, ok := n.(*ast.Ident); ok && pass.Info.Uses[ident] == obj {
 				sawUse = true
-				allCloned = false
+				allSanctioned = false
 			}
 			return true
 		})
 	}
-	return sawUse && allCloned
+	return sawUse && allSanctioned
 }

@@ -32,6 +32,26 @@ func clonesFirstThing(sys *coolopt.System) {
 	}()
 }
 
+func snapshotOnly(sys *coolopt.System) {
+	go func() {
+		snap := sys.Snapshot() // immutable snapshot: allowed
+		_ = snap
+	}()
+}
+
+func engineOnly(sys *coolopt.System) {
+	go func() {
+		_ = sys.Engine() // concurrent plan engine: allowed
+	}()
+}
+
+func snapshotThenRawUse(sys *coolopt.System) {
+	go func() {
+		_ = sys.Snapshot() // want `goroutine captures sys`
+		_ = sys            // ...because this raw use races the control loop
+	}()
+}
+
 func suppressed(sys *coolopt.System) {
 	go func() {
 		//coolopt:ignore clonesafety read-only telemetry snapshot

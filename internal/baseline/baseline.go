@@ -107,11 +107,21 @@ type Planner struct {
 // measurable proxy for "coolest spot" that the cool-job-allocation
 // operators would use. The fixed supply temperature is the highest value
 // safe with every machine at full load.
-func NewPlanner(p *core.Profile) (*Planner, error) {
-	opt, err := core.NewOptimizer(p)
+func NewPlanner(p *core.Profile, opts ...core.PreprocessOption) (*Planner, error) {
+	snap, err := core.NewSnapshot(p, 0, opts...)
 	if err != nil {
 		return nil, err
 	}
+	return NewPlannerOn(snap)
+}
+
+// NewPlannerOn builds a planner over an existing frozen snapshot, sharing
+// its consolidation tables instead of re-running preprocessing. Like the
+// snapshot itself, the returned planner is read-only after construction
+// and safe for concurrent Plan calls.
+func NewPlannerOn(snap *core.Snapshot) (*Planner, error) {
+	p := snap.Profile()
+	opt := core.NewOptimizerFromSnapshot(snap)
 
 	order := make([]int, p.Size())
 	for i := range order {
@@ -140,6 +150,9 @@ func NewPlanner(p *core.Profile) (*Planner, error) {
 
 // Profile returns the profile the planner plans against.
 func (pl *Planner) Profile() *core.Profile { return pl.profile }
+
+// Snapshot returns the frozen model backing the planner.
+func (pl *Planner) Snapshot() *core.Snapshot { return pl.optimizer.Snapshot() }
 
 // FixedTAc returns the supply temperature used when AC control is off.
 func (pl *Planner) FixedTAc() units.Celsius { return pl.fixedTAc }

@@ -65,6 +65,10 @@ type Config struct {
 	// (default: Room when it implements TruthSource, else the system's
 	// simulator when Room is nil, else measured values).
 	Truth TruthSource
+	// Engine overrides the plan-serving engine (default: the system's
+	// own). All planning — healthy, degraded, safe-mode, and tournament
+	// candidates — goes through it.
+	Engine *coolopt.Engine
 
 	// Method selects the planning policy (default #8, the paper's).
 	Method coolopt.Method
@@ -135,6 +139,9 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.Room == nil {
 		c.Room = c.Sys.Sim()
+	}
+	if c.Engine == nil {
+		c.Engine = c.Sys.Engine()
 	}
 	if c.Truth == nil {
 		if t, ok := c.Room.(TruthSource); ok {

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -43,6 +44,7 @@ type harness struct {
 	sys     *coolopt.System
 	room    machineroom.Room
 	truth   TruthSource
+	eng     *coolopt.Engine
 	profile *coolopt.Profile
 	res     *Result
 
@@ -96,6 +98,7 @@ func newHarness(cfg Config) *harness {
 		sys:     cfg.Sys,
 		room:    cfg.Room,
 		truth:   cfg.Truth,
+		eng:     cfg.Engine,
 		profile: cfg.Sys.Profile(),
 		res:     &Result{LastViolationTimeS: -1},
 		demand:  -1, // force an initial plan
@@ -515,9 +518,11 @@ func (h *harness) replan(demand float64, periodic bool) error {
 	return fmt.Errorf("controller: replan at demand %.2f could not settle on a live machine set", demand)
 }
 
-// makePlan produces the plan for one re-plan: the configured planner in
-// the healthy case, the paper's closed form over the surviving set when
-// machines are down, and a capacity-derated plan in safe mode.
+// makePlan produces the plan for one re-plan through the engine: the
+// configured planning method in the healthy case, the degraded planner
+// over the surviving set when machines are down, and a slack-weighted
+// capacity-derated plan in safe mode. Shed load reported by the engine
+// becomes a load_shed degradation event.
 func (h *harness) makePlan(demand float64) (*coolopt.Plan, error) {
 	totalLoad := demand * float64(h.sys.Size())
 
@@ -530,11 +535,14 @@ func (h *harness) makePlan(demand float64) (*coolopt.Plan, error) {
 	if len(h.cfg.CandidateMethods) >= 2 {
 		return h.tournamentPlan(totalLoad)
 	}
-	plan, err := h.sys.Planner().Plan(h.cfg.Method, totalLoad)
+	resp, err := h.eng.Plan(context.Background(), coolopt.PlanRequest{
+		Method: h.cfg.Method,
+		Load:   totalLoad,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("controller: replan at demand %.2f: %w", demand, err)
 	}
-	return plan, nil
+	return resp.Plan, nil
 }
 
 func (h *harness) anyFailed() bool {
@@ -546,112 +554,61 @@ func (h *harness) anyFailed() bool {
 	return false
 }
 
-func (h *harness) surviving() []int {
-	surv := make([]int, 0, h.sys.Size())
-	for i := 0; i < h.sys.Size(); i++ {
-		if !h.failed[i] {
-			surv = append(surv, i)
+// failedList returns the machine IDs currently marked failed — the
+// engine's avoid list.
+func (h *harness) failedList() []int {
+	var out []int
+	for i, f := range h.failed {
+		if f {
+			out = append(out, i)
 		}
 	}
-	return surv
+	return out
 }
 
-// degradedPlan re-runs the paper's closed form (Eqs. 21–22, box-bounded)
-// over the surviving machines, consolidating as in method #8: every
-// on-count is solved and the cheapest feasible plan under the fitted
-// model wins. If even the full surviving set cannot carry the demand,
-// the excess is shed.
+// degradedPlan asks the engine to plan around the failed machines: the
+// paper's closed form (Eqs. 21–22, box-bounded) over the surviving set,
+// consolidating as in method #8. If even the full surviving set cannot
+// carry the demand, the engine sheds the excess to the Eq. 20 capacity
+// at the coldest supply (with the thermal cushion).
 func (h *harness) degradedPlan(totalLoad float64) (*coolopt.Plan, error) {
-	surv := h.surviving()
-	if len(surv) == 0 {
-		return nil, fmt.Errorf("controller: no surviving machines")
+	resp, err := h.eng.Plan(context.Background(), coolopt.PlanRequest{
+		Load:    totalLoad,
+		Avoid:   h.failedList(),
+		MarginC: float64(h.sys.SafetyMargin()),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("controller: degraded replan: %w", err)
 	}
-	if best := h.cheapestOver(surv, totalLoad); best != nil {
-		return best, nil
+	if resp.ShedLoad > 0 {
+		h.degrade("load_shed", -1, fmt.Sprintf(
+			"demand %.2f exceeds surviving capacity %.2f; shedding %.2f machine-units",
+			totalLoad, resp.Capacity, resp.ShedLoad))
 	}
-	// Infeasible even with everything on: shed to the surviving
-	// capacity at the coldest supply, with a thermal cushion.
-	capacity := h.capacityAt(surv, h.profile.TAcMinC+float64(h.sys.SafetyMargin()))
-	shed := totalLoad - capacity
-	h.degrade("load_shed", -1, fmt.Sprintf(
-		"demand %.2f exceeds surviving capacity %.2f; shedding %.2f machine-units",
-		totalLoad, capacity, shed))
-	plan := h.cheapestOver(surv, capacity)
-	if plan == nil {
-		return nil, fmt.Errorf("controller: no feasible plan even after shedding to %.2f units", capacity)
-	}
-	return plan, nil
+	return resp.Plan, nil
 }
 
-// cheapestOver consolidates over subsets of the given machine pool:
-// solves the closed form for every on-count (machines are profiled
-// homogeneous, so which k survivors run does not matter) and returns the
-// lowest-power feasible plan, or nil if none is.
-func (h *harness) cheapestOver(pool []int, totalLoad float64) *coolopt.Plan {
-	var (
-		best  *coolopt.Plan
-		bestW float64
-		minOn = int(math.Ceil(totalLoad - 1e-9))
-	)
-	if minOn < 1 {
-		minOn = 1
-	}
-	for k := minOn; k <= len(pool); k++ {
-		plan, err := h.profile.SolveBounded(pool[:k], totalLoad)
-		if err != nil {
-			continue
-		}
-		w := h.planPower(plan)
-		if best == nil || w < bestW {
-			best, bestW = plan, w
-		}
-	}
-	return best
-}
-
-// planPower is the fitted model's power for a plan (Eq. 23 accounting).
-func (h *harness) planPower(plan *coolopt.Plan) float64 {
-	total := h.profile.CoolingPower(plan.TAcC)
-	for _, i := range plan.On {
-		total += h.profile.ServerPower(plan.Loads[i])
-	}
-	return float64(total)
-}
-
-// capacityAt sums the per-machine thermal load caps at the given supply
-// temperature: cap_i = clamp(K_i − (α_i/β_i)/w1 · T, 0, 1) per Eq. 20.
-func (h *harness) capacityAt(pool []int, tAcC float64) float64 {
-	var capacity float64
-	for _, i := range pool {
-		capacity += mathx.Clamp(h.profile.K(i)-h.profile.RatioAB(i)*tAcC/h.profile.W1, 0, 1)
-	}
-	return capacity
-}
-
-// safePlan plans for a CRAC that no longer answers commands: spread load
-// across every surviving machine (no consolidation — concentration is
-// what needs cold air) and size it to what the supply temperature
-// actually achieved can carry, with a cushion.
+// safePlan asks the engine for a CRAC-safe-mode plan: no consolidation,
+// loads shed in proportion to each machine's thermal slack (Eq. 20 caps)
+// at the supply temperature actually achieved, with a cushion.
 func (h *harness) safePlan(totalLoad float64) (*coolopt.Plan, error) {
-	surv := h.surviving()
-	if len(surv) == 0 {
-		return nil, fmt.Errorf("controller: no surviving machines")
-	}
 	achieved := h.room.Supply()
-	capacity := h.capacityAt(surv, achieved+float64(h.sys.SafetyMargin()))
-	carried := totalLoad
-	if carried > capacity {
+	resp, err := h.eng.Plan(context.Background(), coolopt.PlanRequest{
+		Load:            totalLoad,
+		Avoid:           h.failedList(),
+		Safe:            true,
+		AchievedSupplyC: achieved,
+		MarginC:         float64(h.sys.SafetyMargin()),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("controller: safe-mode replan: %w", err)
+	}
+	if resp.ShedLoad > 0 {
 		h.degrade("load_shed", -1, fmt.Sprintf(
 			"safe mode: demand %.2f exceeds capacity %.2f at achieved supply %.1f °C",
-			totalLoad, capacity, achieved))
-		carried = capacity
+			totalLoad, resp.Capacity, achieved))
 	}
-	loads := make([]float64, h.sys.Size())
-	per := carried / float64(len(surv))
-	for _, i := range surv {
-		loads[i] = per
-	}
-	return &coolopt.Plan{On: surv, Loads: loads, TAcC: units.Celsius(h.profile.TAcMinC)}, nil
+	return resp.Plan, nil
 }
 
 // applyOutcome reports how pushing a plan onto the room went.

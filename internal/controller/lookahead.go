@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -18,24 +19,28 @@ type candidateOutcome struct {
 // tournamentPlan evaluates every CandidateMethods plan by replaying it
 // for LookaheadS simulated seconds on its own System.Clone, in parallel,
 // and returns the lowest-cost violation-free candidate. The outcome is
-// deterministic: plans are solved serially before any goroutine starts,
-// each clone's sensor-noise stream is seeded from CandidateSeed, the
-// re-plan index, and the candidate index, and the winner is chosen by an
-// index-ordered scan with ties breaking toward the earlier entry.
+// deterministic: plans are solved through the engine (concurrently — it
+// serves off the shared immutable snapshot), each clone's sensor-noise
+// stream is seeded from CandidateSeed, the re-plan index, and the
+// candidate index, and the winner is chosen by an index-ordered scan
+// with ties breaking toward the earlier entry.
 func (h *harness) tournamentPlan(totalLoad float64) (*coolopt.Plan, error) {
 	methods := h.cfg.CandidateMethods
 	outcomes := make([]candidateOutcome, len(methods))
 
-	// Solve all candidate plans up front: the planner is not claimed
-	// safe for concurrent use, and the replay stage only needs the
-	// finished plans.
+	var solve sync.WaitGroup
 	for c, m := range methods {
-		plan, err := h.sys.Planner().Plan(m, totalLoad)
-		if err != nil {
-			continue // infeasible for this method; the others still race
-		}
-		outcomes[c] = candidateOutcome{plan: plan, ok: true}
+		solve.Add(1)
+		go func(c int, m coolopt.Method) {
+			defer solve.Done()
+			resp, err := h.eng.Plan(context.Background(), coolopt.PlanRequest{Method: m, Load: totalLoad})
+			if err != nil {
+				return // infeasible for this method; the others still race
+			}
+			outcomes[c] = candidateOutcome{plan: resp.Plan, ok: true}
+		}(c, m)
 	}
+	solve.Wait()
 
 	var wg sync.WaitGroup
 	for c := range outcomes {

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"coolopt/internal/mathx"
+)
+
+// smoothReduced mirrors the scaling-benchmark instance: deterministic
+// per-machine jitter with no exact ties, the regime the datacenter-scale
+// structure actually serves.
+func smoothReduced(n int) Reduced {
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		h := float64(i) / float64(n-1)
+		jitter := 0.05 * math.Sin(float64(i)*2.399963)
+		beta := 0.46 * (1 + 0.1*h + jitter)
+		gamma := 0.5 + 2.2*h - 10*jitter
+		pairs[i] = Pair{
+			A: (65 - beta*34 - gamma) / (beta * 52),
+			B: 1.0 / beta,
+		}
+	}
+	return Reduced{Pairs: pairs, W2: 34, Rho: 150 * 52, CoolFactor: 150, SetPointC: 31, W1: 52}
+}
+
+// checkFrontSetsIdentical compares the persistent front-set arena against
+// the on-demand rebuild for the given (event, k) query points.
+func checkFrontSetsIdentical(t *testing.T, label string, pp *Preprocessed, events, ks []int) {
+	t.Helper()
+	for _, e := range events {
+		for _, k := range ks {
+			got := pp.frontSet(e, k)
+			want := pp.frontSetRebuild(e, k)
+			if len(got) != len(want) {
+				t.Fatalf("%s: frontSet(e=%d, k=%d) = %v, want %v", label, e, k, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: frontSet(e=%d, k=%d) = %v, want %v", label, e, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPersistentFrontSetMatchesRebuild is the satellite property test:
+// across n ∈ {64, 256, 1024}, the persistent front-set arena returns
+// byte-identical subsets to the frontSet rebuild the queries used before
+// — on tie-heavy exact-grid instances at the small sizes (exhaustively at
+// n = 64) and on the smooth scaling instance at n = 1024 (sampled).
+func TestPersistentFrontSetMatchesRebuild(t *testing.T) {
+	rng := mathx.NewRand(20260806)
+
+	// Tie-heavy adversarial instances: duplicated speeds and whole pairs
+	// force simultaneous crossings, the regime where incremental order
+	// maintenance historically breaks.
+	trials := 20
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		red := gridReduced(rng, 64)
+		pp, err := Preprocess(red)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		events := make([]int, pp.Events())
+		ks := make([]int, len(red.Pairs))
+		for e := range events {
+			events[e] = e
+		}
+		for k := range ks {
+			ks[k] = k + 1
+		}
+		checkFrontSetsIdentical(t, fmt.Sprintf("grid n=64 trial %d", trial), pp, events, ks)
+	}
+
+	for _, n := range []int{256, 1024} {
+		if testing.Short() && n > 256 {
+			break
+		}
+		var red Reduced
+		if n == 256 {
+			red = gridReduced(rng, n)
+		} else {
+			red = smoothReduced(n)
+		}
+		pp, err := Preprocess(red)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Sample: every k at a spread of events, every event boundary
+		// region at a spread of ks, plus random probes.
+		events := []int{0, 1, pp.Events() / 3, pp.Events() / 2, pp.Events() - 2, pp.Events() - 1}
+		ks := make([]int, 0, n)
+		for k := 1; k <= n; k++ {
+			ks = append(ks, k)
+		}
+		checkFrontSetsIdentical(t, fmt.Sprintf("n=%d all-k", n), pp, events, ks)
+
+		randEvents := make([]int, 40)
+		randKs := make([]int, 8)
+		for i := range randEvents {
+			randEvents[i] = rng.Intn(pp.Events())
+		}
+		for i := range randKs {
+			randKs[i] = 1 + rng.Intn(n)
+		}
+		checkFrontSetsIdentical(t, fmt.Sprintf("n=%d sampled", n), pp, randEvents, randKs)
+	}
+}
+
+// TestFrontArenaWriteBudget pins the arena's size class: the number of
+// persistent writes stays O(n²) — within a small constant of the crossing
+// count — so the structure does not reintroduce the dense form's O(n³)
+// memory.
+func TestFrontArenaWriteBudget(t *testing.T) {
+	red := smoothReduced(256)
+	pp, err := Preprocess(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(red.Pairs)
+	crossings := n * (n - 1) / 2
+	if pp.FrontWrites() > 3*crossings+n {
+		t.Fatalf("front arena has %d writes for %d crossings; expected ≤ %d",
+			pp.FrontWrites(), crossings, 3*crossings+n)
+	}
+}

@@ -1,115 +1,47 @@
 package core
 
-import (
-	"fmt"
-	"math"
-
-	"coolopt/internal/units"
-)
-
 // Optimizer combines the consolidation machinery with the closed-form
 // solver into one practical planner: given a total load it decides which
 // machines to power on, how to split the load, and what supply temperature
 // to command — honouring the physical constraints the paper's raw
 // formulation leaves implicit (per-machine capacity L_i ≤ 1 and the supply
 // temperature actuation bounds).
+//
+// Optimizer is a thin veneer over Snapshot kept for API continuity; new
+// code that wants to share one preprocessed model across goroutines should
+// hold the Snapshot directly.
 type Optimizer struct {
-	profile *Profile
-	pre     *Preprocessed
+	snap *Snapshot
 }
 
 // NewOptimizer validates the profile and runs Algorithm 1 once; the
 // returned optimizer answers Plan queries in O(n·lg n). Options are
 // forwarded to Preprocess (cap and worker-pool overrides).
 func NewOptimizer(p *Profile, opts ...PreprocessOption) (*Optimizer, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	pre, err := Preprocess(p.Reduce(), opts...)
+	snap, err := NewSnapshot(p, 0, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Optimizer{profile: p, pre: pre}, nil
+	return &Optimizer{snap: snap}, nil
 }
 
-// Profile returns the profile the optimizer plans against.
-func (o *Optimizer) Profile() *Profile { return o.profile }
+// NewOptimizerFromSnapshot wraps an existing snapshot without re-running
+// preprocessing — the sharing constructor used when the same frozen model
+// backs several planners.
+func NewOptimizerFromSnapshot(s *Snapshot) *Optimizer { return &Optimizer{snap: s} }
 
-// Plan returns the minimum-power plan for the given total load (in
-// machine-utilization units) with consolidation: machines outside the
-// returned on set should be powered off.
-//
-// For each feasible machine count k ≥ ⌈load⌉ the particle structure yields
-// the t-maximizing subset; the candidate's power is scored with the supply
-// temperature clamped into the actuation range (the paper's Eq. 23 scores
-// the unclamped value, which would over-reward subsets that cannot
-// actually raise the supply any further). The load split inside the winner
-// comes from SolveBounded.
-func (o *Optimizer) Plan(load float64) (*Plan, error) {
-	p := o.profile
-	n := p.Size()
-	if load <= 0 {
-		return nil, fmt.Errorf("core: load %v must be positive (power everything off instead)", load)
-	}
-	if load > float64(n) {
-		return nil, fmt.Errorf("%w: load %v exceeds cluster capacity %d", ErrInfeasible, load, n)
-	}
+// Snapshot returns the frozen model the optimizer plans against.
+func (o *Optimizer) Snapshot() *Snapshot { return o.snap }
 
-	minK := int(math.Ceil(load - 1e-9))
-	if minK < 1 {
-		minK = 1
-	}
+// Profile returns the profile the optimizer plans against (read-only).
+func (o *Optimizer) Profile() *Profile { return o.snap.Profile() }
 
-	type candidate struct {
-		subset []int
-		power  float64
-	}
-	best := candidate{power: math.Inf(1)}
-	for k := minK; k <= n; k++ {
-		sel, err := o.pre.QueryExactK(load, k)
-		if err != nil {
-			continue
-		}
-		tAc := p.W1 * sel.T
-		if tAc > p.TAcMaxC {
-			tAc = p.TAcMaxC
-		}
-		if tAc < p.TAcMinC {
-			continue // even the best k-subset needs colder air than available
-		}
-		power := float64(p.CoolingPower(units.Celsius(tAc))) + p.W1*load + float64(k)*p.W2
-		if power < best.power-1e-9 {
-			best = candidate{subset: sel.Subset, power: power}
-		}
-	}
-	if best.subset == nil {
-		return nil, fmt.Errorf("%w: no machine subset satisfies load %v within constraints", ErrInfeasible, load)
-	}
-
-	plan, err := p.SolveBounded(best.subset, load)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.ValidatePlan(plan, load, 1e-6); err != nil {
-		return nil, fmt.Errorf("core: optimizer produced invalid plan: %w", err)
-	}
-	return plan, nil
-}
+// Plan returns the minimum-power plan for the given total load with
+// consolidation; see Snapshot.Plan.
+func (o *Optimizer) Plan(load float64) (*Plan, error) { return o.snap.Plan(load) }
 
 // PlanNoConsolidation returns the minimum-power plan that keeps every
-// machine powered on (scenarios #4–#6 in the paper's evaluation tree).
+// machine powered on; see Snapshot.PlanNoConsolidation.
 func (o *Optimizer) PlanNoConsolidation(load float64) (*Plan, error) {
-	p := o.profile
-	on := make([]int, p.Size())
-	for i := range on {
-		on[i] = i
-	}
-	plan, err := p.SolveBounded(on, load)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.ValidatePlan(plan, load, 1e-6); err != nil {
-		return nil, fmt.Errorf("core: optimizer produced invalid plan: %w", err)
-	}
-	return plan, nil
+	return o.snap.PlanNoConsolidation(load)
 }

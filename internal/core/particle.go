@@ -104,6 +104,16 @@ type Preprocessed struct {
 	segEvent []int32
 	segA     []float64
 	segB     []float64
+	// Persistent front-set arena, grouped by rank: the (event, machine)
+	// assignments of rank p occupy posEvent/posID[posOff[p]:posOff[p+1]],
+	// ordered by event, starting with the rank's occupant on interval 0.
+	// frontSet answers "the k front-most machines on event interval e"
+	// with k binary searches here instead of re-sorting the particles —
+	// the structure is read-only after Preprocess, so queries are safe
+	// for concurrent use without cloning.
+	posOff   []int
+	posEvent []int32
+	posID    []int32
 }
 
 // Preprocess runs the kinetic form of Algorithm 1 on the reduced
@@ -192,13 +202,19 @@ func (pp *Preprocessed) StatusCount() int { return len(pp.events) * len(pp.reduc
 // sizes — the O(n²) quantity that replaces the dense O(n³) tables.
 func (pp *Preprocessed) Pieces() int { return len(pp.segEvent) }
 
-// TableBytes returns the resident size of the retained tables (events and
-// segment arena) in bytes — the memory the structure keeps alive after
-// preprocessing, excluding fixed struct overhead.
+// TableBytes returns the resident size of the retained tables (events,
+// segment arena, and persistent front-set arena) in bytes — the memory
+// the structure keeps alive after preprocessing, excluding fixed struct
+// overhead.
 func (pp *Preprocessed) TableBytes() int {
 	return len(pp.events)*8 + len(pp.segOff)*8 + len(pp.segEvent)*4 +
-		len(pp.segA)*8 + len(pp.segB)*8
+		len(pp.segA)*8 + len(pp.segB)*8 +
+		len(pp.posOff)*8 + len(pp.posEvent)*4 + len(pp.posID)*4
 }
+
+// FrontWrites returns the number of entries in the persistent front-set
+// arena — the O(n²) quantity that replaces on-demand order rebuilds.
+func (pp *Preprocessed) FrontWrites() int { return len(pp.posID) }
 
 // OrderAtEvent reconstructs the machine IDs by decreasing coordinate on
 // the event interval [events[e], events[e+1]) — row e of the dense
@@ -233,8 +249,34 @@ func (pp *Preprocessed) sumAt(k, e int) float64 {
 }
 
 // frontSet returns the k front-most machine IDs on event interval e in
-// ascending ID order.
+// ascending ID order, read from the persistent front-set arena: one
+// binary search per rank over that rank's write history, so a query
+// allocates only the k-element result and never re-derives particle
+// coordinates. Byte-identical to frontSetRebuild (the on-demand
+// reference), which the property tests enforce.
 func (pp *Preprocessed) frontSet(e, k int) []int {
+	subset := make([]int, k)
+	for p := 0; p < k; p++ {
+		lo, hi := pp.posOff[p], pp.posOff[p+1]-1
+		for lo < hi {
+			mid := int(uint(lo+hi+1) >> 1)
+			if int(pp.posEvent[mid]) <= e {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		subset[p] = int(pp.posID[lo])
+	}
+	sort.Ints(subset)
+	return subset
+}
+
+// frontSetRebuild is the pre-arena reference implementation of frontSet:
+// re-sort every particle at the interval's sample time and take the k
+// front-most. Kept as the ground truth the persistent arena is
+// property-tested against.
+func (pp *Preprocessed) frontSetRebuild(e, k int) []int {
 	order := orderAt(pp.reduced.Pairs, pp.sampleTime(e))
 	subset := order[:k:k]
 	sort.Ints(subset)

@@ -121,6 +121,33 @@ func (p *Profile) RatioAB(i int) float64 {
 	return m.Alpha / m.Beta
 }
 
+// LoadCap returns the utilization machine i can sustain at the given
+// supply temperature while staying at or below T_max, clamped into the
+// physical range: cap_i = clamp(K_i − (α_i/β_i)·T_ac/W1, 0, 1), paper
+// Eq. 20. This is each machine's thermal slack — the currency degraded
+// and safe-mode planners shed load in.
+func (p *Profile) LoadCap(i int, tAc units.Celsius) float64 {
+	c := p.K(i) - p.RatioAB(i)*float64(tAc)/p.W1
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// CapacityAt sums the Eq. 20 load caps of the pooled machines at the
+// given supply temperature: the total load the pool can carry without any
+// CPU exceeding T_max.
+func (p *Profile) CapacityAt(pool []int, tAc units.Celsius) float64 {
+	var capacity float64
+	for _, i := range pool {
+		capacity += p.LoadCap(i, tAc)
+	}
+	return capacity
+}
+
 // ServerPower returns the modeled power of one machine at the given
 // utilization (Eq. 9).
 func (p *Profile) ServerPower(load float64) units.Watts {

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"coolopt/internal/units"
+)
+
+// Snapshot is an immutable view of a profiled machine room: the
+// per-machine thermal constants of Eq. 19 (α_i, β_i, γ_i and the derived
+// K_i), the room-wide power and cooling models of Eqs. 9–10, and the
+// consolidation tables of Algorithms 1–2 in their compressed kinetic form
+// with the persistent front-set arena.
+//
+// A Snapshot is frozen at construction: NewSnapshot deep-copies the
+// profile and every query path is read-only, so one Snapshot may be
+// shared by any number of goroutines WITHOUT Clone() — it is the model
+// half of the plant-model/optimizer split, published to planners by an
+// atomic pointer swap (see internal/engine) while the mutable
+// System/Simulator side keeps its clone discipline. The clonesafety
+// analyzer sanctions capturing a Snapshot in a goroutine for exactly this
+// reason.
+//
+// Callers must treat the *Profile returned by Profile() as read-only;
+// mutating it would corrupt the precomputed tables it no longer matches.
+type Snapshot struct {
+	epoch   uint64
+	profile *Profile
+	pre     *Preprocessed
+}
+
+// NewSnapshot validates and deep-copies the profile, runs consolidation
+// preprocessing once (forwarding any cap/worker options), and freezes the
+// result. epoch tags the snapshot's generation: engines publish
+// re-profiled or failure-adjusted snapshots with increasing epochs so
+// cached plans from superseded snapshots are never confused with current
+// ones.
+func NewSnapshot(p *Profile, epoch uint64, opts ...PreprocessOption) (*Snapshot, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	frozen := *p
+	frozen.Machines = append([]MachineProfile(nil), p.Machines...)
+	pre, err := Preprocess(frozen.Reduce(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{epoch: epoch, profile: &frozen, pre: pre}, nil
+}
+
+// Epoch returns the snapshot's generation tag.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Size returns the number of machines.
+func (s *Snapshot) Size() int { return s.profile.Size() }
+
+// Profile returns the frozen model. Read-only: see the type comment.
+func (s *Snapshot) Profile() *Profile { return s.profile }
+
+// Tables returns the consolidation tables (Algorithm 1's compressed
+// output); all its query methods are safe for concurrent use.
+func (s *Snapshot) Tables() *Preprocessed { return s.pre }
+
+// Plan returns the minimum-power plan for the given total load (in
+// machine-utilization units) with consolidation: machines outside the
+// returned on set should be powered off.
+//
+// For each feasible machine count k ≥ ⌈load⌉ the particle structure yields
+// the t-maximizing subset; the candidate's power is scored with the supply
+// temperature clamped into the actuation range (the paper's Eq. 23 scores
+// the unclamped value, which would over-reward subsets that cannot
+// actually raise the supply any further). The load split inside the winner
+// comes from SolveBounded.
+func (s *Snapshot) Plan(load float64) (*Plan, error) {
+	p := s.profile
+	n := p.Size()
+	if load <= 0 {
+		return nil, fmt.Errorf("core: load %v must be positive (power everything off instead)", load)
+	}
+	if load > float64(n) {
+		return nil, fmt.Errorf("%w: load %v exceeds cluster capacity %d", ErrInfeasible, load, n)
+	}
+
+	minK := int(math.Ceil(load - 1e-9))
+	if minK < 1 {
+		minK = 1
+	}
+
+	type candidate struct {
+		subset []int
+		power  float64
+	}
+	best := candidate{power: math.Inf(1)}
+	for k := minK; k <= n; k++ {
+		sel, err := s.pre.QueryExactK(load, k)
+		if err != nil {
+			continue
+		}
+		tAc := p.W1 * sel.T
+		if tAc > p.TAcMaxC {
+			tAc = p.TAcMaxC
+		}
+		if tAc < p.TAcMinC {
+			continue // even the best k-subset needs colder air than available
+		}
+		power := float64(p.CoolingPower(units.Celsius(tAc))) + p.W1*load + float64(k)*p.W2
+		if power < best.power-1e-9 {
+			best = candidate{subset: sel.Subset, power: power}
+		}
+	}
+	if best.subset == nil {
+		return nil, fmt.Errorf("%w: no machine subset satisfies load %v within constraints", ErrInfeasible, load)
+	}
+
+	plan, err := p.SolveBounded(best.subset, load)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ValidatePlan(plan, load, 1e-6); err != nil {
+		return nil, fmt.Errorf("core: optimizer produced invalid plan: %w", err)
+	}
+	return plan, nil
+}
+
+// PlanNoConsolidation returns the minimum-power plan that keeps every
+// machine powered on (scenarios #4–#6 in the paper's evaluation tree).
+func (s *Snapshot) PlanNoConsolidation(load float64) (*Plan, error) {
+	p := s.profile
+	on := make([]int, p.Size())
+	for i := range on {
+		on[i] = i
+	}
+	plan, err := p.SolveBounded(on, load)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ValidatePlan(plan, load, 1e-6); err != nil {
+		return nil, fmt.Errorf("core: optimizer produced invalid plan: %w", err)
+	}
+	return plan, nil
+}
+
+// PlanOver consolidates over prefixes of the given machine pool: the
+// closed form is solved for every on-count k ≥ ⌈load⌉ over pool[:k] and
+// the cheapest feasible plan under the model wins (the profiled machines
+// are near-homogeneous, so which k pool members run matters far less than
+// how many). This is the degraded planner's workhorse: the pool is the
+// surviving set after failures, which the precomputed whole-room tables
+// cannot answer for directly. Returns nil when no prefix is feasible.
+func (s *Snapshot) PlanOver(pool []int, load float64) *Plan {
+	var (
+		best  *Plan
+		bestW float64
+		minOn = int(math.Ceil(load - 1e-9))
+	)
+	if minOn < 1 {
+		minOn = 1
+	}
+	for k := minOn; k <= len(pool); k++ {
+		plan, err := s.profile.SolveBounded(pool[:k], load)
+		if err != nil {
+			continue
+		}
+		w := float64(s.profile.PlanPower(plan))
+		if best == nil || w < bestW {
+			best, bestW = plan, w
+		}
+	}
+	return best
+}

@@ -1,0 +1,372 @@
+// Package engine is the concurrent plan-serving layer between the frozen
+// model (core.Snapshot) and whatever consumes plans — the hardened
+// controller, the HTTP serving surface, and load-generation benchmarks.
+//
+// The design is the plant-model/optimizer split MPC controllers draw: the
+// mutable simulator keeps its Clone() discipline, while planning runs
+// entirely on an immutable Snapshot published through an RCU-style atomic
+// pointer. Readers never lock; a re-profile or failure-driven model change
+// swaps the pointer with Install and in-flight queries simply finish
+// against the snapshot they started on. A single-flight, bounded plan
+// cache keyed by (snapshot epoch, request) coalesces identical concurrent
+// queries — under serving load many clients ask for the same (method,
+// load) point, and one solve can answer all of them.
+//
+//coolopt:deterministic
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"coolopt/internal/baseline"
+	"coolopt/internal/core"
+	"coolopt/internal/units"
+)
+
+// cacheCap bounds the plan cache; beyond it the oldest entries are
+// evicted FIFO. Plans are small (two slices of n), so this is a few MB
+// even at datacenter scale.
+const cacheCap = 512
+
+// Request describes one planning query.
+type Request struct {
+	// Method selects the planning scenario; the zero value means the
+	// paper's solution (#8, consolidation + AC control).
+	Method baseline.Method
+	// Load is the total demand in machine-utilization units.
+	Load float64
+	// Avoid lists machine IDs to plan around (detected failures). A
+	// non-empty list routes the query to the degraded planner.
+	Avoid []int
+	// Safe asks for a CRAC-safe-mode plan: no consolidation, loads
+	// shed to what AchievedSupplyC can carry.
+	Safe bool
+	// AchievedSupplyC is the supply temperature the room actually
+	// delivers (°C), used only when Safe is set: a stuck CRAC makes the
+	// commanded value meaningless.
+	AchievedSupplyC float64
+	// MarginC is the thermal cushion (°C) added to the supply
+	// temperature when computing shed capacity.
+	MarginC float64
+}
+
+// normalize defaults the method and canonicalizes the avoid list (sorted,
+// deduplicated copy) so equivalent requests share a cache key.
+func (r Request) normalize() Request {
+	if r.Method == 0 {
+		r.Method = baseline.OptimalACCons
+	}
+	if len(r.Avoid) > 0 {
+		avoid := append([]int(nil), r.Avoid...)
+		sort.Ints(avoid)
+		out := avoid[:1]
+		for _, i := range avoid[1:] {
+			if i != out[len(out)-1] {
+				out = append(out, i)
+			}
+		}
+		r.Avoid = out
+	}
+	return r
+}
+
+// key is the cache / single-flight identity of a normalized request under
+// one snapshot epoch. Floats are keyed by their bit patterns: the cache
+// must distinguish loads that differ in the last ulp, not judge numeric
+// closeness.
+func (r Request) key(epoch uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d|%x|%t|%x|%x", epoch, int(r.Method),
+		math.Float64bits(r.Load), r.Safe,
+		math.Float64bits(r.AchievedSupplyC), math.Float64bits(r.MarginC))
+	for _, i := range r.Avoid {
+		fmt.Fprintf(&sb, "|%d", i)
+	}
+	return sb.String()
+}
+
+// Response is a served plan plus the accounting the caller needs to act
+// on it. The embedded Plan is shared with the cache: treat it as
+// read-only.
+type Response struct {
+	// Plan is the control decision.
+	Plan *core.Plan
+	// Method is the scenario that produced it (after defaulting).
+	Method baseline.Method
+	// Epoch identifies the snapshot the plan was computed against.
+	Epoch uint64
+	// Degraded reports the plan was computed around failed machines.
+	Degraded bool
+	// ShedLoad is the demand (machine-units) the plan does NOT carry
+	// because capacity ran out; zero when demand is fully served.
+	ShedLoad float64
+	// Capacity is the pool capacity the shed was computed against;
+	// meaningful only when ShedLoad > 0.
+	Capacity float64
+	// Cached reports the response came from the plan cache; Shared that
+	// it was coalesced onto a concurrent identical query.
+	Cached bool
+	Shared bool
+}
+
+// state is the RCU payload: one frozen snapshot plus the scenario planner
+// built on it. Both are read-only after construction.
+type state struct {
+	snap    *core.Snapshot
+	planner *baseline.Planner
+}
+
+// flight is one in-progress computation that concurrent identical
+// requests wait on.
+type flight struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// Engine serves plans off an atomically swappable snapshot.
+type Engine struct {
+	state atomic.Pointer[state]
+
+	mu       sync.Mutex
+	cache    map[string]*Response
+	order    []string // FIFO eviction order of cache keys
+	inflight map[string]*flight
+}
+
+// New builds an engine serving the given planner's snapshot.
+func New(pl *baseline.Planner) *Engine {
+	e := &Engine{
+		cache:    make(map[string]*Response),
+		inflight: make(map[string]*flight),
+	}
+	e.state.Store(&state{snap: pl.Snapshot(), planner: pl})
+	return e
+}
+
+// FromSnapshot builds an engine directly on a frozen snapshot,
+// constructing the scenario planner over it.
+func FromSnapshot(snap *core.Snapshot) (*Engine, error) {
+	pl, err := baseline.NewPlannerOn(snap)
+	if err != nil {
+		return nil, err
+	}
+	return New(pl), nil
+}
+
+// Install publishes a new snapshot: the scenario planner is rebuilt on
+// it, the (snapshot, planner) pair swaps in atomically, and the plan
+// cache is dropped. Queries already running finish against the snapshot
+// they loaded; new queries see the new one.
+func (e *Engine) Install(snap *core.Snapshot) error {
+	pl, err := baseline.NewPlannerOn(snap)
+	if err != nil {
+		return err
+	}
+	e.state.Store(&state{snap: snap, planner: pl})
+	e.mu.Lock()
+	e.cache = make(map[string]*Response)
+	e.order = e.order[:0]
+	e.mu.Unlock()
+	return nil
+}
+
+// Snapshot returns the currently installed snapshot.
+func (e *Engine) Snapshot() *core.Snapshot { return e.state.Load().snap }
+
+// Epoch returns the installed snapshot's epoch.
+func (e *Engine) Epoch() uint64 { return e.state.Load().snap.Epoch() }
+
+// Planner returns the scenario planner over the installed snapshot.
+func (e *Engine) Planner() *baseline.Planner { return e.state.Load().planner }
+
+// Plan answers one planning query. It is safe for any number of
+// concurrent callers; identical queries are coalesced and answers are
+// cached until the snapshot changes.
+func (e *Engine) Plan(ctx context.Context, req Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if req.Load < 0 {
+		return nil, fmt.Errorf("engine: negative load %v", req.Load)
+	}
+	st := e.state.Load()
+	req = req.normalize()
+	key := req.key(st.snap.Epoch())
+
+	e.mu.Lock()
+	if hit, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		r := *hit
+		r.Cached = true
+		return &r, nil
+	}
+	if f, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.err
+			}
+			r := *f.resp
+			r.Shared = true
+			return &r, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[key] = f
+	e.mu.Unlock()
+
+	resp, err := e.compute(st, req)
+	f.resp, f.err = resp, err
+	close(f.done)
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if err == nil {
+		e.store(key, resp)
+	}
+	e.mu.Unlock()
+
+	if err != nil {
+		return nil, err
+	}
+	r := *resp
+	return &r, nil
+}
+
+// store inserts into the bounded cache; the caller holds e.mu.
+func (e *Engine) store(key string, resp *Response) {
+	if _, ok := e.cache[key]; ok {
+		return
+	}
+	for len(e.cache) >= cacheCap && len(e.order) > 0 {
+		delete(e.cache, e.order[0])
+		e.order = e.order[1:]
+	}
+	e.cache[key] = resp
+	e.order = append(e.order, key)
+}
+
+// compute solves one normalized request against one state.
+func (e *Engine) compute(st *state, req Request) (*Response, error) {
+	resp := &Response{Method: req.Method, Epoch: st.snap.Epoch()}
+	switch {
+	case req.Safe:
+		if err := e.safePlan(st, req, resp); err != nil {
+			return nil, err
+		}
+	case len(req.Avoid) > 0:
+		if err := e.degradedPlan(st, req, resp); err != nil {
+			return nil, err
+		}
+	default:
+		plan, err := st.planner.Plan(req.Method, req.Load)
+		if err != nil {
+			return nil, err
+		}
+		resp.Plan = plan
+	}
+	return resp, nil
+}
+
+// survivors returns 0..n−1 minus the (sorted) avoid list.
+func survivors(n int, avoid []int) []int {
+	pool := make([]int, 0, n)
+	next := 0
+	for i := 0; i < n; i++ {
+		for next < len(avoid) && avoid[next] < i {
+			next++
+		}
+		if next < len(avoid) && avoid[next] == i {
+			continue
+		}
+		pool = append(pool, i)
+	}
+	return pool
+}
+
+// degradedPlan re-runs the paper's closed form over the surviving
+// machines. If even the full surviving set cannot carry the demand, the
+// excess is shed to the pool's Eq. 20 capacity at the coldest supply
+// (with the thermal cushion).
+func (e *Engine) degradedPlan(st *state, req Request, resp *Response) error {
+	resp.Degraded = true
+	p := st.snap.Profile()
+	pool := survivors(p.Size(), req.Avoid)
+	if len(pool) == 0 {
+		return errors.New("engine: no surviving machines")
+	}
+	if plan := st.snap.PlanOver(pool, req.Load); plan != nil {
+		resp.Plan = plan
+		return nil
+	}
+	capacity := p.CapacityAt(pool, units.Celsius(p.TAcMinC+req.MarginC))
+	plan := st.snap.PlanOver(pool, capacity)
+	if plan == nil {
+		return fmt.Errorf("engine: no feasible degraded plan even after shedding to %.2f units", capacity)
+	}
+	resp.Plan = plan
+	resp.ShedLoad = req.Load - capacity
+	resp.Capacity = capacity
+	return nil
+}
+
+// safePlan plans for a CRAC that no longer answers commands: no
+// consolidation (concentration is what needs cold air), loads sized to
+// what the achieved supply temperature can carry. Unlike an even spread,
+// the shed is slack-weighted: each machine gets load in proportion to its
+// own Eq. 20 cap at the achieved supply, so thermally tight machines
+// (high α_i/β_i, low K_i) are unloaded first and no machine is pushed
+// past its cap.
+func (e *Engine) safePlan(st *state, req Request, resp *Response) error {
+	p := st.snap.Profile()
+	pool := survivors(p.Size(), req.Avoid)
+	if len(pool) == 0 {
+		return errors.New("engine: no surviving machines")
+	}
+	supply := units.Celsius(req.AchievedSupplyC + req.MarginC)
+	caps := make([]float64, len(pool))
+	var capacity float64
+	for j, i := range pool {
+		caps[j] = p.LoadCap(i, supply)
+		capacity += caps[j]
+	}
+	carried := req.Load
+	if carried > capacity {
+		carried = capacity
+		resp.ShedLoad = req.Load - capacity
+		resp.Capacity = capacity
+	}
+	loads := make([]float64, p.Size())
+	if capacity > 0 {
+		scale := carried / capacity
+		for j, i := range pool {
+			loads[i] = caps[j] * scale
+		}
+	}
+	resp.Plan = &core.Plan{On: pool, Loads: loads, TAcC: units.Celsius(p.TAcMinC)}
+	return nil
+}
+
+// MaxLoad answers the paper's dual budget question maxL(A, P_b) off the
+// installed snapshot: the maximum serviceable load under a power budget
+// and the machine set achieving it.
+func (e *Engine) MaxLoad(budgetW float64) (core.MaxLoadResult, error) {
+	return e.state.Load().snap.Tables().MaxLoad(budgetW)
+}
+
+// Consolidate answers the consolidation query directly: the best subset
+// of at least minK machines for the given load (Eq. 23 scoring).
+func (e *Engine) Consolidate(load float64, minK int) (core.Selection, error) {
+	return e.state.Load().snap.Tables().QueryExact(load, minK)
+}

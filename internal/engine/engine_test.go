@@ -1,0 +1,300 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"coolopt/internal/baseline"
+	"coolopt/internal/core"
+	"coolopt/internal/units"
+)
+
+// testProfile builds a small heterogeneous room in the paper's parameter
+// regime (Table I-ish constants, jittered per-machine fits).
+func testProfile(n int) *core.Profile {
+	machines := make([]core.MachineProfile, n)
+	for i := range machines {
+		h := float64(i) / float64(n)
+		machines[i] = core.MachineProfile{
+			Alpha: 1.0,
+			Beta:  0.46 * (1 + 0.1*h),
+			Gamma: 0.5 + 2.2*h,
+		}
+	}
+	return &core.Profile{
+		W1: 52, W2: 34, CoolFactor: 150, SetPointC: 31,
+		TMaxC: 65, TAcMinC: 10, TAcMaxC: 25,
+		Machines: machines,
+	}
+}
+
+func testSnapshot(t *testing.T, n int, epoch uint64) *core.Snapshot {
+	t.Helper()
+	snap, err := core.NewSnapshot(testProfile(n), epoch, core.WithMaxMachines(n))
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return snap
+}
+
+func testEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	e, err := FromSnapshot(testSnapshot(t, n, 0))
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return e
+}
+
+func TestPlanMatchesPlanner(t *testing.T) {
+	e := testEngine(t, 12)
+	ctx := context.Background()
+	for _, load := range []float64{1.5, 4, 8.25} {
+		resp, err := e.Plan(ctx, Request{Load: load})
+		if err != nil {
+			t.Fatalf("load %v: %v", load, err)
+		}
+		want, err := e.Planner().Plan(baseline.OptimalACCons, load)
+		if err != nil {
+			t.Fatalf("direct solve load %v: %v", load, err)
+		}
+		if len(resp.Plan.On) != len(want.On) {
+			t.Fatalf("load %v: engine turned on %d machines, planner %d", load, len(resp.Plan.On), len(want.On))
+		}
+		if math.Abs(float64(resp.Plan.TAcC-want.TAcC)) > 1e-12 {
+			t.Fatalf("load %v: TAcC %v vs %v", load, resp.Plan.TAcC, want.TAcC)
+		}
+		if math.Abs(resp.Plan.TotalLoad()-want.TotalLoad()) > 1e-9 {
+			t.Fatalf("load %v: total %v vs %v", load, resp.Plan.TotalLoad(), want.TotalLoad())
+		}
+	}
+}
+
+func TestCacheHitAndEpochStamp(t *testing.T) {
+	e := testEngine(t, 10)
+	ctx := context.Background()
+	first, err := e.Plan(ctx, Request{Load: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.Shared {
+		t.Fatalf("first query claims reuse: %+v", first)
+	}
+	if first.Epoch != 0 {
+		t.Fatalf("epoch = %d, want 0", first.Epoch)
+	}
+	second, err := e.Plan(ctx, Request{Load: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("identical query not served from cache")
+	}
+	if math.Abs(second.Plan.TotalLoad()-first.Plan.TotalLoad()) > 1e-12 {
+		t.Fatal("cached plan differs from original")
+	}
+	// The zero method and the explicit paper method are the same query.
+	third, err := e.Plan(ctx, Request{Load: 5, Method: baseline.OptimalACCons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Fatal("defaulted method missed the cache")
+	}
+}
+
+func TestInstallSwapsSnapshotAndDropsCache(t *testing.T) {
+	e := testEngine(t, 10)
+	ctx := context.Background()
+	if _, err := e.Plan(ctx, Request{Load: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(testSnapshot(t, 10, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Epoch() != 7 {
+		t.Fatalf("epoch = %d, want 7", e.Epoch())
+	}
+	resp, err := e.Plan(ctx, Request{Load: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("cache survived a snapshot install")
+	}
+	if resp.Epoch != 7 {
+		t.Fatalf("plan stamped with epoch %d, want 7", resp.Epoch)
+	}
+}
+
+func TestDegradedPlanAvoidsFailedMachines(t *testing.T) {
+	e := testEngine(t, 10)
+	resp, err := e.Plan(context.Background(), Request{Load: 3, Avoid: []int{2, 5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatal("avoid-list query not marked degraded")
+	}
+	for _, id := range resp.Plan.On {
+		if id == 2 || id == 5 {
+			t.Fatalf("failed machine %d powered on", id)
+		}
+	}
+	if resp.ShedLoad > 0 {
+		t.Fatalf("light load shed %v", resp.ShedLoad)
+	}
+	if math.Abs(resp.Plan.TotalLoad()-3) > 1e-9 {
+		t.Fatalf("degraded plan carries %v, want 3", resp.Plan.TotalLoad())
+	}
+}
+
+func TestDegradedPlanShedsWhenOverCapacity(t *testing.T) {
+	e := testEngine(t, 6)
+	avoid := []int{0, 1, 2, 3}
+	resp, err := e.Plan(context.Background(), Request{Load: 5, Avoid: avoid, MarginC: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ShedLoad <= 0 || resp.Capacity <= 0 {
+		t.Fatalf("5 units on 2 survivors should shed: %+v", resp)
+	}
+	if math.Abs(resp.ShedLoad-(5-resp.Capacity)) > 1e-9 {
+		t.Fatalf("shed %v inconsistent with capacity %v", resp.ShedLoad, resp.Capacity)
+	}
+}
+
+func TestSafePlanRespectsPerMachineCaps(t *testing.T) {
+	e := testEngine(t, 8)
+	const supply, margin = 22.0, 2.0
+	resp, err := e.Plan(context.Background(), Request{
+		Load: 20, Safe: true, AchievedSupplyC: supply, MarginC: margin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Snapshot().Profile()
+	if len(resp.Plan.On) != p.Size() {
+		t.Fatalf("safe mode consolidated: %d of %d machines on", len(resp.Plan.On), p.Size())
+	}
+	var capacity float64
+	for i, l := range resp.Plan.Loads {
+		cap := p.LoadCap(i, units.Celsius(supply+margin))
+		capacity += cap
+		if l > cap+1e-9 {
+			t.Fatalf("machine %d loaded to %v past its Eq. 20 cap %v", i, l, cap)
+		}
+	}
+	if resp.ShedLoad <= 0 {
+		t.Fatalf("20 units on 8 machines should shed: %+v", resp)
+	}
+	if math.Abs(resp.Plan.TotalLoad()-capacity) > 1e-9 {
+		t.Fatalf("safe plan carries %v, capacity is %v", resp.Plan.TotalLoad(), capacity)
+	}
+}
+
+func TestRejectsBadRequests(t *testing.T) {
+	e := testEngine(t, 6)
+	if _, err := e.Plan(context.Background(), Request{Load: -1}); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Plan(ctx, Request{Load: 1}); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+	if _, err := e.Plan(context.Background(), Request{Load: 1, Avoid: []int{0, 1, 2, 3, 4, 5}}); err == nil {
+		t.Fatal("empty survivor pool accepted")
+	}
+}
+
+func TestMaxLoadAndConsolidate(t *testing.T) {
+	e := testEngine(t, 8)
+	sel, err := e.Consolidate(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Subset) < 4 {
+		t.Fatalf("consolidation picked %d machines for 4 units", len(sel.Subset))
+	}
+	ml, err := e.MaxLoad(8*(52+34) + 150*21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Load <= 0 {
+		t.Fatalf("generous budget yields max load %v", ml.Load)
+	}
+}
+
+// TestConcurrentPlanDuringInstall is the race check the serving layer is
+// built around: many goroutines hammer Plan while the main goroutine
+// keeps installing fresh snapshots with increasing epochs. Run with
+// -race this verifies readers never observe a torn (snapshot, planner)
+// pair; the epoch stamp proves each answer came from some installed
+// snapshot.
+func TestConcurrentPlanDuringInstall(t *testing.T) {
+	const (
+		workers  = 8
+		queries  = 60
+		installs = 20
+	)
+	e := testEngine(t, 12)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	maxEpoch := make(chan uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var top uint64
+			for q := 0; q < queries; q++ {
+				load := 1 + float64((w*queries+q)%40)/4
+				req := Request{Load: load}
+				switch q % 3 {
+				case 1:
+					req.Avoid = []int{w % 12}
+				case 2:
+					req.Safe = true
+					req.AchievedSupplyC = 20
+					req.MarginC = 2
+				}
+				resp, err := e.Plan(ctx, req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Epoch > top {
+					top = resp.Epoch
+				}
+				if resp.Plan == nil || len(resp.Plan.On) == 0 {
+					errs <- context.DeadlineExceeded // impossible marker
+					return
+				}
+			}
+			maxEpoch <- top
+		}(w)
+	}
+	for i := 1; i <= installs; i++ {
+		if err := e.Install(testSnapshot(t, 12, uint64(i))); err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	close(maxEpoch)
+	if err := <-errs; err != nil {
+		t.Fatalf("concurrent plan: %v", err)
+	}
+	if e.Epoch() != installs {
+		t.Fatalf("final epoch %d, want %d", e.Epoch(), installs)
+	}
+	for top := range maxEpoch {
+		if top > installs {
+			t.Fatalf("worker saw epoch %d beyond any installed snapshot", top)
+		}
+	}
+}

@@ -2,12 +2,16 @@ package roomapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"coolopt/internal/baseline"
+	"coolopt/internal/engine"
 	"coolopt/internal/machineroom"
 )
 
@@ -15,9 +19,21 @@ import (
 // wedge the server in a near-endless integration loop.
 const maxAdvanceSeconds = 24 * 3600
 
-// Server serves one machine room over HTTP. All room access is
-// serialized by an internal mutex, so a single simulator instance can
-// back it safely. Build with NewServer; it implements http.Handler.
+// Server serves one machine room over HTTP. Build with NewServer; it
+// implements http.Handler.
+//
+// Mutating endpoints are serialized by an internal mutex. Read endpoints
+// are served from a generation-stamped view: every executed mutation
+// bumps a generation counter, and the first read after a mutation
+// rebuilds the view under the lock while later reads return it straight
+// from an atomic pointer. Reads therefore never serialize behind a long
+// /v1/advance — they serve the last settled state — and repeated sensor
+// polls between mutations return one consistent snapshot instead of
+// draining the room's measurement-noise streams.
+//
+// With WithEngine, the server additionally exposes the planning surface
+// (/v1/plan, /v1/consolidate, /v1/maxload) straight off the engine's
+// immutable snapshot; planning never touches the room or its lock.
 //
 // Mutating endpoints honor the SeqHeader idempotency token: the server
 // remembers the most recent token and its recorded response, and a
@@ -29,9 +45,13 @@ const maxAdvanceSeconds = 24 * 3600
 // controller starting its counter over is a fresh command stream, not a
 // stale replay.
 type Server struct {
-	mu   sync.Mutex
-	room machineroom.Room
-	mux  *http.ServeMux
+	mu     sync.Mutex
+	room   machineroom.Room
+	mux    *http.ServeMux
+	engine *engine.Engine
+
+	gen  atomic.Uint64 // bumped after every executed mutation
+	view atomic.Pointer[view]
 
 	seqValid  bool
 	seqClient string
@@ -40,14 +60,34 @@ type Server struct {
 	seqBody   []byte // recorded JSON response; nil for 204
 }
 
+// view is one settled read snapshot of the room.
+type view struct {
+	gen     uint64
+	info    RoomInfo
+	sensors Sensors
+	crac    CRACState
+}
+
 var _ http.Handler = (*Server)(nil)
 
+// Option configures NewServer.
+type Option func(*Server)
+
+// WithEngine attaches a plan-serving engine, enabling the /v1/plan,
+// /v1/consolidate, and /v1/maxload endpoints.
+func WithEngine(e *engine.Engine) Option {
+	return func(s *Server) { s.engine = e }
+}
+
 // NewServer wraps a room.
-func NewServer(room machineroom.Room) (*Server, error) {
+func NewServer(room machineroom.Room, opts ...Option) (*Server, error) {
 	if room == nil {
 		return nil, fmt.Errorf("roomapi: nil room")
 	}
 	s := &Server{room: room, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /v1/room", s.handleRoom)
 	s.mux.HandleFunc("GET /v1/sensors", s.handleSensors)
 	s.mux.HandleFunc("POST /v1/machines/{id}/load", s.handleSetLoad)
@@ -55,6 +95,9 @@ func NewServer(room machineroom.Room) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/crac", s.handleCRAC)
 	s.mux.HandleFunc("POST /v1/crac/setpoint", s.handleSetPoint)
 	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/consolidate", s.handleConsolidate)
+	s.mux.HandleFunc("GET /v1/maxload", s.handleMaxLoad)
 	return s, nil
 }
 
@@ -63,35 +106,68 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) handleRoom(w http.ResponseWriter, _ *http.Request) {
+// currentView returns the read snapshot for the current generation,
+// rebuilding it under the lock only when a mutation has landed since the
+// last build. A long-running mutation does not block readers: the
+// generation only bumps when it completes, so readers keep serving the
+// previous settled view.
+func (s *Server) currentView() *view {
+	g := s.gen.Load()
+	if v := s.view.Load(); v != nil && v.gen == g {
+		return v
+	}
 	s.mu.Lock()
-	info := RoomInfo{Machines: s.room.Size(), TimeS: s.room.Time()}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, info)
+	defer s.mu.Unlock()
+	// Reload under the lock: another reader may have rebuilt, or a
+	// mutation may have landed while we waited.
+	g = s.gen.Load()
+	if v := s.view.Load(); v != nil && v.gen == g {
+		return v
+	}
+	v := s.buildView(g)
+	s.view.Store(v)
+	return v
 }
 
-func (s *Server) handleSensors(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	snap := Sensors{
-		TimeS:    s.room.Time(),
-		Machines: make([]MachineSensors, s.room.Size()),
-		CRAC: CRACState{
-			SetPointC: s.room.SetPoint(),
-			SupplyC:   s.room.Supply(),
-			ReturnC:   s.room.ReturnTemp(),
-			PowerW:    s.room.MeasuredCRACPower(),
-		},
+// buildView reads the room once; the caller holds s.mu.
+func (s *Server) buildView(gen uint64) *view {
+	crac := CRACState{
+		SetPointC: s.room.SetPoint(),
+		SupplyC:   s.room.Supply(),
+		ReturnC:   s.room.ReturnTemp(),
+		PowerW:    s.room.MeasuredCRACPower(),
 	}
-	for i := range snap.Machines {
-		snap.Machines[i] = MachineSensors{
+	v := &view{
+		gen:  gen,
+		info: RoomInfo{Machines: s.room.Size(), TimeS: s.room.Time()},
+		sensors: Sensors{
+			TimeS:    s.room.Time(),
+			Machines: make([]MachineSensors, s.room.Size()),
+			CRAC:     crac,
+		},
+		crac: crac,
+	}
+	for i := range v.sensors.Machines {
+		v.sensors.Machines[i] = MachineSensors{
 			ID:       i,
 			On:       s.room.IsOn(i),
 			CPUTempC: s.room.MeasuredCPUTemp(i),
 			PowerW:   s.room.MeasuredServerPower(i),
 		}
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, snap)
+	return v
+}
+
+func (s *Server) handleRoom(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.currentView().info)
+}
+
+func (s *Server) handleSensors(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.currentView().sensors)
+}
+
+func (s *Server) handleCRAC(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.currentView().crac)
 }
 
 func (s *Server) handleSetLoad(w http.ResponseWriter, r *http.Request) {
@@ -128,18 +204,6 @@ func (s *Server) handleSetPower(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleCRAC(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	state := CRACState{
-		SetPointC: s.room.SetPoint(),
-		SupplyC:   s.room.Supply(),
-		ReturnC:   s.room.ReturnTemp(),
-		PowerW:    s.room.MeasuredCRACPower(),
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, state)
-}
-
 func (s *Server) handleSetPoint(w http.ResponseWriter, r *http.Request) {
 	var req SetPointRequest
 	if !readJSON(w, r, &req) {
@@ -172,13 +236,131 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePlan serves Engine.Plan: ?load=<units> with optional
+// &method=<1-8>, &avoid=<id,id,...>, &safe=true, &supply=<°C>,
+// &margin=<°C>. Served straight off the engine's snapshot — no room
+// lock.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if s.engine == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("no planning engine configured"))
+		return
+	}
+	q := r.URL.Query()
+	load, err := strconv.ParseFloat(q.Get("load"), 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad load %q", q.Get("load")))
+		return
+	}
+	req := engine.Request{Load: load}
+	if raw := q.Get("method"); raw != "" {
+		m, err := strconv.Atoi(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad method %q", raw))
+			return
+		}
+		req.Method = baseline.Method(m)
+	}
+	if raw := q.Get("avoid"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad avoid list %q", raw))
+				return
+			}
+			req.Avoid = append(req.Avoid, id)
+		}
+	}
+	req.Safe = q.Get("safe") == "true"
+	if raw := q.Get("supply"); raw != "" {
+		if req.AchievedSupplyC, err = strconv.ParseFloat(raw, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad supply %q", raw))
+			return
+		}
+	}
+	if raw := q.Get("margin"); raw != "" {
+		if req.MarginC, err = strconv.ParseFloat(raw, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad margin %q", raw))
+			return
+		}
+	}
+	resp, err := s.engine.Plan(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResult{
+		Epoch:    resp.Epoch,
+		Method:   int(resp.Method),
+		On:       resp.Plan.On,
+		Loads:    resp.Plan.Loads,
+		TAcC:     float64(resp.Plan.TAcC),
+		ShedLoad: resp.ShedLoad,
+		Capacity: resp.Capacity,
+		Degraded: resp.Degraded,
+		Cached:   resp.Cached,
+		Shared:   resp.Shared,
+	})
+}
+
+// handleConsolidate serves the raw consolidation query:
+// ?load=<units>&mink=<k>.
+func (s *Server) handleConsolidate(w http.ResponseWriter, r *http.Request) {
+	if s.engine == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("no planning engine configured"))
+		return
+	}
+	q := r.URL.Query()
+	load, err := strconv.ParseFloat(q.Get("load"), 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad load %q", q.Get("load")))
+		return
+	}
+	minK := 1
+	if raw := q.Get("mink"); raw != "" {
+		if minK, err = strconv.Atoi(raw); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad mink %q", raw))
+			return
+		}
+	}
+	sel, err := s.engine.Consolidate(load, minK)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ConsolidateResult{
+		Epoch: s.engine.Epoch(), Subset: sel.Subset, T: sel.T, PowerW: sel.Power,
+	})
+}
+
+// handleMaxLoad serves the dual budget query: ?budget=<W>.
+func (s *Server) handleMaxLoad(w http.ResponseWriter, r *http.Request) {
+	if s.engine == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("no planning engine configured"))
+		return
+	}
+	budget, err := strconv.ParseFloat(r.URL.Query().Get("budget"), 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad budget %q", r.URL.Query().Get("budget")))
+		return
+	}
+	res, err := s.engine.MaxLoad(budget)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MaxLoadResult{
+		Epoch: s.engine.Epoch(), Load: res.Load, Subset: res.Subset, T: res.T,
+	})
+}
+
 // mutate executes a state-changing command under the room lock with
 // idempotent-replay support: a request re-presenting the last executed
 // SeqHeader token gets the recorded response back without executing, a
 // token older than the last is rejected 409, and requests without a
 // token (or with a fresh one) execute normally. The executed response —
 // success or failure — is recorded, so a duplicate of a failed command
-// fails identically instead of executing.
+// fails identically instead of executing. Every executed command bumps
+// the read generation, invalidating the cached read view.
 func (s *Server) mutate(w http.ResponseWriter, r *http.Request, exec func() (int, any)) {
 	raw := r.Header.Get(SeqHeader)
 	var (
@@ -219,6 +401,7 @@ func (s *Server) mutate(w http.ResponseWriter, r *http.Request, exec func() (int
 		}
 	}
 	status, v := exec()
+	s.gen.Add(1)
 	var body []byte
 	if v != nil {
 		body, _ = json.Marshal(v)

@@ -14,6 +14,14 @@
 // The /v1/advance verb exists because the reference server hosts a
 // simulated room (a virtual testbed) whose time is virtual; against real
 // hardware an implementation would accept it as a plain wall-clock wait.
+//
+// When the server is built with WithEngine, three planning endpoints
+// serve queries straight off the engine's immutable snapshot, never
+// touching the room or its lock:
+//
+//	GET /v1/plan?load=12.5[&method=8][&avoid=3,7][&safe=true][&supply=22][&margin=2.5]
+//	GET /v1/consolidate?load=12.5[&mink=13]
+//	GET /v1/maxload?budget=5000
 package roomapi
 
 // RoomInfo describes the room (GET /v1/room).
@@ -63,6 +71,45 @@ type SetPointRequest struct {
 // AdvanceRequest is the body of POST /v1/advance.
 type AdvanceRequest struct {
 	Seconds float64 `json:"seconds"`
+}
+
+// PlanResult is a served plan (GET /v1/plan).
+type PlanResult struct {
+	// Epoch identifies the engine snapshot that produced the plan.
+	Epoch uint64 `json:"epoch"`
+	// Method is the planning scenario after defaulting (1–8, Fig. 4).
+	Method int `json:"method"`
+	// On lists powered-on machine IDs; Loads is indexed by machine ID.
+	On    []int     `json:"on"`
+	Loads []float64 `json:"loads"`
+	// TAcC is the commanded supply temperature in °C.
+	TAcC float64 `json:"tAcC"`
+	// ShedLoad is demand (machine-units) not carried because capacity
+	// ran out; Capacity is the pool capacity the shed was computed
+	// against.
+	ShedLoad float64 `json:"shedLoad,omitempty"`
+	Capacity float64 `json:"capacity,omitempty"`
+	// Degraded reports the plan was computed around failed machines;
+	// Cached/Shared report cache hits and single-flight coalescing.
+	Degraded bool `json:"degraded,omitempty"`
+	Cached   bool `json:"cached,omitempty"`
+	Shared   bool `json:"shared,omitempty"`
+}
+
+// ConsolidateResult is a raw consolidation answer (GET /v1/consolidate).
+type ConsolidateResult struct {
+	Epoch  uint64  `json:"epoch"`
+	Subset []int   `json:"subset"`
+	T      float64 `json:"t"`
+	PowerW float64 `json:"powerW"`
+}
+
+// MaxLoadResult is a budget-query answer (GET /v1/maxload).
+type MaxLoadResult struct {
+	Epoch  uint64  `json:"epoch"`
+	Load   float64 `json:"load"`
+	Subset []int   `json:"subset"`
+	T      float64 `json:"t"`
 }
 
 // ErrorResponse carries an API error.

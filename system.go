@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"coolopt/internal/baseline"
+	"coolopt/internal/core"
+	"coolopt/internal/engine"
 	"coolopt/internal/mathx"
 	"coolopt/internal/profiling"
 	"coolopt/internal/room"
@@ -19,6 +21,7 @@ type System struct {
 	sim       *sim.Simulator
 	profiling *profiling.Result
 	planner   *baseline.Planner
+	engine    *engine.Engine
 	opts      options
 }
 
@@ -35,6 +38,7 @@ type options struct {
 	noise     *noiseOption
 	copScale  float64
 	tMaxC     float64
+	preOpts   []core.PreprocessOption
 	profiling profiling.Config
 }
 
@@ -131,6 +135,18 @@ func WithSensorNoise(tempC, powerW float64) Option {
 // shrinking the cooling share of total power.
 func WithCOPScale(scale float64) Option { return copScaleOption(scale) }
 
+type preprocessOption []core.PreprocessOption
+
+func (o preprocessOption) apply(opts *options) {
+	opts.preOpts = append(opts.preOpts, o...)
+}
+
+// WithPreprocess forwards consolidation preprocessing options — machine
+// cap and worker pool (WithMaxMachines, WithPreprocessWorkers) — to the
+// snapshot built during NewSystem. Required for rooms larger than the
+// default preprocessing cap.
+func WithPreprocess(opts ...PreprocessOption) Option { return preprocessOption(opts) }
+
 // NewSystem builds the simulated machine room, runs the full profiling
 // protocol against it, and returns a System ready to evaluate scenarios.
 func NewSystem(opts ...Option) (*System, error) {
@@ -222,11 +238,15 @@ func NewSystem(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coolopt: profiling: %w", err)
 	}
-	planner, err := baseline.NewPlanner(res.Profile)
+	snap, err := core.NewSnapshot(res.Profile, 0, o.preOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("coolopt: snapshot: %w", err)
+	}
+	planner, err := baseline.NewPlannerOn(snap)
 	if err != nil {
 		return nil, fmt.Errorf("coolopt: planner: %w", err)
 	}
-	return &System{sim: s, profiling: res, planner: planner, opts: o}, nil
+	return &System{sim: s, profiling: res, planner: planner, engine: engine.New(planner), opts: o}, nil
 }
 
 // Clone returns a System running its own copy of the simulated room while
@@ -241,6 +261,7 @@ func (s *System) Clone(seed int64) *System {
 		sim:       s.sim.Clone(seed),
 		profiling: s.profiling,
 		planner:   s.planner,
+		engine:    s.engine,
 		opts:      s.opts,
 	}
 }
@@ -256,6 +277,15 @@ func (s *System) Profile() *Profile { return s.profiling.Profile }
 
 // Planner returns the eight-scenario planner.
 func (s *System) Planner() *Planner { return s.planner }
+
+// Snapshot returns the frozen planning model built during NewSystem —
+// safe to share across goroutines without Clone.
+func (s *System) Snapshot() *Snapshot { return s.planner.Snapshot() }
+
+// Engine returns the concurrent plan-serving engine over the system's
+// snapshot. Clones share the engine: it only touches the frozen model,
+// never the simulated room.
+func (s *System) Engine() *Engine { return s.engine }
 
 // Size returns the number of machines.
 func (s *System) Size() int { return s.sim.Size() }
