@@ -1,13 +1,15 @@
 GO ?= go
 
 # ci is the tier-1 gate: formatting, vet, the repo's own static-analysis
-# suite, race-enabled tests, a full build, and a small serving-bench
-# smoke run. The race step guards the concurrent paths (the plan engine,
-# the parallel kinetic preprocessing sweep, and the figures.Collect
-# worker pool); lint enforces the determinism, unit-safety, and
-# clone-discipline invariants the experiments depend on.
+# suite, race-enabled tests, a full build, and small serving-bench and
+# hierarchy-bench smoke runs. The race step guards the concurrent paths
+# (the plan engine, the parallel kinetic preprocessing and pod-table
+# sweeps, and the figures.Collect worker pool); lint enforces the
+# determinism, unit-safety, and clone-discipline invariants the
+# experiments depend on; the hierarchy smoke enforces the pod planner's
+# optimality-gap bound at a small size.
 .PHONY: ci
-ci: fmt-check vet lint race build serving-smoke
+ci: fmt-check vet lint race build serving-smoke hierarchy-smoke
 
 .PHONY: build
 build:
@@ -55,3 +57,16 @@ serving-bench:
 .PHONY: serving-smoke
 serving-smoke:
 	$(GO) run ./cmd/paperbench -serving-bench /tmp/BENCH_serving_smoke.json -serving-max-n 64 -serving-queries 64
+
+# Refresh the pod-sharded hierarchical planning trajectory committed at
+# the repo root (includes the 65536-machine point).
+.PHONY: hierarchy-bench
+hierarchy-bench:
+	$(GO) run ./cmd/paperbench -hierarchy-bench BENCH_hierarchy.json
+
+# hierarchy-smoke runs the hierarchy benchmark at a small size; it fails
+# if the hierarchical planner's worst-case gap vs the exact optimum
+# exceeds -hierarchy-gap-limit (default 5 %).
+.PHONY: hierarchy-smoke
+hierarchy-smoke:
+	$(GO) run ./cmd/paperbench -hierarchy-bench /tmp/BENCH_hierarchy_smoke.json -hierarchy-max-n 256 -hierarchy-pod-size 32 -hierarchy-queries 64

@@ -8,6 +8,7 @@
 //	paperbench [-seed N] [-machines N] [-fig 2|3|5|6|7|8|9|10|table1|verify|all] [-ablations]
 //	paperbench -consolidation-bench BENCH_consolidation.json
 //	paperbench -serving-bench BENCH_serving.json [-serving-goroutines 8]
+//	paperbench -hierarchy-bench BENCH_hierarchy.json [-hierarchy-max-n 65536]
 //	paperbench -chaos [-chaos-duration 900]
 //
 // -chaos runs the fault-injection scenario suite (internal/chaos): every
@@ -53,6 +54,11 @@ func run(args []string, out io.Writer) error {
 	servGoroutines := fs.Int("serving-goroutines", 8, "concurrent clients hammering the engine during -serving-bench")
 	servQueries := fs.Int("serving-queries", 512, "queries per operation kind during -serving-bench")
 	servMaxN := fs.Int("serving-max-n", 4096, "largest room size measured during -serving-bench")
+	hierBench := fs.String("hierarchy-bench", "", "measure pod-sharded hierarchical planning scaling and write the JSON trajectory to this file (e.g. BENCH_hierarchy.json), then exit")
+	hierMaxN := fs.Int("hierarchy-max-n", 65536, "largest room size measured during -hierarchy-bench")
+	hierQueries := fs.Int("hierarchy-queries", 256, "queries per operation kind during -hierarchy-bench")
+	hierPodSize := fs.Int("hierarchy-pod-size", 0, "machines per pod during -hierarchy-bench (0 = library default)")
+	hierGapLimit := fs.Float64("hierarchy-gap-limit", 0.05, "fail -hierarchy-bench if the worst-case gap vs the exact planner exceeds this fraction")
 	chaosRun := fs.Bool("chaos", false, "run the fault-injection scenario suite (hardened vs unhardened controller), then exit")
 	chaosDur := fs.Float64("chaos-duration", 900, "simulated seconds per chaos scenario")
 	soakSeed := fs.Int64("soak-seed", 0, "with -chaos: also run a randomized fault schedule drawn from this seed (0 disables)")
@@ -64,6 +70,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *servBench != "" {
 		return runServingBench(out, *servBench, *servGoroutines, *servQueries, *servMaxN)
+	}
+	if *hierBench != "" {
+		return runHierarchyBench(out, *hierBench, *servGoroutines, *hierQueries, *hierMaxN, *hierPodSize, *hierGapLimit)
 	}
 	sel := strings.ToLower(*figSel)
 

@@ -113,11 +113,59 @@ func TestRunServingBench(t *testing.T) {
 	if pt.N != 64 || pt.Goroutines != 8 || pt.SnapshotBuildNS <= 0 {
 		t.Fatalf("incomplete point %+v", pt)
 	}
-	if pt.PlanColdQPS <= 0 || pt.PlanHotQPS <= 0 || pt.MaxLoadQPS <= 0 || pt.ConsolidateQPS <= 0 {
+	if pt.PlanColdQPS <= 0 || pt.PlanHotQPS <= 0 || pt.PlanZipfQPS <= 0 || pt.MaxLoadQPS <= 0 || pt.ConsolidateQPS <= 0 {
 		t.Fatalf("non-positive throughput %+v", pt)
+	}
+	if pt.Pods != 0 {
+		t.Fatalf("pods installed below the hierarchy threshold: %+v", pt)
 	}
 	if !strings.Contains(buf.String(), "wrote serving trajectory") {
 		t.Fatal("confirmation missing")
+	}
+}
+
+func TestRunHierarchyBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_hierarchy.json")
+	var buf bytes.Buffer
+	// Cap the room size at 256 machines (4 pods of 64) and shrink the
+	// query count to keep the test fast; the full trajectory runs up to
+	// 65536.
+	if err := run([]string{"-hierarchy-bench", path, "-hierarchy-max-n", "256", "-hierarchy-pod-size", "64", "-hierarchy-queries", "32"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trajectory not written: %v", err)
+	}
+	var res hierarchyBench
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(res.Points))
+	}
+	pt := res.Points[0]
+	if pt.N != 256 || pt.Pods != 4 || pt.BuildNS <= 0 || pt.TableBytes <= 0 {
+		t.Fatalf("incomplete point %+v", pt)
+	}
+	if pt.PlanColdQPS <= 0 || pt.PlanHotQPS <= 0 {
+		t.Fatalf("non-positive throughput %+v", pt)
+	}
+	// 256 machines is within the exact cap, so the gap sweep must have
+	// run and stayed under the default 5 % limit (the run errors past it).
+	if pt.ExactBuildNS <= 0 {
+		t.Fatalf("gap sweep skipped at n=256: %+v", pt)
+	}
+	if pt.GapWorst < 0 || pt.GapWorst > 0.05 {
+		t.Fatalf("gap out of range: %+v", pt)
+	}
+	if !strings.Contains(buf.String(), "wrote hierarchy trajectory") {
+		t.Fatal("confirmation missing")
+	}
+	// An unreachable gap limit must fail the run (the gap is never
+	// negative, so a negative limit always trips).
+	if err := run([]string{"-hierarchy-bench", path, "-hierarchy-max-n", "256", "-hierarchy-pod-size", "64", "-hierarchy-queries", "32", "-hierarchy-gap-limit", "-1"}, &buf); err == nil {
+		t.Fatal("negative gap limit accepted")
 	}
 }
 

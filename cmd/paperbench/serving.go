@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -34,12 +35,19 @@ type servingPoint struct {
 	// SnapshotBuildNS is the cost of freezing the profile: deep copy,
 	// validation, and the full consolidation preprocessing run.
 	SnapshotBuildNS int64 `json:"snapshot_build_ns"`
+	// Pods and PodBuildNS report the pod-sharded tables installed
+	// alongside the exact snapshot at n ≥ coolopt.HierThreshold, where
+	// the engine answers the consolidating optimum hierarchically.
+	Pods       int   `json:"pods,omitempty"`
+	PodBuildNS int64 `json:"pod_build_ns,omitempty"`
 	// PlanColdQPS uses a distinct load per query, defeating the plan
 	// cache: every query runs the Eq. 21–23 solve. PlanHotQPS cycles a
 	// small set of loads so most queries are cache or single-flight
-	// hits.
+	// hits. PlanZipfQPS draws loads from a Zipf popularity curve over
+	// 256 demand levels — the production-shaped mix of hits and misses.
 	PlanColdQPS float64 `json:"plan_cold_qps"`
 	PlanHotQPS  float64 `json:"plan_hot_qps"`
+	PlanZipfQPS float64 `json:"plan_zipf_qps"`
 	// MaxLoadQPS answers §III-B budget queries; ConsolidateQPS answers
 	// raw Eq. 21–22 table queries through the persistent front-set.
 	MaxLoadQPS     float64 `json:"maxload_qps"`
@@ -110,7 +118,22 @@ func runServingBench(out io.Writer, path string, goroutines, queries, maxN int) 
 		if err != nil {
 			return fmt.Errorf("snapshot n=%d: %w", n, err)
 		}
-		eng, err := coolopt.NewEngineFromSnapshot(snap)
+		// Past the hierarchy threshold the production configuration
+		// installs pod tables next to the exact snapshot, so the
+		// consolidating optimum is served hierarchically — measure that.
+		var pods *coolopt.PodSnapshot
+		var podD time.Duration
+		if n >= coolopt.HierThreshold {
+			podD, err = bestOf(1, func() error {
+				var err error
+				pods, err = coolopt.NewPodSnapshot(p, 0)
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("pod tables n=%d: %w", n, err)
+			}
+		}
+		eng, err := coolopt.NewEngineFromSnapshots(snap, pods)
 		if err != nil {
 			return fmt.Errorf("engine n=%d: %w", n, err)
 		}
@@ -131,6 +154,10 @@ func runServingBench(out io.Writer, path string, goroutines, queries, maxN int) 
 			return frac * float64(n)
 		}
 		pt := servingPoint{N: n, Goroutines: goroutines, SolveQueries: solveQ, SnapshotBuildNS: buildD.Nanoseconds()}
+		if pods != nil {
+			pt.Pods = pods.Pods()
+			pt.PodBuildNS = podD.Nanoseconds()
+		}
 		pt.PlanColdQPS, err = hammer(goroutines, solveQ, func(i int) error {
 			_, err := eng.Plan(ctx, coolopt.PlanRequest{Load: loadIn(i, solveQ)})
 			return err
@@ -152,6 +179,21 @@ func runServingBench(out io.Writer, path string, goroutines, queries, maxN int) 
 		if err != nil {
 			return fmt.Errorf("plan hot n=%d: %w", n, err)
 		}
+		// Zipf mix: demand levels drawn from a popularity curve, so a few
+		// loads dominate (cache hits) with a long tail of misses. The
+		// sequence is pre-drawn — rand.Zipf is not goroutine-safe.
+		zipfSrc := rand.NewZipf(rand.New(rand.NewSource(7)), 1.3, 1, 255)
+		zipfLoads := make([]float64, queries)
+		for i := range zipfLoads {
+			zipfLoads[i] = loadIn(int(zipfSrc.Uint64()), 256)
+		}
+		pt.PlanZipfQPS, err = hammer(goroutines, queries, func(i int) error {
+			_, err := eng.Plan(ctx, coolopt.PlanRequest{Load: zipfLoads[i]})
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("plan zipf n=%d: %w", n, err)
+		}
 		fullPowerW := float64(n)*(p.W1+p.W2) + p.CoolFactor*(p.SetPointC-p.TAcMinC)
 		pt.MaxLoadQPS, err = hammer(goroutines, solveQ, func(i int) error {
 			frac := 0.4 + 0.5*float64(i)/float64(solveQ)
@@ -169,9 +211,13 @@ func runServingBench(out io.Writer, path string, goroutines, queries, maxN int) 
 			return fmt.Errorf("consolidate n=%d: %w", n, err)
 		}
 		res.Points = append(res.Points, pt)
-		fmt.Fprintf(out, "serving n=%d (%d goroutines): snapshot %v, plan %.0f/s cold %.0f/s hot, maxload %.0f/s, consolidate %.0f/s\n",
+		fmt.Fprintf(out, "serving n=%d (%d goroutines): snapshot %v, plan %.0f/s cold %.0f/s hot %.0f/s zipf, maxload %.0f/s, consolidate %.0f/s",
 			n, goroutines, time.Duration(pt.SnapshotBuildNS),
-			pt.PlanColdQPS, pt.PlanHotQPS, pt.MaxLoadQPS, pt.ConsolidateQPS)
+			pt.PlanColdQPS, pt.PlanHotQPS, pt.PlanZipfQPS, pt.MaxLoadQPS, pt.ConsolidateQPS)
+		if pt.Pods > 0 {
+			fmt.Fprintf(out, " (%d pods, built in %v)", pt.Pods, time.Duration(pt.PodBuildNS))
+		}
+		fmt.Fprintln(out)
 	}
 
 	data, err := json.MarshalIndent(&res, "", "  ")

@@ -2,21 +2,29 @@
 // simulated machine room, freezes the fitted model into an immutable
 // snapshot, and serves the planning surface off the plan engine —
 //
-//	GET /v1/plan?load=12.5[&method=8][&avoid=3,7][&safe=true][&supply=22][&margin=2.5]
+//	GET /v1/plan?load=12.5[&method=8][&mode=exact|hier][&avoid=3,7][&safe=true][&supply=22][&margin=2.5]
 //	GET /v1/consolidate?load=12.5[&mink=13]
 //	GET /v1/maxload?budget=5000
+//	GET /v1/stats
 //
 // alongside the full room control plane of cmd/roomd (the /v1/sensors,
 // /v1/advance, … endpoints operate the simulated room the model was
 // profiled from). Planning queries read only the frozen snapshot, so
 // they are served concurrently and never queue behind room mutations.
 //
+// With -pods P the server additionally builds pod-sharded consolidation
+// tables and installs them alongside the exact snapshot: requests may
+// then pick the planning path with &mode=, and -plan-mode chooses what
+// the server installs — "both" (the default with -pods), or "hier" to
+// serve pod-only, the configuration for rooms past the whole-room table
+// cap.
+//
 // On SIGINT or SIGTERM the server stops accepting connections, drains
 // in-flight requests for -drain, and exits cleanly.
 //
 // Usage:
 //
-//	pland [-addr :7078] [-seed N] [-machines N] [-racks R -perrack M] [-drain 5s]
+//	pland [-addr :7078] [-seed N] [-machines N] [-racks R -perrack M] [-pods P] [-plan-mode exact|hier|both] [-drain 5s]
 package main
 
 import (
@@ -53,9 +61,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	racks := fs.Int("racks", 0, "number of racks in a row (0 = single rack of -machines)")
 	perRack := fs.Int("perrack", 20, "machines per rack when -racks is set")
 	workers := fs.Int("workers", 0, "preprocessing worker pool (0 = all cores)")
+	pods := fs.Int("pods", 0, "pod count for hierarchical planning tables (0 = exact only)")
+	planMode := fs.String("plan-mode", "", "tables to serve: exact, hier, or both (default: both with -pods, else exact)")
 	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain budget on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *planMode == "" {
+		if *pods > 0 {
+			*planMode = "both"
+		} else {
+			*planMode = "exact"
+		}
+	}
+	switch *planMode {
+	case "exact":
+	case "hier", "both":
+		if *pods <= 0 {
+			return fmt.Errorf("-plan-mode %s requires -pods", *planMode)
+		}
+	default:
+		return fmt.Errorf("bad -plan-mode %q (want exact, hier, or both)", *planMode)
 	}
 
 	opts := []coolopt.Option{coolopt.WithSeed(*seed)}
@@ -71,11 +97,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		pre = append(pre, coolopt.WithPreprocessWorkers(*workers))
 	}
 	opts = append(opts, coolopt.WithPreprocess(pre...))
+	if *pods > 0 {
+		podOpts := []coolopt.PodOption{coolopt.WithPodCount(*pods)}
+		if *workers > 0 {
+			podOpts = append(podOpts, coolopt.WithPodBuildWorkers(*workers))
+		}
+		opts = append(opts, coolopt.WithHierarchy(podOpts...))
+	}
 
 	fmt.Fprintf(out, "pland: profiling a %d-machine simulated room…\n", n)
 	sys, err := coolopt.NewSystem(opts...)
 	if err != nil {
 		return err
+	}
+	if *planMode == "hier" {
+		// Pod-only serving: drop the whole-room tables and answer every
+		// consolidating query hierarchically.
+		if err := sys.Engine().InstallHierarchical(nil, sys.Pods()); err != nil {
+			return err
+		}
 	}
 	handler, err := roomapi.NewServer(sys.Sim(), roomapi.WithEngine(sys.Engine()))
 	if err != nil {
@@ -86,8 +126,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "pland: serving plans for the %d-machine room on http://%s (snapshot epoch %d)\n",
-		n, ln.Addr(), sys.Engine().Epoch())
+	shape := "exact tables"
+	if p := sys.Pods(); p != nil {
+		shape = fmt.Sprintf("%s, %d pods", *planMode, p.Pods())
+	}
+	fmt.Fprintf(out, "pland: serving plans for the %d-machine room on http://%s (snapshot epoch %d, %s)\n",
+		n, ln.Addr(), sys.Engine().Epoch(), shape)
 	srv := &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,

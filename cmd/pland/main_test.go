@@ -36,6 +36,84 @@ func TestRunFlagError(t *testing.T) {
 	if err := run(context.Background(), []string{"-nope"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
+	if err := run(context.Background(), []string{"-plan-mode", "hier"}, &out); err == nil {
+		t.Fatal("-plan-mode hier without -pods accepted")
+	}
+	if err := run(context.Background(), []string{"-plan-mode", "sideways", "-pods", "2"}, &out); err == nil {
+		t.Fatal("bad -plan-mode accepted")
+	}
+}
+
+// TestRunServesHierarchical boots a pod-backed server and checks the
+// hierarchical plan path and the stats endpoint over the wire.
+func TestRunServesHierarchical(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-machines", "8", "-pods", "4", "-drain", "2s"}, &out)
+	}()
+
+	urlRe := regexp.MustCompile(`http://[0-9.:]+`)
+	var base string
+	deadline := time.Now().Add(60 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output:\n%s", out.String())
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, out.String())
+		case <-time.After(50 * time.Millisecond):
+		}
+		base = urlRe.FindString(out.String())
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string, dst any) int {
+		t.Helper()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if dst != nil && resp.StatusCode < 400 {
+			if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var plan roomapi.PlanResult
+	if code := get("/v1/plan?load=2&mode=hier", &plan); code != 200 {
+		t.Fatalf("/v1/plan mode=hier status %d", code)
+	}
+	if !plan.Hierarchical {
+		t.Fatalf("mode=hier answer not hierarchical: %+v", plan)
+	}
+	var stats map[string]any
+	if code := get("/v1/stats", &stats); code != 200 {
+		t.Fatalf("/v1/stats status %d", code)
+	}
+	if pods, ok := stats["pods"].(float64); !ok || pods != 4 {
+		t.Fatalf("stats pods = %v, want 4", stats["pods"])
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after cancel")
+	}
 }
 
 func TestRunServesPlansUntilCanceled(t *testing.T) {

@@ -78,6 +78,13 @@ type (
 	// constants (Eq. 19) plus the consolidation tables, safe to share
 	// across goroutines without Clone.
 	Snapshot = core.Snapshot
+	// PodSnapshot is the pod-sharded hierarchical planning model: the
+	// room partitioned into pods with per-pod consolidation tables and a
+	// top-level allocator, for rooms past the whole-room table cap.
+	PodSnapshot = core.PodSnapshot
+	// PodOption configures NewPodSnapshot (pod size/count, build
+	// workers).
+	PodOption = core.PodOption
 	// MaxLoadResult answers the dual budget question maxL(A, P_b).
 	MaxLoadResult = core.MaxLoadResult
 	// Method identifies one of the eight evaluation scenarios (Fig. 4).
@@ -91,6 +98,14 @@ type (
 	PlanRequest = engine.Request
 	// PlanResponse is a served plan plus shed/degradation accounting.
 	PlanResponse = engine.Response
+	// PlanMode selects the exact or hierarchical planning path for one
+	// request (ModeAuto picks by room size).
+	PlanMode = engine.PlanMode
+	// EngineStats is the engine's point-in-time cache and topology
+	// counters (the /v1/stats wire form).
+	EngineStats = engine.Stats
+	// EngineOption configures engine construction (WithExactCacheKeys).
+	EngineOption = engine.Option
 	// ProfilingResult is a completed profiling run (fitted profile,
 	// set-point calibration, and fit reports for Figs. 2–3).
 	ProfilingResult = profiling.Result
@@ -116,6 +131,18 @@ const (
 
 // AllMethods lists the scenarios in paper order.
 var AllMethods = baseline.AllMethods
+
+// Plan-path selectors for PlanRequest.Mode.
+const (
+	ModeAuto  = engine.ModeAuto
+	ModeExact = engine.ModeExact
+	ModeHier  = engine.ModeHier
+)
+
+// HierThreshold is the room size at and above which an engine holding
+// pod tables serves the consolidating optimum hierarchically in
+// ModeAuto.
+const HierThreshold = engine.HierThreshold
 
 // ErrInfeasible is returned when no plan can satisfy the constraints.
 var ErrInfeasible = core.ErrInfeasible
@@ -144,6 +171,22 @@ func NewEngineFromSnapshot(snap *Snapshot) (*Engine, error) {
 	return engine.FromSnapshot(snap)
 }
 
+// NewEngineFromSnapshots builds a plan-serving engine over an exact
+// snapshot, pod tables, or both published as one epoch.
+func NewEngineFromSnapshots(snap *Snapshot, pods *PodSnapshot, opts ...EngineOption) (*Engine, error) {
+	return engine.FromSnapshots(snap, pods, opts...)
+}
+
+// NewPodSnapshot partitions a room into pods and builds the per-pod
+// consolidation tables in parallel; see core.NewPodSnapshot.
+func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, error) {
+	return core.NewPodSnapshot(p, epoch, opts...)
+}
+
+// WithExactCacheKeys keys the engine's plan cache by exact load bits
+// instead of 0.1 %-of-capacity buckets.
+func WithExactCacheKeys() EngineOption { return engine.WithExactCacheKeys() }
+
 // Preprocess runs consolidation Algorithm 1 on a reduced instance in its
 // compressed kinetic form (O(n² lg n) time, O(n²) memory, default cap
 // core.DefaultMaxMachines machines).
@@ -163,3 +206,14 @@ func WithMaxMachines(n int) PreprocessOption { return core.WithMaxMachines(n) }
 
 // WithPreprocessWorkers bounds the preprocessing worker pool.
 func WithPreprocessWorkers(w int) PreprocessOption { return core.WithPreprocessWorkers(w) }
+
+// WithPodSize sets the target machines per pod (default
+// core.DefaultPodSize).
+func WithPodSize(n int) PodOption { return core.WithPodSize(n) }
+
+// WithPodCount sets the pod count directly instead of a target size.
+func WithPodCount(p int) PodOption { return core.WithPodCount(p) }
+
+// WithPodBuildWorkers bounds the parallel pod-table build pool; pod
+// tables are byte-identical regardless of the worker count.
+func WithPodBuildWorkers(w int) PodOption { return core.WithPodBuildWorkers(w) }

@@ -19,13 +19,15 @@ var cloneGuarded = map[string]bool{
 // sanctionedCalls lists the guarded-type methods a goroutine may call on
 // a captured value without cloning first: each hands back a value that is
 // safe to share. Clone returns a private copy; Snapshot returns the
-// immutable frozen model (internal/core.Snapshot) and Engine the
-// RCU-style plan server (internal/engine.Engine), both of which are
+// immutable frozen model (internal/core.Snapshot), Pods the immutable
+// pod-sharded tables (internal/core.PodSnapshot), and Engine the
+// RCU-style plan server (internal/engine.Engine), all of which are
 // goroutine-safe by construction and exist precisely so concurrent
 // readers never need a clone.
 var sanctionedCalls = map[string]bool{
 	"Clone":    true,
 	"Snapshot": true,
+	"Pods":     true,
 	"Engine":   true,
 }
 

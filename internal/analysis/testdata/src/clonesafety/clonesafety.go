@@ -45,6 +45,12 @@ func engineOnly(sys *coolopt.System) {
 	}()
 }
 
+func podsOnly(sys *coolopt.System) {
+	go func() {
+		_ = sys.Pods() // immutable pod tables: allowed
+	}()
+}
+
 func snapshotThenRawUse(sys *coolopt.System) {
 	go func() {
 		_ = sys.Snapshot() // want `goroutine captures sys`

@@ -120,9 +120,22 @@ func NewPlanner(p *core.Profile, opts ...core.PreprocessOption) (*Planner, error
 // snapshot itself, the returned planner is read-only after construction
 // and safe for concurrent Plan calls.
 func NewPlannerOn(snap *core.Snapshot) (*Planner, error) {
-	p := snap.Profile()
-	opt := core.NewOptimizerFromSnapshot(snap)
+	return newPlanner(snap.Profile(), core.NewOptimizerFromSnapshot(snap))
+}
 
+// NewPlannerOnProfile builds a planner without whole-room consolidation
+// tables: every scenario works except #8, which needs the kinetic
+// structure and returns an error. This is the construction for pod-only
+// serving (rooms past the whole-room table cap), where the hierarchical
+// engine path answers #8 instead.
+func NewPlannerOnProfile(p *core.Profile) (*Planner, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return newPlanner(p, nil)
+}
+
+func newPlanner(p *core.Profile, opt *core.Optimizer) (*Planner, error) {
 	order := make([]int, p.Size())
 	for i := range order {
 		order[i] = i
@@ -151,8 +164,14 @@ func NewPlannerOn(snap *core.Snapshot) (*Planner, error) {
 // Profile returns the profile the planner plans against.
 func (pl *Planner) Profile() *core.Profile { return pl.profile }
 
-// Snapshot returns the frozen model backing the planner.
-func (pl *Planner) Snapshot() *core.Snapshot { return pl.optimizer.Snapshot() }
+// Snapshot returns the frozen model backing the planner, or nil for a
+// profile-only planner (NewPlannerOnProfile).
+func (pl *Planner) Snapshot() *core.Snapshot {
+	if pl.optimizer == nil {
+		return nil
+	}
+	return pl.optimizer.Snapshot()
+}
 
 // FixedTAc returns the supply temperature used when AC control is off.
 func (pl *Planner) FixedTAc() units.Celsius { return pl.fixedTAc }
@@ -186,8 +205,11 @@ func (pl *Planner) Plan(m Method, load float64) (*core.Plan, error) {
 	case BottomUpNoACCons, BottomUpACCons:
 		plan = pl.bottomUpPlan(load, true)
 	case OptimalACNoCons:
-		return pl.optimizer.PlanNoConsolidation(load)
+		return p.PlanAllOn(load)
 	case OptimalACCons:
+		if pl.optimizer == nil {
+			return nil, fmt.Errorf("baseline: %v requires consolidation tables (profile-only planner; use the hierarchical engine path)", m)
+		}
 		return pl.optimizer.Plan(load)
 	default:
 		return nil, fmt.Errorf("baseline: unknown method %d", int(m))

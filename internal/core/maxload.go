@@ -37,13 +37,26 @@ type MaxLoadResult struct {
 // the t ≥ 0 regime like the rest of the particle machinery. It returns
 // ErrInfeasible when even zero load exceeds the budget.
 func (pp *Preprocessed) MaxLoadK(budgetW float64, k int) (MaxLoadResult, error) {
+	load, t, e, err := pp.maxLoadBoundary(budgetW, k)
+	if err != nil {
+		return MaxLoadResult{}, err
+	}
+	return MaxLoadResult{Load: load, Subset: pp.frontSet(e, k), T: t}, nil
+}
+
+// maxLoadBoundary solves the budget-boundary crossing for exactly k
+// machines without materializing the subset — the front set costs
+// O(k·lg n) rank searches, so callers that sweep k (MaxLoad) defer it to
+// the winning candidate only. Returns the maximum load, the particle time
+// and the event interval containing it.
+func (pp *Preprocessed) maxLoadBoundary(budgetW float64, k int) (load, t float64, event int, err error) {
 	n := len(pp.reduced.Pairs)
 	if k < 1 || k > n {
-		return MaxLoadResult{}, fmt.Errorf("core: k = %d outside [1, %d]", k, n)
+		return 0, 0, 0, fmt.Errorf("core: k = %d outside [1, %d]", k, n)
 	}
 	r := pp.reduced
 	if r.W1 <= 0 || r.Rho <= 0 {
-		return MaxLoadResult{}, fmt.Errorf("core: reduced instance missing W1/Rho")
+		return 0, 0, 0, fmt.Errorf("core: reduced instance missing W1/Rho")
 	}
 	// L(t) along the budget boundary.
 	loadAt := func(t float64) float64 {
@@ -61,13 +74,11 @@ func (pp *Preprocessed) MaxLoadK(budgetW float64, k int) (MaxLoadResult, error) 
 		// Budget cannot even cover the configuration at t = 0 for any
 		// positive load on this k.
 		if loadAt(0) < 0 {
-			return MaxLoadResult{}, fmt.Errorf("%w: budget %v W below the %d-machine floor", ErrInfeasible, budgetW, k)
+			return 0, 0, 0, fmt.Errorf("%w: budget %v W below the %d-machine floor", ErrInfeasible, budgetW, k)
 		}
 		// Load is capped by the front sum at t = 0 rather than the
 		// budget; serving less than loadAt(0) stays under budget.
-		e := 0
-		load := frontAt(e, 0)
-		return MaxLoadResult{Load: load, Subset: pp.frontSet(e, k), T: 0}, nil
+		return frontAt(0, 0), 0, 0, nil
 	}
 	lo, hi := 0, len(pp.events)-1
 	for lo < hi {
@@ -90,25 +101,29 @@ func (pp *Preprocessed) MaxLoadK(budgetW float64, k int) (MaxLoadResult, error) 
 	if e+1 < len(pp.events) && tStar > pp.events[e+1] {
 		tStar = pp.events[e+1]
 	}
-	return MaxLoadResult{Load: loadAt(tStar), Subset: pp.frontSet(e, k), T: tStar}, nil
+	return loadAt(tStar), tStar, e, nil
 }
 
 // MaxLoad answers the budget question over every machine count with a
 // physical capacity cap (no machine holds more than one unit): the
-// maximum serviceable load and the machine set that achieves it.
+// maximum serviceable load and the machine set that achieves it. The
+// winning subset is materialized once, after the k sweep — per-k front
+// sets would cost Σk = O(n²) rank searches per query.
 func (pp *Preprocessed) MaxLoad(budgetW float64) (MaxLoadResult, error) {
 	n := len(pp.reduced.Pairs)
 	best := MaxLoadResult{Load: math.Inf(-1)}
+	bestK, bestE := 0, 0
 	for k := 1; k <= n; k++ {
-		res, err := pp.MaxLoadK(budgetW, k)
+		load, t, e, err := pp.maxLoadBoundary(budgetW, k)
 		if err != nil {
 			continue
 		}
-		if res.Load > float64(k) {
-			res.Load = float64(k) // capacity cap
+		if load > float64(k) {
+			load = float64(k) // capacity cap
 		}
-		if res.Load > best.Load {
-			best = res
+		if load > best.Load {
+			best = MaxLoadResult{Load: load, T: t}
+			bestK, bestE = k, e
 		}
 	}
 	if math.IsInf(best.Load, -1) {
@@ -117,5 +132,6 @@ func (pp *Preprocessed) MaxLoad(budgetW float64) (MaxLoadResult, error) {
 	if best.Load < 0 {
 		best.Load = 0
 	}
+	best.Subset = pp.frontSet(bestE, bestK)
 	return best, nil
 }

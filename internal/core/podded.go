@@ -1,0 +1,623 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file implements the two-level (pod-sharded) form of the paper's
+// consolidation machinery for rooms beyond the O(n²) whole-room tables.
+//
+// The room is partitioned into contiguous pods. Each pod builds its own
+// kinetic front-set tables over its n_j machines — p·(n/p)² events
+// instead of n², so the build parallelizes across pods and the event set
+// shrinks by ~p. Queries compose hierarchically:
+//
+//  1. A top-level water-filling allocator splits the room load L across
+//     pods using the pod aggregates A_j = Σ K_i and B_j = Σ α_i/β_i.
+//     Eq. 21–22 say the exact optimum loads machine i at
+//     L_i = K_i − s·(α_i/β_i) for a common surplus parameter
+//     s = (Σ K − L)/Σ(α/β); summed over a pod that is
+//     L_j = A_j − s·B_j — so the exact split is itself a water-filling
+//     over the pod aggregates, and the allocator recovers it (up to the
+//     [0, n_j] capacity clamps) by bisecting on s.
+//
+//  2. Each pod solves its own select(A_j, k_j, L_j) over its local
+//     tables. The pod scores candidates with share-scaled cooling
+//     leverage: linearizing the room t_S = (Σ a − L)/(Σ b) around pod j's
+//     contribution gives ∂t/∂(pod j) ≈ share_j/B_j with
+//     share_j = B_j/B_total, so the pod sees Rho_j = share_j·ρ and
+//     CoolFactor_j = share_j·c·f_ac. Without the scaling every pod would
+//     believe it owns the whole room's cooling reward and over-provision
+//     machines by ~√p.
+//
+//  3. The per-pod subsets are unioned and the room's exact closed form
+//     (SolveBounded, Eqs. 21–22 with box repair) runs once over the
+//     union, so the load split and supply temperature are exact for the
+//     chosen set. The optimality gap comes only from the subset choice —
+//     a pod may keep a machine that a colder machine in another pod
+//     should have displaced — and is bounded and measured rather than
+//     compounded (DESIGN.md §7).
+//
+// Pods are built in parallel but each pod's own Preprocess runs
+// single-threaded, so the resulting tables are byte-identical regardless
+// of the outer worker count — the property tests enforce this.
+
+// DefaultPodSize is the default machines-per-pod target. 256 keeps each
+// pod's O(n_j²) tables in cache while yielding p = 16 pods at the
+// whole-room cap of 4096 machines.
+const DefaultPodSize = 256
+
+// podConfig collects NewPodSnapshot's tunables.
+type podConfig struct {
+	podSize  int // target machines per pod; 0 = DefaultPodSize
+	podCount int // explicit pod count; 0 = derive from podSize
+	workers  int // outer build workers; 0 = runtime default
+}
+
+// PodOption configures NewPodSnapshot.
+type PodOption func(*podConfig)
+
+// WithPodSize sets the target machines per pod (values ≤ 0 keep
+// DefaultPodSize). The partition balances sizes within one machine.
+func WithPodSize(m int) PodOption {
+	return func(cfg *podConfig) { cfg.podSize = m }
+}
+
+// WithPodCount forces an explicit pod count, overriding WithPodSize.
+// Values ≤ 0 keep the size-derived count.
+func WithPodCount(p int) PodOption {
+	return func(cfg *podConfig) { cfg.podCount = p }
+}
+
+// WithPodBuildWorkers bounds the outer worker pool that builds pod tables
+// in parallel. Values ≤ 0 use runtime.GOMAXPROCS(0). The tables are
+// byte-identical across worker counts: each pod's inner sweep is
+// single-threaded, only the scheduling of whole pods varies.
+func WithPodBuildWorkers(w int) PodOption {
+	return func(cfg *podConfig) { cfg.workers = w }
+}
+
+// pod is one shard of the room: a contiguous ID range with its own
+// kinetic tables and share-scaled scoring bounds.
+type pod struct {
+	ids     []int // global machine IDs, ascending
+	reduced Reduced
+	pre     *Preprocessed
+	sumA    float64 // A_j = Σ K_i over the pod
+	sumB    float64 // B_j = Σ α_i/β_i over the pod
+	share   float64 // B_j / B_total
+	bounds  clampBounds
+}
+
+// PodSnapshot is the two-level analogue of Snapshot: an immutable,
+// concurrently-queryable view of a machine room whose consolidation
+// tables are sharded into pods. It trades a bounded optimality gap for a
+// near-linear build and a per-query cost of p·O((n/p)·lg²(n/p)) instead
+// of O(n·lg² n) over a p×-larger event set — which is what lifts the
+// whole-room DefaultMaxMachines cap.
+type PodSnapshot struct {
+	epoch   uint64
+	profile *Profile
+	room    Reduced
+	pods    []*pod
+	totalB  float64
+}
+
+// NewPodSnapshot validates and deep-copies the profile, partitions it
+// into pods, and builds every pod's kinetic tables in parallel. epoch
+// tags the snapshot's generation exactly like NewSnapshot.
+func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, error) {
+	cfg := podConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.podSize <= 0 {
+		cfg.podSize = DefaultPodSize
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	frozen := *p
+	frozen.Machines = append([]MachineProfile(nil), p.Machines...)
+
+	n := frozen.Size()
+	count := cfg.podCount
+	if count <= 0 {
+		count = (n + cfg.podSize - 1) / cfg.podSize
+	}
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+
+	ps := &PodSnapshot{epoch: epoch, profile: &frozen, room: frozen.Reduce()}
+	for _, pr := range ps.room.Pairs {
+		ps.totalB += pr.B
+	}
+
+	// Balanced contiguous partition: the first n mod count pods carry one
+	// extra machine.
+	base, extra := n/count, n%count
+	start := 0
+	for j := 0; j < count; j++ {
+		size := base
+		if j < extra {
+			size++
+		}
+		ids := make([]int, size)
+		for i := range ids {
+			ids[i] = start + i
+		}
+		start += size
+
+		var sumA, sumB float64
+		pairs := make([]Pair, size)
+		for i, id := range ids {
+			pairs[i] = ps.room.Pairs[id]
+			sumA += pairs[i].A
+			sumB += pairs[i].B
+		}
+		// The pod's reduced instance scales the cooling leverage by its
+		// share; see the file comment.
+		share := sumB / ps.totalB
+		ps.pods = append(ps.pods, &pod{
+			ids:   ids,
+			sumA:  sumA,
+			sumB:  sumB,
+			share: share,
+			reduced: Reduced{
+				Pairs:      pairs,
+				W2:         frozen.W2,
+				Rho:        frozen.CoolFactor * frozen.W1 * share,
+				CoolFactor: frozen.CoolFactor * share,
+				SetPointC:  frozen.SetPointC,
+				W1:         frozen.W1,
+			},
+			bounds: clampBounds{
+				W1: frozen.W1, W2: frozen.W2,
+				CoolFactor: frozen.CoolFactor * share,
+				SetPointC:  frozen.SetPointC,
+				TAcMinC:    frozen.TAcMinC,
+				TAcMaxC:    frozen.TAcMaxC,
+			},
+		})
+	}
+
+	if err := ps.buildPods(cfg.workers); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// buildPods runs Preprocess for every pod on an outer worker pool. Each
+// pod's inner sweep is pinned to one worker so the tables are
+// byte-identical across outer worker counts.
+func (ps *PodSnapshot) buildPods(workers int) error {
+	workers = sweepWorkers(workers)
+	if workers > len(ps.pods) {
+		workers = len(ps.pods)
+	}
+	jobs := make(chan int)
+	errs := make([]error, len(ps.pods))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				pd := ps.pods[j]
+				pre, err := Preprocess(pd.reduced,
+					WithMaxMachines(len(pd.ids)), WithPreprocessWorkers(1))
+				if err != nil {
+					errs[j] = fmt.Errorf("core: pod %d: %w", j, err)
+					continue
+				}
+				pd.pre = pre
+			}
+		}()
+	}
+	for j := range ps.pods {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Epoch returns the snapshot's generation tag.
+func (ps *PodSnapshot) Epoch() uint64 { return ps.epoch }
+
+// Size returns the number of machines.
+func (ps *PodSnapshot) Size() int { return ps.profile.Size() }
+
+// Pods returns the number of pods.
+func (ps *PodSnapshot) Pods() int { return len(ps.pods) }
+
+// Profile returns the frozen model. Read-only, exactly like
+// Snapshot.Profile.
+func (ps *PodSnapshot) Profile() *Profile { return ps.profile }
+
+// Events returns the total number of event times across all pods — the
+// quantity the sharding shrinks from O(n²) to Σ O(n_j²).
+func (ps *PodSnapshot) Events() int {
+	total := 0
+	for _, pd := range ps.pods {
+		total += pd.pre.Events()
+	}
+	return total
+}
+
+// TableBytes returns the resident size of all pod tables in bytes.
+func (ps *PodSnapshot) TableBytes() int {
+	total := 0
+	for _, pd := range ps.pods {
+		total += pd.pre.TableBytes()
+	}
+	return total
+}
+
+// splitLoad is the top-level water-filling allocator: bisect on the
+// surplus parameter s of Eq. 21 so that Σ_j clamp(A_j − s·B_j, 0, n_j)
+// equals the room load. With one pod the split is trivially exact, which
+// makes the p = 1 hierarchy byte-identical to the flat planner.
+func (ps *PodSnapshot) splitLoad(load float64) []float64 {
+	out := make([]float64, len(ps.pods))
+	if len(ps.pods) == 1 {
+		out[0] = load
+		return out
+	}
+	podAt := func(j int, s float64) float64 {
+		l := ps.pods[j].sumA - s*ps.pods[j].sumB
+		if l < 0 {
+			return 0
+		}
+		if cap := float64(len(ps.pods[j].ids)); l > cap {
+			return cap
+		}
+		return l
+	}
+	total := func(s float64) float64 {
+		sum := 0.0
+		for j := range ps.pods {
+			sum += podAt(j, s)
+		}
+		return sum
+	}
+	// Bracket: at sLo every pod is at capacity (total = n ≥ load), at sHi
+	// every pod is empty.
+	sLo, sHi := math.Inf(1), math.Inf(-1)
+	for _, pd := range ps.pods {
+		if v := (pd.sumA - float64(len(pd.ids))) / pd.sumB; v < sLo {
+			sLo = v
+		}
+		if v := pd.sumA / pd.sumB; v > sHi {
+			sHi = v
+		}
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := (sLo + sHi) / 2
+		if total(mid) >= load {
+			sLo = mid
+		} else {
+			sHi = mid
+		}
+	}
+	for j := range ps.pods {
+		out[j] = podAt(j, sLo)
+	}
+	return out
+}
+
+// Select returns the hierarchical on-set for the given room load: the
+// allocator splits the load, each pod picks its clamped power-optimal
+// front set for its slice, and the union (ascending global IDs) is
+// returned. A pod whose clamp admits no subset falls back to powering its
+// whole shard — always capacity-feasible for the clamped slice.
+func (ps *PodSnapshot) Select(load float64) ([]int, error) {
+	n := ps.profile.Size()
+	if load <= 0 {
+		return nil, fmt.Errorf("core: load %v must be positive (power everything off instead)", load)
+	}
+	if load > float64(n) {
+		return nil, fmt.Errorf("%w: load %v exceeds cluster capacity %d", ErrInfeasible, load, n)
+	}
+	shares := ps.splitLoad(load)
+	var union []int
+	for j, pd := range ps.pods {
+		lj := shares[j]
+		if lj <= 1e-12 {
+			continue
+		}
+		local, ok := clampedSelect(pd.pre, lj, pd.bounds)
+		if !ok {
+			local = make([]int, len(pd.ids))
+			for i := range local {
+				local[i] = i
+			}
+		}
+		for _, li := range local {
+			union = append(union, pd.ids[li])
+		}
+	}
+	if len(union) == 0 {
+		return nil, fmt.Errorf("%w: no pod accepts any of load %v", ErrInfeasible, load)
+	}
+	if len(ps.pods) > 1 {
+		union = ps.refineUnion(union, load)
+	}
+	sort.Ints(union)
+	return union, nil
+}
+
+// refineUnion is a bounded greedy exchange pass over the pod union. The
+// per-pod selections are each front-optimal at their own pod time, but
+// the room optimum is a front set at one shared time, so membership at
+// the pod boundaries can be off by a few machines. Under Eq. 23 a
+// single add/remove move re-scores in O(1):
+//
+//	add m:    t' = t + x_m(t)/(ΣB + b_m)
+//	remove m: t' = t − x_m(t)/(ΣB − b_m)
+//
+// so the pass repeatedly applies the best strictly-improving move under
+// the clamped room score until none remains or the iteration budget runs
+// out. Starting from the exact optimum no move improves (front sets are
+// optimal per §III-B), which keeps the p = 1 path untouched; from a pod
+// union the pass closes most of the boundary gap at O(n) per move.
+func (ps *PodSnapshot) refineUnion(union []int, load float64) []int {
+	r := ps.room
+	p := ps.profile
+	n := len(r.Pairs)
+	in := make([]bool, n)
+	var sumA, sumB float64
+	for _, i := range union {
+		in[i] = true
+		sumA += r.Pairs[i].A
+		sumB += r.Pairs[i].B
+	}
+	k := len(union)
+	minK := int(math.Ceil(load - 1e-9))
+	if minK < 1 {
+		minK = 1
+	}
+	// score is the clamped room power of a candidate aggregate, the same
+	// objective clampedSelect ranks subset sizes with.
+	score := func(k int, sumA, sumB float64) (float64, bool) {
+		t := (sumA - load) / sumB
+		if t < 0 {
+			return 0, false
+		}
+		tAc := p.W1 * t
+		if tAc > p.TAcMaxC {
+			tAc = p.TAcMaxC
+		}
+		if tAc < p.TAcMinC {
+			return 0, false
+		}
+		cooling := p.CoolFactor * (p.SetPointC - tAc)
+		if cooling < 0 {
+			cooling = 0
+		}
+		return cooling + p.W1*load + float64(k)*p.W2, true
+	}
+	cur, ok := score(k, sumA, sumB)
+	if !ok {
+		return union // leave infeasible aggregates to SolveBounded's diagnostics
+	}
+	maxMoves := 4*len(ps.pods) + 8
+	for move := 0; move < maxMoves; move++ {
+		t := (sumA - load) / sumB
+		// Best addition: the unused machine with the largest coordinate;
+		// best removal: the used machine with the smallest. Ascending scan
+		// with strict comparisons keeps ties deterministic.
+		addIdx, remIdx := -1, -1
+		var addX, remX float64
+		for i := 0; i < n; i++ {
+			x := r.Pairs[i].A - t*r.Pairs[i].B
+			if in[i] {
+				if remIdx < 0 || x < remX {
+					remIdx, remX = i, x
+				}
+			} else if addIdx < 0 || x > addX {
+				addIdx, addX = i, x
+			}
+		}
+		bestIdx, bestAdd := -1, false
+		bestPower := cur
+		if addIdx >= 0 {
+			if w, ok := score(k+1, sumA+r.Pairs[addIdx].A, sumB+r.Pairs[addIdx].B); ok && w < bestPower-1e-9 {
+				bestIdx, bestAdd, bestPower = addIdx, true, w
+			}
+		}
+		if remIdx >= 0 && k > minK {
+			if w, ok := score(k-1, sumA-r.Pairs[remIdx].A, sumB-r.Pairs[remIdx].B); ok && w < bestPower-1e-9 {
+				bestIdx, bestAdd, bestPower = remIdx, false, w
+			}
+		}
+		// Same-k swap: when the count is right but membership at a pod
+		// boundary is wrong, neither single move pays (add charges W2,
+		// remove loses coverage) yet trading the back-most member for the
+		// front-most outsider strictly raises t.
+		swap := false
+		if addIdx >= 0 && remIdx >= 0 && addIdx != remIdx {
+			swapA := sumA - r.Pairs[remIdx].A + r.Pairs[addIdx].A
+			swapB := sumB - r.Pairs[remIdx].B + r.Pairs[addIdx].B
+			if w, ok := score(k, swapA, swapB); ok && w < bestPower-1e-9 {
+				swap, bestPower = true, w
+			}
+		}
+		switch {
+		case swap:
+			in[remIdx], in[addIdx] = false, true
+			sumA += r.Pairs[addIdx].A - r.Pairs[remIdx].A
+			sumB += r.Pairs[addIdx].B - r.Pairs[remIdx].B
+		case bestIdx < 0:
+			return unionFromMask(in, k)
+		case bestAdd:
+			in[bestIdx] = true
+			sumA += r.Pairs[bestIdx].A
+			sumB += r.Pairs[bestIdx].B
+			k++
+		default:
+			in[bestIdx] = false
+			sumA -= r.Pairs[bestIdx].A
+			sumB -= r.Pairs[bestIdx].B
+			k--
+		}
+		cur = bestPower
+	}
+	return unionFromMask(in, k)
+}
+
+// unionFromMask materializes a membership mask as ascending machine IDs.
+func unionFromMask(in []bool, k int) []int {
+	out := make([]int, 0, k)
+	for i, used := range in {
+		if used {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Plan returns the two-level plan for the given total load: hierarchical
+// subset selection (Select) followed by the room's exact closed form over
+// the union, so the load split and supply temperature are exact for the
+// chosen machines and any optimality gap lives in the subset choice
+// alone.
+func (ps *PodSnapshot) Plan(load float64) (*Plan, error) {
+	union, err := ps.Select(load)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := ps.profile.SolveBounded(union, load)
+	if err != nil {
+		return nil, err
+	}
+	if err := ps.profile.ValidatePlan(plan, load, 1e-6); err != nil {
+		return nil, fmt.Errorf("core: hierarchical optimizer produced invalid plan: %w", err)
+	}
+	return plan, nil
+}
+
+// Consolidate answers select(A, k ≥ minK, L) hierarchically: the on-set
+// from Select, topped up deterministically with the front-most unused
+// machines when the union is smaller than minK, scored with the room's
+// Eq. 23.
+func (ps *PodSnapshot) Consolidate(load float64, minK int) (Selection, error) {
+	if minK < 1 {
+		minK = 1
+	}
+	union, err := ps.Select(load)
+	if err != nil {
+		return Selection{}, err
+	}
+	if len(union) < minK {
+		union, err = ps.topUp(union, load, minK)
+		if err != nil {
+			return Selection{}, err
+		}
+	}
+	t, err := ps.room.TValue(union, load)
+	if err != nil {
+		return Selection{}, err
+	}
+	power, err := ps.room.SubsetPower(union, load)
+	if err != nil {
+		return Selection{}, err
+	}
+	return Selection{Subset: union, T: t, Power: power}, nil
+}
+
+// topUp grows the union to minK machines by adding the unused machines
+// with the largest particle coordinate at the union's t-value — the same
+// front-most rule the flat tables encode, applied to the leftovers.
+// Deterministic: coordinate ties break by ID.
+func (ps *PodSnapshot) topUp(union []int, load float64, minK int) ([]int, error) {
+	n := ps.profile.Size()
+	if minK > n {
+		return nil, fmt.Errorf("core: minK = %d exceeds %d machines", minK, n)
+	}
+	t, err := ps.room.TValue(union, load)
+	if err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		t = 0
+	}
+	inUnion := make([]bool, n)
+	for _, i := range union {
+		inUnion[i] = true
+	}
+	rest := make([]int, 0, n-len(union))
+	for i := 0; i < n; i++ {
+		if !inUnion[i] {
+			rest = append(rest, i)
+		}
+	}
+	sort.Slice(rest, func(x, y int) bool {
+		return particleLess(ps.room.Pairs, rest[x], rest[y], t)
+	})
+	out := append(append([]int(nil), union...), rest[:minK-len(union)]...)
+	sort.Ints(out)
+	return out, nil
+}
+
+// MaxLoad answers the budget question hierarchically: each pod proposes
+// its best subset for its cooling-share of the budget, and the room's
+// exact budget boundary (Eq. 23–24) is solved once over the union —
+//
+//	t* = (k·W2 + c·f_ac·T_SP + W1·ΣA − P_b)/(ρ + W1·ΣB),
+//	L  = ΣA − t*·ΣB,
+//
+// clamped into the t ≥ 0 regime and the L ≤ k capacity cap, so the
+// reported load never overstates what the union can actually serve under
+// the budget.
+func (ps *PodSnapshot) MaxLoad(budgetW float64) (MaxLoadResult, error) {
+	var union []int
+	for _, pd := range ps.pods {
+		res, err := pd.pre.MaxLoad(budgetW * pd.share)
+		if err != nil {
+			continue
+		}
+		if res.Load > float64(len(res.Subset)) {
+			res.Load = float64(len(res.Subset))
+		}
+		for _, li := range res.Subset {
+			union = append(union, pd.ids[li])
+		}
+	}
+	if len(union) == 0 {
+		return MaxLoadResult{}, fmt.Errorf("%w: budget %v W serves no pod", ErrInfeasible, budgetW)
+	}
+	sort.Ints(union)
+	r := ps.room
+	var sumA, sumB float64
+	for _, i := range union {
+		sumA += r.Pairs[i].A
+		sumB += r.Pairs[i].B
+	}
+	k := float64(len(union))
+	t := (k*r.W2 + r.CoolFactor*r.SetPointC + r.W1*sumA - budgetW) / (r.Rho + r.W1*sumB)
+	if t < 0 {
+		t = 0
+	}
+	load := sumA - t*sumB
+	if load > k {
+		load = k // capacity cap; t at the front for the capped load
+		t = (sumA - load) / sumB
+	}
+	if load < 0 {
+		return MaxLoadResult{}, fmt.Errorf("%w: budget %v W below the %d-machine floor", ErrInfeasible, budgetW, len(union))
+	}
+	return MaxLoadResult{Load: load, Subset: union, T: t}, nil
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled is false outside race-detector runs; see race_on_test.go.
+const raceEnabled = false

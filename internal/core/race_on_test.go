@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled gates the largest test sizes out of race-detector runs:
+// the detector's ~10× slowdown turns the n=4096 gap sweep into minutes
+// of single-threaded arithmetic that cannot race. Plain `go test` still
+// covers it.
+const raceEnabled = true

@@ -1,11 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"math"
-
-	"coolopt/internal/units"
-)
+import "fmt"
 
 // Snapshot is an immutable view of a profiled machine room: the
 // per-machine thermal constants of Eq. 19 (α_i, β_i, γ_i and the derived
@@ -82,38 +77,15 @@ func (s *Snapshot) Plan(load float64) (*Plan, error) {
 		return nil, fmt.Errorf("%w: load %v exceeds cluster capacity %d", ErrInfeasible, load, n)
 	}
 
-	minK := int(math.Ceil(load - 1e-9))
-	if minK < 1 {
-		minK = 1
-	}
-
-	type candidate struct {
-		subset []int
-		power  float64
-	}
-	best := candidate{power: math.Inf(1)}
-	for k := minK; k <= n; k++ {
-		sel, err := s.pre.QueryExactK(load, k)
-		if err != nil {
-			continue
-		}
-		tAc := p.W1 * sel.T
-		if tAc > p.TAcMaxC {
-			tAc = p.TAcMaxC
-		}
-		if tAc < p.TAcMinC {
-			continue // even the best k-subset needs colder air than available
-		}
-		power := float64(p.CoolingPower(units.Celsius(tAc))) + p.W1*load + float64(k)*p.W2
-		if power < best.power-1e-9 {
-			best = candidate{subset: sel.Subset, power: power}
-		}
-	}
-	if best.subset == nil {
+	subset, ok := clampedSelect(s.pre, load, clampBounds{
+		W1: p.W1, W2: p.W2, CoolFactor: p.CoolFactor,
+		SetPointC: p.SetPointC, TAcMinC: p.TAcMinC, TAcMaxC: p.TAcMaxC,
+	})
+	if !ok {
 		return nil, fmt.Errorf("%w: no machine subset satisfies load %v within constraints", ErrInfeasible, load)
 	}
 
-	plan, err := p.SolveBounded(best.subset, load)
+	plan, err := p.SolveBounded(subset, load)
 	if err != nil {
 		return nil, err
 	}
@@ -126,46 +98,11 @@ func (s *Snapshot) Plan(load float64) (*Plan, error) {
 // PlanNoConsolidation returns the minimum-power plan that keeps every
 // machine powered on (scenarios #4–#6 in the paper's evaluation tree).
 func (s *Snapshot) PlanNoConsolidation(load float64) (*Plan, error) {
-	p := s.profile
-	on := make([]int, p.Size())
-	for i := range on {
-		on[i] = i
-	}
-	plan, err := p.SolveBounded(on, load)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.ValidatePlan(plan, load, 1e-6); err != nil {
-		return nil, fmt.Errorf("core: optimizer produced invalid plan: %w", err)
-	}
-	return plan, nil
+	return s.profile.PlanAllOn(load)
 }
 
-// PlanOver consolidates over prefixes of the given machine pool: the
-// closed form is solved for every on-count k ≥ ⌈load⌉ over pool[:k] and
-// the cheapest feasible plan under the model wins (the profiled machines
-// are near-homogeneous, so which k pool members run matters far less than
-// how many). This is the degraded planner's workhorse: the pool is the
-// surviving set after failures, which the precomputed whole-room tables
-// cannot answer for directly. Returns nil when no prefix is feasible.
+// PlanOver consolidates over prefixes of the given machine pool; see
+// Profile.PlanOver.
 func (s *Snapshot) PlanOver(pool []int, load float64) *Plan {
-	var (
-		best  *Plan
-		bestW float64
-		minOn = int(math.Ceil(load - 1e-9))
-	)
-	if minOn < 1 {
-		minOn = 1
-	}
-	for k := minOn; k <= len(pool); k++ {
-		plan, err := s.profile.SolveBounded(pool[:k], load)
-		if err != nil {
-			continue
-		}
-		w := float64(s.profile.PlanPower(plan))
-		if best == nil || w < bestW {
-			best, bestW = plan, w
-		}
-	}
-	return best
+	return s.profile.PlanOver(pool, load)
 }

@@ -175,6 +175,53 @@ func (p *Profile) SolveBounded(on []int, totalLoad float64) (*Plan, error) {
 	return &Plan{On: onCopy, Loads: loads, TAcC: safe, Clamped: true}, nil
 }
 
+// PlanAllOn returns the minimum-power plan that keeps every machine
+// powered on (scenarios #4–#6 in the paper's evaluation tree), validated
+// against the model.
+func (p *Profile) PlanAllOn(load float64) (*Plan, error) {
+	on := make([]int, p.Size())
+	for i := range on {
+		on[i] = i
+	}
+	plan, err := p.SolveBounded(on, load)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ValidatePlan(plan, load, 1e-6); err != nil {
+		return nil, fmt.Errorf("core: optimizer produced invalid plan: %w", err)
+	}
+	return plan, nil
+}
+
+// PlanOver consolidates over prefixes of the given machine pool: the
+// closed form is solved for every on-count k ≥ ⌈load⌉ over pool[:k] and
+// the cheapest feasible plan under the model wins (the profiled machines
+// are near-homogeneous, so which k pool members run matters far less than
+// how many). This is the degraded planner's workhorse: the pool is the
+// surviving set after failures, which the precomputed whole-room tables
+// cannot answer for directly. Returns nil when no prefix is feasible.
+func (p *Profile) PlanOver(pool []int, load float64) *Plan {
+	var (
+		best  *Plan
+		bestW float64
+		minOn = int(math.Ceil(load - 1e-9))
+	)
+	if minOn < 1 {
+		minOn = 1
+	}
+	for k := minOn; k <= len(pool); k++ {
+		plan, err := p.SolveBounded(pool[:k], load)
+		if err != nil {
+			continue
+		}
+		w := float64(p.PlanPower(plan))
+		if best == nil || w < bestW {
+			best, bestW = plan, w
+		}
+	}
+	return best
+}
+
 // PlanPower returns the plan's total power under the paper's model
 // (Eq. 23): CRAC power at the plan's supply temperature plus Σ(W1·L_i+W2)
 // over the powered-on machines.

@@ -1,21 +1,28 @@
 // Package engine is the concurrent plan-serving layer between the frozen
-// model (core.Snapshot) and whatever consumes plans — the hardened
-// controller, the HTTP serving surface, and load-generation benchmarks.
+// model (core.Snapshot / core.PodSnapshot) and whatever consumes plans —
+// the hardened controller, the HTTP serving surface, and load-generation
+// benchmarks.
 //
 // The design is the plant-model/optimizer split MPC controllers draw: the
 // mutable simulator keeps its Clone() discipline, while planning runs
-// entirely on an immutable Snapshot published through an RCU-style atomic
+// entirely on immutable snapshots published through an RCU-style atomic
 // pointer. Readers never lock; a re-profile or failure-driven model change
-// swaps the pointer with Install and in-flight queries simply finish
-// against the snapshot they started on. A single-flight, bounded plan
-// cache keyed by (snapshot epoch, request) coalesces identical concurrent
-// queries — under serving load many clients ask for the same (method,
-// load) point, and one solve can answer all of them.
+// swaps the pointer with Install/InstallHierarchical and in-flight queries
+// simply finish against the state they started on. A single-flight,
+// bounded LRU plan cache keyed by (snapshot epoch, request) coalesces
+// identical concurrent queries — under serving load many clients ask for
+// the same (method, load) point, and one solve can answer all of them.
+//
+// Rooms past the whole-room table threshold serve the paper's method #8
+// through the two-level pod planner (core.PodSnapshot) with its bounded
+// optimality gap; smaller rooms keep the exact tables. Requests can pin
+// either path with Request.Mode.
 //
 //coolopt:deterministic
 package engine
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -30,10 +37,30 @@ import (
 	"coolopt/internal/units"
 )
 
-// cacheCap bounds the plan cache; beyond it the oldest entries are
-// evicted FIFO. Plans are small (two slices of n), so this is a few MB
-// even at datacenter scale.
+// cacheCap bounds the plan cache; beyond it the least-recently-used
+// entries are evicted. Plans are small (two slices of n), so this is a
+// few MB even at datacenter scale.
 const cacheCap = 512
+
+// HierThreshold is the room size at and above which auto mode serves the
+// paper's method #8 hierarchically when pod tables are installed. Below
+// it the exact whole-room tables are fast enough that the bounded gap
+// buys nothing.
+const HierThreshold = 2048
+
+// PlanMode selects the consolidation path for the paper's method #8.
+type PlanMode int
+
+const (
+	// ModeAuto (the zero value) picks hierarchically when pod tables are
+	// installed and the room is at least HierThreshold machines (or the
+	// engine is pod-only).
+	ModeAuto PlanMode = iota
+	// ModeExact forces the whole-room tables.
+	ModeExact
+	// ModeHier forces the two-level pod planner.
+	ModeHier
+)
 
 // Request describes one planning query.
 type Request struct {
@@ -42,6 +69,9 @@ type Request struct {
 	Method baseline.Method
 	// Load is the total demand in machine-utilization units.
 	Load float64
+	// Mode pins the exact or hierarchical consolidation path for method
+	// #8; the zero value picks automatically. Other methods ignore it.
+	Mode PlanMode
 	// Avoid lists machine IDs to plan around (detected failures). A
 	// non-empty list routes the query to the degraded planner.
 	Avoid []int
@@ -63,6 +93,9 @@ func (r Request) normalize() Request {
 	if r.Method == 0 {
 		r.Method = baseline.OptimalACCons
 	}
+	if r.Method != baseline.OptimalACCons {
+		r.Mode = ModeAuto // mode only disambiguates #8; canonicalize the rest
+	}
 	if len(r.Avoid) > 0 {
 		avoid := append([]int(nil), r.Avoid...)
 		sort.Ints(avoid)
@@ -78,18 +111,44 @@ func (r Request) normalize() Request {
 }
 
 // key is the cache / single-flight identity of a normalized request under
-// one snapshot epoch. Floats are keyed by their bit patterns: the cache
-// must distinguish loads that differ in the last ulp, not judge numeric
-// closeness.
-func (r Request) key(epoch uint64) string {
+// one snapshot epoch. By default the load is quantized to 0.1 % of the
+// pool capacity so near-identical requests coalesce onto hot cache
+// entries: the first request in a bucket computes with its exact load and
+// its answer serves the whole bucket (an error of at most one bucket of
+// capacity). With exact keys (WithExactCacheKeys) floats are keyed by
+// their bit patterns — the cache then distinguishes loads that differ in
+// the last ulp, which bit-exactness tests rely on. All other float fields
+// are always keyed bit-exact.
+func (r Request) key(epoch uint64, machines int, exact bool) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d|%d|%x|%t|%x|%x", epoch, int(r.Method),
-		math.Float64bits(r.Load), r.Safe,
-		math.Float64bits(r.AchievedSupplyC), math.Float64bits(r.MarginC))
+	if exact {
+		fmt.Fprintf(&sb, "%d|%d|%d|x%x|%t|%x|%x", epoch, int(r.Method), int(r.Mode),
+			math.Float64bits(r.Load), r.Safe,
+			math.Float64bits(r.AchievedSupplyC), math.Float64bits(r.MarginC))
+	} else {
+		fmt.Fprintf(&sb, "%d|%d|%d|q%d|%t|%x|%x", epoch, int(r.Method), int(r.Mode),
+			quantizeLoad(r.Load, machines), r.Safe,
+			math.Float64bits(r.AchievedSupplyC), math.Float64bits(r.MarginC))
+	}
 	for _, i := range r.Avoid {
 		fmt.Fprintf(&sb, "|%d", i)
 	}
 	return sb.String()
+}
+
+// quantizeLoad buckets a load to 0.1 % of the pool capacity (machines ×
+// one utilization unit). Positive loads below half a bucket round up to
+// bucket 1 rather than colliding with the all-off bucket 0.
+func quantizeLoad(load float64, machines int) int64 {
+	q := 0.001 * float64(machines)
+	if q <= 0 {
+		return int64(math.Float64bits(load)) // degenerate pool; fall back to bits
+	}
+	b := int64(math.Round(load / q))
+	if b == 0 && load > 0 {
+		b = 1
+	}
+	return b
 }
 
 // Response is a served plan plus the accounting the caller needs to act
@@ -102,6 +161,9 @@ type Response struct {
 	Method baseline.Method
 	// Epoch identifies the snapshot the plan was computed against.
 	Epoch uint64
+	// Hierarchical reports the plan came from the two-level pod planner
+	// (bounded optimality gap) rather than the exact tables.
+	Hierarchical bool
 	// Degraded reports the plan was computed around failed machines.
 	Degraded bool
 	// ShedLoad is the demand (machine-units) the plan does NOT carry
@@ -116,11 +178,44 @@ type Response struct {
 	Shared bool
 }
 
-// state is the RCU payload: one frozen snapshot plus the scenario planner
-// built on it. Both are read-only after construction.
+// Stats is a point-in-time view of the engine's cache and topology,
+// surfaced by pland's /v1/stats.
+type Stats struct {
+	// CacheHits, CacheMisses, CacheEvictions and CacheShared count plan
+	// cache hits, computed misses, LRU evictions, and queries coalesced
+	// onto a concurrent identical computation since the engine started.
+	CacheHits      uint64 `json:"cacheHits"`
+	CacheMisses    uint64 `json:"cacheMisses"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
+	CacheShared    uint64 `json:"cacheShared"`
+	// CacheEntries and CacheCapacity describe the current cache.
+	CacheEntries  int `json:"cacheEntries"`
+	CacheCapacity int `json:"cacheCapacity"`
+	// QuantizedKeys reports load-bucketed cache keys (the default).
+	QuantizedKeys bool `json:"quantizedKeys"`
+	// Epoch and Machines describe the installed model; Pods is zero
+	// without pod tables. Hierarchical reports whether auto mode serves
+	// method #8 through the pod planner.
+	Epoch        uint64 `json:"epoch"`
+	Machines     int    `json:"machines"`
+	Pods         int    `json:"pods"`
+	Hierarchical bool   `json:"hierarchical"`
+}
+
+// state is the RCU payload: the frozen model — exact tables, pod tables,
+// or both under one epoch — plus the scenario planner built on it. All of
+// it is read-only after construction.
 type state struct {
-	snap    *core.Snapshot
+	profile *core.Profile
+	snap    *core.Snapshot    // nil in pod-only mode
+	pods    *core.PodSnapshot // nil without pod tables
 	planner *baseline.Planner
+	epoch   uint64
+}
+
+// autoHier reports whether auto mode routes method #8 hierarchically.
+func (st *state) autoHier() bool {
+	return st.pods != nil && (st.snap == nil || st.profile.Size() >= HierThreshold)
 }
 
 // flight is one in-progress computation that concurrent identical
@@ -131,61 +226,173 @@ type flight struct {
 	err  error
 }
 
+// cacheEntry is one LRU cache slot.
+type cacheEntry struct {
+	key  string
+	resp *Response
+}
+
 // Engine serves plans off an atomically swappable snapshot.
 type Engine struct {
 	state atomic.Pointer[state]
 
+	exactKeys bool
+
 	mu       sync.Mutex
-	cache    map[string]*Response
-	order    []string // FIFO eviction order of cache keys
+	cache    map[string]*list.Element
+	lru      *list.List // front = most recently used
 	inflight map[string]*flight
+
+	hits, misses, evictions, shared uint64
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithExactCacheKeys keys the plan cache by the load's exact bit pattern
+// instead of the default 0.1 %-of-capacity buckets. Bit-exactness tests
+// and workloads that must never serve a neighbouring load's plan use
+// this.
+func WithExactCacheKeys() Option {
+	return func(e *Engine) { e.exactKeys = true }
 }
 
 // New builds an engine serving the given planner's snapshot.
-func New(pl *baseline.Planner) *Engine {
+func New(pl *baseline.Planner, opts ...Option) *Engine {
+	e := newEngine(opts)
+	snap := pl.Snapshot()
+	e.state.Store(&state{
+		profile: pl.Profile(), snap: snap, planner: pl, epoch: snap.Epoch(),
+	})
+	return e
+}
+
+func newEngine(opts []Option) *Engine {
 	e := &Engine{
-		cache:    make(map[string]*Response),
+		cache:    make(map[string]*list.Element),
+		lru:      list.New(),
 		inflight: make(map[string]*flight),
 	}
-	e.state.Store(&state{snap: pl.Snapshot(), planner: pl})
+	for _, opt := range opts {
+		opt(e)
+	}
 	return e
 }
 
 // FromSnapshot builds an engine directly on a frozen snapshot,
 // constructing the scenario planner over it.
-func FromSnapshot(snap *core.Snapshot) (*Engine, error) {
-	pl, err := baseline.NewPlannerOn(snap)
+func FromSnapshot(snap *core.Snapshot, opts ...Option) (*Engine, error) {
+	return FromSnapshots(snap, nil, opts...)
+}
+
+// FromPodSnapshot builds a pod-only engine: every scenario planner path
+// that needs whole-room tables serves through the hierarchical planner
+// instead. This is the construction for rooms past the whole-room table
+// cap.
+func FromPodSnapshot(pods *core.PodSnapshot, opts ...Option) (*Engine, error) {
+	return FromSnapshots(nil, pods, opts...)
+}
+
+// FromSnapshots builds an engine over an exact snapshot, pod tables, or
+// both published as one epoch. At least one must be non-nil and their
+// epochs must agree.
+func FromSnapshots(snap *core.Snapshot, pods *core.PodSnapshot, opts ...Option) (*Engine, error) {
+	st, err := newState(snap, pods)
 	if err != nil {
 		return nil, err
 	}
-	return New(pl), nil
+	e := newEngine(opts)
+	e.state.Store(st)
+	return e, nil
 }
 
-// Install publishes a new snapshot: the scenario planner is rebuilt on
-// it, the (snapshot, planner) pair swaps in atomically, and the plan
-// cache is dropped. Queries already running finish against the snapshot
-// they loaded; new queries see the new one.
+func newState(snap *core.Snapshot, pods *core.PodSnapshot) (*state, error) {
+	if snap == nil && pods == nil {
+		return nil, errors.New("engine: need an exact snapshot, pod tables, or both")
+	}
+	if snap != nil && pods != nil && snap.Epoch() != pods.Epoch() {
+		return nil, fmt.Errorf("engine: snapshot epoch %d and pod epoch %d must be installed as one generation",
+			snap.Epoch(), pods.Epoch())
+	}
+	var (
+		pl  *baseline.Planner
+		err error
+	)
+	if snap != nil {
+		pl, err = baseline.NewPlannerOn(snap)
+	} else {
+		pl, err = baseline.NewPlannerOnProfile(pods.Profile())
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := &state{snap: snap, pods: pods, planner: pl, profile: pl.Profile()}
+	if snap != nil {
+		st.epoch = snap.Epoch()
+	} else {
+		st.epoch = pods.Epoch()
+	}
+	return st, nil
+}
+
+// Install publishes a new exact snapshot (dropping any pod tables): the
+// scenario planner is rebuilt on it, the state swaps in atomically, and
+// the plan cache is dropped. Queries already running finish against the
+// state they loaded; new queries see the new one.
 func (e *Engine) Install(snap *core.Snapshot) error {
-	pl, err := baseline.NewPlannerOn(snap)
+	return e.InstallHierarchical(snap, nil)
+}
+
+// InstallHierarchical publishes an exact snapshot and prebuilt pod tables
+// (either may be nil, not both) as one atomic generation; the plan cache
+// is dropped.
+func (e *Engine) InstallHierarchical(snap *core.Snapshot, pods *core.PodSnapshot) error {
+	st, err := newState(snap, pods)
 	if err != nil {
 		return err
 	}
-	e.state.Store(&state{snap: snap, planner: pl})
+	e.state.Store(st)
 	e.mu.Lock()
-	e.cache = make(map[string]*Response)
-	e.order = e.order[:0]
+	e.cache = make(map[string]*list.Element)
+	e.lru.Init()
 	e.mu.Unlock()
 	return nil
 }
 
-// Snapshot returns the currently installed snapshot.
+// Snapshot returns the currently installed exact snapshot, or nil for a
+// pod-only engine.
 func (e *Engine) Snapshot() *core.Snapshot { return e.state.Load().snap }
 
-// Epoch returns the installed snapshot's epoch.
-func (e *Engine) Epoch() uint64 { return e.state.Load().snap.Epoch() }
+// Pods returns the currently installed pod tables, or nil.
+func (e *Engine) Pods() *core.PodSnapshot { return e.state.Load().pods }
 
-// Planner returns the scenario planner over the installed snapshot.
+// Epoch returns the installed generation.
+func (e *Engine) Epoch() uint64 { return e.state.Load().epoch }
+
+// Planner returns the scenario planner over the installed state.
 func (e *Engine) Planner() *baseline.Planner { return e.state.Load().planner }
+
+// Stats returns a point-in-time view of the cache counters and the
+// installed topology.
+func (e *Engine) Stats() Stats {
+	st := e.state.Load()
+	s := Stats{
+		CacheCapacity: cacheCap,
+		QuantizedKeys: !e.exactKeys,
+		Epoch:         st.epoch,
+		Machines:      st.profile.Size(),
+		Hierarchical:  st.autoHier(),
+	}
+	if st.pods != nil {
+		s.Pods = st.pods.Pods()
+	}
+	e.mu.Lock()
+	s.CacheHits, s.CacheMisses = e.hits, e.misses
+	s.CacheEvictions, s.CacheShared = e.evictions, e.shared
+	s.CacheEntries = len(e.cache)
+	e.mu.Unlock()
+	return s
+}
 
 // Plan answers one planning query. It is safe for any number of
 // concurrent callers; identical queries are coalesced and answers are
@@ -199,16 +406,25 @@ func (e *Engine) Plan(ctx context.Context, req Request) (*Response, error) {
 	}
 	st := e.state.Load()
 	req = req.normalize()
-	key := req.key(st.snap.Epoch())
+	if req.Mode == ModeHier && st.pods == nil {
+		return nil, errors.New("engine: hierarchical mode requested but no pod tables installed")
+	}
+	if req.Mode == ModeExact && st.snap == nil {
+		return nil, errors.New("engine: exact mode requested but the engine is pod-only")
+	}
+	key := req.key(st.epoch, st.profile.Size(), e.exactKeys)
 
 	e.mu.Lock()
-	if hit, ok := e.cache[key]; ok {
+	if el, ok := e.cache[key]; ok {
+		e.lru.MoveToFront(el)
+		e.hits++
 		e.mu.Unlock()
-		r := *hit
+		r := *el.Value.(*cacheEntry).resp
 		r.Cached = true
 		return &r, nil
 	}
 	if f, ok := e.inflight[key]; ok {
+		e.shared++
 		e.mu.Unlock()
 		select {
 		case <-f.done:
@@ -224,6 +440,7 @@ func (e *Engine) Plan(ctx context.Context, req Request) (*Response, error) {
 	}
 	f := &flight{done: make(chan struct{})}
 	e.inflight[key] = f
+	e.misses++
 	e.mu.Unlock()
 
 	resp, err := e.compute(st, req)
@@ -244,22 +461,27 @@ func (e *Engine) Plan(ctx context.Context, req Request) (*Response, error) {
 	return &r, nil
 }
 
-// store inserts into the bounded cache; the caller holds e.mu.
+// store inserts into the bounded LRU cache; the caller holds e.mu.
 func (e *Engine) store(key string, resp *Response) {
-	if _, ok := e.cache[key]; ok {
+	if el, ok := e.cache[key]; ok {
+		e.lru.MoveToFront(el)
 		return
 	}
-	for len(e.cache) >= cacheCap && len(e.order) > 0 {
-		delete(e.cache, e.order[0])
-		e.order = e.order[1:]
+	for len(e.cache) >= cacheCap {
+		oldest := e.lru.Back()
+		if oldest == nil {
+			break
+		}
+		e.lru.Remove(oldest)
+		delete(e.cache, oldest.Value.(*cacheEntry).key)
+		e.evictions++
 	}
-	e.cache[key] = resp
-	e.order = append(e.order, key)
+	e.cache[key] = e.lru.PushFront(&cacheEntry{key: key, resp: resp})
 }
 
 // compute solves one normalized request against one state.
 func (e *Engine) compute(st *state, req Request) (*Response, error) {
-	resp := &Response{Method: req.Method, Epoch: st.snap.Epoch()}
+	resp := &Response{Method: req.Method, Epoch: st.epoch}
 	switch {
 	case req.Safe:
 		if err := e.safePlan(st, req, resp); err != nil {
@@ -269,6 +491,13 @@ func (e *Engine) compute(st *state, req Request) (*Response, error) {
 		if err := e.degradedPlan(st, req, resp); err != nil {
 			return nil, err
 		}
+	case req.Method == baseline.OptimalACCons && req.Load > 0 && st.useHier(req.Mode):
+		plan, err := st.pods.Plan(req.Load)
+		if err != nil {
+			return nil, err
+		}
+		resp.Plan = plan
+		resp.Hierarchical = true
 	default:
 		plan, err := st.planner.Plan(req.Method, req.Load)
 		if err != nil {
@@ -277,6 +506,18 @@ func (e *Engine) compute(st *state, req Request) (*Response, error) {
 		resp.Plan = plan
 	}
 	return resp, nil
+}
+
+// useHier resolves the consolidation path for method #8 under this state.
+func (st *state) useHier(mode PlanMode) bool {
+	switch mode {
+	case ModeHier:
+		return true
+	case ModeExact:
+		return false
+	default:
+		return st.autoHier()
+	}
 }
 
 // survivors returns 0..n−1 minus the (sorted) avoid list.
@@ -301,17 +542,17 @@ func survivors(n int, avoid []int) []int {
 // (with the thermal cushion).
 func (e *Engine) degradedPlan(st *state, req Request, resp *Response) error {
 	resp.Degraded = true
-	p := st.snap.Profile()
+	p := st.profile
 	pool := survivors(p.Size(), req.Avoid)
 	if len(pool) == 0 {
 		return errors.New("engine: no surviving machines")
 	}
-	if plan := st.snap.PlanOver(pool, req.Load); plan != nil {
+	if plan := p.PlanOver(pool, req.Load); plan != nil {
 		resp.Plan = plan
 		return nil
 	}
 	capacity := p.CapacityAt(pool, units.Celsius(p.TAcMinC+req.MarginC))
-	plan := st.snap.PlanOver(pool, capacity)
+	plan := p.PlanOver(pool, capacity)
 	if plan == nil {
 		return fmt.Errorf("engine: no feasible degraded plan even after shedding to %.2f units", capacity)
 	}
@@ -329,7 +570,7 @@ func (e *Engine) degradedPlan(st *state, req Request, resp *Response) error {
 // (high α_i/β_i, low K_i) are unloaded first and no machine is pushed
 // past its cap.
 func (e *Engine) safePlan(st *state, req Request, resp *Response) error {
-	p := st.snap.Profile()
+	p := st.profile
 	pool := survivors(p.Size(), req.Avoid)
 	if len(pool) == 0 {
 		return errors.New("engine: no surviving machines")
@@ -359,14 +600,24 @@ func (e *Engine) safePlan(st *state, req Request, resp *Response) error {
 }
 
 // MaxLoad answers the paper's dual budget question maxL(A, P_b) off the
-// installed snapshot: the maximum serviceable load under a power budget
-// and the machine set achieving it.
+// installed state: the maximum serviceable load under a power budget and
+// the machine set achieving it. Above the hierarchy threshold (or
+// pod-only) the composed pod query answers with its bounded gap.
 func (e *Engine) MaxLoad(budgetW float64) (core.MaxLoadResult, error) {
-	return e.state.Load().snap.Tables().MaxLoad(budgetW)
+	st := e.state.Load()
+	if st.autoHier() {
+		return st.pods.MaxLoad(budgetW)
+	}
+	return st.snap.Tables().MaxLoad(budgetW)
 }
 
 // Consolidate answers the consolidation query directly: the best subset
-// of at least minK machines for the given load (Eq. 23 scoring).
+// of at least minK machines for the given load (Eq. 23 scoring), served
+// hierarchically above the threshold.
 func (e *Engine) Consolidate(load float64, minK int) (core.Selection, error) {
-	return e.state.Load().snap.Tables().QueryExact(load, minK)
+	st := e.state.Load()
+	if st.autoHier() {
+		return st.pods.Consolidate(load, minK)
+	}
+	return st.snap.Tables().QueryExact(load, minK)
 }

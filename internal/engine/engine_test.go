@@ -298,3 +298,292 @@ func TestConcurrentPlanDuringInstall(t *testing.T) {
 		}
 	}
 }
+
+func testPods(t *testing.T, n int, epoch uint64) *core.PodSnapshot {
+	t.Helper()
+	pods, err := core.NewPodSnapshot(testProfile(n), epoch, core.WithPodSize(n/4))
+	if err != nil {
+		t.Fatalf("pod snapshot: %v", err)
+	}
+	return pods
+}
+
+func TestCacheLRUAndStats(t *testing.T) {
+	e := testEngine(t, 10)
+	ctx := context.Background()
+	const distinct = 600 // past cacheCap, one per quantization bucket
+	for i := 0; i < distinct; i++ {
+		if _, err := e.Plan(ctx, Request{Load: 0.5 + float64(i)*0.01}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Stats()
+	if s.CacheMisses != distinct {
+		t.Fatalf("misses = %d, want %d", s.CacheMisses, distinct)
+	}
+	if s.CacheEvictions != distinct-uint64(s.CacheCapacity) {
+		t.Fatalf("evictions = %d with capacity %d", s.CacheEvictions, s.CacheCapacity)
+	}
+	if s.CacheEntries != s.CacheCapacity {
+		t.Fatalf("entries = %d, want full cache %d", s.CacheEntries, s.CacheCapacity)
+	}
+	// The most recent insert must still be resident; the very first load
+	// must have been evicted (LRU order).
+	resp, err := e.Plan(ctx, Request{Load: 0.5 + float64(distinct-1)*0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("most recent entry evicted")
+	}
+	resp, err = e.Plan(ctx, Request{Load: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	if got := e.Stats(); got.CacheHits != 1 {
+		t.Fatalf("hits = %d, want 1", got.CacheHits)
+	}
+	if got := e.Stats(); !got.QuantizedKeys || got.Machines != 10 || got.Pods != 0 {
+		t.Fatalf("stats topology wrong: %+v", got)
+	}
+}
+
+// TestLRUTouchPreventsEviction distinguishes LRU from the old FIFO: an
+// entry re-read right before the cache overflows must survive, the
+// untouched next-oldest must go.
+func TestLRUTouchPreventsEviction(t *testing.T) {
+	e := testEngine(t, 10)
+	ctx := context.Background()
+	load := func(i int) float64 { return 0.5 + float64(i)*0.01 }
+	for i := 0; i < 512; i++ {
+		if _, err := e.Plan(ctx, Request{Load: load(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resp, err := e.Plan(ctx, Request{Load: load(0)}); err != nil || !resp.Cached {
+		t.Fatalf("warm-up read of oldest entry: cached=%v err=%v", resp != nil && resp.Cached, err)
+	}
+	if _, err := e.Plan(ctx, Request{Load: load(512)}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := e.Plan(ctx, Request{Load: load(0)}); err != nil || !resp.Cached {
+		t.Fatal("touched entry evicted: cache is not LRU")
+	}
+	if resp, err := e.Plan(ctx, Request{Load: load(1)}); err != nil || resp.Cached {
+		t.Fatal("untouched next-oldest entry survived over the touched one")
+	}
+}
+
+func TestQuantizedKeysCoalesceNearbyLoads(t *testing.T) {
+	e := testEngine(t, 10) // bucket = 0.1 % of 10 machines = 0.01 units
+	ctx := context.Background()
+	first, err := e.Plan(ctx, Request{Load: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := e.Plan(ctx, Request{Load: 5.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near.Cached {
+		t.Fatal("load within one bucket missed the cache")
+	}
+	if math.Abs(near.Plan.TotalLoad()-first.Plan.TotalLoad()) > 1e-12 {
+		t.Fatal("coalesced response differs from the bucket's first plan")
+	}
+	far, err := e.Plan(ctx, Request{Load: 5.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Cached {
+		t.Fatal("load two buckets away hit the cache")
+	}
+}
+
+func TestExactCacheKeysOption(t *testing.T) {
+	e, err := FromSnapshot(testSnapshot(t, 10, 0), WithExactCacheKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := e.Plan(ctx, Request{Load: 5}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Plan(ctx, Request{Load: 5.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("exact keys served a neighbouring load's plan")
+	}
+	if math.Abs(resp.Plan.TotalLoad()-5.001) > 1e-9 {
+		t.Fatalf("exact-key plan carries %v, want 5.001", resp.Plan.TotalLoad())
+	}
+	if e.Stats().QuantizedKeys {
+		t.Fatal("stats claim quantized keys on an exact-key engine")
+	}
+}
+
+func TestHierarchicalModeSelection(t *testing.T) {
+	const n = 64
+	e, err := FromSnapshots(testSnapshot(t, n, 3), testPods(t, n, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Below HierThreshold auto mode stays exact.
+	auto, err := e.Plan(ctx, Request{Load: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Hierarchical {
+		t.Fatalf("auto mode went hierarchical at n=%d < %d", n, HierThreshold)
+	}
+	hier, err := e.Plan(ctx, Request{Load: 10, Mode: ModeHier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hier.Hierarchical {
+		t.Fatal("ModeHier did not use the pod planner")
+	}
+	if hier.Epoch != 3 || auto.Epoch != 3 {
+		t.Fatalf("epochs %d/%d, want 3", hier.Epoch, auto.Epoch)
+	}
+	// The two paths answer the same question; power gap is bounded.
+	p := e.Planner().Profile()
+	exactW := float64(p.PlanPower(auto.Plan))
+	hierW := float64(p.PlanPower(hier.Plan))
+	if hierW < exactW-1e-6 || hierW > exactW*1.05 {
+		t.Fatalf("hierarchical power %v vs exact %v outside bound", hierW, exactW)
+	}
+	exact, err := e.Plan(ctx, Request{Load: 10, Mode: ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Hierarchical {
+		t.Fatal("ModeExact answered hierarchically")
+	}
+}
+
+func TestPodOnlyEngine(t *testing.T) {
+	e, err := FromPodSnapshot(testPods(t, 64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Snapshot() != nil {
+		t.Fatal("pod-only engine claims an exact snapshot")
+	}
+	if e.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", e.Epoch())
+	}
+	ctx := context.Background()
+	resp, err := e.Plan(ctx, Request{Load: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Hierarchical {
+		t.Fatal("pod-only default plan not hierarchical")
+	}
+	if _, err := e.Plan(ctx, Request{Load: 10, Mode: ModeExact}); err == nil {
+		t.Fatal("ModeExact accepted on a pod-only engine")
+	}
+	// Non-#8 scenarios run off the profile-only planner.
+	if _, err := e.Plan(ctx, Request{Load: 10, Method: baseline.EvenACNoCons}); err != nil {
+		t.Fatalf("baseline scenario on pod-only engine: %v", err)
+	}
+	// Degraded and safe paths work without whole-room tables.
+	if _, err := e.Plan(ctx, Request{Load: 3, Avoid: []int{2}}); err != nil {
+		t.Fatalf("degraded plan: %v", err)
+	}
+	if _, err := e.Plan(ctx, Request{Load: 3, Safe: true, AchievedSupplyC: 20, MarginC: 2}); err != nil {
+		t.Fatalf("safe plan: %v", err)
+	}
+	if ml, err := e.MaxLoad(64*(52+34) + 150*21); err != nil || ml.Load <= 0 {
+		t.Fatalf("pod-only maxload: %v %v", ml, err)
+	}
+	if sel, err := e.Consolidate(4, 1); err != nil || len(sel.Subset) < 4 {
+		t.Fatalf("pod-only consolidate: %v %v", sel, err)
+	}
+	if s := e.Stats(); !s.Hierarchical || s.Pods != 4 {
+		t.Fatalf("pod-only stats: %+v", s)
+	}
+}
+
+func TestInstallHierarchicalEpochMismatch(t *testing.T) {
+	e := testEngine(t, 10)
+	if err := e.InstallHierarchical(testSnapshot(t, 10, 1), testPods(t, 10, 2)); err == nil {
+		t.Fatal("mismatched epochs installed as one generation")
+	}
+	if err := e.InstallHierarchical(nil, nil); err == nil {
+		t.Fatal("empty install accepted")
+	}
+	if err := e.InstallHierarchical(testSnapshot(t, 10, 4), testPods(t, 10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if e.Epoch() != 4 || e.Pods() == nil {
+		t.Fatalf("hierarchical install not published: epoch %d", e.Epoch())
+	}
+}
+
+// TestConcurrentPlanDuringHierarchicalInstall is the hierarchy analogue
+// of the serving-layer race check: workers mix exact, auto and pinned
+// hierarchical queries while the main goroutine keeps installing
+// (snapshot, pods) generations. Run with -race this verifies readers
+// never observe a torn state and every answer is stamped with some
+// installed epoch.
+func TestConcurrentPlanDuringHierarchicalInstall(t *testing.T) {
+	const (
+		workers  = 8
+		queries  = 40
+		installs = 10
+		n        = 16
+	)
+	e, err := FromSnapshots(testSnapshot(t, n, 0), testPods(t, n, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < queries; q++ {
+				req := Request{Load: 1 + float64((w*queries+q)%48)/4}
+				switch q % 3 {
+				case 1:
+					req.Mode = ModeHier
+				case 2:
+					req.Avoid = []int{w % n}
+				}
+				resp, err := e.Plan(ctx, req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Epoch > installs {
+					errs <- context.DeadlineExceeded // impossible marker
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 1; i <= installs; i++ {
+		if err := e.InstallHierarchical(testSnapshot(t, n, uint64(i)), testPods(t, n, uint64(i))); err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatalf("concurrent hierarchical plan: %v", err)
+	}
+	if e.Epoch() != installs {
+		t.Fatalf("final epoch %d, want %d", e.Epoch(), installs)
+	}
+}

@@ -98,6 +98,7 @@ func NewServer(room machineroom.Room, opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	s.mux.HandleFunc("GET /v1/consolidate", s.handleConsolidate)
 	s.mux.HandleFunc("GET /v1/maxload", s.handleMaxLoad)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s, nil
 }
 
@@ -237,9 +238,9 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePlan serves Engine.Plan: ?load=<units> with optional
-// &method=<1-8>, &avoid=<id,id,...>, &safe=true, &supply=<°C>,
-// &margin=<°C>. Served straight off the engine's snapshot — no room
-// lock.
+// &method=<1-8>, &mode=exact|hier, &avoid=<id,id,...>, &safe=true,
+// &supply=<°C>, &margin=<°C>. Served straight off the engine's
+// snapshot — no room lock.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if s.engine == nil {
 		writeError(w, http.StatusNotImplemented, errors.New("no planning engine configured"))
@@ -259,6 +260,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Method = baseline.Method(m)
+	}
+	switch q.Get("mode") {
+	case "", "auto":
+	case "exact":
+		req.Mode = engine.ModeExact
+	case "hier":
+		req.Mode = engine.ModeHier
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad mode %q (want exact or hier)", q.Get("mode")))
+		return
 	}
 	if raw := q.Get("avoid"); raw != "" {
 		for _, part := range strings.Split(raw, ",") {
@@ -289,16 +300,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, PlanResult{
-		Epoch:    resp.Epoch,
-		Method:   int(resp.Method),
-		On:       resp.Plan.On,
-		Loads:    resp.Plan.Loads,
-		TAcC:     float64(resp.Plan.TAcC),
-		ShedLoad: resp.ShedLoad,
-		Capacity: resp.Capacity,
-		Degraded: resp.Degraded,
-		Cached:   resp.Cached,
-		Shared:   resp.Shared,
+		Epoch:        resp.Epoch,
+		Method:       int(resp.Method),
+		On:           resp.Plan.On,
+		Loads:        resp.Plan.Loads,
+		TAcC:         float64(resp.Plan.TAcC),
+		ShedLoad:     resp.ShedLoad,
+		Capacity:     resp.Capacity,
+		Degraded:     resp.Degraded,
+		Cached:       resp.Cached,
+		Shared:       resp.Shared,
+		Hierarchical: resp.Hierarchical,
 	})
 }
 
@@ -351,6 +363,17 @@ func (s *Server) handleMaxLoad(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, MaxLoadResult{
 		Epoch: s.engine.Epoch(), Load: res.Load, Subset: res.Subset, T: res.T,
 	})
+}
+
+// handleStats serves the engine's serving counters (GET /v1/stats). The
+// wire form is engine.Stats verbatim — cache hit/miss/eviction counts,
+// entry occupancy, and the installed snapshot's shape.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	if s.engine == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("no planning engine configured"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
 
 // mutate executes a state-changing command under the room lock with

@@ -132,6 +132,98 @@ func TestPlanEndpointsWithoutEngine(t *testing.T) {
 	}
 }
 
+// newHierServingServer installs both an exact snapshot and a pod
+// decomposition, so mode=exact and mode=hier are both answerable.
+func newHierServingServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	room, err := sim.NewDefault(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	machines := make([]core.MachineProfile, n)
+	for i := range machines {
+		h := float64(i) / float64(n)
+		machines[i] = core.MachineProfile{Alpha: 1, Beta: 0.46 * (1 + 0.1*h), Gamma: 0.5 + 2.2*h}
+	}
+	p := &core.Profile{
+		W1: 52, W2: 34, CoolFactor: 150, SetPointC: 31,
+		TMaxC: 65, TAcMinC: 10, TAcMaxC: 25,
+		Machines: machines,
+	}
+	snap, err := core.NewSnapshot(p, 0, core.WithMaxMachines(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pods, err := core.NewPodSnapshot(p, 0, core.WithPodCount(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.FromSnapshots(snap, pods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(room, WithEngine(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestPlanEndpointMode(t *testing.T) {
+	ts := newHierServingServer(t)
+	var hier PlanResult
+	if code := getJSON(t, ts.URL+"/v1/plan?load=3&mode=hier", &hier); code != 200 {
+		t.Fatalf("mode=hier status %d", code)
+	}
+	if !hier.Hierarchical {
+		t.Fatalf("mode=hier answer not marked hierarchical: %+v", hier)
+	}
+	var exact PlanResult
+	if code := getJSON(t, ts.URL+"/v1/plan?load=3&mode=exact", &exact); code != 200 {
+		t.Fatalf("mode=exact status %d", code)
+	}
+	if exact.Hierarchical {
+		t.Fatalf("mode=exact answer marked hierarchical: %+v", exact)
+	}
+	if code := getJSON(t, ts.URL+"/v1/plan?load=3&mode=sideways", nil); code != 400 {
+		t.Fatalf("bad mode status %d, want 400", code)
+	}
+	// mode only applies to the consolidating optimum; on an exact-only
+	// server the pod mode is a client error.
+	exactOnly := newServingServer(t)
+	if code := getJSON(t, exactOnly.URL+"/v1/plan?load=3&mode=hier", nil); code != 422 {
+		t.Fatalf("mode=hier without pods: status %d, want 422", code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newHierServingServer(t)
+	var st engine.Stats
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if st.Machines != 8 || st.Pods != 4 || st.CacheCapacity <= 0 {
+		t.Fatalf("stats shape: %+v", st)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("fresh server reports traffic: %+v", st)
+	}
+	getJSON(t, ts.URL+"/v1/plan?load=3", nil)
+	getJSON(t, ts.URL+"/v1/plan?load=3", nil)
+	if code := getJSON(t, ts.URL+"/v1/stats", &st); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if st.CacheMisses != 1 || st.CacheHits != 1 || st.CacheEntries != 1 {
+		t.Fatalf("after one repeated query: %+v", st)
+	}
+	if code := getJSON(t, newTestServer(t).URL+"/v1/stats", nil); code != 501 {
+		t.Fatalf("stats without engine: status %d, want 501", code)
+	}
+}
+
 func TestConsolidateAndMaxLoadEndpoints(t *testing.T) {
 	ts := newServingServer(t)
 	var sel ConsolidateResult

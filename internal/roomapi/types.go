@@ -19,9 +19,10 @@
 // serve queries straight off the engine's immutable snapshot, never
 // touching the room or its lock:
 //
-//	GET /v1/plan?load=12.5[&method=8][&avoid=3,7][&safe=true][&supply=22][&margin=2.5]
+//	GET /v1/plan?load=12.5[&method=8][&mode=exact|hier][&avoid=3,7][&safe=true][&supply=22][&margin=2.5]
 //	GET /v1/consolidate?load=12.5[&mink=13]
 //	GET /v1/maxload?budget=5000
+//	GET /v1/stats                      cache and snapshot counters
 package roomapi
 
 // RoomInfo describes the room (GET /v1/room).
@@ -90,10 +91,12 @@ type PlanResult struct {
 	ShedLoad float64 `json:"shedLoad,omitempty"`
 	Capacity float64 `json:"capacity,omitempty"`
 	// Degraded reports the plan was computed around failed machines;
-	// Cached/Shared report cache hits and single-flight coalescing.
-	Degraded bool `json:"degraded,omitempty"`
-	Cached   bool `json:"cached,omitempty"`
-	Shared   bool `json:"shared,omitempty"`
+	// Cached/Shared report cache hits and single-flight coalescing;
+	// Hierarchical reports the pod-sharded planner answered.
+	Degraded     bool `json:"degraded,omitempty"`
+	Cached       bool `json:"cached,omitempty"`
+	Shared       bool `json:"shared,omitempty"`
+	Hierarchical bool `json:"hierarchical,omitempty"`
 }
 
 // ConsolidateResult is a raw consolidation answer (GET /v1/consolidate).

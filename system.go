@@ -39,6 +39,8 @@ type options struct {
 	copScale  float64
 	tMaxC     float64
 	preOpts   []core.PreprocessOption
+	hier      bool
+	podOpts   []core.PodOption
 	profiling profiling.Config
 }
 
@@ -147,6 +149,19 @@ func (o preprocessOption) apply(opts *options) {
 // default preprocessing cap.
 func WithPreprocess(opts ...PreprocessOption) Option { return preprocessOption(opts) }
 
+type hierarchyOption []core.PodOption
+
+func (o hierarchyOption) apply(opts *options) {
+	opts.hier = true
+	opts.podOpts = append(opts.podOpts, o...)
+}
+
+// WithHierarchy additionally builds pod-sharded consolidation tables
+// (WithPodSize, WithPodCount, WithPodBuildWorkers) and installs them in
+// the engine alongside the exact snapshot, enabling the hierarchical
+// planning path for large rooms.
+func WithHierarchy(opts ...PodOption) Option { return hierarchyOption(opts) }
+
 // NewSystem builds the simulated machine room, runs the full profiling
 // protocol against it, and returns a System ready to evaluate scenarios.
 func NewSystem(opts ...Option) (*System, error) {
@@ -246,7 +261,17 @@ func NewSystem(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coolopt: planner: %w", err)
 	}
-	return &System{sim: s, profiling: res, planner: planner, engine: engine.New(planner), opts: o}, nil
+	eng := engine.New(planner)
+	if o.hier {
+		pods, err := core.NewPodSnapshot(res.Profile, 0, o.podOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("coolopt: pod tables: %w", err)
+		}
+		if err := eng.InstallHierarchical(snap, pods); err != nil {
+			return nil, fmt.Errorf("coolopt: hierarchy: %w", err)
+		}
+	}
+	return &System{sim: s, profiling: res, planner: planner, engine: eng, opts: o}, nil
 }
 
 // Clone returns a System running its own copy of the simulated room while
@@ -286,6 +311,10 @@ func (s *System) Snapshot() *Snapshot { return s.planner.Snapshot() }
 // snapshot. Clones share the engine: it only touches the frozen model,
 // never the simulated room.
 func (s *System) Engine() *Engine { return s.engine }
+
+// Pods returns the pod-sharded consolidation tables built under
+// WithHierarchy, or nil when the system plans exactly only.
+func (s *System) Pods() *PodSnapshot { return s.engine.Pods() }
 
 // Size returns the number of machines.
 func (s *System) Size() int { return s.sim.Size() }
