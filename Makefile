@@ -1,15 +1,19 @@
 GO ?= go
 
 # ci is the tier-1 gate: formatting, vet, the repo's own static-analysis
-# suite, race-enabled tests, a full build, and small serving-bench and
-# hierarchy-bench smoke runs. The race step guards the concurrent paths
-# (the plan engine, the parallel kinetic preprocessing and pod-table
-# sweeps, and the figures.Collect worker pool); lint enforces the
-# determinism, unit-safety, and clone-discipline invariants the
-# experiments depend on; the hierarchy smoke enforces the pod planner's
-# optimality-gap bound at a small size.
+# suite, race-enabled tests, a full build, and small serving-bench,
+# hierarchy-bench, and degraded-bench smoke runs. The race step guards
+# the concurrent paths (the plan engine, the parallel kinetic
+# preprocessing and pod-table sweeps, the figures.Collect worker pool,
+# and the degraded-serving chaos hammer in internal/chaos); lint
+# enforces the determinism, unit-safety, and clone-discipline invariants
+# the experiments depend on; the hierarchy and degraded smokes enforce
+# the pod planner's optimality-gap bounds at a small size; the
+# degraded-chaos smoke asserts the overload-serving contract (only
+# 200/400/503, Retry-After on every 503, readiness flipping across a
+# slow install) over loopback HTTP.
 .PHONY: ci
-ci: fmt-check vet lint race build serving-smoke hierarchy-smoke
+ci: fmt-check vet lint race build serving-smoke hierarchy-smoke degraded-smoke degraded-chaos-smoke
 
 .PHONY: build
 build:
@@ -70,3 +74,25 @@ hierarchy-bench:
 .PHONY: hierarchy-smoke
 hierarchy-smoke:
 	$(GO) run ./cmd/paperbench -hierarchy-bench /tmp/BENCH_hierarchy_smoke.json -hierarchy-max-n 256 -hierarchy-pod-size 32 -hierarchy-queries 64
+
+# Refresh the degraded-planning trajectory committed at the repo root
+# (n=4096, 16 pods: pod-local vs flat degraded re-planning with the
+# ≥10× speedup and ≤1 %/5 % gap gates).
+.PHONY: degraded-bench
+degraded-bench:
+	$(GO) run ./cmd/paperbench -degraded-bench BENCH_degraded.json
+
+# degraded-smoke runs the degraded benchmark at a small size. The gap
+# limits are slightly looser than the 4096-point defaults: with only 4
+# pods of 64 machines, single-machine failures weigh proportionally more
+# than they do at the committed trajectory's scale.
+.PHONY: degraded-smoke
+degraded-smoke:
+	$(GO) run ./cmd/paperbench -degraded-bench /tmp/BENCH_degraded_smoke.json -degraded-n 256 -degraded-pods 4 -degraded-gap-mean-limit 0.02 -degraded-speedup-floor 2
+
+# degraded-chaos-smoke hammers a pod-only engine's avoid= surface over
+# loopback HTTP through an overload window and a slow snapshot install;
+# any serving-contract violation fails it.
+.PHONY: degraded-chaos-smoke
+degraded-chaos-smoke:
+	$(GO) run ./cmd/paperbench -degraded-chaos -degraded-n 128 -degraded-pods 4

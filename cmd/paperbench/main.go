@@ -59,6 +59,13 @@ func run(args []string, out io.Writer) error {
 	hierQueries := fs.Int("hierarchy-queries", 256, "queries per operation kind during -hierarchy-bench")
 	hierPodSize := fs.Int("hierarchy-pod-size", 0, "machines per pod during -hierarchy-bench (0 = library default)")
 	hierGapLimit := fs.Float64("hierarchy-gap-limit", 0.05, "fail -hierarchy-bench if the worst-case gap vs the exact planner exceeds this fraction")
+	degBench := fs.String("degraded-bench", "", "measure pod-local vs flat degraded re-planning and write the JSON trajectory to this file (e.g. BENCH_degraded.json), then exit")
+	degN := fs.Int("degraded-n", 4096, "room size during -degraded-bench / -degraded-chaos")
+	degPods := fs.Int("degraded-pods", 16, "pod count during -degraded-bench / -degraded-chaos")
+	degGapMeanLimit := fs.Float64("degraded-gap-mean-limit", 0.01, "fail -degraded-bench if any point's mean gap vs the flat degraded planner exceeds this fraction")
+	degGapLimit := fs.Float64("degraded-gap-limit", 0.05, "fail -degraded-bench if any point's worst gap vs the flat degraded planner exceeds this fraction")
+	degSpeedupFloor := fs.Float64("degraded-speedup-floor", 10, "fail -degraded-bench if pod-local degraded planning is not at least this many times faster than the flat sweep")
+	degChaos := fs.Bool("degraded-chaos", false, "run the degraded-serving chaos scenario (avoid= hammer + overload + slow install over loopback HTTP), then exit")
 	chaosRun := fs.Bool("chaos", false, "run the fault-injection scenario suite (hardened vs unhardened controller), then exit")
 	chaosDur := fs.Float64("chaos-duration", 900, "simulated seconds per chaos scenario")
 	soakSeed := fs.Int64("soak-seed", 0, "with -chaos: also run a randomized fault schedule drawn from this seed (0 disables)")
@@ -73,6 +80,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *hierBench != "" {
 		return runHierarchyBench(out, *hierBench, *servGoroutines, *hierQueries, *hierMaxN, *hierPodSize, *hierGapLimit)
+	}
+	if *degBench != "" {
+		return runDegradedBench(out, *degBench, *degN, *degPods, *degGapMeanLimit, *degGapLimit, *degSpeedupFloor)
+	}
+	if *degChaos {
+		return runDegradedChaos(out, *degN, *degPods)
 	}
 	sel := strings.ToLower(*figSel)
 

@@ -5,7 +5,9 @@
 //	GET /v1/plan?load=12.5[&method=8][&mode=exact|hier][&avoid=3,7][&safe=true][&supply=22][&margin=2.5]
 //	GET /v1/consolidate?load=12.5[&mink=13]
 //	GET /v1/maxload?budget=5000
-//	GET /v1/stats
+//	GET /v1/stats                      counters + per-endpoint latency
+//	GET /v1/healthz                    liveness
+//	GET /v1/readyz                     readiness (503 while installing / breaker open)
 //
 // alongside the full room control plane of cmd/roomd (the /v1/sensors,
 // /v1/advance, … endpoints operate the simulated room the model was
@@ -24,7 +26,7 @@
 //
 // Usage:
 //
-//	pland [-addr :7078] [-seed N] [-machines N] [-racks R -perrack M] [-pods P] [-plan-mode exact|hier|both] [-drain 5s]
+//	pland [-addr :7078] [-seed N] [-machines N] [-racks R -perrack M] [-pods P] [-plan-mode exact|hier|both] [-timeout 0] [-max-inflight 0] [-drain 5s]
 package main
 
 import (
@@ -63,6 +65,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "preprocessing worker pool (0 = all cores)")
 	pods := fs.Int("pods", 0, "pod count for hierarchical planning tables (0 = exact only)")
 	planMode := fs.String("plan-mode", "", "tables to serve: exact, hier, or both (default: both with -pods, else exact)")
+	timeout := fs.Duration("timeout", 0, "server-side compute deadline per planning request (0 = client deadline only)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrent plan computations before shedding 503s (0 = unbounded)")
 	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain budget on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +89,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	opts := []coolopt.Option{coolopt.WithSeed(*seed)}
+	if *maxInFlight > 0 {
+		opts = append(opts, coolopt.WithEngineOptions(coolopt.WithMaxInFlight(*maxInFlight)))
+	}
 	n := *machines
 	if *racks > 0 {
 		opts = append(opts, coolopt.WithRow(*racks, *perRack))
@@ -117,7 +124,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
-	handler, err := roomapi.NewServer(sys.Sim(), roomapi.WithEngine(sys.Engine()))
+	apiOpts := []roomapi.Option{roomapi.WithEngine(sys.Engine())}
+	if *timeout > 0 {
+		apiOpts = append(apiOpts, roomapi.WithRequestTimeout(*timeout))
+	}
+	handler, err := roomapi.NewServer(sys.Sim(), apiOpts...)
 	if err != nil {
 		return err
 	}

@@ -147,6 +147,18 @@ const HierThreshold = engine.HierThreshold
 // ErrInfeasible is returned when no plan can satisfy the constraints.
 var ErrInfeasible = core.ErrInfeasible
 
+// Typed serving errors from the plan engine; compare with errors.Is.
+var (
+	// ErrPlanOverloaded: the engine refused to start a computation
+	// (in-flight bound hit, install in progress, or breaker open).
+	ErrPlanOverloaded = engine.ErrOverloaded
+	// ErrPlanNoPath: the request pinned a planning path the installed
+	// state cannot serve.
+	ErrPlanNoPath = engine.ErrNoPath
+	// ErrPlanBadAvoid: the avoid list names a machine outside the room.
+	ErrPlanBadAvoid = engine.ErrBadAvoid
+)
+
 // NewOptimizer builds the practical planner for a profile; see
 // core.NewOptimizer.
 func NewOptimizer(p *Profile, opts ...PreprocessOption) (*Optimizer, error) {
@@ -186,6 +198,10 @@ func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, 
 // WithExactCacheKeys keys the engine's plan cache by exact load bits
 // instead of 0.1 %-of-capacity buckets.
 func WithExactCacheKeys() EngineOption { return engine.WithExactCacheKeys() }
+
+// WithMaxInFlight bounds concurrent plan computations; excess cache
+// misses are shed with ErrPlanOverloaded instead of queued.
+func WithMaxInFlight(k int) EngineOption { return engine.WithMaxInFlight(k) }
 
 // Preprocess runs consolidation Algorithm 1 on a reduced instance in its
 // compressed kinetic form (O(n² lg n) time, O(n²) memory, default cap

@@ -1,0 +1,31 @@
+package chaos
+
+import "testing"
+
+// TestDegradedServingSmoke is the CI chaos gate: the full scenario at a
+// small room size, race-enabled through make ci's race target. Any
+// serving-contract violation — a hung request, a 500, a 503 without
+// Retry-After, a degraded plan powering an avoided machine, readiness
+// failing to flip across the install — fails it.
+func TestDegradedServingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback HTTP hammer")
+	}
+	rep, err := RunDegradedServing(ServingOptions{N: 64, Pods: 4, Clients: 6, Requests: 18})
+	if err != nil {
+		t.Fatalf("serving contract violated: %v", err)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no successful degraded answers: %s", rep)
+	}
+	if rep.Degraded == 0 || rep.Hierarchical != rep.Degraded {
+		t.Fatalf("degraded answers did not route through the pod planner: %s", rep)
+	}
+	if rep.BadRequest == 0 {
+		t.Fatalf("stale-inventory requests never rejected: %s", rep)
+	}
+	if rep.InstallSheds == 0 {
+		t.Fatalf("install window shed nothing: %s", rep)
+	}
+	t.Logf("degraded serving: %s", rep)
+}

@@ -52,9 +52,10 @@ const DefaultPodSize = 256
 
 // podConfig collects NewPodSnapshot's tunables.
 type podConfig struct {
-	podSize  int // target machines per pod; 0 = DefaultPodSize
-	podCount int // explicit pod count; 0 = derive from podSize
-	workers  int // outer build workers; 0 = runtime default
+	podSize    int             // target machines per pod; 0 = DefaultPodSize
+	podCount   int             // explicit pod count; 0 = derive from podSize
+	workers    int             // outer build workers; 0 = runtime default
+	buildCheck func(int) error // per-pod build guard; nil = none
 }
 
 // PodOption configures NewPodSnapshot.
@@ -78,6 +79,15 @@ func WithPodCount(p int) PodOption {
 // single-threaded, only the scheduling of whole pods varies.
 func WithPodBuildWorkers(w int) PodOption {
 	return func(cfg *podConfig) { cfg.workers = w }
+}
+
+// WithPodBuildCheck installs a guard invoked (from the build workers,
+// keyed by pod index — keep it concurrency-safe) before each pod's
+// kinetic sweep; a non-nil error fails the whole build. Fault injection
+// uses it to rehearse pod-table build failures deterministically; the
+// serving layer must keep answering off the previously installed state.
+func WithPodBuildCheck(check func(pod int) error) PodOption {
+	return func(cfg *podConfig) { cfg.buildCheck = check }
 }
 
 // pod is one shard of the room: a contiguous ID range with its own
@@ -188,7 +198,7 @@ func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, 
 		})
 	}
 
-	if err := ps.buildPods(cfg.workers); err != nil {
+	if err := ps.buildPods(cfg.workers, cfg.buildCheck); err != nil {
 		return nil, err
 	}
 	return ps, nil
@@ -197,7 +207,7 @@ func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, 
 // buildPods runs Preprocess for every pod on an outer worker pool. Each
 // pod's inner sweep is pinned to one worker so the tables are
 // byte-identical across outer worker counts.
-func (ps *PodSnapshot) buildPods(workers int) error {
+func (ps *PodSnapshot) buildPods(workers int, check func(int) error) error {
 	workers = sweepWorkers(workers)
 	if workers > len(ps.pods) {
 		workers = len(ps.pods)
@@ -211,6 +221,12 @@ func (ps *PodSnapshot) buildPods(workers int) error {
 			defer wg.Done()
 			for j := range jobs {
 				pd := ps.pods[j]
+				if check != nil {
+					if err := check(j); err != nil {
+						errs[j] = fmt.Errorf("core: pod %d: %w", j, err)
+						continue
+					}
+				}
 				pre, err := Preprocess(pd.reduced,
 					WithMaxMachines(len(pd.ids)), WithPreprocessWorkers(1))
 				if err != nil {
@@ -268,54 +284,18 @@ func (ps *PodSnapshot) TableBytes() int {
 
 // splitLoad is the top-level water-filling allocator: bisect on the
 // surplus parameter s of Eq. 21 so that Σ_j clamp(A_j − s·B_j, 0, n_j)
-// equals the room load. With one pod the split is trivially exact, which
-// makes the p = 1 hierarchy byte-identical to the flat planner.
+// equals the room load (waterFill, shared with the degraded path). With
+// one pod the split is trivially exact, which makes the p = 1 hierarchy
+// byte-identical to the flat planner.
 func (ps *PodSnapshot) splitLoad(load float64) []float64 {
-	out := make([]float64, len(ps.pods))
 	if len(ps.pods) == 1 {
-		out[0] = load
-		return out
+		return []float64{load}
 	}
-	podAt := func(j int, s float64) float64 {
-		l := ps.pods[j].sumA - s*ps.pods[j].sumB
-		if l < 0 {
-			return 0
-		}
-		if cap := float64(len(ps.pods[j].ids)); l > cap {
-			return cap
-		}
-		return l
+	aggs := make([]podAgg, len(ps.pods))
+	for j, pd := range ps.pods {
+		aggs[j] = podAgg{sumA: pd.sumA, sumB: pd.sumB, cap: float64(len(pd.ids))}
 	}
-	total := func(s float64) float64 {
-		sum := 0.0
-		for j := range ps.pods {
-			sum += podAt(j, s)
-		}
-		return sum
-	}
-	// Bracket: at sLo every pod is at capacity (total = n ≥ load), at sHi
-	// every pod is empty.
-	sLo, sHi := math.Inf(1), math.Inf(-1)
-	for _, pd := range ps.pods {
-		if v := (pd.sumA - float64(len(pd.ids))) / pd.sumB; v < sLo {
-			sLo = v
-		}
-		if v := pd.sumA / pd.sumB; v > sHi {
-			sHi = v
-		}
-	}
-	for iter := 0; iter < 100; iter++ {
-		mid := (sLo + sHi) / 2
-		if total(mid) >= load {
-			sLo = mid
-		} else {
-			sHi = mid
-		}
-	}
-	for j := range ps.pods {
-		out[j] = podAt(j, sLo)
-	}
-	return out
+	return waterFill(aggs, load)
 }
 
 // Select returns the hierarchical on-set for the given room load: the
@@ -374,6 +354,13 @@ func (ps *PodSnapshot) Select(load float64) ([]int, error) {
 // optimal per §III-B), which keeps the p = 1 path untouched; from a pod
 // union the pass closes most of the boundary gap at O(n) per move.
 func (ps *PodSnapshot) refineUnion(union []int, load float64) []int {
+	return ps.refineUnionBlocked(union, load, nil)
+}
+
+// refineUnionBlocked is refineUnion with an optional avoid mask: blocked
+// machines never enter the union through an add or swap move. The
+// degraded path passes its avoid set; the healthy path passes nil.
+func (ps *PodSnapshot) refineUnionBlocked(union []int, load float64, blocked []bool) []int {
 	r := ps.room
 	p := ps.profile
 	n := len(r.Pairs)
@@ -427,6 +414,8 @@ func (ps *PodSnapshot) refineUnion(union []int, load float64) []int {
 				if remIdx < 0 || x < remX {
 					remIdx, remX = i, x
 				}
+			} else if blocked != nil && blocked[i] {
+				continue
 			} else if addIdx < 0 || x > addX {
 				addIdx, addX = i, x
 			}

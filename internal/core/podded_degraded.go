@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the degraded (avoid-set) form of the two-level
+// planner: PlanAvoiding answers "plan this load around these failed
+// machines" without falling back to the flat O(n²) pool solver the
+// hierarchy exists to avoid.
+//
+// The structure mirrors Plan. Pods untouched by the avoid set reuse
+// their kinetic tables and Eq. 21–22 aggregates verbatim; an affected
+// pod recomputes survivor-restricted aggregates (A′_j, B′_j, cap′_j) and
+// replaces its table lookup with a survivor prefix sweep — survivors
+// ordered front-most at the pod's own particle time, every prefix scored
+// with the same clamped Eq. 23 objective clampedSelect uses. The
+// water-filling split, the union SolveBounded, and the bounded exchange
+// then run over the mixed set exactly as in the healthy path, with the
+// avoid set masked out of every move. With one pod the whole query
+// delegates to the flat Profile.PlanOver over the survivors, so the
+// p = 1 degraded plan is bit-identical to the exact degraded plan.
+
+// podAgg is one pod's water-filling aggregate: Σ K_i, Σ α_i/β_i, and the
+// machine-count capacity, restricted to the machines still in service.
+type podAgg struct {
+	sumA, sumB, cap float64
+}
+
+// canonAvoid validates the avoid list against the room size and returns
+// a sorted, deduplicated copy. Out-of-range IDs are an error — a client
+// naming a machine the room does not have is working from stale
+// inventory, and silently ignoring it would hide that.
+func canonAvoid(avoid []int, n int) ([]int, error) {
+	if len(avoid) == 0 {
+		return nil, nil
+	}
+	out := append([]int(nil), avoid...)
+	sort.Ints(out)
+	if out[0] < 0 || out[len(out)-1] >= n {
+		bad := out[0]
+		if bad >= 0 {
+			bad = out[len(out)-1]
+		}
+		return nil, fmt.Errorf("core: avoid machine %d outside [0, %d)", bad, n)
+	}
+	dst := out[:1]
+	for _, id := range out[1:] {
+		if id != dst[len(dst)-1] {
+			dst = append(dst, id)
+		}
+	}
+	return dst, nil
+}
+
+// survivorPool lists the unblocked machine IDs ascending.
+func survivorPool(n int, blocked []bool) []int {
+	pool := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !blocked[i] {
+			pool = append(pool, i)
+		}
+	}
+	return pool
+}
+
+// waterFill is the top-level allocator over explicit pod aggregates:
+// bisect on the surplus parameter s of Eq. 21 so that
+// Σ_j clamp(A_j − s·B_j, 0, cap_j) equals the load. splitLoad builds its
+// aggregates from the healthy pods; PlanAvoiding from the survivor-
+// restricted ones. Pods with no remaining capacity take zero load.
+func waterFill(aggs []podAgg, load float64) []float64 {
+	out := make([]float64, len(aggs))
+	at := func(j int, s float64) float64 {
+		if aggs[j].cap <= 0 || aggs[j].sumB <= 0 {
+			return 0
+		}
+		l := aggs[j].sumA - s*aggs[j].sumB
+		if l < 0 {
+			return 0
+		}
+		if l > aggs[j].cap {
+			return aggs[j].cap
+		}
+		return l
+	}
+	total := func(s float64) float64 {
+		sum := 0.0
+		for j := range aggs {
+			sum += at(j, s)
+		}
+		return sum
+	}
+	// Bracket: at sLo every pod is at capacity (total ≥ load), at sHi
+	// every pod is empty.
+	sLo, sHi := math.Inf(1), math.Inf(-1)
+	for j := range aggs {
+		if aggs[j].cap <= 0 || aggs[j].sumB <= 0 {
+			continue
+		}
+		if v := (aggs[j].sumA - aggs[j].cap) / aggs[j].sumB; v < sLo {
+			sLo = v
+		}
+		if v := aggs[j].sumA / aggs[j].sumB; v > sHi {
+			sHi = v
+		}
+	}
+	if math.IsInf(sLo, 1) {
+		return out // nothing survives anywhere
+	}
+	for iter := 0; iter < 100; iter++ {
+		mid := (sLo + sHi) / 2
+		if total(mid) >= load {
+			sLo = mid
+		} else {
+			sHi = mid
+		}
+	}
+	for j := range aggs {
+		out[j] = at(j, sLo)
+	}
+	return out
+}
+
+// survivorSelect picks one affected pod's on-set over its surviving
+// machines: survivors ordered front-most at the pod's own particle time
+// for its allocated load, then every prefix size k ≥ ⌈load⌉ scored with
+// the clamped Eq. 23 objective — the same scoring clampedSelect applies
+// to the kinetic tables, restricted to the survivor prefix order. pairs
+// and surv are pod-local; the returned indices are pod-local too.
+func survivorSelect(pairs []Pair, surv []int, load float64, b clampBounds) ([]int, bool) {
+	m := len(surv)
+	minK := int(math.Ceil(load - 1e-9))
+	if minK < 1 {
+		minK = 1
+	}
+	if minK > m {
+		return nil, false
+	}
+	var allA, allB float64
+	for _, i := range surv {
+		allA += pairs[i].A
+		allB += pairs[i].B
+	}
+	t0 := (allA - load) / allB
+	if t0 < 0 {
+		t0 = 0
+	}
+	order := append([]int(nil), surv...)
+	sort.Slice(order, func(x, y int) bool {
+		return particleLess(pairs, order[x], order[y], t0)
+	})
+	var prefA, prefB float64
+	bestK := 0
+	bestPower := math.Inf(1)
+	for k := 1; k <= m; k++ {
+		prefA += pairs[order[k-1]].A
+		prefB += pairs[order[k-1]].B
+		if k < minK {
+			continue
+		}
+		t := (prefA - load) / prefB
+		if t < 0 {
+			continue
+		}
+		tAc := b.W1 * t
+		if tAc > b.TAcMaxC {
+			tAc = b.TAcMaxC
+		}
+		if tAc < b.TAcMinC {
+			continue
+		}
+		cooling := b.CoolFactor * (b.SetPointC - tAc)
+		if cooling < 0 {
+			cooling = 0
+		}
+		power := cooling + b.W1*load + float64(k)*b.W2
+		if power < bestPower-1e-9 {
+			bestPower, bestK = power, k
+		}
+	}
+	if bestK == 0 {
+		return nil, false
+	}
+	out := append([]int(nil), order[:bestK]...)
+	sort.Ints(out)
+	return out, true
+}
+
+// selectAvoiding is the degraded analogue of Select: survivor-restricted
+// water-fill, per-pod selection (tables for untouched pods, survivor
+// prefix sweep for affected ones), and the bounded exchange over the
+// union with the avoid set masked out of every add and swap.
+func (ps *PodSnapshot) selectAvoiding(load float64, blocked []bool) ([]int, error) {
+	aggs := make([]podAgg, len(ps.pods))
+	survLocal := make([][]int, len(ps.pods))
+	for j, pd := range ps.pods {
+		agg := podAgg{sumA: pd.sumA, sumB: pd.sumB, cap: float64(len(pd.ids))}
+		touched := false
+		for li, id := range pd.ids {
+			if blocked[id] {
+				touched = true
+				agg.sumA -= pd.reduced.Pairs[li].A
+				agg.sumB -= pd.reduced.Pairs[li].B
+				agg.cap--
+			}
+		}
+		if touched {
+			surv := make([]int, 0, int(agg.cap))
+			for li, id := range pd.ids {
+				if !blocked[id] {
+					surv = append(surv, li)
+				}
+			}
+			survLocal[j] = surv
+		}
+		aggs[j] = agg
+	}
+	shares := waterFill(aggs, load)
+	var union []int
+	for j, pd := range ps.pods {
+		lj := shares[j]
+		if lj <= 1e-12 {
+			continue
+		}
+		var local []int
+		if survLocal[j] == nil {
+			var ok bool
+			local, ok = clampedSelect(pd.pre, lj, pd.bounds)
+			if !ok {
+				local = make([]int, len(pd.ids))
+				for i := range local {
+					local[i] = i
+				}
+			}
+		} else {
+			var ok bool
+			local, ok = survivorSelect(pd.reduced.Pairs, survLocal[j], lj, pd.bounds)
+			if !ok {
+				local = append([]int(nil), survLocal[j]...)
+			}
+		}
+		for _, li := range local {
+			union = append(union, pd.ids[li])
+		}
+	}
+	if len(union) == 0 {
+		return nil, fmt.Errorf("%w: no pod accepts any of load %v around %d failures",
+			ErrInfeasible, load, countBlocked(blocked))
+	}
+	union = ps.refineUnionBlocked(union, load, blocked)
+	union = ps.growUnion(union, load, blocked)
+	sort.Ints(union)
+	return union, nil
+}
+
+func countBlocked(blocked []bool) int {
+	k := 0
+	for _, b := range blocked {
+		if b {
+			k++
+		}
+	}
+	return k
+}
+
+// growUnion tops the union up until it can carry the load at a feasible
+// supply temperature: while the member count is below ⌈load⌉ or the
+// aggregate Eq. 21 supply W1·(ΣA − L)/ΣB sits below the actuator
+// minimum, the front-most unused survivor joins. Adding machines only
+// raises the optimal supply (each new K_i·β_i/α_i is far above the
+// actuation range), so the loop is monotone and SolveBounded succeeds on
+// the result whenever any survivor subset is feasible.
+func (ps *PodSnapshot) growUnion(union []int, load float64, blocked []bool) []int {
+	r := ps.room
+	n := len(r.Pairs)
+	in := make([]bool, n)
+	var sumA, sumB float64
+	for _, i := range union {
+		in[i] = true
+		sumA += r.Pairs[i].A
+		sumB += r.Pairs[i].B
+	}
+	minK := int(math.Ceil(load - 1e-9))
+	if minK < 1 {
+		minK = 1
+	}
+	feasible := func() bool {
+		return len(union) >= minK && ps.profile.W1*(sumA-load)/sumB >= ps.profile.TAcMinC
+	}
+	if feasible() {
+		return union
+	}
+	t := (sumA - load) / sumB
+	if t < 0 {
+		t = 0
+	}
+	rest := make([]int, 0, n-len(union))
+	for i := 0; i < n; i++ {
+		if !in[i] && (blocked == nil || !blocked[i]) {
+			rest = append(rest, i)
+		}
+	}
+	sort.Slice(rest, func(x, y int) bool {
+		return particleLess(r.Pairs, rest[x], rest[y], t)
+	})
+	for _, i := range rest {
+		union = append(union, i)
+		sumA += r.Pairs[i].A
+		sumB += r.Pairs[i].B
+		if feasible() {
+			break
+		}
+	}
+	return union
+}
+
+// PlanAvoiding is the degraded two-level plan: consolidation and load
+// split over the machines not named in avoid. A nil or empty avoid list
+// is the healthy Plan. IDs outside [0, n) are an error; a load beyond
+// the survivor count (or below any feasible supply temperature) returns
+// ErrInfeasible — the serving layer sheds to the surviving capacity and
+// retries. With a single pod the answer is bit-identical to the flat
+// degraded solver Profile.PlanOver over the survivors.
+func (ps *PodSnapshot) PlanAvoiding(load float64, avoid []int) (*Plan, error) {
+	n := ps.profile.Size()
+	av, err := canonAvoid(avoid, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(av) == 0 {
+		return ps.Plan(load)
+	}
+	if load <= 0 {
+		return nil, fmt.Errorf("core: load %v must be positive (power everything off instead)", load)
+	}
+	m := n - len(av)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: all %d machines avoided", ErrInfeasible, n)
+	}
+	if load > float64(m) {
+		return nil, fmt.Errorf("%w: load %v exceeds the %d surviving machines", ErrInfeasible, load, m)
+	}
+	blocked := make([]bool, n)
+	for _, i := range av {
+		blocked[i] = true
+	}
+	if len(ps.pods) == 1 {
+		plan := ps.profile.PlanOver(survivorPool(n, blocked), load)
+		if plan == nil {
+			return nil, fmt.Errorf("%w: no feasible plan for load %v over %d survivors", ErrInfeasible, load, m)
+		}
+		return plan, nil
+	}
+	union, err := ps.selectAvoiding(load, blocked)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := ps.profile.SolveBounded(union, load)
+	if err != nil {
+		// The union's box repair can pin enough machines to starve the
+		// free set; the full survivor pool is the most feasible subset
+		// there is, so fall back to it before declaring infeasibility.
+		plan, err = ps.profile.SolveBounded(survivorPool(n, blocked), load)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ps.profile.ValidatePlan(plan, load, 1e-6); err != nil {
+		return nil, fmt.Errorf("core: degraded hierarchical optimizer produced invalid plan: %w", err)
+	}
+	return plan, nil
+}

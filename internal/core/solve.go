@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -197,10 +198,22 @@ func (p *Profile) PlanAllOn(load float64) (*Plan, error) {
 // closed form is solved for every on-count k ≥ ⌈load⌉ over pool[:k] and
 // the cheapest feasible plan under the model wins (the profiled machines
 // are near-homogeneous, so which k pool members run matters far less than
-// how many). This is the degraded planner's workhorse: the pool is the
-// surviving set after failures, which the precomputed whole-room tables
-// cannot answer for directly. Returns nil when no prefix is feasible.
+// how many). This is the flat degraded planner's workhorse: the pool is
+// the surviving set after failures, which the precomputed whole-room
+// tables cannot answer for directly. Returns nil when no prefix is
+// feasible.
 func (p *Profile) PlanOver(pool []int, load float64) *Plan {
+	plan, _ := p.PlanOverCtx(context.Background(), pool, load)
+	return plan
+}
+
+// PlanOverCtx is PlanOver with cooperative cancellation: the prefix
+// sweep is O(|pool|) closed-form solves — seconds at datacenter scale —
+// so a serving deadline must be able to cut it short. The context is
+// checked between solves; on cancellation the error is ctx.Err(). An
+// exhausted sweep with no feasible prefix returns (nil, nil), exactly
+// like PlanOver.
+func (p *Profile) PlanOverCtx(ctx context.Context, pool []int, load float64) (*Plan, error) {
 	var (
 		best  *Plan
 		bestW float64
@@ -210,6 +223,9 @@ func (p *Profile) PlanOver(pool []int, load float64) *Plan {
 		minOn = 1
 	}
 	for k := minOn; k <= len(pool); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		plan, err := p.SolveBounded(pool[:k], load)
 		if err != nil {
 			continue
@@ -219,7 +235,7 @@ func (p *Profile) PlanOver(pool []int, load float64) *Plan {
 			best, bestW = plan, w
 		}
 	}
-	return best
+	return best, nil
 }
 
 // PlanPower returns the plan's total power under the paper's model

@@ -200,6 +200,17 @@ type Stats struct {
 	Machines     int    `json:"machines"`
 	Pods         int    `json:"pods"`
 	Hierarchical bool   `json:"hierarchical"`
+	// Overload protection: InFlight is the current computation count,
+	// MaxInFlight the admission bound (0 = unbounded), ShedOverload the
+	// requests refused with ErrOverloaded, Breaker the breaker state
+	// (closed / open / half-open), Installing whether a snapshot
+	// build/install is in progress, and Ready the /v1/readyz verdict.
+	InFlight     int    `json:"inFlight"`
+	MaxInFlight  int    `json:"maxInFlight"`
+	ShedOverload uint64 `json:"shedOverload"`
+	Breaker      string `json:"breaker"`
+	Installing   bool   `json:"installing"`
+	Ready        bool   `json:"ready"`
 }
 
 // state is the RCU payload: the frozen model — exact tables, pod tables,
@@ -236,7 +247,11 @@ type cacheEntry struct {
 type Engine struct {
 	state atomic.Pointer[state]
 
-	exactKeys bool
+	exactKeys   bool
+	maxInFlight int                       // admission bound; ≤ 0 = unbounded
+	computeHook func(ctx context.Context) // fault-injection / test hook
+
+	installing atomic.Int32 // > 0 while a snapshot build/install runs
 
 	mu       sync.Mutex
 	cache    map[string]*list.Element
@@ -244,6 +259,13 @@ type Engine struct {
 	inflight map[string]*flight
 
 	hits, misses, evictions, shared uint64
+	shedOverload                    uint64
+
+	// Request-counted breaker (overload.go); guarded by mu.
+	breakerState    int
+	breakerFails    int
+	breakerShedLeft int
+	breakerProbing  bool
 }
 
 // Option configures an Engine at construction.
@@ -345,8 +367,12 @@ func (e *Engine) Install(snap *core.Snapshot) error {
 
 // InstallHierarchical publishes an exact snapshot and prebuilt pod tables
 // (either may be nil, not both) as one atomic generation; the plan cache
-// is dropped.
+// is dropped. While the install's own state build runs, cache misses are
+// shed with ErrOverloaded; wrap a slow out-of-engine snapshot build in
+// BeginInstall to extend that window over the expensive part.
 func (e *Engine) InstallHierarchical(snap *core.Snapshot, pods *core.PodSnapshot) error {
+	done := e.BeginInstall()
+	defer done()
 	st, err := newState(snap, pods)
 	if err != nil {
 		return err
@@ -382,6 +408,8 @@ func (e *Engine) Stats() Stats {
 		Epoch:         st.epoch,
 		Machines:      st.profile.Size(),
 		Hierarchical:  st.autoHier(),
+		MaxInFlight:   e.maxInFlight,
+		Installing:    e.installing.Load() > 0,
 	}
 	if st.pods != nil {
 		s.Pods = st.pods.Pods()
@@ -390,6 +418,10 @@ func (e *Engine) Stats() Stats {
 	s.CacheHits, s.CacheMisses = e.hits, e.misses
 	s.CacheEvictions, s.CacheShared = e.evictions, e.shared
 	s.CacheEntries = len(e.cache)
+	s.InFlight = len(e.inflight)
+	s.ShedOverload = e.shedOverload
+	s.Breaker = breakerName(e.breakerState)
+	s.Ready = !s.Installing && e.breakerState == brClosed
 	e.mu.Unlock()
 	return s
 }
@@ -406,11 +438,20 @@ func (e *Engine) Plan(ctx context.Context, req Request) (*Response, error) {
 	}
 	st := e.state.Load()
 	req = req.normalize()
+	if len(req.Avoid) > 0 {
+		n := st.profile.Size()
+		if bad := req.Avoid[len(req.Avoid)-1]; bad >= n {
+			return nil, fmt.Errorf("%w: machine %d outside [0, %d)", ErrBadAvoid, bad, n)
+		}
+		if bad := req.Avoid[0]; bad < 0 {
+			return nil, fmt.Errorf("%w: machine %d outside [0, %d)", ErrBadAvoid, bad, n)
+		}
+	}
 	if req.Mode == ModeHier && st.pods == nil {
-		return nil, errors.New("engine: hierarchical mode requested but no pod tables installed")
+		return nil, fmt.Errorf("%w: hierarchical mode requested but no pod tables installed", ErrNoPath)
 	}
 	if req.Mode == ModeExact && st.snap == nil {
-		return nil, errors.New("engine: exact mode requested but the engine is pod-only")
+		return nil, fmt.Errorf("%w: exact mode requested but the engine is pod-only", ErrNoPath)
 	}
 	key := req.key(st.epoch, st.profile.Size(), e.exactKeys)
 
@@ -438,17 +479,22 @@ func (e *Engine) Plan(ctx context.Context, req Request) (*Response, error) {
 			return nil, ctx.Err()
 		}
 	}
+	if err := e.admitLocked(); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
 	f := &flight{done: make(chan struct{})}
 	e.inflight[key] = f
 	e.misses++
 	e.mu.Unlock()
 
-	resp, err := e.compute(st, req)
+	resp, err := e.compute(ctx, st, req)
 	f.resp, f.err = resp, err
 	close(f.done)
 
 	e.mu.Lock()
 	delete(e.inflight, key)
+	e.noteComputeLocked(err)
 	if err == nil {
 		e.store(key, resp)
 	}
@@ -479,8 +525,17 @@ func (e *Engine) store(key string, resp *Response) {
 	e.cache[key] = e.lru.PushFront(&cacheEntry{key: key, resp: resp})
 }
 
-// compute solves one normalized request against one state.
-func (e *Engine) compute(st *state, req Request) (*Response, error) {
+// compute solves one normalized request against one state. The context
+// carries the request deadline: the flat degraded sweep checks it
+// between closed-form solves, and the fault-injection hook (if any) may
+// block on it.
+func (e *Engine) compute(ctx context.Context, st *state, req Request) (*Response, error) {
+	if e.computeHook != nil {
+		e.computeHook(ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	resp := &Response{Method: req.Method, Epoch: st.epoch}
 	switch {
 	case req.Safe:
@@ -488,7 +543,7 @@ func (e *Engine) compute(st *state, req Request) (*Response, error) {
 			return nil, err
 		}
 	case len(req.Avoid) > 0:
-		if err := e.degradedPlan(st, req, resp); err != nil {
+		if err := e.degradedPlan(ctx, st, req, resp); err != nil {
 			return nil, err
 		}
 	case req.Method == baseline.OptimalACCons && req.Load > 0 && st.useHier(req.Mode):
@@ -536,23 +591,57 @@ func survivors(n int, avoid []int) []int {
 	return pool
 }
 
-// degradedPlan re-runs the paper's closed form over the surviving
-// machines. If even the full surviving set cannot carry the demand, the
-// excess is shed to the pool's Eq. 20 capacity at the coldest supply
-// (with the thermal cushion).
-func (e *Engine) degradedPlan(st *state, req Request, resp *Response) error {
+// degradedPlan plans around the avoid set. With hierarchy active
+// (pinned, auto above the threshold, or pod-only) the pod-local
+// PlanAvoiding answers: untouched pods reuse their tables, affected pods
+// re-solve survivor-restricted, and the flat O(n²) pool sweep never
+// runs. Otherwise the paper's closed form re-runs over the survivors
+// (context-cancellable). Either way, when even the full surviving set
+// cannot carry the demand the excess is shed to the pool's Eq. 20
+// capacity at the coldest supply (with the thermal cushion).
+func (e *Engine) degradedPlan(ctx context.Context, st *state, req Request, resp *Response) error {
 	resp.Degraded = true
 	p := st.profile
 	pool := survivors(p.Size(), req.Avoid)
 	if len(pool) == 0 {
 		return errors.New("engine: no surviving machines")
 	}
-	if plan := p.PlanOver(pool, req.Load); plan != nil {
+	if st.useHier(req.Mode) {
+		resp.Hierarchical = true
+		plan, err := st.pods.PlanAvoiding(req.Load, req.Avoid)
+		if err == nil {
+			resp.Plan = plan
+			return nil
+		}
+		if !errors.Is(err, core.ErrInfeasible) {
+			return err
+		}
+		capacity := p.CapacityAt(pool, units.Celsius(p.TAcMinC+req.MarginC))
+		if capacity <= 0 || capacity >= req.Load {
+			return err // infeasibility was not demand-driven; shedding cannot help
+		}
+		plan, shedErr := st.pods.PlanAvoiding(capacity, req.Avoid)
+		if shedErr != nil {
+			return fmt.Errorf("engine: no feasible degraded plan even after shedding to %.2f units: %w", capacity, shedErr)
+		}
+		resp.Plan = plan
+		resp.ShedLoad = req.Load - capacity
+		resp.Capacity = capacity
+		return nil
+	}
+	plan, err := p.PlanOverCtx(ctx, pool, req.Load)
+	if err != nil {
+		return err
+	}
+	if plan != nil {
 		resp.Plan = plan
 		return nil
 	}
 	capacity := p.CapacityAt(pool, units.Celsius(p.TAcMinC+req.MarginC))
-	plan := p.PlanOver(pool, capacity)
+	plan, err = p.PlanOverCtx(ctx, pool, capacity)
+	if err != nil {
+		return err
+	}
 	if plan == nil {
 		return fmt.Errorf("engine: no feasible degraded plan even after shedding to %.2f units", capacity)
 	}

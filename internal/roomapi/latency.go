@@ -1,0 +1,149 @@
+package roomapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"coolopt/internal/clock"
+	"coolopt/internal/engine"
+)
+
+// retryAfterSeconds is the backoff hint stamped on every 503. Overload
+// is transient by construction — a bounded in-flight window draining, a
+// snapshot install finishing, a breaker window expiring — so a short
+// fixed hint beats trying to predict the drain time.
+const retryAfterSeconds = "1"
+
+// writePlanError maps a planning-engine error onto the HTTP surface:
+//
+//   - a bad avoid list is the client's fault → 400;
+//   - overload shedding and blown deadlines are transient server
+//     pressure → 503 with Retry-After, the contract the ISSUE's chaos
+//     scenario asserts (never a hang, never a 500);
+//   - everything else (infeasible, no planning path) is a well-formed
+//     request the installed state cannot satisfy → 422.
+func writePlanError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrBadAvoid):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, engine.ErrOverloaded), errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// latBuckets is the histogram resolution: bucket i counts requests that
+// finished in < 2^i µs, so 40 buckets span sub-microsecond to ~18 min.
+const latBuckets = 40
+
+// latHist is one endpoint's latency histogram. Power-of-two microsecond
+// buckets trade ≤2× quantile error for fixed memory and zero
+// allocation on the hot path — the same resolution serving dashboards
+// use.
+type latHist struct {
+	count   uint64
+	buckets [latBuckets]uint64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	idx := 0
+	for us > 0 && idx < latBuckets-1 {
+		us >>= 1
+		idx++
+	}
+	h.buckets[idx]++
+	h.count++
+}
+
+// quantile returns the q-quantile's bucket upper bound in milliseconds.
+func (h *latHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q*float64(h.count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return float64(uint64(1)<<uint(i)) / 1000.0
+		}
+	}
+	return float64(uint64(1)<<uint(latBuckets-1)) / 1000.0
+}
+
+// latencySet holds per-endpoint histograms keyed by route pattern.
+type latencySet struct {
+	mu    sync.Mutex
+	hists map[string]*latHist
+}
+
+func newLatencySet() *latencySet {
+	return &latencySet{hists: make(map[string]*latHist)}
+}
+
+func (ls *latencySet) observe(route string, d time.Duration) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	h := ls.hists[route]
+	if h == nil {
+		h = &latHist{}
+		ls.hists[route] = h
+	}
+	h.observe(d)
+}
+
+func (ls *latencySet) summaries() map[string]LatencySummary {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	out := make(map[string]LatencySummary, len(ls.hists))
+	for route, h := range ls.hists {
+		out[route] = LatencySummary{
+			Count: h.count,
+			P50Ms: h.quantile(0.50),
+			P95Ms: h.quantile(0.95),
+			P99Ms: h.quantile(0.99),
+		}
+	}
+	return out
+}
+
+// timed wraps a handler with latency recording against the server's
+// clock (injectable, so histogram tests replay deterministically).
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.clk.Now()
+		h(w, r)
+		s.lat.observe(route, clock.Since(s.clk, start))
+	}
+}
+
+// handleHealthz is the liveness probe: the process answers, full stop.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResult{Status: "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 when the engine is serving
+// at full capability (snapshot installed, no install in flight, breaker
+// closed), 503 + Retry-After with the reason otherwise. A room-only
+// server (no engine) is always ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.engine == nil {
+		writeJSON(w, http.StatusOK, ReadyResult{Ready: true})
+		return
+	}
+	if ready, reason := s.engine.Ready(); !ready {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResult{Ready: false, Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResult{Ready: true})
+}

@@ -1,0 +1,186 @@
+package roomapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"coolopt/internal/clock"
+	"coolopt/internal/core"
+	"coolopt/internal/engine"
+	"coolopt/internal/sim"
+)
+
+// newOverloadServer builds a serving server whose engine and server
+// options the test controls, returning both handles.
+func newOverloadServer(t *testing.T, engOpts []engine.Option, srvOpts []Option) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	room, err := sim.NewDefault(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	machines := make([]core.MachineProfile, n)
+	for i := range machines {
+		h := float64(i) / float64(n)
+		machines[i] = core.MachineProfile{Alpha: 1, Beta: 0.46 * (1 + 0.1*h), Gamma: 0.5 + 2.2*h}
+	}
+	snap, err := core.NewSnapshot(&core.Profile{
+		W1: 52, W2: 34, CoolFactor: 150, SetPointC: 31,
+		TMaxC: 65, TAcMinC: 10, TAcMaxC: 25,
+		Machines: machines,
+	}, 0, core.WithMaxMachines(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.FromSnapshot(snap, engOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(room, append([]Option{WithEngine(eng)}, srvOpts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+func doGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestPlanBadAvoidIs400: an avoid list naming machines outside the room
+// is the client's fault, not a planning failure.
+func TestPlanBadAvoidIs400(t *testing.T) {
+	ts := newServingServer(t)
+	for _, q := range []string{"avoid=99", "avoid=-1", "avoid=2,42"} {
+		if code := getJSON(t, ts.URL+"/v1/plan?load=3&"+q, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, code)
+		}
+	}
+	// A valid avoid list still answers degraded.
+	var plan PlanResult
+	if code := getJSON(t, ts.URL+"/v1/plan?load=3&avoid=2,5", &plan); code != http.StatusOK {
+		t.Fatalf("valid avoid: status %d", code)
+	}
+	if !plan.Degraded {
+		t.Fatal("valid avoid answered non-degraded")
+	}
+}
+
+// TestOverloadIs503WithRetryAfter: a shed cache miss surfaces as 503
+// with a Retry-After hint; cache hits keep serving 200 throughout.
+func TestOverloadIs503WithRetryAfter(t *testing.T) {
+	eng, ts := newOverloadServer(t, nil, nil)
+	if code := getJSON(t, ts.URL+"/v1/plan?load=3", nil); code != http.StatusOK {
+		t.Fatalf("prime: status %d", code)
+	}
+	done := eng.BeginInstall()
+	resp := doGet(t, ts.URL+"/v1/plan?load=5")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("miss during install: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	var cached PlanResult
+	if code := getJSON(t, ts.URL+"/v1/plan?load=3", &cached); code != http.StatusOK || !cached.Cached {
+		t.Fatalf("cache hit during install: status %d cached=%t", code, cached.Cached)
+	}
+	done()
+	if code := getJSON(t, ts.URL+"/v1/plan?load=5", nil); code != http.StatusOK {
+		t.Fatalf("after install: status %d", code)
+	}
+}
+
+// TestRequestTimeoutIs503: a compute that outlives the server-side
+// deadline is cut off and answered 503 + Retry-After, not left hanging.
+func TestRequestTimeoutIs503(t *testing.T) {
+	hook := engine.WithComputeHook(func(ctx context.Context) { <-ctx.Done() })
+	_, ts := newOverloadServer(t, []engine.Option{hook},
+		[]Option{WithRequestTimeout(5 * time.Millisecond)})
+	resp := doGet(t, ts.URL+"/v1/plan?load=3")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestHealthzAndReadyz: liveness always answers; readiness follows the
+// engine's install gate and carries the reason while not ready.
+func TestHealthzAndReadyz(t *testing.T) {
+	eng, ts := newOverloadServer(t, nil, nil)
+	var health HealthResult
+	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+	var ready ReadyResult
+	if code := getJSON(t, ts.URL+"/v1/readyz", &ready); code != http.StatusOK || !ready.Ready {
+		t.Fatalf("readyz: %d %+v", code, ready)
+	}
+	done := eng.BeginInstall()
+	resp := doGet(t, ts.URL+"/v1/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during install: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("unready 503 without Retry-After")
+	}
+	// Liveness is unaffected by the install.
+	if code := getJSON(t, ts.URL+"/v1/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz during install: %d", code)
+	}
+	done()
+	if code := getJSON(t, ts.URL+"/v1/readyz", &ready); code != http.StatusOK || !ready.Ready {
+		t.Fatalf("readyz after install: %d %+v", code, ready)
+	}
+	// A room-only server is always ready.
+	if code := getJSON(t, newTestServer(t).URL+"/v1/readyz", &ready); code != http.StatusOK || !ready.Ready {
+		t.Fatalf("room-only readyz: %d %+v", code, ready)
+	}
+}
+
+// TestStatsLatencyHistograms: with a fake clock ticking 1 ms per read,
+// every timed request observes exactly one tick, so the quantiles are
+// deterministic.
+func TestStatsLatencyHistograms(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0), time.Millisecond)
+	_, ts := newOverloadServer(t, nil, []Option{WithClock(fake)})
+	for i := 0; i < 4; i++ {
+		if code := getJSON(t, ts.URL+"/v1/plan?load=3", nil); code != http.StatusOK {
+			t.Fatalf("plan %d: status %d", i, code)
+		}
+	}
+	var stats struct {
+		engine.Stats
+		Latency map[string]LatencySummary `json:"latency"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	sum, ok := stats.Latency["GET /v1/plan"]
+	if !ok {
+		t.Fatalf("no latency entry for GET /v1/plan: %v", stats.Latency)
+	}
+	if sum.Count != 4 {
+		t.Fatalf("plan count = %d, want 4", sum.Count)
+	}
+	// One 1 ms tick lands in the 1.024 ms bucket at every quantile.
+	if sum.P50Ms != 1.024 || sum.P95Ms != 1.024 || sum.P99Ms != 1.024 {
+		t.Fatalf("quantiles = %v/%v/%v, want 1.024 each", sum.P50Ms, sum.P95Ms, sum.P99Ms)
+	}
+	if stats.Ready != true || stats.Breaker != "closed" {
+		t.Fatalf("engine stats not embedded: %+v", stats.Stats)
+	}
+}

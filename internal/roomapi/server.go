@@ -1,6 +1,7 @@
 package roomapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,8 +10,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"coolopt/internal/baseline"
+	"coolopt/internal/clock"
 	"coolopt/internal/engine"
 	"coolopt/internal/machineroom"
 )
@@ -50,6 +53,10 @@ type Server struct {
 	mux    *http.ServeMux
 	engine *engine.Engine
 
+	clk        clock.Clock
+	lat        *latencySet
+	reqTimeout time.Duration
+
 	gen  atomic.Uint64 // bumped after every executed mutation
 	view atomic.Pointer[view]
 
@@ -79,26 +86,52 @@ func WithEngine(e *engine.Engine) Option {
 	return func(s *Server) { s.engine = e }
 }
 
+// WithClock substitutes the time source behind the per-endpoint latency
+// histograms (default: the wall clock). Tests inject a clock.Fake so
+// quantiles are exact and replayable.
+func WithClock(c clock.Clock) Option {
+	return func(s *Server) { s.clk = c }
+}
+
+// WithRequestTimeout caps every planning request's server-side compute
+// at d: the engine context is the client's request context bounded by
+// this deadline, so one slow degraded sweep cannot hold a connection
+// (or an in-flight slot) forever. A blown deadline is answered 503 +
+// Retry-After. Zero (the default) means only the client's own deadline
+// applies.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
 // NewServer wraps a room.
 func NewServer(room machineroom.Room, opts ...Option) (*Server, error) {
 	if room == nil {
 		return nil, fmt.Errorf("roomapi: nil room")
 	}
-	s := &Server{room: room, mux: http.NewServeMux()}
+	s := &Server{room: room, mux: http.NewServeMux(), clk: clock.Wall, lat: newLatencySet()}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("GET /v1/room", s.handleRoom)
-	s.mux.HandleFunc("GET /v1/sensors", s.handleSensors)
-	s.mux.HandleFunc("POST /v1/machines/{id}/load", s.handleSetLoad)
-	s.mux.HandleFunc("POST /v1/machines/{id}/power", s.handleSetPower)
-	s.mux.HandleFunc("GET /v1/crac", s.handleCRAC)
-	s.mux.HandleFunc("POST /v1/crac/setpoint", s.handleSetPoint)
-	s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
-	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
-	s.mux.HandleFunc("GET /v1/consolidate", s.handleConsolidate)
-	s.mux.HandleFunc("GET /v1/maxload", s.handleMaxLoad)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Every serving route is wrapped with latency recording; the probe
+	// endpoints are not — they are polled constantly and would drown the
+	// histograms without telling anyone anything.
+	for route, h := range map[string]http.HandlerFunc{
+		"GET /v1/room":                 s.handleRoom,
+		"GET /v1/sensors":              s.handleSensors,
+		"POST /v1/machines/{id}/load":  s.handleSetLoad,
+		"POST /v1/machines/{id}/power": s.handleSetPower,
+		"GET /v1/crac":                 s.handleCRAC,
+		"POST /v1/crac/setpoint":       s.handleSetPoint,
+		"POST /v1/advance":             s.handleAdvance,
+		"GET /v1/plan":                 s.handlePlan,
+		"GET /v1/consolidate":          s.handleConsolidate,
+		"GET /v1/maxload":              s.handleMaxLoad,
+		"GET /v1/stats":                s.handleStats,
+	} {
+		s.mux.HandleFunc(route, s.timed(route, h))
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	return s, nil
 }
 
@@ -294,9 +327,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp, err := s.engine.Plan(r.Context(), req)
+	ctx := r.Context()
+	if s.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+		defer cancel()
+	}
+	resp, err := s.engine.Plan(ctx, req)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writePlanError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, PlanResult{
@@ -336,7 +375,7 @@ func (s *Server) handleConsolidate(w http.ResponseWriter, r *http.Request) {
 	}
 	sel, err := s.engine.Consolidate(load, minK)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writePlanError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ConsolidateResult{
@@ -357,7 +396,7 @@ func (s *Server) handleMaxLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.engine.MaxLoad(budget)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writePlanError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, MaxLoadResult{
@@ -365,15 +404,19 @@ func (s *Server) handleMaxLoad(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStats serves the engine's serving counters (GET /v1/stats). The
-// wire form is engine.Stats verbatim — cache hit/miss/eviction counts,
-// entry occupancy, and the installed snapshot's shape.
+// handleStats serves the engine's serving counters (GET /v1/stats): the
+// engine.Stats fields verbatim — cache hit/miss/eviction counts,
+// overload/breaker state, the installed snapshot's shape — plus the
+// per-endpoint latency digests under "latency".
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.engine == nil {
 		writeError(w, http.StatusNotImplemented, errors.New("no planning engine configured"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.engine.Stats())
+	writeJSON(w, http.StatusOK, struct {
+		engine.Stats
+		Latency map[string]LatencySummary `json:"latency"`
+	}{s.engine.Stats(), s.lat.summaries()})
 }
 
 // mutate executes a state-changing command under the room lock with

@@ -115,6 +115,28 @@ type MaxLoadResult struct {
 	T      float64 `json:"t"`
 }
 
+// LatencySummary is one endpoint's serving-latency digest inside
+// GET /v1/stats. Quantiles are bucket upper bounds from a power-of-two
+// microsecond histogram (≤2× resolution), reported in milliseconds.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
+// HealthResult is the liveness answer (GET /v1/healthz).
+type HealthResult struct {
+	Status string `json:"status"`
+}
+
+// ReadyResult is the readiness answer (GET /v1/readyz). Reason is set
+// only when not ready (snapshot install in flight, breaker open).
+type ReadyResult struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
 // ErrorResponse carries an API error.
 type ErrorResponse struct {
 	Error string `json:"error"`

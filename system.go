@@ -41,6 +41,7 @@ type options struct {
 	preOpts   []core.PreprocessOption
 	hier      bool
 	podOpts   []core.PodOption
+	engOpts   []engine.Option
 	profiling profiling.Config
 }
 
@@ -162,6 +163,16 @@ func (o hierarchyOption) apply(opts *options) {
 // planning path for large rooms.
 func WithHierarchy(opts ...PodOption) Option { return hierarchyOption(opts) }
 
+type engineOptsOption []engine.Option
+
+func (o engineOptsOption) apply(opts *options) {
+	opts.engOpts = append(opts.engOpts, o...)
+}
+
+// WithEngineOptions forwards serving options (WithMaxInFlight,
+// WithExactCacheKeys, …) to the plan engine built during NewSystem.
+func WithEngineOptions(opts ...EngineOption) Option { return engineOptsOption(opts) }
+
 // NewSystem builds the simulated machine room, runs the full profiling
 // protocol against it, and returns a System ready to evaluate scenarios.
 func NewSystem(opts ...Option) (*System, error) {
@@ -261,7 +272,7 @@ func NewSystem(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coolopt: planner: %w", err)
 	}
-	eng := engine.New(planner)
+	eng := engine.New(planner, o.engOpts...)
 	if o.hier {
 		pods, err := core.NewPodSnapshot(res.Profile, 0, o.podOpts...)
 		if err != nil {
