@@ -7,7 +7,10 @@ GO ?= go
 # preprocessing and pod-table sweeps, the figures.Collect worker pool,
 # and the degraded-serving chaos hammer in internal/chaos); lint
 # enforces the determinism, unit-safety, and clone-discipline invariants
-# the experiments depend on; the hierarchy and degraded smokes enforce
+# the experiments depend on plus the concurrency contracts of the
+# serving layer (atomic-field discipline, typed-error chains,
+# goroutine/timer hygiene, snapshot immutability), printing per-analyzer
+# wall time; the hierarchy and degraded smokes enforce
 # the pod planner's optimality-gap bounds at a small size; the
 # degraded-chaos smoke asserts the overload-serving contract (only
 # 200/400/503, Retry-After on every 503, readiness flipping across a
@@ -31,10 +34,18 @@ race:
 vet:
 	$(GO) vet ./...
 
-# lint runs cooloptlint (see cmd/cooloptlint) over every package.
+# lint runs the full nine-analyzer cooloptlint suite (see
+# cmd/cooloptlint) over every package, with per-analyzer wall time on
+# stderr and the committed (empty) baseline applied.
 .PHONY: lint
 lint:
-	$(GO) run ./cmd/cooloptlint ./...
+	$(GO) run ./cmd/cooloptlint -timing -baseline lint_baseline.json ./...
+
+# lint-json writes the machine-readable findings to lint_findings.json
+# for editor / dashboard consumption. Exit code still 1 on findings.
+.PHONY: lint-json
+lint-json:
+	$(GO) run ./cmd/cooloptlint -json -baseline lint_baseline.json ./... > lint_findings.json
 
 # fmt-check fails if any tracked Go file (fixtures included) is not gofmt'd.
 .PHONY: fmt-check

@@ -12,51 +12,204 @@
 //	               values without cloning
 //	floatcmp     — no exact ==/!= between computed floats outside mathx
 //	ctxhttp      — HTTP clients must propagate context and set timeouts
+//	lockatomic   — fields touched by sync/atomic are atomic everywhere;
+//	               atomic.Pointer/Value installs stay on blessed paths
+//	errcontract  — sentinels via errors.Is, causes wrapped with %w, no
+//	               dropped error returns in //coolopt:errcontract packages
+//	goroleak     — no unstoppable goroutine loops, time.After in loops,
+//	               or tickers/timers without Stop
+//	snapshotmut  — no writes to state reachable from the frozen
+//	               core.Snapshot / core.PodSnapshot
 //
 // Suppress an individual finding with `//coolopt:ignore <analyzer> reason`
-// on the flagged line or the line above it.
+// on the flagged line or the line above it. Pre-existing findings can be
+// parked in a committed baseline (-baseline, regenerated with
+// -write-baseline) while they are burned down.
+//
+// Exit codes: 0 — clean; 1 — findings; 2 — load, type-check, or usage
+// error. CI distinguishes "the code violates an invariant" (1) from
+// "the lint run itself is broken" (2).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 
 	"coolopt/internal/analysis"
 )
 
 func main() {
-	dir := flag.String("C", ".", "directory to resolve package patterns in")
-	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	suite := analysis.Suite()
-	if *list {
-		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
-		return
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cooloptlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir           = fs.String("C", ".", "directory to resolve package patterns in")
+		list          = fs.Bool("list", false, "list the analyzers in the suite and exit")
+		only          = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip          = fs.String("skip", "", "comma-separated analyzers to skip")
+		jsonOut       = fs.Bool("json", false, "emit findings as JSON on stdout")
+		timing        = fs.Bool("timing", false, "report per-analyzer wall time on stderr")
+		workers       = fs.Int("workers", 0, "max packages analyzed in parallel (0 = GOMAXPROCS)")
+		baselinePath  = fs.String("baseline", "", "baseline file of tolerated findings (missing file = empty)")
+		writeBaseline = fs.Bool("write-baseline", false, "rewrite the -baseline file from this run's findings and exit 0")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "cooloptlint: -write-baseline requires -baseline")
+		return 2
 	}
 
-	patterns := flag.Args()
+	suite, unknown := analysis.Select(analysis.Suite(),
+		splitNames(*only), splitNames(*skip))
+	if len(unknown) > 0 {
+		fmt.Fprintf(stderr, "cooloptlint: unknown analyzer(s): %s (see -list)\n", strings.Join(unknown, ", "))
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
+	loadStart := time.Now()
 	prog, err := analysis.Load(*dir, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	findings, err := analysis.Run(suite, prog.Packages)
+	loadTime := time.Since(loadStart)
+
+	runStart := time.Now()
+	res, err := analysis.RunTimed(suite, prog.Packages, *workers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	runTime := time.Since(runStart)
+
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		root = *dir
+	}
+	if *writeBaseline {
+		if err := analysis.WriteBaseline(*baselinePath, root, res.Findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cooloptlint: wrote %d finding(s) to %s\n", len(res.Findings), *baselinePath)
+		return 0
+	}
+
+	findings := res.Findings
+	if *baselinePath != "" {
+		baseline, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		findings = baseline.Filter(findings, root)
+	}
+
+	if *timing {
+		printTiming(stderr, res.Elapsed, loadTime, runTime, len(prog.Packages))
+	}
+
+	if *jsonOut {
+		if err := writeJSON(stdout, findings, root); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "cooloptlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cooloptlint: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
+}
+
+// splitNames parses a comma-separated analyzer list, tolerating spaces
+// and empty segments.
+func splitNames(s string) []string {
+	var names []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// printTiming reports where the lint run spent its time: the package
+// load (go list + type-check, usually dominant) and each analyzer's
+// cumulative cost across packages, slowest first.
+func printTiming(w io.Writer, elapsed map[string]time.Duration, load, run time.Duration, pkgs int) {
+	fmt.Fprintf(w, "cooloptlint: loaded %d package(s) in %v, analyzed in %v\n",
+		pkgs, load.Round(time.Millisecond), run.Round(time.Millisecond))
+	names := make([]string, 0, len(elapsed))
+	for name := range elapsed {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if elapsed[names[i]] != elapsed[names[j]] {
+			return elapsed[names[i]] > elapsed[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-12s %v\n", name, elapsed[name].Round(10*time.Microsecond))
+	}
+}
+
+// jsonFinding is the machine-readable finding shape (`-json`). File is
+// root-relative so output is stable across checkouts.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, findings []analysis.Finding, root string) error {
+	out := struct {
+		Findings []jsonFinding `json:"findings"`
+	}{Findings: []jsonFinding{}}
+	for _, f := range findings {
+		file := f.Position.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out.Findings = append(out.Findings, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     file,
+			Line:     f.Position.Line,
+			Column:   f.Position.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
 }

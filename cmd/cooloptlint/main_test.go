@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The CLI tests drive run() against throwaway modules so the exit-code
+// contract (0 clean / 1 findings / 2 broken run) is pinned by test, not
+// convention — CI boots on it.
+
+const goMod = "module lintme\n\ngo 1.22\n"
+
+const sentinelSrc = `package lintme
+
+import "io"
+
+func Check(err error) bool {
+	return err == io.EOF
+}
+`
+
+const cleanSrc = `package lintme
+
+import "errors"
+
+var ErrBusy = errors.New("busy")
+
+func Check(err error) bool {
+	return errors.Is(err, ErrBusy)
+}
+`
+
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runLint(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{"go.mod": goMod, "lint.go": sentinelSrc})
+	code, stdout, stderr := runLint(t, "-C", dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "sentinel error EOF") {
+		t.Fatalf("stdout missing the sentinel finding:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Fatalf("stderr missing the finding count:\n%s", stderr)
+	}
+}
+
+func TestExitCodeClean(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{"go.mod": goMod, "lint.go": cleanSrc})
+	code, stdout, stderr := runLint(t, "-C", dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("clean run should print nothing, got:\n%s", stdout)
+	}
+}
+
+func TestExitCodeBrokenSource(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"go.mod":  goMod,
+		"lint.go": "package lintme\n\nfunc Broken( {\n",
+	})
+	code, _, stderr := runLint(t, "-C", dir, "./...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+}
+
+func TestOnlySkipsOtherAnalyzers(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{"go.mod": goMod, "lint.go": sentinelSrc})
+	code, stdout, stderr := runLint(t, "-C", dir, "-only", "goroleak,units", "./...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (errcontract not selected)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	code, _, _ = runLint(t, "-C", dir, "-skip", "errcontract", "./...")
+	if code != 0 {
+		t.Fatalf("-skip errcontract: exit code = %d, want 0", code)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{"go.mod": goMod, "lint.go": cleanSrc})
+	code, _, stderr := runLint(t, "-C", dir, "-only", "errcontract,nosuch", "./...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 for unknown analyzer\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "nosuch") {
+		t.Fatalf("stderr should name the unknown analyzer:\n%s", stderr)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{"go.mod": goMod, "lint.go": sentinelSrc})
+	baseline := filepath.Join(dir, "baseline.json")
+
+	code, _, stderr := runLint(t, "-C", dir, "-baseline", baseline, "-write-baseline", "./...")
+	if code != 0 {
+		t.Fatalf("-write-baseline: exit code = %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+
+	code, stdout, _ := runLint(t, "-C", dir, "-baseline", baseline, "./...")
+	if code != 0 {
+		t.Fatalf("baselined run: exit code = %d, want 0\nstdout:\n%s", code, stdout)
+	}
+
+	// Without the baseline the finding is back: the file parks it, the
+	// suite still sees it.
+	code, _, _ = runLint(t, "-C", dir, "./...")
+	if code != 1 {
+		t.Fatalf("un-baselined run: exit code = %d, want 1", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{"go.mod": goMod, "lint.go": sentinelSrc})
+	code, stdout, _ := runLint(t, "-C", dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var out struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout)
+	}
+	if len(out.Findings) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%s", len(out.Findings), stdout)
+	}
+	f := out.Findings[0]
+	if f.Analyzer != "errcontract" || f.File != "lint.go" || f.Line == 0 {
+		t.Fatalf("unexpected finding shape: %+v", f)
+	}
+}
+
+func TestListNamesAllNine(t *testing.T) {
+	code, stdout, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit code = %d, want 0", code)
+	}
+	for _, name := range []string{
+		"clonesafety", "ctxhttp", "determinism", "errcontract", "floatcmp",
+		"goroleak", "lockatomic", "snapshotmut", "units",
+	} {
+		if !strings.Contains(stdout, name) {
+			t.Fatalf("-list output missing %q:\n%s", name, stdout)
+		}
+	}
+}

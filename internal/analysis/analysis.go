@@ -22,8 +22,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Analyzer describes one static check.
@@ -151,37 +154,74 @@ func (idx ignoreIndex) suppressed(name string, pos token.Position) bool {
 	return false
 }
 
+// Result is one full suite run: the surviving findings plus the wall
+// time each analyzer spent, summed across packages.
+type Result struct {
+	Findings []Finding
+	// Elapsed maps analyzer name to its cumulative run time across all
+	// packages. With parallel packages the sum exceeds the run's wall
+	// clock — it is the per-analyzer cost ranking, not a stopwatch.
+	Elapsed map[string]time.Duration
+}
+
 // Run applies every analyzer to every package and returns the surviving
-// findings sorted by position.
+// findings sorted by position. Packages are analyzed in parallel.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		markers := markerDirectives(pkg.Files)
-		ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				PkgPath:  pkg.Path,
-				markers:  markers,
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-			}
-			for _, d := range pass.diags {
-				pos := pkg.Fset.Position(d.Pos)
-				if ignores.suppressed(a.Name, pos) {
-					continue
-				}
-				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
-			}
-		}
+	res, err := RunTimed(analyzers, pkgs, 0)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Position, findings[j].Position
+	return res.Findings, nil
+}
+
+// RunTimed applies every analyzer to every package with up to workers
+// packages in flight at once (workers <= 0 means GOMAXPROCS) and
+// returns sorted findings plus per-analyzer timing. Each analyzer pass
+// touches only its own package, so package-level parallelism is safe;
+// output is position-sorted and therefore independent of scheduling.
+func RunTimed(analyzers []*Analyzer, pkgs []*Package, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	perPkg := make([][]Finding, len(pkgs))
+	errs := make([]error, len(pkgs))
+	elapsed := make(map[string]time.Duration, len(analyzers))
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		jobs = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				perPkg[i], errs[i] = runPackage(analyzers, pkgs[i], &mu, elapsed)
+			}
+		}()
+	}
+	for i := range pkgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{Elapsed: elapsed}
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Findings = append(res.Findings, perPkg[i]...)
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i].Position, res.Findings[j].Position
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -191,7 +231,43 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return findings[i].Analyzer < findings[j].Analyzer
+		return res.Findings[i].Analyzer < res.Findings[j].Analyzer
 	})
+	return res, nil
+}
+
+// runPackage applies the analyzers to one package, folding each
+// analyzer's elapsed time into the shared map under mu.
+func runPackage(analyzers []*Analyzer, pkg *Package, mu *sync.Mutex, elapsed map[string]time.Duration) ([]Finding, error) {
+	var findings []Finding
+	markers := markerDirectives(pkg.Files)
+	ignores := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			markers:  markers,
+		}
+		start := time.Now()
+		err := a.Run(pass)
+		d := time.Since(start)
+		mu.Lock()
+		elapsed[a.Name] += d
+		mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, diag := range pass.diags {
+			pos := pkg.Fset.Position(diag.Pos)
+			if ignores.suppressed(a.Name, pos) {
+				continue
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: diag.Message})
+		}
+	}
 	return findings, nil
 }

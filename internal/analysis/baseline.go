@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Baseline is the committed set of known findings a new analyzer is
+// allowed to land with. Burning a baseline down incrementally beats the
+// alternatives — blocking the analyzer until the repo is perfect, or
+// spraying //coolopt:ignore over code that should eventually be fixed.
+// Entries match on (analyzer, root-relative file, message), not line
+// numbers, so unrelated edits to a file do not invalidate the baseline.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one tolerated finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is the path relative to the module root (the lint run's -C
+	// directory), so the baseline is stable across checkouts.
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error —
+// it is the empty baseline, so `-baseline lint_baseline.json` works
+// before the file first exists.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Filter returns the findings not covered by the baseline. Each baseline
+// entry absorbs any number of matching findings (the same message can
+// recur when a flagged pattern is copy-pasted); matching is exact on
+// analyzer, root-relative file, and message.
+func (b *Baseline) Filter(findings []Finding, root string) []Finding {
+	if len(b.Findings) == 0 {
+		return findings
+	}
+	allowed := make(map[BaselineEntry]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		allowed[e] = true
+	}
+	var kept []Finding
+	for _, f := range findings {
+		key := BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     relPath(root, f.Position.Filename),
+			Message:  f.Message,
+		}
+		if allowed[key] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// WriteBaseline writes the findings as a fresh baseline, sorted and
+// deduplicated, ready to commit.
+func WriteBaseline(path, root string, findings []Finding) error {
+	b := Baseline{Findings: []BaselineEntry{}}
+	seen := make(map[BaselineEntry]bool)
+	for _, f := range findings {
+		e := BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     relPath(root, f.Position.Filename),
+			Message:  f.Message,
+		}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		x, y := b.Findings[i], b.Findings[j]
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		if x.Analyzer != y.Analyzer {
+			return x.Analyzer < y.Analyzer
+		}
+		return x.Message < y.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("analysis: baseline: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// relPath maps an absolute finding path under root to its root-relative
+// form; paths outside root (or un-relativizable) pass through unchanged.
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(absRoot, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}

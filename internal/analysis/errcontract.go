@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrContract enforces the typed error contract the serving layer's HTTP
+// mapping depends on (DESIGN.md §8). The engine returns wrapped typed
+// sentinels — fmt.Errorf("...: %w", ErrOverloaded) — and roomapi picks
+// the status code with errors.Is; both halves of that bargain are easy
+// to break silently:
+//
+//   - comparing a sentinel with == / != (everywhere): a wrapped
+//     ErrOverloaded never compares equal to the sentinel, so the 503
+//     mapping quietly degrades to a 422. errors.Is is mandatory.
+//
+//   - in packages marked //coolopt:errcontract (engine, roomapi,
+//     roomclient — the error-contract surface):
+//     fmt.Errorf with an error argument but no %w verb severs the chain
+//     that errors.Is walks, and a call statement that drops an error
+//     result swallows a failure the caller was owed. Deliberate
+//     discards stay visible as `_ = f()`.
+var ErrContract = &Analyzer{
+	Name: "errcontract",
+	Doc: "compare sentinel errors with errors.Is, wrap causes with %w, " +
+		"and never silently drop error returns in //coolopt:errcontract packages",
+	Run: runErrContract,
+}
+
+func runErrContract(pass *Pass) error {
+	strict := pass.HasMarker("errcontract")
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			case *ast.CallExpr:
+				if strict {
+					checkErrorfWrap(pass, n)
+				}
+			case *ast.ExprStmt:
+				if strict {
+					checkDiscardedError(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSentinelCompare flags ==/!= where an operand is a package-level
+// error variable (a sentinel): ErrOverloaded, io.EOF, context.Canceled.
+// Identity comparison sees only the outermost error; one fmt.Errorf
+// wrap on the producer side and the comparison goes permanently false.
+func checkSentinelCompare(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	for _, operand := range []ast.Expr{bin.X, bin.Y} {
+		name, ok := sentinelErrorVar(pass, operand)
+		if !ok {
+			continue
+		}
+		pass.Reportf(bin.Pos(), "sentinel error %s compared with %s; a wrapped error never matches — use errors.Is", name, bin.Op)
+		return
+	}
+}
+
+// sentinelErrorVar reports whether expr resolves to a package-level
+// variable whose type implements error.
+func sentinelErrorVar(pass *Pass, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return "", false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false // local variable, not a sentinel
+	}
+	if !implementsError(v.Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+func implementsError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	iface, ok := errType.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface) || types.Identical(t, errType)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error argument
+// without a %w verb in the (constant) format string: the resulting error
+// formats fine but unwraps to nothing, so the HTTP mapping and the
+// breaker's errors.Is checks stop seeing the cause.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: cannot decide statically
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.Info.Types[arg].Type
+		if t == nil || !implementsError(t) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "fmt.Errorf formats an error cause without %%w; the wrap chain breaks and errors.Is stops matching downstream")
+		return
+	}
+}
+
+// checkDiscardedError flags a bare call statement whose result set
+// includes an error. `defer f()` and `go f()` are different statements
+// and stay legal; an explicit `_ = f()` stays legal because the discard
+// is visible in review. fmt.Fprint* into a strings.Builder or
+// bytes.Buffer is exempt: their Write methods are documented to never
+// return an error, so the discard is the idiom, not a swallowed failure.
+func checkDiscardedError(pass *Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if isInfallibleFprint(pass, call) {
+		return
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if implementsError(t.At(i).Type()) {
+				pass.Reportf(stmt.Pos(), "call discards an error result; handle it or discard explicitly with _ =")
+				return
+			}
+		}
+	default:
+		if implementsError(t) {
+			pass.Reportf(stmt.Pos(), "call discards an error result; handle it or discard explicitly with _ =")
+		}
+	}
+}
+
+// isInfallibleFprint reports whether call is fmt.Fprint/Fprintf/Fprintln
+// writing to a *strings.Builder or *bytes.Buffer, whose Write never
+// returns a non-nil error.
+func isInfallibleFprint(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Fprint", "Fprintf", "Fprintln":
+	default:
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "fmt" || len(call.Args) == 0 {
+		return false
+	}
+	t := pass.Info.Types[call.Args[0]].Type
+	if t == nil {
+		return false
+	}
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

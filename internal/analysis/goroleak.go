@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags goroutine and timer patterns that leak under sustained
+// serving load. The serving layer holds goroutines for the life of the
+// process; the chaos hammer spawns thousands per scenario — a leak that
+// is invisible in a unit test empties the heap in production.
+//
+// Three patterns are flagged:
+//
+//   - a goroutine launched as `go func(){ ... }()` whose body contains
+//     an unconditional `for { ... }` with no way out: no channel
+//     receive or select (a done/stop channel), no context use, no
+//     break/return. Such a goroutine can never be stopped — every
+//     worker loop in this repo selects on a stop channel or ranges
+//     over a closable work channel.
+//
+//   - time.After inside a loop: each iteration allocates a timer that
+//     stays live until it fires even after the select moves on. In a
+//     poll loop this is one orphaned timer per tick; use a single
+//     time.NewTimer/Ticker outside the loop.
+//
+//   - time.NewTicker / time.NewTimer assigned in a function that never
+//     calls Stop on it: the runtime holds an active timer (and its
+//     callback) until Stop. The idiomatic fix is `defer t.Stop()` on
+//     the line after construction.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "forbid unstoppable goroutine loops, time.After in loops, and " +
+		"tickers/timers without Stop",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineLoop(pass, lit)
+				}
+			case *ast.ForStmt:
+				checkTimeAfterInLoop(pass, n.Body)
+			case *ast.RangeStmt:
+				checkTimeAfterInLoop(pass, n.Body)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkTimerStop(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineLoop flags unconditional for-loops inside a goroutine
+// literal that have no exit signal in their body.
+func checkGoroutineLoop(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if loopHasExit(pass, loop.Body) {
+			return true
+		}
+		pass.Reportf(loop.Pos(), "goroutine loops forever with no exit signal; select on a ctx.Done()/stop channel or range over a closable work channel")
+		return true
+	})
+}
+
+// loopHasExit reports whether the loop body contains anything that can
+// end or pace the loop from outside: a select, a channel receive or
+// range-over-channel, a context method call, a break, or a return.
+func loopHasExit(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt, *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if t := pass.Info.Types[sel.X].Type; t != nil && isContextType(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkTimeAfterInLoop flags time.After calls anywhere in a loop body.
+func checkTimeAfterInLoop(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isTimeFunc(pass, call, "After") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "time.After in a loop leaks one timer per iteration until it fires; hoist a time.NewTimer/NewTicker out of the loop")
+		return true
+	})
+}
+
+// checkTimerStop flags `t := time.NewTicker(...)` / NewTimer assignments
+// with no t.Stop() anywhere in the same top-level function.
+func checkTimerStop(pass *Pass, body *ast.BlockStmt) {
+	stopped := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Stop" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				stopped[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(assign.Lhs) {
+				continue
+			}
+			var which string
+			switch {
+			case isTimeFunc(pass, call, "NewTicker"):
+				which = "NewTicker"
+			case isTimeFunc(pass, call, "NewTimer"):
+				which = "NewTimer"
+			default:
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil || stopped[obj] {
+				continue
+			}
+			pass.Reportf(call.Pos(), "time.%s without a matching %s.Stop(); the runtime holds the timer until Stop — defer %s.Stop() after construction", which, id.Name, id.Name)
+		}
+		return true
+	})
+}
+
+// isTimeFunc reports whether call is time.<name>(...).
+func isTimeFunc(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "time"
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -13,8 +14,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -71,7 +74,7 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
@@ -85,19 +88,54 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
-			continue
+	// Every target type-checks against gc export data alone (never
+	// against another target's checked form), so targets are independent
+	// and parse+check runs in parallel. The shared FileSet synchronizes
+	// internally; each check builds its own importer. Results keep the
+	// sorted target order, so output stays deterministic.
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	var (
+		wg   sync.WaitGroup
+		jobs = make(chan int)
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t := targets[i]
+				if len(t.GoFiles) == 0 {
+					continue
+				}
+				var files []string
+				for _, f := range t.GoFiles {
+					files = append(files, filepath.Join(t.Dir, f))
+				}
+				pkgs[i], errs[i] = prog.check(t.ImportPath, t.Dir, files)
+			}
+		}()
+	}
+	for i := range targets {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := range targets {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		var files []string
-		for _, f := range t.GoFiles {
-			files = append(files, filepath.Join(t.Dir, f))
+		if pkgs[i] != nil {
+			prog.Packages = append(prog.Packages, pkgs[i])
 		}
-		pkg, err := prog.check(t.ImportPath, t.Dir, files)
-		if err != nil {
-			return nil, err
-		}
-		prog.Packages = append(prog.Packages, pkg)
 	}
 	return prog, nil
 }

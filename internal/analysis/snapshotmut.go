@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapshotMut is the static complement of the deep-freeze contract:
+// core.Snapshot and core.PodSnapshot are immutable after construction —
+// that is the entire safety argument for sharing them lock-free across
+// the RCU engine's readers (DESIGN.md §6). The compiler cannot enforce
+// it because the frozen model hands out interior pointers on purpose:
+// Snapshot.Profile() returns the *Profile the tables were built from,
+// and a write through it corrupts tables that no longer match.
+//
+// The analyzer flags any assignment, increment, or copy() whose
+// destination is reached through an expression of type core.Snapshot or
+// core.PodSnapshot — snap.Profile().Machines[i].Alpha = x,
+// pods.Profile().W1 += y, copy(snap.Profile().Machines, src), or
+// *snapPtr = other. Rebinding a snapshot variable (snap = newSnap) is
+// fine: that is how RCU publishes. The core package itself is exempt —
+// the constructors and the kinetic builders must write the state they
+// are freezing.
+//
+// Known limitation: the check is syntactic per-expression — aliasing the
+// profile first (p := snap.Profile(); p.W1 = 0) escapes it. The -race
+// hammer tests and the frozen crosscheck property tests stay the
+// backstop for that.
+var SnapshotMut = &Analyzer{
+	Name: "snapshotmut",
+	Doc: "forbid writes to state reachable from core.Snapshot/PodSnapshot " +
+		"outside their constructor package",
+	Run: runSnapshotMut,
+}
+
+func runSnapshotMut(pass *Pass) error {
+	if pass.PkgPath == "coolopt/internal/core" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWriteDest(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWriteDest(pass, n.X)
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+					if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin { // not shadowed
+						checkCopyDest(pass, n.Args[0])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWriteDest flags a write destination whose access path passes
+// through a snapshot. The destination itself being snapshot-typed is not
+// enough — `snap = other` rebins a variable — so only the base chain
+// below a selector, index, or dereference counts.
+func checkWriteDest(pass *Pass, lhs ast.Expr) {
+	var base ast.Expr
+	switch e := lhs.(type) {
+	case *ast.SelectorExpr:
+		base = e.X
+	case *ast.IndexExpr:
+		base = e.X
+	case *ast.StarExpr:
+		base = e.X
+	case *ast.ParenExpr:
+		checkWriteDest(pass, e.X)
+		return
+	default:
+		return
+	}
+	// reachesSnapshot walks the whole base subtree, so a snapshot
+	// anywhere along a compound path (snap.Profile().Machines[i].Alpha)
+	// is found from the outermost destination alone.
+	if name, ok := reachesSnapshot(pass, base); ok {
+		pass.Reportf(lhs.Pos(), "write to state reachable from core.%s; snapshots are frozen at construction and shared lock-free — build a new snapshot and Install it instead", name)
+	}
+}
+
+// checkCopyDest flags copy() into memory reached through a snapshot.
+func checkCopyDest(pass *Pass, dst ast.Expr) {
+	if name, ok := reachesSnapshot(pass, dst); ok {
+		pass.Reportf(dst.Pos(), "copy into memory reachable from core.%s; snapshots are frozen at construction — build a new snapshot and Install it instead", name)
+	}
+}
+
+// reachesSnapshot reports whether any subexpression of expr has type
+// (pointer to) core.Snapshot or core.PodSnapshot, returning the type
+// name found.
+func reachesSnapshot(pass *Pass, expr ast.Expr) (string, bool) {
+	found := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if name, ok := snapshotTypeName(tv.Type); ok {
+			found = name
+			return false
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+// snapshotTypeName matches (pointers to) the frozen model types.
+func snapshotTypeName(t types.Type) (string, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "coolopt/internal/core" {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Snapshot", "PodSnapshot":
+		return obj.Name(), true
+	}
+	return "", false
+}

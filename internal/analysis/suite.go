@@ -1,12 +1,63 @@
 package analysis
 
 // Suite returns the full cooloptlint analyzer suite in reporting order.
+// The first five guard the paper reproduction's invariants (PR 3); the
+// last four guard the concurrent engine/serving layer: atomic-field
+// discipline and RCU publication (lockatomic), the typed-error contract
+// behind the HTTP status mapping (errcontract), goroutine/timer leaks
+// under sustained serving (goroleak), and the snapshot deep-freeze
+// contract (snapshotmut).
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		CloneSafety,
 		CtxHTTP,
 		Determinism,
+		ErrContract,
 		FloatCmp,
+		GoroLeak,
+		LockAtomic,
+		SnapshotMut,
 		Units,
 	}
+}
+
+// Select filters the suite by name: only narrows to the named analyzers
+// when non-empty, skip removes names. Unknown names are returned so the
+// driver can fail fast instead of silently linting with a typo.
+func Select(suite []*Analyzer, only, skip []string) (selected []*Analyzer, unknown []string) {
+	byName := make(map[string]*Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	for _, name := range append(append([]string(nil), only...), skip...) {
+		if byName[name] == nil {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		return nil, unknown
+	}
+	skipped := make(map[string]bool, len(skip))
+	for _, name := range skip {
+		skipped[name] = true
+	}
+	for _, a := range suite {
+		if skipped[a.Name] {
+			continue
+		}
+		if len(only) > 0 {
+			keep := false
+			for _, name := range only {
+				if a.Name == name {
+					keep = true
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		selected = append(selected, a)
+	}
+	return selected, nil
 }

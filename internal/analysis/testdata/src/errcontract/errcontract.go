@@ -1,0 +1,80 @@
+// Package errcontractfix exercises the errcontract analyzer. The
+// package is marked, so the strict wrap/discard checks apply exactly as
+// they do to engine, roomapi, and roomclient.
+//
+//coolopt:errcontract
+package errcontractfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrOverflow is a typed sentinel like the engine's ErrOverloaded.
+var ErrOverflow = errors.New("errcontractfix: overflow")
+
+func identityCompare(err error) bool {
+	if err == ErrOverflow { // want `sentinel error ErrOverflow compared with ==`
+		return true
+	}
+	return err != io.EOF // want `sentinel error EOF compared with !=`
+}
+
+func wrappedCompare(err error) bool {
+	return errors.Is(err, ErrOverflow) // the sanctioned form: allowed
+}
+
+func nilChecks(err error) bool {
+	return err == nil || err != nil // nil tests are not sentinel compares: allowed
+}
+
+func localCompare() bool {
+	myErr := errors.New("local")
+	other := error(nil)
+	return other == myErr // local variables, not sentinels: allowed
+}
+
+func suppressedCompare(err error) bool {
+	return err == io.EOF //coolopt:ignore errcontract bufio guarantees an unwrapped EOF here
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("solve failed: %v", err) // want `fmt.Errorf formats an error cause without %w`
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("solve failed: %w", err) // allowed
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad load %d", n) // no error argument: allowed
+}
+
+func suppressedWrap(err error) error {
+	//coolopt:ignore errcontract boundary error is terminal, chain ends here on purpose
+	return fmt.Errorf("giving up: %v", err)
+}
+
+func mayFail() error { return nil }
+
+func twoResults() (int, error) { return 0, nil }
+
+func discards() {
+	mayFail()     // want `call discards an error result`
+	twoResults()  // want `call discards an error result`
+	_ = mayFail() // explicit discard stays visible: allowed
+	_, _ = twoResults()
+	defer mayFail() // defer is a different statement: allowed
+}
+
+func suppressedDiscard() {
+	mayFail() //coolopt:ignore errcontract best-effort cache warm, failure is benign
+}
+
+func builderWrite(n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "load %d", n) // strings.Builder never errors: allowed
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+// Package goroleakfix exercises the goroleak analyzer.
+package goroleakfix
+
+import (
+	"context"
+	"time"
+)
+
+func unstoppable(work func()) {
+	go func() {
+		for { // want `goroutine loops forever with no exit signal`
+			work()
+		}
+	}()
+}
+
+func stopChannel(work func(), stop chan struct{}) {
+	go func() {
+		for { // select on the stop channel: allowed
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func workerPool(jobs chan int, handle func(int)) {
+	go func() {
+		for j := range jobs { // range over a closable channel: allowed
+			handle(j)
+		}
+	}()
+}
+
+func ctxLoop(ctx context.Context, work func()) {
+	go func() {
+		for { // checks the context each lap: allowed
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+func boundedLoop(work func()) {
+	go func() {
+		for i := 0; i < 10; i++ { // conditional loop: allowed
+			work()
+		}
+	}()
+}
+
+func suppressedLoop(work func()) {
+	go func() {
+		//coolopt:ignore goroleak process-lifetime pump, killed with the process
+		for {
+			work()
+		}
+	}()
+}
+
+func afterInLoop(pings chan int) {
+	for range pings {
+		select {
+		case <-time.After(time.Second): // want `time.After in a loop leaks one timer per iteration`
+		case p := <-pings:
+			_ = p
+		}
+	}
+}
+
+func afterOutsideLoop(pings chan int) {
+	select {
+	case <-time.After(time.Second): // not in a loop: allowed
+	case p := <-pings:
+		_ = p
+	}
+}
+
+func suppressedAfter(pings chan int) {
+	for range pings {
+		select {
+		//coolopt:ignore goroleak 50ms poll timer, fires before the next lap
+		case <-time.After(50 * time.Millisecond):
+		case p := <-pings:
+			_ = p
+		}
+	}
+}
+
+func tickerNoStop(work func()) {
+	t := time.NewTicker(time.Second) // want `time.NewTicker without a matching t.Stop`
+	for range t.C {
+		work()
+	}
+}
+
+func tickerStopped(work func(), done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			work()
+		case <-done:
+			return
+		}
+	}
+}
+
+func timerNoStop(fire func()) {
+	tm := time.NewTimer(time.Minute) // want `time.NewTimer without a matching tm.Stop`
+	<-tm.C
+	fire()
+}
+
+func suppressedTicker(work func()) {
+	//coolopt:ignore goroleak ticker lives exactly as long as the process
+	t := time.NewTicker(time.Second)
+	for range t.C {
+		work()
+	}
+}

@@ -1,0 +1,21 @@
+package lockatomicfix
+
+// A swap from outside the declaring file bypasses the blessed install
+// path (epoch stamping, cache invalidation live next to the type).
+func rogueInstall(h *holder, v *int) {
+	h.state.Store(v) // want `Store on atomic snapshot field state outside lockatomic.go`
+}
+
+func rogueSwap(h *holder, v *int) {
+	old := h.state.Swap(v) // want `Swap on atomic snapshot field state outside lockatomic.go`
+	_ = old
+}
+
+func sanctionedRead(h *holder) *int {
+	return h.state.Load() // reading the current generation from anywhere is fine
+}
+
+func suppressedInstall(h *holder, v *int) {
+	//coolopt:ignore lockatomic test harness resets the holder between cases
+	h.state.Store(v)
+}

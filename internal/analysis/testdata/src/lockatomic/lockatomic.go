@@ -1,0 +1,63 @@
+// Package lockatomicfix exercises the lockatomic analyzer.
+package lockatomicfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters mixes disciplines on purpose: hits is managed atomically,
+// misses through the mutex.
+type counters struct {
+	mu     sync.Mutex
+	hits   uint64
+	misses uint64
+}
+
+func (c *counters) recordHit() {
+	atomic.AddUint64(&c.hits, 1) // blesses hits as an atomic field
+}
+
+func (c *counters) mixedRead() uint64 {
+	return c.hits // want `hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) mixedWriteUnderMutex() {
+	c.mu.Lock()
+	c.hits++ // want `hits is accessed with sync/atomic elsewhere`
+	c.mu.Unlock()
+}
+
+func (c *counters) consistentAtomic() uint64 {
+	return atomic.LoadUint64(&c.hits) // atomic everywhere: allowed
+}
+
+func (c *counters) mutexOnly() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.misses++ // misses never touches sync/atomic: allowed
+	return c.misses
+}
+
+func (c *counters) suppressed() uint64 {
+	return c.hits //coolopt:ignore lockatomic torn read tolerated in the stats dump
+}
+
+// holder publishes a snapshot through an atomic pointer; installs must
+// stay in this file (where holder is declared).
+type holder struct {
+	state atomic.Pointer[int]
+	gauge atomic.Int64
+}
+
+func (h *holder) install(v *int) {
+	h.state.Store(v) // same file as the holder declaration: allowed
+}
+
+func (h *holder) read() *int {
+	return h.state.Load() // Load is unrestricted: allowed
+}
+
+func (h *holder) count() {
+	h.gauge.Store(3) // scalar atomics are not publication points: allowed
+}

@@ -1,0 +1,47 @@
+// Package snapshotmutfix exercises the snapshotmut analyzer.
+package snapshotmutfix
+
+import "coolopt/internal/core"
+
+func mutateMachine(s *core.Snapshot) {
+	s.Profile().Machines[0].Alpha = 1 // want `write to state reachable from core.Snapshot`
+}
+
+func bumpWeight(s *core.Snapshot) {
+	s.Profile().W1++ // want `write to state reachable from core.Snapshot`
+}
+
+func compoundAssign(s *core.Snapshot) {
+	s.Profile().W2 += 0.5 // want `write to state reachable from core.Snapshot`
+}
+
+func podWrite(ps *core.PodSnapshot) {
+	ps.Profile().CoolFactor = 0 // want `write to state reachable from core.PodSnapshot`
+}
+
+func clobberThroughPointer(s *core.Snapshot) {
+	*s = core.Snapshot{} // want `write to state reachable from core.Snapshot`
+}
+
+func overwriteMachines(s *core.Snapshot, src []core.MachineProfile) {
+	copy(s.Profile().Machines, src) // want `copy into memory reachable from core.Snapshot`
+}
+
+func rebind(s *core.Snapshot, fresh *core.Snapshot) *core.Snapshot {
+	s = fresh // rebinding is how RCU publishes: allowed
+	return s
+}
+
+func readOnly(s *core.Snapshot) float64 {
+	return s.Profile().W1 + s.Profile().W2 // reads are the whole point: allowed
+}
+
+func sanctionedCopy(s *core.Snapshot) core.Profile {
+	p := *s.Profile() // copy the value out first ...
+	p.W1 = 0          // ... then mutate the private copy: allowed
+	return p
+}
+
+func suppressed(s *core.Snapshot) {
+	s.Profile().SetPointC = 20 //coolopt:ignore snapshotmut test fixture rewrites a throwaway snapshot
+}

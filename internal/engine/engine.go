@@ -19,6 +19,7 @@
 // either path with Request.Mode.
 //
 //coolopt:deterministic
+//coolopt:errcontract
 package engine
 
 import (

@@ -23,6 +23,13 @@
 //	GET /v1/consolidate?load=12.5[&mink=13]
 //	GET /v1/maxload?budget=5000
 //	GET /v1/stats                      cache and snapshot counters
+//
+// The package carries the errcontract marker: sentinel comparisons,
+// unwrapped error causes, and silently dropped error returns are lint
+// errors here, because the 503/422/400 mapping in writePlanError relies
+// on errors.Is seeing the engine's sentinels through every wrap layer.
+//
+//coolopt:errcontract
 package roomapi
 
 // RoomInfo describes the room (GET /v1/room).

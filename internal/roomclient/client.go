@@ -19,6 +19,8 @@
 // reads are served from a bulk snapshot fetched once per room timestamp —
 // one GET per simulated second rather than one per machine — which
 // matches the 1 Hz sampling the paper's meters provide anyway.
+//
+//coolopt:errcontract
 package roomclient
 
 import (
