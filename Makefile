@@ -14,9 +14,14 @@ GO ?= go
 # the pod planner's optimality-gap bounds at a small size; the
 # degraded-chaos smoke asserts the overload-serving contract (only
 # 200/400/503, Retry-After on every 503, readiness flipping across a
-# slow install) over loopback HTTP.
+# slow install) over loopback HTTP; the incremental smokes gate the
+# patch-install path — the small benchmark run checks Snapshot.Patch
+# speed and bit-identity, and the incremental chaos smoke replays served
+# answers against the exact generation their epoch claims while installs
+# trickle; cover ratchets combined internal/core + internal/engine
+# statement coverage against the committed coverage_baseline.json.
 .PHONY: ci
-ci: fmt-check vet lint race build serving-smoke hierarchy-smoke degraded-smoke degraded-chaos-smoke
+ci: fmt-check vet lint race build serving-smoke hierarchy-smoke degraded-smoke degraded-chaos-smoke incremental-smoke incremental-chaos-smoke cover
 
 .PHONY: build
 build:
@@ -107,3 +112,36 @@ degraded-smoke:
 .PHONY: degraded-chaos-smoke
 degraded-chaos-smoke:
 	$(GO) run ./cmd/paperbench -degraded-chaos -degraded-n 128 -degraded-pods 4
+
+# Refresh the incremental snapshot-maintenance trajectory committed at
+# the repo root (n=4096: PodSnapshot.Patch vs full rebuild with the ≥20×
+# speedup gate at k=16 and the <1 ms pipelined-commit gate).
+.PHONY: incremental-bench
+incremental-bench:
+	$(GO) run ./cmd/paperbench -incremental-bench BENCH_incremental.json
+
+# incremental-smoke runs the incremental benchmark at a small size. The
+# speedup floor is looser than the committed trajectory's: with 256
+# machines in 8 pods a 16-machine batch touches most pods, so the
+# locality win is proportionally smaller than at 4096.
+.PHONY: incremental-smoke
+incremental-smoke:
+	$(GO) run ./cmd/paperbench -incremental-bench /tmp/BENCH_incremental_smoke.json -incremental-n 256 -incremental-pods 8 -incremental-speedup-floor 2
+
+# incremental-chaos-smoke trickles pipelined patch installs through a
+# live engine while exact, degraded, and budget workers replay every
+# sampled answer bit-for-bit against the generation its epoch claims;
+# any mixed-epoch answer, readiness flap, or shed query fails it.
+.PHONY: incremental-chaos-smoke
+incremental-chaos-smoke:
+	$(GO) run ./cmd/paperbench -incremental-chaos -incremental-n 64 -incremental-pods 4
+
+# cover runs the full test suite with atomic coverage and ratchets the
+# combined internal/core + internal/engine statement coverage against
+# the committed baseline (see cmd/covergate). Refresh the floor after a
+# genuine coverage improvement with:
+#   go run ./cmd/covergate -profile /tmp/coolopt_cover.out -write-baseline
+.PHONY: cover
+cover:
+	$(GO) test -count=1 -covermode=atomic -coverprofile=/tmp/coolopt_cover.out ./...
+	$(GO) run ./cmd/covergate -profile /tmp/coolopt_cover.out -baseline coverage_baseline.json

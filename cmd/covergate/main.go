@@ -1,0 +1,184 @@
+// Command covergate is the coverage ratchet for make cover: it computes
+// combined statement coverage over the planning kernel packages from a
+// go test -coverprofile file and fails if it dropped below the floor
+// recorded in the committed baseline. The baseline is refreshed
+// deliberately with -write-baseline (which records the measured value
+// minus a small slack, so routine run-to-run jitter never breaks CI while
+// real coverage regressions do).
+//
+// Usage:
+//
+//	covergate -profile cover.out [-baseline coverage_baseline.json]
+//	covergate -profile cover.out -write-baseline [-slack 2.0]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baseline is the committed coverage floor.
+type baseline struct {
+	// Packages are the import-path prefixes the combined figure covers.
+	Packages []string `json:"packages"`
+	// MinCoveragePercent is the ratchet: measured combined coverage below
+	// this fails the gate.
+	MinCoveragePercent float64 `json:"min_coverage_percent"`
+	// MeasuredPercent is the value observed when the baseline was
+	// written, for context when reading diffs.
+	MeasuredPercent float64 `json:"measured_percent"`
+}
+
+// block is one coverprofile source block; counts for duplicate blocks
+// (merged profiles) are summed, matching go tool cover.
+type block struct {
+	statements int
+	count      int64
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("covergate", flag.ContinueOnError)
+	profile := fs.String("profile", "", "coverprofile written by go test -coverprofile (required)")
+	baselinePath := fs.String("baseline", "coverage_baseline.json", "committed coverage floor to ratchet against")
+	prefixes := fs.String("packages", "coolopt/internal/core,coolopt/internal/engine",
+		"comma-separated import-path prefixes whose combined statement coverage is gated")
+	write := fs.Bool("write-baseline", false, "record a new floor (measured minus -slack) instead of gating")
+	slack := fs.Float64("slack", 2.0, "percentage points subtracted from the measurement when writing the baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *profile == "" {
+		return fmt.Errorf("-profile is required")
+	}
+	pkgs := strings.Split(*prefixes, ",")
+
+	f, err := os.Open(*profile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	covered, total, err := coverage(f, pkgs)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", *profile, err)
+	}
+	if total == 0 {
+		return fmt.Errorf("%s holds no statements under %s — wrong profile or prefixes", *profile, *prefixes)
+	}
+	percent := 100 * float64(covered) / float64(total)
+	fmt.Printf("covergate: %s: %d/%d statements, %.1f%% combined coverage\n",
+		*prefixes, covered, total, percent)
+
+	if *write {
+		b := baseline{
+			Packages:           pkgs,
+			MinCoveragePercent: percent - *slack,
+			MeasuredPercent:    percent,
+		}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("covergate: wrote floor %.1f%% to %s\n", b.MinCoveragePercent, *baselinePath)
+		return nil
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("no baseline (run with -write-baseline first): %w", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return fmt.Errorf("parse %s: %w", *baselinePath, err)
+	}
+	if percent < b.MinCoveragePercent {
+		return fmt.Errorf("coverage regression: %.1f%% is below the %.1f%% floor in %s (%.1f%% when recorded)",
+			percent, b.MinCoveragePercent, *baselinePath, b.MeasuredPercent)
+	}
+	fmt.Printf("covergate: above the %.1f%% floor\n", b.MinCoveragePercent)
+	return nil
+}
+
+// coverage parses a coverprofile from r and returns (covered, total)
+// statement counts over files whose import path starts with any of the
+// given prefixes. Duplicate blocks merge by summing counts.
+func coverage(r interface{ Read([]byte) (int, error) }, prefixes []string) (covered, total int, err error) {
+	blocks := map[string]*block{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmt count
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return 0, 0, fmt.Errorf("line %d: %d fields, want 3", line, len(fields))
+		}
+		name, _, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return 0, 0, fmt.Errorf("line %d: no position in %q", line, fields[0])
+		}
+		if !matchesAny(name, prefixes) {
+			continue
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("line %d: statements: %w", line, err)
+		}
+		count, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("line %d: count: %w", line, err)
+		}
+		if b, dup := blocks[fields[0]]; dup {
+			b.count += count
+		} else {
+			blocks[fields[0]] = &block{statements: stmts, count: count}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	for _, b := range blocks {
+		total += b.statements
+		if b.count > 0 {
+			covered += b.statements
+		}
+	}
+	return covered, total, nil
+}
+
+// matchesAny reports whether the file's import path (the directory part
+// of the coverprofile name) starts with one of the prefixes.
+func matchesAny(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if strings.HasPrefix(name, p+"/") || name == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: atomic
+coolopt/internal/core/a.go:10.2,12.10 3 5
+coolopt/internal/core/a.go:14.2,15.3 2 0
+coolopt/internal/engine/b.go:7.1,9.2 4 1
+coolopt/internal/corner/c.go:1.1,2.2 100 0
+coolopt/internal/sim/d.go:1.1,2.2 50 50
+`
+
+func TestCoverageCombinesPrefixes(t *testing.T) {
+	covered, total, err := coverage(strings.NewReader(sampleProfile),
+		[]string{"coolopt/internal/core", "coolopt/internal/engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// core: 3 covered + 2 uncovered; engine: 4 covered. corner/ must not
+	// leak in via the core prefix, sim is outside both.
+	if total != 9 || covered != 7 {
+		t.Fatalf("covered/total = %d/%d, want 7/9", covered, total)
+	}
+}
+
+func TestCoverageMergesDuplicateBlocks(t *testing.T) {
+	merged := `mode: atomic
+coolopt/internal/core/a.go:10.2,12.10 3 0
+coolopt/internal/core/a.go:10.2,12.10 3 2
+`
+	covered, total, err := coverage(strings.NewReader(merged), []string{"coolopt/internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || covered != 3 {
+		t.Fatalf("covered/total = %d/%d, want 3/3 (counts must sum across duplicates)", covered, total)
+	}
+}
+
+func TestCoverageRejectsMalformed(t *testing.T) {
+	if _, _, err := coverage(strings.NewReader("mode: atomic\nnot a profile line\n"), []string{"x"}); err == nil {
+		t.Fatal("malformed profile accepted")
+	}
+}
+
+// TestGateEndToEnd drives the command both ways: writing a baseline and
+// ratcheting against it, including the failure on a coverage drop.
+func TestGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "cover.out")
+	if err := os.WriteFile(profile, []byte(sampleProfile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "coverage_baseline.json")
+
+	if err := run([]string{"-profile", profile, "-baseline", base, "-write-baseline", "-slack", "2"}); err != nil {
+		t.Fatalf("write-baseline: %v", err)
+	}
+	if err := run([]string{"-profile", profile, "-baseline", base}); err != nil {
+		t.Fatalf("gate at recorded coverage: %v", err)
+	}
+
+	// Remove the engine package's covered block: combined coverage falls
+	// from 7/9 to 3/5 (77.8% → 60%), past the 2-point slack.
+	dropped := strings.ReplaceAll(sampleProfile,
+		"coolopt/internal/engine/b.go:7.1,9.2 4 1\n", "")
+	if err := os.WriteFile(profile, []byte(dropped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-profile", profile, "-baseline", base})
+	if err == nil || !strings.Contains(err.Error(), "coverage regression") {
+		t.Fatalf("coverage drop passed the gate: %v", err)
+	}
+}
+
+func TestGateRequiresStatements(t *testing.T) {
+	dir := t.TempDir()
+	profile := filepath.Join(dir, "cover.out")
+	if err := os.WriteFile(profile, []byte(sampleProfile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-profile", profile, "-packages", "coolopt/internal/nonexistent"}); err == nil {
+		t.Fatal("empty prefix selection passed")
+	}
+}

@@ -2,17 +2,25 @@
 // HTTP (see cmd/roomd for the virtual testbed). It runs the paper's
 // methodology remotely:
 //
-//	ctrld status  -room http://host:7077
-//	ctrld profile -room http://host:7077 -o profile.json
-//	ctrld apply   -room http://host:7077 -profile profile.json -load 0.5 [-no-consolidation] [-settle 1200] [-margin 2.5]
+//	ctrld status    -room http://host:7077
+//	ctrld profile   -room http://host:7077 -o profile.json
+//	ctrld apply     -room http://host:7077 -profile profile.json -load 0.5 [-no-consolidation] [-settle 1200] [-margin 2.5]
+//	ctrld reprofile -room http://host:7077 -profile profile.json [-sweeps 120] [-interval 5] [-o drift.json]
 //
 // `profile` replays the §IV-A protocol over the network and writes the
 // fitted profile document; `apply` computes the energy-optimal plan for a
 // load and pushes it (power states, per-machine loads, CRAC set point),
 // then waits for steady state and reports the metered outcome.
+// `reprofile` rides live traffic instead of dedicating the room to a
+// sweep: it folds streaming sensor reads into per-machine
+// recursive-least-squares fits of the Eq. 8 coefficients and writes the
+// machines whose well-conditioned fits drifted from the reference
+// profile as a patch-ready drift batch — the input to a pipelined
+// incremental install (Engine.InstallPatch) rather than a full resweep.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,7 +41,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ctrld <status|profile|apply> [flags]")
+		return fmt.Errorf("usage: ctrld <status|profile|apply|reprofile> [flags]")
 	}
 	switch args[0] {
 	case "status":
@@ -42,8 +50,10 @@ func run(args []string, out io.Writer) error {
 		return runProfile(args[1:], out)
 	case "apply":
 		return runApply(args[1:], out)
+	case "reprofile":
+		return runReprofile(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want status, profile, or apply)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want status, profile, apply, or reprofile)", args[0])
 	}
 }
 
@@ -218,6 +228,99 @@ func runApply(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "supply %.2f °C, hottest CPU %.1f °C (T_max %.1f)\n",
 		room.Supply(), maxCPU, doc.Profile.TMaxC)
 	return room.Err()
+}
+
+// driftDocument is the JSON shape `ctrld reprofile` writes: a
+// patch-ready batch of re-fitted machine coefficients.
+type driftDocument struct {
+	// RoomTime is the room's simulated clock when the batch was emitted.
+	RoomTime float64 `json:"room_time_s"`
+	// Sweeps is how many sensor sweeps the fits accumulated.
+	Sweeps int `json:"sweeps"`
+	// Drifted is the batch, ready for Engine.InstallPatch.
+	Drifted []coolopt.MachineDelta `json:"drifted"`
+}
+
+func runReprofile(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ctrld reprofile", flag.ContinueOnError)
+	roomURL := fs.String("room", "", "room API base URL (required)")
+	profilePath := fs.String("profile", "", "reference profile document from `ctrld profile` (required)")
+	sweeps := fs.Int("sweeps", 120, "sensor sweeps to fold into the fits")
+	interval := fs.Float64("interval", 5, "simulated seconds the room runs between sweeps")
+	relTol := fs.Float64("reltol", 0.02, "relative coefficient drift that makes a machine part of the batch")
+	minSamples := fs.Int("min-samples", 64, "sweeps required before a machine's fit is trusted")
+	outPath := fs.String("o", "drift.json", "output drift batch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *profilePath == "" {
+		return fmt.Errorf("-profile is required")
+	}
+	if *sweeps <= 0 || *interval <= 0 {
+		return fmt.Errorf("-sweeps and -interval must be positive")
+	}
+
+	docFile, err := os.Open(*profilePath)
+	if err != nil {
+		return err
+	}
+	defer docFile.Close()
+	doc, err := profiling.ReadDocument(docFile)
+	if err != nil {
+		return err
+	}
+	room, err := dial(*roomURL)
+	if err != nil {
+		return err
+	}
+	if room.Size() != doc.Profile.Size() {
+		return fmt.Errorf("profile covers %d machines but the room has %d",
+			doc.Profile.Size(), room.Size())
+	}
+	rf, err := profiling.NewRefresher(profiling.RefreshConfig{
+		Room:       room,
+		Reference:  doc.Profile,
+		MinSamples: *minSamples,
+		RelTol:     *relTol,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "re-profiling %d machines over %d sweeps of live traffic (%.0f s apart)…\n",
+		room.Size(), *sweeps, *interval)
+	for s := 0; s < *sweeps; s++ {
+		rf.Observe()
+		room.Run(*interval)
+	}
+	if err := room.Err(); err != nil {
+		return fmt.Errorf("transport errors during re-profiling: %w", err)
+	}
+
+	batch := rf.Drifted()
+	if batch == nil {
+		batch = []coolopt.MachineDelta{} // marshal an empty batch as [], not null
+	}
+	res := driftDocument{RoomTime: room.Time(), Sweeps: *sweeps, Drifted: batch}
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if len(batch) == 0 {
+		fmt.Fprintf(out, "no machine drifted past %.1f%%; wrote empty batch to %s\n", 100**relTol, *outPath)
+		return nil
+	}
+	for _, d := range batch {
+		ref := doc.Profile.Machines[d.ID]
+		fmt.Fprintf(out, "machine %d drifted: α %.4f→%.4f, β %.4f→%.4f, γ %.3f→%.3f\n",
+			d.ID, ref.Alpha, d.Machine.Alpha, ref.Beta, d.Machine.Beta, ref.Gamma, d.Machine.Gamma)
+	}
+	fmt.Fprintf(out, "wrote %d-machine drift batch to %s (feed it to a pipelined patch install)\n",
+		len(batch), *outPath)
+	return nil
 }
 
 func clamp01(v float64) float64 {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -81,6 +82,59 @@ func TestProfileThenApply(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("apply output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestReprofile(t *testing.T) {
+	ts := newRoomServer(t)
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "profile.json")
+	driftPath := filepath.Join(dir, "drift.json")
+
+	var buf bytes.Buffer
+	if err := run([]string{"profile", "-room", ts.URL, "-o", docPath}, &buf); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+
+	// The room still matches the profile we just fitted, so a short ride
+	// on live traffic must not fabricate drift — the batch is empty and
+	// the document still lands on disk for the install pipeline to poll.
+	buf.Reset()
+	if err := run([]string{
+		"reprofile", "-room", ts.URL, "-profile", docPath,
+		"-sweeps", "30", "-interval", "2", "-min-samples", "10", "-o", driftPath,
+	}, &buf); err != nil {
+		t.Fatalf("reprofile: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no machine drifted") {
+		t.Fatalf("undrifted room produced a batch:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(driftPath)
+	if err != nil {
+		t.Fatalf("drift document not written: %v", err)
+	}
+	var doc driftDocument
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("drift document malformed: %v", err)
+	}
+	if doc.Sweeps != 30 || len(doc.Drifted) != 0 {
+		t.Fatalf("drift document = %+v, want 30 sweeps and no drift", doc)
+	}
+}
+
+func TestReprofileValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"reprofile", "-room", "http://unused"}, &buf); err == nil {
+		t.Fatal("reprofile without -profile accepted")
+	}
+	ts := newRoomServer(t)
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "profile.json")
+	if err := run([]string{"profile", "-room", ts.URL, "-o", docPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"reprofile", "-room", ts.URL, "-profile", docPath, "-sweeps", "0"}, &buf); err == nil {
+		t.Fatal("zero sweeps accepted")
 	}
 }
 

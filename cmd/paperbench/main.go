@@ -66,6 +66,12 @@ func run(args []string, out io.Writer) error {
 	degGapLimit := fs.Float64("degraded-gap-limit", 0.05, "fail -degraded-bench if any point's worst gap vs the flat degraded planner exceeds this fraction")
 	degSpeedupFloor := fs.Float64("degraded-speedup-floor", 10, "fail -degraded-bench if pod-local degraded planning is not at least this many times faster than the flat sweep")
 	degChaos := fs.Bool("degraded-chaos", false, "run the degraded-serving chaos scenario (avoid= hammer + overload + slow install over loopback HTTP), then exit")
+	incBench := fs.String("incremental-bench", "", "measure incremental snapshot maintenance (PodSnapshot.Patch vs full rebuild, pipelined install latency) and write the JSON trajectory to this file (e.g. BENCH_incremental.json), then exit")
+	incN := fs.Int("incremental-n", 4096, "room size during -incremental-bench / -incremental-chaos")
+	incPods := fs.Int("incremental-pods", 0, "pod count during -incremental-bench / -incremental-chaos (0 = library default)")
+	incSpeedupFloor := fs.Float64("incremental-speedup-floor", 20, "fail -incremental-bench if patching a 16-machine drift batch is not at least this many times faster than the full table rebuild")
+	incCommitLimit := fs.Int64("incremental-commit-limit-ns", 1_000_000, "fail -incremental-bench if the pipelined install commit (epoch-checked pointer swap) exceeds this many nanoseconds")
+	incChaos := fs.Bool("incremental-chaos", false, "run the incremental-install chaos scenario (patch trickle under concurrent planning load), then exit")
 	chaosRun := fs.Bool("chaos", false, "run the fault-injection scenario suite (hardened vs unhardened controller), then exit")
 	chaosDur := fs.Float64("chaos-duration", 900, "simulated seconds per chaos scenario")
 	soakSeed := fs.Int64("soak-seed", 0, "with -chaos: also run a randomized fault schedule drawn from this seed (0 disables)")
@@ -86,6 +92,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *degChaos {
 		return runDegradedChaos(out, *degN, *degPods)
+	}
+	if *incBench != "" {
+		return runIncrementalBench(out, *incBench, *incN, *incPods, *incSpeedupFloor, *incCommitLimit)
+	}
+	if *incChaos {
+		return runIncrementalChaos(out, *incN, *incPods)
 	}
 	sel := strings.ToLower(*figSel)
 

@@ -21,12 +21,20 @@
 // serve pod-only, the configuration for rooms past the whole-room table
 // cap.
 //
+// With -reprofile D the server also runs a continuous re-profiler: every
+// D it folds one sensor sweep into per-machine recursive-least-squares
+// fits of the Eq. 8 coefficients, and when a well-conditioned fit drifts
+// past -reprofile-reltol it trickles the drifted machines through the
+// pipelined patch-install path (prepare off the hot path, epoch-checked
+// pointer-swap commit) — the model tracks the room without full rebuilds
+// and without readiness ever flapping.
+//
 // On SIGINT or SIGTERM the server stops accepting connections, drains
 // in-flight requests for -drain, and exits cleanly.
 //
 // Usage:
 //
-//	pland [-addr :7078] [-seed N] [-machines N] [-racks R -perrack M] [-pods P] [-plan-mode exact|hier|both] [-timeout 0] [-max-inflight 0] [-drain 5s]
+//	pland [-addr :7078] [-seed N] [-machines N] [-racks R -perrack M] [-pods P] [-plan-mode exact|hier|both] [-timeout 0] [-max-inflight 0] [-drain 5s] [-reprofile 0] [-reprofile-reltol 0.02] [-reprofile-min-samples 64]
 package main
 
 import (
@@ -39,10 +47,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"coolopt"
+	"coolopt/internal/machineroom"
+	"coolopt/internal/profiling"
 	"coolopt/internal/roomapi"
 )
 
@@ -68,6 +79,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "server-side compute deadline per planning request (0 = client deadline only)")
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrent plan computations before shedding 503s (0 = unbounded)")
 	drain := fs.Duration("drain", 5*time.Second, "in-flight request drain budget on shutdown")
+	reprofile := fs.Duration("reprofile", 0, "continuous re-profiling: sample the room's sensors this often and trickle drifted Eq. 8 coefficients through pipelined patch installs (0 = off)")
+	reprofileTol := fs.Float64("reprofile-reltol", 0.02, "relative coefficient drift that triggers a patch install")
+	reprofileMin := fs.Int("reprofile-min-samples", 64, "sensor sweeps required before a machine's re-fitted coefficients are trusted")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +117,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *workers > 0 {
 		pre = append(pre, coolopt.WithPreprocessWorkers(*workers))
 	}
+	if *reprofile > 0 {
+		// Retain the crossing lists so the re-profiling trickle lands
+		// through incremental Snapshot.Patch instead of full rebuilds.
+		pre = append(pre, coolopt.WithPatchSupport())
+	}
 	opts = append(opts, coolopt.WithPreprocess(pre...))
 	if *pods > 0 {
 		podOpts := []coolopt.PodOption{coolopt.WithPodCount(*pods)}
@@ -131,6 +150,56 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	handler, err := roomapi.NewServer(sys.Sim(), apiOpts...)
 	if err != nil {
 		return err
+	}
+
+	if *reprofile > 0 {
+		rf, err := profiling.NewRefresher(profiling.RefreshConfig{
+			Room:       sys.Sim(),
+			Reference:  sys.Profile(),
+			MinSamples: *reprofileMin,
+			RelTol:     *reprofileTol,
+		})
+		if err != nil {
+			return fmt.Errorf("re-profiler: %w", err)
+		}
+		stopRf := make(chan struct{})
+		var rfWG sync.WaitGroup
+		rfWG.Add(1)
+		go func() {
+			defer rfWG.Done()
+			ticker := time.NewTicker(*reprofile)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopRf:
+					return
+				case <-ticker.C:
+					// Sample under the server's room lock so the sweep
+					// never races a mutating endpoint, then trickle any
+					// drift through the pipelined install path: the
+					// prepare builds off the hot path and the commit is
+					// an epoch-checked pointer swap, so serving never
+					// sheds around it.
+					handler.RoomLocked(func(machineroom.Room) { rf.Observe() })
+					batch := rf.Drifted()
+					if len(batch) == 0 {
+						continue
+					}
+					epoch, err := sys.Engine().InstallPatch(batch)
+					if err != nil {
+						fmt.Fprintf(out, "pland: re-profile install failed: %v\n", err)
+						continue
+					}
+					fmt.Fprintf(out, "pland: re-profiled %d machines, installed epoch %d\n", len(batch), epoch)
+				}
+			}
+		}()
+		defer func() {
+			close(stopRf)
+			rfWG.Wait()
+		}()
+		fmt.Fprintf(out, "pland: continuous re-profiling every %s (tol %.1f%%, min %d samples)\n",
+			*reprofile, 100**reprofileTol, *reprofileMin)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -106,6 +106,13 @@ type (
 	EngineStats = engine.Stats
 	// EngineOption configures engine construction (WithExactCacheKeys).
 	EngineOption = engine.Option
+	// MachineDelta is one machine's re-fitted Eq. 8 coefficients, the
+	// unit of incremental snapshot maintenance (Snapshot.Patch,
+	// Engine.InstallPatch).
+	MachineDelta = core.MachineDelta
+	// PreparedInstall is a fully built serving generation awaiting its
+	// O(1) epoch-checked commit (Engine.PrepareInstall / PreparePatch).
+	PreparedInstall = engine.PreparedInstall
 	// ProfilingResult is a completed profiling run (fitted profile,
 	// set-point calibration, and fit reports for Figs. 2–3).
 	ProfilingResult = profiling.Result
@@ -157,6 +164,13 @@ var (
 	ErrPlanNoPath = engine.ErrNoPath
 	// ErrPlanBadAvoid: the avoid list names a machine outside the room.
 	ErrPlanBadAvoid = engine.ErrBadAvoid
+	// ErrBadDelta: a drift batch named a machine outside the room, listed
+	// one twice, or carried coefficients that fail profile validation.
+	ErrBadDelta = core.ErrBadDelta
+	// ErrStaleInstall: a prepared install was refused at commit because
+	// another install published first; re-prepare and commit again
+	// (Engine.InstallPatch does so automatically).
+	ErrStaleInstall = engine.ErrStaleInstall
 )
 
 // NewOptimizer builds the practical planner for a profile; see
@@ -222,6 +236,11 @@ func WithMaxMachines(n int) PreprocessOption { return core.WithMaxMachines(n) }
 
 // WithPreprocessWorkers bounds the preprocessing worker pool.
 func WithPreprocessWorkers(w int) PreprocessOption { return core.WithPreprocessWorkers(w) }
+
+// WithPatchSupport retains the crossing list Preprocess normally
+// discards, enabling incremental Snapshot.Patch on the result (≈16 bytes
+// per pairwise crossing of extra memory).
+func WithPatchSupport() PreprocessOption { return core.WithPatchSupport() }
 
 // WithPodSize sets the target machines per pod (default
 // core.DefaultPodSize).

@@ -1,0 +1,29 @@
+package chaos
+
+import "testing"
+
+// TestIncrementalServingSmoke is the CI gate for the pipelined install
+// path: a re-profiler trickles patch generations while planners hammer
+// every serving flavor, race-enabled through make ci's race target. Any
+// pipeline-contract violation — a backwards epoch, an answer mixing
+// generations, readiness flapping across a commit, an overload shed, a
+// generation that missed the patch path — fails it.
+func TestIncrementalServingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent install/serve soak")
+	}
+	rep, err := RunIncrementalServing(IncrementalOptions{N: 64, Pods: 4, Installs: 12, MinQueries: 36})
+	if err != nil {
+		t.Fatalf("install pipeline contract violated: %v", err)
+	}
+	if rep.Verified == 0 {
+		t.Fatalf("no answers were bit-verified against their recorded generation: %s", rep)
+	}
+	if rep.Degraded == 0 || rep.MaxLoads == 0 {
+		t.Fatalf("hammer missed a serving flavor: %s", rep)
+	}
+	if rep.EpochsSeen < 2 {
+		t.Fatalf("workers never observed an epoch change: %s", rep)
+	}
+	t.Logf("incremental serving: %s", rep)
+}

@@ -120,6 +120,17 @@ func collectEvents(pairs []Pair, workers int) (events []float64, crossings []cro
 	}
 	sort.Slice(crossings, func(i, j int) bool { return crossings[i].t < crossings[j].t })
 
+	events, bucketEnd = groupCrossings(crossings)
+	return events, crossings, bucketEnd
+}
+
+// groupCrossings buckets a time-sorted crossing list into events: crossings
+// whose times are indistinguishable from the bucket's first time
+// (mathx.Same) share one event. The grouping depends only on the sorted
+// time sequence — never on the order of equal-time entries — which is what
+// lets the incremental patch path (patch.go) splice a merged list and
+// still reproduce a fresh build bit for bit.
+func groupCrossings(crossings []crossing) (events []float64, bucketEnd []int) {
 	events = make([]float64, 1, len(crossings)+1)
 	bucketEnd = make([]int, 1, len(crossings)+1)
 	for i := 0; i < len(crossings); {
@@ -132,7 +143,7 @@ func collectEvents(pairs []Pair, workers int) (events []float64, crossings []cro
 		bucketEnd = append(bucketEnd, j)
 		i = j
 	}
-	return events, crossings, bucketEnd
+	return events, bucketEnd
 }
 
 // buildSegments runs the kinetic sweep over all events and assembles the

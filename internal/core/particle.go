@@ -57,8 +57,9 @@ const DenseMaxMachines = 512
 
 // preprocessConfig collects the tunables of both Preprocess variants.
 type preprocessConfig struct {
-	maxMachines int // 0 = entry point's default
-	workers     int // 0 = runtime.GOMAXPROCS(0)
+	maxMachines int  // 0 = entry point's default
+	workers     int  // 0 = runtime.GOMAXPROCS(0)
+	retain      bool // keep the sorted crossing list for incremental patching
 }
 
 // PreprocessOption configures Preprocess and PreprocessDense.
@@ -79,6 +80,15 @@ func WithMaxMachines(n int) PreprocessOption {
 // sums in a different order).
 func WithPreprocessWorkers(w int) PreprocessOption {
 	return func(cfg *preprocessConfig) { cfg.workers = w }
+}
+
+// WithPatchSupport keeps the time-sorted pairwise crossing list alive
+// after the sweep, enabling Snapshot.Patch to splice a drifted machine's
+// crossings instead of regenerating and re-sorting all O(n²) of them.
+// Costs 16 bytes per crossing (~n²/2 of them) of extra residency; tables
+// are bit-identical with or without it.
+func WithPatchSupport() PreprocessOption {
+	return func(cfg *preprocessConfig) { cfg.retain = true }
 }
 
 // Status is one row of Algorithm 1's allStatus table: at event time T,
@@ -114,6 +124,10 @@ type Preprocessed struct {
 	posOff   []int
 	posEvent []int32
 	posID    []int32
+	// crossings is the time-sorted crossing list the sweep consumed,
+	// retained only under WithPatchSupport so patch (patch.go) can reuse
+	// the undrifted pairs' entries; nil otherwise. Never read by queries.
+	crossings []crossing
 }
 
 // Preprocess runs the kinetic form of Algorithm 1 on the reduced
@@ -144,6 +158,9 @@ func Preprocess(r Reduced, opts ...PreprocessOption) (*Preprocessed, error) {
 	events, crossings, bucketEnd := collectEvents(r.Pairs, cfg.workers)
 	pp := &Preprocessed{reduced: r, events: events}
 	pp.buildSegments(crossings, bucketEnd, cfg.workers)
+	if cfg.retain {
+		pp.crossings = crossings
+	}
 	return pp, nil
 }
 
@@ -215,6 +232,15 @@ func (pp *Preprocessed) TableBytes() int {
 // FrontWrites returns the number of entries in the persistent front-set
 // arena — the O(n²) quantity that replaces on-demand order rebuilds.
 func (pp *Preprocessed) FrontWrites() int { return len(pp.posID) }
+
+// PatchSupported reports whether the sorted crossing list was retained
+// (WithPatchSupport), i.e. whether patch can splice instead of rebuilding.
+func (pp *Preprocessed) PatchSupported() bool { return pp.crossings != nil }
+
+// RetainedCrossingBytes returns the extra residency of the retained
+// crossing list (zero without WithPatchSupport). Reported separately from
+// TableBytes so the committed bench trajectories keep their meaning.
+func (pp *Preprocessed) RetainedCrossingBytes() int { return len(pp.crossings) * 16 }
 
 // OrderAtEvent reconstructs the machine IDs by decreasing coordinate on
 // the event interval [events[e], events[e+1]) — row e of the dense

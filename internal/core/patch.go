@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file implements incremental snapshot maintenance: rebuilding a
+// frozen Snapshot / PodSnapshot after a few machines' Eq. 8 coefficients
+// (and hence their Eq. 19 particle parameters K_i and α_i/β_i) drift,
+// without resweeping the whole room.
+//
+// The contract is strict bit-identity: Patch must produce exactly the
+// bytes a from-scratch NewSnapshot/NewPodSnapshot over the patched
+// profile would — tables, arena ranks, and every plan computed on them.
+// That rules out value-level shortcuts (float sums are order-dependent,
+// so "subtract the old A, add the new one" drifts by ulps) and dictates
+// the structure-level one used here:
+//
+//   - Flat tables. A drifted machine changes only the crossing times of
+//     the ~n pairs it participates in; the other ~n²/2 crossing times are
+//     computed from unchanged inputs and are bit-identical. With the
+//     sorted crossing list retained (WithPatchSupport), Patch filters out
+//     the drifted pairs' entries, regenerates and sorts only the k·n new
+//     ones, merges the two sorted lists in O(n²) — skipping both the
+//     O(n²) pair generation and the dominant O(n² lg n) full sort — and
+//     re-runs the standard sweep. The sweep's output depends only on the
+//     sorted time sequence and the per-event crossing sets (span merging
+//     is order-independent inside an event), so the result matches a
+//     fresh build bit for bit. This path cuts the constant, not the
+//     asymptotics: the sweep itself is still O(n²).
+//
+//   - Pod tables. This is the fast path, and the reason the hierarchy
+//     pays twice: a drifted machine sits in exactly one pod, so only that
+//     pod's O((n/p)²) kinetic tables rebuild; every other pod's segment
+//     and front-set arenas are shared with the old snapshot by reference.
+//     The Eq. 21–22 aggregates (A_j, B_j, shares, the share-scaled
+//     cooling leverage Rho_j) are all O(n) scalars re-derived with the
+//     exact loops NewPodSnapshot runs, so they too are bit-identical —
+//     shares shift for every pod when any machine's B drifts, but the
+//     kinetic tables depend only on the pod's own pairs, which is why
+//     sharing the untouched arenas is safe.
+
+// MachineDelta is one machine's re-profiled Eq. 8 coefficients, the unit
+// of drift the recursive-least-squares refresher (internal/profiling)
+// emits and Patch consumes.
+type MachineDelta struct {
+	// ID is the machine whose coefficients drifted.
+	ID int `json:"id"`
+	// Machine carries the full replacement coefficients (not increments),
+	// so a delta batch is idempotent to apply.
+	Machine MachineProfile `json:"machine"`
+}
+
+// ErrBadDelta reports a drift batch Patch refuses to apply: a machine ID
+// outside the room, the same machine drifted twice in one batch, or
+// coefficients that fail profile validation (non-positive α/β, K ≤ 0).
+// Wrap-compare with errors.Is.
+var ErrBadDelta = errors.New("core: bad drift delta")
+
+// applyDeltas returns a validated deep copy of p with the deltas applied,
+// plus the sorted drifted IDs. An empty batch yields a plain copy.
+func applyDeltas(p *Profile, drifted []MachineDelta) (*Profile, []int, error) {
+	frozen := *p
+	frozen.Machines = append([]MachineProfile(nil), p.Machines...)
+	ids := make([]int, 0, len(drifted))
+	seen := make(map[int]bool, len(drifted))
+	for _, d := range drifted {
+		if d.ID < 0 || d.ID >= len(frozen.Machines) {
+			return nil, nil, fmt.Errorf("%w: machine %d outside [0, %d)", ErrBadDelta, d.ID, len(frozen.Machines))
+		}
+		if seen[d.ID] {
+			return nil, nil, fmt.Errorf("%w: machine %d drifted twice in one batch", ErrBadDelta, d.ID)
+		}
+		seen[d.ID] = true
+		frozen.Machines[d.ID] = d.Machine
+		ids = append(ids, d.ID)
+	}
+	if err := frozen.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: patched profile rejected: %w", ErrBadDelta, err)
+	}
+	sort.Ints(ids)
+	return &frozen, ids, nil
+}
+
+// Patch returns a new deep-frozen snapshot with the drifted machines'
+// coefficients replaced and the consolidation tables updated, tagged with
+// the next epoch. The result is byte-for-byte identical to
+// NewSnapshot(patched profile, epoch+1, same options) — the differential
+// battery in patch_test.go enforces this — but skips the O(n²) pair
+// generation and the O(n² lg n) crossing sort when the receiver retained
+// its crossing list (WithPatchSupport); without retention it falls back
+// to a full rebuild. An empty batch shares the receiver's tables
+// outright. Options forward to the rebuild exactly like NewSnapshot's;
+// the worker count must match the original build's for bit-identity
+// (worker-count changes can shift results by ulps either way).
+func (s *Snapshot) Patch(drifted []MachineDelta, opts ...PreprocessOption) (*Snapshot, error) {
+	p2, ids, err := applyDeltas(s.profile, drifted)
+	if err != nil {
+		return nil, err
+	}
+	epoch := s.epoch + 1
+	if len(ids) == 0 {
+		return &Snapshot{epoch: epoch, profile: p2, pre: s.pre}, nil
+	}
+	cfg := preprocessConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if !s.pre.PatchSupported() {
+		pre, err := Preprocess(p2.Reduce(), opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{epoch: epoch, profile: p2, pre: pre}, nil
+	}
+	pre, err := s.pre.patch(p2.Reduce(), ids, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{epoch: epoch, profile: p2, pre: pre}, nil
+}
+
+// PatchSupported reports whether the snapshot retained its crossing list
+// (built with WithPatchSupport), i.e. whether Patch splices incrementally
+// instead of rebuilding from scratch.
+func (s *Snapshot) PatchSupported() bool { return s.pre.PatchSupported() }
+
+// patch rebuilds the tables for r2 — the receiver's reduced instance with
+// the listed machines' pairs replaced — by splicing the crossing list:
+// keep the (bit-identical) crossings of undrifted pairs, regenerate the
+// k·n crossings with a drifted endpoint, merge, and re-run the standard
+// sweep. The caller guarantees the receiver retained its crossings.
+func (pp *Preprocessed) patch(r2 Reduced, ids []int, cfg preprocessConfig) (*Preprocessed, error) {
+	pairs := r2.Pairs
+	n := len(pairs)
+	driftedMask := make([]bool, n)
+	for _, id := range ids {
+		// Undrifted pairs passed this check at the original build.
+		if pairs[id].B <= 0 {
+			return nil, fmt.Errorf("core: pair %d has non-positive speed b = %v", id, pairs[id].B)
+		}
+		driftedMask[id] = true
+	}
+
+	kept := make([]crossing, 0, len(pp.crossings))
+	for _, c := range pp.crossings {
+		if driftedMask[c.p] || driftedMask[c.q] {
+			continue
+		}
+		kept = append(kept, c)
+	}
+
+	// Regenerate with collectEvents' exact arithmetic (p < q, same
+	// division) so every time is what a fresh generation would produce.
+	// A pair of two drifted machines is generated once, from the smaller.
+	fresh := make([]crossing, 0, len(ids)*n)
+	for _, id := range ids {
+		for j := 0; j < n; j++ {
+			if j == id || (driftedMask[j] && j < id) {
+				continue
+			}
+			p, q := id, j
+			if q < p {
+				p, q = q, p
+			}
+			db := pairs[q].B - pairs[p].B
+			if db == 0 {
+				continue // parallel particles never pass
+			}
+			t := (pairs[q].A - pairs[p].A) / db
+			if t > 0 {
+				fresh = append(fresh, crossing{t: t, p: int32(p), q: int32(q)})
+			}
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].t < fresh[j].t })
+
+	// Merge the two sorted lists. The merged order can permute exact-time
+	// ties relative to a fresh full sort, which is harmless: grouping
+	// depends only on the time sequence and the sweep only on each
+	// event's crossing set.
+	merged := make([]crossing, 0, len(kept)+len(fresh))
+	i, j := 0, 0
+	for i < len(kept) && j < len(fresh) {
+		if kept[i].t <= fresh[j].t {
+			merged = append(merged, kept[i])
+			i++
+		} else {
+			merged = append(merged, fresh[j])
+			j++
+		}
+	}
+	merged = append(merged, kept[i:]...)
+	merged = append(merged, fresh[j:]...)
+
+	events, bucketEnd := groupCrossings(merged)
+	out := &Preprocessed{reduced: r2, events: events, crossings: merged}
+	out.buildSegments(merged, bucketEnd, cfg.workers)
+	return out, nil
+}
+
+// Patch returns a new deep-frozen pod snapshot with the drifted machines'
+// coefficients replaced, tagged with the next epoch. Only the pods
+// containing drifted machines rebuild their kinetic tables; every other
+// pod shares its segment and front-set arenas with the receiver, with the
+// cheap Eq. 21–22 aggregates (sums, shares, share-scaled cooling
+// leverage) re-derived for all pods with NewPodSnapshot's exact loops.
+// The result is byte-for-byte identical to NewPodSnapshot(patched
+// profile, epoch+1, WithPodCount(ps.Pods())). The partition is inherited
+// from the receiver — WithPodSize/WithPodCount options are ignored;
+// WithPodBuildWorkers and WithPodBuildCheck apply to the touched-pod
+// rebuilds.
+func (ps *PodSnapshot) Patch(drifted []MachineDelta, opts ...PodOption) (*PodSnapshot, error) {
+	p2, ids, err := applyDeltas(ps.profile, drifted)
+	if err != nil {
+		return nil, err
+	}
+	cfg := podConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	out := &PodSnapshot{epoch: ps.epoch + 1, profile: p2, room: p2.Reduce()}
+	for _, pr := range out.room.Pairs {
+		out.totalB += pr.B
+	}
+	driftedMask := make([]bool, p2.Size())
+	for _, id := range ids {
+		driftedMask[id] = true
+	}
+
+	var touched []int
+	out.pods = make([]*pod, 0, len(ps.pods))
+	for j, old := range ps.pods {
+		// Re-derive the aggregates with the same loop NewPodSnapshot runs
+		// so the sums accumulate in the same order.
+		var sumA, sumB float64
+		pairs := make([]Pair, len(old.ids))
+		rebuild := false
+		for i, id := range old.ids {
+			pairs[i] = out.room.Pairs[id]
+			sumA += pairs[i].A
+			sumB += pairs[i].B
+			if driftedMask[id] {
+				rebuild = true
+			}
+		}
+		share := sumB / out.totalB
+		npd := &pod{
+			ids:   old.ids,
+			sumA:  sumA,
+			sumB:  sumB,
+			share: share,
+			reduced: Reduced{
+				Pairs:      pairs,
+				W2:         p2.W2,
+				Rho:        p2.CoolFactor * p2.W1 * share,
+				CoolFactor: p2.CoolFactor * share,
+				SetPointC:  p2.SetPointC,
+				W1:         p2.W1,
+			},
+			bounds: clampBounds{
+				W1: p2.W1, W2: p2.W2,
+				CoolFactor: p2.CoolFactor * share,
+				SetPointC:  p2.SetPointC,
+				TAcMinC:    p2.TAcMinC,
+				TAcMaxC:    p2.TAcMaxC,
+			},
+		}
+		if rebuild {
+			touched = append(touched, j)
+		} else {
+			// The kinetic tables depend only on the pod's pairs, all
+			// unchanged here — share the arenas, re-head the reduced
+			// scalars (the share did change).
+			pre := *old.pre
+			pre.reduced = npd.reduced
+			npd.pre = &pre
+		}
+		out.pods = append(out.pods, npd)
+	}
+	if err := out.buildPodsFor(touched, cfg.workers, cfg.buildCheck); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PodIndex returns the index of the pod containing machine id. Pods
+// partition the room into contiguous ascending ranges, so this is a
+// binary search over the range starts.
+func (ps *PodSnapshot) PodIndex(id int) (int, error) {
+	if id < 0 || id >= ps.profile.Size() {
+		return 0, fmt.Errorf("core: machine %d outside [0, %d)", id, ps.profile.Size())
+	}
+	j := sort.Search(len(ps.pods), func(j int) bool {
+		ids := ps.pods[j].ids
+		return ids[len(ids)-1] >= id
+	})
+	return j, nil
+}

@@ -208,37 +208,52 @@ func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, 
 // pod's inner sweep is pinned to one worker so the tables are
 // byte-identical across outer worker counts.
 func (ps *PodSnapshot) buildPods(workers int, check func(int) error) error {
+	all := make([]int, len(ps.pods))
+	for j := range all {
+		all[j] = j
+	}
+	return ps.buildPodsFor(all, workers, check)
+}
+
+// buildPodsFor runs Preprocess for the listed pods only, on the same
+// outer worker pool as buildPods. Patch uses it to rebuild just the pods
+// containing drifted machines while the rest share their tables.
+func (ps *PodSnapshot) buildPodsFor(podIdx []int, workers int, check func(int) error) error {
+	if len(podIdx) == 0 {
+		return nil
+	}
 	workers = sweepWorkers(workers)
-	if workers > len(ps.pods) {
-		workers = len(ps.pods)
+	if workers > len(podIdx) {
+		workers = len(podIdx)
 	}
 	jobs := make(chan int)
-	errs := make([]error, len(ps.pods))
+	errs := make([]error, len(podIdx))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
+			for i := range jobs {
+				j := podIdx[i]
 				pd := ps.pods[j]
 				if check != nil {
 					if err := check(j); err != nil {
-						errs[j] = fmt.Errorf("core: pod %d: %w", j, err)
+						errs[i] = fmt.Errorf("core: pod %d: %w", j, err)
 						continue
 					}
 				}
 				pre, err := Preprocess(pd.reduced,
 					WithMaxMachines(len(pd.ids)), WithPreprocessWorkers(1))
 				if err != nil {
-					errs[j] = fmt.Errorf("core: pod %d: %w", j, err)
+					errs[i] = fmt.Errorf("core: pod %d: %w", j, err)
 					continue
 				}
 				pd.pre = pre
 			}
 		}()
 	}
-	for j := range ps.pods {
-		jobs <- j
+	for i := range podIdx {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()

@@ -212,6 +212,18 @@ type Stats struct {
 	Breaker      string `json:"breaker"`
 	Installing   bool   `json:"installing"`
 	Ready        bool   `json:"ready"`
+	// Install accounting: Installs counts every published generation,
+	// PipelinedInstalls the ones committed through the
+	// PrepareInstall/CommitInstall pipeline (install.go), split into
+	// PatchInstalls (incremental Snapshot.Patch builds) and
+	// RebuildInstalls (from-scratch builds). StaleInstalls counts prepared
+	// generations refused at commit because another install won the epoch
+	// race.
+	Installs          uint64 `json:"installs"`
+	PipelinedInstalls uint64 `json:"pipelinedInstalls"`
+	PatchInstalls     uint64 `json:"patchInstalls"`
+	RebuildInstalls   uint64 `json:"rebuildInstalls"`
+	StaleInstalls     uint64 `json:"staleInstalls"`
 }
 
 // state is the RCU payload: the frozen model — exact tables, pod tables,
@@ -254,6 +266,13 @@ type Engine struct {
 
 	installing atomic.Int32 // > 0 while a snapshot build/install runs
 
+	// patchMu serializes InstallPatch callers among themselves: a patch
+	// prepare costs milliseconds, so letting two re-profilers race the
+	// epoch check would burn duplicate builds and can livelock the
+	// bounded retry loop. Full Install/PrepareInstall callers do not
+	// take it — their interference is what the retry loop is for.
+	patchMu sync.Mutex
+
 	mu       sync.Mutex
 	cache    map[string]*list.Element
 	lru      *list.List // front = most recently used
@@ -261,6 +280,13 @@ type Engine struct {
 
 	hits, misses, evictions, shared uint64
 	shedOverload                    uint64
+
+	// Install accounting (see Stats); guarded by mu.
+	installs          uint64
+	pipelinedInstalls uint64
+	patchInstalls     uint64
+	rebuildInstalls   uint64
+	staleInstalls     uint64
 
 	// Request-counted breaker (overload.go); guarded by mu.
 	breakerState    int
@@ -378,11 +404,50 @@ func (e *Engine) InstallHierarchical(snap *core.Snapshot, pods *core.PodSnapshot
 	if err != nil {
 		return err
 	}
-	e.state.Store(st)
+	e.publish(st)
+	return nil
+}
+
+// publish swaps in a fully built state and drops the plan cache. All
+// publications funnel through here (and publishIfEpoch) under e.mu, so
+// concurrent installers serialize; readers stay lock-free on the atomic
+// pointer. The swap is O(1) — the commit half of the install pipeline —
+// so it deliberately does NOT take the BeginInstall gate: shedding exists
+// to protect long in-line builds, and a prebuilt commit has no build
+// window, which is what keeps readiness from flapping on patch-sized
+// installs.
+func (e *Engine) publish(st *state) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.publishLocked(st)
+}
+
+// publishLocked is publish with e.mu already held.
+func (e *Engine) publishLocked(st *state) {
+	e.state.Store(st)
 	e.cache = make(map[string]*list.Element)
 	e.lru.Init()
-	e.mu.Unlock()
+	e.installs++
+}
+
+// publishIfEpoch publishes st only if the live generation still equals
+// base — the compare-and-swap the pipelined path (install.go) commits
+// through, so a prepared install that lost an epoch race is refused
+// instead of silently clobbering a newer generation.
+func (e *Engine) publishIfEpoch(st *state, base uint64, patched bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur := e.state.Load().epoch; cur != base {
+		e.staleInstalls++
+		return fmt.Errorf("%w: prepared against epoch %d but epoch %d is live", ErrStaleInstall, base, cur)
+	}
+	e.publishLocked(st)
+	e.pipelinedInstalls++
+	if patched {
+		e.patchInstalls++
+	} else {
+		e.rebuildInstalls++
+	}
 	return nil
 }
 
@@ -421,6 +486,9 @@ func (e *Engine) Stats() Stats {
 	s.CacheEntries = len(e.cache)
 	s.InFlight = len(e.inflight)
 	s.ShedOverload = e.shedOverload
+	s.Installs, s.PipelinedInstalls = e.installs, e.pipelinedInstalls
+	s.PatchInstalls, s.RebuildInstalls = e.patchInstalls, e.rebuildInstalls
+	s.StaleInstalls = e.staleInstalls
 	s.Breaker = breakerName(e.breakerState)
 	s.Ready = !s.Installing && e.breakerState == brClosed
 	e.mu.Unlock()

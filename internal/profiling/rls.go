@@ -1,0 +1,244 @@
+package profiling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"coolopt/internal/core"
+	"coolopt/internal/machineroom"
+)
+
+// This file is the online counterpart of the batch thermal fit
+// (profileThermal): instead of dedicating the room to a sweep, a
+// Refresher rides along live traffic, folding every streaming sensor read
+// into per-machine recursive-least-squares estimates of the Eq. 8
+// coefficients T_cpu = α·T_ac + β·P + γ, and emitting core.MachineDelta
+// batches when a machine's fit drifts from the installed profile. Those
+// batches feed the engine's incremental install pipeline
+// (Engine.InstallPatch), which is what makes continuous re-profiling
+// under load affordable: a drift batch costs a patch, not a resweep.
+
+// DefaultForgetting is the RLS forgetting factor λ: the effective memory
+// is ~1/(1−λ) samples, so 0.995 averages over the last ≈200 reads —
+// long enough to smooth sensor noise, short enough to track real drift.
+const DefaultForgetting = 0.995
+
+// rlsInitVar seeds the covariance diagonal; a large value means "no
+// prior", letting the first few samples dominate.
+const rlsInitVar = 1e4
+
+// CoeffRLS is a 3-parameter recursive least squares estimator for one
+// machine's Eq. 8 coefficients, with exponential forgetting. The design
+// row is x = [T_ac, P_i, 1] and the target is T_cpu — identical to the
+// batch fit's regression, so with λ = 1 and no drift the two agree.
+type CoeffRLS struct {
+	lambda float64
+	theta  [3]float64    // [α, β, γ]
+	p      [3][3]float64 // covariance
+	count  int
+
+	// Excitation tracking for the conditioning guard: a fit over samples
+	// that never varied the supply (or the power) cannot separate α (or β)
+	// from γ, no matter how many samples it saw.
+	minSupply, maxSupply float64
+	minPower, maxPower   float64
+}
+
+// NewCoeffRLS builds an estimator with forgetting factor lambda; values
+// outside (0, 1] fall back to DefaultForgetting.
+func NewCoeffRLS(lambda float64) *CoeffRLS {
+	if lambda <= 0 || lambda > 1 {
+		lambda = DefaultForgetting
+	}
+	r := &CoeffRLS{lambda: lambda}
+	for i := 0; i < 3; i++ {
+		r.p[i][i] = rlsInitVar
+	}
+	return r
+}
+
+// Observe folds one sensor read into the estimate: the supply
+// temperature, the machine's metered power, and its CPU temperature.
+func (r *CoeffRLS) Observe(supplyC, powerW, cpuC float64) {
+	if r.count == 0 {
+		r.minSupply, r.maxSupply = supplyC, supplyC
+		r.minPower, r.maxPower = powerW, powerW
+	} else {
+		r.minSupply = math.Min(r.minSupply, supplyC)
+		r.maxSupply = math.Max(r.maxSupply, supplyC)
+		r.minPower = math.Min(r.minPower, powerW)
+		r.maxPower = math.Max(r.maxPower, powerW)
+	}
+	r.count++
+
+	x := [3]float64{supplyC, powerW, 1}
+	// px = P·x (P stays symmetric throughout).
+	var px [3]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			px[i] += r.p[i][j] * x[j]
+		}
+	}
+	denom := r.lambda
+	for i := 0; i < 3; i++ {
+		denom += x[i] * px[i]
+	}
+	var k [3]float64
+	for i := 0; i < 3; i++ {
+		k[i] = px[i] / denom
+	}
+	residual := cpuC
+	for i := 0; i < 3; i++ {
+		residual -= r.theta[i] * x[i]
+	}
+	for i := 0; i < 3; i++ {
+		r.theta[i] += k[i] * residual
+	}
+	// P ← (P − k·(P·x)ᵀ)/λ
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r.p[i][j] = (r.p[i][j] - k[i]*px[j]) / r.lambda
+		}
+	}
+}
+
+// Samples returns the number of reads folded in so far.
+func (r *CoeffRLS) Samples() int { return r.count }
+
+// Conditioned reports whether the observed excitation separates the
+// coefficients: the supply and power readings must each have spread at
+// least the given amounts across the samples seen.
+func (r *CoeffRLS) Conditioned(minSupplySpreadC, minPowerSpreadW float64) bool {
+	return r.count > 0 &&
+		r.maxSupply-r.minSupply >= minSupplySpreadC &&
+		r.maxPower-r.minPower >= minPowerSpreadW
+}
+
+// Coeffs returns the current estimate as a machine profile.
+func (r *CoeffRLS) Coeffs() core.MachineProfile {
+	return core.MachineProfile{Alpha: r.theta[0], Beta: r.theta[1], Gamma: r.theta[2]}
+}
+
+// RefreshConfig drives a Refresher. Zero values select sane defaults.
+type RefreshConfig struct {
+	// Room is the machine room whose sensors are sampled.
+	Room machineroom.Room
+	// Reference is the installed profile drift is measured against; its
+	// machine coefficients are copied at construction and advanced on
+	// every emitted delta.
+	Reference *core.Profile
+	// Lambda is the RLS forgetting factor (default DefaultForgetting).
+	Lambda float64
+	// MinSamples gates emission: a machine's fit is not trusted before
+	// this many reads (default 64).
+	MinSamples int
+	// RelTol is the relative coefficient drift that triggers a delta
+	// (default 0.02, i.e. 2 %).
+	RelTol float64
+	// MinSupplySpreadC and MinPowerSpreadW are the conditioning
+	// thresholds (defaults 0.5 °C and 5 W): without that much excitation
+	// the regression cannot separate α, β and γ, and the fit is ignored
+	// no matter how far it sits from the reference.
+	MinSupplySpreadC float64
+	MinPowerSpreadW  float64
+}
+
+// Refresher folds streaming sensor reads into per-machine RLS fits and
+// turns sustained, well-conditioned coefficient drift into
+// core.MachineDelta batches for the install pipeline.
+type Refresher struct {
+	room machineroom.Room
+	cfg  RefreshConfig
+	ref  []core.MachineProfile
+	fits []*CoeffRLS
+}
+
+// NewRefresher validates the config and builds a refresher with one RLS
+// estimator per machine.
+func NewRefresher(cfg RefreshConfig) (*Refresher, error) {
+	if cfg.Room == nil {
+		return nil, errors.New("profiling: nil room")
+	}
+	if cfg.Reference == nil {
+		return nil, errors.New("profiling: nil reference profile")
+	}
+	if cfg.Room.Size() != cfg.Reference.Size() {
+		return nil, fmt.Errorf("profiling: room has %d machines, reference %d",
+			cfg.Room.Size(), cfg.Reference.Size())
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 64
+	}
+	if cfg.RelTol <= 0 {
+		cfg.RelTol = 0.02
+	}
+	if cfg.MinSupplySpreadC <= 0 {
+		cfg.MinSupplySpreadC = 0.5
+	}
+	if cfg.MinPowerSpreadW <= 0 {
+		cfg.MinPowerSpreadW = 5
+	}
+	rf := &Refresher{
+		room: cfg.Room,
+		cfg:  cfg,
+		ref:  append([]core.MachineProfile(nil), cfg.Reference.Machines...),
+		fits: make([]*CoeffRLS, cfg.Room.Size()),
+	}
+	for i := range rf.fits {
+		rf.fits[i] = NewCoeffRLS(cfg.Lambda)
+	}
+	return rf, nil
+}
+
+// Observe takes one sensor sweep of the room — supply temperature plus
+// every powered-on machine's power meter and CPU sensor — and folds it
+// into the per-machine fits. Powered-off machines produce no thermal
+// signal and are skipped.
+func (rf *Refresher) Observe() {
+	supply := rf.room.Supply()
+	for i := 0; i < rf.room.Size(); i++ {
+		if !rf.room.IsOn(i) {
+			continue
+		}
+		rf.fits[i].Observe(supply, rf.room.MeasuredServerPower(i), rf.room.MeasuredCPUTemp(i))
+	}
+}
+
+// relDrift measures |a−b| against the larger coefficient magnitude,
+// floored at 1 so near-zero coefficients (γ routinely crosses zero) use
+// an absolute scale instead of exploding the ratio.
+func relDrift(a, b float64) float64 {
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return math.Abs(a-b) / scale
+}
+
+// Drifted returns the machines whose well-conditioned, sufficiently
+// sampled fits moved past RelTol from the reference, as a patch-ready
+// delta batch; nil when nothing drifted. Emitted machines advance the
+// reference to the fitted coefficients so the same drift is not
+// re-emitted every call. Fits that would not survive profile validation
+// (e.g. a transient negative β estimate) are held back rather than
+// emitted.
+func (rf *Refresher) Drifted() []core.MachineDelta {
+	var out []core.MachineDelta
+	for i, fit := range rf.fits {
+		if fit.Samples() < rf.cfg.MinSamples ||
+			!fit.Conditioned(rf.cfg.MinSupplySpreadC, rf.cfg.MinPowerSpreadW) {
+			continue
+		}
+		m := fit.Coeffs()
+		if m.Validate() != nil {
+			continue
+		}
+		ref := rf.ref[i]
+		if relDrift(m.Alpha, ref.Alpha) <= rf.cfg.RelTol &&
+			relDrift(m.Beta, ref.Beta) <= rf.cfg.RelTol &&
+			relDrift(m.Gamma, ref.Gamma) <= rf.cfg.RelTol {
+			continue
+		}
+		rf.ref[i] = m
+		out = append(out, core.MachineDelta{ID: i, Machine: m})
+	}
+	return out
+}

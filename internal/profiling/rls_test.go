@@ -1,0 +1,240 @@
+package profiling
+
+import (
+	"math"
+	"testing"
+
+	"coolopt/internal/core"
+	"coolopt/internal/mathx"
+)
+
+// plant generates a noiseless Eq. 8 read for the given coefficients.
+func plant(m core.MachineProfile, supplyC, powerW float64) float64 {
+	return m.Alpha*supplyC + m.Beta*powerW + m.Gamma
+}
+
+func TestCoeffRLSRecoversPlant(t *testing.T) {
+	truth := core.MachineProfile{Alpha: 1.02, Beta: 0.47, Gamma: 1.8}
+	r := NewCoeffRLS(1) // no forgetting: converges to the batch LS fit
+	rng := mathx.NewRand(4)
+	for i := 0; i < 400; i++ {
+		s := rng.Uniform(14, 24)
+		p := rng.Uniform(60, 140)
+		r.Observe(s, p, plant(truth, s, p))
+	}
+	got := r.Coeffs()
+	// The large-but-finite initial covariance acts as a weak zero prior,
+	// so recovery is exact only to ~1e-5.
+	if math.Abs(got.Alpha-truth.Alpha) > 1e-4 ||
+		math.Abs(got.Beta-truth.Beta) > 1e-4 ||
+		math.Abs(got.Gamma-truth.Gamma) > 1e-3 {
+		t.Fatalf("recovered %+v, want %+v", got, truth)
+	}
+	if !r.Conditioned(0.5, 5) {
+		t.Fatal("well-excited fit reported unconditioned")
+	}
+	if r.Samples() != 400 {
+		t.Fatalf("samples = %d", r.Samples())
+	}
+}
+
+func TestCoeffRLSTracksDrift(t *testing.T) {
+	before := core.MachineProfile{Alpha: 1.0, Beta: 0.46, Gamma: 1.0}
+	after := core.MachineProfile{Alpha: 1.0, Beta: 0.55, Gamma: 0.4}
+	r := NewCoeffRLS(0.97)
+	rng := mathx.NewRand(7)
+	for i := 0; i < 300; i++ {
+		s := rng.Uniform(14, 24)
+		p := rng.Uniform(60, 140)
+		r.Observe(s, p, plant(before, s, p))
+	}
+	for i := 0; i < 300; i++ {
+		s := rng.Uniform(14, 24)
+		p := rng.Uniform(60, 140)
+		r.Observe(s, p, plant(after, s, p))
+	}
+	got := r.Coeffs()
+	if math.Abs(got.Beta-after.Beta) > 0.01 || math.Abs(got.Gamma-after.Gamma) > 0.1 {
+		t.Fatalf("forgetting fit stuck at %+v, want ≈%+v", got, after)
+	}
+}
+
+func TestCoeffRLSConditioningGuard(t *testing.T) {
+	truth := core.MachineProfile{Alpha: 1.0, Beta: 0.46, Gamma: 1.0}
+	r := NewCoeffRLS(0)
+	for i := 0; i < 200; i++ {
+		// Supply pinned: α and γ are inseparable no matter the sample count.
+		r.Observe(18, 60+float64(i%40), plant(truth, 18, 60+float64(i%40)))
+	}
+	if r.Conditioned(0.5, 5) {
+		t.Fatal("supply-pinned fit reported conditioned")
+	}
+	if !r.Conditioned(0, 5) {
+		t.Fatal("power spread not tracked")
+	}
+}
+
+// fakeRoom is a minimal deterministic Room for refresher tests: sensors
+// replay an Eq. 8 plant with per-machine coefficients the test mutates.
+type fakeRoom struct {
+	machines []core.MachineProfile
+	supplyC  float64
+	powerW   []float64
+	off      map[int]bool
+	time     float64
+}
+
+func newFakeRoom(machines []core.MachineProfile) *fakeRoom {
+	powers := make([]float64, len(machines))
+	for i := range powers {
+		powers[i] = 80
+	}
+	return &fakeRoom{machines: machines, supplyC: 18, powerW: powers, off: map[int]bool{}}
+}
+
+func (f *fakeRoom) Size() int                  { return len(f.machines) }
+func (f *fakeRoom) Time() float64              { return f.time }
+func (f *fakeRoom) SetLoad(int, float64) error { return nil }
+func (f *fakeRoom) SetPower(i int, on bool) error {
+	f.off[i] = !on
+	return nil
+}
+func (f *fakeRoom) IsOn(i int) bool            { return !f.off[i] }
+func (f *fakeRoom) SetSetPoint(float64)        {}
+func (f *fakeRoom) SetPoint() float64          { return f.supplyC }
+func (f *fakeRoom) Supply() float64            { return f.supplyC }
+func (f *fakeRoom) ReturnTemp() float64        { return f.supplyC + 10 }
+func (f *fakeRoom) MeasuredCRACPower() float64 { return 1000 }
+func (f *fakeRoom) Step()                      { f.time++ }
+func (f *fakeRoom) Run(s float64)              { f.time += s }
+
+func (f *fakeRoom) MeasuredServerPower(i int) float64 { return f.powerW[i] }
+func (f *fakeRoom) MeasuredCPUTemp(i int) float64 {
+	return plant(f.machines[i], f.supplyC, f.powerW[i])
+}
+
+// excite sweeps the fake room's supply and power through enough spread to
+// satisfy the conditioning guard while the refresher samples.
+func excite(rf *Refresher, room *fakeRoom, samples int) {
+	for s := 0; s < samples; s++ {
+		room.supplyC = 16 + 6*float64(s%8)/7
+		for i := range room.powerW {
+			room.powerW[i] = 70 + 30*float64((s+i)%10)/9
+		}
+		rf.Observe()
+	}
+}
+
+func refProfile(n int) *core.Profile {
+	machines := make([]core.MachineProfile, n)
+	for i := range machines {
+		machines[i] = core.MachineProfile{Alpha: 1.0, Beta: 0.46, Gamma: 1.0}
+	}
+	return &core.Profile{
+		W1: 52, W2: 34, CoolFactor: 150, SetPointC: 31,
+		TMaxC: 65, TAcMinC: 10, TAcMaxC: 25,
+		Machines: machines,
+	}
+}
+
+func TestRefresherEmitsOnlyDriftedMachines(t *testing.T) {
+	const n = 6
+	ref := refProfile(n)
+	room := newFakeRoom(append([]core.MachineProfile(nil), ref.Machines...))
+	// Machines 2 and 4 drift; the rest still match the reference.
+	room.machines[2].Beta = 0.52
+	room.machines[4].Gamma = 2.1
+
+	rf, err := NewRefresher(RefreshConfig{Room: room, Reference: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	excite(rf, room, 100)
+	batch := rf.Drifted()
+	if len(batch) != 2 || batch[0].ID != 2 || batch[1].ID != 4 {
+		t.Fatalf("drift batch %+v, want machines 2 and 4", batch)
+	}
+	if math.Abs(batch[0].Machine.Beta-0.52) > 1e-6 {
+		t.Fatalf("machine 2 beta = %v, want ≈0.52", batch[0].Machine.Beta)
+	}
+	// Reference advanced on emission: the same drift is not re-emitted.
+	excite(rf, room, 50)
+	if again := rf.Drifted(); len(again) != 0 {
+		t.Fatalf("re-emitted settled drift: %+v", again)
+	}
+}
+
+func TestRefresherConditioningGuard(t *testing.T) {
+	const n = 3
+	ref := refProfile(n)
+	room := newFakeRoom(append([]core.MachineProfile(nil), ref.Machines...))
+	room.machines[0].Beta = 0.6 // real drift, but unexcited sensors
+
+	rf, err := NewRefresher(RefreshConfig{Room: room, Reference: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 200; s++ {
+		rf.Observe() // supply and power pinned: no spread
+	}
+	if batch := rf.Drifted(); len(batch) != 0 {
+		t.Fatalf("unconditioned fit emitted %+v", batch)
+	}
+}
+
+func TestRefresherMinSamplesAndOffMachines(t *testing.T) {
+	const n = 3
+	ref := refProfile(n)
+	room := newFakeRoom(append([]core.MachineProfile(nil), ref.Machines...))
+	room.machines[1].Beta = 0.6
+	if err := room.SetPower(1, false); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := NewRefresher(RefreshConfig{Room: room, Reference: ref, MinSamples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	excite(rf, room, 16)
+	if batch := rf.Drifted(); len(batch) != 0 {
+		t.Fatalf("under-sampled fit emitted %+v", batch)
+	}
+	excite(rf, room, 200)
+	// Machine 1 is powered off: it never samples, so its drift stays
+	// invisible, and no other machine drifted.
+	if batch := rf.Drifted(); len(batch) != 0 {
+		t.Fatalf("powered-off machine emitted %+v", batch)
+	}
+}
+
+func TestRefresherHoldsBackInvalidFits(t *testing.T) {
+	const n = 2
+	ref := refProfile(n)
+	room := newFakeRoom(append([]core.MachineProfile(nil), ref.Machines...))
+	room.machines[0].Beta = -0.2 // a plant no valid profile can express
+
+	rf, err := NewRefresher(RefreshConfig{Room: room, Reference: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	excite(rf, room, 120)
+	for _, d := range rf.Drifted() {
+		if d.ID == 0 {
+			t.Fatalf("invalid fit emitted: %+v", d)
+		}
+	}
+}
+
+func TestNewRefresherValidation(t *testing.T) {
+	ref := refProfile(2)
+	room := newFakeRoom(append([]core.MachineProfile(nil), refProfile(3).Machines...))
+	if _, err := NewRefresher(RefreshConfig{Room: room, Reference: ref}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := NewRefresher(RefreshConfig{Reference: ref}); err == nil {
+		t.Fatal("nil room accepted")
+	}
+	if _, err := NewRefresher(RefreshConfig{Room: room}); err == nil {
+		t.Fatal("nil reference accepted")
+	}
+}

@@ -496,6 +496,18 @@ func (s *Server) roomSize() int {
 	return s.room.Size()
 }
 
+// RoomLocked runs f on the underlying room under the server's mutation
+// lock. It exists for in-process sidecars that must read live sensors
+// concurrently with HTTP traffic — pland's continuous re-profiler
+// samples through it — without racing a /v1/setload or /v1/advance
+// executing on another connection. Keep f short: it holds the same lock
+// every mutating endpoint takes.
+func (s *Server) RoomLocked(f func(machineroom.Room)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(s.room)
+}
+
 func machineID(w http.ResponseWriter, r *http.Request, size int) (int, bool) {
 	raw := r.PathValue("id")
 	id, err := strconv.Atoi(strings.TrimSpace(raw))
