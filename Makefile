@@ -21,7 +21,7 @@ GO ?= go
 # trickle; cover ratchets combined internal/core + internal/engine
 # statement coverage against the committed coverage_baseline.json.
 .PHONY: ci
-ci: fmt-check vet lint race build serving-smoke hierarchy-smoke degraded-smoke degraded-chaos-smoke incremental-smoke incremental-chaos-smoke cover
+ci: fmt-check vet lint race build serving-smoke hierarchy-smoke hier3-smoke degraded-smoke degraded-chaos-smoke incremental-smoke incremental-chaos-smoke cover
 
 .PHONY: build
 build:
@@ -90,6 +90,30 @@ hierarchy-bench:
 .PHONY: hierarchy-smoke
 hierarchy-smoke:
 	$(GO) run ./cmd/paperbench -hierarchy-bench /tmp/BENCH_hierarchy_smoke.json -hierarchy-max-n 256 -hierarchy-pod-size 32 -hierarchy-queries 64
+
+# Refresh the depth-3 (pods-of-pods) trajectory committed at the repo
+# root, including the 262144-machine point, with build-time and
+# cold-plan latency gates alongside the usual gap gate. The gate values
+# give ~3.5x headroom over the measured 35 s build / 1.4 s cold plan at
+# n=262144 on the reference container.
+.PHONY: hierarchy3-bench
+hierarchy3-bench:
+	$(GO) run ./cmd/paperbench -hierarchy-bench BENCH_hierarchy3.json -hierarchy-depth 3 -hierarchy-max-n 262144 -hierarchy-queries 64 -hierarchy-build-limit 120s -hierarchy-cold-plan-limit 5s
+
+# hier3-smoke runs the same depth-3 planner tree at a small size: 8 pods
+# of 32 under a 3-level tree, with the gap gate proving the recursive
+# water-fill stays within bounds when interior nodes nest.
+.PHONY: hier3-smoke
+hier3-smoke:
+	$(GO) run ./cmd/paperbench -hierarchy-bench /tmp/BENCH_hierarchy3_smoke.json -hierarchy-max-n 256 -hierarchy-pod-size 32 -hierarchy-depth 3 -hierarchy-queries 64
+
+# podsize-sweep regenerates the embedded pod-sizing calibration curve
+# (internal/core/podsize_calibration.json) from measurements on this
+# hardware: every (pod size, depth) candidate per room size, keeping the
+# fastest cold plan that fits the build and gap budgets.
+.PHONY: podsize-sweep
+podsize-sweep:
+	$(GO) run ./cmd/paperbench -podsize-sweep internal/core/podsize_calibration.json -podsize-sweep-max-n 262144
 
 # Refresh the degraded-planning trajectory committed at the repo root
 # (n=4096, 16 pods: pod-local vs flat degraded re-planning with the

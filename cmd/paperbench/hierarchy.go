@@ -22,8 +22,9 @@ import (
 
 // hierarchyPoint is one room size of the trajectory.
 type hierarchyPoint struct {
-	N    int `json:"n"`
-	Pods int `json:"pods"`
+	N     int `json:"n"`
+	Pods  int `json:"pods"`
+	Depth int `json:"depth"`
 	// BuildNS is the parallel pod-table build; Events and TableBytes sum
 	// the per-pod kinetic structures.
 	BuildNS    int64 `json:"build_ns"`
@@ -45,9 +46,14 @@ type hierarchyPoint struct {
 
 // hierarchyBench is the file schema.
 type hierarchyBench struct {
-	GeneratedUnix int64            `json:"generated_unix"`
-	GapLimit      float64          `json:"gap_limit"`
-	Points        []hierarchyPoint `json:"points"`
+	GeneratedUnix int64   `json:"generated_unix"`
+	GapLimit      float64 `json:"gap_limit"`
+	// BuildLimitNS and ColdPlanLimitNS record the gates the run was held
+	// to (0 = ungated): every point's table build and mean cold-plan
+	// service time must come in under them or the run fails.
+	BuildLimitNS    int64            `json:"build_limit_ns,omitempty"`
+	ColdPlanLimitNS int64            `json:"cold_plan_limit_ns,omitempty"`
+	Points          []hierarchyPoint `json:"points"`
 }
 
 // hierExactMaxN caps the exact reference build during -hierarchy-bench:
@@ -55,11 +61,14 @@ type hierarchyBench struct {
 // hierarchy exists to avoid.
 const hierExactMaxN = 4096
 
-// runHierarchyBench measures sizes {256, 1024, 4096, 16384, 65536} up to
-// maxN and writes the trajectory to path. Sizes with an exact reference
-// also sweep the optimality gap; a worst-case gap above gapLimit fails
-// the run.
-func runHierarchyBench(out io.Writer, path string, goroutines, queries, maxN, podSize int, gapLimit float64) error {
+// runHierarchyBench measures sizes {256, 1024, 4096, 16384, 65536,
+// 262144, 1048576} up to maxN and writes the trajectory to path. Sizes with an
+// exact reference also sweep the optimality gap; a worst-case gap above
+// gapLimit fails the run. depth > 0 pins the planner-tree depth (depth 3
+// is the pods-of-pods configuration that reaches n=262144 and beyond);
+// buildLimit and coldPlanLimit, when positive, gate every point's table
+// build time and mean cold-plan service time.
+func runHierarchyBench(out io.Writer, path string, goroutines, queries, maxN, podSize, depth int, gapLimit float64, buildLimit, coldPlanLimit time.Duration) error {
 	if goroutines < 1 {
 		return fmt.Errorf("hierarchy bench needs at least 1 goroutine, got %d", goroutines)
 	}
@@ -67,9 +76,17 @@ func runHierarchyBench(out io.Writer, path string, goroutines, queries, maxN, po
 	if podSize > 0 {
 		podOpts = append(podOpts, coolopt.WithPodSize(podSize))
 	}
+	if depth > 0 {
+		podOpts = append(podOpts, coolopt.WithPodDepth(depth))
+	}
 	ctx := context.Background()
-	res := hierarchyBench{GeneratedUnix: benchClock.Now().Unix(), GapLimit: gapLimit}
-	for _, n := range []int{256, 1024, 4096, 16384, 65536} {
+	res := hierarchyBench{
+		GeneratedUnix:   benchClock.Now().Unix(),
+		GapLimit:        gapLimit,
+		BuildLimitNS:    buildLimit.Nanoseconds(),
+		ColdPlanLimitNS: coldPlanLimit.Nanoseconds(),
+	}
+	for _, n := range []int{256, 1024, 4096, 16384, 65536, 262144, 1048576} {
 		if n > maxN {
 			continue
 		}
@@ -88,8 +105,12 @@ func runHierarchyBench(out io.Writer, path string, goroutines, queries, maxN, po
 			return fmt.Errorf("engine n=%d: %w", n, err)
 		}
 		pt := hierarchyPoint{
-			N: n, Pods: pods.Pods(), BuildNS: buildD.Nanoseconds(),
+			N: n, Pods: pods.Pods(), Depth: pods.Depth(), BuildNS: buildD.Nanoseconds(),
 			Events: pods.Events(), TableBytes: pods.TableBytes(),
+		}
+		if buildLimit > 0 && buildD > buildLimit {
+			return fmt.Errorf("hierarchy build regression at n=%d depth %d: %v exceeds limit %v",
+				n, pt.Depth, buildD, buildLimit)
 		}
 
 		loadIn := func(i, of int) float64 {
@@ -104,6 +125,10 @@ func runHierarchyBench(out io.Writer, path string, goroutines, queries, maxN, po
 			return fmt.Errorf("plan cold n=%d: %w", n, err)
 		}
 		pt.PlanColdNS = int64(1e9 / pt.PlanColdQPS)
+		if coldPlanLimit > 0 && pt.PlanColdNS > coldPlanLimit.Nanoseconds() {
+			return fmt.Errorf("hierarchy cold-plan regression at n=%d depth %d: %v exceeds limit %v",
+				n, pt.Depth, time.Duration(pt.PlanColdNS), coldPlanLimit)
+		}
 		pt.PlanHotQPS, err = hammer(goroutines, queries, func(i int) error {
 			_, err := eng.Plan(ctx, coolopt.PlanRequest{Load: loadIn(i%16, queries)})
 			return err
@@ -148,8 +173,8 @@ func runHierarchyBench(out io.Writer, path string, goroutines, queries, maxN, po
 			}
 		}
 		res.Points = append(res.Points, pt)
-		fmt.Fprintf(out, "hierarchy n=%d (%d pods): build %v (%d B tables), plan %.0f/s cold (%v) %.0f/s hot",
-			n, pt.Pods, time.Duration(pt.BuildNS), pt.TableBytes,
+		fmt.Fprintf(out, "hierarchy n=%d (%d pods, depth %d): build %v (%d B tables), plan %.0f/s cold (%v) %.0f/s hot",
+			n, pt.Pods, pt.Depth, time.Duration(pt.BuildNS), pt.TableBytes,
 			pt.PlanColdQPS, time.Duration(pt.PlanColdNS), pt.PlanHotQPS)
 		if pt.ExactBuildNS > 0 {
 			fmt.Fprintf(out, ", gap %.3f%% mean %.3f%% worst (exact build %v)",

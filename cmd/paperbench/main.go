@@ -8,7 +8,8 @@
 //	paperbench [-seed N] [-machines N] [-fig 2|3|5|6|7|8|9|10|table1|verify|all] [-ablations]
 //	paperbench -consolidation-bench BENCH_consolidation.json
 //	paperbench -serving-bench BENCH_serving.json [-serving-goroutines 8]
-//	paperbench -hierarchy-bench BENCH_hierarchy.json [-hierarchy-max-n 65536]
+//	paperbench -hierarchy-bench BENCH_hierarchy.json [-hierarchy-max-n 65536] [-hierarchy-depth 3]
+//	paperbench -podsize-sweep internal/core/podsize_calibration.json
 //	paperbench -chaos [-chaos-duration 900]
 //
 // -chaos runs the fault-injection scenario suite (internal/chaos): every
@@ -24,6 +25,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"coolopt"
 	"coolopt/internal/ablation"
@@ -59,6 +61,13 @@ func run(args []string, out io.Writer) error {
 	hierQueries := fs.Int("hierarchy-queries", 256, "queries per operation kind during -hierarchy-bench")
 	hierPodSize := fs.Int("hierarchy-pod-size", 0, "machines per pod during -hierarchy-bench (0 = library default)")
 	hierGapLimit := fs.Float64("hierarchy-gap-limit", 0.05, "fail -hierarchy-bench if the worst-case gap vs the exact planner exceeds this fraction")
+	hierDepth := fs.Int("hierarchy-depth", 0, "planner-tree depth during -hierarchy-bench: 2 = flat pods, 3 = pods of pods (0 = calibrated default)")
+	hierBuildLimit := fs.Duration("hierarchy-build-limit", 0, "fail -hierarchy-bench if any point's table build exceeds this duration (0 = ungated)")
+	hierColdPlanLimit := fs.Duration("hierarchy-cold-plan-limit", 0, "fail -hierarchy-bench if any point's mean cold-plan service time exceeds this duration (0 = ungated)")
+	podsizeSweep := fs.String("podsize-sweep", "", "measure the (pod size, depth) grid and write the winning pod-sizing calibration curve to this file (e.g. internal/core/podsize_calibration.json), then exit")
+	podsizeMaxN := fs.Int("podsize-sweep-max-n", 65536, "largest room size measured during -podsize-sweep")
+	podsizeQueries := fs.Int("podsize-sweep-queries", 64, "cold plans timed per configuration during -podsize-sweep")
+	podsizeBuildLimit := fs.Duration("podsize-sweep-build-limit", 60*time.Second, "disqualify -podsize-sweep configurations whose table build exceeds this duration")
 	degBench := fs.String("degraded-bench", "", "measure pod-local vs flat degraded re-planning and write the JSON trajectory to this file (e.g. BENCH_degraded.json), then exit")
 	degN := fs.Int("degraded-n", 4096, "room size during -degraded-bench / -degraded-chaos")
 	degPods := fs.Int("degraded-pods", 16, "pod count during -degraded-bench / -degraded-chaos")
@@ -85,7 +94,11 @@ func run(args []string, out io.Writer) error {
 		return runServingBench(out, *servBench, *servGoroutines, *servQueries, *servMaxN)
 	}
 	if *hierBench != "" {
-		return runHierarchyBench(out, *hierBench, *servGoroutines, *hierQueries, *hierMaxN, *hierPodSize, *hierGapLimit)
+		return runHierarchyBench(out, *hierBench, *servGoroutines, *hierQueries, *hierMaxN,
+			*hierPodSize, *hierDepth, *hierGapLimit, *hierBuildLimit, *hierColdPlanLimit)
+	}
+	if *podsizeSweep != "" {
+		return runPodSizeSweep(out, *podsizeSweep, *podsizeMaxN, *podsizeQueries, *hierGapLimit, *podsizeBuildLimit)
 	}
 	if *degBench != "" {
 		return runDegradedBench(out, *degBench, *degN, *degPods, *degGapMeanLimit, *degGapLimit, *degSpeedupFloor)

@@ -23,18 +23,21 @@
 //
 // With -reprofile D the server also runs a continuous re-profiler: every
 // D it folds one sensor sweep into per-machine recursive-least-squares
-// fits of the Eq. 8 coefficients, and when a well-conditioned fit drifts
-// past -reprofile-reltol it trickles the drifted machines through the
-// pipelined patch-install path (prepare off the hot path, epoch-checked
-// pointer-swap commit) — the model tracks the room without full rebuilds
-// and without readiness ever flapping.
+// fits of the Eq. 8 thermal coefficients plus a pooled fit of the Eq. 9
+// power model (W1, W2), and when a well-conditioned fit drifts past
+// -reprofile-reltol it trickles the drift through the pipelined
+// patch-install path (prepare off the hot path, epoch-checked
+// pointer-swap commit) — the model tracks the room without readiness
+// ever flapping. Thermal drift lands as incremental patches; power
+// drift moves every machine's kinetic boundary and forces the full
+// rebuild it requires.
 //
 // On SIGINT or SIGTERM the server stops accepting connections, drains
 // in-flight requests for -drain, and exits cleanly.
 //
 // Usage:
 //
-//	pland [-addr :7078] [-seed N] [-machines N] [-racks R -perrack M] [-pods P] [-plan-mode exact|hier|both] [-timeout 0] [-max-inflight 0] [-drain 5s] [-reprofile 0] [-reprofile-reltol 0.02] [-reprofile-min-samples 64]
+//	pland [-addr :7078] [-seed N] [-machines N] [-racks R -perrack M] [-pods P] [-pod-depth D] [-plan-mode exact|hier|both] [-timeout 0] [-max-inflight 0] [-drain 5s] [-reprofile 0] [-reprofile-reltol 0.02] [-reprofile-min-samples 64]
 package main
 
 import (
@@ -75,6 +78,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	perRack := fs.Int("perrack", 20, "machines per rack when -racks is set")
 	workers := fs.Int("workers", 0, "preprocessing worker pool (0 = all cores)")
 	pods := fs.Int("pods", 0, "pod count for hierarchical planning tables (0 = exact only)")
+	podDepth := fs.Int("pod-depth", 0, "planner tree depth with -pods: 2 = flat pods, 3 = pods of pods (0 = calibrated default for the room size)")
 	planMode := fs.String("plan-mode", "", "tables to serve: exact, hier, or both (default: both with -pods, else exact)")
 	timeout := fs.Duration("timeout", 0, "server-side compute deadline per planning request (0 = client deadline only)")
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrent plan computations before shedding 503s (0 = unbounded)")
@@ -125,6 +129,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	opts = append(opts, coolopt.WithPreprocess(pre...))
 	if *pods > 0 {
 		podOpts := []coolopt.PodOption{coolopt.WithPodCount(*pods)}
+		if *podDepth > 0 {
+			podOpts = append(podOpts, coolopt.WithPodDepth(*podDepth))
+		}
 		if *workers > 0 {
 			podOpts = append(podOpts, coolopt.WithPodBuildWorkers(*workers))
 		}
@@ -158,6 +165,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Reference:  sys.Profile(),
 			MinSamples: *reprofileMin,
 			RelTol:     *reprofileTol,
+			// With a utilization source the refresher also pools a shared
+			// Eq. 9 power fit, so drift batches can move W1/W2 — both
+			// halves of Eq. 8 — through the same patch-install path.
+			Loads: sys.Sim().Load,
 		})
 		if err != nil {
 			return fmt.Errorf("re-profiler: %w", err)
@@ -208,7 +219,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	shape := "exact tables"
 	if p := sys.Pods(); p != nil {
-		shape = fmt.Sprintf("%s, %d pods", *planMode, p.Pods())
+		shape = fmt.Sprintf("%s, %d pods, depth %d", *planMode, p.Pods(), p.Depth())
 	}
 	fmt.Fprintf(out, "pland: serving plans for the %d-machine room on http://%s (snapshot epoch %d, %s)\n",
 		n, ln.Addr(), sys.Engine().Epoch(), shape)

@@ -82,9 +82,14 @@ type (
 	// room partitioned into pods with per-pod consolidation tables and a
 	// top-level allocator, for rooms past the whole-room table cap.
 	PodSnapshot = core.PodSnapshot
-	// PodOption configures NewPodSnapshot (pod size/count, build
-	// workers).
+	// PodOption configures NewPodSnapshot (pod size/count, tree depth,
+	// build workers).
 	PodOption = core.PodOption
+	// Unit is one node of the recursive planner tree a PodSnapshot (or,
+	// degenerately, a Snapshot) plans through: leaves own kinetic tables
+	// over contiguous machine ranges, interior nodes water-fill load over
+	// their children's Eq. 21–22 aggregates. Read-only.
+	Unit = core.Unit
 	// MaxLoadResult answers the dual budget question maxL(A, P_b).
 	MaxLoadResult = core.MaxLoadResult
 	// Method identifies one of the eight evaluation scenarios (Fig. 4).
@@ -148,8 +153,9 @@ const (
 
 // HierThreshold is the room size at and above which an engine holding
 // pod tables serves the consolidating optimum hierarchically in
-// ModeAuto.
-const HierThreshold = engine.HierThreshold
+// ModeAuto. It comes from the measured pod-sizing calibration curve
+// (regenerated by `paperbench -podsize-sweep`).
+var HierThreshold = engine.HierThreshold
 
 // ErrInfeasible is returned when no plan can satisfy the constraints.
 var ErrInfeasible = core.ErrInfeasible
@@ -248,6 +254,11 @@ func WithPodSize(n int) PodOption { return core.WithPodSize(n) }
 
 // WithPodCount sets the pod count directly instead of a target size.
 func WithPodCount(p int) PodOption { return core.WithPodCount(p) }
+
+// WithPodDepth sets the planner-tree depth: 2 is the classic pod split,
+// 3 groups pods into ≈√p pods of pods for fleet-scale rooms. Values ≤ 0
+// pick the calibrated depth for the room size.
+func WithPodDepth(d int) PodOption { return core.WithPodDepth(d) }
 
 // WithPodBuildWorkers bounds the parallel pod-table build pool; pod
 // tables are byte-identical regardless of the worker count.

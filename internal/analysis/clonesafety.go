@@ -20,14 +20,16 @@ var cloneGuarded = map[string]bool{
 // a captured value without cloning first: each hands back a value that is
 // safe to share. Clone returns a private copy; Snapshot returns the
 // immutable frozen model (internal/core.Snapshot), Pods the immutable
-// pod-sharded tables (internal/core.PodSnapshot), and Engine the
-// RCU-style plan server (internal/engine.Engine), all of which are
-// goroutine-safe by construction and exist precisely so concurrent
-// readers never need a clone.
+// pod-sharded tables (internal/core.PodSnapshot), Root the immutable
+// recursive planner tree (internal/core.Unit), and Engine the RCU-style
+// plan server (internal/engine.Engine), all of which are goroutine-safe
+// by construction and exist precisely so concurrent readers never need a
+// clone.
 var sanctionedCalls = map[string]bool{
 	"Clone":    true,
 	"Snapshot": true,
 	"Pods":     true,
+	"Root":     true,
 	"Engine":   true,
 }
 

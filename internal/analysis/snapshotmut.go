@@ -6,12 +6,14 @@ import (
 )
 
 // SnapshotMut is the static complement of the deep-freeze contract:
-// core.Snapshot and core.PodSnapshot are immutable after construction —
+// core.Snapshot, core.PodSnapshot, and the recursive planner tree they
+// expose through Root() (core.Unit) are immutable after construction —
 // that is the entire safety argument for sharing them lock-free across
 // the RCU engine's readers (DESIGN.md §6). The compiler cannot enforce
 // it because the frozen model hands out interior pointers on purpose:
 // Snapshot.Profile() returns the *Profile the tables were built from,
-// and a write through it corrupts tables that no longer match.
+// Root() the planner tree the queries walk, and a write through either
+// corrupts tables that no longer match.
 //
 // The analyzer flags any assignment, increment, or copy() whose
 // destination is reached through an expression of type core.Snapshot or
@@ -28,7 +30,7 @@ import (
 // backstop for that.
 var SnapshotMut = &Analyzer{
 	Name: "snapshotmut",
-	Doc: "forbid writes to state reachable from core.Snapshot/PodSnapshot " +
+	Doc: "forbid writes to state reachable from core.Snapshot/PodSnapshot/Unit " +
 		"outside their constructor package",
 	Run: runSnapshotMut,
 }
@@ -133,7 +135,7 @@ func snapshotTypeName(t types.Type) (string, bool) {
 		return "", false
 	}
 	switch obj.Name() {
-	case "Snapshot", "PodSnapshot":
+	case "Snapshot", "PodSnapshot", "Unit":
 		return obj.Name(), true
 	}
 	return "", false

@@ -51,6 +51,12 @@ func podsOnly(sys *coolopt.System) {
 	}()
 }
 
+func rootOnly(sys *coolopt.System) {
+	go func() {
+		_ = sys.Snapshot().Root() // immutable planner tree: allowed
+	}()
+}
+
 func snapshotThenRawUse(sys *coolopt.System) {
 	go func() {
 		_ = sys.Snapshot() // want `goroutine captures sys`

@@ -23,6 +23,22 @@ func clobberThroughPointer(s *core.Snapshot) {
 	*s = core.Snapshot{} // want `write to state reachable from core.Snapshot`
 }
 
+func pruneTree(u *core.Unit) {
+	u.Children()[0] = nil // want `write to state reachable from core.Unit`
+}
+
+func clobberUnit(ps *core.PodSnapshot) {
+	*ps.Root() = core.Unit{} // want `write to state reachable from core.Unit`
+}
+
+func walkTree(u *core.Unit) int {
+	total := 0
+	for _, c := range u.Children() { // traversal is read-only: allowed
+		total += c.Machines()
+	}
+	return total
+}
+
 func overwriteMachines(s *core.Snapshot, src []core.MachineProfile) {
 	copy(s.Profile().Machines, src) // want `copy into memory reachable from core.Snapshot`
 }

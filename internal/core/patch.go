@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"coolopt/internal/mathx"
 )
 
 // This file implements incremental snapshot maintenance: rebuilding a
@@ -29,18 +31,31 @@ import (
 //     sorted time sequence and the per-event crossing sets (span merging
 //     is order-independent inside an event), so the result matches a
 //     fresh build bit for bit. This path cuts the constant, not the
-//     asymptotics: the sweep itself is still O(n²).
+//     asymptotics: the sweep itself is still O(n²) — which is why the
+//     engine's patch-cost advisor (internal/engine) consults
+//     RetainedCrossings and switches to PatchRebuild when the splice
+//     would lose to the fresh build.
 //
 //   - Pod tables. This is the fast path, and the reason the hierarchy
-//     pays twice: a drifted machine sits in exactly one pod, so only that
-//     pod's O((n/p)²) kinetic tables rebuild; every other pod's segment
-//     and front-set arenas are shared with the old snapshot by reference.
-//     The Eq. 21–22 aggregates (A_j, B_j, shares, the share-scaled
-//     cooling leverage Rho_j) are all O(n) scalars re-derived with the
-//     exact loops NewPodSnapshot runs, so they too are bit-identical —
-//     shares shift for every pod when any machine's B drifts, but the
-//     kinetic tables depend only on the pod's own pairs, which is why
-//     sharing the untouched arenas is safe.
+//     pays twice: a drifted machine sits in exactly one pod leaf, so only
+//     that leaf's O((n/p)²) kinetic tables rebuild; every other leaf's
+//     segment and front-set arenas are shared with the old snapshot by
+//     reference. The Eq. 21–22 aggregates (A_j, B_j, shares, the
+//     share-scaled cooling leverage Rho_j) are all O(n) scalars
+//     re-derived with the exact loops NewPodSnapshot runs, so they too
+//     are bit-identical — shares shift for every pod when any machine's
+//     B drifts, but the kinetic tables depend only on the pod's own
+//     pairs, which is why sharing the untouched arenas is safe. The
+//     planner tree is rebuilt to the receiver's shape (same leaves, same
+//     depth) over the new leaves.
+//
+//   - Power-model drift. A batch may carry replacement room W1/W2
+//     (Eq. 9) coefficients alongside the per-machine thermal fits. K_i
+//     depends on W1 and W2 for every machine, so power drift moves every
+//     particle at once: no crossing survives and no pod is untouched.
+//     Both Patch paths detect this (PowerDrift) and rebuild everything —
+//     still bit-identical to a fresh build over the patched profile,
+//     just without the incremental discount.
 
 // MachineDelta is one machine's re-profiled Eq. 8 coefficients, the unit
 // of drift the recursive-least-squares refresher (internal/profiling)
@@ -51,37 +66,73 @@ type MachineDelta struct {
 	// Machine carries the full replacement coefficients (not increments),
 	// so a delta batch is idempotent to apply.
 	Machine MachineProfile `json:"machine"`
+	// W1, W2 optionally carry replacement room power-model coefficients
+	// (Eq. 9: P_i = W1·L_i + W2). Zero W1 means "no power drift in this
+	// delta"; a delta with W1 > 0 replaces both coefficients. Every delta
+	// in a batch that carries power drift must agree on the values.
+	W1 float64 `json:"w1,omitempty"`
+	W2 float64 `json:"w2,omitempty"`
+}
+
+// PowerDrift reports whether the batch carries replacement Eq. 9 power
+// coefficients (any delta with W1 set) in addition to the per-machine
+// thermal fits. Power drift forces full table rebuilds: every K_i moves.
+func PowerDrift(drifted []MachineDelta) bool {
+	for _, d := range drifted {
+		if d.W1 != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // ErrBadDelta reports a drift batch Patch refuses to apply: a machine ID
-// outside the room, the same machine drifted twice in one batch, or
-// coefficients that fail profile validation (non-positive α/β, K ≤ 0).
-// Wrap-compare with errors.Is.
+// outside the room, the same machine drifted twice in one batch,
+// inconsistent or invalid power-model coefficients, or coefficients that
+// fail profile validation (non-positive α/β, K ≤ 0). Wrap-compare with
+// errors.Is.
 var ErrBadDelta = errors.New("core: bad drift delta")
 
 // applyDeltas returns a validated deep copy of p with the deltas applied,
-// plus the sorted drifted IDs. An empty batch yields a plain copy.
-func applyDeltas(p *Profile, drifted []MachineDelta) (*Profile, []int, error) {
+// plus the sorted drifted IDs and whether the batch replaced the room
+// power model. An empty batch yields a plain copy.
+func applyDeltas(p *Profile, drifted []MachineDelta) (*Profile, []int, bool, error) {
 	frozen := *p
 	frozen.Machines = append([]MachineProfile(nil), p.Machines...)
 	ids := make([]int, 0, len(drifted))
 	seen := make(map[int]bool, len(drifted))
+	powerDrift := false
 	for _, d := range drifted {
 		if d.ID < 0 || d.ID >= len(frozen.Machines) {
-			return nil, nil, fmt.Errorf("%w: machine %d outside [0, %d)", ErrBadDelta, d.ID, len(frozen.Machines))
+			return nil, nil, false, fmt.Errorf("%w: machine %d outside [0, %d)", ErrBadDelta, d.ID, len(frozen.Machines))
 		}
 		if seen[d.ID] {
-			return nil, nil, fmt.Errorf("%w: machine %d drifted twice in one batch", ErrBadDelta, d.ID)
+			return nil, nil, false, fmt.Errorf("%w: machine %d drifted twice in one batch", ErrBadDelta, d.ID)
 		}
 		seen[d.ID] = true
 		frozen.Machines[d.ID] = d.Machine
 		ids = append(ids, d.ID)
+		switch {
+		case d.W1 < 0 || d.W2 < 0:
+			return nil, nil, false, fmt.Errorf("%w: machine %d carries negative power coefficients W1=%v W2=%v", ErrBadDelta, d.ID, d.W1, d.W2)
+		case d.W1 == 0 && d.W2 != 0:
+			return nil, nil, false, fmt.Errorf("%w: machine %d sets W2=%v without W1 (power drift replaces both)", ErrBadDelta, d.ID, d.W2)
+		case d.W1 > 0:
+			// Bit-exact on purpose: deltas in one batch must restate the
+			// identical replacement coefficients, not approximately agree.
+			if powerDrift && (!mathx.Same(frozen.W1, d.W1) || !mathx.Same(frozen.W2, d.W2)) {
+				return nil, nil, false, fmt.Errorf("%w: machine %d disagrees on power drift (W1=%v W2=%v vs W1=%v W2=%v)",
+					ErrBadDelta, d.ID, d.W1, d.W2, frozen.W1, frozen.W2)
+			}
+			frozen.W1, frozen.W2 = d.W1, d.W2
+			powerDrift = true
+		}
 	}
 	if err := frozen.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("%w: patched profile rejected: %w", ErrBadDelta, err)
+		return nil, nil, false, fmt.Errorf("%w: patched profile rejected: %w", ErrBadDelta, err)
 	}
 	sort.Ints(ids)
-	return &frozen, ids, nil
+	return &frozen, ids, powerDrift, nil
 }
 
 // Patch returns a new deep-frozen snapshot with the drifted machines'
@@ -90,42 +141,84 @@ func applyDeltas(p *Profile, drifted []MachineDelta) (*Profile, []int, error) {
 // NewSnapshot(patched profile, epoch+1, same options) — the differential
 // battery in patch_test.go enforces this — but skips the O(n²) pair
 // generation and the O(n² lg n) crossing sort when the receiver retained
-// its crossing list (WithPatchSupport); without retention it falls back
+// its crossing list (WithPatchSupport); without retention, or when the
+// batch carries power-model drift (every crossing moves), it falls back
 // to a full rebuild. An empty batch shares the receiver's tables
 // outright. Options forward to the rebuild exactly like NewSnapshot's;
 // the worker count must match the original build's for bit-identity
 // (worker-count changes can shift results by ulps either way).
 func (s *Snapshot) Patch(drifted []MachineDelta, opts ...PreprocessOption) (*Snapshot, error) {
-	p2, ids, err := applyDeltas(s.profile, drifted)
+	p2, ids, powerDrift, err := applyDeltas(s.profile, drifted)
 	if err != nil {
 		return nil, err
 	}
 	epoch := s.epoch + 1
 	if len(ids) == 0 {
-		return &Snapshot{epoch: epoch, profile: p2, pre: s.pre}, nil
+		return newFlatSnapshot(epoch, p2, s.pre), nil
 	}
 	cfg := preprocessConfig{}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if !s.pre.PatchSupported() {
-		pre, err := Preprocess(p2.Reduce(), opts...)
+	if powerDrift || !s.pre.PatchSupported() {
+		pre, err := Preprocess(p2.Reduce(), s.rebuildOpts(opts)...)
 		if err != nil {
 			return nil, err
 		}
-		return &Snapshot{epoch: epoch, profile: p2, pre: pre}, nil
+		return newFlatSnapshot(epoch, p2, pre), nil
 	}
 	pre, err := s.pre.patch(p2.Reduce(), ids, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Snapshot{epoch: epoch, profile: p2, pre: pre}, nil
+	return newFlatSnapshot(epoch, p2, pre), nil
+}
+
+// PatchRebuild applies a drift batch like Patch but never splices: the
+// tables always rebuild from scratch. Splice and rebuild agree bit for
+// bit (the differential battery proves it), so the engine's patch-cost
+// advisor switches between them freely — at large n the splice's
+// filter-and-merge over ~n²/2 retained crossings costs more than the
+// fresh build it was meant to avoid.
+func (s *Snapshot) PatchRebuild(drifted []MachineDelta, opts ...PreprocessOption) (*Snapshot, error) {
+	p2, ids, _, err := applyDeltas(s.profile, drifted)
+	if err != nil {
+		return nil, err
+	}
+	epoch := s.epoch + 1
+	if len(ids) == 0 {
+		return newFlatSnapshot(epoch, p2, s.pre), nil
+	}
+	pre, err := Preprocess(p2.Reduce(), s.rebuildOpts(opts)...)
+	if err != nil {
+		return nil, err
+	}
+	return newFlatSnapshot(epoch, p2, pre), nil
+}
+
+// rebuildOpts wraps caller options for a full-rebuild patch path so the
+// result stays self-sustaining regardless of what the caller passed: the
+// room always fits the preprocessing cap, and a receiver that retained
+// its crossing list keeps retention across the rebuild. Caller options
+// come last and still override.
+func (s *Snapshot) rebuildOpts(opts []PreprocessOption) []PreprocessOption {
+	out := []PreprocessOption{WithMaxMachines(s.profile.Size())}
+	if s.pre.PatchSupported() {
+		out = append(out, WithPatchSupport())
+	}
+	return append(out, opts...)
 }
 
 // PatchSupported reports whether the snapshot retained its crossing list
 // (built with WithPatchSupport), i.e. whether Patch splices incrementally
 // instead of rebuilding from scratch.
 func (s *Snapshot) PatchSupported() bool { return s.pre.PatchSupported() }
+
+// RetainedCrossings returns the length of the retained sorted crossing
+// list — zero when the tables were built without WithPatchSupport. This
+// is the quantity a splice-patch must filter and merge, so it is the
+// input to the engine's patch-versus-rebuild cost advisor.
+func (pp *Preprocessed) RetainedCrossings() int { return len(pp.crossings) }
 
 // patch rebuilds the tables for r2 — the receiver's reduced instance with
 // the listed machines' pairs replaced — by splicing the crossing list:
@@ -203,17 +296,20 @@ func (pp *Preprocessed) patch(r2 Reduced, ids []int, cfg preprocessConfig) (*Pre
 
 // Patch returns a new deep-frozen pod snapshot with the drifted machines'
 // coefficients replaced, tagged with the next epoch. Only the pods
-// containing drifted machines rebuild their kinetic tables; every other
-// pod shares its segment and front-set arenas with the receiver, with the
-// cheap Eq. 21–22 aggregates (sums, shares, share-scaled cooling
-// leverage) re-derived for all pods with NewPodSnapshot's exact loops.
-// The result is byte-for-byte identical to NewPodSnapshot(patched
-// profile, epoch+1, WithPodCount(ps.Pods())). The partition is inherited
-// from the receiver — WithPodSize/WithPodCount options are ignored;
-// WithPodBuildWorkers and WithPodBuildCheck apply to the touched-pod
-// rebuilds.
+// containing drifted machines rebuild their kinetic tables — all of them
+// when the batch carries power-model drift, since every K_i moves — and
+// every other pod shares its segment and front-set arenas with the
+// receiver, with the cheap Eq. 21–22 aggregates (sums, shares,
+// share-scaled cooling leverage) re-derived for all pods with
+// NewPodSnapshot's exact loops. The planner tree is rebuilt to the
+// receiver's shape (same leaves, same depth). The result is byte-for-byte
+// identical to NewPodSnapshot(patched profile, epoch+1,
+// WithPodCount(ps.Pods()), WithPodDepth(receiver's depth)). The partition
+// is inherited from the receiver — WithPodSize/WithPodCount/WithPodDepth
+// options are ignored; WithPodBuildWorkers and WithPodBuildCheck apply to
+// the touched-pod rebuilds.
 func (ps *PodSnapshot) Patch(drifted []MachineDelta, opts ...PodOption) (*PodSnapshot, error) {
-	p2, ids, err := applyDeltas(ps.profile, drifted)
+	p2, ids, powerDrift, err := applyDeltas(ps.profile, drifted)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +318,8 @@ func (ps *PodSnapshot) Patch(drifted []MachineDelta, opts ...PodOption) (*PodSna
 		opt(&cfg)
 	}
 
-	out := &PodSnapshot{epoch: ps.epoch + 1, profile: p2, room: p2.Reduce()}
+	out := &PodSnapshot{epoch: ps.epoch + 1, planTree: planTree{profile: p2, depth: ps.depth}}
+	out.room = p2.Reduce()
 	for _, pr := range out.room.Pairs {
 		out.totalB += pr.B
 	}
@@ -234,40 +331,17 @@ func (ps *PodSnapshot) Patch(drifted []MachineDelta, opts ...PodOption) (*PodSna
 	var touched []int
 	out.pods = make([]*pod, 0, len(ps.pods))
 	for j, old := range ps.pods {
-		// Re-derive the aggregates with the same loop NewPodSnapshot runs
-		// so the sums accumulate in the same order.
-		var sumA, sumB float64
-		pairs := make([]Pair, len(old.ids))
-		rebuild := false
-		for i, id := range old.ids {
-			pairs[i] = out.room.Pairs[id]
-			sumA += pairs[i].A
-			sumB += pairs[i].B
-			if driftedMask[id] {
-				rebuild = true
+		// makeLeaf re-derives the aggregates with the same loop
+		// NewPodSnapshot runs, so the sums accumulate in the same order.
+		npd := makeLeaf(out.room, p2, old.ids, out.totalB)
+		rebuild := powerDrift
+		if !rebuild {
+			for _, id := range old.ids {
+				if driftedMask[id] {
+					rebuild = true
+					break
+				}
 			}
-		}
-		share := sumB / out.totalB
-		npd := &pod{
-			ids:   old.ids,
-			sumA:  sumA,
-			sumB:  sumB,
-			share: share,
-			reduced: Reduced{
-				Pairs:      pairs,
-				W2:         p2.W2,
-				Rho:        p2.CoolFactor * p2.W1 * share,
-				CoolFactor: p2.CoolFactor * share,
-				SetPointC:  p2.SetPointC,
-				W1:         p2.W1,
-			},
-			bounds: clampBounds{
-				W1: p2.W1, W2: p2.W2,
-				CoolFactor: p2.CoolFactor * share,
-				SetPointC:  p2.SetPointC,
-				TAcMinC:    p2.TAcMinC,
-				TAcMaxC:    p2.TAcMaxC,
-			},
 		}
 		if rebuild {
 			touched = append(touched, j)
@@ -281,6 +355,7 @@ func (ps *PodSnapshot) Patch(drifted []MachineDelta, opts ...PodOption) (*PodSna
 		}
 		out.pods = append(out.pods, npd)
 	}
+	out.root = buildUnitTree(out.pods, 0, len(out.pods), out.depth)
 	if err := out.buildPodsFor(touched, cfg.workers, cfg.buildCheck); err != nil {
 		return nil, err
 	}

@@ -3,26 +3,30 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 )
 
-// This file implements the two-level (pod-sharded) form of the paper's
-// consolidation machinery for rooms beyond the O(n²) whole-room tables.
+// This file implements the pod-sharded form of the paper's consolidation
+// machinery for rooms beyond the O(n²) whole-room tables. The planning
+// bodies themselves live in unit.go — PodSnapshot is one topology of the
+// recursive plannable-unit tree; this file owns construction, the
+// parallel table build, and the room-level union refinement helpers.
 //
-// The room is partitioned into contiguous pods. Each pod builds its own
-// kinetic front-set tables over its n_j machines — p·(n/p)² events
-// instead of n², so the build parallelizes across pods and the event set
-// shrinks by ~p. Queries compose hierarchically:
+// The room is partitioned into contiguous pods (the tree's leaves). Each
+// pod builds its own kinetic front-set tables over its n_j machines —
+// p·(n/p)² events instead of n², so the build parallelizes across pods
+// and the event set shrinks by ~p. Queries compose hierarchically:
 //
-//  1. A top-level water-filling allocator splits the room load L across
-//     pods using the pod aggregates A_j = Σ K_i and B_j = Σ α_i/β_i.
-//     Eq. 21–22 say the exact optimum loads machine i at
-//     L_i = K_i − s·(α_i/β_i) for a common surplus parameter
-//     s = (Σ K − L)/Σ(α/β); summed over a pod that is
+//  1. The recursive water-filling allocator (planTree.selectFor) splits
+//     the room load L down the tree using the pod aggregates
+//     A_j = Σ K_i and B_j = Σ α_i/β_i. Eq. 21–22 say the exact optimum
+//     loads machine i at L_i = K_i − s·(α_i/β_i) for a common surplus
+//     parameter s = (Σ K − L)/Σ(α/β); summed over a pod that is
 //     L_j = A_j − s·B_j — so the exact split is itself a water-filling
 //     over the pod aggregates, and the allocator recovers it (up to the
-//     [0, n_j] capacity clamps) by bisecting on s.
+//     [0, n_j] capacity clamps) by bisecting on s. An interior node of a
+//     deeper tree presents the same clamped curve summed over its
+//     subtree, so the identical bisection runs at every level.
 //
 //  2. Each pod solves its own select(A_j, k_j, L_j) over its local
 //     tables. The pod scores candidates with share-scaled cooling
@@ -31,7 +35,7 @@ import (
 //     share_j = B_j/B_total, so the pod sees Rho_j = share_j·ρ and
 //     CoolFactor_j = share_j·c·f_ac. Without the scaling every pod would
 //     believe it owns the whole room's cooling reward and over-provision
-//     machines by ~√p.
+//     machines by ~√p. Shares are room-level at every depth.
 //
 //  3. The per-pod subsets are unioned and the room's exact closed form
 //     (SolveBounded, Eqs. 21–22 with box repair) runs once over the
@@ -39,21 +43,23 @@ import (
 //     chosen set. The optimality gap comes only from the subset choice —
 //     a pod may keep a machine that a colder machine in another pod
 //     should have displaced — and is bounded and measured rather than
-//     compounded (DESIGN.md §7).
+//     compounded (DESIGN.md §7, §11).
 //
 // Pods are built in parallel but each pod's own Preprocess runs
 // single-threaded, so the resulting tables are byte-identical regardless
 // of the outer worker count — the property tests enforce this.
 
-// DefaultPodSize is the default machines-per-pod target. 256 keeps each
-// pod's O(n_j²) tables in cache while yielding p = 16 pods at the
-// whole-room cap of 4096 machines.
+// DefaultPodSize is the default machines-per-pod target when no
+// calibration point overrides it. 256 keeps each pod's O(n_j²) tables in
+// cache while yielding p = 16 pods at the whole-room cap of 4096
+// machines.
 const DefaultPodSize = 256
 
 // podConfig collects NewPodSnapshot's tunables.
 type podConfig struct {
-	podSize    int             // target machines per pod; 0 = DefaultPodSize
+	podSize    int             // target machines per pod; 0 = calibration/DefaultPodSize
 	podCount   int             // explicit pod count; 0 = derive from podSize
+	depth      int             // tree depth; 0 = calibration (2 for modest rooms)
 	workers    int             // outer build workers; 0 = runtime default
 	buildCheck func(int) error // per-pod build guard; nil = none
 }
@@ -61,8 +67,9 @@ type podConfig struct {
 // PodOption configures NewPodSnapshot.
 type PodOption func(*podConfig)
 
-// WithPodSize sets the target machines per pod (values ≤ 0 keep
-// DefaultPodSize). The partition balances sizes within one machine.
+// WithPodSize sets the target machines per pod (values ≤ 0 pick the
+// calibrated size for the room, DefaultPodSize when no point matches).
+// The partition balances sizes within one machine.
 func WithPodSize(m int) PodOption {
 	return func(cfg *podConfig) { cfg.podSize = m }
 }
@@ -71,6 +78,15 @@ func WithPodSize(m int) PodOption {
 // Values ≤ 0 keep the size-derived count.
 func WithPodCount(p int) PodOption {
 	return func(cfg *podConfig) { cfg.podCount = p }
+}
+
+// WithPodDepth sets the planner-tree depth: 2 is the classic one-level
+// pod split, 3 groups the pods into ≈√p pods of pods, and so on. Values
+// ≤ 0 pick the calibrated depth for the room size (2 for every room the
+// committed curve considers shallow enough). Degenerate shapes (one pod,
+// chains) collapse to the flat planner bit for bit.
+func WithPodDepth(d int) PodOption {
+	return func(cfg *podConfig) { cfg.depth = d }
 }
 
 // WithPodBuildWorkers bounds the outer worker pool that builds pod tables
@@ -90,8 +106,8 @@ func WithPodBuildCheck(check func(pod int) error) PodOption {
 	return func(cfg *podConfig) { cfg.buildCheck = check }
 }
 
-// pod is one shard of the room: a contiguous ID range with its own
-// kinetic tables and share-scaled scoring bounds.
+// pod is one leaf of the planner tree: a contiguous ID range with its
+// own kinetic tables and share-scaled scoring bounds.
 type pod struct {
 	ids     []int // global machine IDs, ascending
 	reduced Reduced
@@ -102,30 +118,27 @@ type pod struct {
 	bounds  clampBounds
 }
 
-// PodSnapshot is the two-level analogue of Snapshot: an immutable,
+// PodSnapshot is the hierarchical analogue of Snapshot: an immutable,
 // concurrently-queryable view of a machine room whose consolidation
-// tables are sharded into pods. It trades a bounded optimality gap for a
-// near-linear build and a per-query cost of p·O((n/p)·lg²(n/p)) instead
-// of O(n·lg² n) over a p×-larger event set — which is what lifts the
-// whole-room DefaultMaxMachines cap.
+// tables are sharded into pod leaves under a recursive planner tree
+// (unit.go). It trades a bounded optimality gap for a near-linear build
+// and a per-query cost of p·O((n/p)·lg²(n/p)) instead of O(n·lg² n)
+// over a p×-larger event set — which is what lifts the whole-room
+// DefaultMaxMachines cap. Depth 2 is the classic pod split; depth 3
+// groups the pods into pods of pods for fleet-scale rooms.
 type PodSnapshot struct {
-	epoch   uint64
-	profile *Profile
-	room    Reduced
-	pods    []*pod
-	totalB  float64
+	epoch uint64
+	planTree
 }
 
 // NewPodSnapshot validates and deep-copies the profile, partitions it
-// into pods, and builds every pod's kinetic tables in parallel. epoch
-// tags the snapshot's generation exactly like NewSnapshot.
+// into pod leaves, builds every leaf's kinetic tables in parallel, and
+// assembles the recursive planner tree over them. epoch tags the
+// snapshot's generation exactly like NewSnapshot.
 func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, error) {
 	cfg := podConfig{}
 	for _, opt := range opts {
 		opt(&cfg)
-	}
-	if cfg.podSize <= 0 {
-		cfg.podSize = DefaultPodSize
 	}
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -134,6 +147,20 @@ func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, 
 	frozen.Machines = append([]MachineProfile(nil), p.Machines...)
 
 	n := frozen.Size()
+	if cfg.podSize <= 0 {
+		if cfg.podCount <= 0 {
+			cfg.podSize = DefaultCalibration().PodSizeFor(n)
+		} else {
+			cfg.podSize = DefaultPodSize
+		}
+	}
+	depth := cfg.depth
+	if depth <= 0 {
+		depth = DefaultCalibration().DepthFor(n)
+	}
+	if depth < 2 {
+		depth = 2
+	}
 	count := cfg.podCount
 	if count <= 0 {
 		count = (n + cfg.podSize - 1) / cfg.podSize
@@ -145,7 +172,8 @@ func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, 
 		count = n
 	}
 
-	ps := &PodSnapshot{epoch: epoch, profile: &frozen, room: frozen.Reduce()}
+	ps := &PodSnapshot{epoch: epoch, planTree: planTree{profile: &frozen, depth: depth}}
+	ps.room = frozen.Reduce()
 	for _, pr := range ps.room.Pairs {
 		ps.totalB += pr.B
 	}
@@ -164,39 +192,9 @@ func NewPodSnapshot(p *Profile, epoch uint64, opts ...PodOption) (*PodSnapshot, 
 			ids[i] = start + i
 		}
 		start += size
-
-		var sumA, sumB float64
-		pairs := make([]Pair, size)
-		for i, id := range ids {
-			pairs[i] = ps.room.Pairs[id]
-			sumA += pairs[i].A
-			sumB += pairs[i].B
-		}
-		// The pod's reduced instance scales the cooling leverage by its
-		// share; see the file comment.
-		share := sumB / ps.totalB
-		ps.pods = append(ps.pods, &pod{
-			ids:   ids,
-			sumA:  sumA,
-			sumB:  sumB,
-			share: share,
-			reduced: Reduced{
-				Pairs:      pairs,
-				W2:         frozen.W2,
-				Rho:        frozen.CoolFactor * frozen.W1 * share,
-				CoolFactor: frozen.CoolFactor * share,
-				SetPointC:  frozen.SetPointC,
-				W1:         frozen.W1,
-			},
-			bounds: clampBounds{
-				W1: frozen.W1, W2: frozen.W2,
-				CoolFactor: frozen.CoolFactor * share,
-				SetPointC:  frozen.SetPointC,
-				TAcMinC:    frozen.TAcMinC,
-				TAcMaxC:    frozen.TAcMaxC,
-			},
-		})
+		ps.pods = append(ps.pods, makeLeaf(ps.room, &frozen, ids, ps.totalB))
 	}
+	ps.root = buildUnitTree(ps.pods, 0, count, depth)
 
 	if err := ps.buildPods(cfg.workers, cfg.buildCheck); err != nil {
 		return nil, err
@@ -271,8 +269,16 @@ func (ps *PodSnapshot) Epoch() uint64 { return ps.epoch }
 // Size returns the number of machines.
 func (ps *PodSnapshot) Size() int { return ps.profile.Size() }
 
-// Pods returns the number of pods.
+// Pods returns the number of pod leaves.
 func (ps *PodSnapshot) Pods() int { return len(ps.pods) }
+
+// Depth returns the planner tree's actual depth: 1 for a single leaf
+// (p = 1), 2 for the classic pod split, 3 for pods of pods.
+func (ps *PodSnapshot) Depth() int { return ps.root.Depth() }
+
+// Root returns the recursive planner tree. Read-only, safe for
+// concurrent use; inspect it for shape, never mutate it.
+func (ps *PodSnapshot) Root() *Unit { return ps.root }
 
 // Profile returns the frozen model. Read-only, exactly like
 // Snapshot.Profile.
@@ -297,61 +303,39 @@ func (ps *PodSnapshot) TableBytes() int {
 	return total
 }
 
-// splitLoad is the top-level water-filling allocator: bisect on the
-// surplus parameter s of Eq. 21 so that Σ_j clamp(A_j − s·B_j, 0, n_j)
-// equals the room load (waterFill, shared with the degraded path). With
-// one pod the split is trivially exact, which makes the p = 1 hierarchy
-// byte-identical to the flat planner.
-func (ps *PodSnapshot) splitLoad(load float64) []float64 {
-	if len(ps.pods) == 1 {
-		return []float64{load}
-	}
-	aggs := make([]podAgg, len(ps.pods))
-	for j, pd := range ps.pods {
-		aggs[j] = podAgg{sumA: pd.sumA, sumB: pd.sumB, cap: float64(len(pd.ids))}
-	}
-	return waterFill(aggs, load)
+// Select returns the hierarchical on-set for the given room load: the
+// recursive allocator splits the load down the planner tree, each pod
+// picks its clamped power-optimal front set for its slice, and the union
+// (ascending global IDs) is returned. A pod whose clamp admits no subset
+// falls back to powering its whole shard — always capacity-feasible for
+// the clamped slice.
+func (ps *PodSnapshot) Select(load float64) ([]int, error) {
+	return ps.selectUnion(load)
 }
 
-// Select returns the hierarchical on-set for the given room load: the
-// allocator splits the load, each pod picks its clamped power-optimal
-// front set for its slice, and the union (ascending global IDs) is
-// returned. A pod whose clamp admits no subset falls back to powering its
-// whole shard — always capacity-feasible for the clamped slice.
-func (ps *PodSnapshot) Select(load float64) ([]int, error) {
-	n := ps.profile.Size()
-	if load <= 0 {
-		return nil, fmt.Errorf("core: load %v must be positive (power everything off instead)", load)
-	}
-	if load > float64(n) {
-		return nil, fmt.Errorf("%w: load %v exceeds cluster capacity %d", ErrInfeasible, load, n)
-	}
-	shares := ps.splitLoad(load)
-	var union []int
-	for j, pd := range ps.pods {
-		lj := shares[j]
-		if lj <= 1e-12 {
-			continue
-		}
-		local, ok := clampedSelect(pd.pre, lj, pd.bounds)
-		if !ok {
-			local = make([]int, len(pd.ids))
-			for i := range local {
-				local[i] = i
-			}
-		}
-		for _, li := range local {
-			union = append(union, pd.ids[li])
-		}
-	}
-	if len(union) == 0 {
-		return nil, fmt.Errorf("%w: no pod accepts any of load %v", ErrInfeasible, load)
-	}
-	if len(ps.pods) > 1 {
-		union = ps.refineUnion(union, load)
-	}
-	sort.Ints(union)
-	return union, nil
+// Plan returns the hierarchical plan for the given total load: recursive
+// subset selection (Select) followed by the room's exact closed form
+// over the union, so the load split and supply temperature are exact for
+// the chosen machines and any optimality gap lives in the subset choice
+// alone.
+func (ps *PodSnapshot) Plan(load float64) (*Plan, error) {
+	return ps.plan(load)
+}
+
+// Consolidate answers select(A, k ≥ minK, L) hierarchically: the on-set
+// from Select, topped up deterministically with the front-most unused
+// machines when the union is smaller than minK, scored with the room's
+// Eq. 23.
+func (ps *PodSnapshot) Consolidate(load float64, minK int) (Selection, error) {
+	return ps.consolidate(load, minK)
+}
+
+// MaxLoad answers the budget question hierarchically: each pod proposes
+// its best subset for its cooling-share of the budget (DFS over the
+// planner tree), and the room's exact budget boundary (Eq. 23–24) is
+// solved once over the union.
+func (ps *PodSnapshot) MaxLoad(budgetW float64) (MaxLoadResult, error) {
+	return ps.maxLoad(budgetW)
 }
 
 // refineUnion is a bounded greedy exchange pass over the pod union. The
@@ -366,18 +350,18 @@ func (ps *PodSnapshot) Select(load float64) ([]int, error) {
 // so the pass repeatedly applies the best strictly-improving move under
 // the clamped room score until none remains or the iteration budget runs
 // out. Starting from the exact optimum no move improves (front sets are
-// optimal per §III-B), which keeps the p = 1 path untouched; from a pod
-// union the pass closes most of the boundary gap at O(n) per move.
-func (ps *PodSnapshot) refineUnion(union []int, load float64) []int {
-	return ps.refineUnionBlocked(union, load, nil)
+// optimal per §III-B), which keeps the single-leaf path untouched; from
+// a pod union the pass closes most of the boundary gap at O(n) per move.
+func (pt *planTree) refineUnion(union []int, load float64) []int {
+	return pt.refineUnionBlocked(union, load, nil)
 }
 
 // refineUnionBlocked is refineUnion with an optional avoid mask: blocked
 // machines never enter the union through an add or swap move. The
 // degraded path passes its avoid set; the healthy path passes nil.
-func (ps *PodSnapshot) refineUnionBlocked(union []int, load float64, blocked []bool) []int {
-	r := ps.room
-	p := ps.profile
+func (pt *planTree) refineUnionBlocked(union []int, load float64, blocked []bool) []int {
+	r := pt.room
+	p := pt.profile
 	n := len(r.Pairs)
 	in := make([]bool, n)
 	var sumA, sumB float64
@@ -415,7 +399,7 @@ func (ps *PodSnapshot) refineUnionBlocked(union []int, load float64, blocked []b
 	if !ok {
 		return union // leave infeasible aggregates to SolveBounded's diagnostics
 	}
-	maxMoves := 4*len(ps.pods) + 8
+	maxMoves := 4*len(pt.pods) + 8
 	for move := 0; move < maxMoves; move++ {
 		t := (sumA - load) / sumB
 		// Best addition: the unused machine with the largest coordinate;
@@ -491,137 +475,4 @@ func unionFromMask(in []bool, k int) []int {
 		}
 	}
 	return out
-}
-
-// Plan returns the two-level plan for the given total load: hierarchical
-// subset selection (Select) followed by the room's exact closed form over
-// the union, so the load split and supply temperature are exact for the
-// chosen machines and any optimality gap lives in the subset choice
-// alone.
-func (ps *PodSnapshot) Plan(load float64) (*Plan, error) {
-	union, err := ps.Select(load)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := ps.profile.SolveBounded(union, load)
-	if err != nil {
-		return nil, err
-	}
-	if err := ps.profile.ValidatePlan(plan, load, 1e-6); err != nil {
-		return nil, fmt.Errorf("core: hierarchical optimizer produced invalid plan: %w", err)
-	}
-	return plan, nil
-}
-
-// Consolidate answers select(A, k ≥ minK, L) hierarchically: the on-set
-// from Select, topped up deterministically with the front-most unused
-// machines when the union is smaller than minK, scored with the room's
-// Eq. 23.
-func (ps *PodSnapshot) Consolidate(load float64, minK int) (Selection, error) {
-	if minK < 1 {
-		minK = 1
-	}
-	union, err := ps.Select(load)
-	if err != nil {
-		return Selection{}, err
-	}
-	if len(union) < minK {
-		union, err = ps.topUp(union, load, minK)
-		if err != nil {
-			return Selection{}, err
-		}
-	}
-	t, err := ps.room.TValue(union, load)
-	if err != nil {
-		return Selection{}, err
-	}
-	power, err := ps.room.SubsetPower(union, load)
-	if err != nil {
-		return Selection{}, err
-	}
-	return Selection{Subset: union, T: t, Power: power}, nil
-}
-
-// topUp grows the union to minK machines by adding the unused machines
-// with the largest particle coordinate at the union's t-value — the same
-// front-most rule the flat tables encode, applied to the leftovers.
-// Deterministic: coordinate ties break by ID.
-func (ps *PodSnapshot) topUp(union []int, load float64, minK int) ([]int, error) {
-	n := ps.profile.Size()
-	if minK > n {
-		return nil, fmt.Errorf("core: minK = %d exceeds %d machines", minK, n)
-	}
-	t, err := ps.room.TValue(union, load)
-	if err != nil {
-		return nil, err
-	}
-	if t < 0 {
-		t = 0
-	}
-	inUnion := make([]bool, n)
-	for _, i := range union {
-		inUnion[i] = true
-	}
-	rest := make([]int, 0, n-len(union))
-	for i := 0; i < n; i++ {
-		if !inUnion[i] {
-			rest = append(rest, i)
-		}
-	}
-	sort.Slice(rest, func(x, y int) bool {
-		return particleLess(ps.room.Pairs, rest[x], rest[y], t)
-	})
-	out := append(append([]int(nil), union...), rest[:minK-len(union)]...)
-	sort.Ints(out)
-	return out, nil
-}
-
-// MaxLoad answers the budget question hierarchically: each pod proposes
-// its best subset for its cooling-share of the budget, and the room's
-// exact budget boundary (Eq. 23–24) is solved once over the union —
-//
-//	t* = (k·W2 + c·f_ac·T_SP + W1·ΣA − P_b)/(ρ + W1·ΣB),
-//	L  = ΣA − t*·ΣB,
-//
-// clamped into the t ≥ 0 regime and the L ≤ k capacity cap, so the
-// reported load never overstates what the union can actually serve under
-// the budget.
-func (ps *PodSnapshot) MaxLoad(budgetW float64) (MaxLoadResult, error) {
-	var union []int
-	for _, pd := range ps.pods {
-		res, err := pd.pre.MaxLoad(budgetW * pd.share)
-		if err != nil {
-			continue
-		}
-		if res.Load > float64(len(res.Subset)) {
-			res.Load = float64(len(res.Subset))
-		}
-		for _, li := range res.Subset {
-			union = append(union, pd.ids[li])
-		}
-	}
-	if len(union) == 0 {
-		return MaxLoadResult{}, fmt.Errorf("%w: budget %v W serves no pod", ErrInfeasible, budgetW)
-	}
-	sort.Ints(union)
-	r := ps.room
-	var sumA, sumB float64
-	for _, i := range union {
-		sumA += r.Pairs[i].A
-		sumB += r.Pairs[i].B
-	}
-	k := float64(len(union))
-	t := (k*r.W2 + r.CoolFactor*r.SetPointC + r.W1*sumA - budgetW) / (r.Rho + r.W1*sumB)
-	if t < 0 {
-		t = 0
-	}
-	load := sumA - t*sumB
-	if load > k {
-		load = k // capacity cap; t at the front for the capped load
-		t = (sumA - load) / sumB
-	}
-	if load < 0 {
-		return MaxLoadResult{}, fmt.Errorf("%w: budget %v W below the %d-machine floor", ErrInfeasible, budgetW, len(union))
-	}
-	return MaxLoadResult{Load: load, Subset: union, T: t}, nil
 }

@@ -6,10 +6,12 @@ import (
 	"sort"
 )
 
-// This file implements the degraded (avoid-set) form of the two-level
+// This file implements the degraded (avoid-set) half of the recursive
 // planner: PlanAvoiding answers "plan this load around these failed
 // machines" without falling back to the flat O(n²) pool solver the
-// hierarchy exists to avoid.
+// hierarchy exists to avoid. The recursion itself lives in unit.go
+// (planTree.selectAvoiding / planAvoiding); this file owns the
+// survivor-restricted primitives it composes.
 //
 // The structure mirrors Plan. Pods untouched by the avoid set reuse
 // their kinetic tables and Eq. 21–22 aggregates verbatim; an affected
@@ -17,14 +19,17 @@ import (
 // replaces its table lookup with a survivor prefix sweep — survivors
 // ordered front-most at the pod's own particle time, every prefix scored
 // with the same clamped Eq. 23 objective clampedSelect uses. The
-// water-filling split, the union SolveBounded, and the bounded exchange
-// then run over the mixed set exactly as in the healthy path, with the
-// avoid set masked out of every move. With one pod the whole query
-// delegates to the flat Profile.PlanOver over the survivors, so the
-// p = 1 degraded plan is bit-identical to the exact degraded plan.
+// water-filling split (recursing through interior nodes, whose survivor
+// curves are just the clamped sums of their subtrees'), the union
+// SolveBounded, and the bounded exchange then run over the mixed set
+// exactly as in the healthy path, with the avoid set masked out of every
+// move. With one pod the whole query delegates to the flat
+// Profile.PlanOver over the survivors, so the single-leaf degraded plan
+// is bit-identical to the exact degraded plan.
 
-// podAgg is one pod's water-filling aggregate: Σ K_i, Σ α_i/β_i, and the
-// machine-count capacity, restricted to the machines still in service.
+// podAgg is one leaf's water-filling aggregate: Σ K_i, Σ α_i/β_i, and
+// the machine-count capacity, restricted to the machines still in
+// service. Interior nodes sum these over their subtrees (Unit.aggOver).
 type podAgg struct {
 	sumA, sumB, cap float64
 }
@@ -66,11 +71,12 @@ func survivorPool(n int, blocked []bool) []int {
 	return pool
 }
 
-// waterFill is the top-level allocator over explicit pod aggregates:
-// bisect on the surplus parameter s of Eq. 21 so that
-// Σ_j clamp(A_j − s·B_j, 0, cap_j) equals the load. splitLoad builds its
-// aggregates from the healthy pods; PlanAvoiding from the survivor-
-// restricted ones. Pods with no remaining capacity take zero load.
+// waterFill is the allocator over explicit aggregates: bisect on the
+// surplus parameter s of Eq. 21 so that Σ_j clamp(A_j − s·B_j, 0, cap_j)
+// equals the load. The recursive selector runs it at every interior node
+// of the planner tree — over healthy leaf aggregates on the main path,
+// over survivor-restricted ones on the degraded path. Aggregates with no
+// remaining capacity take zero load.
 func waterFill(aggs []podAgg, load float64) []float64 {
 	out := make([]float64, len(aggs))
 	at := func(j int, s float64) float64 {
@@ -189,73 +195,6 @@ func survivorSelect(pairs []Pair, surv []int, load float64, b clampBounds) ([]in
 	return out, true
 }
 
-// selectAvoiding is the degraded analogue of Select: survivor-restricted
-// water-fill, per-pod selection (tables for untouched pods, survivor
-// prefix sweep for affected ones), and the bounded exchange over the
-// union with the avoid set masked out of every add and swap.
-func (ps *PodSnapshot) selectAvoiding(load float64, blocked []bool) ([]int, error) {
-	aggs := make([]podAgg, len(ps.pods))
-	survLocal := make([][]int, len(ps.pods))
-	for j, pd := range ps.pods {
-		agg := podAgg{sumA: pd.sumA, sumB: pd.sumB, cap: float64(len(pd.ids))}
-		touched := false
-		for li, id := range pd.ids {
-			if blocked[id] {
-				touched = true
-				agg.sumA -= pd.reduced.Pairs[li].A
-				agg.sumB -= pd.reduced.Pairs[li].B
-				agg.cap--
-			}
-		}
-		if touched {
-			surv := make([]int, 0, int(agg.cap))
-			for li, id := range pd.ids {
-				if !blocked[id] {
-					surv = append(surv, li)
-				}
-			}
-			survLocal[j] = surv
-		}
-		aggs[j] = agg
-	}
-	shares := waterFill(aggs, load)
-	var union []int
-	for j, pd := range ps.pods {
-		lj := shares[j]
-		if lj <= 1e-12 {
-			continue
-		}
-		var local []int
-		if survLocal[j] == nil {
-			var ok bool
-			local, ok = clampedSelect(pd.pre, lj, pd.bounds)
-			if !ok {
-				local = make([]int, len(pd.ids))
-				for i := range local {
-					local[i] = i
-				}
-			}
-		} else {
-			var ok bool
-			local, ok = survivorSelect(pd.reduced.Pairs, survLocal[j], lj, pd.bounds)
-			if !ok {
-				local = append([]int(nil), survLocal[j]...)
-			}
-		}
-		for _, li := range local {
-			union = append(union, pd.ids[li])
-		}
-	}
-	if len(union) == 0 {
-		return nil, fmt.Errorf("%w: no pod accepts any of load %v around %d failures",
-			ErrInfeasible, load, countBlocked(blocked))
-	}
-	union = ps.refineUnionBlocked(union, load, blocked)
-	union = ps.growUnion(union, load, blocked)
-	sort.Ints(union)
-	return union, nil
-}
-
 func countBlocked(blocked []bool) int {
 	k := 0
 	for _, b := range blocked {
@@ -273,8 +212,8 @@ func countBlocked(blocked []bool) int {
 // raises the optimal supply (each new K_i·β_i/α_i is far above the
 // actuation range), so the loop is monotone and SolveBounded succeeds on
 // the result whenever any survivor subset is feasible.
-func (ps *PodSnapshot) growUnion(union []int, load float64, blocked []bool) []int {
-	r := ps.room
+func (pt *planTree) growUnion(union []int, load float64, blocked []bool) []int {
+	r := pt.room
 	n := len(r.Pairs)
 	in := make([]bool, n)
 	var sumA, sumB float64
@@ -288,7 +227,7 @@ func (ps *PodSnapshot) growUnion(union []int, load float64, blocked []bool) []in
 		minK = 1
 	}
 	feasible := func() bool {
-		return len(union) >= minK && ps.profile.W1*(sumA-load)/sumB >= ps.profile.TAcMinC
+		return len(union) >= minK && pt.profile.W1*(sumA-load)/sumB >= pt.profile.TAcMinC
 	}
 	if feasible() {
 		return union
@@ -317,59 +256,13 @@ func (ps *PodSnapshot) growUnion(union []int, load float64, blocked []bool) []in
 	return union
 }
 
-// PlanAvoiding is the degraded two-level plan: consolidation and load
+// PlanAvoiding is the degraded hierarchical plan: consolidation and load
 // split over the machines not named in avoid. A nil or empty avoid list
 // is the healthy Plan. IDs outside [0, n) are an error; a load beyond
 // the survivor count (or below any feasible supply temperature) returns
 // ErrInfeasible — the serving layer sheds to the surviving capacity and
 // retries. With a single pod the answer is bit-identical to the flat
-// degraded solver Profile.PlanOver over the survivors.
+// degraded solver Profile.PlanOver over the survivors, at every depth.
 func (ps *PodSnapshot) PlanAvoiding(load float64, avoid []int) (*Plan, error) {
-	n := ps.profile.Size()
-	av, err := canonAvoid(avoid, n)
-	if err != nil {
-		return nil, err
-	}
-	if len(av) == 0 {
-		return ps.Plan(load)
-	}
-	if load <= 0 {
-		return nil, fmt.Errorf("core: load %v must be positive (power everything off instead)", load)
-	}
-	m := n - len(av)
-	if m == 0 {
-		return nil, fmt.Errorf("%w: all %d machines avoided", ErrInfeasible, n)
-	}
-	if load > float64(m) {
-		return nil, fmt.Errorf("%w: load %v exceeds the %d surviving machines", ErrInfeasible, load, m)
-	}
-	blocked := make([]bool, n)
-	for _, i := range av {
-		blocked[i] = true
-	}
-	if len(ps.pods) == 1 {
-		plan := ps.profile.PlanOver(survivorPool(n, blocked), load)
-		if plan == nil {
-			return nil, fmt.Errorf("%w: no feasible plan for load %v over %d survivors", ErrInfeasible, load, m)
-		}
-		return plan, nil
-	}
-	union, err := ps.selectAvoiding(load, blocked)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := ps.profile.SolveBounded(union, load)
-	if err != nil {
-		// The union's box repair can pin enough machines to starve the
-		// free set; the full survivor pool is the most feasible subset
-		// there is, so fall back to it before declaring infeasibility.
-		plan, err = ps.profile.SolveBounded(survivorPool(n, blocked), load)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if err := ps.profile.ValidatePlan(plan, load, 1e-6); err != nil {
-		return nil, fmt.Errorf("core: degraded hierarchical optimizer produced invalid plan: %w", err)
-	}
-	return plan, nil
+	return ps.planAvoiding(load, avoid)
 }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file replaces the fixed "pods above 2048 machines" rule with
+// adaptive sizing from a measured calibration curve: `paperbench
+// -podsize-sweep` measures build time, table bytes, and optimality gap
+// across (room size, pod size, depth) points, persists the winning
+// configuration per room size, and NewPodSnapshot (plus the engine's
+// hierarchy threshold) consults the curve at construction. The committed
+// podsize_calibration.json is embedded so the core package needs no
+// filesystem access; regenerate it with `make podsize-sweep`.
+
+//go:embed podsize_calibration.json
+var podsizeCalibrationJSON []byte
+
+// CalibrationPoint is one measured row of the pod-sizing trade-off
+// curve: for rooms up to N machines, the sweep found PodSize machines
+// per pod at the given tree Depth to be the best build-time/table-bytes/
+// gap compromise. BuildMS/TableMB/GapWorstPct record the measurement the
+// choice was made from (diagnostics; not consulted at construction).
+type CalibrationPoint struct {
+	N           int     `json:"n"`
+	PodSize     int     `json:"pod_size"`
+	Depth       int     `json:"depth"`
+	BuildMS     float64 `json:"build_ms,omitempty"`
+	TableMB     float64 `json:"table_mb,omitempty"`
+	GapWorstPct float64 `json:"gap_worst_pct,omitempty"`
+}
+
+// Calibration is the persisted pod-sizing curve. HierThreshold is the
+// room size at which the serving engine starts preferring the hierarchy
+// over the flat exact tables; Points must be sorted by ascending N (the
+// parser enforces it).
+type Calibration struct {
+	HierThreshold int                `json:"hier_threshold"`
+	Points        []CalibrationPoint `json:"points"`
+}
+
+// ParseCalibration decodes and validates a calibration curve.
+func ParseCalibration(data []byte) (*Calibration, error) {
+	var c Calibration
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("core: bad calibration: %w", err)
+	}
+	if c.HierThreshold < 1 {
+		return nil, fmt.Errorf("core: bad calibration: hier_threshold %d < 1", c.HierThreshold)
+	}
+	for i, pt := range c.Points {
+		if pt.N < 1 || pt.PodSize < 1 || pt.Depth < 2 {
+			return nil, fmt.Errorf("core: bad calibration point %d: n=%d pod_size=%d depth=%d", i, pt.N, pt.PodSize, pt.Depth)
+		}
+		if i > 0 && pt.N <= c.Points[i-1].N {
+			return nil, fmt.Errorf("core: calibration points not ascending at %d (n=%d after n=%d)", i, pt.N, c.Points[i-1].N)
+		}
+	}
+	return &c, nil
+}
+
+var (
+	calibrationOnce sync.Once
+	calibration     *Calibration
+)
+
+// DefaultCalibration returns the embedded pod-sizing curve. The embedded
+// file is validated at first use; a malformed embed is a build artifact
+// error and panics rather than silently degrading to guesses.
+func DefaultCalibration() *Calibration {
+	calibrationOnce.Do(func() {
+		c, err := ParseCalibration(podsizeCalibrationJSON)
+		if err != nil {
+			panic(err)
+		}
+		calibration = c
+	})
+	return calibration
+}
+
+// lookup returns the first point covering n (smallest N ≥ n), or the
+// last point when n exceeds every measured size — the asymptotic regime
+// keeps the largest measured configuration.
+func (c *Calibration) lookup(n int) (CalibrationPoint, bool) {
+	if len(c.Points) == 0 {
+		return CalibrationPoint{}, false
+	}
+	i := sort.Search(len(c.Points), func(i int) bool { return c.Points[i].N >= n })
+	if i == len(c.Points) {
+		i = len(c.Points) - 1
+	}
+	return c.Points[i], true
+}
+
+// PodSizeFor returns the calibrated machines-per-pod target for an
+// n-machine room (DefaultPodSize when the curve has no points).
+func (c *Calibration) PodSizeFor(n int) int {
+	pt, ok := c.lookup(n)
+	if !ok {
+		return DefaultPodSize
+	}
+	return pt.PodSize
+}
+
+// DepthFor returns the calibrated planner-tree depth for an n-machine
+// room (2, the classic pod split, when the curve has no points).
+func (c *Calibration) DepthFor(n int) int {
+	pt, ok := c.lookup(n)
+	if !ok {
+		return 2
+	}
+	return pt.Depth
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseCalibration covers the validation surface of the persisted
+// pod-sizing curve: the embedded file must parse, and malformed curves
+// (the kind a broken sweep could write) are refused with a message
+// naming the offending field.
+func TestParseCalibration(t *testing.T) {
+	good := `{"hier_threshold": 2048, "points": [
+		{"n": 4096, "pod_size": 256, "depth": 2},
+		{"n": 262144, "pod_size": 128, "depth": 3, "build_ms": 9000, "table_mb": 700, "gap_worst_pct": 1.2}
+	]}`
+	c, err := ParseCalibration([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HierThreshold != 2048 || len(c.Points) != 2 {
+		t.Fatalf("parsed %+v", c)
+	}
+
+	for _, tc := range []struct {
+		name, in, wantErr string
+	}{
+		{"garbage", `{`, "bad calibration"},
+		{"zero threshold", `{"hier_threshold": 0, "points": []}`, "hier_threshold"},
+		{"bad pod size", `{"hier_threshold": 1, "points": [{"n": 64, "pod_size": 0, "depth": 2}]}`, "bad calibration point"},
+		{"depth below 2", `{"hier_threshold": 1, "points": [{"n": 64, "pod_size": 16, "depth": 1}]}`, "bad calibration point"},
+		{"not ascending", `{"hier_threshold": 1, "points": [
+			{"n": 128, "pod_size": 16, "depth": 2}, {"n": 64, "pod_size": 16, "depth": 2}]}`, "not ascending"},
+	} {
+		if _, err := ParseCalibration([]byte(tc.in)); err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestCalibrationLookup pins the lookup semantics: the smallest measured
+// room size covering n wins, sizes beyond the last point keep the
+// largest measured configuration, and an empty curve falls back to the
+// historical defaults.
+func TestCalibrationLookup(t *testing.T) {
+	c := &Calibration{HierThreshold: 2048, Points: []CalibrationPoint{
+		{N: 4096, PodSize: 256, Depth: 2},
+		{N: 65536, PodSize: 192, Depth: 2},
+		{N: 262144, PodSize: 128, Depth: 3},
+	}}
+	for _, tc := range []struct {
+		n, wantSize, wantDepth int
+	}{
+		{1, 256, 2},       // below the curve: smallest point covers
+		{4096, 256, 2},    // exact hit
+		{4097, 192, 2},    // next point up
+		{262144, 128, 3},  // largest point
+		{1 << 20, 128, 3}, // beyond the curve: asymptotic regime
+	} {
+		if got := c.PodSizeFor(tc.n); got != tc.wantSize {
+			t.Errorf("PodSizeFor(%d) = %d, want %d", tc.n, got, tc.wantSize)
+		}
+		if got := c.DepthFor(tc.n); got != tc.wantDepth {
+			t.Errorf("DepthFor(%d) = %d, want %d", tc.n, got, tc.wantDepth)
+		}
+	}
+
+	empty := &Calibration{HierThreshold: 2048}
+	if got := empty.PodSizeFor(1 << 20); got != DefaultPodSize {
+		t.Errorf("empty curve PodSizeFor = %d, want DefaultPodSize %d", got, DefaultPodSize)
+	}
+	if got := empty.DepthFor(1 << 20); got != 2 {
+		t.Errorf("empty curve DepthFor = %d, want 2", got)
+	}
+}
+
+// TestDefaultCalibrationEmbed asserts the committed embed parses and
+// stays consistent with the engine threshold contract: every adaptive
+// default NewPodSnapshot derives from it must be a buildable
+// configuration (pod size ≥ 1, depth ≥ 2).
+func TestDefaultCalibrationEmbed(t *testing.T) {
+	c := DefaultCalibration()
+	if c.HierThreshold < 1 {
+		t.Fatalf("embedded hier_threshold = %d", c.HierThreshold)
+	}
+	if len(c.Points) == 0 {
+		t.Fatal("embedded curve has no points; adaptive sizing would silently degrade to guesses")
+	}
+	for _, pt := range c.Points {
+		if pt.PodSize < 1 || pt.Depth < 2 {
+			t.Fatalf("embedded point %+v not buildable", pt)
+		}
+	}
+}
+
+// TestAdaptivePodSizing asserts NewPodSnapshot's zero-option defaults
+// actually follow the calibration curve — pod size and tree depth both.
+func TestAdaptivePodSizing(t *testing.T) {
+	const n = 512
+	p := hierProfile(n)
+	ps, err := NewPodSnapshot(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := DefaultCalibration()
+	wantSize := c.PodSizeFor(n)
+	if wantSize > n {
+		wantSize = n
+	}
+	wantPods := (n + wantSize - 1) / wantSize
+	if ps.Pods() != wantPods {
+		t.Fatalf("default pods = %d, want %d (calibrated pod size %d)", ps.Pods(), wantPods, wantSize)
+	}
+	wantDepth := c.DepthFor(n)
+	if wantDepth < 2 {
+		wantDepth = 2
+	}
+	// A small room's tree may collapse below the calibrated depth when
+	// there are too few pods to nest, but it must never exceed it.
+	if got := ps.Depth(); got > wantDepth {
+		t.Fatalf("default depth = %d, want ≤ calibrated %d", got, wantDepth)
+	}
+}

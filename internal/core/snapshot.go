@@ -1,7 +1,5 @@
 package core
 
-import "fmt"
-
 // Snapshot is an immutable view of a profiled machine room: the
 // per-machine thermal constants of Eq. 19 (α_i, β_i, γ_i and the derived
 // K_i), the room-wide power and cooling models of Eqs. 9–10, and the
@@ -17,12 +15,48 @@ import "fmt"
 // analyzer sanctions capturing a Snapshot in a goroutine for exactly this
 // reason.
 //
+// Internally the Snapshot is the single-leaf degenerate form of the
+// recursive planner tree (unit.go): one leaf whose machine range is the
+// entire room, with share exactly 1.0, so the shared planning path runs
+// no water-fill and stays bit-identical to the historical flat planner.
+// Unlike the hierarchical topologies it keeps flat semantics — a failed
+// clamped table lookup is an infeasibility rather than a fall-back.
+//
 // Callers must treat the *Profile returned by Profile() as read-only;
 // mutating it would corrupt the precomputed tables it no longer matches.
 type Snapshot struct {
 	epoch   uint64
 	profile *Profile
 	pre     *Preprocessed
+	tree    planTree
+}
+
+// newFlatSnapshot assembles a Snapshot around already-built tables: the
+// frozen profile, the single-leaf planner tree over the whole room, and
+// the generation tag. NewSnapshot and both Patch paths funnel through it
+// so the tree is always consistent with the tables.
+func newFlatSnapshot(epoch uint64, p *Profile, pre *Preprocessed) *Snapshot {
+	room := pre.reduced
+	var totalB float64
+	for _, pr := range room.Pairs {
+		totalB += pr.B
+	}
+	ids := make([]int, p.Size())
+	for i := range ids {
+		ids[i] = i
+	}
+	leaf := makeLeaf(room, p, ids, totalB)
+	leaf.pre = pre
+	tree := planTree{
+		profile: p,
+		room:    room,
+		pods:    []*pod{leaf},
+		totalB:  totalB,
+		flat:    true,
+		depth:   1,
+	}
+	tree.root = buildUnitTree(tree.pods, 0, 1, 1)
+	return &Snapshot{epoch: epoch, profile: p, pre: pre, tree: tree}
 }
 
 // NewSnapshot validates and deep-copies the profile, runs consolidation
@@ -41,7 +75,7 @@ func NewSnapshot(p *Profile, epoch uint64, opts ...PreprocessOption) (*Snapshot,
 	if err != nil {
 		return nil, err
 	}
-	return &Snapshot{epoch: epoch, profile: &frozen, pre: pre}, nil
+	return newFlatSnapshot(epoch, &frozen, pre), nil
 }
 
 // Epoch returns the snapshot's generation tag.
@@ -57,6 +91,10 @@ func (s *Snapshot) Profile() *Profile { return s.profile }
 // output); all its query methods are safe for concurrent use.
 func (s *Snapshot) Tables() *Preprocessed { return s.pre }
 
+// Root returns the (single-leaf) planner tree. Read-only, safe for
+// concurrent use; inspect it for shape, never mutate it.
+func (s *Snapshot) Root() *Unit { return s.tree.root }
+
 // Plan returns the minimum-power plan for the given total load (in
 // machine-utilization units) with consolidation: machines outside the
 // returned on set should be powered off.
@@ -66,33 +104,10 @@ func (s *Snapshot) Tables() *Preprocessed { return s.pre }
 // temperature clamped into the actuation range (the paper's Eq. 23 scores
 // the unclamped value, which would over-reward subsets that cannot
 // actually raise the supply any further). The load split inside the winner
-// comes from SolveBounded.
+// comes from SolveBounded. The shared recursive planning path (unit.go)
+// degenerates to exactly this for a single leaf.
 func (s *Snapshot) Plan(load float64) (*Plan, error) {
-	p := s.profile
-	n := p.Size()
-	if load <= 0 {
-		return nil, fmt.Errorf("core: load %v must be positive (power everything off instead)", load)
-	}
-	if load > float64(n) {
-		return nil, fmt.Errorf("%w: load %v exceeds cluster capacity %d", ErrInfeasible, load, n)
-	}
-
-	subset, ok := clampedSelect(s.pre, load, clampBounds{
-		W1: p.W1, W2: p.W2, CoolFactor: p.CoolFactor,
-		SetPointC: p.SetPointC, TAcMinC: p.TAcMinC, TAcMaxC: p.TAcMaxC,
-	})
-	if !ok {
-		return nil, fmt.Errorf("%w: no machine subset satisfies load %v within constraints", ErrInfeasible, load)
-	}
-
-	plan, err := p.SolveBounded(subset, load)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.ValidatePlan(plan, load, 1e-6); err != nil {
-		return nil, fmt.Errorf("core: optimizer produced invalid plan: %w", err)
-	}
-	return plan, nil
+	return s.tree.plan(load)
 }
 
 // PlanNoConsolidation returns the minimum-power plan that keeps every

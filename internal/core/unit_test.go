@@ -1,0 +1,360 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// This file is the differential battery for the recursive planner tree:
+// depth-3 (and deeper) trees against the depth-2 classic and the exact
+// whole-room planner. The contract has two regimes — at degenerate
+// splits (one pod, or a nesting that reduces to the flat pod list) the
+// tree must reproduce the reference bit for bit, and at genuine nestings
+// the recursive water-fill must stay inside the same optimality-gap
+// envelope the flat pod split declares (mean ≤ 1 %, worst ≤ 5 %).
+
+// TestUnitTreeShape pins the deterministic tree builder: balanced
+// contiguous groups, fan ≈ P^(1/(depth−1)), every leaf reachable, and
+// Depth reporting the longest root-to-leaf path.
+func TestUnitTreeShape(t *testing.T) {
+	p := hierProfile(64)
+	ps, err := NewPodSnapshot(p, 0, WithPodCount(16), WithPodDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := ps.Root()
+	if root.IsLeaf() {
+		t.Fatal("16-pod depth-3 root is a leaf")
+	}
+	if got := root.Depth(); got != 3 {
+		t.Fatalf("Depth() = %d, want 3", got)
+	}
+	if got := ps.Depth(); got != 3 {
+		t.Fatalf("PodSnapshot.Depth() = %d, want 3", got)
+	}
+	if got := len(root.Children()); got != 4 {
+		t.Fatalf("root fan-out = %d, want 4 (= 16^(1/2))", got)
+	}
+	leaves, machines := 0, 0
+	for _, c := range root.Children() {
+		if c.IsLeaf() {
+			t.Fatalf("depth-3 child over %d leaves is a leaf unit", c.Leaves())
+		}
+		if got := len(c.Children()); got != 4 {
+			t.Fatalf("child fan-out = %d, want 4", got)
+		}
+		leaves += c.Leaves()
+		machines += c.Machines()
+	}
+	if leaves != 16 {
+		t.Fatalf("children cover %d leaves, want 16", leaves)
+	}
+	if machines != 64 {
+		t.Fatalf("children cover %d machines, want 64", machines)
+	}
+
+	// Depth 2 keeps the historical shape: every pod a direct child.
+	flat2, err := NewPodSnapshot(p, 0, WithPodCount(16), WithPodDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(flat2.Root().Children()); got != 16 {
+		t.Fatalf("depth-2 root fan-out = %d, want 16", got)
+	}
+	if got := flat2.Depth(); got != 2 {
+		t.Fatalf("depth-2 Depth() = %d, want 2", got)
+	}
+}
+
+// TestDepth3SinglePodMatchesExact is the p = 1 equivalence property at
+// depth 3: a single pod collapses the tree to one leaf regardless of the
+// requested depth, so the planner must reproduce the flat whole-room
+// planner bit for bit — the degenerate-split half of the contract.
+func TestDepth3SinglePodMatchesExact(t *testing.T) {
+	const n = 64
+	p := hierProfile(n)
+	exact, err := NewSnapshot(p, 0, WithPreprocessWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := NewPodSnapshot(p, 0, WithPodCount(1), WithPodDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hier.Root().IsLeaf() {
+		t.Fatal("single-pod depth-3 root is not a leaf unit")
+	}
+	for _, frac := range []float64{0.03, 0.1, 0.25, 0.5, 0.75, 0.9} {
+		load := frac * n
+		want, err := exact.Plan(load)
+		if err != nil {
+			t.Fatalf("exact plan load %v: %v", load, err)
+		}
+		got, err := hier.Plan(load)
+		if err != nil {
+			t.Fatalf("depth-3 plan load %v: %v", load, err)
+		}
+		equalPlans(t, "single-pod depth 3", got, want)
+	}
+}
+
+// TestDepth3TwoPodsMatchesDepth2 is the second degenerate split: two
+// pods under a depth-3 request build groups of one leaf each, which the
+// tree builder collapses back to leaf units — the tree is structurally
+// the depth-2 tree, and every plan must match it bit for bit.
+func TestDepth3TwoPodsMatchesDepth2(t *testing.T) {
+	const n = 128
+	p := hierProfile(n)
+	d2, err := NewPodSnapshot(p, 0, WithPodCount(2), WithPodDepth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := NewPodSnapshot(p, 0, WithPodCount(2), WithPodDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d3.Depth(); got != 2 {
+		t.Fatalf("two-pod depth-3 tree has depth %d, want the collapsed 2", got)
+	}
+	for _, frac := range []float64{0.05, 0.2, 0.5, 0.85} {
+		load := frac * n
+		want, err := d2.Plan(load)
+		if err != nil {
+			t.Fatalf("depth-2 plan load %v: %v", load, err)
+		}
+		got, err := d3.Plan(load)
+		if err != nil {
+			t.Fatalf("depth-3 plan load %v: %v", load, err)
+		}
+		equalPlans(t, "two-pod depth 3 vs depth 2", got, want)
+	}
+}
+
+// TestDeepTreeGapBound is the genuine-nesting half of the battery:
+// depth-3 and depth-4 trees over real pod counts, measured against the
+// exact planner across a load sweep, must stay inside the declared
+// envelope (mean ≤ 1 %, worst ≤ 5 %) and never beat the exact optimum.
+// The depth-2 gap is measured alongside so a future regression that
+// widens nesting's cost over the flat split shows up in the logs.
+func TestDeepTreeGapBound(t *testing.T) {
+	sizes := []int{256, 1024}
+	if !testing.Short() && !raceEnabled {
+		sizes = append(sizes, 4096)
+	}
+	for _, n := range sizes {
+		p := hierProfile(n)
+		exact, err := NewSnapshot(p, 0, WithMaxMachines(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, depth := range []int{2, 3, 4} {
+			hier, err := NewPodSnapshot(p, 0, WithPodSize(hierPodSize(n)), WithPodDepth(depth))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum, worst float64
+			var count int
+			for _, frac := range []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9} {
+				load := frac * float64(n)
+				want, err := exact.Plan(load)
+				if err != nil {
+					t.Fatalf("n=%d exact plan load %v: %v", n, load, err)
+				}
+				got, err := hier.Plan(load)
+				if err != nil {
+					t.Fatalf("n=%d depth=%d plan load %v: %v", n, depth, load, err)
+				}
+				if err := p.ValidatePlan(got, load, 1e-6); err != nil {
+					t.Fatalf("n=%d depth=%d load %v: invalid plan: %v", n, depth, load, err)
+				}
+				exactW := float64(p.PlanPower(want))
+				gap := (float64(p.PlanPower(got)) - exactW) / exactW
+				if gap < -1e-9 {
+					t.Fatalf("n=%d depth=%d load %v: tree beats exact by %v", n, depth, load, -gap)
+				}
+				if gap > worst {
+					worst = gap
+				}
+				sum += gap
+				count++
+			}
+			mean := sum / float64(count)
+			t.Logf("n=%d depth=%d (tree depth %d, %d pods): gap mean %.4f%% worst %.4f%%",
+				n, depth, hier.Depth(), hier.Pods(), 100*mean, 100*worst)
+			if worst > 0.05 {
+				t.Fatalf("n=%d depth=%d: worst gap %.4f%% exceeds 5%%", n, depth, 100*worst)
+			}
+			if mean > 0.01 {
+				t.Fatalf("n=%d depth=%d: mean gap %.4f%% exceeds 1%%", n, depth, 100*mean)
+			}
+		}
+	}
+}
+
+// TestPlanAvoidingDepth3 extends the degraded battery to nested trees:
+// depth-3 PlanAvoiding must keep avoided machines off, validate against
+// the model, and stay inside the degraded gap envelope versus the flat
+// survivor sweep — the same contract the depth-2 path declares.
+func TestPlanAvoidingDepth3(t *testing.T) {
+	const n = 256
+	p := hierProfile(n)
+	hier, err := NewPodSnapshot(p, 0, WithPodSize(hierPodSize(n)), WithPodDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Depth() != 3 {
+		t.Fatalf("tree depth %d, want 3", hier.Depth())
+	}
+	var sum, worst float64
+	var count int
+	for _, f := range []int{1, 8, n / 16} {
+		for _, shape := range []func(int, int) []int{concentratedAvoid, spreadAvoid} {
+			avoid := shape(n, f)
+			blocked := make([]bool, n)
+			for _, i := range avoid {
+				blocked[i] = true
+			}
+			pool := survivorPool(n, blocked)
+			for _, frac := range []float64{0.15, 0.4, 0.65, 0.9} {
+				load := frac * float64(len(pool))
+				want := p.PlanOver(pool, load)
+				if want == nil {
+					t.Fatalf("f=%d: flat degraded plan infeasible at load %v", f, load)
+				}
+				got, err := hier.PlanAvoiding(load, avoid)
+				if err != nil {
+					t.Fatalf("f=%d load %v: %v", f, load, err)
+				}
+				for _, i := range got.On {
+					if blocked[i] {
+						t.Fatalf("f=%d load %v: avoided machine %d is on", f, load, i)
+					}
+				}
+				if err := p.ValidatePlan(got, load, 1e-6); err != nil {
+					t.Fatalf("f=%d load %v: invalid plan: %v", f, load, err)
+				}
+				gap := float64(p.PlanPower(got)-p.PlanPower(want)) / float64(p.PlanPower(want))
+				if gap < 0 {
+					gap = 0
+				}
+				if gap > worst {
+					worst = gap
+				}
+				sum += gap
+				count++
+			}
+		}
+	}
+	mean := sum / float64(count)
+	t.Logf("n=%d depth 3: degraded gap mean %.4f%% worst %.4f%% over %d cases",
+		n, 100*mean, 100*worst, count)
+	if worst > 0.05 {
+		t.Fatalf("worst degraded gap %.4f%% exceeds 5%%", 100*worst)
+	}
+	if mean > 0.01 {
+		t.Fatalf("mean degraded gap %.4f%% exceeds 1%%", 100*mean)
+	}
+}
+
+// TestDeepTreeMaxLoadAndConsolidate covers the remaining query surface
+// at depth 3: MaxLoad inverts Plan within the hierarchy's usual
+// tolerance and Consolidate honors the minimum-machine floor.
+func TestDeepTreeMaxLoadAndConsolidate(t *testing.T) {
+	const n = 256
+	p := hierProfile(n)
+	hier, err := NewPodSnapshot(p, 0, WithPodSize(hierPodSize(n)), WithPodDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		load := frac * n
+		plan, err := hier.Plan(load)
+		if err != nil {
+			t.Fatalf("plan load %v: %v", load, err)
+		}
+		budget := float64(p.PlanPower(plan))
+		got, err := hier.MaxLoad(budget)
+		if err != nil {
+			t.Fatalf("maxload budget %v: %v", budget, err)
+		}
+		if got.Load < load*(1-0.05) {
+			t.Fatalf("MaxLoad(%v) = %v, below the load %v that fit the budget", budget, got.Load, load)
+		}
+		minK := len(plan.On) + 4
+		cons, err := hier.Consolidate(load, minK)
+		if err != nil {
+			t.Fatalf("consolidate load %v minK %d: %v", load, minK, err)
+		}
+		if len(cons.Subset) < minK {
+			t.Fatalf("consolidate kept %d machines, want ≥ %d", len(cons.Subset), minK)
+		}
+		for i := 1; i < len(cons.Subset); i++ {
+			if cons.Subset[i] <= cons.Subset[i-1] {
+				t.Fatalf("consolidate load %v: subset not strictly ascending at %d", load, i)
+			}
+		}
+	}
+}
+
+// FuzzNestedSplitPlan fuzzes the tree builder and planner over random
+// nested splits: any (pod size, depth) shape over a small room must
+// produce a model-valid plan whose power stays within the worst-case
+// envelope of the exact optimum, and degenerate shapes must not crash.
+func FuzzNestedSplitPlan(f *testing.F) {
+	f.Add(uint(16), uint(3), uint(50))
+	f.Add(uint(1), uint(2), uint(10))
+	f.Add(uint(7), uint(4), uint(90))
+	f.Add(uint(31), uint(5), uint(5))
+	f.Add(uint(96), uint(3), uint(75))
+
+	const n = 96
+	p := hierProfile(n)
+	exact, err := NewSnapshot(p, 0, WithPreprocessWorkers(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, podSize, depth, loadPct uint) {
+		ps := int(podSize%uint(n)) + 1
+		d := int(depth%5) + 1 // 1..5; NewPodSnapshot clamps below 2
+		frac := 0.05 + 0.9*float64(loadPct%101)/100
+		hier, err := NewPodSnapshot(p, 0, WithPodSize(ps), WithPodDepth(d))
+		if err != nil {
+			t.Fatalf("build pod_size=%d depth=%d: %v", ps, d, err)
+		}
+		load := frac * n
+		want, err := exact.Plan(load)
+		if err != nil {
+			t.Skip("load outside the exact planner's feasible band")
+		}
+		got, err := hier.Plan(load)
+		if err != nil {
+			t.Fatalf("pod_size=%d depth=%d load %v: %v", ps, d, load, err)
+		}
+		if err := p.ValidatePlan(got, load, 1e-6); err != nil {
+			t.Fatalf("pod_size=%d depth=%d load %v: invalid plan: %v", ps, d, load, err)
+		}
+		exactW := float64(p.PlanPower(want))
+		gap := (float64(p.PlanPower(got)) - exactW) / exactW
+		// A negative gap counts as zero: the exact planner optimizes the
+		// paper's unclamped Eq. 23 score, so in the supply-clamp regime a
+		// differently refined subset can genuinely cost less once clamped
+		// (same convention as TestHierarchicalConsolidateGapBound).
+		if gap < 0 {
+			gap = 0
+		}
+		// The 1 %/5 % envelope is an empirical gate on the curated
+		// configurations (TestDeepTreeGapBound, the calibration curve) —
+		// it is not a theorem over arbitrary splits, and fuzzed shapes
+		// like a 2-pod room or 8-machine pods under a low load genuinely
+		// land in the 5–8 % band. The fuzz property is therefore validity
+		// plus a catastrophe backstop: no shape may cost more than 15 %
+		// over the exact optimum, because the bounded-exchange refinement
+		// is supposed to claw back exactly the pathological unions.
+		if gap > 0.15 {
+			t.Fatalf("pod_size=%d depth=%d load %v: gap %.4f%% exceeds the 15%% backstop", ps, d, load, 100*gap)
+		}
+		if math.IsNaN(float64(got.TAcC)) {
+			t.Fatalf("pod_size=%d depth=%d load %v: NaN supply", ps, d, load)
+		}
+	})
+}

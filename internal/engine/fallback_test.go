@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"coolopt/internal/core"
+)
+
+// TestPatchFallbackRebuild pins the flat patch-cost advisor end to end:
+// with the splice budget forced to zero every prepare predicts the
+// splice loses, so PreparePatch must take the PatchRebuild path, count
+// it in Stats.PatchFallbackRebuilds, report the install as a rebuild —
+// and still serve answers bit-identical to the splice it replaced.
+func TestPatchFallbackRebuild(t *testing.T) {
+	const n = 24
+	defer func(old int) { patchSpliceBudget = old }(patchSpliceBudget)
+
+	patchSpliceBudget = 0 // every retained list is "too big"
+	viaRebuild := patchedEngine(t, n)
+	batch := driftOne(t, viaRebuild, 7, 0.3)
+
+	prep, err := viaRebuild.PreparePatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Patched() {
+		t.Fatal("advisor-forced rebuild still reported as patched")
+	}
+	if !prep.Snapshot().PatchSupported() {
+		t.Fatal("fallback rebuild dropped patch support")
+	}
+	if err := viaRebuild.CommitInstall(prep); err != nil {
+		t.Fatal(err)
+	}
+	s := viaRebuild.Stats()
+	if s.PatchFallbackRebuilds != 1 {
+		t.Fatalf("PatchFallbackRebuilds = %d, want 1", s.PatchFallbackRebuilds)
+	}
+	if s.PatchInstalls != 0 || s.RebuildInstalls != 1 {
+		t.Fatalf("install stats %+v: fallback must account as a rebuild", s)
+	}
+
+	// Same batch through the splice path on a twin engine.
+	patchSpliceBudget = 1 << 30
+	viaSplice := patchedEngine(t, n)
+	if _, err := viaSplice.InstallPatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := viaSplice.Stats(); got.PatchFallbackRebuilds != 0 {
+		t.Fatalf("splice path bumped the fallback counter: %d", got.PatchFallbackRebuilds)
+	}
+
+	ctx := context.Background()
+	for _, load := range []float64{2.5, 8, 14} {
+		a, err := viaRebuild.Plan(ctx, Request{Load: load})
+		if err != nil {
+			t.Fatalf("load %v rebuild: %v", load, err)
+		}
+		b, err := viaSplice.Plan(ctx, Request{Load: load})
+		if err != nil {
+			t.Fatalf("load %v splice: %v", load, err)
+		}
+		for i := range a.Plan.Loads {
+			if math.Float64bits(a.Plan.Loads[i]) != math.Float64bits(b.Plan.Loads[i]) {
+				t.Fatalf("load %v machine %d: rebuild %v vs splice %v",
+					load, i, a.Plan.Loads[i], b.Plan.Loads[i])
+			}
+		}
+	}
+}
+
+// TestStatsPodDepth: a pod-only engine over a depth-3 planner tree must
+// surface that depth in /v1/stats so operators can tell which tree shape
+// is live.
+func TestStatsPodDepth(t *testing.T) {
+	const n = 64
+	pods, err := core.NewPodSnapshot(testProfile(n), 0,
+		core.WithPodCount(16), core.WithPodDepth(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := FromPodSnapshot(pods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats(); got.PodDepth != pods.Depth() || got.PodDepth != 3 {
+		t.Fatalf("Stats().PodDepth = %d, want %d", got.PodDepth, pods.Depth())
+	}
+}

@@ -38,6 +38,24 @@ var ErrStaleInstall = errors.New("engine: prepared install is stale")
 // livelocking us; surface it instead of spinning.
 const installRetries = 4
 
+// patchSpliceBudget is the retained-crossing count above which the flat
+// splice-patch is predicted to lose to a from-scratch rebuild. The
+// splice filters and merges the full retained list (O(n²) work
+// proportional to RetainedCrossings) and then re-runs the same sweep a
+// rebuild would, so once the retained list is large enough the filter
+// and merge cost more than the fresh pair generation and sort they
+// replace — measured on this hardware the crossover sits between n=2048
+// (~2M retained, splice still ahead) and n=4096 (~8M retained, splice
+// ~20% slower than the rebuild; see ROADMAP). A var so tests can pin the
+// decision both ways.
+var patchSpliceBudget = 4 << 20
+
+// patchWouldLose is the flat patch-cost advisor: true when the retained
+// crossing list is past the measured splice-versus-rebuild crossover.
+func patchWouldLose(retainedCrossings int) bool {
+	return retainedCrossings > patchSpliceBudget
+}
+
 // PreparedInstall is a fully built serving state waiting for its O(1)
 // commit. It pins the snapshots and the scenario planner, so holding one
 // is as heavy as holding the snapshots themselves.
@@ -85,6 +103,16 @@ func (e *Engine) PrepareInstall(snap *core.Snapshot, pods *core.PodSnapshot) (*P
 // self-sustaining), and pod tables rebuild only the pods containing
 // drifted machines. Invalid batches are refused with core.ErrBadDelta.
 // The live state keeps serving untouched throughout.
+//
+// Two cases force a from-scratch rebuild (still bit-identical to the
+// splice, so callers cannot tell except by the stats):
+//
+//   - power-model drift (core.PowerDrift): replacement W1/W2 move every
+//     particle, so no retained crossing survives and no pod is spared;
+//   - the flat patch-cost advisor (patchWouldLose): past the measured
+//     crossover the splice's filter-and-merge over the retained list is
+//     slower than the rebuild it was meant to avoid — counted in
+//     Stats.PatchFallbackRebuilds.
 func (e *Engine) PreparePatch(drifted []core.MachineDelta) (*PreparedInstall, error) {
 	cur := e.state.Load()
 	var (
@@ -92,8 +120,24 @@ func (e *Engine) PreparePatch(drifted []core.MachineDelta) (*PreparedInstall, er
 		pods *core.PodSnapshot
 		err  error
 	)
+	powerDrift := core.PowerDrift(drifted)
+	patched := cur.snap == nil || cur.snap.PatchSupported()
 	if cur.snap != nil {
-		snap, err = cur.snap.Patch(drifted, core.WithPatchSupport())
+		switch {
+		case powerDrift:
+			// Every K_i moves; Patch detects this itself and rebuilds.
+			patched = false
+			snap, err = cur.snap.Patch(drifted, core.WithPatchSupport())
+		case cur.snap.PatchSupported() && patchWouldLose(cur.snap.Tables().RetainedCrossings()):
+			patched = false
+			e.mu.Lock()
+			e.patchFallbackRebuilds++
+			e.mu.Unlock()
+			snap, err = cur.snap.PatchRebuild(drifted,
+				core.WithMaxMachines(cur.snap.Size()), core.WithPatchSupport())
+		default:
+			snap, err = cur.snap.Patch(drifted, core.WithPatchSupport())
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -103,6 +147,9 @@ func (e *Engine) PreparePatch(drifted []core.MachineDelta) (*PreparedInstall, er
 		if err != nil {
 			return nil, err
 		}
+		if powerDrift {
+			patched = false
+		}
 	}
 	st, err := newState(snap, pods)
 	if err != nil {
@@ -111,7 +158,7 @@ func (e *Engine) PreparePatch(drifted []core.MachineDelta) (*PreparedInstall, er
 	return &PreparedInstall{
 		st:      st,
 		base:    cur.epoch,
-		patched: cur.snap == nil || cur.snap.PatchSupported(),
+		patched: patched,
 	}, nil
 }
 

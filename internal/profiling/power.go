@@ -1,0 +1,97 @@
+package profiling
+
+import "math"
+
+// This file is the power half of the online re-profiler: Eq. 8 has two
+// ingredients, the per-machine thermal fits (rls.go) and the room power
+// model P_i = W1·u_i + W2 (Eq. 9). The thermal refresher alone leaves
+// the power model frozen at its batch fit, so a room whose servers age
+// (fan degradation, PSU efficiency loss) drifts the planner's K_i
+// without any patch noticing. PowerRLS pools (utilization, metered
+// power) samples across all machines — the paper fits one shared W1/W2,
+// so pooling is the faithful estimator and converges n× faster than
+// per-machine fits — and the Refresher attaches the drifted coefficients
+// to its delta batches (core.MachineDelta.W1/W2), which forces the full
+// table rebuild power drift requires (every particle moves).
+
+// PowerRLS is a 2-parameter recursive least-squares estimator for the
+// room power model P = W1·u + W2, with exponential forgetting. The
+// design row is x = [u, 1] and the target is the metered machine power —
+// the same regression the batch profiling protocol runs, so with λ = 1
+// and no drift the two agree.
+type PowerRLS struct {
+	lambda float64
+	theta  [2]float64    // [W1, W2]
+	p      [2][2]float64 // covariance
+	count  int
+
+	// Excitation tracking: samples that never varied utilization cannot
+	// separate the slope from the idle floor.
+	minU, maxU float64
+}
+
+// NewPowerRLS builds an estimator with forgetting factor lambda; values
+// outside (0, 1] fall back to DefaultForgetting.
+func NewPowerRLS(lambda float64) *PowerRLS {
+	if lambda <= 0 || lambda > 1 {
+		lambda = DefaultForgetting
+	}
+	r := &PowerRLS{lambda: lambda}
+	for i := 0; i < 2; i++ {
+		r.p[i][i] = rlsInitVar
+	}
+	return r
+}
+
+// Observe folds one (utilization, metered power) sample into the
+// estimate. Utilization is in machine units (0 = idle, 1 = fully busy).
+func (r *PowerRLS) Observe(util, powerW float64) {
+	if r.count == 0 {
+		r.minU, r.maxU = util, util
+	} else {
+		r.minU = math.Min(r.minU, util)
+		r.maxU = math.Max(r.maxU, util)
+	}
+	r.count++
+
+	x := [2]float64{util, 1}
+	var px [2]float64
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			px[i] += r.p[i][j] * x[j]
+		}
+	}
+	denom := r.lambda
+	for i := 0; i < 2; i++ {
+		denom += x[i] * px[i]
+	}
+	var k [2]float64
+	for i := 0; i < 2; i++ {
+		k[i] = px[i] / denom
+	}
+	residual := powerW
+	for i := 0; i < 2; i++ {
+		residual -= r.theta[i] * x[i]
+	}
+	for i := 0; i < 2; i++ {
+		r.theta[i] += k[i] * residual
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r.p[i][j] = (r.p[i][j] - k[i]*px[j]) / r.lambda
+		}
+	}
+}
+
+// Samples returns the number of samples folded in so far.
+func (r *PowerRLS) Samples() int { return r.count }
+
+// Conditioned reports whether the observed utilizations spread at least
+// minUtilSpread — without that much excitation the regression cannot
+// separate W1 from W2.
+func (r *PowerRLS) Conditioned(minUtilSpread float64) bool {
+	return r.count > 0 && r.maxU-r.minU >= minUtilSpread
+}
+
+// Coeffs returns the current (W1, W2) estimate.
+func (r *PowerRLS) Coeffs() (w1, w2 float64) { return r.theta[0], r.theta[1] }

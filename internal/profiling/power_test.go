@@ -1,0 +1,184 @@
+package profiling
+
+import (
+	"math"
+	"testing"
+
+	"coolopt/internal/core"
+)
+
+// TestPowerRLSRecoversPlant: with no forgetting the pooled estimator
+// must converge to the batch least-squares fit of a noiseless Eq. 9
+// plant, and the excitation guard must see the utilization spread.
+func TestPowerRLSRecoversPlant(t *testing.T) {
+	const w1, w2 = 52.0, 34.0
+	r := NewPowerRLS(1)
+	for s := 0; s < 300; s++ {
+		u := float64(s%10) / 9
+		r.Observe(u, w1*u+w2)
+	}
+	gw1, gw2 := r.Coeffs()
+	// The large-but-finite initial covariance acts as a weak zero prior,
+	// so recovery is exact only to ~1e-4 relative.
+	if math.Abs(gw1-w1) > 1e-2 || math.Abs(gw2-w2) > 1e-2 {
+		t.Fatalf("recovered (%v, %v), want (%v, %v)", gw1, gw2, w1, w2)
+	}
+	if !r.Conditioned(0.2) {
+		t.Fatal("full-spread fit reported unconditioned")
+	}
+	if r.Samples() != 300 {
+		t.Fatalf("samples = %d", r.Samples())
+	}
+
+	// Utilization pinned: slope and floor are inseparable.
+	flat := NewPowerRLS(1)
+	for s := 0; s < 300; s++ {
+		flat.Observe(0.5, w1*0.5+w2)
+	}
+	if flat.Conditioned(0.2) {
+		t.Fatal("pinned-utilization fit reported conditioned")
+	}
+}
+
+// excitePower drives the fake room with a swept utilization column and a
+// consistent Eq. 9 power plant (metered power and the thermal plant's
+// power input agree), sweeping supply for the thermal guard too.
+func excitePower(rf *Refresher, room *fakeRoom, utils []float64, w1, w2 float64, samples int) {
+	for s := 0; s < samples; s++ {
+		room.supplyC = 16 + 6*float64(s%8)/7
+		for i := range room.powerW {
+			utils[i] = float64((s+i)%10) / 9
+			room.powerW[i] = w1*utils[i] + w2
+		}
+		rf.Observe()
+	}
+}
+
+// TestRefresherPowerOnlyDriftCarrier: a drifted room power model with
+// settled thermal fits must come out as exactly one carrier delta —
+// machine 0's reference coefficients restated, W1/W2 attached — and the
+// advanced reference must stop re-emission.
+func TestRefresherPowerOnlyDriftCarrier(t *testing.T) {
+	const n = 4
+	const newW1, newW2 = 58.0, 30.0
+	ref := refProfile(n)
+	room := newFakeRoom(append([]core.MachineProfile(nil), ref.Machines...))
+	utils := make([]float64, n)
+
+	rf, err := NewRefresher(RefreshConfig{
+		Room: room, Reference: ref,
+		Loads: func(i int) float64 { return utils[i] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	excitePower(rf, room, utils, newW1, newW2, 120)
+	batch := rf.Drifted()
+	if len(batch) != 1 || batch[0].ID != 0 {
+		t.Fatalf("drift batch %+v, want a single machine-0 carrier", batch)
+	}
+	if !core.PowerDrift(batch) {
+		t.Fatal("carrier batch does not report power drift")
+	}
+	if math.Abs(batch[0].W1-newW1) > 1e-3 || math.Abs(batch[0].W2-newW2) > 1e-3 {
+		t.Fatalf("carried (%v, %v), want ≈(%v, %v)", batch[0].W1, batch[0].W2, newW1, newW2)
+	}
+	if batch[0].Machine != ref.Machines[0] {
+		t.Fatalf("carrier restates %+v, want the reference coefficients", batch[0].Machine)
+	}
+	excitePower(rf, room, utils, newW1, newW2, 60)
+	if again := rf.Drifted(); len(again) != 0 {
+		t.Fatalf("re-emitted settled power drift: %+v", again)
+	}
+}
+
+// TestRefresherCombinedThermalPowerDrift: thermal and power drift in the
+// same window ride one batch — the power coefficients piggyback on the
+// first thermal delta instead of a fabricated carrier.
+func TestRefresherCombinedThermalPowerDrift(t *testing.T) {
+	const n = 5
+	const newW1, newW2 = 56.0, 31.0
+	ref := refProfile(n)
+	room := newFakeRoom(append([]core.MachineProfile(nil), ref.Machines...))
+	room.machines[2].Beta = 0.53
+	utils := make([]float64, n)
+
+	rf, err := NewRefresher(RefreshConfig{
+		Room: room, Reference: ref,
+		Loads: func(i int) float64 { return utils[i] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	excitePower(rf, room, utils, newW1, newW2, 120)
+	batch := rf.Drifted()
+	if len(batch) != 1 || batch[0].ID != 2 {
+		t.Fatalf("drift batch %+v, want machine 2 only", batch)
+	}
+	if math.Abs(batch[0].Machine.Beta-0.53) > 1e-5 {
+		t.Fatalf("machine 2 beta = %v, want ≈0.53", batch[0].Machine.Beta)
+	}
+	if !core.PowerDrift(batch) || math.Abs(batch[0].W1-newW1) > 1e-3 {
+		t.Fatalf("power drift not attached to the thermal delta: %+v", batch[0])
+	}
+}
+
+// TestRefresherPowerGuards pins the hold-back conditions: pinned
+// utilization, too few samples, and fits outside the valid coefficient
+// range must all suppress power emission no matter how far the plant
+// drifted.
+func TestRefresherPowerGuards(t *testing.T) {
+	const n = 3
+	newRF := func(room *fakeRoom, utils []float64, minSamples int) *Refresher {
+		t.Helper()
+		rf, err := NewRefresher(RefreshConfig{
+			Room: room, Reference: refProfile(n), MinSamples: minSamples,
+			Loads: func(i int) float64 { return utils[i] },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rf
+	}
+
+	t.Run("pinned utilization", func(t *testing.T) {
+		ref := refProfile(n)
+		room := newFakeRoom(append([]core.MachineProfile(nil), ref.Machines...))
+		utils := make([]float64, n)
+		rf := newRF(room, utils, 0)
+		for s := 0; s < 200; s++ {
+			room.supplyC = 16 + 6*float64(s%8)/7
+			for i := range room.powerW {
+				utils[i] = 0.5
+				room.powerW[i] = 58*0.5 + 30 // drifted plant, zero spread
+			}
+			rf.Observe()
+		}
+		if batch := rf.Drifted(); core.PowerDrift(batch) {
+			t.Fatalf("unconditioned power fit emitted %+v", batch)
+		}
+	})
+
+	t.Run("under-sampled", func(t *testing.T) {
+		ref := refProfile(n)
+		room := newFakeRoom(append([]core.MachineProfile(nil), ref.Machines...))
+		utils := make([]float64, n)
+		rf := newRF(room, utils, 512)
+		excitePower(rf, room, utils, 58, 30, 20)
+		if batch := rf.Drifted(); core.PowerDrift(batch) {
+			t.Fatalf("under-sampled power fit emitted %+v", batch)
+		}
+	})
+
+	t.Run("invalid slope", func(t *testing.T) {
+		ref := refProfile(n)
+		room := newFakeRoom(append([]core.MachineProfile(nil), ref.Machines...))
+		utils := make([]float64, n)
+		rf := newRF(room, utils, 0)
+		// A plant no valid profile can express: power falls as load rises.
+		excitePower(rf, room, utils, -10, 120, 120)
+		if batch := rf.Drifted(); core.PowerDrift(batch) {
+			t.Fatalf("negative-slope power fit emitted %+v", batch)
+		}
+	})
+}

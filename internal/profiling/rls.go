@@ -142,6 +142,16 @@ type RefreshConfig struct {
 	// no matter how far it sits from the reference.
 	MinSupplySpreadC float64
 	MinPowerSpreadW  float64
+	// Loads optionally supplies each machine's current utilization (in
+	// machine units). When set, the refresher also pools (utilization,
+	// metered power) samples across the room into a shared Eq. 9 power
+	// fit (PowerRLS) and attaches drifted W1/W2 to its delta batches, so
+	// InstallPatch refreshes both halves of Eq. 8. Nil keeps the
+	// historical thermal-only behavior.
+	Loads func(i int) float64
+	// MinUtilSpread is the power fit's conditioning threshold (default
+	// 0.2 machine units of utilization spread across the samples seen).
+	MinUtilSpread float64
 }
 
 // Refresher folds streaming sensor reads into per-machine RLS fits and
@@ -152,6 +162,11 @@ type Refresher struct {
 	cfg  RefreshConfig
 	ref  []core.MachineProfile
 	fits []*CoeffRLS
+
+	// Pooled power-model fit; nil without a Loads provider. refW1/refW2
+	// advance on every emitted power drift, like ref does for machines.
+	powerFit     *PowerRLS
+	refW1, refW2 float64
 }
 
 // NewRefresher validates the config and builds a refresher with one RLS
@@ -179,14 +194,22 @@ func NewRefresher(cfg RefreshConfig) (*Refresher, error) {
 	if cfg.MinPowerSpreadW <= 0 {
 		cfg.MinPowerSpreadW = 5
 	}
+	if cfg.MinUtilSpread <= 0 {
+		cfg.MinUtilSpread = 0.2
+	}
 	rf := &Refresher{
-		room: cfg.Room,
-		cfg:  cfg,
-		ref:  append([]core.MachineProfile(nil), cfg.Reference.Machines...),
-		fits: make([]*CoeffRLS, cfg.Room.Size()),
+		room:  cfg.Room,
+		cfg:   cfg,
+		ref:   append([]core.MachineProfile(nil), cfg.Reference.Machines...),
+		fits:  make([]*CoeffRLS, cfg.Room.Size()),
+		refW1: cfg.Reference.W1,
+		refW2: cfg.Reference.W2,
 	}
 	for i := range rf.fits {
 		rf.fits[i] = NewCoeffRLS(cfg.Lambda)
+	}
+	if cfg.Loads != nil {
+		rf.powerFit = NewPowerRLS(cfg.Lambda)
 	}
 	return rf, nil
 }
@@ -201,7 +224,13 @@ func (rf *Refresher) Observe() {
 		if !rf.room.IsOn(i) {
 			continue
 		}
-		rf.fits[i].Observe(supply, rf.room.MeasuredServerPower(i), rf.room.MeasuredCPUTemp(i))
+		power := rf.room.MeasuredServerPower(i)
+		rf.fits[i].Observe(supply, power, rf.room.MeasuredCPUTemp(i))
+		if rf.powerFit != nil {
+			// Pooled Eq. 9 fit: every on machine contributes, idle ones
+			// included — a (0, P) sample is exactly what pins the W2 floor.
+			rf.powerFit.Observe(rf.cfg.Loads(i), power)
+		}
 	}
 }
 
@@ -240,5 +269,34 @@ func (rf *Refresher) Drifted() []core.MachineDelta {
 		rf.ref[i] = m
 		out = append(out, core.MachineDelta{ID: i, Machine: m})
 	}
+	if w1, w2, ok := rf.powerDrift(); ok {
+		if len(out) == 0 {
+			// Power-only drift still needs a carrier delta; restating
+			// machine 0's reference coefficients is a no-op thermally.
+			out = append(out, core.MachineDelta{ID: 0, Machine: rf.ref[0]})
+		}
+		// One carrier is enough: Patch applies batch-level W1/W2 once.
+		out[0].W1, out[0].W2 = w1, w2
+		rf.refW1, rf.refW2 = w1, w2
+	}
 	return out
+}
+
+// powerDrift reports whether the pooled Eq. 9 fit is trustworthy and has
+// moved past RelTol from the installed coefficients. Fits that would not
+// survive profile validation (W1 ≤ 0, negative W2) are held back.
+func (rf *Refresher) powerDrift() (w1, w2 float64, ok bool) {
+	if rf.powerFit == nil ||
+		rf.powerFit.Samples() < rf.cfg.MinSamples ||
+		!rf.powerFit.Conditioned(rf.cfg.MinUtilSpread) {
+		return 0, 0, false
+	}
+	w1, w2 = rf.powerFit.Coeffs()
+	if w1 <= 0 || w2 < 0 {
+		return 0, 0, false
+	}
+	if relDrift(w1, rf.refW1) <= rf.cfg.RelTol && relDrift(w2, rf.refW2) <= rf.cfg.RelTol {
+		return 0, 0, false
+	}
+	return w1, w2, true
 }
